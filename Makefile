@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build test vet bench fuzz experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Short-mode run for quick iteration (skips the slow training pipeline
+# and full-scale smoke tests).
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Brief fuzzing session over every fuzz target.
+fuzz:
+	$(GO) test -fuzz FuzzParse$$ -fuzztime 30s ./internal/vizql/
+	$(GO) test -fuzz FuzzParseMulti -fuzztime 30s ./internal/vizql/
+	$(GO) test -fuzz FuzzFromCSV -fuzztime 30s ./internal/dataset/
+	$(GO) test -fuzz FuzzInferColumn -fuzztime 30s ./internal/dataset/
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/deepeye-bench -exp all -scale 0.1
+
+clean:
+	$(GO) clean ./...

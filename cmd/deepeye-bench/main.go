@@ -1,0 +1,277 @@
+// Command deepeye-bench regenerates the tables and figures of the paper's
+// evaluation (§VI) over the synthetic corpus and prints paper-style rows.
+//
+// Usage:
+//
+//	deepeye-bench -exp all               # everything (can take minutes)
+//	deepeye-bench -exp fig10            # recognition averages
+//	deepeye-bench -exp fig11 -scale 0.2 # selection NDCG at 20% data scale
+//	deepeye-bench -exp fig12            # efficiency
+//	deepeye-bench -exp table3,table4,table6,table7,table8,fig1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/deepeye/deepeye/internal/chart"
+	"github.com/deepeye/deepeye/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "comma-separated experiments: table3,table4,table6,table7,table8,fig1,fig10,fig11,fig12,crossval,ablation,fig9,all")
+		scale    = flag.Float64("scale", 0.1, "dataset scale (1.0 = paper-sized)")
+		seed     = flag.Int64("seed", 42, "crowd-oracle seed")
+		maxPer   = flag.Int("max-per-table", 400, "max labelled candidates per dataset (0 = unlimited)")
+		ltrTrees = flag.Int("ltr-trees", 60, "LambdaMART ensemble size")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, MaxPerTable: *maxPer, LTRTrees: *ltrTrees}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	runIf := func(name string, f func() error) {
+		if !all && !want[name] {
+			return
+		}
+		start := time.Now()
+		fmt.Printf("━━━ %s ━━━\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	runIf("table3", func() error { return table3() })
+	runIf("table4", func() error { return table4(cfg) })
+	runIf("fig1", func() error { return fig1(cfg) })
+	runIf("fig10", func() error { return fig10(cfg) })
+	runIf("table7", func() error { return table7(cfg) })
+	runIf("table8", func() error { return table8(cfg) })
+	runIf("fig11", func() error { return fig11(cfg) })
+	runIf("fig12", func() error { return fig12(cfg) })
+	runIf("table6", func() error { return table6(cfg) })
+	runIf("crossval", func() error { return crossval(cfg) })
+	runIf("ablation", func() error { return ablation(cfg) })
+	runIf("fig9", func() error { return fig9(cfg) })
+}
+
+func table3() error {
+	s, err := experiments.Table3()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table III — dataset corpus statistics (42 synthetic datasets)")
+	fmt.Printf("  datasets: %d\n", s.Datasets)
+	fmt.Printf("  tuples:   min %d, max %d, avg %.0f\n", s.MinTuples, s.MaxTuples, s.AvgTuples)
+	fmt.Printf("  columns:  min %d, max %d\n", s.MinColumns, s.MaxColumns)
+	fmt.Printf("  column types: %d temporal, %d categorical, %d numerical\n",
+		s.Temporal, s.Categorical, s.Numerical)
+	return nil
+}
+
+func table4(cfg experiments.Config) error {
+	rows, err := experiments.Table4(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table IV — testing datasets (#-charts = crowd-labelled good)")
+	fmt.Printf("  %-30s %9s %6s %8s\n", "name", "#-tuples", "#-cols", "#-charts")
+	for _, r := range rows {
+		fmt.Printf("  %-30s %9d %6d %8d\n", r.Name, r.Tuples, r.Columns, r.Charts)
+	}
+	return nil
+}
+
+func fig1(cfg experiments.Config) error {
+	vs, err := experiments.Figure1Charts(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 1 — flight-delay walk-through charts")
+	for i, v := range vs {
+		fmt.Printf("--- Fig 1(%c) ---\n%s\n%s\n", 'a'+i, v.Query, v.RenderASCIISize(60, 10))
+	}
+	return nil
+}
+
+func fig10(cfg experiments.Config) error {
+	res, err := experiments.Recognition(cfg)
+	if err != nil {
+		return err
+	}
+	p, r, f := res.Averages()
+	fmt.Println("Figure 10 — average recognition effectiveness (%) on X1–X10")
+	fmt.Printf("  %-11s %8s %8s %8s\n", "model", "prec", "recall", "F1")
+	for mi, m := range res.Models {
+		fmt.Printf("  %-11s %8.1f %8.1f %8.1f\n", m, p[mi]*100, r[mi]*100, f[mi]*100)
+	}
+	return nil
+}
+
+func table7(cfg experiments.Config) error {
+	res, err := experiments.Recognition(cfg)
+	if err != nil {
+		return err
+	}
+	p, r, f := res.TypeAverages()
+	fmt.Println("Table VII — average effectiveness (%) per chart type")
+	fmt.Printf("  %-8s", "type")
+	for _, m := range res.Models {
+		fmt.Printf(" %8s(P) %8s(R) %8s(F)", m, m, m)
+	}
+	fmt.Println()
+	for ct, typ := range chart.AllTypes {
+		fmt.Printf("  %-8s", typ)
+		for mi := range res.Models {
+			fmt.Printf(" %11.1f %11.1f %11.1f", p[ct][mi]*100, r[ct][mi]*100, f[ct][mi]*100)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func table8(cfg experiments.Config) error {
+	res, err := experiments.Recognition(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table VIII — F-measure (%) per dataset and chart type")
+	fmt.Printf("  %-30s", "dataset")
+	for _, typ := range chart.AllTypes {
+		for _, m := range res.Models {
+			fmt.Printf(" %5s/%-7s", typ.String()[:1], m)
+		}
+	}
+	fmt.Println()
+	for di, name := range res.Datasets {
+		fmt.Printf("  %-30s", name)
+		for ct := range chart.AllTypes {
+			for mi := range res.Models {
+				c := res.PerType[di][ct][mi]
+				fmt.Printf(" %12.0f", c.F1()*100)
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func fig11(cfg experiments.Config) error {
+	res, err := experiments.Selection(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure 11 — selection NDCG on X1–X10 (hybrid α = %v)\n", res.Alpha)
+	fmt.Printf("  %-30s %8s %8s %8s\n", "dataset", "LTR", "PO", "Hybrid")
+	for di, name := range res.Datasets {
+		fmt.Printf("  %-30s %8.3f %8.3f %8.3f\n", name, res.NDCG[di][0], res.NDCG[di][1], res.NDCG[di][2])
+	}
+	avg := res.MethodAverages()
+	fmt.Printf("  %-30s %8.3f %8.3f %8.3f\n", "average (Fig 11a)", avg[0], avg[1], avg[2])
+	for ct, typ := range chart.AllTypes {
+		var s [3]float64
+		var n [3]int
+		for di := range res.Datasets {
+			for mi := 0; mi < 3; mi++ {
+				if v := res.PerType[di][ct][mi]; v >= 0 {
+					s[mi] += v
+					n[mi]++
+				}
+			}
+		}
+		fmt.Printf("  per-type %-8s (Fig 11%c)   ", typ, 'b'+ct)
+		for mi := 0; mi < 3; mi++ {
+			if n[mi] > 0 {
+				fmt.Printf(" %8.3f", s[mi]/float64(n[mi]))
+			} else {
+				fmt.Printf(" %8s", "n/a")
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func fig12(cfg experiments.Config) error {
+	rows, err := experiments.Efficiency(cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 12 — end-to-end time: enumeration {E,R} × selection {L,P}")
+	fmt.Printf("  %-30s %10s %10s %10s %10s   (enum%% / sel%%)\n", "dataset", "EL", "EP", "RL", "RP")
+	for _, r := range rows {
+		el, ep := r.Total("EL"), r.Total("EP")
+		rl, rp := r.Total("RL"), r.Total("RP")
+		fmt.Printf("  %-30s %10v %10v %10v %10v   EL=%2.0f/%2.0f RP=%2.0f/%2.0f\n",
+			r.Dataset,
+			el.Round(time.Millisecond), ep.Round(time.Millisecond),
+			rl.Round(time.Millisecond), rp.Round(time.Millisecond),
+			pct(r.EnumE, el), pct(r.SelLofE, el), pct(r.EnumR, rp), pct(r.SelPofR, rp))
+	}
+	return nil
+}
+
+func pct(part, total time.Duration) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(total)
+}
+
+func table6(cfg experiments.Config) error {
+	rows, err := experiments.Coverage(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table VI — real-use-case coverage (D1–D9)")
+	fmt.Printf("  %-28s %6s %8s %8s %11s\n", "use case", "#-real", "covered", "top-k", "#-candidates")
+	for _, r := range rows {
+		fmt.Printf("  %-28s %6d %8d %8d %11d\n", r.Dataset, r.Real, r.Covered, r.KNeeded, r.Candidates)
+	}
+	return nil
+}
+
+func crossval(cfg experiments.Config) error {
+	res, err := experiments.CrossValidation(cfg, 5)
+	if err != nil {
+		return err
+	}
+	mean, std := res.MeanStd()
+	fmt.Printf("Cross validation — %d-fold recognition F1 (%%), dataset-level folds\n", res.Folds)
+	for mi, m := range res.Models {
+		fmt.Printf("  %-11s %6.1f ± %.2f\n", m, mean[mi]*100, std[mi]*100)
+	}
+	return nil
+}
+
+func ablation(cfg experiments.Config) error {
+	res, err := experiments.AblationRanking(cfg)
+	if err != nil {
+		return err
+	}
+	wa, topo := res.Averages()
+	fmt.Println("Ablation — weight-aware S(v) vs topological sorting (NDCG on X1-X10)")
+	fmt.Printf("  weight-aware: %.3f\n  topological:  %.3f\n", wa, topo)
+	return nil
+}
+
+func fig9(cfg experiments.Config) error {
+	vs, err := experiments.Figure9FirstPage(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 9 — DeepEye's first page (top-6) for D3 Flight Statistics")
+	for _, v := range vs {
+		fmt.Printf("#%d score=%.3f\n%s\n", v.Rank, v.Score, v.RenderASCIISize(56, 8))
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+// Command deepeye-server exposes DeepEye over HTTP.
+//
+//	deepeye-server -addr :8080
+//	deepeye-server -addr :8080 -models models.json   # serve trained models
+//
+// Endpoints (CSV with a header row as the request body):
+//
+//	POST /topk?k=5        → top-k charts as JSON (data + Vega-Lite specs)
+//	POST /query?q=QUERY   → run one visualization-language query
+//	POST /multi?k=5       → multi-series suggestions
+//	GET  /healthz         → liveness
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	deepeye "github.com/deepeye/deepeye"
+	"github.com/deepeye/deepeye/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		modelsPath = flag.String("models", "", "trained models file (from SaveModels); optional")
+		useRecog   = flag.Bool("recognizer", false, "filter candidates with the trained recognizer")
+		hybridRank = flag.Bool("hybrid", false, "rank with the trained hybrid method")
+		ascii      = flag.Bool("ascii", false, "include ASCII renderings in responses")
+		maxBody    = flag.Int64("max-body", 16<<20, "max upload size in bytes")
+	)
+	flag.Parse()
+
+	opts := deepeye.Options{IncludeOneColumn: true, UseRecognizer: *useRecog}
+	if *hybridRank {
+		opts.Method = deepeye.MethodHybrid
+	}
+	sys := deepeye.New(opts)
+	if *modelsPath != "" {
+		if err := sys.LoadModelsFile(*modelsPath); err != nil {
+			log.Fatalf("loading models: %v", err)
+		}
+		log.Printf("loaded models from %s", *modelsPath)
+	} else if *useRecog || *hybridRank {
+		log.Fatal("-recognizer/-hybrid need -models")
+	}
+
+	h := server.New(sys, server.Options{MaxBodyBytes: *maxBody, ASCII: *ascii})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		WriteTimeout:      60 * time.Second,
+	}
+	fmt.Printf("deepeye-server listening on %s\n", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,192 @@
+// Command deepeye finds the top-k visualizations for a CSV file — the
+// paper's "blink and it's done" workflow (Fig. 9) at the command line.
+//
+// Usage:
+//
+//	deepeye -csv data.csv -k 5
+//	deepeye -csv data.csv -k 3 -vega out/        # export Vega-Lite specs
+//	deepeye -csv data.csv -query "VISUALIZE line SELECT date, AVG(price) FROM t BIN date BY MONTH"
+//	deepeye -csv data.csv -k 5 -progressive      # tournament selector
+//	deepeye -csv data.csv -k 5 -exhaustive       # full Fig. 3 search space
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	deepeye "github.com/deepeye/deepeye"
+	"github.com/deepeye/deepeye/internal/dataset"
+	"github.com/deepeye/deepeye/internal/report"
+)
+
+func main() {
+	var (
+		csvPath     = flag.String("csv", "", "input CSV file (required)")
+		k           = flag.Int("k", 5, "number of visualizations to return")
+		query       = flag.String("query", "", "run one visualization-language query instead of top-k")
+		search      = flag.String("search", "", "keyword search, e.g. \"delay trend by hour\"")
+		multi       = flag.Bool("multi", false, "suggest multi-series charts instead of single-series top-k")
+		profile     = flag.Bool("profile", false, "print the column profile and exit")
+		vegaDir     = flag.String("vega", "", "directory to write Vega-Lite specs into")
+		htmlPath    = flag.String("html", "", "write an HTML report of the results to this file")
+		jsonOut     = flag.Bool("json", false, "print results as JSON instead of ASCII charts")
+		progressive = flag.Bool("progressive", false, "use the progressive tournament selector")
+		exhaustive  = flag.Bool("exhaustive", false, "enumerate the full search space instead of rule-pruned candidates")
+		oneColumn   = flag.Bool("one-column", true, "include single-column histograms")
+		width       = flag.Int("width", 60, "ASCII chart width")
+	)
+	flag.Parse()
+	if *csvPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: deepeye -csv data.csv [-k 5] [-query ...] [-search ...] [-multi] [-profile] [-vega dir]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	cfg := runConfig{
+		csvPath: *csvPath, k: *k, query: *query, search: *search,
+		multi: *multi, profile: *profile, vegaDir: *vegaDir, htmlPath: *htmlPath,
+		jsonOut:     *jsonOut,
+		progressive: *progressive, exhaustive: *exhaustive,
+		oneColumn: *oneColumn, width: *width,
+	}
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "deepeye:", err)
+		os.Exit(1)
+	}
+}
+
+type runConfig struct {
+	csvPath, query, search, vegaDir    string
+	htmlPath                           string
+	k, width                           int
+	multi, profile, jsonOut            bool
+	progressive, exhaustive, oneColumn bool
+}
+
+// chartJSON is the -json output row.
+type chartJSON struct {
+	Rank   int             `json:"rank"`
+	Query  string          `json:"query"`
+	Chart  string          `json:"chart"`
+	Score  float64         `json:"score"`
+	Labels []string        `json:"labels,omitempty"`
+	Values []float64       `json:"values,omitempty"`
+	Vega   json.RawMessage `json:"vega,omitempty"`
+}
+
+func run(cfg runConfig) error {
+	tab, err := deepeye.LoadCSVFile(cfg.csvPath)
+	if err != nil {
+		return err
+	}
+	if !cfg.jsonOut {
+		fmt.Printf("loaded %s: %d rows × %d columns\n\n", cfg.csvPath, tab.NumRows(), tab.NumCols())
+	}
+
+	if cfg.profile {
+		fmt.Print(dataset.FormatProfile(tab.Profile(5)))
+		return nil
+	}
+
+	opts := deepeye.Options{
+		Progressive:      cfg.progressive,
+		IncludeOneColumn: cfg.oneColumn,
+	}
+	if cfg.exhaustive {
+		opts.Enum = deepeye.EnumExhaustive
+	}
+	sys := deepeye.New(opts)
+
+	if cfg.multi {
+		vs, err := sys.SuggestMulti(tab, cfg.k)
+		if err != nil {
+			return err
+		}
+		for _, v := range vs {
+			fmt.Printf("#%d  score=%.3f\n%s\n", v.Rank, v.Score, v.Query)
+			fmt.Println(v.RenderASCIISize(cfg.width, 12))
+		}
+		return nil
+	}
+
+	var vs []*deepeye.Visualization
+	switch {
+	case cfg.query != "":
+		v, err := sys.Query(tab, cfg.query)
+		if err != nil {
+			return err
+		}
+		vs = []*deepeye.Visualization{v}
+	case cfg.search != "":
+		vs, err = sys.Search(tab, cfg.search, cfg.k)
+		if err != nil {
+			return err
+		}
+	default:
+		vs, err = sys.TopK(tab, cfg.k)
+		if err != nil {
+			return err
+		}
+	}
+	vegaDir, width := cfg.vegaDir, cfg.width
+	if cfg.jsonOut {
+		var rows []chartJSON
+		for i, v := range vs {
+			labels, values := v.Data()
+			row := chartJSON{Rank: i + 1, Query: v.Query, Chart: v.Chart, Score: v.Score, Labels: labels, Values: values}
+			if spec, err := v.VegaLite(); err == nil {
+				row.Vega = spec
+			}
+			rows = append(rows, row)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			return err
+		}
+	} else {
+		for i, v := range vs {
+			fmt.Printf("#%d  score=%.4f", i+1, v.Score)
+			if e := v.Explain(); e.HasFactors {
+				fmt.Printf("  [M=%.2f Q=%.2f W=%.2f corr=%.2f trend=%s]",
+					e.M, e.Q, e.W, e.Correlation, e.Trend)
+			}
+			fmt.Printf("\n%s\n", v.Query)
+			fmt.Println(v.RenderASCIISize(width, 14))
+		}
+	}
+	if vegaDir != "" {
+		if err := os.MkdirAll(vegaDir, 0o755); err != nil {
+			return err
+		}
+		for i, v := range vs {
+			spec, err := v.VegaLite()
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(vegaDir, fmt.Sprintf("chart_%02d.vl.json", i+1))
+			if err := os.WriteFile(path, spec, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+	if cfg.htmlPath != "" {
+		page, err := report.FromVisualizations(tab, vs)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(cfg.htmlPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := report.Render(f, page); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cfg.htmlPath)
+	}
+	return nil
+}

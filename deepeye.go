@@ -1,0 +1,349 @@
+// Package deepeye is a from-scratch Go implementation of DeepEye
+// (Luo, Qin, Tang, Li — "DeepEye: Towards Automatic Data Visualization",
+// ICDE 2018): given a relational table, it finds the top-k visualizations
+// that tell the table's most compelling stories.
+//
+// The system answers the paper's three questions:
+//
+//   - Visualization recognition — is a candidate chart good or bad?
+//     (binary classifiers: decision tree, naive Bayes, linear SVM)
+//   - Visualization ranking — which of two charts is better?
+//     (LambdaMART learning-to-rank, expert partial orders, or a hybrid)
+//   - Visualization selection — the top-k charts for a dataset
+//     (dominance-graph scoring, rule pruning, a progressive tournament)
+//
+// # Quick start
+//
+//	tab, _ := deepeye.LoadCSVFile("flights.csv")
+//	sys := deepeye.New(deepeye.Options{})
+//	vs, _ := sys.TopK(tab, 5)
+//	for _, v := range vs {
+//	    fmt.Println(v.Query)
+//	    fmt.Print(v.RenderASCII())
+//	}
+//
+// The zero-configuration system uses the expert rules for candidate
+// pruning and the partial-order ranking — no training required. Train the
+// ML models (recognition classifier, learning-to-rank, hybrid weight) with
+// TrainFromOracle; implement Oracle to train from your own labels instead
+// of the simulated crowd.
+package deepeye
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/deepeye/deepeye/internal/chart"
+	"github.com/deepeye/deepeye/internal/dataset"
+	"github.com/deepeye/deepeye/internal/hybrid"
+	"github.com/deepeye/deepeye/internal/ml"
+	"github.com/deepeye/deepeye/internal/ml/lambdamart"
+	"github.com/deepeye/deepeye/internal/progressive"
+	"github.com/deepeye/deepeye/internal/rank"
+	"github.com/deepeye/deepeye/internal/rules"
+	"github.com/deepeye/deepeye/internal/transform"
+	"github.com/deepeye/deepeye/internal/vizql"
+)
+
+// Table is a typed relational table (columns are categorical, numerical,
+// or temporal; types are inferred on load).
+type Table = dataset.Table
+
+// LoadCSV reads a table with a header row from r, inferring column types.
+func LoadCSV(name string, r io.Reader) (*Table, error) { return dataset.FromCSV(name, r) }
+
+// LoadCSVFile reads a table from a CSV file.
+func LoadCSVFile(path string) (*Table, error) { return dataset.FromCSVFile(path) }
+
+// ColType is a column's inferred or forced type.
+type ColType = dataset.ColType
+
+// Column type constants for LoadCSVWithTypes overrides.
+const (
+	Categorical = dataset.Categorical
+	Numerical   = dataset.Numerical
+	Temporal    = dataset.Temporal
+)
+
+// LoadCSVWithTypes reads a table, forcing the listed columns' types
+// instead of inferring them (e.g. year codes that must stay categorical).
+func LoadCSVWithTypes(name string, r io.Reader, overrides map[string]ColType) (*Table, error) {
+	return dataset.FromCSVWithTypes(name, r, overrides)
+}
+
+// LoadJSON reads a table from a JSON array of flat objects (the shape
+// most REST APIs produce); the schema is the union of keys.
+func LoadJSON(name string, r io.Reader) (*Table, error) {
+	return dataset.FromJSON(name, r)
+}
+
+// EnumMode selects how candidate visualizations are generated.
+type EnumMode int
+
+const (
+	// EnumRules generates only candidates the expert rules of §V-A accept
+	// (the paper's fast "R" configuration). Default.
+	EnumRules EnumMode = iota
+	// EnumExhaustive enumerates the full two-column search space of
+	// Fig. 3 (the paper's "E" configuration); bad candidates are filtered
+	// by the recognizer downstream.
+	EnumExhaustive
+)
+
+// RankMethod selects the ranking engine.
+type RankMethod int
+
+const (
+	// MethodPartialOrder ranks with the expert partial order (§IV).
+	// Default; needs no training.
+	MethodPartialOrder RankMethod = iota
+	// MethodLearningToRank ranks with the trained LambdaMART model
+	// (§III); requires TrainFromOracle or Train.
+	MethodLearningToRank
+	// MethodHybrid combines both rankings with the learned α (§IV-D).
+	MethodHybrid
+)
+
+// Options configures a System.
+type Options struct {
+	Enum   EnumMode
+	Method RankMethod
+	// Progressive uses the tournament selector of §V-B for partial-order
+	// selection instead of building the full dominance graph. Only
+	// applies when Method == MethodPartialOrder and Enum == EnumRules.
+	Progressive bool
+	// GraphBuild selects the dominance-graph construction algorithm.
+	GraphBuild rank.BuildMethod
+	// Factors tunes the partial-order factor computation.
+	Factors rank.FactorOptions
+	// IncludeOneColumn adds single-column histograms to the candidates.
+	IncludeOneColumn bool
+	// UseRecognizer filters candidates through the trained binary
+	// classifier before ranking (requires a trained recognizer).
+	UseRecognizer bool
+	// Workers parallelizes candidate materialization across goroutines
+	// (the paper notes the task is trivially parallelizable, §VI-D).
+	// 0 = sequential; negative = GOMAXPROCS.
+	Workers int
+}
+
+// System is a configured DeepEye instance. Construct with New; train the
+// optional ML models with TrainFromOracle (or TrainRecognizer/TrainRanker
+// over a Corpus built from your own Oracle).
+type System struct {
+	opts       Options
+	recognizer ml.Classifier
+	ltr        *lambdamart.Model
+	alpha      float64
+}
+
+// New creates a System. The zero Options value gives the rule-pruned,
+// partial-order-ranked configuration that needs no training.
+func New(opts Options) *System {
+	return &System{opts: opts, alpha: 1}
+}
+
+// Recognizer returns the trained recognition classifier (nil before
+// training).
+func (s *System) Recognizer() ml.Classifier { return s.recognizer }
+
+// Alpha returns the hybrid preference weight (§IV-D).
+func (s *System) Alpha() float64 { return s.alpha }
+
+// Candidates enumerates, executes, and deduplicates the candidate
+// visualizations for a table under the configured EnumMode, applying the
+// recognizer filter when configured.
+func (s *System) Candidates(t *Table) ([]*vizql.Node, error) {
+	if t == nil || t.NumRows() == 0 {
+		return nil, fmt.Errorf("deepeye: empty table")
+	}
+	var queries []vizql.Query
+	switch s.opts.Enum {
+	case EnumExhaustive:
+		queries = vizql.EnumerateQueries(t)
+		if s.opts.IncludeOneColumn {
+			queries = append(queries, vizql.EnumerateOneColumnQueries(t)...)
+		}
+	default:
+		queries = rules.EnumerateQueries(t)
+		if !s.opts.IncludeOneColumn {
+			// rules.EnumerateQueries includes one-column histograms;
+			// filter them out when not requested.
+			filtered := queries[:0]
+			for _, q := range queries {
+				if q.X != q.Y {
+					filtered = append(filtered, q)
+				}
+			}
+			queries = filtered
+		}
+	}
+	var nodes []*vizql.Node
+	if s.opts.Workers != 0 {
+		nodes = vizql.ExecuteAllParallel(t, queries, s.opts.Workers)
+	} else {
+		nodes = vizql.ExecuteAll(t, queries)
+	}
+	nodes = vizql.Dedupe(nodes)
+	if s.opts.UseRecognizer {
+		if s.recognizer == nil {
+			return nil, fmt.Errorf("deepeye: UseRecognizer is set but no recognizer is trained")
+		}
+		kept := nodes[:0]
+		for _, n := range nodes {
+			if s.recognizer.Predict(n.Features.Slice()) {
+				kept = append(kept, n)
+			}
+		}
+		nodes = kept
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("deepeye: no valid visualizations for table %q", t.Name)
+	}
+	return nodes, nil
+}
+
+// TopK returns the k best visualizations for the table, best first.
+func (s *System) TopK(t *Table, k int) ([]*Visualization, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("deepeye: k must be positive, got %d", k)
+	}
+	if s.opts.Progressive && s.opts.Method == MethodPartialOrder && s.opts.Enum == EnumRules && !s.opts.UseRecognizer {
+		results, _, err := progressive.TopK(t, k, progressive.Options{
+			Factors:          s.opts.Factors,
+			IncludeOneColumn: s.opts.IncludeOneColumn,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out := make([]*Visualization, len(results))
+		for i, r := range results {
+			out[i] = newVisualization(r.Node, r.Score, i+1)
+		}
+		return out, nil
+	}
+
+	nodes, err := s.Candidates(t)
+	if err != nil {
+		return nil, err
+	}
+	order, scores, factors, err := s.rankNodesExplained(nodes)
+	if err != nil {
+		return nil, err
+	}
+	// ORDER BY and aggregate variants of one (chart, columns, bucketing)
+	// combination often tie on every ranking factor and would fill the
+	// top-k with near-duplicates; keep only the best-ranked variant of
+	// each combination so the first page stays diverse (cf. Fig. 9).
+	out := make([]*Visualization, 0, k)
+	seen := make(map[string]bool, k)
+	for _, idx := range order {
+		n := nodes[idx]
+		key := fmt.Sprintf("%s|%s|%s|%d|%d|%d", n.Chart, n.XName, n.YName,
+			n.Query.Spec.Kind, n.Query.Spec.Unit, n.Query.Spec.N)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		v := newVisualization(n, scores[idx], len(out)+1)
+		if factors != nil {
+			v.attachFactors(factors[idx])
+		}
+		out = append(out, v)
+		if len(out) == k {
+			break
+		}
+	}
+	return out, nil
+}
+
+// Rank orders an explicit candidate set best-first and returns the order
+// and per-node scores under the configured method.
+func (s *System) Rank(nodes []*vizql.Node) ([]int, error) {
+	order, _, err := s.rankNodes(nodes)
+	return order, err
+}
+
+func (s *System) rankNodes(nodes []*vizql.Node) (order []int, scores []float64, err error) {
+	order, scores, _, err = s.rankNodesExplained(nodes)
+	return order, scores, err
+}
+
+// rankNodesExplained additionally returns the partial-order factors when
+// the configured method computes them (nil for pure learning-to-rank).
+func (s *System) rankNodesExplained(nodes []*vizql.Node) (order []int, scores []float64, factors []rank.Factors, err error) {
+	switch s.opts.Method {
+	case MethodLearningToRank:
+		if s.ltr == nil {
+			return nil, nil, nil, fmt.Errorf("deepeye: learning-to-rank requested but no model is trained")
+		}
+		feats := featureMatrix(nodes)
+		order = s.ltr.Rank(feats)
+		scores = make([]float64, len(nodes))
+		for i, f := range feats {
+			scores[i] = s.ltr.Score(f)
+		}
+		return order, scores, nil, nil
+	case MethodHybrid:
+		if s.ltr == nil {
+			return nil, nil, nil, fmt.Errorf("deepeye: hybrid ranking requested but no model is trained")
+		}
+		ltrOrder := s.ltr.Rank(featureMatrix(nodes))
+		poOrder, poScores, poFactors := partialOrderRank(nodes, s.opts)
+		order, err = hybrid.Combine(ltrOrder, poOrder, s.alpha)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		// Report partial-order scores (hybrid scores are rank positions).
+		return order, poScores, poFactors, nil
+	default:
+		order, scores, factors = partialOrderRank(nodes, s.opts)
+		return order, scores, factors, nil
+	}
+}
+
+// partialOrderRank computes factors, builds the Hasse diagram over a
+// factor-sum shortlist, and ranks by the weight-aware score S(v).
+func partialOrderRank(nodes []*vizql.Node, opts Options) ([]int, []float64, []rank.Factors) {
+	factors := rank.ComputeFactors(nodes, opts.Factors)
+	order, scores := rank.Order(nodes, factors, rank.SelectOptions{Build: opts.GraphBuild})
+	return order, scores, factors
+}
+
+func featureMatrix(nodes []*vizql.Node) [][]float64 {
+	out := make([][]float64, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Features.Slice()
+	}
+	return out
+}
+
+// Query parses a visualization-language query (paper Fig. 2) and executes
+// it over the table, returning the materialized visualization.
+func (s *System) Query(t *Table, src string) (*Visualization, error) {
+	q, err := vizql.Parse(src, map[string]*transform.UDF{"sign": vizql.DefaultUDF})
+	if err != nil {
+		return nil, err
+	}
+	n, err := vizql.Execute(t, q)
+	if err != nil {
+		return nil, err
+	}
+	return newVisualization(n, 0, 0), nil
+}
+
+// Recognize classifies a single candidate query as good or bad using the
+// trained recognizer (paper problem 1).
+func (s *System) Recognize(t *Table, src string) (bool, error) {
+	if s.recognizer == nil {
+		return false, fmt.Errorf("deepeye: no recognizer trained")
+	}
+	v, err := s.Query(t, src)
+	if err != nil {
+		return false, err
+	}
+	return s.recognizer.Predict(v.node.Features.Slice()), nil
+}
+
+// ChartTypes re-exports the four chart types for callers building UIs.
+var ChartTypes = chart.AllTypes

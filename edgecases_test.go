@@ -1,0 +1,176 @@
+package deepeye
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/deepeye/deepeye/internal/dataset"
+)
+
+// Edge-case hardening for the public API: degenerate tables must either
+// work or fail with a clear error — never panic.
+
+func TestSingleColumnTable(t *testing.T) {
+	tab, err := LoadCSV("t", strings.NewReader("v\n1\n5\n3\n8\n2\n9\n4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := New(Options{IncludeOneColumn: true})
+	vs, err := sys.TopK(tab, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Fatal("single numeric column should yield histograms")
+	}
+	// Without one-column histograms there are no pairs at all.
+	sys2 := New(Options{IncludeOneColumn: false})
+	if _, err := sys2.TopK(tab, 3); err == nil {
+		t.Error("single column without histograms should fail cleanly")
+	}
+}
+
+func TestSingleRowTable(t *testing.T) {
+	tab, err := LoadCSV("t", strings.NewReader("a,b\nx,1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := New(Options{IncludeOneColumn: true})
+	// One row: most charts are vacuous; either an empty-candidates error
+	// or a tiny result is acceptable, a panic is not.
+	if vs, err := sys.TopK(tab, 3); err == nil {
+		for _, v := range vs {
+			if v.Points() == 0 {
+				t.Error("returned chart with no points")
+			}
+		}
+	}
+}
+
+func TestAllNullColumn(t *testing.T) {
+	tab, err := LoadCSV("t", strings.NewReader("a,b\nx,\ny,\nz,\nx,\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Column("b").Stats().N != 0 {
+		t.Fatal("column b should be all null")
+	}
+	sys := New(Options{IncludeOneColumn: true})
+	vs, err := sys.TopK(tab, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		if v.XName() == "b" && v.YName() == "b" {
+			t.Error("all-null column produced a chart")
+		}
+	}
+}
+
+func TestConstantColumns(t *testing.T) {
+	tab, err := LoadCSV("t", strings.NewReader("c,v\nsame,5\nsame,5\nsame,5\nsame,5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := New(Options{IncludeOneColumn: true})
+	// Constant data: d(X')=1 everywhere, so factors collapse; accept
+	// either an error or low-scoring results without panicking.
+	if vs, err := sys.TopK(tab, 2); err == nil {
+		for _, v := range vs {
+			if v.Points() == 0 {
+				t.Error("empty chart returned")
+			}
+		}
+	}
+}
+
+func TestUnicodeColumnNames(t *testing.T) {
+	tab, err := LoadCSV("t", strings.NewReader("città,popolazione\nRoma,2870000\nMilano,1350000\nNapoli,970000\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := New(Options{})
+	vs, err := sys.TopK(tab, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Fatal("no charts for unicode columns")
+	}
+	// The query text must re-parse (round-trip through the language).
+	if _, err := sys.Query(tab, vs[0].Query); err != nil {
+		t.Errorf("query %q does not round-trip: %v", vs[0].Query, err)
+	}
+}
+
+func TestManyColumnsNarrowRows(t *testing.T) {
+	// 12 columns, 3 rows: wide-and-short tables stress the enumerators.
+	var sb strings.Builder
+	cols := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"}
+	sb.WriteString(strings.Join(cols, ","))
+	sb.WriteString("\n1,2,3,4,5,6,7,8,9,10,11,12\n2,3,4,5,6,7,8,9,10,11,12,13\n5,6,7,8,9,10,11,12,13,14,15,16\n")
+	tab, err := LoadCSV("wide", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := New(Options{})
+	if _, err := sys.TopK(tab, 3); err != nil {
+		t.Fatalf("wide table: %v", err)
+	}
+}
+
+func TestDuplicateRowsTable(t *testing.T) {
+	row := "x,7\n"
+	tab, err := LoadCSV("t", strings.NewReader("c,v\n"+strings.Repeat(row, 50)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := New(Options{IncludeOneColumn: true})
+	if vs, err := sys.TopK(tab, 2); err == nil {
+		for _, v := range vs {
+			if v.Points() == 0 {
+				t.Error("empty chart")
+			}
+		}
+	}
+}
+
+func TestNegativeValuesNoPieInTop(t *testing.T) {
+	// Mixed-sign measure: pies must not surface for it (M = 0).
+	csv := "cat,delta\nA,-5\nB,10\nC,-3\nD,8\nA,-2\nB,6\nC,4\nD,-7\n"
+	tab, err := LoadCSV("t", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := New(Options{})
+	vs, err := sys.TopK(tab, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		if v.Chart == "pie" && v.YName() == "delta" {
+			n := v.Node()
+			// SUM/AVG pies of mixed-sign data must not rank with positive
+			// score; CNT pies are fine (counts are non-negative).
+			if strings.Contains(v.Query, "SUM(delta)") && v.Score > 0.5 {
+				t.Errorf("mixed-sign SUM pie ranked high: %s (score %v, minY %v)", v.Query, v.Score, n.MinY())
+			}
+		}
+	}
+}
+
+func TestTemporalOnlyTable(t *testing.T) {
+	csv := "start,end\n2015-01-01,2015-02-01\n2015-03-01,2015-04-01\n2015-05-01,2015-06-01\n2015-07-01,2015-08-01\n"
+	tab, err := LoadCSV("t", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Column("start").Type != dataset.Temporal {
+		t.Skip("type inference changed")
+	}
+	sys := New(Options{IncludeOneColumn: true})
+	// Temporal × temporal pairs only admit CNT charts; should still work.
+	if vs, err := sys.TopK(tab, 3); err == nil && len(vs) == 0 {
+		t.Error("no charts but no error either")
+	}
+}

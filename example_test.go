@@ -1,0 +1,96 @@
+package deepeye_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	deepeye "github.com/deepeye/deepeye"
+)
+
+const exampleCSV = `month,region,revenue
+2015-01-15,North,100
+2015-02-15,North,120
+2015-03-15,North,140
+2015-04-15,North,160
+2015-05-15,North,180
+2015-06-15,North,200
+2015-01-20,South,50
+2015-02-20,South,55
+2015-03-20,South,60
+2015-04-20,South,70
+2015-05-20,South,80
+2015-06-20,South,85
+`
+
+// ExampleSystem_Query runs one visualization-language query.
+func ExampleSystem_Query() {
+	tab, err := deepeye.LoadCSV("sales", strings.NewReader(exampleCSV))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := deepeye.New(deepeye.Options{})
+	v, err := sys.Query(tab, "VISUALIZE bar SELECT region, SUM(revenue) FROM sales GROUP BY region")
+	if err != nil {
+		log.Fatal(err)
+	}
+	labels, values := v.Data()
+	for i, l := range labels {
+		fmt.Printf("%s: %.0f\n", l, values[i])
+	}
+	// Output:
+	// North: 900
+	// South: 400
+}
+
+// ExampleSystem_TopK asks for the best charts with zero configuration.
+func ExampleSystem_TopK() {
+	tab, err := deepeye.LoadCSV("sales", strings.NewReader(exampleCSV))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := deepeye.New(deepeye.Options{})
+	vs, err := sys.TopK(tab, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("charts:", len(vs))
+	fmt.Println("rank:", vs[0].Rank)
+	// Output:
+	// charts: 1
+	// rank: 1
+}
+
+// ExampleSystem_Search finds charts by keywords.
+func ExampleSystem_Search() {
+	tab, err := deepeye.LoadCSV("sales", strings.NewReader(exampleCSV))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := deepeye.New(deepeye.Options{})
+	vs, err := sys.Search(tab, "revenue share by region", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(vs[0].Chart)
+	// Output:
+	// pie
+}
+
+// ExampleSystem_QueryMulti compares two measures on a shared axis.
+func ExampleSystem_QueryMulti() {
+	tab, err := deepeye.LoadCSV("sales", strings.NewReader(exampleCSV))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := deepeye.New(deepeye.Options{})
+	v, err := sys.QueryMulti(tab, "VISUALIZE bar SELECT month, SUM(revenue) FROM sales BIN month BY MONTH SERIES BY region")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("series:", strings.Join(v.SeriesNames(), ", "))
+	fmt.Println("months:", v.Points())
+	// Output:
+	// series: North, South
+	// months: 6
+}

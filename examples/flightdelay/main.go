@@ -1,0 +1,65 @@
+// Flightdelay reproduces the paper's running example (Table I, Figures 1
+// and 5): the FlyDelay table of Chicago O'Hare flight statistics. It
+// executes the paper's query Q1 (Example 2), regenerates the four
+// walk-through charts of Figure 1, and then lets DeepEye discover its own
+// top-6 — the first page of Figure 9.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	deepeye "github.com/deepeye/deepeye"
+	"github.com/deepeye/deepeye/internal/datagen"
+)
+
+func main() {
+	// Synthesize the FlyDelay table (99,527 rows at scale 1.0; we use 10%
+	// here so the example runs in a couple of seconds).
+	tab, err := datagen.TestSet(9, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FlyDelay: %d rows × %d columns\n\n", tab.NumRows(), tab.NumCols())
+
+	sys := deepeye.New(deepeye.Options{})
+
+	// The paper's Q1 (Example 2): average departure delay by hour.
+	q1 := `VISUALIZE line
+SELECT scheduled, AVG(departure_delay)
+FROM flights
+BIN scheduled BY HOUR_OF_DAY
+ORDER BY scheduled`
+	v, err := sys.Query(tab, q1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Q1 — the paper's Example 2 (Figure 1c):")
+	fmt.Println(v.RenderASCIISize(64, 12))
+
+	// The other Figure 1 / Figure 5 charts.
+	for _, q := range []struct{ label, src string }{
+		{"Fig 1(a) delay scatter", "VISUALIZE scatter SELECT departure_delay, arrival_delay FROM flights"},
+		{"Fig 1(b) monthly passengers", "VISUALIZE bar SELECT scheduled, SUM(passengers) FROM flights BIN scheduled BY MONTH ORDER BY scheduled"},
+		{"Fig 5(b) avg passengers by carrier", "VISUALIZE bar SELECT carrier, AVG(passengers) FROM flights GROUP BY carrier"},
+		{"Fig 5(c) total passengers by carrier", "VISUALIZE pie SELECT carrier, SUM(passengers) FROM flights GROUP BY carrier"},
+		{"Fig 5(d) early vs late departures", "VISUALIZE pie SELECT departure_delay, CNT(departure_delay) FROM flights BIN departure_delay BY UDF(sign)"},
+	} {
+		v, err := sys.Query(tab, q.src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n%s\n", q.label, v.RenderASCIISize(56, 9))
+	}
+
+	// Finally: what DeepEye itself would put on the first page (Fig. 9).
+	fmt.Println("DeepEye's own top-6 for FlyDelay:")
+	top, err := sys.TopK(tab, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, tv := range top {
+		fmt.Printf("#%d score=%.3f  %s | %s vs %s\n",
+			tv.Rank, tv.Score, tv.Chart, tv.YName(), tv.XName())
+	}
+}

@@ -1,0 +1,41 @@
+// Keyword demonstrates DeepEye's keyword-search interface — the paper's
+// stated major future work (§VIII: "support keyword queries such that
+// users specify their intent in a natural way", realized in the DeepEye
+// demo companions): type a few words, get the matching charts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	deepeye "github.com/deepeye/deepeye"
+	"github.com/deepeye/deepeye/internal/datagen"
+)
+
+func main() {
+	tab, err := datagen.TestSet(9, 0.05) // FlyDelay
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FlyDelay: %d rows × %d columns\n\n", tab.NumRows(), tab.NumCols())
+
+	sys := deepeye.New(deepeye.Options{})
+	queries := []string{
+		"departure delay trend by hour",
+		"passengers share by carrier",
+		"departure_delay versus arrival_delay",
+		"passenger distribution by destination",
+	}
+	for _, q := range queries {
+		fmt.Printf("▶ %q\n", q)
+		vs, err := sys.Search(tab, q, 2)
+		if err != nil {
+			fmt.Printf("  no match: %v\n\n", err)
+			continue
+		}
+		for _, v := range vs {
+			fmt.Printf("  #%d %-7s %s vs %s\n", v.Rank, v.Chart, v.YName(), v.XName())
+		}
+		fmt.Println(vs[0].RenderASCIISize(56, 8))
+	}
+}

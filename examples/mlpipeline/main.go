@@ -1,0 +1,79 @@
+// Mlpipeline runs DeepEye's full offline/online pipeline (paper Fig. 4):
+// build a labelled corpus from the simulated crowd over training
+// datasets, train the recognition classifier and the LambdaMART ranker,
+// learn the hybrid weight α, then serve top-k requests on a held-out
+// table under all three ranking methods.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	deepeye "github.com/deepeye/deepeye"
+	"github.com/deepeye/deepeye/internal/datagen"
+)
+
+func main() {
+	// Offline: 16 training datasets at small scale keep this example fast.
+	var trainTables []*deepeye.Table
+	for i := 0; i < 16; i++ {
+		t, err := datagen.TrainingSet(i, 0.05)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trainTables = append(trainTables, t)
+	}
+	sys := deepeye.New(deepeye.Options{})
+	fmt.Println("training: corpus + decision tree + LambdaMART + hybrid α …")
+	corpus, err := sys.TrainFromOracle(trainTables, deepeye.CrowdOracle(7), deepeye.ClassifierDecisionTree, 250)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %d labelled candidates across %d datasets; α = %v\n\n",
+		corpus.NumExamples(), len(corpus.Tables), sys.Alpha())
+
+	// Online: a held-out dataset.
+	test, err := datagen.TestSet(6, 0.05) // X7 Airbnb Summary
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("held-out table %q: %d rows × %d columns\n\n", "Airbnb Summary", test.NumRows(), test.NumCols())
+
+	// Recognition (problem 1): is this specific chart good?
+	verdict, err := sys.Recognize(test, "VISUALIZE bar SELECT room_type, AVG(price) FROM airbnb GROUP BY room_type")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recognizer verdict on avg-price-by-room-type bar: %v\n\n", verdict)
+
+	// Selection (problem 3) under each ranking method.
+	for _, m := range []struct {
+		name   string
+		method deepeye.RankMethod
+	}{
+		{"partial order", deepeye.MethodPartialOrder},
+		{"learning-to-rank", deepeye.MethodLearningToRank},
+		{"hybrid", deepeye.MethodHybrid},
+	} {
+		s2 := deepeye.New(deepeye.Options{Method: m.method, UseRecognizer: m.method != deepeye.MethodLearningToRank})
+		// Share the trained models.
+		if err := s2.TrainRecognizer(deepeye.ClassifierDecisionTree, corpus); err != nil {
+			log.Fatal(err)
+		}
+		if err := s2.TrainRanker(corpus, deepeye.LTROptions{Trees: 40}); err != nil {
+			log.Fatal(err)
+		}
+		if err := s2.LearnHybridAlpha(corpus); err != nil {
+			log.Fatal(err)
+		}
+		top, err := s2.TopK(test, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("top-3 by %s:\n", m.name)
+		for _, v := range top {
+			fmt.Printf("  #%d %-7s %s vs %s\n", v.Rank, v.Chart, v.YName(), v.XName())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,71 @@
+// Quickstart: load a CSV, ask DeepEye for the top-5 visualizations, and
+// print them — no training, no configuration (rule-pruned candidates
+// ranked by the expert partial order).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	deepeye "github.com/deepeye/deepeye"
+)
+
+// salesCSV is a small sales ledger: a date column, two categorical
+// columns, and two numeric measures with an obvious relationship.
+const salesCSV = `order_date,region,product,quantity,revenue
+2015-01-05,North,Widget,12,1440
+2015-01-09,South,Widget,7,840
+2015-01-17,North,Gadget,3,900
+2015-02-02,East,Widget,15,1800
+2015-02-11,South,Gadget,8,2400
+2015-02-19,West,Widget,4,480
+2015-03-06,North,Widget,18,2160
+2015-03-14,East,Gadget,6,1800
+2015-03-21,South,Widget,9,1080
+2015-04-02,West,Gadget,11,3300
+2015-04-18,North,Widget,21,2520
+2015-05-05,East,Widget,13,1560
+2015-05-23,South,Gadget,5,1500
+2015-06-04,North,Gadget,9,2700
+2015-06-12,West,Widget,16,1920
+2015-07-08,East,Gadget,12,3600
+2015-07-19,North,Widget,24,2880
+2015-08-02,South,Widget,11,1320
+2015-08-15,West,Gadget,14,4200
+2015-09-09,North,Widget,26,3120
+2015-09-27,East,Gadget,10,3000
+2015-10-06,South,Widget,13,1560
+2015-10-22,North,Gadget,17,5100
+2015-11-08,West,Widget,29,3480
+2015-11-25,East,Widget,19,2280
+2015-12-04,South,Gadget,21,6300
+2015-12-18,North,Widget,31,3720
+`
+
+func main() {
+	tab, err := deepeye.LoadCSV("sales", strings.NewReader(salesCSV))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("table %q: %d rows × %d columns\n\n", "sales", tab.NumRows(), tab.NumCols())
+
+	sys := deepeye.New(deepeye.Options{IncludeOneColumn: true})
+	top, err := sys.TopK(tab, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range top {
+		fmt.Printf("── #%d (score %.3f) ─────────────────────────\n", v.Rank, v.Score)
+		fmt.Println(v.Query)
+		fmt.Println()
+		fmt.Println(v.RenderASCIISize(56, 10))
+	}
+
+	// Any chart can also be exported as a Vega-Lite spec:
+	spec, err := top[0].VegaLite()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Vega-Lite spec of #1 (%d bytes) ready for vega-embed\n", len(spec))
+}

@@ -1,0 +1,3 @@
+module github.com/deepeye/deepeye
+
+go 1.22

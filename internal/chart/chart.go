@@ -1,0 +1,115 @@
+// Package chart models DeepEye's four visualization types (bar, line, pie,
+// scatter — paper §II-A) and the materialized data behind a rendered chart.
+// It also renders charts as ASCII for terminal output and exports
+// Vega-Lite specs so results can be viewed in any Vega-enabled tool.
+package chart
+
+import (
+	"fmt"
+	"math"
+)
+
+// Type is one of the four chart types DeepEye considers.
+type Type int
+
+const (
+	Bar Type = iota
+	Line
+	Pie
+	Scatter
+)
+
+// AllTypes lists the chart types in the paper's order of user preference
+// (bar 34%, line 23%, pie 13%, scatter — §II-B remark).
+var AllTypes = []Type{Bar, Line, Pie, Scatter}
+
+// String returns the lower-case chart-type keyword used by the
+// visualization language (VISUALIZE bar|line|pie|scatter).
+func (t Type) String() string {
+	switch t {
+	case Bar:
+		return "bar"
+	case Line:
+		return "line"
+	case Pie:
+		return "pie"
+	case Scatter:
+		return "scatter"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// ParseType parses a chart-type keyword.
+func ParseType(s string) (Type, error) {
+	switch s {
+	case "bar":
+		return Bar, nil
+	case "line":
+		return Line, nil
+	case "pie":
+		return Pie, nil
+	case "scatter":
+		return Scatter, nil
+	default:
+		return 0, fmt.Errorf("chart: unknown type %q", s)
+	}
+}
+
+// Data is a materialized chart: parallel X/Y series plus axis titles.
+// XNums carries numeric x positions when the x axis is quantitative or
+// temporal (Unix seconds); for purely categorical axes it is nil and
+// XLabels orders the axis.
+type Data struct {
+	Type    Type
+	Title   string
+	XName   string
+	YName   string
+	XLabels []string
+	XNums   []float64
+	Y       []float64
+}
+
+// Len returns the number of plotted points/bars/slices.
+func (d *Data) Len() int { return len(d.Y) }
+
+// Validate checks structural invariants: consistent series lengths, pie
+// charts need non-negative values, at least one point.
+func (d *Data) Validate() error {
+	if d.Len() == 0 {
+		return fmt.Errorf("chart: empty data")
+	}
+	if len(d.XLabels) != 0 && len(d.XLabels) != d.Len() {
+		return fmt.Errorf("chart: XLabels has %d entries, Y has %d", len(d.XLabels), d.Len())
+	}
+	if len(d.XNums) != 0 && len(d.XNums) != d.Len() {
+		return fmt.Errorf("chart: XNums has %d entries, Y has %d", len(d.XNums), d.Len())
+	}
+	if len(d.XLabels) == 0 && len(d.XNums) == 0 {
+		return fmt.Errorf("chart: no x axis")
+	}
+	if d.Type == Pie {
+		for i, v := range d.Y {
+			if v < 0 {
+				return fmt.Errorf("chart: pie slice %d is negative (%v)", i, v)
+			}
+		}
+	}
+	for i, v := range d.Y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("chart: y[%d] is not finite", i)
+		}
+	}
+	return nil
+}
+
+// XLabel returns a display label for point i.
+func (d *Data) XLabel(i int) string {
+	if i < len(d.XLabels) && d.XLabels[i] != "" {
+		return d.XLabels[i]
+	}
+	if i < len(d.XNums) {
+		return fmt.Sprintf("%g", d.XNums[i])
+	}
+	return fmt.Sprintf("#%d", i)
+}

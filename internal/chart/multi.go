@@ -1,0 +1,284 @@
+package chart
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// MultiData is a multi-series chart (the paper's multi-column extension):
+// a shared x axis and several named series. Pie charts cannot be
+// multi-series; bar charts render grouped/stacked, line and scatter
+// charts one trace per series.
+type MultiData struct {
+	Type    Type
+	Title   string
+	XName   string
+	YName   string
+	XLabels []string
+	XNums   []float64
+	Series  []Series
+}
+
+// Series is one named trace; NaN values mark missing buckets.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Len returns the number of x positions.
+func (d *MultiData) Len() int {
+	if len(d.XLabels) > 0 {
+		return len(d.XLabels)
+	}
+	return len(d.XNums)
+}
+
+// Validate checks structural invariants.
+func (d *MultiData) Validate() error {
+	if d.Type == Pie {
+		return fmt.Errorf("chart: pie charts cannot be multi-series")
+	}
+	if len(d.Series) < 2 {
+		return fmt.Errorf("chart: multi-series chart needs >= 2 series, got %d", len(d.Series))
+	}
+	n := d.Len()
+	if n == 0 {
+		return fmt.Errorf("chart: empty multi-series data")
+	}
+	for i, s := range d.Series {
+		if len(s.Y) != n {
+			return fmt.Errorf("chart: series %d (%s) has %d values, want %d", i, s.Name, len(s.Y), n)
+		}
+		if s.Name == "" {
+			return fmt.Errorf("chart: series %d unnamed", i)
+		}
+	}
+	return nil
+}
+
+// XLabel returns the display label for x position i.
+func (d *MultiData) XLabel(i int) string {
+	if i < len(d.XLabels) && d.XLabels[i] != "" {
+		return d.XLabels[i]
+	}
+	if i < len(d.XNums) {
+		return fmt.Sprintf("%g", d.XNums[i])
+	}
+	return fmt.Sprintf("#%d", i)
+}
+
+// seriesMarks are the per-series glyphs used by the ASCII renderer.
+var seriesMarks = []rune{'●', '○', '▲', '△', '■', '□', '◆', '◇', '★', '☆', '✚', '✖'}
+
+// RenderMultiASCII renders a multi-series chart as terminal text: stacked
+// horizontal bars for bar charts, a glyph-per-series dot matrix for line
+// and scatter charts, plus a legend.
+func RenderMultiASCII(d *MultiData, opts RenderOptions) string {
+	opts = opts.withDefaults()
+	var sb strings.Builder
+	title := d.Title
+	if title == "" {
+		title = fmt.Sprintf("%s vs %s", d.YName, d.XName)
+	}
+	fmt.Fprintf(&sb, "%s [%s, %d series]\n", title, d.Type, len(d.Series))
+	if err := d.Validate(); err != nil {
+		fmt.Fprintf(&sb, "  (invalid chart: %v)\n", err)
+		return sb.String()
+	}
+	switch d.Type {
+	case Bar:
+		renderStackedBars(&sb, d, opts)
+	default:
+		renderMultiXY(&sb, d, opts)
+	}
+	// Legend.
+	for si, s := range d.Series {
+		fmt.Fprintf(&sb, "  %c %s\n", seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+	return sb.String()
+}
+
+// stackGlyphs shade the stacked-bar segments.
+var stackGlyphs = []rune{'█', '▓', '▒', '░', '▞', '▚', '▙', '▟', '▛', '▜', '▖', '▗'}
+
+func renderStackedBars(sb *strings.Builder, d *MultiData, opts RenderOptions) {
+	n := d.Len()
+	if n > opts.MaxItems {
+		n = opts.MaxItems
+	}
+	// Stack totals scale the bars.
+	maxTotal := 0.0
+	totals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for _, s := range d.Series {
+			if v := s.Y[i]; !math.IsNaN(v) && v > 0 {
+				totals[i] += v
+			}
+		}
+		if totals[i] > maxTotal {
+			maxTotal = totals[i]
+		}
+	}
+	if maxTotal == 0 {
+		maxTotal = 1
+	}
+	lw := 0
+	for i := 0; i < n; i++ {
+		if l := len(d.XLabel(i)); l > lw {
+			lw = l
+		}
+	}
+	if lw > 20 {
+		lw = 20
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(sb, "  %-*s |", lw, clip(d.XLabel(i), lw))
+		for si, s := range d.Series {
+			v := s.Y[i]
+			if math.IsNaN(v) || v <= 0 {
+				continue
+			}
+			cells := int(math.Round(v / maxTotal * float64(opts.Width)))
+			sb.WriteString(strings.Repeat(string(stackGlyphs[si%len(stackGlyphs)]), cells))
+		}
+		fmt.Fprintf(sb, " %.4g\n", totals[i])
+	}
+	if d.Len() > n {
+		fmt.Fprintf(sb, "  … %d more\n", d.Len()-n)
+	}
+	// Map stack glyphs to series in the legend line.
+	sb.WriteString("  stack:")
+	for si, s := range d.Series {
+		fmt.Fprintf(sb, " %c=%s", stackGlyphs[si%len(stackGlyphs)], s.Name)
+	}
+	sb.WriteString("\n")
+}
+
+func renderMultiXY(sb *strings.Builder, d *MultiData, opts RenderOptions) {
+	n := d.Len()
+	xs := make([]float64, n)
+	if len(d.XNums) == n {
+		copy(xs, d.XNums)
+	} else {
+		for i := range xs {
+			xs[i] = float64(i)
+		}
+	}
+	minX, maxX := xs[0], xs[0]
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for i := 0; i < n; i++ {
+		minX = math.Min(minX, xs[i])
+		maxX = math.Max(maxX, xs[i])
+		for _, s := range d.Series {
+			if v := s.Y[i]; !math.IsNaN(v) {
+				minY = math.Min(minY, v)
+				maxY = math.Max(maxY, v)
+			}
+		}
+	}
+	if math.IsInf(minY, 1) {
+		fmt.Fprintln(sb, "  (no finite data)")
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	w, h := opts.Width, opts.Height
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = make([]rune, w)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return xs[order[a]] < xs[order[b]] })
+	clampIdx := func(frac float64, m int) int {
+		if math.IsNaN(frac) || frac < 0 {
+			return 0
+		}
+		if frac > 1 {
+			return m - 1
+		}
+		return int(frac * float64(m-1))
+	}
+	for si, s := range d.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		prevR, prevC := -1, -1
+		for _, i := range order {
+			v := s.Y[i]
+			if math.IsNaN(v) {
+				continue
+			}
+			c := clampIdx((xs[i]-minX)/(maxX-minX), w)
+			r := h - 1 - clampIdx((v-minY)/(maxY-minY), h)
+			grid[r][c] = mark
+			if d.Type == Line && prevC >= 0 {
+				drawSegment(grid, prevR, prevC, r, c)
+			}
+			prevR, prevC = r, c
+		}
+	}
+	fmt.Fprintf(sb, "  %g\n", maxY)
+	for _, row := range grid {
+		fmt.Fprintf(sb, "  |%s\n", string(row))
+	}
+	fmt.Fprintf(sb, "  %g\n", minY)
+	fmt.Fprintf(sb, "   x: %s [%g … %g]\n", d.XName, minX, maxX)
+}
+
+// VegaLiteMulti converts a multi-series chart to a Vega-Lite v5 spec with
+// the series on the color channel (stacked bars for bar charts).
+func VegaLiteMulti(d *MultiData) ([]byte, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	quantX := len(d.XNums) == d.Len()
+	var values []map[string]any
+	for i := 0; i < d.Len(); i++ {
+		for _, s := range d.Series {
+			if math.IsNaN(s.Y[i]) {
+				continue
+			}
+			row := map[string]any{"y": s.Y[i], "series": s.Name}
+			if quantX {
+				row["x"] = d.XNums[i]
+			} else {
+				row["x"] = d.XLabel(i)
+			}
+			values = append(values, row)
+		}
+	}
+	xType := "nominal"
+	if quantX {
+		xType = "quantitative"
+	}
+	mark := "line"
+	switch d.Type {
+	case Bar:
+		mark = "bar"
+	case Scatter:
+		mark = "point"
+	}
+	spec := map[string]any{
+		"$schema":     "https://vega.github.io/schema/vega-lite/v5.json",
+		"description": d.Title,
+		"data":        map[string]any{"values": values},
+		"mark":        mark,
+		"encoding": map[string]any{
+			"x":     map[string]any{"field": "x", "type": xType, "title": d.XName},
+			"y":     map[string]any{"field": "y", "type": "quantitative", "title": d.YName},
+			"color": map[string]any{"field": "series", "type": "nominal"},
+		},
+	}
+	return json.MarshalIndent(spec, "", "  ")
+}

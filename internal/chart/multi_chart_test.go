@@ -1,0 +1,112 @@
+package chart
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleMulti(t Type) *MultiData {
+	return &MultiData{
+		Type:    t,
+		XName:   "month",
+		YName:   "passengers",
+		XLabels: []string{"Jan", "Feb", "Mar"},
+		Series: []Series{
+			{Name: "UA", Y: []float64{10, 20, 30}},
+			{Name: "AA", Y: []float64{5, 15, math.NaN()}},
+		},
+	}
+}
+
+func TestMultiValidate(t *testing.T) {
+	if err := sampleMulti(Bar).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sampleMulti(Pie).Validate(); err == nil {
+		t.Error("multi-series pie should be invalid")
+	}
+	single := sampleMulti(Bar)
+	single.Series = single.Series[:1]
+	if err := single.Validate(); err == nil {
+		t.Error("single series should be invalid")
+	}
+	ragged := sampleMulti(Line)
+	ragged.Series[1].Y = ragged.Series[1].Y[:2]
+	if err := ragged.Validate(); err == nil {
+		t.Error("ragged series should be invalid")
+	}
+	unnamed := sampleMulti(Line)
+	unnamed.Series[0].Name = ""
+	if err := unnamed.Validate(); err == nil {
+		t.Error("unnamed series should be invalid")
+	}
+}
+
+func TestRenderMultiStackedBar(t *testing.T) {
+	out := RenderMultiASCII(sampleMulti(Bar), RenderOptions{Width: 30})
+	if !strings.Contains(out, "Jan") || !strings.Contains(out, "stack:") {
+		t.Errorf("stacked bar render:\n%s", out)
+	}
+	// Legend lists both series.
+	if !strings.Contains(out, "UA") || !strings.Contains(out, "AA") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}
+
+func TestRenderMultiLine(t *testing.T) {
+	out := RenderMultiASCII(sampleMulti(Line), RenderOptions{Width: 30, Height: 8})
+	if !strings.Contains(out, "●") || !strings.Contains(out, "○") {
+		t.Errorf("line render missing series glyphs:\n%s", out)
+	}
+}
+
+func TestRenderMultiInvalid(t *testing.T) {
+	out := RenderMultiASCII(sampleMulti(Pie), RenderOptions{})
+	if !strings.Contains(out, "invalid chart") {
+		t.Errorf("expected invalid marker:\n%s", out)
+	}
+}
+
+func TestRenderMultiAllNaN(t *testing.T) {
+	d := sampleMulti(Line)
+	for si := range d.Series {
+		for i := range d.Series[si].Y {
+			d.Series[si].Y[i] = math.NaN()
+		}
+	}
+	out := RenderMultiASCII(d, RenderOptions{})
+	if !strings.Contains(out, "no finite data") {
+		t.Errorf("expected NaN guard:\n%s", out)
+	}
+}
+
+func TestVegaLiteMulti(t *testing.T) {
+	b, err := VegaLiteMulti(sampleMulti(Bar))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spec map[string]any
+	if err := json.Unmarshal(b, &spec); err != nil {
+		t.Fatal(err)
+	}
+	if spec["mark"] != "bar" {
+		t.Errorf("mark = %v", spec["mark"])
+	}
+	enc := spec["encoding"].(map[string]any)
+	if enc["color"] == nil {
+		t.Error("multi-series spec needs a color channel")
+	}
+	// NaN rows are dropped from the data values.
+	data := spec["data"].(map[string]any)["values"].([]any)
+	if len(data) != 5 {
+		t.Errorf("values = %d, want 5 (one NaN dropped)", len(data))
+	}
+}
+
+func TestVegaLiteMultiInvalid(t *testing.T) {
+	if _, err := VegaLiteMulti(sampleMulti(Pie)); err == nil {
+		t.Error("invalid chart should fail export")
+	}
+}

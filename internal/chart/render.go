@@ -1,0 +1,229 @@
+package chart
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// RenderOptions controls ASCII rendering.
+type RenderOptions struct {
+	Width    int // plot width in characters (default 60)
+	Height   int // plot height in rows for line/scatter (default 16)
+	MaxItems int // cap on bars/slices rendered (default 40)
+}
+
+func (o RenderOptions) withDefaults() RenderOptions {
+	if o.Width <= 0 {
+		o.Width = 60
+	}
+	if o.Height <= 0 {
+		o.Height = 16
+	}
+	if o.MaxItems <= 0 {
+		o.MaxItems = 40
+	}
+	return o
+}
+
+// RenderASCII renders the chart as terminal text. Bar charts become
+// horizontal bars, pie charts proportional slices with percentages, and
+// line/scatter charts a dot matrix.
+func RenderASCII(d *Data, opts RenderOptions) string {
+	opts = opts.withDefaults()
+	var sb strings.Builder
+	if d.Title != "" {
+		fmt.Fprintf(&sb, "%s [%s]\n", d.Title, d.Type)
+	} else {
+		fmt.Fprintf(&sb, "[%s] %s vs %s\n", d.Type, d.YName, d.XName)
+	}
+	if err := d.Validate(); err != nil {
+		fmt.Fprintf(&sb, "  (invalid chart: %v)\n", err)
+		return sb.String()
+	}
+	switch d.Type {
+	case Bar:
+		renderBars(&sb, d, opts)
+	case Pie:
+		renderPie(&sb, d, opts)
+	case Line, Scatter:
+		renderXY(&sb, d, opts)
+	}
+	return sb.String()
+}
+
+// labelWidth returns the display width for x labels, capped for sanity.
+func labelWidth(d *Data, n int) int {
+	w := 0
+	for i := 0; i < n; i++ {
+		if l := len(d.XLabel(i)); l > w {
+			w = l
+		}
+	}
+	if w > 20 {
+		w = 20
+	}
+	return w
+}
+
+func clip(s string, w int) string {
+	if len(s) > w {
+		return s[:w-1] + "…"
+	}
+	return s
+}
+
+func renderBars(sb *strings.Builder, d *Data, opts RenderOptions) {
+	n := d.Len()
+	if n > opts.MaxItems {
+		n = opts.MaxItems
+	}
+	minY, maxY := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		if d.Y[i] < minY {
+			minY = d.Y[i]
+		}
+		if d.Y[i] > maxY {
+			maxY = d.Y[i]
+		}
+	}
+	span := maxY - minY
+	if span == 0 {
+		span = 1
+	}
+	lw := labelWidth(d, n)
+	for i := 0; i < n; i++ {
+		bars := int(math.Round((d.Y[i] - minY) / span * float64(opts.Width)))
+		fmt.Fprintf(sb, "  %-*s |%s %g\n", lw, clip(d.XLabel(i), lw), strings.Repeat("█", bars), d.Y[i])
+	}
+	if d.Len() > n {
+		fmt.Fprintf(sb, "  … %d more\n", d.Len()-n)
+	}
+}
+
+func renderPie(sb *strings.Builder, d *Data, opts RenderOptions) {
+	var total float64
+	for _, v := range d.Y {
+		total += v
+	}
+	if total == 0 {
+		fmt.Fprintln(sb, "  (all slices zero)")
+		return
+	}
+	type slice struct {
+		label string
+		v     float64
+	}
+	slices := make([]slice, d.Len())
+	for i := range slices {
+		slices[i] = slice{d.XLabel(i), d.Y[i]}
+	}
+	sort.SliceStable(slices, func(a, b int) bool { return slices[a].v > slices[b].v })
+	n := len(slices)
+	if n > opts.MaxItems {
+		n = opts.MaxItems
+	}
+	lw := 0
+	for i := 0; i < n; i++ {
+		if l := len(slices[i].label); l > lw {
+			lw = l
+		}
+	}
+	if lw > 20 {
+		lw = 20
+	}
+	for i := 0; i < n; i++ {
+		frac := slices[i].v / total
+		bars := int(math.Round(frac * float64(opts.Width)))
+		fmt.Fprintf(sb, "  %-*s |%s %5.1f%%\n", lw, clip(slices[i].label, lw), strings.Repeat("▒", bars), frac*100)
+	}
+	if len(slices) > n {
+		fmt.Fprintf(sb, "  … %d more\n", len(slices)-n)
+	}
+}
+
+func renderXY(sb *strings.Builder, d *Data, opts RenderOptions) {
+	n := d.Len()
+	xs := make([]float64, n)
+	if len(d.XNums) == n {
+		copy(xs, d.XNums)
+	} else {
+		for i := range xs {
+			xs[i] = float64(i)
+		}
+	}
+	minX, maxX := xs[0], xs[0]
+	minY, maxY := d.Y[0], d.Y[0]
+	for i := 1; i < n; i++ {
+		minX = math.Min(minX, xs[i])
+		maxX = math.Max(maxX, xs[i])
+		minY = math.Min(minY, d.Y[i])
+		maxY = math.Max(maxY, d.Y[i])
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	w, h := opts.Width, opts.Height
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = make([]rune, w)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	mark := '•'
+	if d.Type == Line {
+		mark = '●'
+	}
+	prevR, prevC := -1, -1
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if d.Type == Line {
+		sort.SliceStable(order, func(a, b int) bool { return xs[order[a]] < xs[order[b]] })
+	}
+	// clampIdx guards against NaN/Inf spans (e.g. values near ±MaxFloat64
+	// whose difference overflows): out-of-range or non-finite positions
+	// snap to the grid edge.
+	clampIdx := func(frac float64, n int) int {
+		if math.IsNaN(frac) || frac < 0 {
+			return 0
+		}
+		if frac > 1 {
+			return n - 1
+		}
+		return int(frac * float64(n-1))
+	}
+	for _, i := range order {
+		c := clampIdx((xs[i]-minX)/(maxX-minX), w)
+		r := h - 1 - clampIdx((d.Y[i]-minY)/(maxY-minY), h)
+		grid[r][c] = mark
+		if d.Type == Line && prevC >= 0 {
+			drawSegment(grid, prevR, prevC, r, c)
+		}
+		prevR, prevC = r, c
+	}
+	fmt.Fprintf(sb, "  %g\n", maxY)
+	for _, row := range grid {
+		fmt.Fprintf(sb, "  |%s\n", string(row))
+	}
+	fmt.Fprintf(sb, "  %g\n", minY)
+	fmt.Fprintf(sb, "   x: %s [%g … %g]\n", d.XName, minX, maxX)
+}
+
+// drawSegment draws a coarse line between two grid cells.
+func drawSegment(grid [][]rune, r0, c0, r1, c1 int) {
+	steps := int(math.Max(math.Abs(float64(r1-r0)), math.Abs(float64(c1-c0))))
+	for s := 1; s < steps; s++ {
+		r := r0 + (r1-r0)*s/steps
+		c := c0 + (c1-c0)*s/steps
+		if grid[r][c] == ' ' {
+			grid[r][c] = '·'
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package chart
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// VegaLite converts the chart to a Vega-Lite v5 specification. The export
+// is intentionally minimal: enough to open the chart in the Vega editor or
+// embed it with vega-embed.
+func VegaLite(d *Data) ([]byte, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	values := make([]map[string]any, d.Len())
+	quantX := len(d.XNums) == d.Len()
+	for i := range values {
+		row := map[string]any{"y": d.Y[i]}
+		if quantX {
+			row["x"] = d.XNums[i]
+		} else {
+			row["x"] = d.XLabel(i)
+		}
+		if d.Type == Pie {
+			row["category"] = d.XLabel(i)
+		}
+		values[i] = row
+	}
+	xName, yName := d.XName, d.YName
+	if xName == "" {
+		xName = "x"
+	}
+	if yName == "" {
+		yName = "y"
+	}
+	spec := map[string]any{
+		"$schema":     "https://vega.github.io/schema/vega-lite/v5.json",
+		"description": d.Title,
+		"data":        map[string]any{"values": values},
+	}
+	xType := "nominal"
+	if quantX {
+		xType = "quantitative"
+	}
+	switch d.Type {
+	case Bar:
+		spec["mark"] = "bar"
+		spec["encoding"] = map[string]any{
+			"x": map[string]any{"field": "x", "type": xType, "title": xName},
+			"y": map[string]any{"field": "y", "type": "quantitative", "title": yName},
+		}
+	case Line:
+		spec["mark"] = "line"
+		spec["encoding"] = map[string]any{
+			"x": map[string]any{"field": "x", "type": xType, "title": xName},
+			"y": map[string]any{"field": "y", "type": "quantitative", "title": yName},
+		}
+	case Scatter:
+		spec["mark"] = "point"
+		spec["encoding"] = map[string]any{
+			"x": map[string]any{"field": "x", "type": xType, "title": xName},
+			"y": map[string]any{"field": "y", "type": "quantitative", "title": yName},
+		}
+	case Pie:
+		spec["mark"] = map[string]any{"type": "arc"}
+		spec["encoding"] = map[string]any{
+			"theta": map[string]any{"field": "y", "type": "quantitative", "title": yName},
+			"color": map[string]any{"field": "category", "type": "nominal", "title": xName},
+		}
+	default:
+		return nil, fmt.Errorf("chart: cannot export type %v", d.Type)
+	}
+	return json.MarshalIndent(spec, "", "  ")
+}

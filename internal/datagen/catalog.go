@@ -1,0 +1,480 @@
+package datagen
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/deepeye/deepeye/internal/dataset"
+)
+
+// Scale shrinks tuple counts for fast tests (1.0 = paper-sized tables).
+// Generation keeps at least 30 tuples so every transform stays exercised.
+func scaled(tuples int, scale float64) int {
+	if scale <= 0 || scale >= 1 {
+		return tuples
+	}
+	n := int(float64(tuples) * scale)
+	if n < 30 {
+		n = 30
+	}
+	return n
+}
+
+// TestSetNames lists the Table IV testing datasets in order (X1–X10).
+var TestSetNames = []string{
+	"X1 Hollywood's Stories",
+	"X2 Foreign Visitor Arrivals",
+	"X3 McDonald's Menu",
+	"X4 Happiness Rank",
+	"X5 ZHVI Summary",
+	"X6 NFL Player Statistics",
+	"X7 Airbnb Summary",
+	"X8 Top Baby Names in US",
+	"X9 Adult",
+	"X10 FlyDelay",
+}
+
+// UseCaseNames lists the Table V real-use-case datasets (D1–D9).
+var UseCaseNames = []string{
+	"D1 Happy Countries",
+	"D2 US Baby Names",
+	"D3 Flight Statistics",
+	"D4 TutorialOfUCB",
+	"D5 CPI Statistics",
+	"D6 Healthcare",
+	"D7 Services Statistics",
+	"D8 PPI Statistics",
+	"D9 Average Food Price",
+}
+
+// TestSet generates the i-th testing dataset (0-based, X1–X10) at the
+// given scale.
+func TestSet(i int, scale float64) (*dataset.Table, error) {
+	if i < 0 || i >= len(testSpecs) {
+		return nil, fmt.Errorf("datagen: test set index %d out of range", i)
+	}
+	spec := testSpecs[i]
+	spec.Tuples = scaled(spec.Tuples, scale)
+	return Generate(spec)
+}
+
+// UseCase generates the i-th real-use-case dataset (0-based, D1–D9).
+func UseCase(i int, scale float64) (*dataset.Table, error) {
+	if i < 0 || i >= len(useCaseSpecs) {
+		return nil, fmt.Errorf("datagen: use case index %d out of range", i)
+	}
+	spec := useCaseSpecs[i]
+	spec.Tuples = scaled(spec.Tuples, scale)
+	return Generate(spec)
+}
+
+// TestSetTuples returns the full-size tuple count of the i-th testing
+// dataset (the Table IV number, independent of generation scale).
+func TestSetTuples(i int) int {
+	if i < 0 || i >= len(testSpecs) {
+		return 0
+	}
+	return testSpecs[i].Tuples
+}
+
+// TrainingTuples returns the full-size tuple count of the i-th training
+// dataset.
+func TrainingTuples(i int) int {
+	if i < 0 || i >= NumTrainingSets {
+		return 0
+	}
+	return trainingSpec(i).Tuples
+}
+
+// NumTrainingSets is the size of the training corpus (the paper trains on
+// 32 of its 42 datasets).
+const NumTrainingSets = 32
+
+// TrainingSet generates the i-th training dataset (0 ≤ i < 32) at the
+// given scale. Schemas vary deterministically with i across several
+// domain archetypes so the learners see diverse type mixes.
+func TrainingSet(i int, scale float64) (*dataset.Table, error) {
+	if i < 0 || i >= NumTrainingSets {
+		return nil, fmt.Errorf("datagen: training set index %d out of range", i)
+	}
+	spec := trainingSpec(i)
+	spec.Tuples = scaled(spec.Tuples, scale)
+	return Generate(spec)
+}
+
+// AllCorpus generates every dataset of Table III (32 training + 10
+// testing = 42) at the given scale.
+func AllCorpus(scale float64) ([]*dataset.Table, error) {
+	var out []*dataset.Table
+	for i := 0; i < NumTrainingSets; i++ {
+		t, err := TrainingSet(i, scale)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	for i := 0; i < len(testSpecs); i++ {
+		t, err := TestSet(i, scale)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// testSpecs mirrors Table IV: names, tuple counts, and column counts.
+var testSpecs = []Spec{
+	{ // X1: 75 tuples, 8 columns — movies: genres, years, grosses, ratings
+		Name: "X1 Hollywood's Stories", Tuples: 75, Seed: 101,
+		Cols: []Col{
+			{Name: "film", Kind: KindCounter},
+			{Name: "genre", Kind: KindCategory, K: 6},
+			{Name: "studio", Kind: KindCategory, K: 8},
+			{Name: "year", Kind: KindUniform, Lo: 2007, Hi: 2011},
+			{Name: "budget", Kind: KindHeavyTail, Lo: 10, Hi: 300},
+			{Name: "worldwide_gross", Kind: KindDerived, Base: "budget", Fn: FnLinear, Scale: 2.4, Noise: 40},
+			{Name: "audience_score", Kind: KindUniform, Lo: 30, Hi: 95},
+			{Name: "profitability", Kind: KindDerived, Base: "worldwide_gross", Fn: FnLog, Scale: 1.8, Noise: 0.4},
+		},
+	},
+	{ // X2: 172 tuples, 4 columns — monthly visitor arrivals by country
+		Name: "X2 Foreign Visitor Arrivals", Tuples: 172, Seed: 102,
+		Cols: []Col{
+			{Name: "month", Kind: KindTime, SpanDur: 4 * 365 * 24 * time.Hour},
+			{Name: "country", Kind: KindCategory, K: 12},
+			{Name: "arrivals", Kind: KindSeasonal, Base: "month", Scale: 4000, Noise: 600, Round: true},
+			{Name: "growth_pct", Kind: KindNormal, Mu: 3, Sigma: 6},
+		},
+	},
+	{ // X3: 263 tuples, 23 columns — menu nutrition facts
+		Name: "X3 McDonald's Menu", Tuples: 263, Seed: 103,
+		Cols: menuCols(),
+	},
+	{ // X4: 316 tuples, 12 columns — country happiness ranking
+		Name: "X4 Happiness Rank", Tuples: 316, Seed: 104,
+		Cols: []Col{
+			{Name: "country", Kind: KindCounter},
+			{Name: "region", Kind: KindCategory, K: 10},
+			{Name: "year", Kind: KindUniform, Lo: 2015, Hi: 2017},
+			{Name: "rank", Kind: KindCounter},
+			{Name: "score", Kind: KindDerived, Base: "rank", Fn: FnLog, Scale: -0.9, Noise: 0.15},
+			{Name: "gdp_per_capita", Kind: KindDerived, Base: "score", Fn: FnLinear, Scale: -0.25, Noise: 0.2},
+			{Name: "family", Kind: KindNormal, Mu: 1.1, Sigma: 0.3},
+			{Name: "life_expectancy", Kind: KindDerived, Base: "gdp_per_capita", Fn: FnLinear, Scale: 0.7, Noise: 0.15},
+			{Name: "freedom", Kind: KindUniform, Lo: 0, Hi: 0.7},
+			{Name: "trust", Kind: KindHeavyTail, Lo: 0, Hi: 0.5},
+			{Name: "generosity", Kind: KindUniform, Lo: 0, Hi: 0.8},
+			{Name: "dystopia_residual", Kind: KindNormal, Mu: 2, Sigma: 0.5},
+		},
+	},
+	{ // X5: 1,749 tuples, 13 columns — home value index summary
+		Name: "X5 ZHVI Summary", Tuples: 1749, Seed: 105,
+		Cols: []Col{
+			{Name: "date", Kind: KindTime, SpanDur: 8 * 365 * 24 * time.Hour},
+			{Name: "state", Kind: KindCategory, K: 50},
+			{Name: "region", Kind: KindCategory, K: 8},
+			{Name: "county", Kind: KindCategory, K: 80},
+			{Name: "size_rank", Kind: KindCounter},
+			{Name: "zhvi", Kind: KindSeasonal, Base: "date", Scale: 90000, Noise: 30000},
+			{Name: "zhvi_sqft", Kind: KindDerived, Base: "zhvi", Fn: FnLinear, Scale: 0.0006, Noise: 8},
+			{Name: "pct_change_1y", Kind: KindNormal, Mu: 4, Sigma: 3},
+			{Name: "pct_change_5y", Kind: KindDerived, Base: "pct_change_1y", Fn: FnLinear, Scale: 4.2, Noise: 3},
+			{Name: "rental_index", Kind: KindDerived, Base: "zhvi", Fn: FnLog, Scale: 140, Noise: 60},
+			{Name: "inventory", Kind: KindHeavyTail, Lo: 10, Hi: 9000},
+			{Name: "days_on_market", Kind: KindUniform, Lo: 20, Hi: 180},
+			{Name: "price_cut_pct", Kind: KindNormal, Mu: 12, Sigma: 4, NullPct: 0.02},
+		},
+	},
+	{ // X6: 4,626 tuples, 25 columns — NFL player statistics
+		Name: "X6 NFL Player Statistics", Tuples: 4626, Seed: 106,
+		Cols: nflCols(),
+	},
+	{ // X7: 6,001 tuples, 9 columns — Airbnb listings summary
+		Name: "X7 Airbnb Summary", Tuples: 6001, Seed: 107,
+		Cols: []Col{
+			{Name: "listed_since", Kind: KindTime, SpanDur: 5 * 365 * 24 * time.Hour},
+			{Name: "neighbourhood", Kind: KindCategory, K: 25},
+			{Name: "room_type", Kind: KindCategory, Labels: []string{"Entire home", "Private room", "Shared room"}},
+			{Name: "price", Kind: KindHeavyTail, Lo: 20, Hi: 900},
+			{Name: "minimum_nights", Kind: KindUniform, Lo: 1, Hi: 30},
+			{Name: "number_of_reviews", Kind: KindHeavyTail, Lo: 0, Hi: 600, Round: true},
+			{Name: "reviews_per_month", Kind: KindDerived, Base: "number_of_reviews", Fn: FnLog, Scale: 0.5, Noise: 0.3},
+			{Name: "availability_365", Kind: KindUniform, Lo: 0, Hi: 365},
+			{Name: "rating", Kind: KindNormal, Mu: 4.6, Sigma: 0.3, NullPct: 0.05},
+		},
+	},
+	{ // X8: 22,037 tuples, 6 columns — top baby names
+		Name: "X8 Top Baby Names in US", Tuples: 22037, Seed: 108,
+		Cols: []Col{
+			{Name: "year", Kind: KindTime, SpanDur: 40 * 365 * 24 * time.Hour},
+			{Name: "state", Kind: KindCategory, K: 51},
+			{Name: "sex", Kind: KindCategory, Labels: []string{"F", "M"}},
+			{Name: "name", Kind: KindCategory, K: 200},
+			{Name: "rank", Kind: KindUniform, Lo: 1, Hi: 100},
+			{Name: "occurrences", Kind: KindDerived, Base: "rank", Fn: FnLog, Scale: -180, Noise: 60, Round: true},
+		},
+	},
+	{ // X9: 32,561 tuples, 14 columns — UCI Adult census
+		Name: "X9 Adult", Tuples: 32561, Seed: 109,
+		Cols: []Col{
+			{Name: "age", Kind: KindUniform, Lo: 17, Hi: 90},
+			{Name: "workclass", Kind: KindCategory, K: 8},
+			{Name: "fnlwgt", Kind: KindHeavyTail, Lo: 12000, Hi: 500000},
+			{Name: "education", Kind: KindCategory, K: 16},
+			{Name: "education_num", Kind: KindUniform, Lo: 1, Hi: 16},
+			{Name: "marital_status", Kind: KindCategory, K: 7},
+			{Name: "occupation", Kind: KindCategory, K: 14},
+			{Name: "relationship", Kind: KindCategory, K: 6},
+			{Name: "race", Kind: KindCategory, K: 5},
+			{Name: "sex", Kind: KindCategory, Labels: []string{"Female", "Male"}},
+			{Name: "capital_gain", Kind: KindHeavyTail, Lo: 0, Hi: 99999},
+			{Name: "capital_loss", Kind: KindHeavyTail, Lo: 0, Hi: 4356},
+			{Name: "hours_per_week", Kind: KindNormal, Mu: 40, Sigma: 12},
+			{Name: "income_proxy", Kind: KindDerived, Base: "education_num", Fn: FnExp, Scale: 800, Noise: 600},
+		},
+	},
+	{ // X10: 99,527 tuples, 6 columns — the paper's running FlyDelay table
+		Name: "X10 FlyDelay", Tuples: 99527, Seed: 110,
+		Cols: FlightCols(),
+	},
+}
+
+// FlightCols is the schema of the paper's Table I (FlyDelay): scheduled
+// time, carrier, destination, departure/arrival delay, passengers.
+func FlightCols() []Col {
+	return []Col{
+		{Name: "scheduled", Kind: KindTime, SpanDur: 365 * 24 * time.Hour},
+		{Name: "carrier", Kind: KindCategory, Labels: []string{"UA", "AA", "MQ", "OO", "DL"}},
+		{Name: "destination", Kind: KindCategory, K: 20},
+		{Name: "departure_delay", Kind: KindSeasonal, Base: "scheduled", Scale: 14, Noise: 6},
+		{Name: "arrival_delay", Kind: KindDerived, Base: "departure_delay", Fn: FnLinear, Scale: 1.05, Noise: 4},
+		{Name: "passengers", Kind: KindUniform, Lo: 60, Hi: 260, Round: true},
+	}
+}
+
+func menuCols() []Col {
+	cols := []Col{
+		{Name: "item", Kind: KindCounter},
+		{Name: "category", Kind: KindCategory, K: 9},
+		{Name: "serving_size", Kind: KindUniform, Lo: 50, Hi: 600},
+		{Name: "calories", Kind: KindDerived, Base: "serving_size", Fn: FnLinear, Scale: 1.6, Noise: 90},
+		{Name: "calories_from_fat", Kind: KindDerived, Base: "calories", Fn: FnLinear, Scale: 0.35, Noise: 40},
+		{Name: "total_fat", Kind: KindDerived, Base: "calories_from_fat", Fn: FnLinear, Scale: 0.11, Noise: 2},
+		{Name: "saturated_fat", Kind: KindDerived, Base: "total_fat", Fn: FnLinear, Scale: 0.4, Noise: 1.5},
+		{Name: "trans_fat", Kind: KindHeavyTail, Lo: 0, Hi: 2.5},
+		{Name: "cholesterol", Kind: KindHeavyTail, Lo: 0, Hi: 575},
+		{Name: "sodium", Kind: KindDerived, Base: "calories", Fn: FnLinear, Scale: 1.9, Noise: 220},
+		{Name: "carbohydrates", Kind: KindDerived, Base: "calories", Fn: FnLinear, Scale: 0.12, Noise: 12},
+		{Name: "dietary_fiber", Kind: KindUniform, Lo: 0, Hi: 7},
+		{Name: "sugars", Kind: KindHeavyTail, Lo: 0, Hi: 128},
+		{Name: "protein", Kind: KindDerived, Base: "calories", Fn: FnLinear, Scale: 0.05, Noise: 6},
+	}
+	vitamins := []string{"vitamin_a", "vitamin_c", "calcium", "iron", "potassium", "magnesium", "zinc", "vitamin_d", "vitamin_b12"}
+	for _, v := range vitamins {
+		cols = append(cols, Col{Name: v, Kind: KindUniform, Lo: 0, Hi: 100})
+	}
+	return cols // 14 + 9 = 23 columns
+}
+
+func nflCols() []Col {
+	cols := []Col{
+		{Name: "player", Kind: KindCounter},
+		{Name: "team", Kind: KindCategory, K: 32},
+		{Name: "position", Kind: KindCategory, K: 12},
+		{Name: "games_played", Kind: KindUniform, Lo: 1, Hi: 16},
+		{Name: "drafted", Kind: KindTime, SpanDur: 15 * 365 * 24 * time.Hour},
+	}
+	stats := []string{
+		"pass_attempts", "pass_completions", "pass_yards", "pass_tds",
+		"interceptions", "rush_attempts", "rush_yards", "rush_tds",
+		"receptions", "rec_yards", "rec_tds", "fumbles",
+		"tackles", "sacks", "forced_fumbles", "defensive_ints",
+		"punt_returns", "kick_return_yards", "field_goals", "penalty_yards",
+	}
+	for i, s := range stats {
+		if i%3 == 0 {
+			cols = append(cols, Col{Name: s, Kind: KindHeavyTail, Lo: 0, Hi: float64(200 + 100*i)})
+		} else if i%3 == 1 {
+			cols = append(cols, Col{Name: s, Kind: KindDerived, Base: "games_played", Fn: FnLinear, Scale: float64(3 + i), Noise: float64(5 + i)})
+		} else {
+			cols = append(cols, Col{Name: s, Kind: KindUniform, Lo: 0, Hi: float64(50 + 20*i)})
+		}
+	}
+	return cols // 5 + 20 = 25 columns
+}
+
+// useCaseSpecs mirrors Table V (D1–D9).
+var useCaseSpecs = []Spec{
+	{Name: "D1 Happy Countries", Tuples: 158, Seed: 201, Cols: []Col{
+		{Name: "country", Kind: KindCounter},
+		{Name: "region", Kind: KindCategory, K: 8},
+		{Name: "happiness_rank", Kind: KindCounter},
+		{Name: "happiness_score", Kind: KindDerived, Base: "happiness_rank", Fn: FnLog, Scale: -1.1, Noise: 0.1},
+		{Name: "gdp", Kind: KindDerived, Base: "happiness_score", Fn: FnLinear, Scale: -0.3, Noise: 0.15},
+		{Name: "health", Kind: KindDerived, Base: "gdp", Fn: FnLinear, Scale: 0.6, Noise: 0.1},
+	}},
+	{Name: "D2 US Baby Names", Tuples: 5200, Seed: 202, Cols: []Col{
+		{Name: "year", Kind: KindTime, SpanDur: 30 * 365 * 24 * time.Hour},
+		{Name: "sex", Kind: KindCategory, Labels: []string{"F", "M"}},
+		{Name: "name", Kind: KindCategory, K: 120},
+		{Name: "births", Kind: KindSeasonal, Base: "year", Scale: 800, Noise: 150, Round: true},
+	}},
+	{Name: "D3 Flight Statistics", Tuples: 24000, Seed: 203, Cols: FlightCols()},
+	{Name: "D4 TutorialOfUCB", Tuples: 400, Seed: 204, Cols: []Col{
+		{Name: "when", Kind: KindTime, SpanDur: 2 * 365 * 24 * time.Hour},
+		{Name: "category", Kind: KindCategory, K: 6},
+		{Name: "value", Kind: KindSeasonal, Base: "when", Scale: 50, Noise: 8},
+		{Name: "count", Kind: KindHeavyTail, Lo: 0, Hi: 500},
+	}},
+	{Name: "D5 CPI Statistics", Tuples: 900, Seed: 205, Cols: []Col{
+		{Name: "month", Kind: KindTime, SpanDur: 10 * 365 * 24 * time.Hour},
+		{Name: "sector", Kind: KindCategory, K: 9},
+		{Name: "cpi", Kind: KindSeasonal, Base: "month", Scale: 6, Noise: 1.2},
+		{Name: "mom_change", Kind: KindNormal, Mu: 0.2, Sigma: 0.4},
+		{Name: "yoy_change", Kind: KindDerived, Base: "mom_change", Fn: FnLinear, Scale: 11, Noise: 1},
+	}},
+	{Name: "D6 Healthcare", Tuples: 3000, Seed: 206, Cols: []Col{
+		{Name: "admitted", Kind: KindTime, SpanDur: 3 * 365 * 24 * time.Hour},
+		{Name: "department", Kind: KindCategory, K: 12},
+		{Name: "diagnosis_group", Kind: KindCategory, K: 25},
+		{Name: "length_of_stay", Kind: KindHeavyTail, Lo: 1, Hi: 40},
+		{Name: "cost", Kind: KindDerived, Base: "length_of_stay", Fn: FnLinear, Scale: 2300, Noise: 1500},
+		{Name: "age", Kind: KindUniform, Lo: 0, Hi: 95},
+	}},
+	{Name: "D7 Services Statistics", Tuples: 1800, Seed: 207, Cols: []Col{
+		{Name: "date", Kind: KindTime, SpanDur: 2 * 365 * 24 * time.Hour},
+		{Name: "service", Kind: KindCategory, K: 10},
+		{Name: "requests", Kind: KindSeasonal, Base: "date", Scale: 900, Noise: 120},
+		{Name: "resolved_pct", Kind: KindNormal, Mu: 88, Sigma: 6},
+		{Name: "avg_latency_ms", Kind: KindHeavyTail, Lo: 30, Hi: 2500},
+	}},
+	{Name: "D8 PPI Statistics", Tuples: 2400, Seed: 208, Cols: []Col{
+		{Name: "year", Kind: KindTime, SpanDur: 25 * 365 * 24 * time.Hour},
+		{Name: "country", Kind: KindCategory, K: 40},
+		{Name: "sector", Kind: KindCategory, K: 6},
+		{Name: "investment_musd", Kind: KindHeavyTail, Lo: 1, Hi: 4000},
+		{Name: "project_count", Kind: KindDerived, Base: "investment_musd", Fn: FnLog, Scale: 2.5, Noise: 1},
+	}},
+	{Name: "D9 Average Food Price", Tuples: 1100, Seed: 209, Cols: []Col{
+		{Name: "month", Kind: KindTime, SpanDur: 6 * 365 * 24 * time.Hour},
+		{Name: "food", Kind: KindCategory, K: 15},
+		{Name: "price", Kind: KindSeasonal, Base: "month", Scale: 8, Noise: 1.5},
+		{Name: "unit", Kind: KindCategory, Labels: []string{"kg", "liter", "dozen"}},
+	}},
+}
+
+// trainingSpec derives the i-th training dataset from domain archetypes;
+// sizes sweep the Table III range (tens of rows to tens of thousands).
+func trainingSpec(i int) Spec {
+	sizes := []int{48, 90, 150, 240, 380, 520, 760, 1100, 1600, 2300,
+		3200, 4400, 6000, 8200, 11000, 15000, 30, 65, 130, 210,
+		340, 500, 720, 1000, 1500, 2100, 3000, 4200, 5800, 8000, 12000, 20000}
+	archetypes := []func(name string, seed int64, tuples int) Spec{
+		salesArchetype, sensorArchetype, sportsArchetype, financeArchetype,
+		surveyArchetype, webArchetype, logisticsArchetype, educationArchetype,
+		energyArchetype,
+	}
+	name := fmt.Sprintf("T%02d", i+1)
+	f := archetypes[i%len(archetypes)]
+	return f(name, int64(300+i), sizes[i%len(sizes)])
+}
+
+func salesArchetype(name string, seed int64, tuples int) Spec {
+	return Spec{Name: name + " Sales", Tuples: tuples, Seed: seed, Cols: []Col{
+		{Name: "order_date", Kind: KindTime, SpanDur: 2 * 365 * 24 * time.Hour},
+		{Name: "region", Kind: KindCategory, K: 6},
+		{Name: "product", Kind: KindCategory, K: 18},
+		{Name: "quantity", Kind: KindUniform, Lo: 1, Hi: 40},
+		{Name: "unit_price", Kind: KindHeavyTail, Lo: 3, Hi: 450},
+		{Name: "revenue", Kind: KindDerived, Base: "unit_price", Fn: FnLinear, Scale: 12, Noise: 60},
+	}}
+}
+
+func sensorArchetype(name string, seed int64, tuples int) Spec {
+	return Spec{Name: name + " Sensors", Tuples: tuples, Seed: seed, Cols: []Col{
+		{Name: "timestamp", Kind: KindTime, SpanDur: 30 * 24 * time.Hour},
+		{Name: "sensor", Kind: KindCategory, K: 10},
+		{Name: "temperature", Kind: KindSeasonal, Base: "timestamp", Scale: 9, Noise: 1.2},
+		{Name: "humidity", Kind: KindDerived, Base: "temperature", Fn: FnLinear, Scale: -1.6, Noise: 4},
+		{Name: "battery", Kind: KindUniform, Lo: 5, Hi: 100},
+	}}
+}
+
+func sportsArchetype(name string, seed int64, tuples int) Spec {
+	return Spec{Name: name + " Sports", Tuples: tuples, Seed: seed, Cols: []Col{
+		{Name: "athlete", Kind: KindCounter},
+		{Name: "team", Kind: KindCategory, K: 14},
+		{Name: "position", Kind: KindCategory, K: 7},
+		{Name: "minutes", Kind: KindUniform, Lo: 0, Hi: 3000},
+		{Name: "points", Kind: KindDerived, Base: "minutes", Fn: FnLinear, Scale: 0.45, Noise: 90},
+		{Name: "assists", Kind: KindDerived, Base: "minutes", Fn: FnLinear, Scale: 0.1, Noise: 40},
+		{Name: "salary", Kind: KindDerived, Base: "points", Fn: FnExp, Scale: 40000, Noise: 500000},
+	}}
+}
+
+func financeArchetype(name string, seed int64, tuples int) Spec {
+	return Spec{Name: name + " Finance", Tuples: tuples, Seed: seed, Cols: []Col{
+		{Name: "trade_date", Kind: KindTime, SpanDur: 365 * 24 * time.Hour},
+		{Name: "ticker", Kind: KindCategory, K: 24},
+		{Name: "sector", Kind: KindCategory, K: 8},
+		{Name: "volume", Kind: KindHeavyTail, Lo: 1000, Hi: 9000000},
+		{Name: "close", Kind: KindSeasonal, Base: "trade_date", Scale: 40, Noise: 6},
+		{Name: "volatility", Kind: KindDerived, Base: "volume", Fn: FnLog, Scale: 0.8, Noise: 0.5},
+	}}
+}
+
+func surveyArchetype(name string, seed int64, tuples int) Spec {
+	return Spec{Name: name + " Survey", Tuples: tuples, Seed: seed, Cols: []Col{
+		{Name: "respondent", Kind: KindCounter},
+		{Name: "age_group", Kind: KindCategory, Labels: []string{"18-24", "25-34", "35-44", "45-54", "55-64", "65+"}},
+		{Name: "country", Kind: KindCategory, K: 20},
+		{Name: "satisfaction", Kind: KindUniform, Lo: 1, Hi: 10},
+		{Name: "income", Kind: KindHeavyTail, Lo: 8000, Hi: 250000},
+		{Name: "spend", Kind: KindDerived, Base: "income", Fn: FnLog, Scale: 300, Noise: 350},
+	}}
+}
+
+func logisticsArchetype(name string, seed int64, tuples int) Spec {
+	return Spec{Name: name + " Logistics", Tuples: tuples, Seed: seed, Cols: []Col{
+		{Name: "shipped", Kind: KindTime, SpanDur: 365 * 24 * time.Hour},
+		{Name: "origin_hub", Kind: KindCategory, K: 9},
+		{Name: "carrier", Kind: KindCategory, K: 5},
+		{Name: "weight_kg", Kind: KindHeavyTail, Lo: 0.1, Hi: 800},
+		{Name: "distance_km", Kind: KindUniform, Lo: 10, Hi: 4500},
+		{Name: "cost", Kind: KindDerived, Base: "distance_km", Fn: FnLinear, Scale: 0.4, Noise: 120},
+		{Name: "transit_days", Kind: KindDerived, Base: "distance_km", Fn: FnLog, Scale: 1.1, Noise: 0.8, Round: true},
+	}}
+}
+
+func educationArchetype(name string, seed int64, tuples int) Spec {
+	return Spec{Name: name + " Education", Tuples: tuples, Seed: seed, Cols: []Col{
+		{Name: "student", Kind: KindCounter},
+		{Name: "major", Kind: KindCategory, K: 11},
+		{Name: "cohort", Kind: KindCategory, Labels: []string{"2013", "2014", "2015", "2016"}},
+		{Name: "credits", Kind: KindUniform, Lo: 12, Hi: 140, Round: true},
+		{Name: "gpa", Kind: KindNormal, Mu: 3.1, Sigma: 0.5},
+		{Name: "study_hours", Kind: KindDerived, Base: "gpa", Fn: FnLinear, Scale: 9, Noise: 4},
+	}}
+}
+
+func energyArchetype(name string, seed int64, tuples int) Spec {
+	return Spec{Name: name + " Energy", Tuples: tuples, Seed: seed, Cols: []Col{
+		{Name: "reading_at", Kind: KindTime, SpanDur: 60 * 24 * time.Hour},
+		{Name: "meter", Kind: KindCategory, K: 15},
+		{Name: "zone", Kind: KindCategory, K: 4},
+		{Name: "kwh", Kind: KindSeasonal, Base: "reading_at", Scale: 30, Noise: 4},
+		{Name: "cost_eur", Kind: KindDerived, Base: "kwh", Fn: FnLinear, Scale: 0.28, Noise: 1.2},
+		{Name: "peak_pct", Kind: KindUniform, Lo: 0, Hi: 100},
+	}}
+}
+
+func webArchetype(name string, seed int64, tuples int) Spec {
+	return Spec{Name: name + " Web", Tuples: tuples, Seed: seed, Cols: []Col{
+		{Name: "visit_time", Kind: KindTime, SpanDur: 90 * 24 * time.Hour},
+		{Name: "channel", Kind: KindCategory, Labels: []string{"organic", "paid", "social", "email", "direct"}},
+		{Name: "pageviews", Kind: KindHeavyTail, Lo: 1, Hi: 60},
+		{Name: "session_sec", Kind: KindDerived, Base: "pageviews", Fn: FnLinear, Scale: 35, Noise: 80},
+		{Name: "conversions", Kind: KindSeasonal, Base: "visit_time", Scale: 3, Noise: 1},
+	}}
+}

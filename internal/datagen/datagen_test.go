@@ -1,0 +1,180 @@
+package datagen
+
+import (
+	"testing"
+
+	"github.com/deepeye/deepeye/internal/dataset"
+	"github.com/deepeye/deepeye/internal/stats"
+)
+
+func TestGenerateBasicSpec(t *testing.T) {
+	tab, err := Generate(Spec{
+		Name: "t", Tuples: 200, Seed: 1,
+		Cols: []Col{
+			{Name: "cat", Kind: KindCategory, K: 4},
+			{Name: "when", Kind: KindTime},
+			{Name: "x", Kind: KindUniform, Lo: 0, Hi: 100},
+			{Name: "y", Kind: KindDerived, Base: "x", Fn: FnLinear, Scale: 2, Noise: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 200 || tab.NumCols() != 4 {
+		t.Fatalf("dims = %dx%d", tab.NumRows(), tab.NumCols())
+	}
+	if tab.Column("cat").Type != dataset.Categorical {
+		t.Error("cat type")
+	}
+	if tab.Column("when").Type != dataset.Temporal {
+		t.Error("when type")
+	}
+	if tab.Column("x").Type != dataset.Numerical {
+		t.Error("x type")
+	}
+	// Planted correlation must be detectable.
+	c, _ := stats.Correlation(tab.Column("x").NumericValues(), tab.Column("y").NumericValues())
+	if c < 0.95 {
+		t.Errorf("planted correlation = %v", c)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := testSpecs[0]
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.Columns {
+		for i := 0; i < a.NumRows(); i++ {
+			if a.Columns[j].Raw[i] != b.Columns[j].Raw[i] {
+				t.Fatalf("nondeterministic at col %d row %d", j, i)
+			}
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Spec{Name: "t", Tuples: 10, Cols: []Col{
+		{Name: "y", Kind: KindDerived, Base: "missing"},
+	}}); err == nil {
+		t.Error("unknown base should fail")
+	}
+	if _, err := Generate(Spec{Name: "t", Tuples: 10, Cols: []Col{
+		{Name: "y", Kind: KindSeasonal, Base: "missing"},
+	}}); err == nil {
+		t.Error("unknown time base should fail")
+	}
+}
+
+func TestTestSetsMatchTableIV(t *testing.T) {
+	wantTuples := []int{75, 172, 263, 316, 1749, 4626, 6001, 22037, 32561, 99527}
+	wantCols := []int{8, 4, 23, 12, 13, 25, 9, 6, 14, 6}
+	for i := range wantTuples {
+		// Generate at tiny scale but verify the spec's full-size numbers.
+		if testSpecs[i].Tuples != wantTuples[i] {
+			t.Errorf("X%d tuples = %d, want %d", i+1, testSpecs[i].Tuples, wantTuples[i])
+		}
+		if len(testSpecs[i].Cols) != wantCols[i] {
+			t.Errorf("X%d columns = %d, want %d", i+1, len(testSpecs[i].Cols), wantCols[i])
+		}
+		tab, err := TestSet(i, 0.02)
+		if err != nil {
+			t.Fatalf("X%d: %v", i+1, err)
+		}
+		if tab.NumCols() != wantCols[i] {
+			t.Errorf("X%d generated columns = %d", i+1, tab.NumCols())
+		}
+		if tab.NumRows() < 30 {
+			t.Errorf("X%d scaled rows = %d", i+1, tab.NumRows())
+		}
+	}
+}
+
+func TestScaledFloorAndFull(t *testing.T) {
+	if scaled(10000, 0.001) != 30 {
+		t.Errorf("floor = %d", scaled(10000, 0.001))
+	}
+	if scaled(100, 1.0) != 100 || scaled(100, 0) != 100 {
+		t.Error("full scale should pass through")
+	}
+}
+
+func TestUseCases(t *testing.T) {
+	if len(useCaseSpecs) != 9 || len(UseCaseNames) != 9 {
+		t.Fatal("need 9 use cases")
+	}
+	for i := 0; i < 9; i++ {
+		tab, err := UseCase(i, 0.05)
+		if err != nil {
+			t.Fatalf("D%d: %v", i+1, err)
+		}
+		if tab.NumCols() < 4 {
+			t.Errorf("D%d has %d columns", i+1, tab.NumCols())
+		}
+	}
+	if _, err := UseCase(99, 1); err == nil {
+		t.Error("out of range should fail")
+	}
+}
+
+func TestTrainingCorpus(t *testing.T) {
+	typeSeen := map[dataset.ColType]bool{}
+	for i := 0; i < NumTrainingSets; i++ {
+		tab, err := TrainingSet(i, 0.05)
+		if err != nil {
+			t.Fatalf("T%02d: %v", i+1, err)
+		}
+		for _, c := range tab.Columns {
+			typeSeen[c.Type] = true
+		}
+	}
+	if !typeSeen[dataset.Categorical] || !typeSeen[dataset.Numerical] || !typeSeen[dataset.Temporal] {
+		t.Error("training corpus missing a column type")
+	}
+	if _, err := TrainingSet(-1, 1); err == nil {
+		t.Error("out of range should fail")
+	}
+}
+
+func TestAllCorpusCount(t *testing.T) {
+	tabs, err := AllCorpus(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 42 {
+		t.Errorf("corpus size = %d, want 42 (Table III)", len(tabs))
+	}
+}
+
+func TestFlyDelaySeasonality(t *testing.T) {
+	tab, err := TestSet(9, 0.05) // X10 FlyDelay
+	if err != nil {
+		t.Fatal(err)
+	}
+	// departure_delay should correlate with arrival_delay by construction.
+	dep := tab.Column("departure_delay").NumericValues()
+	arr := tab.Column("arrival_delay").NumericValues()
+	c, _ := stats.Correlation(dep, arr)
+	if c < 0.8 {
+		t.Errorf("delay correlation = %v", c)
+	}
+}
+
+func TestRoundedColumns(t *testing.T) {
+	tab, err := Generate(Spec{Name: "t", Tuples: 50, Seed: 3, Cols: []Col{
+		{Name: "count", Kind: KindUniform, Lo: 0, Hi: 100, Round: true},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range tab.Column("count").NumericValues() {
+		if v != float64(int64(v)) {
+			t.Fatalf("value %v not rounded", v)
+		}
+	}
+}

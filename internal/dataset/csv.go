@@ -1,0 +1,104 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// FromCSV reads a table from CSV data with a header row, inferring the
+// type of every column. The table name is informational only.
+func FromCSV(name string, r io.Reader) (*Table, error) {
+	return FromCSVWithTypes(name, r, nil)
+}
+
+// FromCSVWithTypes reads a table from CSV data, forcing the types of the
+// named columns instead of inferring them (cells that fail to parse under
+// a forced type become null). Columns absent from overrides are inferred
+// as usual.
+func FromCSVWithTypes(name string, r io.Reader, overrides map[string]ColType) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	cr.FieldsPerRecord = -1 // tolerate ragged rows; short rows pad with nulls
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: csv %q has no header row", name)
+	}
+	header := records[0]
+	rows := records[1:]
+	cols := make([]*Column, len(header))
+	for j, colName := range header {
+		colName = strings.TrimSpace(colName)
+		if colName == "" {
+			colName = fmt.Sprintf("col%d", j)
+		}
+		raw := make([]string, len(rows))
+		for i, rec := range rows {
+			if j < len(rec) {
+				raw[i] = rec[j]
+			}
+		}
+		if typ, ok := overrides[colName]; ok {
+			cols[j] = ForceType(colName, raw, typ)
+		} else {
+			cols[j] = InferColumn(colName, raw)
+		}
+	}
+	// Deduplicate repeated header names so Table construction succeeds.
+	seen := make(map[string]int)
+	for _, c := range cols {
+		if k := seen[c.Name]; k > 0 {
+			c.Name = fmt.Sprintf("%s_%d", c.Name, k)
+		}
+		seen[c.Name]++
+	}
+	return New(name, cols)
+}
+
+// FromCSVFile reads a table from a CSV file on disk; the file's base name
+// becomes the table name.
+func FromCSVFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return FromCSV(path, f)
+}
+
+// FromCSVString is a convenience wrapper over FromCSV for in-memory data.
+func FromCSVString(name, data string) (*Table, error) {
+	return FromCSV(name, strings.NewReader(data))
+}
+
+// WriteCSV serializes the table back to CSV (header + raw cells).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(t.Columns))
+	for j, c := range t.Columns {
+		header[j] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing csv header: %w", err)
+	}
+	row := make([]string, len(t.Columns))
+	for i := 0; i < t.nRows; i++ {
+		for j, c := range t.Columns {
+			if c.Null[i] {
+				row[j] = ""
+			} else {
+				row[j] = c.Raw[i]
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: writing csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

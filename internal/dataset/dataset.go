@@ -1,0 +1,399 @@
+// Package dataset provides the relational-table substrate DeepEye operates
+// on: typed columns (categorical, numerical, temporal), automatic type
+// inference from raw strings, CSV ingestion, and the per-column statistics
+// (distinct counts, min/max, null handling) that the feature extractor and
+// the ranking factors consume.
+//
+// A Table is immutable once built; all transformations (binning, grouping,
+// aggregation) produce new derived series in package transform rather than
+// mutating the table.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ColType is the inferred type of a column. DeepEye distinguishes exactly
+// three types (paper §III feature 5): categorical, numerical, and temporal.
+type ColType int
+
+const (
+	// Categorical columns contain a bounded set of string labels
+	// (e.g. carrier codes, city names).
+	Categorical ColType = iota
+	// Numerical columns contain real numbers (e.g. delays, prices).
+	Numerical
+	// Temporal columns contain timestamps or dates.
+	Temporal
+)
+
+// String returns the paper's abbreviation for the type (Cat/Num/Tem).
+func (t ColType) String() string {
+	switch t {
+	case Categorical:
+		return "Cat"
+	case Numerical:
+		return "Num"
+	case Temporal:
+		return "Tem"
+	default:
+		return fmt.Sprintf("ColType(%d)", int(t))
+	}
+}
+
+// Column is a single typed column of a Table. Raw holds the original string
+// form of every cell. Depending on Type, Nums or Times holds the parsed
+// values; Null marks cells that failed to parse or were empty.
+//
+// Invariants: len(Raw) == len(Null) == table.NumRows(); for Numerical
+// columns len(Nums) == len(Raw); for Temporal columns len(Times) == len(Raw).
+type Column struct {
+	Name  string
+	Type  ColType
+	Raw   []string
+	Nums  []float64   // parsed values when Type == Numerical
+	Times []time.Time // parsed values when Type == Temporal
+	Null  []bool
+
+	// lazily computed statistics
+	statsOnce bool
+	stats     Stats
+}
+
+// Stats summarizes a column: the inputs to DeepEye's feature vector
+// (paper §III features 1-4).
+type Stats struct {
+	N        int     // |X|: number of tuples (non-null)
+	Distinct int     // d(X): number of distinct non-null values
+	Ratio    float64 // r(X) = d(X)/|X|
+	Min, Max float64 // numeric min/max; for temporal columns, Unix seconds
+	HasNull  bool
+}
+
+// Table is an immutable relational table over a fixed schema.
+type Table struct {
+	Name    string
+	Columns []*Column
+	nRows   int
+	byName  map[string]int
+}
+
+// New builds a Table from named columns. All columns must have the same
+// length. The columns are adopted (not copied); callers must not mutate
+// them afterwards.
+func New(name string, cols []*Column) (*Table, error) {
+	t := &Table{Name: name, Columns: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c == nil {
+			return nil, fmt.Errorf("dataset: column %d is nil", i)
+		}
+		if i == 0 {
+			t.nRows = len(c.Raw)
+		} else if len(c.Raw) != t.nRows {
+			return nil, fmt.Errorf("dataset: column %q has %d rows, want %d", c.Name, len(c.Raw), t.nRows)
+		}
+		if len(c.Null) != len(c.Raw) {
+			return nil, fmt.Errorf("dataset: column %q null mask has %d entries, want %d", c.Name, len(c.Null), len(c.Raw))
+		}
+		if _, dup := t.byName[c.Name]; dup {
+			return nil, fmt.Errorf("dataset: duplicate column name %q", c.Name)
+		}
+		t.byName[c.Name] = i
+	}
+	return t, nil
+}
+
+// NumRows returns the number of tuples in the table.
+func (t *Table) NumRows() int { return t.nRows }
+
+// NumCols returns the number of columns (m in the paper).
+func (t *Table) NumCols() int { return len(t.Columns) }
+
+// Column returns the column with the given name, or nil if absent.
+func (t *Table) Column(name string) *Column {
+	if i, ok := t.byName[name]; ok {
+		return t.Columns[i]
+	}
+	return nil
+}
+
+// ColumnIndex returns the index of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	if i, ok := t.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Stats returns the column's statistics, computing them on first use.
+// Columns are immutable after table construction, so the memoized value
+// never goes stale.
+func (c *Column) Stats() Stats {
+	if c.statsOnce {
+		return c.stats
+	}
+	s := Stats{Min: math.Inf(1), Max: math.Inf(-1)}
+	distinct := make(map[string]struct{})
+	for i, raw := range c.Raw {
+		if c.Null[i] {
+			s.HasNull = true
+			continue
+		}
+		s.N++
+		distinct[raw] = struct{}{}
+		switch c.Type {
+		case Numerical:
+			v := c.Nums[i]
+			if v < s.Min {
+				s.Min = v
+			}
+			if v > s.Max {
+				s.Max = v
+			}
+		case Temporal:
+			v := float64(c.Times[i].Unix())
+			if v < s.Min {
+				s.Min = v
+			}
+			if v > s.Max {
+				s.Max = v
+			}
+		}
+	}
+	s.Distinct = len(distinct)
+	if s.N > 0 {
+		s.Ratio = float64(s.Distinct) / float64(s.N)
+	}
+	if s.N == 0 || c.Type == Categorical {
+		s.Min, s.Max = 0, 0
+	}
+	c.stats = s
+	c.statsOnce = true
+	return s
+}
+
+// NumericValues returns the non-null numeric values of a numerical column,
+// or temporal values as Unix seconds. For categorical columns it returns nil.
+func (c *Column) NumericValues() []float64 {
+	switch c.Type {
+	case Numerical:
+		out := make([]float64, 0, len(c.Nums))
+		for i, v := range c.Nums {
+			if !c.Null[i] {
+				out = append(out, v)
+			}
+		}
+		return out
+	case Temporal:
+		out := make([]float64, 0, len(c.Times))
+		for i, v := range c.Times {
+			if !c.Null[i] {
+				out = append(out, float64(v.Unix()))
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// DistinctValues returns the sorted distinct non-null raw values.
+func (c *Column) DistinctValues() []string {
+	set := make(map[string]struct{})
+	for i, raw := range c.Raw {
+		if !c.Null[i] {
+			set[raw] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// temporalLayouts are the formats the type sniffer recognizes, most
+// specific first.
+var temporalLayouts = []string{
+	time.RFC3339,
+	"2006-01-02 15:04:05",
+	"2006-01-02 15:04",
+	"2006-01-02",
+	"2006/01/02",
+	"01/02/2006",
+	"02-Jan 15:04",
+	"02-Jan",
+	"Jan 2006",
+	"2006-01",
+	"15:04:05",
+	"15:04",
+}
+
+// ParseTime attempts to parse s with the recognized temporal layouts.
+func ParseTime(s string) (time.Time, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return time.Time{}, false
+	}
+	for _, layout := range temporalLayouts {
+		if ts, err := time.Parse(layout, s); err == nil {
+			return ts, true
+		}
+	}
+	return time.Time{}, false
+}
+
+// parseNumber parses a numeric cell, tolerating thousands separators,
+// currency symbols and percent signs as they appear in real-world CSVs.
+func parseNumber(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, false
+	}
+	s = strings.ReplaceAll(s, ",", "")
+	s = strings.TrimPrefix(s, "$")
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, false
+	}
+	return v, true
+}
+
+// isNullToken reports whether a raw cell should be treated as null.
+func isNullToken(s string) bool {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "null", "na", "n/a", "nan", "-", "none":
+		return true
+	}
+	return false
+}
+
+// InferColumn builds a typed Column from raw string cells, detecting the
+// type automatically (paper §II-A: "whose data type can be automatically
+// detected based on the attribute values"). A column is numerical if at
+// least 90% of non-null cells parse as numbers, temporal if at least 90%
+// parse as timestamps, and categorical otherwise. Pure-year columns
+// (integers 1900-2100 named like years) stay numerical; callers can
+// override with ForceType.
+func InferColumn(name string, raw []string) *Column {
+	n := len(raw)
+	c := &Column{Name: name, Raw: raw, Null: make([]bool, n)}
+	nonNull, numOK, temOK := 0, 0, 0
+	for i, s := range raw {
+		if isNullToken(s) {
+			c.Null[i] = true
+			continue
+		}
+		nonNull++
+		if _, ok := parseNumber(s); ok {
+			numOK++
+		} else if _, ok := ParseTime(s); ok {
+			temOK++
+		}
+	}
+	const threshold = 0.9
+	switch {
+	case nonNull > 0 && float64(numOK) >= threshold*float64(nonNull):
+		c.Type = Numerical
+	case nonNull > 0 && float64(temOK) >= threshold*float64(nonNull):
+		c.Type = Temporal
+	default:
+		c.Type = Categorical
+	}
+	materialize(c)
+	return c
+}
+
+// ForceType reinterprets raw cells under an explicit type, marking
+// unparseable cells null. It returns a new column; the input is not mutated.
+func ForceType(name string, raw []string, typ ColType) *Column {
+	n := len(raw)
+	c := &Column{Name: name, Type: typ, Raw: raw, Null: make([]bool, n)}
+	for i, s := range raw {
+		if isNullToken(s) {
+			c.Null[i] = true
+		}
+	}
+	materialize(c)
+	return c
+}
+
+// materialize fills Nums/Times according to c.Type, nulling cells that
+// fail to parse.
+func materialize(c *Column) {
+	n := len(c.Raw)
+	switch c.Type {
+	case Numerical:
+		c.Nums = make([]float64, n)
+		for i, s := range c.Raw {
+			if c.Null[i] {
+				continue
+			}
+			v, ok := parseNumber(s)
+			if !ok {
+				c.Null[i] = true
+				continue
+			}
+			c.Nums[i] = v
+		}
+	case Temporal:
+		c.Times = make([]time.Time, n)
+		for i, s := range c.Raw {
+			if c.Null[i] {
+				continue
+			}
+			ts, ok := ParseTime(s)
+			if !ok {
+				c.Null[i] = true
+				continue
+			}
+			c.Times[i] = ts
+		}
+	}
+}
+
+// NumColumn builds a numerical column directly from float values.
+func NumColumn(name string, vals []float64) *Column {
+	raw := make([]string, len(vals))
+	nulls := make([]bool, len(vals))
+	for i, v := range vals {
+		if math.IsNaN(v) {
+			nulls[i] = true
+			continue
+		}
+		raw[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return &Column{Name: name, Type: Numerical, Raw: raw, Nums: append([]float64(nil), vals...), Null: nulls}
+}
+
+// CatColumn builds a categorical column directly from string labels.
+func CatColumn(name string, vals []string) *Column {
+	nulls := make([]bool, len(vals))
+	for i, v := range vals {
+		if isNullToken(v) {
+			nulls[i] = true
+		}
+	}
+	return &Column{Name: name, Type: Categorical, Raw: append([]string(nil), vals...), Null: nulls}
+}
+
+// TimeColumn builds a temporal column directly from timestamps.
+func TimeColumn(name string, vals []time.Time) *Column {
+	raw := make([]string, len(vals))
+	nulls := make([]bool, len(vals))
+	for i, v := range vals {
+		if v.IsZero() {
+			nulls[i] = true
+			continue
+		}
+		raw[i] = v.Format("2006-01-02 15:04:05")
+	}
+	return &Column{Name: name, Type: Temporal, Raw: raw, Times: append([]time.Time(nil), vals...), Null: nulls}
+}

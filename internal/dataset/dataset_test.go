@@ -1,0 +1,391 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestInferColumnNumerical(t *testing.T) {
+	c := InferColumn("delay", []string{"-4", "0", "11", "3.5", "1,200", "$7", "85%"})
+	if c.Type != Numerical {
+		t.Fatalf("type = %v, want Numerical", c.Type)
+	}
+	want := []float64{-4, 0, 11, 3.5, 1200, 7, 85}
+	for i, w := range want {
+		if c.Null[i] {
+			t.Fatalf("cell %d unexpectedly null", i)
+		}
+		if c.Nums[i] != w {
+			t.Errorf("Nums[%d] = %v, want %v", i, c.Nums[i], w)
+		}
+	}
+}
+
+func TestInferColumnTemporal(t *testing.T) {
+	c := InferColumn("scheduled", []string{"2015-01-01 00:05", "2015-01-01 04:00", "2015-06-13 06:13"})
+	if c.Type != Temporal {
+		t.Fatalf("type = %v, want Temporal", c.Type)
+	}
+	if c.Times[0].Hour() != 0 || c.Times[0].Minute() != 5 {
+		t.Errorf("Times[0] = %v, want 00:05", c.Times[0])
+	}
+}
+
+func TestInferColumnCategorical(t *testing.T) {
+	c := InferColumn("carrier", []string{"UA", "AA", "MQ", "OO", "UA"})
+	if c.Type != Categorical {
+		t.Fatalf("type = %v, want Categorical", c.Type)
+	}
+}
+
+func TestInferColumnMixedMajorityWins(t *testing.T) {
+	// 19 numbers and a single stray label: still numerical (>=90%), with
+	// the stray marked null.
+	raw := make([]string, 20)
+	for i := range raw {
+		raw[i] = strconv.Itoa(i)
+	}
+	raw[7] = "oops"
+	c := InferColumn("x", raw)
+	if c.Type != Numerical {
+		t.Fatalf("type = %v, want Numerical", c.Type)
+	}
+	if !c.Null[7] {
+		t.Error("stray cell should be null")
+	}
+}
+
+func TestInferColumnNullTokens(t *testing.T) {
+	c := InferColumn("x", []string{"1", "NA", "2", "", "null", "3"})
+	if c.Type != Numerical {
+		t.Fatalf("type = %v, want Numerical", c.Type)
+	}
+	s := c.Stats()
+	if s.N != 3 || !s.HasNull {
+		t.Errorf("stats = %+v, want N=3 HasNull", s)
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := NumColumn("x", []float64{5, 1, 3, 1, 5})
+	s := c.Stats()
+	if s.N != 5 || s.Distinct != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("stats = %+v", s)
+	}
+	if got, want := s.Ratio, 3.0/5.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("ratio = %v, want %v", got, want)
+	}
+}
+
+func TestStatsTemporalMinMax(t *testing.T) {
+	t0 := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	t1 := time.Date(2015, 12, 31, 0, 0, 0, 0, time.UTC)
+	c := TimeColumn("d", []time.Time{t1, t0})
+	s := c.Stats()
+	if s.Min != float64(t0.Unix()) || s.Max != float64(t1.Unix()) {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestStatsCategoricalNoMinMax(t *testing.T) {
+	c := CatColumn("c", []string{"b", "a"})
+	s := c.Stats()
+	if s.Min != 0 || s.Max != 0 {
+		t.Errorf("categorical min/max should be zero, got %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestNewRejectsRaggedColumns(t *testing.T) {
+	_, err := New("t", []*Column{
+		NumColumn("a", []float64{1, 2}),
+		NumColumn("b", []float64{1}),
+	})
+	if err == nil {
+		t.Fatal("want error for mismatched column lengths")
+	}
+}
+
+func TestNewRejectsDuplicateNames(t *testing.T) {
+	_, err := New("t", []*Column{
+		NumColumn("a", []float64{1}),
+		NumColumn("a", []float64{2}),
+	})
+	if err == nil {
+		t.Fatal("want error for duplicate column names")
+	}
+}
+
+func TestTableLookup(t *testing.T) {
+	tab, err := New("t", []*Column{
+		NumColumn("a", []float64{1, 2, 3}),
+		CatColumn("b", []string{"x", "y", "z"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 3 || tab.NumCols() != 2 {
+		t.Errorf("dims = %dx%d", tab.NumRows(), tab.NumCols())
+	}
+	if tab.Column("b") == nil || tab.Column("b").Type != Categorical {
+		t.Error("lookup b failed")
+	}
+	if tab.Column("missing") != nil || tab.ColumnIndex("missing") != -1 {
+		t.Error("missing column should be nil/-1")
+	}
+	if tab.ColumnIndex("a") != 0 {
+		t.Error("index a != 0")
+	}
+}
+
+func TestDistinctValuesSorted(t *testing.T) {
+	c := CatColumn("c", []string{"b", "a", "b", "", "c"})
+	got := c.DistinctValues()
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("distinct = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("distinct = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNumericValuesSkipsNulls(t *testing.T) {
+	c := NumColumn("x", []float64{1, math.NaN(), 3})
+	vals := c.NumericValues()
+	if len(vals) != 2 || vals[0] != 1 || vals[1] != 3 {
+		t.Errorf("vals = %v", vals)
+	}
+}
+
+func TestFromCSVString(t *testing.T) {
+	tab, err := FromCSVString("flights", "carrier,delay,scheduled\nUA,-4,2015-01-01 00:05\nAA,0,2015-01-01 04:00\nMQ,7,2015-01-01 06:13\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 3 || tab.NumCols() != 3 {
+		t.Fatalf("dims = %dx%d", tab.NumRows(), tab.NumCols())
+	}
+	if tab.Column("carrier").Type != Categorical {
+		t.Error("carrier should be categorical")
+	}
+	if tab.Column("delay").Type != Numerical {
+		t.Error("delay should be numerical")
+	}
+	if tab.Column("scheduled").Type != Temporal {
+		t.Error("scheduled should be temporal")
+	}
+}
+
+func TestFromCSVRaggedRows(t *testing.T) {
+	tab, err := FromCSVString("t", "a,b\n1,2\n3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Column("b").Null[1] {
+		t.Error("short row should pad with null")
+	}
+}
+
+func TestFromCSVDuplicateHeaders(t *testing.T) {
+	tab, err := FromCSVString("t", "a,a\n1,2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Column("a") == nil || tab.Column("a_1") == nil {
+		t.Errorf("columns = %v, %v", tab.Columns[0].Name, tab.Columns[1].Name)
+	}
+}
+
+func TestFromCSVEmpty(t *testing.T) {
+	if _, err := FromCSVString("t", ""); err == nil {
+		t.Fatal("want error for empty csv")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	in := "a,b\n1,x\n2,y\n"
+	tab, err := FromCSVString("t", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != in {
+		t.Errorf("round trip = %q, want %q", buf.String(), in)
+	}
+}
+
+func TestParseTimeLayouts(t *testing.T) {
+	cases := []string{"2015-03-04", "2015/03/04", "03/04/2015", "2015-03-04 10:11", "2015-03", "Jan 2015", "10:11:12"}
+	for _, s := range cases {
+		if _, ok := ParseTime(s); !ok {
+			t.Errorf("ParseTime(%q) failed", s)
+		}
+	}
+	if _, ok := ParseTime("not a date"); ok {
+		t.Error("ParseTime accepted garbage")
+	}
+}
+
+func TestForceType(t *testing.T) {
+	c := ForceType("x", []string{"1", "two", "3"}, Numerical)
+	if c.Type != Numerical || !c.Null[1] || c.Nums[2] != 3 {
+		t.Errorf("force type: %+v", c)
+	}
+}
+
+// Property: stats invariants hold for arbitrary numeric data.
+func TestStatsInvariantsQuick(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		c := NumColumn("x", clean)
+		s := c.Stats()
+		if s.N != len(clean) {
+			return false
+		}
+		if s.Distinct > s.N {
+			return false
+		}
+		if s.N > 0 && (s.Ratio <= 0 || s.Ratio > 1) {
+			return false
+		}
+		if s.N > 0 && s.Min > s.Max {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CSV round trip preserves dimensions and cell values for simple
+// alphanumeric content.
+func TestCSVRoundTripQuick(t *testing.T) {
+	f := func(n uint8) bool {
+		rows := int(n%20) + 1
+		var sb strings.Builder
+		sb.WriteString("a,b\n")
+		for i := 0; i < rows; i++ {
+			sb.WriteString(strconv.Itoa(i))
+			sb.WriteString(",v")
+			sb.WriteString(strconv.Itoa(i * 3))
+			sb.WriteString("\n")
+		}
+		tab, err := FromCSVString("t", sb.String())
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := tab.WriteCSV(&buf); err != nil {
+			return false
+		}
+		return buf.String() == sb.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProfile(t *testing.T) {
+	tab, err := FromCSVString("t", "city,pop,founded\nA,10,2001-01-01\nB,20,2002-01-01\nA,30,2003-01-01\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := tab.Profile(2)
+	if len(profiles) != 3 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	city := profiles[0]
+	if city.Type != Categorical || city.Distinct != 2 || city.TopValues[0].Value != "A" || city.TopValues[0].Count != 2 {
+		t.Errorf("city profile = %+v", city)
+	}
+	pop := profiles[1]
+	if pop.Type != Numerical || pop.Min != 10 || pop.Max != 30 {
+		t.Errorf("pop profile = %+v", pop)
+	}
+	out := FormatProfile(profiles)
+	if !strings.Contains(out, "city") || !strings.Contains(out, "A×2") {
+		t.Errorf("formatted profile:\n%s", out)
+	}
+}
+
+func TestProfileTopKCap(t *testing.T) {
+	c := CatColumn("c", []string{"a", "b", "c", "d", "e", "f"})
+	tab, err := New("t", []*Column{c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tab.Profile(3)
+	if len(p[0].TopValues) != 3 {
+		t.Errorf("top values = %d, want capped 3", len(p[0].TopValues))
+	}
+}
+
+func TestFromCSVWithTypes(t *testing.T) {
+	csv := "code,value\n2015,10\n2016,20\n2017,30\n"
+	// "code" would infer as numerical; force categorical.
+	tab, err := FromCSVWithTypes("t", strings.NewReader(csv), map[string]ColType{"code": Categorical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Column("code").Type != Categorical {
+		t.Errorf("code type = %v", tab.Column("code").Type)
+	}
+	if tab.Column("value").Type != Numerical {
+		t.Errorf("value type = %v (should still be inferred)", tab.Column("value").Type)
+	}
+}
+
+func TestFromJSON(t *testing.T) {
+	data := `[
+		{"city": "Springfield", "pop": 30000, "founded": "1850-05-01"},
+		{"city": "Shelbyville", "pop": 21000, "founded": "1855-02-01"},
+		{"city": "Ogdenville", "pop": 12000}
+	]`
+	tab, err := FromJSON("cities", strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 3 || tab.NumCols() != 3 {
+		t.Fatalf("dims = %dx%d", tab.NumRows(), tab.NumCols())
+	}
+	if tab.Column("pop").Type != Numerical {
+		t.Error("pop should be numerical")
+	}
+	if tab.Column("founded").Type != Temporal {
+		t.Error("founded should be temporal")
+	}
+	if !tab.Column("founded").Null[2] {
+		t.Error("missing key should be null")
+	}
+}
+
+func TestFromJSONErrors(t *testing.T) {
+	if _, err := FromJSON("t", strings.NewReader("not json")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := FromJSON("t", strings.NewReader("[]")); err == nil {
+		t.Error("empty array should fail")
+	}
+	if _, err := FromJSON("t", strings.NewReader(`[{"a": {"nested": 1}}]`)); err == nil {
+		t.Error("nested object should fail")
+	}
+	if _, err := FromJSON("t", strings.NewReader(`[{"b": true}]`)); err != nil {
+		t.Errorf("bool scalar should be fine: %v", err)
+	}
+}

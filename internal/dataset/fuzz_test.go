@@ -1,0 +1,64 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFromCSV checks that arbitrary bytes never panic the loader, and
+// that any table it accepts has consistent dimensions and can be written
+// back out.
+func FuzzFromCSV(f *testing.F) {
+	seeds := []string{
+		"a,b\n1,2\n",
+		"carrier,delay,scheduled\nUA,-4,2015-01-01 00:05\n",
+		"x\n\n\n",
+		"a,a,a\n1,2\n3,4,5,6\n",
+		"\"quoted,comma\",b\nv,w\n",
+		"a;b\n1;2\n",
+		"héllo,wörld\n1,2\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab, err := FromCSV("fuzz", bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, c := range tab.Columns {
+			if len(c.Raw) != tab.NumRows() || len(c.Null) != tab.NumRows() {
+				t.Fatalf("column %q dimensions inconsistent", c.Name)
+			}
+			s := c.Stats()
+			if s.Distinct > s.N {
+				t.Fatalf("column %q: distinct %d > n %d", c.Name, s.Distinct, s.N)
+			}
+		}
+		var buf bytes.Buffer
+		if err := tab.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted table failed to serialize: %v", err)
+		}
+	})
+}
+
+// FuzzInferColumn checks the type sniffer on arbitrary cell content.
+func FuzzInferColumn(f *testing.F) {
+	f.Add("1", "2", "3")
+	f.Add("2015-01-01", "2015-06-01", "x")
+	f.Add("", "NA", "null")
+	f.Fuzz(func(t *testing.T, a, b, c string) {
+		col := InferColumn("f", []string{a, b, c})
+		switch col.Type {
+		case Numerical:
+			if len(col.Nums) != 3 {
+				t.Fatal("numerical column missing values")
+			}
+		case Temporal:
+			if len(col.Times) != 3 {
+				t.Fatal("temporal column missing values")
+			}
+		}
+		col.Stats() // must not panic
+	})
+}

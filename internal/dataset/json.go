@@ -1,0 +1,72 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// FromJSON reads a table from a JSON array of flat objects (the shape most
+// REST APIs and document exports produce):
+//
+//	[{"city": "Springfield", "pop": 30000}, {"city": "Shelbyville", ...}]
+//
+// The schema is the union of keys across objects; missing keys become
+// nulls; nested objects/arrays are rejected. Column types are inferred
+// exactly as for CSV input.
+func FromJSON(name string, r io.Reader) (*Table, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	var rows []map[string]any
+	if err := dec.Decode(&rows); err != nil {
+		return nil, fmt.Errorf("dataset: decoding json: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: json %q has no rows", name)
+	}
+	keySet := map[string]struct{}{}
+	for _, row := range rows {
+		for k := range row {
+			keySet[k] = struct{}{}
+		}
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	cols := make([]*Column, 0, len(keys))
+	for _, k := range keys {
+		raw := make([]string, len(rows))
+		for i, row := range rows {
+			v, ok := row[k]
+			if !ok || v == nil {
+				continue // stays "", treated as null
+			}
+			s, err := scalarString(v)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d key %q: %w", i, k, err)
+			}
+			raw[i] = s
+		}
+		cols = append(cols, InferColumn(k, raw))
+	}
+	return New(name, cols)
+}
+
+// scalarString renders a JSON scalar as a cell string.
+func scalarString(v any) (string, error) {
+	switch x := v.(type) {
+	case string:
+		return x, nil
+	case json.Number:
+		return x.String(), nil
+	case bool:
+		return strconv.FormatBool(x), nil
+	default:
+		return "", fmt.Errorf("nested value of type %T not supported", v)
+	}
+}

@@ -1,0 +1,94 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ColumnProfile summarizes one column for data-profiling output.
+type ColumnProfile struct {
+	Name      string
+	Type      ColType
+	Rows      int
+	NonNull   int
+	Distinct  int
+	Ratio     float64
+	Min, Max  float64 // numeric/temporal only
+	TopValues []ValueCount
+}
+
+// ValueCount is a value with its occurrence count.
+type ValueCount struct {
+	Value string
+	Count int
+}
+
+// Profile summarizes every column of the table — the data-understanding
+// step that precedes visualization selection.
+func (t *Table) Profile(topK int) []ColumnProfile {
+	if topK <= 0 {
+		topK = 5
+	}
+	out := make([]ColumnProfile, 0, len(t.Columns))
+	for _, c := range t.Columns {
+		s := c.Stats()
+		p := ColumnProfile{
+			Name: c.Name, Type: c.Type,
+			Rows: len(c.Raw), NonNull: s.N,
+			Distinct: s.Distinct, Ratio: s.Ratio,
+			Min: s.Min, Max: s.Max,
+		}
+		counts := map[string]int{}
+		for i, raw := range c.Raw {
+			if !c.Null[i] {
+				counts[raw]++
+			}
+		}
+		for v, n := range counts {
+			p.TopValues = append(p.TopValues, ValueCount{v, n})
+		}
+		sort.Slice(p.TopValues, func(a, b int) bool {
+			if p.TopValues[a].Count != p.TopValues[b].Count {
+				return p.TopValues[a].Count > p.TopValues[b].Count
+			}
+			return p.TopValues[a].Value < p.TopValues[b].Value
+		})
+		if len(p.TopValues) > topK {
+			p.TopValues = p.TopValues[:topK]
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// FormatProfile renders profiles as an aligned text table.
+func FormatProfile(profiles []ColumnProfile) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-24s %-4s %8s %8s %8s  %s\n", "column", "type", "non-null", "distinct", "ratio", "range / top values")
+	for _, p := range profiles {
+		detail := ""
+		switch p.Type {
+		case Numerical:
+			detail = fmt.Sprintf("[%.4g … %.4g]", p.Min, p.Max)
+		case Temporal:
+			detail = "(temporal)"
+		default:
+			var tops []string
+			for _, tv := range p.TopValues {
+				tops = append(tops, fmt.Sprintf("%s×%d", tv.Value, tv.Count))
+			}
+			detail = strings.Join(tops, ", ")
+		}
+		fmt.Fprintf(&sb, "%-24s %-4s %8d %8d %8.3f  %s\n",
+			clipStr(p.Name, 24), p.Type, p.NonNull, p.Distinct, p.Ratio, detail)
+	}
+	return sb.String()
+}
+
+func clipStr(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

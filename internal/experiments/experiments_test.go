@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// tiny is a fast configuration for CI-style runs.
+func tiny() Config {
+	return Config{Scale: 0.02, Seed: 42, MaxPerTable: 120, LTRTrees: 25}
+}
+
+func TestRecognitionShape(t *testing.T) {
+	res, err := Recognition(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Confusion) != 10 {
+		t.Fatalf("datasets = %d", len(res.Confusion))
+	}
+	p, r, f := res.Averages()
+	t.Logf("precision Bayes/SVM/DT = %.3f / %.3f / %.3f", p[0], p[1], p[2])
+	t.Logf("recall    Bayes/SVM/DT = %.3f / %.3f / %.3f", r[0], r[1], r[2])
+	t.Logf("f1        Bayes/SVM/DT = %.3f / %.3f / %.3f", f[0], f[1], f[2])
+	// Paper shape: the decision tree wins on F-measure and lands high.
+	if f[2] <= f[0] || f[2] <= f[1] {
+		t.Errorf("decision tree should win: f = %v", f)
+	}
+	if f[2] < 0.80 {
+		t.Errorf("DT f1 = %v, want >= 0.80", f[2])
+	}
+}
+
+func TestSelectionShape(t *testing.T) {
+	res, err := Selection(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NDCG) != 10 {
+		t.Fatalf("datasets = %d", len(res.NDCG))
+	}
+	avg := res.MethodAverages()
+	t.Logf("NDCG LTR/PO/Hybrid = %.3f / %.3f / %.3f (alpha=%v)", avg[0], avg[1], avg[2], res.Alpha)
+	// Paper shape: partial order beats learning-to-rank; hybrid is best
+	// (or at least ties the best).
+	if avg[1] <= avg[0] {
+		t.Errorf("partial order (%v) should beat LTR (%v)", avg[1], avg[0])
+	}
+	// At this tiny scale α-learning sees little validation data, so allow
+	// the hybrid a wider band; the 10%-scale run recorded in
+	// EXPERIMENTS.md keeps the tighter paper shape.
+	if avg[2] < avg[1]-0.05 {
+		t.Errorf("hybrid (%v) should not trail partial order (%v) materially", avg[2], avg[1])
+	}
+	if avg[2] < avg[0]-0.02 {
+		t.Errorf("hybrid (%v) should not trail LTR (%v)", avg[2], avg[0])
+	}
+	for di := range res.NDCG {
+		for mi := range res.NDCG[di] {
+			v := res.NDCG[di][mi]
+			if v < 0 || v > 1+1e-9 {
+				t.Fatalf("NDCG out of range: %v", v)
+			}
+		}
+	}
+}
+
+func TestEfficiencyShape(t *testing.T) {
+	rows, err := Efficiency(tiny(), []int{0, 1, 6}) // X1, X2, X7
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		t.Logf("%s: E=%v R=%v | selL(E)=%v selP(E)=%v", row.Dataset, row.EnumE, row.EnumR, row.SelLofE, row.SelPofE)
+		if row.Candidates.R > row.Candidates.E {
+			t.Errorf("%s: rules should not enlarge the candidate set (%d vs %d)", row.Dataset, row.Candidates.R, row.Candidates.E)
+		}
+		if row.Total("RP") > row.Total("EP")*3 {
+			t.Errorf("%s: RP (%v) should not be slower than EP (%v)", row.Dataset, row.Total("RP"), row.Total("EP"))
+		}
+	}
+}
+
+func TestCoverageShape(t *testing.T) {
+	rows, err := Coverage(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("use cases = %d", len(rows))
+	}
+	for _, row := range rows {
+		t.Logf("%s: real=%d covered=%d k=%d candidates=%d", row.Dataset, row.Real, row.Covered, row.KNeeded, row.Candidates)
+		if row.Covered != row.Real {
+			t.Errorf("%s: covered %d of %d real charts", row.Dataset, row.Covered, row.Real)
+		}
+		if row.KNeeded < row.Real {
+			t.Errorf("%s: k (%d) below real count (%d)", row.Dataset, row.KNeeded, row.Real)
+		}
+	}
+}
+
+func TestTable3(t *testing.T) {
+	s, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Datasets != 42 {
+		t.Errorf("datasets = %d, want 42", s.Datasets)
+	}
+	if s.MaxTuples != 99527 {
+		t.Errorf("max tuples = %d, want 99527", s.MaxTuples)
+	}
+	if s.MinColumns < 2 || s.MaxColumns != 25 {
+		t.Errorf("columns = [%d, %d]", s.MinColumns, s.MaxColumns)
+	}
+	if s.Temporal == 0 || s.Categorical == 0 || s.Numerical == 0 {
+		t.Error("missing column types in corpus")
+	}
+}
+
+func TestTable4(t *testing.T) {
+	rows, err := Table4(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	goodSomewhere := false
+	for _, r := range rows {
+		t.Logf("%s: tuples=%d cols=%d good=%d", r.Name, r.Tuples, r.Columns, r.Charts)
+		if r.Charts > 0 {
+			goodSomewhere = true
+		}
+	}
+	if !goodSomewhere {
+		t.Error("no good charts in any test set")
+	}
+	if rows[9].Tuples != 99527 {
+		t.Errorf("X10 tuples = %d", rows[9].Tuples)
+	}
+}
+
+func TestFigure1Charts(t *testing.T) {
+	vs, err := Figure1Charts(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 4 {
+		t.Fatalf("figure 1 charts = %d", len(vs))
+	}
+	for i, v := range vs {
+		if v.Points() == 0 {
+			t.Errorf("chart %d empty", i)
+		}
+	}
+}
+
+func TestCrossValidationShape(t *testing.T) {
+	cfg := tiny()
+	cfg.MaxPerTable = 80
+	res, err := CrossValidation(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Folds != 3 || len(res.F1) != 3 {
+		t.Fatalf("folds = %d/%d", res.Folds, len(res.F1))
+	}
+	mean, std := res.MeanStd()
+	t.Logf("CV F1 Bayes/SVM/DT = %.3f±%.3f / %.3f±%.3f / %.3f±%.3f",
+		mean[0], std[0], mean[1], std[1], mean[2], std[2])
+	// The paper reports cross validation agreeing with the held-out split:
+	// the decision tree must still win.
+	if mean[2] <= mean[0] || mean[2] <= mean[1] {
+		t.Errorf("decision tree should win CV: %v", mean)
+	}
+}
+
+func TestAblationRankingShape(t *testing.T) {
+	res, err := AblationRanking(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa, topo := res.Averages()
+	t.Logf("NDCG weight-aware=%.3f topological=%.3f", wa, topo)
+	// The paper motivates the weight-aware score over plain topological
+	// sorting; it must not be worse.
+	if wa < topo-0.01 {
+		t.Errorf("weight-aware (%v) should not trail topological (%v)", wa, topo)
+	}
+}
+
+func TestFigure9FirstPage(t *testing.T) {
+	vs, err := Figure9FirstPage(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 6 {
+		t.Fatalf("first page = %d charts", len(vs))
+	}
+	seen := map[string]bool{}
+	for _, v := range vs {
+		if seen[v.Query] {
+			t.Errorf("duplicate chart on first page: %q", v.Query)
+		}
+		seen[v.Query] = true
+	}
+}

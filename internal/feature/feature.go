@@ -1,0 +1,119 @@
+// Package feature implements DeepEye's feature engineering (§III): the
+// 14-dimension vector F over a column pair and a chart type — per-column
+// distinct count d(X), tuple count |X|, unique ratio r(X), min, max, and
+// data type (6 × 2 = 12 features), plus the correlation c(X, Y) (feature 6)
+// and the visualization type (feature 7).
+package feature
+
+import (
+	"math"
+
+	"github.com/deepeye/deepeye/internal/chart"
+	"github.com/deepeye/deepeye/internal/dataset"
+	"github.com/deepeye/deepeye/internal/stats"
+)
+
+// Dim is the dimensionality of the paper's feature vector.
+const Dim = 14
+
+// Vector is the 14-feature representation of a (column pair, chart type)
+// candidate. Layout:
+//
+//	[0] d(X)   [1] |X|   [2] r(X)   [3] min(X)   [4] max(X)   [5] T(X)
+//	[6] d(Y)   [7] |Y|   [8] r(Y)   [9] min(Y)  [10] max(Y)  [11] T(Y)
+//	[12] c(X,Y)  [13] chart type
+type Vector [Dim]float64
+
+// Names gives a stable human-readable name per dimension (used in model
+// dumps and debugging).
+var Names = [Dim]string{
+	"d(X)", "|X|", "r(X)", "min(X)", "max(X)", "T(X)",
+	"d(Y)", "|Y|", "r(Y)", "min(Y)", "max(Y)", "T(Y)",
+	"c(X,Y)", "chart",
+}
+
+// Slice returns the vector as a fresh []float64 (for ML interfaces).
+func (v Vector) Slice() []float64 {
+	out := make([]float64, Dim)
+	copy(out, v[:])
+	return out
+}
+
+// ColumnInfo summarizes one (possibly transformed) column for feature
+// extraction.
+type ColumnInfo struct {
+	Distinct int
+	N        int
+	Min, Max float64
+	Type     dataset.ColType
+}
+
+// Ratio returns r(X) = d(X)/|X| (0 for empty columns).
+func (ci ColumnInfo) Ratio() float64 {
+	if ci.N == 0 {
+		return 0
+	}
+	return float64(ci.Distinct) / float64(ci.N)
+}
+
+// FromColumn derives ColumnInfo from a dataset column.
+func FromColumn(c *dataset.Column) ColumnInfo {
+	s := c.Stats()
+	return ColumnInfo{Distinct: s.Distinct, N: s.N, Min: s.Min, Max: s.Max, Type: c.Type}
+}
+
+// FromSeries derives ColumnInfo from an explicit numeric series with a
+// declared type (used for transformed X′/Y′ values).
+func FromSeries(vals []float64, typ dataset.ColType) ColumnInfo {
+	ci := ColumnInfo{N: len(vals), Type: typ}
+	distinct := make(map[float64]struct{}, len(vals))
+	ci.Min, ci.Max = math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		distinct[v] = struct{}{}
+		if v < ci.Min {
+			ci.Min = v
+		}
+		if v > ci.Max {
+			ci.Max = v
+		}
+	}
+	ci.Distinct = len(distinct)
+	if ci.N == 0 {
+		ci.Min, ci.Max = 0, 0
+	}
+	return ci
+}
+
+// FromLabels derives ColumnInfo from categorical labels.
+func FromLabels(labels []string) ColumnInfo {
+	ci := ColumnInfo{N: len(labels), Type: dataset.Categorical}
+	distinct := make(map[string]struct{}, len(labels))
+	for _, l := range labels {
+		distinct[l] = struct{}{}
+	}
+	ci.Distinct = len(distinct)
+	return ci
+}
+
+// Extract assembles the 14-feature vector from the two column summaries,
+// the correlation c(X, Y), and the chart type.
+func Extract(x, y ColumnInfo, corr float64, typ chart.Type) Vector {
+	var v Vector
+	v[0], v[1], v[2], v[3], v[4], v[5] = float64(x.Distinct), float64(x.N), x.Ratio(), x.Min, x.Max, float64(x.Type)
+	v[6], v[7], v[8], v[9], v[10], v[11] = float64(y.Distinct), float64(y.N), y.Ratio(), y.Min, y.Max, float64(y.Type)
+	v[12] = corr
+	v[13] = float64(typ)
+	return v
+}
+
+// Correlation computes c(X, Y) for two numeric series as the max absolute
+// correlation over the four families (paper feature 6). For non-numeric
+// pairs the paper writes c = N (not applicable); callers pass NaN-free
+// series only, so this helper returns 0 for unusable input.
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	c, _ := stats.Correlation(xs, ys)
+	return c
+}

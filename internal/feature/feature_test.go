@@ -1,0 +1,112 @@
+package feature
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/deepeye/deepeye/internal/chart"
+	"github.com/deepeye/deepeye/internal/dataset"
+)
+
+func TestFromColumn(t *testing.T) {
+	c := dataset.NumColumn("x", []float64{1, 2, 2, 5})
+	ci := FromColumn(c)
+	if ci.Distinct != 3 || ci.N != 4 || ci.Min != 1 || ci.Max != 5 || ci.Type != dataset.Numerical {
+		t.Errorf("info = %+v", ci)
+	}
+	if got, want := ci.Ratio(), 0.75; got != want {
+		t.Errorf("ratio = %v", got)
+	}
+}
+
+func TestFromSeries(t *testing.T) {
+	ci := FromSeries([]float64{3, 3, 7}, dataset.Numerical)
+	if ci.Distinct != 2 || ci.N != 3 || ci.Min != 3 || ci.Max != 7 {
+		t.Errorf("info = %+v", ci)
+	}
+	empty := FromSeries(nil, dataset.Numerical)
+	if empty.Min != 0 || empty.Max != 0 || empty.Ratio() != 0 {
+		t.Errorf("empty = %+v", empty)
+	}
+}
+
+func TestFromLabels(t *testing.T) {
+	ci := FromLabels([]string{"a", "b", "a"})
+	if ci.Distinct != 2 || ci.N != 3 || ci.Type != dataset.Categorical {
+		t.Errorf("info = %+v", ci)
+	}
+}
+
+func TestExtractLayout(t *testing.T) {
+	x := ColumnInfo{Distinct: 24, N: 24, Min: 0, Max: 23, Type: dataset.Temporal}
+	y := ColumnInfo{Distinct: 18, N: 24, Min: -5, Max: 40, Type: dataset.Numerical}
+	v := Extract(x, y, 0.43, chart.Line)
+	if v[0] != 24 || v[1] != 24 || v[2] != 1 || v[4] != 23 || v[5] != float64(dataset.Temporal) {
+		t.Errorf("x features = %v", v[:6])
+	}
+	if v[6] != 18 || v[9] != -5 || v[11] != float64(dataset.Numerical) {
+		t.Errorf("y features = %v", v[6:12])
+	}
+	if v[12] != 0.43 || v[13] != float64(chart.Line) {
+		t.Errorf("tail = %v", v[12:])
+	}
+}
+
+func TestSliceIsCopy(t *testing.T) {
+	v := Extract(ColumnInfo{N: 1, Distinct: 1}, ColumnInfo{N: 1, Distinct: 1}, 0, chart.Bar)
+	s := v.Slice()
+	if len(s) != Dim {
+		t.Fatalf("len = %d", len(s))
+	}
+	s[0] = 999
+	if v[0] == 999 {
+		t.Error("Slice should copy")
+	}
+}
+
+func TestCorrelationHelper(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if c := Correlation(xs, ys); math.Abs(c-1) > 1e-9 {
+		t.Errorf("corr = %v", c)
+	}
+	if Correlation(xs, ys[:3]) != 0 {
+		t.Error("mismatched lengths should give 0")
+	}
+	if Correlation(nil, nil) != 0 {
+		t.Error("empty should give 0")
+	}
+}
+
+func TestNamesComplete(t *testing.T) {
+	for i, n := range Names {
+		if n == "" {
+			t.Errorf("dimension %d unnamed", i)
+		}
+	}
+}
+
+// Property: ratio is always within (0, 1] for non-empty series and
+// distinct <= N.
+func TestColumnInfoInvariantsQuick(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if !math.IsNaN(v) {
+				clean = append(clean, v)
+			}
+		}
+		ci := FromSeries(clean, dataset.Numerical)
+		if ci.Distinct > ci.N {
+			return false
+		}
+		if ci.N > 0 && (ci.Ratio() <= 0 || ci.Ratio() > 1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+// Package hybrid implements DeepEye's HybridRank (paper §IV-D): a linear
+// combination of the learning-to-rank position l_v and the partial-order
+// position p_v. Each candidate gets the combined score l_v + α·p_v
+// (lower is better) and the preference weight α is learned from labelled
+// data by maximizing NDCG over a grid.
+package hybrid
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/deepeye/deepeye/internal/metrics"
+)
+
+// DefaultAlphas is the grid LearnAlpha searches. The extremes matter: a
+// tiny α follows learning-to-rank almost verbatim and a huge α follows
+// the partial order, so the learned hybrid can always fall back to
+// whichever base ranking validates better.
+var DefaultAlphas = []float64{0.05, 0.1, 0.25, 0.5, 0.75, 1, 1.5, 2, 3, 5, 10, 25, 100}
+
+// Combine merges two rankings given as best-first index orders over the
+// same n candidates, returning the hybrid best-first order. A candidate's
+// combined score is its position in ltr plus α times its position in po.
+func Combine(ltr, po []int, alpha float64) ([]int, error) {
+	n := len(ltr)
+	if len(po) != n {
+		return nil, fmt.Errorf("hybrid: rankings cover %d and %d candidates", n, len(po))
+	}
+	ltrPos := make([]int, n)
+	poPos := make([]int, n)
+	seenL := make([]bool, n)
+	seenP := make([]bool, n)
+	for rank, idx := range ltr {
+		if idx < 0 || idx >= n || seenL[idx] {
+			return nil, fmt.Errorf("hybrid: ltr ranking is not a permutation")
+		}
+		seenL[idx] = true
+		ltrPos[idx] = rank
+	}
+	for rank, idx := range po {
+		if idx < 0 || idx >= n || seenP[idx] {
+			return nil, fmt.Errorf("hybrid: partial-order ranking is not a permutation")
+		}
+		seenP[idx] = true
+		poPos[idx] = rank
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa := float64(ltrPos[order[a]]) + alpha*float64(poPos[order[a]])
+		sb := float64(ltrPos[order[b]]) + alpha*float64(poPos[order[b]])
+		return sa < sb
+	})
+	return order, nil
+}
+
+// TrainingGroup is one labelled dataset for α learning: both base
+// rankings plus the ground-truth relevance of each candidate.
+type TrainingGroup struct {
+	LTR, PO   []int     // best-first index orders
+	Relevance []float64 // indexed by candidate
+}
+
+// LearnAlpha picks the α from the grid (DefaultAlphas when nil) that
+// maximizes the mean NDCG of the combined ranking across groups.
+func LearnAlpha(groups []TrainingGroup, grid []float64) (float64, error) {
+	if len(groups) == 0 {
+		return 0, fmt.Errorf("hybrid: no training groups")
+	}
+	if len(grid) == 0 {
+		grid = DefaultAlphas
+	}
+	bestAlpha, bestNDCG := grid[0], -1.0
+	for _, alpha := range grid {
+		var total float64
+		count := 0
+		for _, g := range groups {
+			order, err := Combine(g.LTR, g.PO, alpha)
+			if err != nil {
+				return 0, err
+			}
+			rels := make([]float64, len(order))
+			for pos, idx := range order {
+				rels[pos] = g.Relevance[idx]
+			}
+			total += metrics.NDCGAt(rels)
+			count++
+		}
+		if avg := total / float64(count); avg > bestNDCG {
+			bestNDCG = avg
+			bestAlpha = alpha
+		}
+	}
+	return bestAlpha, nil
+}

@@ -1,0 +1,149 @@
+package hybrid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/deepeye/deepeye/internal/metrics"
+)
+
+func TestCombineIdenticalRankings(t *testing.T) {
+	r := []int{2, 0, 1}
+	out, err := Combine(r, r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r {
+		if out[i] != r[i] {
+			t.Fatalf("combined = %v, want %v", out, r)
+		}
+	}
+}
+
+func TestCombineAlphaWeighting(t *testing.T) {
+	// Candidate 0 is first in LTR, last in PO; candidate 2 the opposite.
+	ltr := []int{0, 1, 2}
+	po := []int{2, 1, 0}
+	// Tiny alpha: LTR dominates.
+	out, err := Combine(ltr, po, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0 {
+		t.Errorf("alpha→0 should follow LTR, got %v", out)
+	}
+	// Huge alpha: PO dominates.
+	out, err = Combine(ltr, po, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 2 {
+		t.Errorf("alpha→∞ should follow PO, got %v", out)
+	}
+}
+
+func TestCombineErrors(t *testing.T) {
+	if _, err := Combine([]int{0, 1}, []int{0}, 1); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Combine([]int{0, 0}, []int{0, 1}, 1); err == nil {
+		t.Error("non-permutation should fail")
+	}
+	if _, err := Combine([]int{0, 5}, []int{0, 1}, 1); err == nil {
+		t.Error("out-of-range should fail")
+	}
+}
+
+func TestLearnAlphaPrefersBetterRanker(t *testing.T) {
+	// PO ranking matches relevance perfectly; LTR is mediocre. High alpha
+	// should win.
+	rng := rand.New(rand.NewSource(5))
+	var groups []TrainingGroup
+	for g := 0; g < 10; g++ {
+		n := 12
+		rel := make([]float64, n)
+		for i := range rel {
+			rel[i] = float64(rng.Intn(4))
+		}
+		po := argsortDesc(rel)
+		ltr := rng.Perm(n)
+		groups = append(groups, TrainingGroup{LTR: ltr, PO: po, Relevance: rel})
+	}
+	alpha, err := LearnAlpha(groups, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha < 1 {
+		t.Errorf("alpha = %v, want >= 1 when PO is the better ranker", alpha)
+	}
+
+	// And the hybrid should beat LTR alone on these groups.
+	var hybridNDCG, ltrNDCG float64
+	for _, g := range groups {
+		order, err := Combine(g.LTR, g.PO, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hybridNDCG += ndcgOf(order, g.Relevance)
+		ltrNDCG += ndcgOf(g.LTR, g.Relevance)
+	}
+	if hybridNDCG <= ltrNDCG {
+		t.Errorf("hybrid NDCG %v should beat LTR %v", hybridNDCG, ltrNDCG)
+	}
+}
+
+func TestLearnAlphaEmpty(t *testing.T) {
+	if _, err := LearnAlpha(nil, nil); err == nil {
+		t.Error("no groups should fail")
+	}
+}
+
+func argsortDesc(rel []float64) []int {
+	order := make([]int, len(rel))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if rel[order[j]] > rel[order[i]] {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	return order
+}
+
+func ndcgOf(order []int, rel []float64) float64 {
+	rels := make([]float64, len(order))
+	for pos, idx := range order {
+		rels[pos] = rel[idx]
+	}
+	return metrics.NDCGAt(rels)
+}
+
+// Property: Combine always returns a permutation.
+func TestCombinePermutationQuick(t *testing.T) {
+	f := func(seed int64, n8 uint8, alphaSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n8%20) + 1
+		ltr := rng.Perm(n)
+		po := rng.Perm(n)
+		alpha := DefaultAlphas[int(alphaSel)%len(DefaultAlphas)]
+		out, err := Combine(ltr, po, alpha)
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, idx := range out {
+			if idx < 0 || idx >= n || seen[idx] {
+				return false
+			}
+			seen[idx] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

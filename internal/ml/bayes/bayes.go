@@ -1,0 +1,122 @@
+// Package bayes implements a Gaussian naive Bayes binary classifier — one
+// of the two baseline recognizers DeepEye compares against (paper §VI-B,
+// where it trails both SVM and the decision tree). Each feature is modeled
+// as an independent normal distribution per class; variance smoothing
+// keeps degenerate (constant) features from collapsing the likelihood.
+package bayes
+
+import (
+	"math"
+
+	"github.com/deepeye/deepeye/internal/ml"
+)
+
+// Classifier is a trained Gaussian naive Bayes model.
+type Classifier struct {
+	dim      int
+	priorPos float64
+	// per-class, per-feature parameters
+	meanPos, meanNeg []float64
+	varPos, varNeg   []float64
+}
+
+// New creates an untrained classifier.
+func New() *Classifier { return &Classifier{} }
+
+// Name implements ml.Classifier.
+func (c *Classifier) Name() string { return "NaiveBayes" }
+
+// Fit estimates per-class feature distributions.
+func (c *Classifier) Fit(X [][]float64, y []bool) error {
+	dim, err := ml.CheckTrainingData(X, y)
+	if err != nil {
+		return err
+	}
+	c.dim = dim
+	c.meanPos = make([]float64, dim)
+	c.meanNeg = make([]float64, dim)
+	c.varPos = make([]float64, dim)
+	c.varNeg = make([]float64, dim)
+	nPos, nNeg := 0, 0
+	for i, row := range X {
+		if y[i] {
+			nPos++
+			for j, v := range row {
+				c.meanPos[j] += v
+			}
+		} else {
+			nNeg++
+			for j, v := range row {
+				c.meanNeg[j] += v
+			}
+		}
+	}
+	// Laplace-smoothed prior keeps single-class training sets usable.
+	c.priorPos = (float64(nPos) + 1) / (float64(nPos+nNeg) + 2)
+	for j := 0; j < dim; j++ {
+		if nPos > 0 {
+			c.meanPos[j] /= float64(nPos)
+		}
+		if nNeg > 0 {
+			c.meanNeg[j] /= float64(nNeg)
+		}
+	}
+	var maxVar float64
+	for i, row := range X {
+		for j, v := range row {
+			if y[i] {
+				d := v - c.meanPos[j]
+				c.varPos[j] += d * d
+			} else {
+				d := v - c.meanNeg[j]
+				c.varNeg[j] += d * d
+			}
+		}
+	}
+	for j := 0; j < dim; j++ {
+		if nPos > 1 {
+			c.varPos[j] /= float64(nPos)
+		}
+		if nNeg > 1 {
+			c.varNeg[j] /= float64(nNeg)
+		}
+		if v := math.Max(c.varPos[j], c.varNeg[j]); v > maxVar {
+			maxVar = v
+		}
+	}
+	// Variance smoothing à la scikit-learn: add a fraction of the largest
+	// feature variance so constant features keep finite likelihoods.
+	eps := 1e-9 * maxVar
+	if eps == 0 {
+		eps = 1e-9
+	}
+	for j := 0; j < dim; j++ {
+		c.varPos[j] += eps
+		c.varNeg[j] += eps
+	}
+	return nil
+}
+
+// Predict implements ml.Classifier.
+func (c *Classifier) Predict(x []float64) bool {
+	return c.LogOdds(x) >= 0
+}
+
+// LogOdds returns log P(pos|x) − log P(neg|x) up to a shared constant.
+func (c *Classifier) LogOdds(x []float64) float64 {
+	if c.dim == 0 {
+		return 0
+	}
+	pos := math.Log(c.priorPos)
+	neg := math.Log(1 - c.priorPos)
+	for j := 0; j < c.dim && j < len(x); j++ {
+		pos += logGauss(x[j], c.meanPos[j], c.varPos[j])
+		neg += logGauss(x[j], c.meanNeg[j], c.varNeg[j])
+	}
+	return pos - neg
+}
+
+func logGauss(x, mean, variance float64) float64 {
+	d := x - mean
+	return -0.5*math.Log(2*math.Pi*variance) - d*d/(2*variance)
+}

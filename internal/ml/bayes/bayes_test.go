@@ -1,0 +1,101 @@
+package bayes
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// gaussData draws two well-separated Gaussian blobs.
+func gaussData(n int, seed int64) ([][]float64, []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]bool, n)
+	for i := range X {
+		if i%2 == 0 {
+			X[i] = []float64{rng.NormFloat64() + 4, rng.NormFloat64() - 4}
+			y[i] = true
+		} else {
+			X[i] = []float64{rng.NormFloat64() - 4, rng.NormFloat64() + 4}
+		}
+	}
+	return X, y
+}
+
+func TestFitPredictGaussians(t *testing.T) {
+	X, y := gaussData(1000, 1)
+	c := New()
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	Xt, yt := gaussData(400, 2)
+	correct := 0
+	for i := range Xt {
+		if c.Predict(Xt[i]) == yt[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(Xt)); acc < 0.98 {
+		t.Errorf("accuracy = %v", acc)
+	}
+}
+
+func TestConstantFeatureSurvives(t *testing.T) {
+	X := [][]float64{{1, 7}, {2, 7}, {3, 7}, {10, 7}, {11, 7}, {12, 7}}
+	y := []bool{true, true, true, false, false, false}
+	c := New()
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Predict([]float64{2, 7}) || c.Predict([]float64{11, 7}) {
+		t.Error("constant feature broke classification")
+	}
+}
+
+func TestSingleClassTraining(t *testing.T) {
+	X := [][]float64{{1}, {2}}
+	y := []bool{true, true}
+	c := New()
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Predict([]float64{1.5}) {
+		t.Error("all-positive training should predict positive near the data")
+	}
+}
+
+func TestPriorInfluence(t *testing.T) {
+	// Heavily imbalanced data with overlapping features: prior should tip
+	// the decision toward the majority class at the midpoint.
+	rng := rand.New(rand.NewSource(3))
+	var X [][]float64
+	var y []bool
+	for i := 0; i < 900; i++ {
+		X = append(X, []float64{rng.NormFloat64()})
+		y = append(y, false)
+	}
+	for i := 0; i < 100; i++ {
+		X = append(X, []float64{rng.NormFloat64() + 1})
+		y = append(y, true)
+	}
+	c := New()
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if c.Predict([]float64{0.5}) {
+		t.Error("majority prior should dominate at the overlap")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	c := New()
+	if err := c.Fit(nil, nil); err == nil {
+		t.Error("empty fit should fail")
+	}
+}
+
+func TestUntrainedLogOdds(t *testing.T) {
+	c := New()
+	if c.LogOdds([]float64{1}) != 0 {
+		t.Error("untrained model should be indifferent")
+	}
+}

@@ -1,0 +1,40 @@
+package bayes
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+type classifierDTO struct {
+	Dim      int       `json:"dim"`
+	PriorPos float64   `json:"prior_pos"`
+	MeanPos  []float64 `json:"mean_pos"`
+	MeanNeg  []float64 `json:"mean_neg"`
+	VarPos   []float64 `json:"var_pos"`
+	VarNeg   []float64 `json:"var_neg"`
+}
+
+// MarshalJSON serializes the trained model.
+func (c *Classifier) MarshalJSON() ([]byte, error) {
+	return json.Marshal(classifierDTO{
+		Dim: c.dim, PriorPos: c.priorPos,
+		MeanPos: c.meanPos, MeanNeg: c.meanNeg,
+		VarPos: c.varPos, VarNeg: c.varNeg,
+	})
+}
+
+// UnmarshalJSON restores a trained model.
+func (c *Classifier) UnmarshalJSON(data []byte) error {
+	var dto classifierDTO
+	if err := json.Unmarshal(data, &dto); err != nil {
+		return fmt.Errorf("bayes: %w", err)
+	}
+	if dto.Dim > 0 && (len(dto.MeanPos) != dto.Dim || len(dto.VarPos) != dto.Dim) {
+		return fmt.Errorf("bayes: dimension mismatch in serialized model")
+	}
+	c.dim = dto.Dim
+	c.priorPos = dto.PriorPos
+	c.meanPos, c.meanNeg = dto.MeanPos, dto.MeanNeg
+	c.varPos, c.varNeg = dto.VarPos, dto.VarNeg
+	return nil
+}

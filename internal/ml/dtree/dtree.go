@@ -1,0 +1,242 @@
+// Package dtree implements a CART-style binary decision tree classifier —
+// DeepEye's visualization-recognition model of choice (paper §III and
+// §VI-B, where it beats SVM and naive Bayes). Splits are axis-aligned
+// thresholds chosen by Gini impurity reduction; growth stops at MaxDepth,
+// MinLeaf, or purity.
+package dtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/deepeye/deepeye/internal/ml"
+)
+
+// Options controls tree growth.
+type Options struct {
+	MaxDepth int // maximum tree depth (root = depth 0); default 12
+	MinLeaf  int // minimum samples per leaf; default 2
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 12
+	}
+	if o.MinLeaf <= 0 {
+		o.MinLeaf = 2
+	}
+	return o
+}
+
+// Tree is a trained decision tree classifier. The zero value is unusable;
+// construct with New and call Fit.
+type Tree struct {
+	opts Options
+	root *node
+	dim  int
+}
+
+type node struct {
+	// internal nodes
+	feature   int
+	threshold float64
+	left      *node
+	right     *node
+	// leaves
+	leaf     bool
+	positive bool
+	prob     float64 // fraction of positive training samples in the leaf
+}
+
+// New creates an untrained tree with the given options.
+func New(opts Options) *Tree {
+	return &Tree{opts: opts.withDefaults()}
+}
+
+// Name implements ml.Classifier.
+func (t *Tree) Name() string { return "DecisionTree" }
+
+// Fit grows the tree on the training data.
+func (t *Tree) Fit(X [][]float64, y []bool) error {
+	dim, err := ml.CheckTrainingData(X, y)
+	if err != nil {
+		return err
+	}
+	t.dim = dim
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.grow(X, y, idx, 0)
+	return nil
+}
+
+// grow recursively builds the subtree for the sample subset idx.
+func (t *Tree) grow(X [][]float64, y []bool, idx []int, depth int) *node {
+	pos := 0
+	for _, i := range idx {
+		if y[i] {
+			pos++
+		}
+	}
+	n := len(idx)
+	mk := func() *node {
+		return &node{leaf: true, positive: pos*2 >= n, prob: float64(pos) / float64(n)}
+	}
+	if pos == 0 || pos == n || depth >= t.opts.MaxDepth || n < 2*t.opts.MinLeaf {
+		return mk()
+	}
+	feat, thr, gain := t.bestSplit(X, y, idx)
+	if gain <= 1e-12 {
+		return mk()
+	}
+	var left, right []int
+	for _, i := range idx {
+		if X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < t.opts.MinLeaf || len(right) < t.opts.MinLeaf {
+		return mk()
+	}
+	return &node{
+		feature:   feat,
+		threshold: thr,
+		left:      t.grow(X, y, left, depth+1),
+		right:     t.grow(X, y, right, depth+1),
+	}
+}
+
+// bestSplit finds the (feature, threshold) pair maximizing Gini gain.
+func (t *Tree) bestSplit(X [][]float64, y []bool, idx []int) (feat int, thr float64, gain float64) {
+	n := len(idx)
+	totalPos := 0
+	for _, i := range idx {
+		if y[i] {
+			totalPos++
+		}
+	}
+	parentGini := gini(totalPos, n)
+	bestGain := 0.0
+	bestFeat, bestThr := -1, 0.0
+
+	type valLabel struct {
+		v   float64
+		pos bool
+	}
+	vals := make([]valLabel, n)
+	for f := 0; f < t.dim; f++ {
+		for k, i := range idx {
+			vals[k] = valLabel{X[i][f], y[i]}
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		leftPos, leftN := 0, 0
+		for k := 0; k < n-1; k++ {
+			if vals[k].pos {
+				leftPos++
+			}
+			leftN++
+			if vals[k].v == vals[k+1].v {
+				continue // cannot split between equal values
+			}
+			rightPos := totalPos - leftPos
+			rightN := n - leftN
+			w := parentGini -
+				(float64(leftN)/float64(n))*gini(leftPos, leftN) -
+				(float64(rightN)/float64(n))*gini(rightPos, rightN)
+			if w > bestGain {
+				bestGain = w
+				bestFeat = f
+				bestThr = (vals[k].v + vals[k+1].v) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return 0, 0, 0
+	}
+	return bestFeat, bestThr, bestGain
+}
+
+func gini(pos, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(pos) / float64(n)
+	return 2 * p * (1 - p)
+}
+
+// Predict implements ml.Classifier.
+func (t *Tree) Predict(x []float64) bool {
+	return t.Proba(x) >= 0.5
+}
+
+// Proba returns the positive-class probability estimate (the training
+// fraction in the reached leaf).
+func (t *Tree) Proba(x []float64) float64 {
+	n := t.root
+	if n == nil {
+		return 0
+	}
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.prob
+}
+
+// Depth returns the depth of the trained tree (0 for a single leaf).
+func (t *Tree) Depth() int { return depth(t.root) }
+
+func depth(n *node) int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	l, r := depth(n.left), depth(n.right)
+	return 1 + int(math.Max(float64(l), float64(r)))
+}
+
+// NumLeaves counts the leaves of the trained tree.
+func (t *Tree) NumLeaves() int { return leaves(t.root) }
+
+func leaves(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.leaf {
+		return 1
+	}
+	return leaves(n.left) + leaves(n.right)
+}
+
+// Dump renders the tree as indented text with the given feature names
+// (nil for generic names) — useful for inspecting what the recognizer
+// learned.
+func (t *Tree) Dump(featureNames []string) string {
+	var sb strings.Builder
+	var walk func(n *node, indent string)
+	walk = func(n *node, indent string) {
+		if n == nil {
+			return
+		}
+		if n.leaf {
+			fmt.Fprintf(&sb, "%sleaf: positive=%v (p=%.2f)\n", indent, n.positive, n.prob)
+			return
+		}
+		name := fmt.Sprintf("f%d", n.feature)
+		if n.feature < len(featureNames) {
+			name = featureNames[n.feature]
+		}
+		fmt.Fprintf(&sb, "%s%s <= %.4g ?\n", indent, name, n.threshold)
+		walk(n.left, indent+"  ")
+		walk(n.right, indent+"  ")
+	}
+	walk(t.root, "")
+	return sb.String()
+}

@@ -1,0 +1,162 @@
+package dtree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// ruleData generates a piecewise (rule-shaped) labeling: positive iff
+// (x0 <= 5 and x1 > 2) or x2 > 8 — the kind of boundary trees nail and
+// linear models cannot.
+func ruleData(n int, seed int64) ([][]float64, []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]bool, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64() * 10, rng.Float64() * 5, rng.Float64() * 10}
+		y[i] = (X[i][0] <= 5 && X[i][1] > 2) || X[i][2] > 8
+	}
+	return X, y
+}
+
+func TestFitPredictRuleBoundary(t *testing.T) {
+	X, y := ruleData(2000, 1)
+	tr := New(Options{})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	Xt, yt := ruleData(500, 2)
+	correct := 0
+	for i := range Xt {
+		if tr.Predict(Xt[i]) == yt[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(Xt))
+	if acc < 0.95 {
+		t.Errorf("accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestPureLeafShortCircuit(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []bool{true, true, true}
+	tr := New(Options{})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() != 0 || tr.NumLeaves() != 1 {
+		t.Errorf("pure training set should give a single leaf, depth=%d leaves=%d", tr.Depth(), tr.NumLeaves())
+	}
+	if !tr.Predict([]float64{99}) {
+		t.Error("should predict the pure class")
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	X, y := ruleData(1000, 3)
+	tr := New(Options{MaxDepth: 2})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() > 2 {
+		t.Errorf("depth = %d, want <= 2", tr.Depth())
+	}
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	X, y := ruleData(100, 4)
+	tr := New(Options{MinLeaf: 30})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// With MinLeaf 30 on 100 samples the tree can split at most a few
+	// times; just check it trained and predicts without panicking.
+	tr.Predict(X[0])
+}
+
+func TestProbaBounds(t *testing.T) {
+	X, y := ruleData(500, 5)
+	tr := New(Options{MaxDepth: 3})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range X {
+		p := tr.Proba(X[i])
+		if p < 0 || p > 1 {
+			t.Fatalf("proba = %v", p)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	tr := New(Options{})
+	if err := tr.Fit(nil, nil); err == nil {
+		t.Error("empty fit should fail")
+	}
+	if err := tr.Fit([][]float64{{1}}, []bool{true, false}); err == nil {
+		t.Error("mismatch should fail")
+	}
+}
+
+func TestUntrainedPredict(t *testing.T) {
+	tr := New(Options{})
+	if tr.Predict([]float64{1}) {
+		t.Error("untrained tree should predict negative")
+	}
+}
+
+func TestDump(t *testing.T) {
+	X, y := ruleData(200, 6)
+	tr := New(Options{MaxDepth: 3})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	d := tr.Dump([]string{"alpha", "beta", "gamma"})
+	if !strings.Contains(d, "leaf:") {
+		t.Errorf("dump missing leaves:\n%s", d)
+	}
+	if !strings.Contains(d, "alpha") && !strings.Contains(d, "beta") && !strings.Contains(d, "gamma") {
+		t.Errorf("dump missing feature names:\n%s", d)
+	}
+}
+
+// Property: the tree perfectly memorizes small noise-free datasets with
+// distinct feature values when depth allows.
+func TestMemorizationQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 16
+		X := make([][]float64, n)
+		y := make([]bool, n)
+		used := map[float64]bool{}
+		for i := range X {
+			v := math10(rng)
+			for used[v] {
+				v = math10(rng)
+			}
+			used[v] = true
+			X[i] = []float64{v}
+			y[i] = rng.Intn(2) == 0
+		}
+		tr := New(Options{MaxDepth: 20, MinLeaf: 1})
+		if err := tr.Fit(X, y); err != nil {
+			return false
+		}
+		for i := range X {
+			if tr.Predict(X[i]) != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func math10(rng *rand.Rand) float64 {
+	return float64(rng.Intn(100000))
+}

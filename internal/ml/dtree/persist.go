@@ -1,0 +1,83 @@
+package dtree
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// persistent DTOs: the tree serializes as a flat node array with child
+// indices, which keeps the JSON stable and avoids recursion limits.
+type treeDTO struct {
+	Opts  Options   `json:"opts"`
+	Dim   int       `json:"dim"`
+	Nodes []nodeDTO `json:"nodes"`
+}
+
+type nodeDTO struct {
+	Feature   int     `json:"feature"`
+	Threshold float64 `json:"threshold"`
+	Left      int     `json:"left"` // -1 for leaves
+	Right     int     `json:"right"`
+	Leaf      bool    `json:"leaf"`
+	Positive  bool    `json:"positive"`
+	Prob      float64 `json:"prob"`
+}
+
+// MarshalJSON serializes the trained tree.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	dto := treeDTO{Opts: t.opts, Dim: t.dim}
+	var flatten func(n *node) int
+	flatten = func(n *node) int {
+		if n == nil {
+			return -1
+		}
+		self := len(dto.Nodes)
+		dto.Nodes = append(dto.Nodes, nodeDTO{
+			Feature: n.feature, Threshold: n.threshold,
+			Left: -1, Right: -1,
+			Leaf: n.leaf, Positive: n.positive, Prob: n.prob,
+		})
+		if !n.leaf {
+			l := flatten(n.left)
+			r := flatten(n.right)
+			dto.Nodes[self].Left = l
+			dto.Nodes[self].Right = r
+		}
+		return self
+	}
+	flatten(t.root)
+	return json.Marshal(dto)
+}
+
+// UnmarshalJSON restores a trained tree.
+func (t *Tree) UnmarshalJSON(data []byte) error {
+	var dto treeDTO
+	if err := json.Unmarshal(data, &dto); err != nil {
+		return fmt.Errorf("dtree: %w", err)
+	}
+	t.opts = dto.Opts
+	t.dim = dto.Dim
+	t.root = nil
+	if len(dto.Nodes) == 0 {
+		return nil
+	}
+	nodes := make([]*node, len(dto.Nodes))
+	for i, nd := range dto.Nodes {
+		nodes[i] = &node{
+			feature: nd.Feature, threshold: nd.Threshold,
+			leaf: nd.Leaf, positive: nd.Positive, prob: nd.Prob,
+		}
+	}
+	for i, nd := range dto.Nodes {
+		if nd.Leaf {
+			continue
+		}
+		if nd.Left < 0 || nd.Left >= len(nodes) || nd.Right < 0 || nd.Right >= len(nodes) {
+			return fmt.Errorf("dtree: node %d has invalid children (%d, %d)", i, nd.Left, nd.Right)
+		}
+		nodes[i].left = nodes[nd.Left]
+		nodes[i].right = nodes[nd.Right]
+	}
+	t.root = nodes[0]
+	return nil
+}

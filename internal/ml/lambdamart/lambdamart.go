@@ -1,0 +1,224 @@
+// Package lambdamart implements the LambdaMART learning-to-rank algorithm
+// (Burges et al., MSR-TR-2008-109) that DeepEye uses for visualization
+// ranking (paper §III): gradient-boosted regression trees whose gradients
+// are the λ values of LambdaRank — pairwise logistic gradients weighted by
+// the |ΔNDCG| each pairwise swap would cause — with Newton-step leaf
+// re-estimation.
+package lambdamart
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/deepeye/deepeye/internal/ml/regtree"
+)
+
+// Sample is one document (here: one candidate visualization) inside a
+// query group: its feature vector and graded relevance (higher = better).
+type Sample struct {
+	Features  []float64
+	Relevance float64
+}
+
+// Group is the list of candidates for one query (here: one dataset); the
+// ranking loss is computed within groups only.
+type Group []Sample
+
+// Options controls boosting.
+type Options struct {
+	Trees        int     // number of boosting rounds; default 100
+	LearningRate float64 // shrinkage; default 0.1
+	MaxDepth     int     // per-tree depth; default 4
+	MinLeaf      int     // per-leaf minimum samples; default 5
+	Sigmoid      float64 // steepness of the pairwise logistic; default 1
+}
+
+func (o Options) withDefaults() Options {
+	if o.Trees <= 0 {
+		o.Trees = 100
+	}
+	if o.LearningRate <= 0 {
+		o.LearningRate = 0.1
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 4
+	}
+	if o.MinLeaf <= 0 {
+		o.MinLeaf = 5
+	}
+	if o.Sigmoid <= 0 {
+		o.Sigmoid = 1
+	}
+	return o
+}
+
+// Model is a trained LambdaMART ensemble.
+type Model struct {
+	opts  Options
+	trees []*regtree.Tree
+	dim   int
+}
+
+// New creates an untrained model.
+func New(opts Options) *Model { return &Model{opts: opts.withDefaults()} }
+
+// NumTrees reports the ensemble size after training.
+func (m *Model) NumTrees() int { return len(m.trees) }
+
+// Train fits the ensemble on query groups.
+func (m *Model) Train(groups []Group) error {
+	var X [][]float64
+	var rel []float64
+	groupStart := []int{}
+	for g, grp := range groups {
+		if len(grp) == 0 {
+			continue
+		}
+		groupStart = append(groupStart, len(X))
+		for _, s := range grp {
+			if len(s.Features) == 0 {
+				return fmt.Errorf("lambdamart: empty feature vector in group %d", g)
+			}
+			if m.dim == 0 {
+				m.dim = len(s.Features)
+			} else if len(s.Features) != m.dim {
+				return fmt.Errorf("lambdamart: inconsistent feature dimensions (%d vs %d)", len(s.Features), m.dim)
+			}
+			X = append(X, s.Features)
+			rel = append(rel, s.Relevance)
+		}
+	}
+	if len(X) == 0 {
+		return fmt.Errorf("lambdamart: no training samples")
+	}
+	nGroups := len(groupStart)
+	groupEnd := make([]int, nGroups)
+	for g := 0; g < nGroups-1; g++ {
+		groupEnd[g] = groupStart[g+1]
+	}
+	groupEnd[nGroups-1] = len(X)
+
+	// Precompute per-group ideal DCG for ΔNDCG normalization.
+	idealDCG := make([]float64, nGroups)
+	for g := 0; g < nGroups; g++ {
+		rels := append([]float64(nil), rel[groupStart[g]:groupEnd[g]]...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(rels)))
+		idealDCG[g] = dcgOf(rels)
+	}
+
+	scores := make([]float64, len(X))
+	lambdas := make([]float64, len(X))
+	weights := make([]float64, len(X))
+
+	m.trees = m.trees[:0]
+	for round := 0; round < m.opts.Trees; round++ {
+		for i := range lambdas {
+			lambdas[i] = 0
+			weights[i] = 0
+		}
+		for g := 0; g < nGroups; g++ {
+			m.accumulateLambdas(rel, scores, lambdas, weights, groupStart[g], groupEnd[g], idealDCG[g])
+		}
+		tree := regtree.New(regtree.Options{MaxDepth: m.opts.MaxDepth, MinLeaf: m.opts.MinLeaf})
+		assign, err := tree.Fit(X, lambdas)
+		if err != nil {
+			return err
+		}
+		// Newton step per leaf: γ = Σλ / Σw (w are the |∂²C/∂s²| terms).
+		leafLambda := make([]float64, tree.NumLeaves())
+		leafWeight := make([]float64, tree.NumLeaves())
+		for i, leaf := range assign {
+			leafLambda[leaf] += lambdas[i]
+			leafWeight[leaf] += weights[i]
+		}
+		leafValue := make([]float64, tree.NumLeaves())
+		for l := range leafValue {
+			if leafWeight[l] > 0 {
+				leafValue[l] = leafLambda[l] / leafWeight[l]
+			}
+		}
+		if err := tree.SetLeafValues(leafValue); err != nil {
+			return err
+		}
+		for i := range scores {
+			scores[i] += m.opts.LearningRate * tree.Predict(X[i])
+		}
+		m.trees = append(m.trees, tree)
+	}
+	return nil
+}
+
+// accumulateLambdas adds the λ and w contributions of all mis-ordered
+// pairs within one group.
+func (m *Model) accumulateLambdas(rel, scores, lambdas, weights []float64, start, end int, idealDCG float64) {
+	n := end - start
+	if n < 2 || idealDCG == 0 {
+		return
+	}
+	// Rank positions under the current scores (descending).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = start + i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	pos := make(map[int]int, n) // sample index -> current rank (0-based)
+	for r, i := range order {
+		pos[i] = r
+	}
+	sigma := m.opts.Sigmoid
+	for a := start; a < end; a++ {
+		for b := a + 1; b < end; b++ {
+			if rel[a] == rel[b] {
+				continue
+			}
+			hi, lo := a, b
+			if rel[b] > rel[a] {
+				hi, lo = b, a
+			}
+			// |ΔNDCG| if hi and lo swapped positions.
+			gainHi := math.Pow(2, rel[hi]) - 1
+			gainLo := math.Pow(2, rel[lo]) - 1
+			dHi := 1 / math.Log2(float64(pos[hi])+2)
+			dLo := 1 / math.Log2(float64(pos[lo])+2)
+			deltaNDCG := math.Abs((gainHi-gainLo)*(dHi-dLo)) / idealDCG
+			rho := 1 / (1 + math.Exp(sigma*(scores[hi]-scores[lo])))
+			lambda := sigma * deltaNDCG * rho
+			w := sigma * sigma * deltaNDCG * rho * (1 - rho)
+			lambdas[hi] += lambda
+			lambdas[lo] -= lambda
+			weights[hi] += w
+			weights[lo] += w
+		}
+	}
+}
+
+func dcgOf(rels []float64) float64 {
+	var s float64
+	for i, r := range rels {
+		s += (math.Pow(2, r) - 1) / math.Log2(float64(i)+2)
+	}
+	return s
+}
+
+// Score evaluates the ensemble on one feature vector.
+func (m *Model) Score(x []float64) float64 {
+	var s float64
+	for _, t := range m.trees {
+		s += m.opts.LearningRate * t.Predict(x)
+	}
+	return s
+}
+
+// Rank returns the indices of the candidates sorted by descending model
+// score — the ranked list for visualization selection.
+func (m *Model) Rank(candidates [][]float64) []int {
+	order := make([]int, len(candidates))
+	scores := make([]float64, len(candidates))
+	for i, c := range candidates {
+		order[i] = i
+		scores[i] = m.Score(c)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	return order
+}

@@ -1,0 +1,158 @@
+package lambdamart
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/deepeye/deepeye/internal/metrics"
+)
+
+// syntheticGroups builds ranking groups where relevance is a noisy
+// monotone function of the first feature.
+func syntheticGroups(nGroups, perGroup int, seed int64) []Group {
+	rng := rand.New(rand.NewSource(seed))
+	groups := make([]Group, nGroups)
+	for g := range groups {
+		grp := make(Group, perGroup)
+		for d := range grp {
+			f0 := rng.Float64() * 10
+			f1 := rng.Float64() * 10 // noise feature
+			rel := 0.0
+			switch {
+			case f0 > 8:
+				rel = 3
+			case f0 > 6:
+				rel = 2
+			case f0 > 4:
+				rel = 1
+			}
+			grp[d] = Sample{Features: []float64{f0, f1}, Relevance: rel}
+		}
+		groups[g] = grp
+	}
+	return groups
+}
+
+func ndcgOfRanking(m *Model, grp Group) float64 {
+	feats := make([][]float64, len(grp))
+	for i, s := range grp {
+		feats[i] = s.Features
+	}
+	order := m.Rank(feats)
+	rels := make([]float64, len(order))
+	for i, idx := range order {
+		rels[i] = grp[idx].Relevance
+	}
+	return metrics.NDCGAt(rels)
+}
+
+func TestTrainImprovesNDCG(t *testing.T) {
+	train := syntheticGroups(30, 20, 1)
+	test := syntheticGroups(10, 20, 2)
+
+	m := New(Options{Trees: 50, LearningRate: 0.2, MaxDepth: 3})
+	if err := m.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, g := range test {
+		total += ndcgOfRanking(m, g)
+	}
+	avg := total / float64(len(test))
+	if avg < 0.9 {
+		t.Errorf("test NDCG = %v, want >= 0.9", avg)
+	}
+}
+
+func TestRankOrdersByScore(t *testing.T) {
+	m := New(Options{Trees: 20, MaxDepth: 2})
+	if err := m.Train(syntheticGroups(10, 15, 3)); err != nil {
+		t.Fatal(err)
+	}
+	cands := [][]float64{{9, 0}, {1, 0}, {7, 0}, {5, 0}}
+	order := m.Rank(cands)
+	if len(order) != 4 {
+		t.Fatalf("order = %v", order)
+	}
+	prev := m.Score(cands[order[0]])
+	for _, idx := range order[1:] {
+		s := m.Score(cands[idx])
+		if s > prev+1e-12 {
+			t.Fatalf("rank not descending: %v", order)
+		}
+		prev = s
+	}
+	// Highest-feature candidate should rank first with a trained model.
+	if order[0] != 0 {
+		t.Errorf("expected candidate 0 first, got %v", order)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	m := New(Options{Trees: 2})
+	if err := m.Train(nil); err == nil {
+		t.Error("no groups should fail")
+	}
+	if err := m.Train([]Group{{}}); err == nil {
+		t.Error("only-empty groups should fail")
+	}
+	bad := []Group{{{Features: []float64{1}, Relevance: 1}, {Features: []float64{1, 2}, Relevance: 0}}}
+	if err := m.Train(bad); err == nil {
+		t.Error("ragged features should fail")
+	}
+	empty := []Group{{{Features: nil, Relevance: 1}}}
+	if err := m.Train(empty); err == nil {
+		t.Error("empty features should fail")
+	}
+}
+
+func TestAllEqualRelevanceIsStable(t *testing.T) {
+	// All documents equally relevant: no lambdas, training must not blow
+	// up and scores stay finite.
+	grp := Group{}
+	for i := 0; i < 10; i++ {
+		grp = append(grp, Sample{Features: []float64{float64(i)}, Relevance: 1})
+	}
+	m := New(Options{Trees: 5})
+	if err := m.Train([]Group{grp}); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Score([]float64{5})
+	if s != s { // NaN check
+		t.Error("score is NaN")
+	}
+}
+
+func TestNumTrees(t *testing.T) {
+	m := New(Options{Trees: 7})
+	if err := m.Train(syntheticGroups(5, 10, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTrees() != 7 {
+		t.Errorf("trees = %d", m.NumTrees())
+	}
+}
+
+func TestBeatsRandomRanking(t *testing.T) {
+	train := syntheticGroups(30, 25, 5)
+	test := syntheticGroups(10, 25, 6)
+	m := New(Options{Trees: 40, MaxDepth: 3})
+	if err := m.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	var modelNDCG, randNDCG float64
+	for _, g := range test {
+		modelNDCG += ndcgOfRanking(m, g)
+		// Random permutation baseline.
+		rels := make([]float64, len(g))
+		perm := rng.Perm(len(g))
+		for i, p := range perm {
+			rels[i] = g[p].Relevance
+		}
+		randNDCG += metrics.NDCGAt(rels)
+	}
+	if modelNDCG <= randNDCG {
+		t.Errorf("model NDCG %v should beat random %v", modelNDCG, randNDCG)
+	}
+}

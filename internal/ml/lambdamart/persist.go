@@ -1,0 +1,46 @@
+package lambdamart
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/deepeye/deepeye/internal/ml/regtree"
+)
+
+type modelDTO struct {
+	Opts  Options           `json:"opts"`
+	Dim   int               `json:"dim"`
+	Trees []json.RawMessage `json:"trees"`
+}
+
+// MarshalJSON serializes the trained ensemble.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	dto := modelDTO{Opts: m.opts, Dim: m.dim}
+	for _, t := range m.trees {
+		raw, err := json.Marshal(t)
+		if err != nil {
+			return nil, err
+		}
+		dto.Trees = append(dto.Trees, raw)
+	}
+	return json.Marshal(dto)
+}
+
+// UnmarshalJSON restores a trained ensemble.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var dto modelDTO
+	if err := json.Unmarshal(data, &dto); err != nil {
+		return fmt.Errorf("lambdamart: %w", err)
+	}
+	m.opts = dto.Opts.withDefaults()
+	m.dim = dto.Dim
+	m.trees = m.trees[:0]
+	for i, raw := range dto.Trees {
+		t := &regtree.Tree{}
+		if err := json.Unmarshal(raw, t); err != nil {
+			return fmt.Errorf("lambdamart: tree %d: %w", i, err)
+		}
+		m.trees = append(m.trees, t)
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+// Package ml defines the interfaces shared by DeepEye's hand-written
+// machine-learning models (paper §III): binary classifiers for
+// visualization recognition (decision tree, naive Bayes, SVM) and helper
+// utilities (feature standardization) they build on. The models live in
+// subpackages; everything is stdlib-only.
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Classifier is a binary classifier over dense float feature vectors. The
+// positive class means "good visualization".
+type Classifier interface {
+	// Fit trains on the feature matrix and labels. Implementations must
+	// reject empty or ragged input.
+	Fit(X [][]float64, y []bool) error
+	// Predict classifies a single feature vector.
+	Predict(x []float64) bool
+	// Name identifies the model in experiment output.
+	Name() string
+}
+
+// CheckTrainingData validates a feature matrix and its labels.
+func CheckTrainingData(X [][]float64, y []bool) (dim int, err error) {
+	if len(X) == 0 {
+		return 0, fmt.Errorf("ml: empty training set")
+	}
+	if len(X) != len(y) {
+		return 0, fmt.Errorf("ml: %d samples but %d labels", len(X), len(y))
+	}
+	dim = len(X[0])
+	if dim == 0 {
+		return 0, fmt.Errorf("ml: zero-dimensional features")
+	}
+	for i, row := range X {
+		if len(row) != dim {
+			return 0, fmt.Errorf("ml: sample %d has %d features, want %d", i, len(row), dim)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0, fmt.Errorf("ml: sample %d feature %d is not finite", i, j)
+			}
+		}
+	}
+	return dim, nil
+}
+
+// Standardizer scales features to zero mean and unit variance; constant
+// features pass through unchanged. SVM-style margin learners need this;
+// trees do not.
+type Standardizer struct {
+	Mean, Std []float64
+}
+
+// FitStandardizer computes per-feature statistics.
+func FitStandardizer(X [][]float64) *Standardizer {
+	if len(X) == 0 {
+		return &Standardizer{}
+	}
+	dim := len(X[0])
+	s := &Standardizer{Mean: make([]float64, dim), Std: make([]float64, dim)}
+	for _, row := range X {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(len(X))
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] == 0 {
+			s.Std[j] = 1
+		}
+	}
+	return s
+}
+
+// Transform scales one vector (allocating a copy).
+func (s *Standardizer) Transform(x []float64) []float64 {
+	if len(s.Mean) == 0 {
+		return append([]float64(nil), x...)
+	}
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// TransformAll scales a matrix.
+func (s *Standardizer) TransformAll(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = s.Transform(row)
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCheckTrainingData(t *testing.T) {
+	X := [][]float64{{1, 2}, {3, 4}}
+	y := []bool{true, false}
+	dim, err := CheckTrainingData(X, y)
+	if err != nil || dim != 2 {
+		t.Fatalf("dim=%d err=%v", dim, err)
+	}
+	if _, err := CheckTrainingData(nil, nil); err == nil {
+		t.Error("empty should fail")
+	}
+	if _, err := CheckTrainingData(X, y[:1]); err == nil {
+		t.Error("label mismatch should fail")
+	}
+	if _, err := CheckTrainingData([][]float64{{1}, {1, 2}}, y); err == nil {
+		t.Error("ragged should fail")
+	}
+	if _, err := CheckTrainingData([][]float64{{math.NaN()}}, []bool{true}); err == nil {
+		t.Error("NaN should fail")
+	}
+	if _, err := CheckTrainingData([][]float64{{}}, []bool{true}); err == nil {
+		t.Error("zero-dim should fail")
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	X := [][]float64{{0, 5}, {2, 5}, {4, 5}}
+	s := FitStandardizer(X)
+	out := s.TransformAll(X)
+	// Column 0: mean 2, std sqrt(8/3).
+	if math.Abs(out[0][0]+out[2][0]) > 1e-9 || out[1][0] != 0 {
+		t.Errorf("standardized col0 = %v %v %v", out[0][0], out[1][0], out[2][0])
+	}
+	// Constant column passes through shifted to 0.
+	for i := range out {
+		if out[i][1] != 0 {
+			t.Errorf("constant col should map to 0, got %v", out[i][1])
+		}
+	}
+}
+
+func TestStandardizerEmpty(t *testing.T) {
+	s := FitStandardizer(nil)
+	got := s.Transform([]float64{1, 2})
+	if len(got) != 2 || got[0] != 1 {
+		t.Errorf("empty standardizer should copy input, got %v", got)
+	}
+}

@@ -1,0 +1,58 @@
+package regtree
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+type treeDTO struct {
+	Opts   Options   `json:"opts"`
+	Dim    int       `json:"dim"`
+	Leaves int       `json:"leaves"`
+	Nodes  []nodeDTO `json:"nodes"`
+}
+
+type nodeDTO struct {
+	Feature   int     `json:"feature"`
+	Threshold float64 `json:"threshold"`
+	Left      int     `json:"left"`
+	Right     int     `json:"right"`
+	Value     float64 `json:"value"`
+	LeafID    int     `json:"leaf_id"`
+}
+
+// MarshalJSON serializes the trained tree.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	dto := treeDTO{Opts: t.opts, Dim: t.dim, Leaves: t.leaves, Nodes: make([]nodeDTO, len(t.nodes))}
+	for i, n := range t.nodes {
+		dto.Nodes[i] = nodeDTO{
+			Feature: n.feature, Threshold: n.threshold,
+			Left: n.left, Right: n.right,
+			Value: n.value, LeafID: n.leafID,
+		}
+	}
+	return json.Marshal(dto)
+}
+
+// UnmarshalJSON restores a trained tree.
+func (t *Tree) UnmarshalJSON(data []byte) error {
+	var dto treeDTO
+	if err := json.Unmarshal(data, &dto); err != nil {
+		return fmt.Errorf("regtree: %w", err)
+	}
+	t.opts = dto.Opts
+	t.dim = dto.Dim
+	t.leaves = dto.Leaves
+	t.nodes = make([]node, len(dto.Nodes))
+	for i, n := range dto.Nodes {
+		if n.Left >= len(dto.Nodes) || n.Right >= len(dto.Nodes) {
+			return fmt.Errorf("regtree: node %d has invalid children", i)
+		}
+		t.nodes[i] = node{
+			feature: n.Feature, threshold: n.Threshold,
+			left: n.Left, right: n.Right,
+			value: n.Value, leafID: n.LeafID,
+		}
+	}
+	return nil
+}

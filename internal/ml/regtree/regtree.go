@@ -1,0 +1,205 @@
+// Package regtree implements variance-reduction regression trees — the
+// weak learner inside LambdaMART (paper §III uses LambdaMART [11] for
+// visualization ranking). Beyond plain fitting, the tree exposes the leaf
+// assignment of every training sample and lets the caller overwrite leaf
+// values, which gradient boosting needs for Newton-step leaf updates.
+package regtree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Options controls tree growth.
+type Options struct {
+	MaxDepth int // default 4 (LambdaMART-style shallow trees)
+	MinLeaf  int // default 5
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 4
+	}
+	if o.MinLeaf <= 0 {
+		o.MinLeaf = 5
+	}
+	return o
+}
+
+// Tree is a trained regression tree.
+type Tree struct {
+	opts   Options
+	nodes  []node // index 0 is the root
+	dim    int
+	leaves int
+}
+
+type node struct {
+	feature   int
+	threshold float64
+	left      int // child indices; -1 for leaves
+	right     int
+	value     float64
+	leafID    int // dense leaf numbering; -1 for internal nodes
+}
+
+// New creates an untrained tree.
+func New(opts Options) *Tree { return &Tree{opts: opts.withDefaults()} }
+
+// Fit grows the tree to predict targets and returns the leaf assignment
+// of every training sample (leafIDs[i] ∈ [0, NumLeaves)).
+func (t *Tree) Fit(X [][]float64, targets []float64) ([]int, error) {
+	if len(X) == 0 {
+		return nil, fmt.Errorf("regtree: empty training set")
+	}
+	if len(X) != len(targets) {
+		return nil, fmt.Errorf("regtree: %d samples but %d targets", len(X), len(targets))
+	}
+	t.dim = len(X[0])
+	t.nodes = t.nodes[:0]
+	t.leaves = 0
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	assign := make([]int, len(X))
+	t.grow(X, targets, idx, 0, assign)
+	return assign, nil
+}
+
+// grow appends the subtree for idx and returns its node index.
+func (t *Tree) grow(X [][]float64, targets []float64, idx []int, depth int, assign []int) int {
+	mean := 0.0
+	for _, i := range idx {
+		mean += targets[i]
+	}
+	mean /= float64(len(idx))
+
+	self := len(t.nodes)
+	t.nodes = append(t.nodes, node{left: -1, right: -1, value: mean, leafID: -1})
+
+	makeLeaf := func() int {
+		t.nodes[self].leafID = t.leaves
+		for _, i := range idx {
+			assign[i] = t.leaves
+		}
+		t.leaves++
+		return self
+	}
+	if depth >= t.opts.MaxDepth || len(idx) < 2*t.opts.MinLeaf {
+		return makeLeaf()
+	}
+	feat, thr, gain := t.bestSplit(X, targets, idx, mean)
+	if gain <= 1e-12 {
+		return makeLeaf()
+	}
+	var left, right []int
+	for _, i := range idx {
+		if X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < t.opts.MinLeaf || len(right) < t.opts.MinLeaf {
+		return makeLeaf()
+	}
+	t.nodes[self].feature = feat
+	t.nodes[self].threshold = thr
+	t.nodes[self].left = t.grow(X, targets, left, depth+1, assign)
+	t.nodes[self].right = t.grow(X, targets, right, depth+1, assign)
+	return self
+}
+
+// bestSplit maximizes the variance reduction (equivalently, maximizes
+// sumL²/nL + sumR²/nR).
+func (t *Tree) bestSplit(X [][]float64, targets []float64, idx []int, parentMean float64) (int, float64, float64) {
+	n := len(idx)
+	var totalSum float64
+	for _, i := range idx {
+		totalSum += targets[i]
+	}
+	parentScore := totalSum * totalSum / float64(n)
+
+	type vt struct {
+		v, t float64
+	}
+	vals := make([]vt, n)
+	bestGain := 0.0
+	bestFeat, bestThr := -1, 0.0
+	for f := 0; f < t.dim; f++ {
+		for k, i := range idx {
+			vals[k] = vt{X[i][f], targets[i]}
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		leftSum := 0.0
+		for k := 0; k < n-1; k++ {
+			leftSum += vals[k].t
+			if vals[k].v == vals[k+1].v {
+				continue
+			}
+			nl := float64(k + 1)
+			nr := float64(n - k - 1)
+			rightSum := totalSum - leftSum
+			score := leftSum*leftSum/nl + rightSum*rightSum/nr
+			if gain := score - parentScore; gain > bestGain {
+				bestGain = gain
+				bestFeat = f
+				bestThr = (vals[k].v + vals[k+1].v) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return 0, 0, 0
+	}
+	return bestFeat, bestThr, bestGain
+}
+
+// Predict evaluates the tree on one vector.
+func (t *Tree) Predict(x []float64) float64 {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	i := 0
+	for t.nodes[i].left >= 0 {
+		if x[t.nodes[i].feature] <= t.nodes[i].threshold {
+			i = t.nodes[i].left
+		} else {
+			i = t.nodes[i].right
+		}
+	}
+	return t.nodes[i].value
+}
+
+// Leaf returns the leaf ID the vector routes to.
+func (t *Tree) Leaf(x []float64) int {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	i := 0
+	for t.nodes[i].left >= 0 {
+		if x[t.nodes[i].feature] <= t.nodes[i].threshold {
+			i = t.nodes[i].left
+		} else {
+			i = t.nodes[i].right
+		}
+	}
+	return t.nodes[i].leafID
+}
+
+// NumLeaves reports the leaf count of the grown tree.
+func (t *Tree) NumLeaves() int { return t.leaves }
+
+// SetLeafValues overwrites leaf outputs (indexed by leaf ID). Gradient
+// boosting uses this for Newton-step leaf re-estimation.
+func (t *Tree) SetLeafValues(values []float64) error {
+	if len(values) != t.leaves {
+		return fmt.Errorf("regtree: %d values for %d leaves", len(values), t.leaves)
+	}
+	for i := range t.nodes {
+		if t.nodes[i].leafID >= 0 {
+			t.nodes[i].value = values[t.nodes[i].leafID]
+		}
+	}
+	return nil
+}

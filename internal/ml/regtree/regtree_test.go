@@ -1,0 +1,142 @@
+package regtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitStepFunction(t *testing.T) {
+	// y = 10 for x <= 5, else -10: one split suffices.
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		v := float64(i) / 10
+		X = append(X, []float64{v})
+		if v <= 5 {
+			y = append(y, 10)
+		} else {
+			y = append(y, -10)
+		}
+	}
+	tr := New(Options{MaxDepth: 2, MinLeaf: 2})
+	if _, err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if p := tr.Predict([]float64{1}); math.Abs(p-10) > 1e-9 {
+		t.Errorf("predict(1) = %v", p)
+	}
+	if p := tr.Predict([]float64{9}); math.Abs(p+10) > 1e-9 {
+		t.Errorf("predict(9) = %v", p)
+	}
+}
+
+func TestLeafAssignmentConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 300; i++ {
+		X = append(X, []float64{rng.Float64() * 10, rng.Float64() * 10})
+		y = append(y, X[i][0]*2+X[i][1])
+	}
+	tr := New(Options{MaxDepth: 4, MinLeaf: 5})
+	assign, err := tr.Fit(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assign) != len(X) {
+		t.Fatalf("assign length = %d", len(assign))
+	}
+	for i := range X {
+		if got := tr.Leaf(X[i]); got != assign[i] {
+			t.Fatalf("Leaf(%v) = %d, assign = %d", X[i], got, assign[i])
+		}
+		if assign[i] < 0 || assign[i] >= tr.NumLeaves() {
+			t.Fatalf("leaf id %d out of range [0, %d)", assign[i], tr.NumLeaves())
+		}
+	}
+}
+
+func TestSetLeafValues(t *testing.T) {
+	X := [][]float64{{1}, {2}, {8}, {9}}
+	y := []float64{1, 1, 5, 5}
+	tr := New(Options{MaxDepth: 2, MinLeaf: 1})
+	if _, err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float64, tr.NumLeaves())
+	for i := range vals {
+		vals[i] = float64(100 + i)
+	}
+	if err := tr.SetLeafValues(vals); err != nil {
+		t.Fatal(err)
+	}
+	p := tr.Predict([]float64{1})
+	if p < 100 {
+		t.Errorf("leaf value not applied: %v", p)
+	}
+	if err := tr.SetLeafValues([]float64{1}); tr.NumLeaves() != 1 && err == nil {
+		t.Error("wrong count should fail")
+	}
+}
+
+func TestMeanFallback(t *testing.T) {
+	// Constant target: no split possible, root is a leaf with the mean.
+	X := [][]float64{{1}, {2}, {3}}
+	y := []float64{4, 4, 4}
+	tr := New(Options{})
+	if _, err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumLeaves() != 1 || tr.Predict([]float64{5}) != 4 {
+		t.Errorf("constant fit: leaves=%d pred=%v", tr.NumLeaves(), tr.Predict([]float64{5}))
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	tr := New(Options{})
+	if _, err := tr.Fit(nil, nil); err == nil {
+		t.Error("empty should fail")
+	}
+	if _, err := tr.Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("mismatch should fail")
+	}
+}
+
+func TestUntrainedPredict(t *testing.T) {
+	tr := New(Options{})
+	if tr.Predict([]float64{1}) != 0 || tr.Leaf([]float64{1}) != 0 {
+		t.Error("untrained tree should return zero values")
+	}
+}
+
+func TestDepthControlsComplexity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 500; i++ {
+		X = append(X, []float64{rng.Float64() * 10})
+		y = append(y, math.Sin(X[i][0]))
+	}
+	shallow := New(Options{MaxDepth: 1, MinLeaf: 2})
+	deep := New(Options{MaxDepth: 8, MinLeaf: 2})
+	if _, err := shallow.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := deep.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if shallow.NumLeaves() >= deep.NumLeaves() {
+		t.Errorf("shallow leaves %d, deep leaves %d", shallow.NumLeaves(), deep.NumLeaves())
+	}
+	mseShallow, mseDeep := 0.0, 0.0
+	for i := range X {
+		ds := shallow.Predict(X[i]) - y[i]
+		dd := deep.Predict(X[i]) - y[i]
+		mseShallow += ds * ds
+		mseDeep += dd * dd
+	}
+	if mseDeep >= mseShallow {
+		t.Errorf("deeper tree should fit better: %v vs %v", mseDeep, mseShallow)
+	}
+}

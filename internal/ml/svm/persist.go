@@ -1,0 +1,31 @@
+package svm
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/deepeye/deepeye/internal/ml"
+)
+
+type classifierDTO struct {
+	Opts Options          `json:"opts"`
+	W    []float64        `json:"w"`
+	B    float64          `json:"b"`
+	Std  *ml.Standardizer `json:"std"`
+}
+
+// MarshalJSON serializes the trained model.
+func (c *Classifier) MarshalJSON() ([]byte, error) {
+	return json.Marshal(classifierDTO{Opts: c.opts, W: c.w, B: c.b, Std: c.std})
+}
+
+// UnmarshalJSON restores a trained model.
+func (c *Classifier) UnmarshalJSON(data []byte) error {
+	var dto classifierDTO
+	if err := json.Unmarshal(data, &dto); err != nil {
+		return fmt.Errorf("svm: %w", err)
+	}
+	c.opts = dto.Opts
+	c.w, c.b, c.std = dto.W, dto.B, dto.Std
+	return nil
+}

@@ -1,0 +1,145 @@
+// Package svm implements a linear soft-margin support vector machine
+// trained with the Pegasos stochastic sub-gradient algorithm
+// (Shalev-Shwartz et al.) — the second baseline recognizer in DeepEye's
+// recognition experiments (paper §VI-B). Features are standardized
+// internally; the class weights balance skewed good/bad label
+// distributions (the paper's corpus is ~8% positive).
+package svm
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/deepeye/deepeye/internal/ml"
+)
+
+// Options controls Pegasos training.
+type Options struct {
+	Lambda float64 // regularization strength; default 1e-4
+	Epochs int     // passes over the data; default 20
+	Seed   int64   // PRNG seed for sampling order; default 1
+}
+
+func (o Options) withDefaults() Options {
+	if o.Lambda <= 0 {
+		o.Lambda = 1e-4
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 20
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Classifier is a trained linear SVM.
+type Classifier struct {
+	opts Options
+	w    []float64
+	b    float64
+	std  *ml.Standardizer
+}
+
+// New creates an untrained SVM.
+func New(opts Options) *Classifier {
+	return &Classifier{opts: opts.withDefaults()}
+}
+
+// Name implements ml.Classifier.
+func (c *Classifier) Name() string { return "SVM" }
+
+// Fit trains with Pegasos: at step t, sample i, and update
+// w ← (1 − 1/t)·w + 1{margin violated}·(y_i x_i)/(λt).
+func (c *Classifier) Fit(X [][]float64, y []bool) error {
+	dim, err := ml.CheckTrainingData(X, y)
+	if err != nil {
+		return err
+	}
+	c.std = ml.FitStandardizer(X)
+	Xs := c.std.TransformAll(X)
+
+	// Class weights: scale the loss of the minority class up so the
+	// decision boundary is not dominated by the majority class.
+	nPos := 0
+	for _, v := range y {
+		if v {
+			nPos++
+		}
+	}
+	nNeg := len(y) - nPos
+	wPos, wNeg := 1.0, 1.0
+	if nPos > 0 && nNeg > 0 {
+		wPos = float64(len(y)) / (2 * float64(nPos))
+		wNeg = float64(len(y)) / (2 * float64(nNeg))
+	}
+
+	c.w = make([]float64, dim)
+	c.b = 0
+	rng := rand.New(rand.NewSource(c.opts.Seed))
+	lambda := c.opts.Lambda
+	t := 0
+	order := rng.Perm(len(Xs))
+	for epoch := 0; epoch < c.opts.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			t++
+			eta := 1 / (lambda * float64(t))
+			yi := -1.0
+			cw := wNeg
+			if y[i] {
+				yi = 1
+				cw = wPos
+			}
+			margin := yi * (dot(c.w, Xs[i]) + c.b)
+			scale := 1 - eta*lambda
+			for j := range c.w {
+				c.w[j] *= scale
+			}
+			if margin < 1 {
+				step := eta * cw
+				for j := range c.w {
+					c.w[j] += step * yi * Xs[i][j]
+				}
+				c.b += step * yi
+			}
+		}
+	}
+	return nil
+}
+
+// Predict implements ml.Classifier.
+func (c *Classifier) Predict(x []float64) bool {
+	return c.Decision(x) >= 0
+}
+
+// Decision returns the signed distance proxy w·x + b in standardized
+// feature space.
+func (c *Classifier) Decision(x []float64) float64 {
+	if c.std == nil {
+		return 0
+	}
+	xs := c.std.Transform(x)
+	return dot(c.w, xs) + c.b
+}
+
+// Margin returns |Decision| / ||w||: the geometric margin of a point.
+func (c *Classifier) Margin(x []float64) float64 {
+	n := norm(c.w)
+	if n == 0 {
+		return 0
+	}
+	return math.Abs(c.Decision(x)) / n
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm(a []float64) float64 {
+	return math.Sqrt(dot(a, a))
+}

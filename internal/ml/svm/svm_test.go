@@ -1,0 +1,123 @@
+package svm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func linearData(n int, seed int64) ([][]float64, []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]bool, n)
+	for i := range X {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		X[i] = []float64{a, b}
+		y[i] = a+2*b > 12 // linear boundary with margin noise-free
+	}
+	return X, y
+}
+
+func TestFitPredictLinearBoundary(t *testing.T) {
+	X, y := linearData(2000, 1)
+	c := New(Options{Epochs: 30})
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	Xt, yt := linearData(500, 2)
+	correct := 0
+	for i := range Xt {
+		if c.Predict(Xt[i]) == yt[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(Xt)); acc < 0.95 {
+		t.Errorf("accuracy = %v", acc)
+	}
+}
+
+func TestImbalancedClasses(t *testing.T) {
+	// 5% positive: class weighting should keep recall reasonable.
+	rng := rand.New(rand.NewSource(7))
+	var X [][]float64
+	var y []bool
+	for i := 0; i < 950; i++ {
+		X = append(X, []float64{rng.NormFloat64() - 2})
+		y = append(y, false)
+	}
+	for i := 0; i < 50; i++ {
+		X = append(X, []float64{rng.NormFloat64() + 2})
+		y = append(y, true)
+	}
+	c := New(Options{Epochs: 30})
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	tp, fn := 0, 0
+	for i := 0; i < 100; i++ {
+		if c.Predict([]float64{rng.NormFloat64() + 2}) {
+			tp++
+		} else {
+			fn++
+		}
+	}
+	if recall := float64(tp) / float64(tp+fn); recall < 0.8 {
+		t.Errorf("minority recall = %v", recall)
+	}
+}
+
+func TestDecisionSignMatchesPredict(t *testing.T) {
+	X, y := linearData(300, 3)
+	c := New(Options{})
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range X {
+		if (c.Decision(X[i]) >= 0) != c.Predict(X[i]) {
+			t.Fatal("Decision and Predict disagree")
+		}
+	}
+}
+
+func TestMarginNonNegative(t *testing.T) {
+	X, y := linearData(300, 4)
+	c := New(Options{})
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range X {
+		if c.Margin(X[i]) < 0 {
+			t.Fatal("negative margin")
+		}
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	X, y := linearData(200, 5)
+	c1 := New(Options{Seed: 42})
+	c2 := New(Options{Seed: 42})
+	if err := c1.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range X {
+		if c1.Decision(X[i]) != c2.Decision(X[i]) {
+			t.Fatal("same seed should give identical models")
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	c := New(Options{})
+	if err := c.Fit(nil, nil); err == nil {
+		t.Error("empty fit should fail")
+	}
+}
+
+func TestUntrainedDecision(t *testing.T) {
+	c := New(Options{})
+	if c.Decision([]float64{1}) != 0 || c.Margin([]float64{1}) != 0 {
+		t.Error("untrained SVM should be indifferent")
+	}
+}

@@ -1,0 +1,173 @@
+// Package rangetree provides a static k-dimensional tree supporting
+// dominance (orthant) reporting: all points component-wise ≤ a query
+// point. DeepEye's partial-order graph construction uses it to find the
+// visualizations a node dominates without comparing every pair
+// (paper §IV-C, citing de Berg et al. [15]).
+package rangetree
+
+// Point is a k-dimensional point with an opaque ID (the caller's node
+// index).
+type Point struct {
+	Coords []float64
+	ID     int
+}
+
+// Tree is an immutable k-d tree over a fixed point set.
+type Tree struct {
+	dim   int
+	nodes []kdNode
+	root  int
+}
+
+type kdNode struct {
+	point       Point
+	axis        int
+	left, right int       // -1 when absent
+	min, max    []float64 // bounding box of the subtree
+}
+
+// New builds the tree; all points must share the same dimensionality.
+// An empty point set yields an empty tree.
+func New(points []Point) *Tree {
+	t := &Tree{root: -1}
+	if len(points) == 0 {
+		return t
+	}
+	t.dim = len(points[0].Coords)
+	pts := append([]Point(nil), points...)
+	t.nodes = make([]kdNode, 0, len(pts))
+	t.root = t.build(pts, 0)
+	return t
+}
+
+// build constructs the subtree over pts (which it reorders) split on axis
+// depth mod dim, and returns the node index.
+func (t *Tree) build(pts []Point, depth int) int {
+	if len(pts) == 0 {
+		return -1
+	}
+	axis := depth % t.dim
+	mid := len(pts) / 2
+	quickSelect(pts, mid, axis)
+
+	self := len(t.nodes)
+	t.nodes = append(t.nodes, kdNode{point: pts[mid], axis: axis, left: -1, right: -1})
+
+	// Copy the slices the recursive calls will reorder; index stability of
+	// t.nodes matters, pts does not.
+	left := t.build(pts[:mid], depth+1)
+	right := t.build(pts[mid+1:], depth+1)
+	n := &t.nodes[self]
+	n.left, n.right = left, right
+
+	n.min = append([]float64(nil), n.point.Coords...)
+	n.max = append([]float64(nil), n.point.Coords...)
+	for _, c := range []int{left, right} {
+		if c < 0 {
+			continue
+		}
+		for d := 0; d < t.dim; d++ {
+			if t.nodes[c].min[d] < n.min[d] {
+				n.min[d] = t.nodes[c].min[d]
+			}
+			if t.nodes[c].max[d] > n.max[d] {
+				n.max[d] = t.nodes[c].max[d]
+			}
+		}
+	}
+	return self
+}
+
+// quickSelect partially sorts pts so pts[k] holds the k-th smallest
+// element along axis.
+func quickSelect(pts []Point, k, axis int) {
+	lo, hi := 0, len(pts)-1
+	for lo < hi {
+		p := pts[(lo+hi)/2].Coords[axis]
+		i, j := lo, hi
+		for i <= j {
+			for pts[i].Coords[axis] < p {
+				i++
+			}
+			for pts[j].Coords[axis] > p {
+				j--
+			}
+			if i <= j {
+				pts[i], pts[j] = pts[j], pts[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}
+
+// DominatedBy reports the IDs of all stored points p with
+// p[d] ≤ q[d] for every dimension d. The query point itself (same
+// coordinates) is included; callers filter identity as needed.
+func (t *Tree) DominatedBy(q []float64) []int {
+	var out []int
+	t.report(t.root, q, &out)
+	return out
+}
+
+func (t *Tree) report(idx int, q []float64, out *[]int) {
+	if idx < 0 {
+		return
+	}
+	n := &t.nodes[idx]
+	// Prune: subtree entirely outside the orthant.
+	for d := 0; d < t.dim; d++ {
+		if n.min[d] > q[d] {
+			return
+		}
+	}
+	// Accept: subtree entirely inside.
+	inside := true
+	for d := 0; d < t.dim; d++ {
+		if n.max[d] > q[d] {
+			inside = false
+			break
+		}
+	}
+	if inside {
+		t.collect(idx, out)
+		return
+	}
+	ok := true
+	for d := 0; d < t.dim; d++ {
+		if n.point.Coords[d] > q[d] {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		*out = append(*out, n.point.ID)
+	}
+	t.report(n.left, q, out)
+	// The splitting plane can prune the right subtree when the query lies
+	// strictly below it on this axis (all right-side points are ≥ the
+	// split value on the axis).
+	if n.right >= 0 && t.nodes[n.right].min[n.axis] <= q[n.axis] {
+		t.report(n.right, q, out)
+	}
+}
+
+func (t *Tree) collect(idx int, out *[]int) {
+	if idx < 0 {
+		return
+	}
+	n := &t.nodes[idx]
+	*out = append(*out, n.point.ID)
+	t.collect(n.left, out)
+	t.collect(n.right, out)
+}
+
+// Len returns the number of stored points.
+func (t *Tree) Len() int { return len(t.nodes) }

@@ -1,0 +1,127 @@
+package rangetree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func bruteForce(points []Point, q []float64) []int {
+	var out []int
+	for _, p := range points {
+		ok := true
+		for d := range q {
+			if p.Coords[d] > q[d] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, p.ID)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func randomPoints(n, dim int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		c := make([]float64, dim)
+		for d := range c {
+			c[d] = rng.Float64()
+		}
+		pts[i] = Point{Coords: c, ID: i}
+	}
+	return pts
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(nil)
+	if tr.Len() != 0 {
+		t.Errorf("len = %d", tr.Len())
+	}
+	if got := tr.DominatedBy([]float64{1, 1}); len(got) != 0 {
+		t.Errorf("query on empty tree = %v", got)
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	tr := New([]Point{{Coords: []float64{0.5, 0.5}, ID: 7}})
+	if got := tr.DominatedBy([]float64{1, 1}); len(got) != 1 || got[0] != 7 {
+		t.Errorf("got %v", got)
+	}
+	if got := tr.DominatedBy([]float64{0.4, 1}); len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+	// Equal coordinates are included.
+	if got := tr.DominatedBy([]float64{0.5, 0.5}); len(got) != 1 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestMatchesBruteForce3D(t *testing.T) {
+	pts := randomPoints(500, 3, 1)
+	tr := New(pts)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		q := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		got := tr.DominatedBy(q)
+		sort.Ints(got)
+		want := bruteForce(pts, q)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d points, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: got %v, want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestDuplicateCoordinates(t *testing.T) {
+	pts := []Point{
+		{Coords: []float64{0.5, 0.5}, ID: 0},
+		{Coords: []float64{0.5, 0.5}, ID: 1},
+		{Coords: []float64{0.5, 0.5}, ID: 2},
+	}
+	tr := New(pts)
+	got := tr.DominatedBy([]float64{0.5, 0.5})
+	if len(got) != 3 {
+		t.Errorf("got %v, want all 3 duplicates", got)
+	}
+}
+
+// Property: tree query equals brute force for random data and queries.
+func TestMatchesBruteForceQuick(t *testing.T) {
+	f := func(seed int64, n uint8, dimSel uint8) bool {
+		dim := int(dimSel%3) + 1
+		pts := randomPoints(int(n%100)+1, dim, seed)
+		tr := New(pts)
+		rng := rand.New(rand.NewSource(seed + 1))
+		for trial := 0; trial < 10; trial++ {
+			q := make([]float64, dim)
+			for d := range q {
+				q[d] = rng.Float64()
+			}
+			got := tr.DominatedBy(q)
+			sort.Ints(got)
+			want := bruteForce(pts, q)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,305 @@
+package rank
+
+import (
+	"sort"
+
+	"github.com/deepeye/deepeye/internal/rangetree"
+	"github.com/deepeye/deepeye/internal/vizql"
+)
+
+// BuildMethod selects the dominance-graph construction algorithm. All
+// three produce identical edge sets; they differ in how many pairwise
+// factor comparisons they perform (§IV-C).
+type BuildMethod int
+
+const (
+	// BuildNaive compares every node pair: O(n²) comparisons.
+	BuildNaive BuildMethod = iota
+	// BuildQuickSort partitions around pivots so better-than and
+	// worse-than sets skip mutual comparisons (the paper's quick-sort
+	// based algorithm).
+	BuildQuickSort
+	// BuildRangeTree queries a k-d tree for the dominated orthant of each
+	// node (the paper's range-tree-based indexing).
+	BuildRangeTree
+)
+
+// Graph is the dominance graph G(V, E) of §IV-C: nodes are candidate
+// visualizations, and a directed edge u→v with weight eq. (9) exists
+// whenever u strictly dominates v.
+type Graph struct {
+	Nodes   []*vizql.Node
+	Factors []Factors
+	// Out[i] lists the targets of i's out-edges; OutW[i][k] is the weight
+	// of the edge to Out[i][k].
+	Out  [][]int32
+	OutW [][]float64
+
+	comparisons int // factor comparisons performed during construction
+}
+
+// Comparisons reports how many pairwise factor comparisons construction
+// performed — the quantity the quick-sort and range-tree variants reduce.
+func (g *Graph) Comparisons() int { return g.comparisons }
+
+// NumEdges counts the edges.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, out := range g.Out {
+		n += len(out)
+	}
+	return n
+}
+
+// BuildGraph constructs the dominance graph with the selected method.
+func BuildGraph(nodes []*vizql.Node, factors []Factors, method BuildMethod) *Graph {
+	g := &Graph{
+		Nodes:   nodes,
+		Factors: factors,
+		Out:     make([][]int32, len(nodes)),
+		OutW:    make([][]float64, len(nodes)),
+	}
+	switch method {
+	case BuildQuickSort:
+		idx := make([]int, len(nodes))
+		for i := range idx {
+			idx[i] = i
+		}
+		g.buildPartition(idx)
+	case BuildRangeTree:
+		g.buildRangeTree()
+	default:
+		g.buildNaive()
+	}
+	// Deterministic edge order simplifies equality checks and scoring.
+	for i := range g.Out {
+		sortEdges(g.Out[i], g.OutW[i])
+	}
+	return g
+}
+
+func sortEdges(out []int32, w []float64) {
+	order := make([]int, len(out))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return out[order[a]] < out[order[b]] })
+	o2 := make([]int32, len(out))
+	w2 := make([]float64, len(w))
+	for i, k := range order {
+		o2[i] = out[k]
+		w2[i] = w[k]
+	}
+	copy(out, o2)
+	copy(w, w2)
+}
+
+func (g *Graph) addEdge(u, v int) {
+	g.Out[u] = append(g.Out[u], int32(v))
+	g.OutW[u] = append(g.OutW[u], EdgeWeight(g.Factors[u], g.Factors[v]))
+}
+
+// compare examines one unordered pair and adds the strict-dominance edge
+// if present.
+func (g *Graph) compare(i, j int) {
+	g.comparisons++
+	fi, fj := g.Factors[i], g.Factors[j]
+	switch {
+	case StrictlyDominates(fi, fj):
+		g.addEdge(i, j)
+	case StrictlyDominates(fj, fi):
+		g.addEdge(j, i)
+	}
+}
+
+func (g *Graph) buildNaive() {
+	n := len(g.Nodes)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.compare(i, j)
+		}
+	}
+}
+
+// buildPartition is the quick-sort-style construction: pick a pivot,
+// split the rest into strictly-better B, strictly-worse W, ties E, and
+// incomparable I. Edges B×W follow by transitivity without comparisons;
+// B, W, I recurse; ties share the pivot's relationships.
+func (g *Graph) buildPartition(idx []int) {
+	const cutoff = 8
+	if len(idx) <= cutoff {
+		for a := 0; a < len(idx); a++ {
+			for b := a + 1; b < len(idx); b++ {
+				g.compare(idx[a], idx[b])
+			}
+		}
+		return
+	}
+	pivot := idx[len(idx)/2]
+	var better, worse, equal, incomp []int
+	fp := g.Factors[pivot]
+	for _, i := range idx {
+		if i == pivot {
+			continue
+		}
+		g.comparisons++
+		fi := g.Factors[i]
+		switch {
+		case equalFactors(fi, fp):
+			equal = append(equal, i)
+		case StrictlyDominates(fi, fp):
+			g.addEdge(i, pivot)
+			better = append(better, i)
+		case StrictlyDominates(fp, fi):
+			g.addEdge(pivot, i)
+			worse = append(worse, i)
+		default:
+			incomp = append(incomp, i)
+		}
+	}
+	// Transitivity: every strictly-better node strictly dominates every
+	// strictly-worse node (u ≻ p ≻ w ⟹ u ≻ w); no comparison needed.
+	for _, u := range better {
+		for _, w := range worse {
+			g.addEdge(u, w)
+		}
+	}
+	// Ties behave exactly like the pivot: edges to/from better and worse,
+	// none among themselves or with incomparables.
+	for _, e := range equal {
+		for _, u := range better {
+			g.addEdge(u, e)
+		}
+		for _, w := range worse {
+			g.addEdge(e, w)
+		}
+	}
+	// Cross comparisons the partition cannot infer.
+	for _, u := range better {
+		for _, v := range incomp {
+			g.compare(u, v)
+		}
+	}
+	for _, u := range worse {
+		for _, v := range incomp {
+			g.compare(u, v)
+		}
+	}
+	g.buildPartition(better)
+	g.buildPartition(worse)
+	g.buildPartition(incomp)
+}
+
+// buildRangeTree builds a 3-d tree over (M, Q, W) and, for each node,
+// reports the orthant of nodes it weakly dominates, then filters ties.
+func (g *Graph) buildRangeTree() {
+	pts := make([]rangetree.Point, len(g.Nodes))
+	for i, f := range g.Factors {
+		pts[i] = rangetree.Point{Coords: []float64{f.M, f.Q, f.W}, ID: i}
+	}
+	tree := rangetree.New(pts)
+	for i, f := range g.Factors {
+		dominated := tree.DominatedBy([]float64{f.M, f.Q, f.W})
+		for _, j := range dominated {
+			if j == i {
+				continue
+			}
+			g.comparisons++
+			if StrictlyDominates(f, g.Factors[j]) {
+				g.addEdge(i, j)
+			}
+		}
+	}
+}
+
+// Scores computes S(v) for every node: S(v) = Σ over out-edges (v,u) of
+// w(v,u) + S(u), with S(v) = 0 for sinks (§IV-C). The dominance graph is
+// a DAG (strict dominance is a strict partial order), so memoized DFS
+// terminates.
+func (g *Graph) Scores() []float64 {
+	s := make([]float64, len(g.Nodes))
+	done := make([]bool, len(g.Nodes))
+	var dfs func(v int) float64
+	dfs = func(v int) float64 {
+		if done[v] {
+			return s[v]
+		}
+		done[v] = true // safe: DAG, no back-edges
+		var total float64
+		for k, u := range g.Out[v] {
+			total += g.OutW[v][k] + dfs(int(u))
+		}
+		s[v] = total
+		return total
+	}
+	for v := range g.Nodes {
+		dfs(v)
+	}
+	return s
+}
+
+// TopK returns the indices of the k highest-scoring nodes (Algorithm 1),
+// ties broken deterministically by index.
+func (g *Graph) TopK(k int) []int {
+	scores := g.Scores()
+	order := make([]int, len(scores))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	if k > len(order) {
+		k = len(order)
+	}
+	return order[:k]
+}
+
+// TopologicalOrder is the unweighted baseline of §IV-C: repeatedly take
+// the node with the fewest remaining in-edges. Returned as a full ranking
+// (best first).
+func (g *Graph) TopologicalOrder() []int {
+	n := len(g.Nodes)
+	indeg := make([]int, n)
+	for _, out := range g.Out {
+		for _, v := range out {
+			indeg[v]++
+		}
+	}
+	removed := make([]bool, n)
+	order := make([]int, 0, n)
+	for len(order) < n {
+		best, bestDeg := -1, int(^uint(0)>>1)
+		for v := 0; v < n; v++ {
+			if !removed[v] && indeg[v] < bestDeg {
+				best, bestDeg = v, indeg[v]
+			}
+		}
+		removed[best] = true
+		order = append(order, best)
+		for k, u := range g.Out[best] {
+			_ = k
+			indeg[u]--
+		}
+	}
+	return order
+}
+
+// Skyline returns the indices of the undominated nodes — the maximal
+// elements of the partial order (no other candidate beats them on every
+// factor). These are the graph's sources: the first layer of the Hasse
+// diagram.
+func (g *Graph) Skyline() []int {
+	n := len(g.Nodes)
+	dominated := make([]bool, n)
+	for _, out := range g.Out {
+		for _, u := range out {
+			dominated[u] = true
+		}
+	}
+	var sky []int
+	for v := 0; v < n; v++ {
+		if !dominated[v] {
+			sky = append(sky, v)
+		}
+	}
+	return sky
+}

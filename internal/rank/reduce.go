@@ -1,0 +1,174 @@
+package rank
+
+import (
+	"sort"
+
+	"github.com/deepeye/deepeye/internal/vizql"
+)
+
+// Reduce returns the transitive reduction of the dominance graph — the
+// Hasse diagram of the partial order, which is what §IV actually scores
+// ("a directed graph representing the partially ordered set of
+// visualizations (a.k.a. a Hasse diagram)"). Scoring the full transitive
+// closure instead would double-count every dominance path and blow up
+// exponentially on long chains.
+func (g *Graph) Reduce() *Graph {
+	n := len(g.Nodes)
+	out := &Graph{
+		Nodes:       g.Nodes,
+		Factors:     g.Factors,
+		Out:         make([][]int32, n),
+		OutW:        make([][]float64, n),
+		comparisons: g.comparisons,
+	}
+	if n == 0 {
+		return out
+	}
+	topo := g.topoOrder()
+	rank := make([]int, n)
+	for r, v := range topo {
+		rank[v] = r
+	}
+	words := (n + 63) / 64
+	reach := make([][]uint64, n) // reach[v] = nodes reachable from v (excl. v)
+
+	// Process sinks first (reverse topological order) so successors'
+	// reach sets exist when a node needs them.
+	acc := make([]uint64, words)
+	for i := n - 1; i >= 0; i-- {
+		v := topo[i]
+		succs := append([]int32(nil), g.Out[v]...)
+		sort.Slice(succs, func(a, b int) bool { return rank[succs[a]] < rank[succs[b]] })
+		for w := range acc {
+			acc[w] = 0
+		}
+		r := make([]uint64, words)
+		for _, u := range succs {
+			if bitGet(acc, int(u)) {
+				continue // reachable through an earlier cover: redundant
+			}
+			out.Out[v] = append(out.Out[v], u)
+			out.OutW[v] = append(out.OutW[v], EdgeWeight(g.Factors[v], g.Factors[int(u)]))
+			bitSet(acc, int(u))
+			orInto(acc, reach[u])
+		}
+		copy(r, acc)
+		reach[v] = r
+	}
+	for i := range out.Out {
+		sortEdges(out.Out[i], out.OutW[i])
+	}
+	return out
+}
+
+// topoOrder returns a topological order of the DAG (parents before
+// children).
+func (g *Graph) topoOrder() []int {
+	n := len(g.Nodes)
+	indeg := make([]int, n)
+	for _, out := range g.Out {
+		for _, u := range out {
+			indeg[u]++
+		}
+	}
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, u := range g.Out[v] {
+			indeg[u]--
+			if indeg[u] == 0 {
+				queue = append(queue, int(u))
+			}
+		}
+	}
+	return order
+}
+
+func bitGet(b []uint64, i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+func bitSet(b []uint64, i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func orInto(dst, src []uint64) {
+	for i := range src {
+		dst[i] |= src[i]
+	}
+}
+
+// SelectOptions tunes Order.
+type SelectOptions struct {
+	// MaxGraphNodes caps the number of candidates the dominance graph is
+	// built over; candidates beyond the cap (by factor sum) are appended
+	// after the graph-ranked prefix. 0 means 1200.
+	MaxGraphNodes int
+	// Build selects the graph construction algorithm.
+	Build BuildMethod
+}
+
+// Order ranks a candidate set with the partial-order method end to end:
+// shortlist by factor sum, build the dominance graph, reduce it to the
+// Hasse diagram, compute the weight-aware scores S(v), and return the
+// best-first order together with per-node scores (0 for nodes outside
+// the shortlist).
+func Order(nodes []*vizql.Node, factors []Factors, opts SelectOptions) ([]int, []float64) {
+	maxN := opts.MaxGraphNodes
+	if maxN <= 0 {
+		maxN = 1200
+	}
+	n := len(nodes)
+	byF := make([]int, n)
+	for i := range byF {
+		byF[i] = i
+	}
+	fsum := func(i int) float64 { return factors[i].M + factors[i].Q + factors[i].W }
+	sort.SliceStable(byF, func(a, b int) bool { return fsum(byF[a]) > fsum(byF[b]) })
+
+	shortlist := byF
+	var rest []int
+	if n > maxN {
+		shortlist = byF[:maxN]
+		rest = byF[maxN:]
+	}
+	subNodes := make([]*vizql.Node, len(shortlist))
+	subFactors := make([]Factors, len(shortlist))
+	for k, i := range shortlist {
+		subNodes[k] = nodes[i]
+		subFactors[k] = factors[i]
+	}
+	g := BuildGraph(subNodes, subFactors, opts.Build).Reduce()
+	subScores := g.Scores()
+	// S(v) sums over all dominance paths and can reach astronomic
+	// magnitudes on deep diagrams; normalize to [0, 1] (rank-preserving)
+	// so downstream consumers see comparable numbers.
+	maxS := 0.0
+	for _, s := range subScores {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	if maxS > 0 {
+		for i := range subScores {
+			subScores[i] /= maxS
+		}
+	}
+
+	subOrder := make([]int, len(shortlist))
+	for i := range subOrder {
+		subOrder[i] = i
+	}
+	sort.SliceStable(subOrder, func(a, b int) bool { return subScores[subOrder[a]] > subScores[subOrder[b]] })
+
+	order := make([]int, 0, n)
+	scores := make([]float64, n)
+	for _, k := range subOrder {
+		order = append(order, shortlist[k])
+		scores[shortlist[k]] = subScores[k]
+	}
+	order = append(order, rest...)
+	return order, scores
+}

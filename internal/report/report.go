@@ -1,0 +1,103 @@
+// Package report renders a set of recommended visualizations into a
+// standalone HTML page — DeepEye's Fig. 9 "first page" as a file. Charts
+// embed their Vega-Lite specs and render through the vega-embed CDN
+// script when opened with network access; without network the page still
+// shows the query text and data tables.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"io"
+
+	deepeye "github.com/deepeye/deepeye"
+)
+
+// Page is the input to Render.
+type Page struct {
+	Title  string
+	Table  string
+	Rows   int
+	Cols   int
+	Charts []Chart
+}
+
+// Chart is one rendered recommendation.
+type Chart struct {
+	Rank  int
+	Query string
+	Kind  string
+	Score float64
+	Spec  template.JS // Vega-Lite spec as JSON
+}
+
+// FromVisualizations assembles a Page from TopK output.
+func FromVisualizations(t *deepeye.Table, vs []*deepeye.Visualization) (*Page, error) {
+	p := &Page{
+		Title: fmt.Sprintf("DeepEye — %s", t.Name),
+		Table: t.Name, Rows: t.NumRows(), Cols: t.NumCols(),
+	}
+	for _, v := range vs {
+		spec, err := v.VegaLite()
+		if err != nil {
+			return nil, fmt.Errorf("report: chart %d: %w", v.Rank, err)
+		}
+		if !json.Valid(spec) {
+			return nil, fmt.Errorf("report: chart %d produced invalid spec", v.Rank)
+		}
+		p.Charts = append(p.Charts, Chart{
+			Rank: v.Rank, Query: v.Query, Kind: v.Chart, Score: v.Score,
+			Spec: template.JS(spec),
+		})
+	}
+	return p, nil
+}
+
+var pageTemplate = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<script src="https://cdn.jsdelivr.net/npm/vega@5"></script>
+<script src="https://cdn.jsdelivr.net/npm/vega-lite@5"></script>
+<script src="https://cdn.jsdelivr.net/npm/vega-embed@6"></script>
+<style>
+body { font-family: system-ui, sans-serif; margin: 2rem; background: #fafafa; }
+h1 { font-size: 1.4rem; }
+.meta { color: #666; margin-bottom: 1.5rem; }
+.grid { display: grid; grid-template-columns: repeat(auto-fill, minmax(420px, 1fr)); gap: 1.2rem; }
+.card { background: white; border: 1px solid #ddd; border-radius: 8px; padding: 1rem; }
+.card h2 { font-size: 1rem; margin: 0 0 .5rem; }
+.card pre { font-size: .75rem; background: #f4f4f4; padding: .5rem; border-radius: 4px; overflow-x: auto; }
+.vis { min-height: 220px; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+<p class="meta">{{.Rows}} rows × {{.Cols}} columns — top {{len .Charts}} visualizations</p>
+<div class="grid">
+{{range .Charts}}
+<div class="card">
+<h2>#{{.Rank}} — {{.Kind}} (score {{printf "%.3f" .Score}})</h2>
+<div id="vis{{.Rank}}" class="vis"></div>
+<pre>{{.Query}}</pre>
+</div>
+{{end}}
+</div>
+<script>
+{{range .Charts}}
+vegaEmbed("#vis{{.Rank}}", {{.Spec}}, {actions: false});
+{{end}}
+</script>
+</body>
+</html>
+`))
+
+// Render writes the page as HTML.
+func Render(w io.Writer, p *Page) error {
+	if p == nil || len(p.Charts) == 0 {
+		return fmt.Errorf("report: no charts to render")
+	}
+	return pageTemplate.Execute(w, p)
+}

@@ -1,0 +1,74 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	deepeye "github.com/deepeye/deepeye"
+)
+
+func topCharts(t *testing.T) (*deepeye.Table, []*deepeye.Visualization) {
+	t.Helper()
+	csv := "region,amount\nNorth,12\nSouth,7\nEast,15\nWest,4\nNorth,18\nEast,6\nSouth,9\nWest,11\n"
+	tab, err := deepeye.LoadCSV("sales", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := deepeye.New(deepeye.Options{IncludeOneColumn: true})
+	vs, err := sys.TopK(tab, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab, vs
+}
+
+func TestRenderPage(t *testing.T) {
+	tab, vs := topCharts(t)
+	p, err := FromVisualizations(tab, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<!DOCTYPE html>", "vegaEmbed", "#1", "sales", "vega-lite"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered page missing %q", want)
+		}
+	}
+	// One card and one embed call per chart.
+	if got := strings.Count(out, `class="card"`); got != len(vs) {
+		t.Errorf("cards = %d, want %d", got, len(vs))
+	}
+	if got := strings.Count(out, "vegaEmbed("); got != len(vs) {
+		t.Errorf("embeds = %d, want %d", got, len(vs))
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if err := Render(&bytes.Buffer{}, &Page{}); err == nil {
+		t.Error("empty page should fail")
+	}
+	if err := Render(&bytes.Buffer{}, nil); err == nil {
+		t.Error("nil page should fail")
+	}
+}
+
+func TestRenderEscapesQueryText(t *testing.T) {
+	tab, vs := topCharts(t)
+	p, err := FromVisualizations(tab, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Charts[0].Query = "<script>alert('x')</script>"
+	var buf bytes.Buffer
+	if err := Render(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<script>alert") {
+		t.Error("query text not escaped")
+	}
+}

@@ -1,0 +1,272 @@
+// Package server exposes DeepEye over HTTP: post a CSV, get back the
+// top-k visualizations as JSON (with Vega-Lite specs ready for
+// embedding). It is the serving half of the paper's Fig. 9 demo.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	deepeye "github.com/deepeye/deepeye"
+)
+
+// ChartJSON is the wire form of one recommended chart.
+type ChartJSON struct {
+	Rank   int             `json:"rank"`
+	Query  string          `json:"query"`
+	Chart  string          `json:"chart"`
+	Score  float64         `json:"score"`
+	X      string          `json:"x,omitempty"`
+	Y      string          `json:"y,omitempty"`
+	Labels []string        `json:"labels,omitempty"`
+	Values []float64       `json:"values,omitempty"`
+	Series []string        `json:"series,omitempty"`
+	Vega   json.RawMessage `json:"vega,omitempty"`
+	ASCII  string          `json:"ascii,omitempty"`
+}
+
+// TopKResponse is the wire form of a /topk or /multi answer.
+type TopKResponse struct {
+	Table   string      `json:"table"`
+	Rows    int         `json:"rows"`
+	Columns int         `json:"columns"`
+	Charts  []ChartJSON `json:"charts"`
+}
+
+// errorJSON is the wire form of failures.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// Options configures the handler.
+type Options struct {
+	// MaxBodyBytes caps uploaded CSV size; default 16 MiB.
+	MaxBodyBytes int64
+	// DefaultK is used when the k parameter is absent; default 5.
+	DefaultK int
+	// MaxK caps requested k; default 50.
+	MaxK int
+	// ASCII includes terminal renderings in responses when true.
+	ASCII bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 16 << 20
+	}
+	if o.DefaultK <= 0 {
+		o.DefaultK = 5
+	}
+	if o.MaxK <= 0 {
+		o.MaxK = 50
+	}
+	return o
+}
+
+// Handler is the DeepEye HTTP API.
+type Handler struct {
+	sys  *deepeye.System
+	opts Options
+	mux  *http.ServeMux
+}
+
+// New builds the handler around a configured (optionally trained) System.
+func New(sys *deepeye.System, opts Options) *Handler {
+	h := &Handler{sys: sys, opts: opts.withDefaults(), mux: http.NewServeMux()}
+	h.mux.HandleFunc("POST /topk", h.handleTopK)
+	h.mux.HandleFunc("POST /query", h.handleQuery)
+	h.mux.HandleFunc("POST /multi", h.handleMulti)
+	h.mux.HandleFunc("POST /search", h.handleSearch)
+	h.mux.HandleFunc("POST /profile", h.handleProfile)
+	h.mux.HandleFunc("GET /healthz", h.handleHealth)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+func (h *Handler) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// readTable reads the request body as CSV.
+func (h *Handler) readTable(w http.ResponseWriter, r *http.Request) (*deepeye.Table, bool) {
+	body := http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes)
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = "upload"
+	}
+	tab, err := deepeye.LoadCSV(name, body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{fmt.Sprintf("parsing csv: %v", err)})
+		return nil, false
+	}
+	return tab, true
+}
+
+func (h *Handler) parseK(r *http.Request) (int, error) {
+	raw := r.URL.Query().Get("k")
+	if raw == "" {
+		return h.opts.DefaultK, nil
+	}
+	k, err := strconv.Atoi(raw)
+	if err != nil || k <= 0 {
+		return 0, fmt.Errorf("bad k %q", raw)
+	}
+	if k > h.opts.MaxK {
+		k = h.opts.MaxK
+	}
+	return k, nil
+}
+
+func (h *Handler) handleTopK(w http.ResponseWriter, r *http.Request) {
+	tab, ok := h.readTable(w, r)
+	if !ok {
+		return
+	}
+	k, err := h.parseK(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+		return
+	}
+	vs, err := h.sys.TopK(tab, k)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorJSON{err.Error()})
+		return
+	}
+	resp := TopKResponse{Table: tab.Name, Rows: tab.NumRows(), Columns: tab.NumCols()}
+	for _, v := range vs {
+		resp.Charts = append(resp.Charts, h.chartJSON(v))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeJSON(w, http.StatusBadRequest, errorJSON{"missing q parameter"})
+		return
+	}
+	tab, ok := h.readTable(w, r)
+	if !ok {
+		return
+	}
+	v, err := h.sys.Query(tab, q)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorJSON{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, h.chartJSON(v))
+}
+
+func (h *Handler) handleMulti(w http.ResponseWriter, r *http.Request) {
+	tab, ok := h.readTable(w, r)
+	if !ok {
+		return
+	}
+	k, err := h.parseK(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+		return
+	}
+	vs, err := h.sys.SuggestMulti(tab, k)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorJSON{err.Error()})
+		return
+	}
+	resp := TopKResponse{Table: tab.Name, Rows: tab.NumRows(), Columns: tab.NumCols()}
+	for _, v := range vs {
+		c := ChartJSON{
+			Rank: v.Rank, Query: v.Query, Chart: v.Chart, Score: v.Score,
+			Series: v.SeriesNames(),
+		}
+		if spec, err := v.VegaLite(); err == nil {
+			c.Vega = spec
+		}
+		if h.opts.ASCII {
+			c.ASCII = v.RenderASCII()
+		}
+		resp.Charts = append(resp.Charts, c)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeJSON(w, http.StatusBadRequest, errorJSON{"missing q parameter"})
+		return
+	}
+	tab, ok := h.readTable(w, r)
+	if !ok {
+		return
+	}
+	k, err := h.parseK(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+		return
+	}
+	vs, err := h.sys.Search(tab, q, k)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorJSON{err.Error()})
+		return
+	}
+	resp := TopKResponse{Table: tab.Name, Rows: tab.NumRows(), Columns: tab.NumCols()}
+	for _, v := range vs {
+		resp.Charts = append(resp.Charts, h.chartJSON(v))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ProfileJSON is the wire form of one column profile.
+type ProfileJSON struct {
+	Name     string  `json:"name"`
+	Type     string  `json:"type"`
+	NonNull  int     `json:"non_null"`
+	Distinct int     `json:"distinct"`
+	Ratio    float64 `json:"ratio"`
+	Min      float64 `json:"min,omitempty"`
+	Max      float64 `json:"max,omitempty"`
+}
+
+func (h *Handler) handleProfile(w http.ResponseWriter, r *http.Request) {
+	tab, ok := h.readTable(w, r)
+	if !ok {
+		return
+	}
+	var out []ProfileJSON
+	for _, p := range tab.Profile(5) {
+		out = append(out, ProfileJSON{
+			Name: p.Name, Type: p.Type.String(),
+			NonNull: p.NonNull, Distinct: p.Distinct, Ratio: p.Ratio,
+			Min: p.Min, Max: p.Max,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (h *Handler) chartJSON(v *deepeye.Visualization) ChartJSON {
+	labels, values := v.Data()
+	c := ChartJSON{
+		Rank: v.Rank, Query: v.Query, Chart: v.Chart, Score: v.Score,
+		X: v.XName(), Y: v.YName(),
+		Labels: labels, Values: values,
+	}
+	if spec, err := v.VegaLite(); err == nil {
+		c.Vega = spec
+	}
+	if h.opts.ASCII {
+		c.ASCII = v.RenderASCII()
+	}
+	return c
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

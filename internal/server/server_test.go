@@ -1,0 +1,270 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	deepeye "github.com/deepeye/deepeye"
+)
+
+const testCSV = `when,region,amount,profit
+2015-01-05,North,12,6
+2015-02-09,South,7,3
+2015-03-17,North,3,2
+2015-04-02,East,15,8
+2015-05-11,South,8,4
+2015-06-19,West,4,2
+2015-07-06,North,18,9
+2015-08-14,East,6,3
+2015-09-21,South,9,5
+2015-10-02,West,11,6
+2015-11-18,North,21,11
+2015-12-05,East,13,7
+`
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	h := New(deepeye.New(deepeye.Options{IncludeOneColumn: true}), Options{ASCII: true})
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postCSV(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "text/csv", strings.NewReader(testCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	srv := newTestServer(t)
+	resp := postCSV(t, srv.URL+"/topk?k=3&name=sales")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out TopKResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Table != "sales" || out.Rows != 12 || out.Columns != 4 {
+		t.Errorf("meta = %+v", out)
+	}
+	if len(out.Charts) != 3 {
+		t.Fatalf("charts = %d", len(out.Charts))
+	}
+	for i, c := range out.Charts {
+		if c.Rank != i+1 || c.Query == "" || c.Chart == "" {
+			t.Errorf("chart %d = %+v", i, c)
+		}
+		if len(c.Values) == 0 {
+			t.Errorf("chart %d has no data", i)
+		}
+		if len(c.Vega) == 0 {
+			t.Errorf("chart %d has no vega spec", i)
+		}
+		if c.ASCII == "" {
+			t.Errorf("chart %d has no ascii render", i)
+		}
+	}
+}
+
+func TestTopKDefaultAndCappedK(t *testing.T) {
+	h := New(deepeye.New(deepeye.Options{}), Options{DefaultK: 2, MaxK: 3})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/topk", "text/csv", strings.NewReader(testCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out TopKResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Charts) != 2 {
+		t.Errorf("default k: %d charts", len(out.Charts))
+	}
+
+	resp2, err := http.Post(srv.URL+"/topk?k=99", "text/csv", strings.NewReader(testCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var out2 TopKResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&out2); err != nil {
+		t.Fatal(err)
+	}
+	if len(out2.Charts) > 3 {
+		t.Errorf("k cap violated: %d charts", len(out2.Charts))
+	}
+}
+
+func TestTopKBadInputs(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Post(srv.URL+"/topk?k=zero", "text/csv", strings.NewReader(testCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad k status = %d", resp.StatusCode)
+	}
+	resp2, err := http.Post(srv.URL+"/topk", "text/csv", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty csv status = %d", resp2.StatusCode)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	q := url.QueryEscape("VISUALIZE bar SELECT region, SUM(amount) FROM sales GROUP BY region")
+	resp := postCSV(t, srv.URL+"/query?q="+q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var c ChartJSON
+	if err := json.NewDecoder(resp.Body).Decode(&c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Chart != "bar" || len(c.Labels) != 4 {
+		t.Errorf("chart = %+v", c)
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	srv := newTestServer(t)
+	resp := postCSV(t, srv.URL+"/query")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing q status = %d", resp.StatusCode)
+	}
+	q := url.QueryEscape("VISUALIZE bar SELECT nope, SUM(amount) FROM t GROUP BY nope")
+	resp2 := postCSV(t, srv.URL+"/query?q="+q)
+	if resp2.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("bad column status = %d", resp2.StatusCode)
+	}
+}
+
+func TestMultiEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	resp := postCSV(t, srv.URL+"/multi?k=2")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out TopKResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Charts) == 0 {
+		t.Fatal("no multi charts")
+	}
+	for _, c := range out.Charts {
+		if len(c.Series) < 2 {
+			t.Errorf("multi chart has %d series", len(c.Series))
+		}
+	}
+}
+
+func TestBodyLimit(t *testing.T) {
+	h := New(deepeye.New(deepeye.Options{}), Options{MaxBodyBytes: 64})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/topk", "text/csv", strings.NewReader(testCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized body status = %d", resp.StatusCode)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/topk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /topk status = %d", resp.StatusCode)
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	q := url.QueryEscape("amount share by region")
+	resp := postCSV(t, srv.URL+"/search?q="+q+"&k=2")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out TopKResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Charts) == 0 {
+		t.Fatal("no search results")
+	}
+	if out.Charts[0].Chart != "pie" {
+		t.Errorf("share intent should give pie, got %s", out.Charts[0].Chart)
+	}
+}
+
+func TestSearchEndpointErrors(t *testing.T) {
+	srv := newTestServer(t)
+	resp := postCSV(t, srv.URL+"/search")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing q status = %d", resp.StatusCode)
+	}
+	q := url.QueryEscape("zorp blimfle")
+	resp2 := postCSV(t, srv.URL+"/search?q="+q)
+	if resp2.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("no-match status = %d", resp2.StatusCode)
+	}
+}
+
+func TestProfileEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	resp := postCSV(t, srv.URL+"/profile")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out []ProfileJSON
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("profiles = %d", len(out))
+	}
+	byName := map[string]ProfileJSON{}
+	for _, p := range out {
+		byName[p.Name] = p
+	}
+	if byName["region"].Type != "Cat" || byName["amount"].Type != "Num" || byName["when"].Type != "Tem" {
+		t.Errorf("profiles = %+v", byName)
+	}
+}

@@ -1,0 +1,196 @@
+package transform
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/deepeye/deepeye/internal/dataset"
+)
+
+// MultiResult is the transformed data of a multi-series visualization
+// (paper §II-B "Extensions for One Column and Multiple Columns"): one
+// shared X′ axis and one Y′ series per compared column or per series
+// group.
+type MultiResult struct {
+	XLabels     []string
+	XOrder      []float64
+	SeriesNames []string
+	// Series[s][i] is series s's aggregated value in bucket i; NaN marks
+	// buckets a series has no data for.
+	Series    [][]float64
+	InputRows int
+}
+
+// Len returns the number of X′ buckets.
+func (r *MultiResult) Len() int { return len(r.XLabels) }
+
+// NumSeries returns the number of plotted series.
+func (r *MultiResult) NumSeries() int { return len(r.Series) }
+
+// ApplyMultiY buckets X once and aggregates every Y column over the same
+// buckets — the paper's case (i): one X with multiple Y₁…Y_z compared on
+// a shared axis. Aggs[i] applies to ys[i]; AggCnt is identical across
+// series and therefore rejected for multi-Y (it would plot the same
+// series z times).
+func ApplyMultiY(x *dataset.Column, ys []*dataset.Column, spec Spec, aggs []Agg) (*MultiResult, error) {
+	if len(ys) < 2 {
+		return nil, fmt.Errorf("transform: multi-Y needs at least 2 series, got %d", len(ys))
+	}
+	if len(aggs) != len(ys) {
+		return nil, fmt.Errorf("transform: %d aggregates for %d series", len(aggs), len(ys))
+	}
+	base := spec
+	base.Agg = AggCnt
+	skeleton, err := Apply(x, nil, base)
+	if err != nil {
+		return nil, err
+	}
+	if skeleton.Len() == 0 {
+		return nil, fmt.Errorf("transform: multi-Y produced no buckets")
+	}
+	out := &MultiResult{
+		XLabels:   skeleton.XLabels,
+		XOrder:    skeleton.XOrder,
+		InputRows: skeleton.InputRows,
+	}
+	for si, y := range ys {
+		if y == nil || y.Type != dataset.Numerical {
+			return nil, fmt.Errorf("transform: multi-Y series %d must be numerical", si)
+		}
+		agg := aggs[si]
+		if agg == AggNone || agg == AggCnt {
+			return nil, fmt.Errorf("transform: multi-Y series %d needs SUM or AVG (CNT repeats the same series)", si)
+		}
+		series := make([]float64, skeleton.Len())
+		for bi, rows := range skeleton.SourceRows {
+			sum, cnt := 0.0, 0
+			for _, r := range rows {
+				if !y.Null[r] {
+					sum += y.Nums[r]
+					cnt++
+				}
+			}
+			switch {
+			case cnt == 0:
+				series[bi] = math.NaN()
+			case agg == AggAvg:
+				series[bi] = sum / float64(cnt)
+			default:
+				series[bi] = sum
+			}
+		}
+		out.SeriesNames = append(out.SeriesNames, fmt.Sprintf("%s(%s)", agg, y.Name))
+		out.Series = append(out.Series, series)
+	}
+	return out, nil
+}
+
+// ApplyXYZ implements the paper's case (ii): group the data by X (one
+// series per X value), bucket Y inside each group with spec, and
+// aggregate Z per bucket — e.g. Fig. 1(b)'s stacked bars: series =
+// destination, x-axis = scheduled month, value = SUM(passengers).
+// MaxSeries caps the series count (the largest groups win); 0 means 12.
+func ApplyXYZ(x, y, z *dataset.Column, spec Spec, maxSeries int) (*MultiResult, error) {
+	if x == nil || y == nil || z == nil {
+		return nil, fmt.Errorf("transform: xyz requires three columns")
+	}
+	if x.Type == dataset.Numerical {
+		return nil, fmt.Errorf("transform: the series column must be categorical or temporal")
+	}
+	if spec.Agg == AggNone {
+		return nil, fmt.Errorf("transform: xyz requires an aggregate")
+	}
+	if spec.Agg != AggCnt && z.Type != dataset.Numerical {
+		return nil, fmt.Errorf("transform: %s requires numerical z", spec.Agg)
+	}
+	if maxSeries <= 0 {
+		maxSeries = 12
+	}
+	// The shared x-axis skeleton over all rows.
+	base := spec
+	base.Agg = AggCnt
+	skeleton, err := Apply(y, nil, base)
+	if err != nil {
+		return nil, err
+	}
+	if skeleton.Len() == 0 {
+		return nil, fmt.Errorf("transform: xyz produced no buckets")
+	}
+	bucketOf := make(map[int]int) // row -> bucket index
+	for bi, rows := range skeleton.SourceRows {
+		for _, r := range rows {
+			bucketOf[r] = bi
+		}
+	}
+	// Group rows by the series column.
+	type group struct {
+		label string
+		rows  []int
+	}
+	groups := map[string]*group{}
+	for i := range x.Raw {
+		if x.Null[i] {
+			continue
+		}
+		if _, inBucket := bucketOf[i]; !inBucket {
+			continue
+		}
+		g := groups[x.Raw[i]]
+		if g == nil {
+			g = &group{label: x.Raw[i]}
+			groups[x.Raw[i]] = g
+		}
+		g.rows = append(g.rows, i)
+	}
+	ordered := make([]*group, 0, len(groups))
+	for _, g := range groups {
+		ordered = append(ordered, g)
+	}
+	sort.Slice(ordered, func(a, b int) bool {
+		if len(ordered[a].rows) != len(ordered[b].rows) {
+			return len(ordered[a].rows) > len(ordered[b].rows)
+		}
+		return ordered[a].label < ordered[b].label
+	})
+	if len(ordered) > maxSeries {
+		ordered = ordered[:maxSeries]
+	}
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a].label < ordered[b].label })
+
+	out := &MultiResult{
+		XLabels:   skeleton.XLabels,
+		XOrder:    skeleton.XOrder,
+		InputRows: skeleton.InputRows,
+	}
+	for _, g := range ordered {
+		sums := make([]float64, skeleton.Len())
+		cnts := make([]int, skeleton.Len())
+		for _, r := range g.rows {
+			bi := bucketOf[r]
+			if spec.Agg != AggCnt && z.Null[r] {
+				continue
+			}
+			cnts[bi]++
+			if spec.Agg != AggCnt {
+				sums[bi] += z.Nums[r]
+			}
+		}
+		series := make([]float64, skeleton.Len())
+		for bi := range series {
+			switch {
+			case cnts[bi] == 0:
+				series[bi] = math.NaN()
+			case spec.Agg == AggCnt:
+				series[bi] = float64(cnts[bi])
+			case spec.Agg == AggAvg:
+				series[bi] = sums[bi] / float64(cnts[bi])
+			default:
+				series[bi] = sums[bi]
+			}
+		}
+		out.SeriesNames = append(out.SeriesNames, g.label)
+		out.Series = append(out.Series, series)
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package transform
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/deepeye/deepeye/internal/dataset"
+)
+
+func TestApplyMultiYBasic(t *testing.T) {
+	x := dataset.CatColumn("c", []string{"a", "a", "b", "b"})
+	y1 := dataset.NumColumn("u", []float64{1, 3, 10, 20})
+	y2 := dataset.NumColumn("v", []float64{2, 4, 6, 8})
+	res, err := ApplyMultiY(x, []*dataset.Column{y1, y2},
+		Spec{Kind: KindGroup}, []Agg{AggAvg, AggSum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumSeries() != 2 || res.Len() != 2 {
+		t.Fatalf("dims = %dx%d", res.NumSeries(), res.Len())
+	}
+	// a: avg(u)=2, sum(v)=6; b: avg(u)=15, sum(v)=14.
+	if res.Series[0][0] != 2 || res.Series[0][1] != 15 {
+		t.Errorf("series u = %v", res.Series[0])
+	}
+	if res.Series[1][0] != 6 || res.Series[1][1] != 14 {
+		t.Errorf("series v = %v", res.Series[1])
+	}
+}
+
+func TestApplyMultiYNaNForEmptyBuckets(t *testing.T) {
+	x := dataset.CatColumn("c", []string{"a", "b"})
+	y1 := dataset.NumColumn("u", []float64{1, math.NaN()})
+	y2 := dataset.NumColumn("v", []float64{2, 3})
+	res, err := ApplyMultiY(x, []*dataset.Column{y1, y2},
+		Spec{Kind: KindGroup}, []Agg{AggAvg, AggAvg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(res.Series[0][1]) {
+		t.Errorf("null-only bucket should be NaN, got %v", res.Series[0][1])
+	}
+	if res.Series[1][1] != 3 {
+		t.Errorf("series v = %v", res.Series[1])
+	}
+}
+
+func TestApplyMultiYErrors(t *testing.T) {
+	x := dataset.CatColumn("c", []string{"a"})
+	num := dataset.NumColumn("u", []float64{1})
+	cat := dataset.CatColumn("w", []string{"z"})
+	if _, err := ApplyMultiY(x, []*dataset.Column{num}, Spec{Kind: KindGroup}, []Agg{AggAvg}); err == nil {
+		t.Error("single series should fail")
+	}
+	if _, err := ApplyMultiY(x, []*dataset.Column{num, cat}, Spec{Kind: KindGroup}, []Agg{AggAvg, AggAvg}); err == nil {
+		t.Error("categorical series should fail")
+	}
+	if _, err := ApplyMultiY(x, []*dataset.Column{num, num}, Spec{Kind: KindGroup}, []Agg{AggCnt, AggCnt}); err == nil {
+		t.Error("CNT series should fail")
+	}
+	if _, err := ApplyMultiY(x, []*dataset.Column{num, num}, Spec{Kind: KindGroup}, []Agg{AggAvg}); err == nil {
+		t.Error("agg count mismatch should fail")
+	}
+}
+
+func TestApplyXYZBasic(t *testing.T) {
+	// Two series (p, q) over two months.
+	base := time.Date(2015, 1, 15, 0, 0, 0, 0, time.UTC)
+	times := []time.Time{base, base, base.AddDate(0, 1, 0), base.AddDate(0, 1, 0)}
+	series := dataset.CatColumn("s", []string{"p", "q", "p", "q"})
+	axis := dataset.TimeColumn("when", times)
+	z := dataset.NumColumn("z", []float64{1, 10, 2, 20})
+	res, err := ApplyXYZ(series, axis, z, Spec{Kind: KindBinUnit, Unit: ByMonth, Agg: AggSum}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumSeries() != 2 || res.Len() != 2 {
+		t.Fatalf("dims = %dx%d", res.NumSeries(), res.Len())
+	}
+	// Alphabetical series order: p then q.
+	if res.SeriesNames[0] != "p" || res.Series[0][0] != 1 || res.Series[0][1] != 2 {
+		t.Errorf("series p = %v", res.Series[0])
+	}
+	if res.Series[1][0] != 10 || res.Series[1][1] != 20 {
+		t.Errorf("series q = %v", res.Series[1])
+	}
+}
+
+func TestApplyXYZMaxSeries(t *testing.T) {
+	n := 100
+	labels := make([]string, n)
+	vals := make([]float64, n)
+	for i := range labels {
+		labels[i] = string(rune('a' + i%20)) // 20 series
+		vals[i] = float64(i)
+	}
+	series := dataset.CatColumn("s", labels)
+	axis := dataset.NumColumn("x", vals)
+	res, err := ApplyXYZ(series, axis, axis, Spec{Kind: KindBinCount, N: 5, Agg: AggCnt}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumSeries() != 6 {
+		t.Errorf("series = %d, want capped 6", res.NumSeries())
+	}
+}
+
+func TestApplyXYZErrors(t *testing.T) {
+	num := dataset.NumColumn("n", []float64{1})
+	cat := dataset.CatColumn("c", []string{"a"})
+	if _, err := ApplyXYZ(num, num, num, Spec{Kind: KindBinCount, N: 2, Agg: AggSum}, 0); err == nil {
+		t.Error("numeric series column should fail")
+	}
+	if _, err := ApplyXYZ(cat, num, cat, Spec{Kind: KindBinCount, N: 2, Agg: AggSum}, 0); err == nil {
+		t.Error("SUM of categorical z should fail")
+	}
+	if _, err := ApplyXYZ(cat, num, num, Spec{Kind: KindBinCount, N: 2, Agg: AggNone}, 0); err == nil {
+		t.Error("missing aggregate should fail")
+	}
+	if _, err := ApplyXYZ(nil, num, num, Spec{Kind: KindBinCount, N: 2, Agg: AggSum}, 0); err == nil {
+		t.Error("nil column should fail")
+	}
+}

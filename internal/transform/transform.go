@@ -1,0 +1,494 @@
+// Package transform implements DeepEye's data operations (paper §II-A):
+// binning of temporal and numerical columns, grouping of categorical
+// columns, the three aggregation operators {SUM, AVG, CNT}, and ORDER BY —
+// producing the transformed series (X′, Y′) that visualization nodes carry.
+package transform
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/deepeye/deepeye/internal/dataset"
+)
+
+// Agg is one of the paper's aggregation operators.
+type Agg int
+
+const (
+	// AggNone leaves Y untransformed (raw X-Y pairs, e.g. scatter plots).
+	AggNone Agg = iota
+	// AggSum sums the Y values falling into each group or bin.
+	AggSum
+	// AggAvg averages the Y values in each group or bin.
+	AggAvg
+	// AggCnt counts the tuples in each group or bin.
+	AggCnt
+)
+
+// String returns the paper's operator spelling.
+func (a Agg) String() string {
+	switch a {
+	case AggNone:
+		return "NONE"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggCnt:
+		return "CNT"
+	default:
+		return fmt.Sprintf("Agg(%d)", int(a))
+	}
+}
+
+// BinUnit is a temporal binning granularity (paper: BIN X BY
+// {MINUTE, HOUR, DAY, WEEK, MONTH, QUARTER, YEAR}).
+type BinUnit int
+
+const (
+	ByMinute BinUnit = iota
+	ByHour
+	ByDay
+	ByWeek
+	ByMonth
+	ByQuarter
+	ByYear
+	// Periodic units fold the calendar onto itself: the paper's Fig. 1(c)
+	// bins a year of flights "BY HOUR" into 24 buckets (Table II reports
+	// |X′| = 24), i.e. by hour of day. These units make that chart — and
+	// weekday/seasonal profiles — expressible.
+	ByHourOfDay
+	ByDayOfWeek
+	ByMonthOfYear
+)
+
+// String returns the unit keyword.
+func (u BinUnit) String() string {
+	switch u {
+	case ByMinute:
+		return "MINUTE"
+	case ByHour:
+		return "HOUR"
+	case ByDay:
+		return "DAY"
+	case ByWeek:
+		return "WEEK"
+	case ByMonth:
+		return "MONTH"
+	case ByQuarter:
+		return "QUARTER"
+	case ByYear:
+		return "YEAR"
+	case ByHourOfDay:
+		return "HOUR_OF_DAY"
+	case ByDayOfWeek:
+		return "DAY_OF_WEEK"
+	case ByMonthOfYear:
+		return "MONTH_OF_YEAR"
+	default:
+		return fmt.Sprintf("BinUnit(%d)", int(u))
+	}
+}
+
+// AllBinUnits lists the seven absolute temporal granularities in order.
+var AllBinUnits = []BinUnit{ByMinute, ByHour, ByDay, ByWeek, ByMonth, ByQuarter, ByYear}
+
+// PeriodicBinUnits lists the calendar-folding granularities.
+var PeriodicBinUnits = []BinUnit{ByHourOfDay, ByDayOfWeek, ByMonthOfYear}
+
+// Kind discriminates the transform applied to the X column.
+type Kind int
+
+const (
+	// KindNone applies no transform: raw X values pass through.
+	KindNone Kind = iota
+	// KindGroup groups by the categorical (or temporal) X values.
+	KindGroup
+	// KindBinUnit bins a temporal X by a calendar unit.
+	KindBinUnit
+	// KindBinCount bins a numerical X into N equal-width buckets.
+	KindBinCount
+	// KindBinUDF bins a numerical X by a user-defined function.
+	KindBinUDF
+)
+
+// UDF is a user-defined binning function: it maps a numeric value to a
+// bucket label and a sort key for that bucket.
+type UDF struct {
+	Name string
+	Fn   func(v float64) (label string, order float64)
+}
+
+// Spec describes the full transform of an (X, Y) column pair into
+// (X′, Y′): how X is grouped or binned and how Y is aggregated.
+type Spec struct {
+	Kind Kind
+	Unit BinUnit // when Kind == KindBinUnit
+	N    int     // when Kind == KindBinCount
+	UDF  *UDF    // when Kind == KindBinUDF
+	Agg  Agg
+}
+
+// String renders the spec in the paper's language fragment form.
+func (s Spec) String() string {
+	switch s.Kind {
+	case KindNone:
+		return fmt.Sprintf("RAW,%s", s.Agg)
+	case KindGroup:
+		return fmt.Sprintf("GROUP,%s", s.Agg)
+	case KindBinUnit:
+		return fmt.Sprintf("BIN BY %s,%s", s.Unit, s.Agg)
+	case KindBinCount:
+		return fmt.Sprintf("BIN INTO %d,%s", s.N, s.Agg)
+	case KindBinUDF:
+		name := "udf"
+		if s.UDF != nil {
+			name = s.UDF.Name
+		}
+		return fmt.Sprintf("BIN BY UDF(%s),%s", name, s.Agg)
+	default:
+		return "?"
+	}
+}
+
+// Result is the transformed series (X′, Y′): one entry per group/bin in
+// XLabels (display form) with XOrder carrying a numeric sort key when one
+// exists, and Y the aggregated values. SourceRows[i] lists the input row
+// indices that fell into bucket i (used by postponed operations in the
+// progressive optimizer).
+type Result struct {
+	XLabels    []string
+	XOrder     []float64 // numeric/temporal sort keys; NaN when unordered
+	Y          []float64
+	SourceRows [][]int
+	InputRows  int // number of non-null input tuples |X|
+}
+
+// Len returns the transformed cardinality |X′|.
+func (r *Result) Len() int { return len(r.XLabels) }
+
+// bucket accumulates per-key aggregation state.
+type bucket struct {
+	label string
+	order float64
+	sum   float64
+	cnt   int
+	rows  []int
+}
+
+// Apply executes the spec over the X and Y columns of a table. For
+// Agg == AggCnt, y may equal x (one-column histograms, paper §II-B
+// one-column extension). The result buckets are sorted by their natural
+// order (numeric sort key when present, else label).
+func Apply(x, y *dataset.Column, spec Spec) (*Result, error) {
+	if x == nil {
+		return nil, fmt.Errorf("transform: nil x column")
+	}
+	if spec.Agg != AggCnt && spec.Agg != AggNone {
+		if y == nil {
+			return nil, fmt.Errorf("transform: %s requires a y column", spec.Agg)
+		}
+		if y.Type != dataset.Numerical {
+			return nil, fmt.Errorf("transform: %s requires numerical y, got %s", spec.Agg, y.Type)
+		}
+	}
+	switch spec.Kind {
+	case KindNone:
+		return applyRaw(x, y, spec)
+	case KindGroup:
+		return applyKeyed(x, y, spec, groupKey)
+	case KindBinUnit:
+		if x.Type != dataset.Temporal {
+			return nil, fmt.Errorf("transform: BIN BY %s requires temporal x, got %s", spec.Unit, x.Type)
+		}
+		return applyKeyed(x, y, spec, func(c *dataset.Column, i int) (string, float64, bool) {
+			return unitKey(c.Times[i], spec.Unit)
+		})
+	case KindBinCount:
+		if x.Type != dataset.Numerical {
+			return nil, fmt.Errorf("transform: BIN INTO N requires numerical x, got %s", x.Type)
+		}
+		return applyBinCount(x, y, spec)
+	case KindBinUDF:
+		if spec.UDF == nil || spec.UDF.Fn == nil {
+			return nil, fmt.Errorf("transform: BIN BY UDF requires a udf")
+		}
+		if x.Type != dataset.Numerical {
+			return nil, fmt.Errorf("transform: BIN BY UDF requires numerical x, got %s", x.Type)
+		}
+		return applyKeyed(x, y, spec, func(c *dataset.Column, i int) (string, float64, bool) {
+			label, order := spec.UDF.Fn(c.Nums[i])
+			return label, order, true
+		})
+	default:
+		return nil, fmt.Errorf("transform: unknown kind %d", spec.Kind)
+	}
+}
+
+// applyRaw passes X through untransformed; Y must be numeric (or nil for
+// count-of-self, which is meaningless raw, so it is rejected).
+func applyRaw(x, y *dataset.Column, spec Spec) (*Result, error) {
+	if spec.Agg != AggNone {
+		return nil, fmt.Errorf("transform: raw pass-through cannot aggregate with %s", spec.Agg)
+	}
+	if y == nil || y.Type != dataset.Numerical {
+		return nil, fmt.Errorf("transform: raw pass-through requires numerical y")
+	}
+	res := &Result{}
+	for i := range x.Raw {
+		if x.Null[i] || y.Null[i] {
+			continue
+		}
+		res.InputRows++
+		res.XLabels = append(res.XLabels, x.Raw[i])
+		res.XOrder = append(res.XOrder, xOrderValue(x, i))
+		res.Y = append(res.Y, y.Nums[i])
+		res.SourceRows = append(res.SourceRows, []int{i})
+	}
+	return res, nil
+}
+
+// xOrderValue returns the sort key of the raw X cell at row i.
+func xOrderValue(x *dataset.Column, i int) float64 {
+	switch x.Type {
+	case dataset.Numerical:
+		return x.Nums[i]
+	case dataset.Temporal:
+		return float64(x.Times[i].Unix())
+	default:
+		return math.NaN()
+	}
+}
+
+// keyFn maps a row of the X column to a bucket (label, sort key); ok=false
+// skips the row.
+type keyFn func(c *dataset.Column, i int) (label string, order float64, ok bool)
+
+// groupKey buckets by the raw value (GROUP BY X).
+func groupKey(c *dataset.Column, i int) (string, float64, bool) {
+	return c.Raw[i], xOrderValue(c, i), true
+}
+
+// unitKey buckets a timestamp by a calendar unit. The label is
+// human-readable; the order key is the bucket's start time.
+func unitKey(ts time.Time, u BinUnit) (string, float64, bool) {
+	var start time.Time
+	var label string
+	switch u {
+	case ByMinute:
+		start = ts.Truncate(time.Minute)
+		label = start.Format("2006-01-02 15:04")
+	case ByHour:
+		start = ts.Truncate(time.Hour)
+		label = start.Format("2006-01-02 15:00")
+	case ByDay:
+		start = time.Date(ts.Year(), ts.Month(), ts.Day(), 0, 0, 0, 0, ts.Location())
+		label = start.Format("2006-01-02")
+	case ByWeek:
+		// ISO-ish week starting Monday.
+		wd := (int(ts.Weekday()) + 6) % 7
+		day := time.Date(ts.Year(), ts.Month(), ts.Day(), 0, 0, 0, 0, ts.Location())
+		start = day.AddDate(0, 0, -wd)
+		label = start.Format("wk 2006-01-02")
+	case ByMonth:
+		start = time.Date(ts.Year(), ts.Month(), 1, 0, 0, 0, 0, ts.Location())
+		label = start.Format("2006-01")
+	case ByQuarter:
+		q := (int(ts.Month()) - 1) / 3
+		start = time.Date(ts.Year(), time.Month(q*3+1), 1, 0, 0, 0, 0, ts.Location())
+		label = fmt.Sprintf("%dQ%d", ts.Year(), q+1)
+	case ByYear:
+		start = time.Date(ts.Year(), 1, 1, 0, 0, 0, 0, ts.Location())
+		label = start.Format("2006")
+	case ByHourOfDay:
+		h := ts.Hour()
+		return fmt.Sprintf("%02d:00", h), float64(h), true
+	case ByDayOfWeek:
+		wd := (int(ts.Weekday()) + 6) % 7 // Monday-first
+		return ts.Weekday().String()[:3], float64(wd), true
+	case ByMonthOfYear:
+		m := int(ts.Month())
+		return ts.Month().String()[:3], float64(m), true
+	default:
+		return "", 0, false
+	}
+	return label, float64(start.Unix()), true
+}
+
+// HourOfDay is a convenience key used by the paper's Figure 1(c): bin by
+// the hour-of-day (00..23) rather than by absolute hour. It is exposed as
+// a UDF-style unit because the paper's Q1 bins "scheduled BY HOUR" and the
+// resulting chart has 24 buckets.
+func HourOfDay(ts time.Time) (string, float64) {
+	h := ts.Hour()
+	return fmt.Sprintf("%02d:00", h), float64(h)
+}
+
+// applyKeyed buckets rows with key and aggregates.
+func applyKeyed(x, y *dataset.Column, spec Spec, key keyFn) (*Result, error) {
+	buckets := make(map[string]*bucket)
+	var orderedKeys []string
+	inputRows := 0
+	for i := range x.Raw {
+		if x.Null[i] {
+			continue
+		}
+		needY := spec.Agg == AggSum || spec.Agg == AggAvg
+		if needY && (y == nil || y.Null[i]) {
+			continue
+		}
+		label, order, ok := key(x, i)
+		if !ok {
+			continue
+		}
+		inputRows++
+		b := buckets[label]
+		if b == nil {
+			b = &bucket{label: label, order: order}
+			buckets[label] = b
+			orderedKeys = append(orderedKeys, label)
+		}
+		b.cnt++
+		b.rows = append(b.rows, i)
+		if needY {
+			b.sum += y.Nums[i]
+		}
+	}
+	out := make([]*bucket, 0, len(buckets))
+	for _, k := range orderedKeys {
+		out = append(out, buckets[k])
+	}
+	sort.Slice(out, func(a, b int) bool {
+		oa, ob := out[a].order, out[b].order
+		switch {
+		case !math.IsNaN(oa) && !math.IsNaN(ob) && oa != ob:
+			return oa < ob
+		case math.IsNaN(oa) != math.IsNaN(ob):
+			return !math.IsNaN(oa)
+		default:
+			return out[a].label < out[b].label
+		}
+	})
+	res := &Result{InputRows: inputRows}
+	for _, b := range out {
+		res.XLabels = append(res.XLabels, b.label)
+		res.XOrder = append(res.XOrder, b.order)
+		res.SourceRows = append(res.SourceRows, b.rows)
+		switch spec.Agg {
+		case AggSum:
+			res.Y = append(res.Y, b.sum)
+		case AggAvg:
+			res.Y = append(res.Y, b.sum/float64(b.cnt))
+		case AggCnt, AggNone:
+			res.Y = append(res.Y, float64(b.cnt))
+		}
+	}
+	return res, nil
+}
+
+// applyBinCount splits a numerical X into N equal-width intervals
+// [lo, lo+w), …, with the final interval closed.
+func applyBinCount(x, y *dataset.Column, spec Spec) (*Result, error) {
+	n := spec.N
+	if n <= 0 {
+		n = DefaultBinCount
+	}
+	s := x.Stats()
+	if s.N == 0 {
+		return &Result{}, nil
+	}
+	lo, hi := s.Min, s.Max
+	if lo == hi {
+		// Degenerate range: single bucket.
+		return applyKeyed(x, y, spec, func(c *dataset.Column, i int) (string, float64, bool) {
+			return fmt.Sprintf("[%g, %g]", lo, hi), lo, true
+		})
+	}
+	w := (hi - lo) / float64(n)
+	return applyKeyed(x, y, spec, func(c *dataset.Column, i int) (string, float64, bool) {
+		v := c.Nums[i]
+		idx := int((v - lo) / w)
+		if idx >= n {
+			idx = n - 1 // hi falls into the last bucket
+		}
+		bLo := lo + w*float64(idx)
+		return fmt.Sprintf("[%.4g, %.4g)", bLo, bLo+w), bLo, true
+	})
+}
+
+// DefaultBinCount is the bucket count for "default buckets" in the
+// paper's search-space enumeration (BIN X INTO N with unspecified N).
+const DefaultBinCount = 10
+
+// SortAxis identifies which axis ORDER BY sorts.
+type SortAxis int
+
+const (
+	// SortNone leaves bucket order as produced by Apply.
+	SortNone SortAxis = iota
+	// SortX orders buckets by X′ (numeric key when present, else label).
+	SortX
+	// SortY orders buckets by ascending Y′.
+	SortY
+)
+
+// String returns the axis keyword.
+func (a SortAxis) String() string {
+	switch a {
+	case SortNone:
+		return "NONE"
+	case SortX:
+		return "X"
+	case SortY:
+		return "Y"
+	default:
+		return fmt.Sprintf("SortAxis(%d)", int(a))
+	}
+}
+
+// OrderBy sorts the result in place along the given axis. Apply already
+// yields X-order, so SortX is idempotent; SortY reorders by value.
+func OrderBy(r *Result, axis SortAxis) {
+	type row struct {
+		label string
+		order float64
+		y     float64
+		src   []int
+	}
+	hasSrc := len(r.SourceRows) == r.Len()
+	rows := make([]row, r.Len())
+	for i := range rows {
+		rows[i] = row{label: r.XLabels[i], order: r.XOrder[i], y: r.Y[i]}
+		if hasSrc {
+			rows[i].src = r.SourceRows[i]
+		}
+	}
+	switch axis {
+	case SortX:
+		sort.SliceStable(rows, func(a, b int) bool {
+			oa, ob := rows[a].order, rows[b].order
+			switch {
+			case !math.IsNaN(oa) && !math.IsNaN(ob) && oa != ob:
+				return oa < ob
+			case math.IsNaN(oa) != math.IsNaN(ob):
+				return !math.IsNaN(oa)
+			default:
+				return rows[a].label < rows[b].label
+			}
+		})
+	case SortY:
+		sort.SliceStable(rows, func(a, b int) bool { return rows[a].y < rows[b].y })
+	default:
+		return
+	}
+	for i, rw := range rows {
+		r.XLabels[i] = rw.label
+		r.XOrder[i] = rw.order
+		r.Y[i] = rw.y
+		if hasSrc {
+			r.SourceRows[i] = rw.src
+		}
+	}
+}

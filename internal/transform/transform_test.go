@@ -1,0 +1,441 @@
+package transform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/deepeye/deepeye/internal/dataset"
+)
+
+func mkTimes(n int, step time.Duration) []time.Time {
+	base := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	out := make([]time.Time, n)
+	for i := range out {
+		out[i] = base.Add(time.Duration(i) * step)
+	}
+	return out
+}
+
+func TestGroupSum(t *testing.T) {
+	x := dataset.CatColumn("carrier", []string{"UA", "AA", "UA", "OO", "AA", "UA"})
+	y := dataset.NumColumn("pax", []float64{10, 20, 30, 40, 50, 60})
+	res, err := Apply(x, y, Spec{Kind: KindGroup, Agg: AggSum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"AA": 70, "OO": 40, "UA": 100}
+	if res.Len() != 3 {
+		t.Fatalf("len = %d", res.Len())
+	}
+	for i, l := range res.XLabels {
+		if res.Y[i] != want[l] {
+			t.Errorf("%s = %v, want %v", l, res.Y[i], want[l])
+		}
+	}
+	if res.InputRows != 6 {
+		t.Errorf("input rows = %d", res.InputRows)
+	}
+}
+
+func TestGroupAvgAndCnt(t *testing.T) {
+	x := dataset.CatColumn("c", []string{"a", "a", "b"})
+	y := dataset.NumColumn("v", []float64{2, 4, 10})
+	avg, err := Apply(x, y, Spec{Kind: KindGroup, Agg: AggAvg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.Y[0] != 3 || avg.Y[1] != 10 {
+		t.Errorf("avg = %v", avg.Y)
+	}
+	cnt, err := Apply(x, nil, Spec{Kind: KindGroup, Agg: AggCnt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt.Y[0] != 2 || cnt.Y[1] != 1 {
+		t.Errorf("cnt = %v", cnt.Y)
+	}
+}
+
+func TestGroupSkipsNullY(t *testing.T) {
+	x := dataset.CatColumn("c", []string{"a", "a"})
+	y := dataset.NumColumn("v", []float64{2, math.NaN()})
+	res, err := Apply(x, y, Spec{Kind: KindGroup, Agg: AggSum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Y[0] != 2 || res.InputRows != 1 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestBinByHour(t *testing.T) {
+	times := mkTimes(120, time.Minute) // 2 hours of minutes
+	x := dataset.TimeColumn("sched", times)
+	y := dataset.NumColumn("delay", make([]float64, 120))
+	res, err := Apply(x, y, Spec{Kind: KindBinUnit, Unit: ByHour, Agg: AggCnt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 || res.Y[0] != 60 || res.Y[1] != 60 {
+		t.Fatalf("res = %v %v", res.XLabels, res.Y)
+	}
+}
+
+func TestBinUnitsProduceSortedBuckets(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	times := make([]time.Time, 500)
+	base := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := range times {
+		times[i] = base.Add(time.Duration(rng.Intn(365*24)) * time.Hour)
+	}
+	x := dataset.TimeColumn("t", times)
+	for _, u := range AllBinUnits {
+		res, err := Apply(x, nil, Spec{Kind: KindBinUnit, Unit: u, Agg: AggCnt})
+		if err != nil {
+			t.Fatalf("%v: %v", u, err)
+		}
+		for i := 1; i < res.Len(); i++ {
+			if res.XOrder[i] < res.XOrder[i-1] {
+				t.Fatalf("%v: buckets out of order at %d", u, i)
+			}
+		}
+	}
+}
+
+func TestBinQuarterLabels(t *testing.T) {
+	times := []time.Time{
+		time.Date(2015, 2, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(2015, 8, 1, 0, 0, 0, 0, time.UTC),
+	}
+	x := dataset.TimeColumn("t", times)
+	res, err := Apply(x, nil, Spec{Kind: KindBinUnit, Unit: ByQuarter, Agg: AggCnt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.XLabels[0] != "2015Q1" || res.XLabels[1] != "2015Q3" {
+		t.Errorf("labels = %v", res.XLabels)
+	}
+}
+
+func TestBinIntoN(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i) // [0, 99]
+	}
+	x := dataset.NumColumn("v", vals)
+	res, err := Apply(x, nil, Spec{Kind: KindBinCount, N: 10, Agg: AggCnt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 10 {
+		t.Fatalf("bins = %d, want 10", res.Len())
+	}
+	for i, c := range res.Y {
+		if c != 10 {
+			t.Errorf("bin %d count = %v, want 10", i, c)
+		}
+	}
+}
+
+func TestBinIntoNDegenerateRange(t *testing.T) {
+	x := dataset.NumColumn("v", []float64{5, 5, 5})
+	res, err := Apply(x, nil, Spec{Kind: KindBinCount, N: 10, Agg: AggCnt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Y[0] != 3 {
+		t.Errorf("res = %v %v", res.XLabels, res.Y)
+	}
+}
+
+func TestBinUDF(t *testing.T) {
+	udf := &UDF{Name: "sign", Fn: func(v float64) (string, float64) {
+		if v < 0 {
+			return "delayed early", 0
+		}
+		return "delayed late", 1
+	}}
+	x := dataset.NumColumn("delay", []float64{-4, 0, 11, -2, 7})
+	res, err := Apply(x, nil, Spec{Kind: KindBinUDF, UDF: udf, Agg: AggCnt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 || res.Y[0] != 2 || res.Y[1] != 3 {
+		t.Errorf("res = %v %v", res.XLabels, res.Y)
+	}
+}
+
+func TestRawPassThrough(t *testing.T) {
+	x := dataset.NumColumn("a", []float64{3, 1, 2})
+	y := dataset.NumColumn("b", []float64{30, 10, 20})
+	res, err := Apply(x, y, Spec{Kind: KindNone, Agg: AggNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 || res.Y[0] != 30 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	num := dataset.NumColumn("n", []float64{1})
+	cat := dataset.CatColumn("c", []string{"a"})
+	tem := dataset.TimeColumn("t", mkTimes(1, time.Hour))
+	cases := []struct {
+		name string
+		x, y *dataset.Column
+		spec Spec
+	}{
+		{"nil x", nil, num, Spec{Kind: KindGroup, Agg: AggCnt}},
+		{"sum needs y", cat, nil, Spec{Kind: KindGroup, Agg: AggSum}},
+		{"sum needs numeric y", cat, cat, Spec{Kind: KindGroup, Agg: AggSum}},
+		{"bin unit needs temporal", num, num, Spec{Kind: KindBinUnit, Unit: ByHour, Agg: AggCnt}},
+		{"bin count needs numeric", tem, num, Spec{Kind: KindBinCount, N: 5, Agg: AggCnt}},
+		{"udf requires fn", num, num, Spec{Kind: KindBinUDF, Agg: AggCnt}},
+		{"raw cannot agg", num, num, Spec{Kind: KindNone, Agg: AggSum}},
+		{"raw needs numeric y", num, cat, Spec{Kind: KindNone, Agg: AggNone}},
+	}
+	for _, c := range cases {
+		if _, err := Apply(c.x, c.y, c.spec); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestOrderByX(t *testing.T) {
+	r := &Result{
+		XLabels:    []string{"b", "a", "c"},
+		XOrder:     []float64{math.NaN(), math.NaN(), math.NaN()},
+		Y:          []float64{2, 1, 3},
+		SourceRows: [][]int{{1}, {0}, {2}},
+	}
+	OrderBy(r, SortX)
+	if r.XLabels[0] != "a" || r.Y[0] != 1 {
+		t.Errorf("sorted = %v %v", r.XLabels, r.Y)
+	}
+}
+
+func TestOrderByY(t *testing.T) {
+	r := &Result{
+		XLabels:    []string{"a", "b", "c"},
+		XOrder:     []float64{1, 2, 3},
+		Y:          []float64{5, 1, 3},
+		SourceRows: [][]int{{0}, {1}, {2}},
+	}
+	OrderBy(r, SortY)
+	if r.Y[0] != 1 || r.Y[2] != 5 || r.XLabels[0] != "b" {
+		t.Errorf("sorted = %v %v", r.XLabels, r.Y)
+	}
+	OrderBy(r, SortNone) // no-op
+	if r.Y[0] != 1 {
+		t.Error("SortNone should not reorder")
+	}
+}
+
+func TestHourOfDay(t *testing.T) {
+	label, order := HourOfDay(time.Date(2015, 3, 4, 17, 30, 0, 0, time.UTC))
+	if label != "17:00" || order != 17 {
+		t.Errorf("hour of day = %q %v", label, order)
+	}
+}
+
+func TestSpecStrings(t *testing.T) {
+	specs := []Spec{
+		{Kind: KindNone, Agg: AggNone},
+		{Kind: KindGroup, Agg: AggSum},
+		{Kind: KindBinUnit, Unit: ByMonth, Agg: AggAvg},
+		{Kind: KindBinCount, N: 10, Agg: AggCnt},
+		{Kind: KindBinUDF, UDF: &UDF{Name: "sign"}, Agg: AggCnt},
+	}
+	for _, s := range specs {
+		if s.String() == "?" {
+			t.Errorf("spec %+v has no string", s)
+		}
+	}
+}
+
+// Property: SUM over group buckets equals the total sum of the column.
+func TestGroupSumConservationQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := int(n%100) + 1
+		cats := make([]string, m)
+		vals := make([]float64, m)
+		var total float64
+		for i := range cats {
+			cats[i] = string(rune('a' + rng.Intn(5)))
+			vals[i] = float64(rng.Intn(1000))
+			total += vals[i]
+		}
+		x := dataset.CatColumn("c", cats)
+		y := dataset.NumColumn("v", vals)
+		res, err := Apply(x, y, Spec{Kind: KindGroup, Agg: AggSum})
+		if err != nil {
+			return false
+		}
+		var got float64
+		for _, v := range res.Y {
+			got += v
+		}
+		return math.Abs(got-total) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CNT over bins equals the number of non-null tuples, for any N.
+func TestBinCountConservationQuick(t *testing.T) {
+	f := func(seed int64, nBins uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]float64, 200)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 50
+		}
+		x := dataset.NumColumn("v", vals)
+		n := int(nBins%30) + 1
+		res, err := Apply(x, nil, Spec{Kind: KindBinCount, N: n, Agg: AggCnt})
+		if err != nil {
+			return false
+		}
+		var got float64
+		for _, v := range res.Y {
+			got += v
+		}
+		return got == 200 && res.Len() <= n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every source row index appears in exactly one bucket.
+func TestSourceRowsPartitionQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cats := make([]string, 80)
+		for i := range cats {
+			cats[i] = string(rune('a' + rng.Intn(7)))
+		}
+		x := dataset.CatColumn("c", cats)
+		res, err := Apply(x, nil, Spec{Kind: KindGroup, Agg: AggCnt})
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, rows := range res.SourceRows {
+			for _, r := range rows {
+				if seen[r] {
+					return false
+				}
+				seen[r] = true
+			}
+		}
+		return len(seen) == 80
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: OrderBy(SortY) yields a non-decreasing Y and preserves the
+// multiset of (label, y) pairs.
+func TestOrderByYSortsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40) + 1
+		r := &Result{}
+		for i := 0; i < n; i++ {
+			r.XLabels = append(r.XLabels, string(rune('a'+i%26)))
+			r.XOrder = append(r.XOrder, float64(i))
+			r.Y = append(r.Y, float64(rng.Intn(100)))
+			r.SourceRows = append(r.SourceRows, []int{i})
+		}
+		var sum float64
+		for _, v := range r.Y {
+			sum += v
+		}
+		OrderBy(r, SortY)
+		var sum2 float64
+		for i, v := range r.Y {
+			sum2 += v
+			if i > 0 && v < r.Y[i-1] {
+				return false
+			}
+		}
+		return sum == sum2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeriodicUnits(t *testing.T) {
+	// Two years of hourly timestamps: periodic units must fold onto
+	// bounded bucket counts regardless of span.
+	base := time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC)
+	times := make([]time.Time, 2000)
+	for i := range times {
+		times[i] = base.Add(time.Duration(i*7) * time.Hour)
+	}
+	x := dataset.TimeColumn("t", times)
+
+	hod, err := Apply(x, nil, Spec{Kind: KindBinUnit, Unit: ByHourOfDay, Agg: AggCnt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hod.Len() > 24 {
+		t.Errorf("hour-of-day buckets = %d, want <= 24", hod.Len())
+	}
+	if hod.XLabels[0] != "00:00" {
+		t.Errorf("first hour label = %q", hod.XLabels[0])
+	}
+
+	dow, err := Apply(x, nil, Spec{Kind: KindBinUnit, Unit: ByDayOfWeek, Agg: AggCnt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dow.Len() != 7 {
+		t.Errorf("day-of-week buckets = %d, want 7", dow.Len())
+	}
+	// Monday-first ordering.
+	if dow.XLabels[0] != "Mon" || dow.XLabels[6] != "Sun" {
+		t.Errorf("dow labels = %v", dow.XLabels)
+	}
+
+	moy, err := Apply(x, nil, Spec{Kind: KindBinUnit, Unit: ByMonthOfYear, Agg: AggCnt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moy.Len() != 12 {
+		t.Errorf("month-of-year buckets = %d, want 12", moy.Len())
+	}
+	if moy.XLabels[0] != "Jan" {
+		t.Errorf("first month label = %q", moy.XLabels[0])
+	}
+}
+
+func TestPeriodicCountsConserved(t *testing.T) {
+	base := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	times := make([]time.Time, 500)
+	for i := range times {
+		times[i] = base.Add(time.Duration(i*13) * time.Hour)
+	}
+	x := dataset.TimeColumn("t", times)
+	for _, u := range PeriodicBinUnits {
+		res, err := Apply(x, nil, Spec{Kind: KindBinUnit, Unit: u, Agg: AggCnt})
+		if err != nil {
+			t.Fatalf("%v: %v", u, err)
+		}
+		var total float64
+		for _, v := range res.Y {
+			total += v
+		}
+		if total != 500 {
+			t.Errorf("%v: counts sum to %v, want 500", u, total)
+		}
+	}
+}

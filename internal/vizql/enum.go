@@ -1,0 +1,305 @@
+package vizql
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"github.com/deepeye/deepeye/internal/chart"
+	"github.com/deepeye/deepeye/internal/dataset"
+	"github.com/deepeye/deepeye/internal/stats"
+	"github.com/deepeye/deepeye/internal/transform"
+)
+
+// DefaultUDF is the paper's example user-defined binning function:
+// splitting a numerical column at 0 (e.g. early vs late departures,
+// Fig. 5(d)).
+var DefaultUDF = &transform.UDF{
+	Name: "sign",
+	Fn: func(v float64) (string, float64) {
+		if v < 0 {
+			return "< 0", 0
+		}
+		return ">= 0", 1
+	},
+}
+
+// enumSpecs returns the transform space for one ordered column pair: do
+// nothing, GROUP BY X, or one of the binnings (7 absolute calendar units,
+// 3 periodic calendar units, default buckets, UDF), crossed with the
+// aggregate choices. Raw pass-through carries no aggregate;
+// grouped/binned transforms carry one of {SUM, AVG, CNT}. The resulting
+// 40 combinations stay within the paper's 44-case bound (Fig. 3).
+func enumSpecs() []transform.Spec {
+	kinds := []transform.Spec{
+		{Kind: transform.KindGroup},
+		{Kind: transform.KindBinUnit, Unit: transform.ByMinute},
+		{Kind: transform.KindBinUnit, Unit: transform.ByHour},
+		{Kind: transform.KindBinUnit, Unit: transform.ByDay},
+		{Kind: transform.KindBinUnit, Unit: transform.ByWeek},
+		{Kind: transform.KindBinUnit, Unit: transform.ByMonth},
+		{Kind: transform.KindBinUnit, Unit: transform.ByQuarter},
+		{Kind: transform.KindBinUnit, Unit: transform.ByYear},
+		{Kind: transform.KindBinUnit, Unit: transform.ByHourOfDay},
+		{Kind: transform.KindBinUnit, Unit: transform.ByDayOfWeek},
+		{Kind: transform.KindBinUnit, Unit: transform.ByMonthOfYear},
+		{Kind: transform.KindBinCount, N: transform.DefaultBinCount},
+		{Kind: transform.KindBinUDF, UDF: DefaultUDF},
+	}
+	aggs := []transform.Agg{transform.AggSum, transform.AggAvg, transform.AggCnt}
+	specs := []transform.Spec{{Kind: transform.KindNone, Agg: transform.AggNone}}
+	for _, k := range kinds {
+		for _, a := range aggs {
+			s := k
+			s.Agg = a
+			specs = append(specs, s)
+		}
+	}
+	return specs
+}
+
+var sortAxes = []transform.SortAxis{transform.SortNone, transform.SortX, transform.SortY}
+
+// EnumerateQueries generates the full two-column search space of Fig. 3
+// for a table: every ordered column pair, every transform/aggregate
+// combination, every sort axis, every chart type. This is the exhaustive
+// "E" configuration of the paper's Fig. 12; most candidates are bad or
+// even inexecutable (type mismatches) and are filtered downstream.
+func EnumerateQueries(t *dataset.Table) []Query {
+	var out []Query
+	specs := enumSpecs()
+	for i, x := range t.Columns {
+		for j, y := range t.Columns {
+			if i == j {
+				continue
+			}
+			for _, spec := range specs {
+				for _, sort := range sortAxes {
+					for _, typ := range chart.AllTypes {
+						out = append(out, Query{
+							Viz: typ, X: x.Name, Y: y.Name, From: t.Name,
+							Spec: spec, Order: sort,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// EnumerateOneColumnQueries generates the one-column extension (§II-B):
+// group or bin a single column and count the tuples per bucket. The query
+// selects the same column as X and Y with CNT.
+func EnumerateOneColumnQueries(t *dataset.Table) []Query {
+	var out []Query
+	for _, c := range t.Columns {
+		for _, spec := range enumSpecs() {
+			if spec.Kind == transform.KindNone || spec.Agg != transform.AggCnt {
+				continue // one-column charts are histogram-like: bucket + CNT
+			}
+			for _, sort := range sortAxes {
+				for _, typ := range chart.AllTypes {
+					out = append(out, Query{
+						Viz: typ, X: c.Name, Y: c.Name, From: t.Name,
+						Spec: spec, Order: sort,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ExecuteAll materializes a batch of queries, silently dropping the ones
+// that cannot execute (type-incompatible transforms, empty output). A
+// transform cache keyed on (X, Y, spec, sort) is shared across chart
+// types, so the four chart variants of one transform cost a single pass
+// over the data — the first optimization of §V-B.
+func ExecuteAll(t *dataset.Table, queries []Query) []*Node {
+	type cacheKey struct {
+		x, y, spec string
+		sort       transform.SortAxis
+	}
+	type cacheVal struct {
+		res       *transform.Result
+		corr      float64
+		trendR2   float64
+		trendKind stats.TrendKind
+		ok        bool
+	}
+	cache := make(map[cacheKey]*cacheVal)
+	var out []*Node
+	for _, q := range queries {
+		key := cacheKey{q.X, q.Y, q.Spec.String(), q.Order}
+		cv := cache[key]
+		if cv == nil {
+			cv = &cacheVal{}
+			cache[key] = cv
+			if n, err := Execute(t, q); err == nil {
+				cv.res = n.Res
+				cv.corr = n.Corr
+				cv.trendR2 = n.TrendR2
+				cv.trendKind = n.TrendKind
+				cv.ok = true
+				// Reuse this first materialization directly.
+				out = append(out, n)
+				continue
+			}
+		}
+		if !cv.ok {
+			continue
+		}
+		x := t.Column(q.X)
+		y := t.Column(q.Y)
+		n := &Node{
+			Query: q, Chart: q.Viz,
+			XName: q.X, YName: q.Y,
+			XType: x.Type, YType: y.Type,
+			InputRows: cv.res.InputRows,
+			Res:       cv.res, // shared read-only with sibling chart types
+			XOutType:  outType(x.Type, q.Spec.Kind),
+			Corr:      cv.corr,
+			TrendR2:   cv.trendR2,
+			TrendKind: cv.trendKind,
+		}
+		fillFeatures(n)
+		out = append(out, n)
+	}
+	return out
+}
+
+// SearchSpaceTwoColumns is the Fig. 3 closed form for two columns:
+// m(m−1) ordered pairs × 44 transform cases × 4 chart types × 3 sort
+// choices = 528·m(m−1).
+func SearchSpaceTwoColumns(m int) int {
+	return 528 * m * (m - 1)
+}
+
+// SearchSpaceOneColumn is the paper's one-column extension count:
+// m columns × 22 transform cases × 4 chart types × 3 sort choices = 264·m.
+func SearchSpaceOneColumn(m int) int {
+	return 264 * m
+}
+
+// SearchSpaceThreeColumns is the paper's (X, Y, Z) extension count:
+// m³ column selections × 44 transforms × 4 aggregations × 4 sort choices
+// = 704·m³.
+func SearchSpaceThreeColumns(m int) int {
+	return 704 * m * m * m
+}
+
+// SearchSpaceMultiY counts the multi-Y extension: one X column with z
+// Y-columns (2 ≤ z ≤ m−1) compared on the same axes. Following §II-B with
+// the combinatorics made explicit: choose X (m ways), choose the z Y
+// columns from the remaining m−1, transform X (11 ways), aggregate each Y
+// independently (4^z), pick a chart type (4), and sort by X′, one of the
+// z Y′s, or nothing (z+2). Overflow-safe up to m ≈ 30 for int64.
+func SearchSpaceMultiY(m int) int64 {
+	var total int64
+	for z := 2; z <= m-1; z++ {
+		c := binomial(m-1, z)
+		term := int64(m) * 11 * c * pow64(4, z) * 4 * int64(z+2)
+		total += term
+	}
+	return total
+}
+
+func binomial(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	res := int64(1)
+	for i := 1; i <= k; i++ {
+		res = res * int64(n-k+i) / int64(i)
+	}
+	return res
+}
+
+func pow64(base, exp int) int64 {
+	r := int64(1)
+	for i := 0; i < exp; i++ {
+		r *= int64(base)
+	}
+	return r
+}
+
+// CountExecutable reports how many of the enumerated two-column queries
+// actually execute on the table — a sanity measure used in tests and the
+// search-space experiment (it is far below the Fig. 3 upper bound because
+// most transform/type combinations are invalid).
+func CountExecutable(t *dataset.Table) int {
+	return len(ExecuteAll(t, EnumerateQueries(t)))
+}
+
+// ValidateQuery checks a query against a table without executing it:
+// referenced columns exist and the transform is type-compatible.
+func ValidateQuery(t *dataset.Table, q Query) error {
+	x := t.Column(q.X)
+	if x == nil {
+		return fmt.Errorf("vizql: unknown column %q", q.X)
+	}
+	y := t.Column(q.Y)
+	if y == nil {
+		return fmt.Errorf("vizql: unknown column %q", q.Y)
+	}
+	switch q.Spec.Kind {
+	case transform.KindBinUnit:
+		if x.Type != dataset.Temporal {
+			return fmt.Errorf("vizql: BIN BY %s needs temporal x", q.Spec.Unit)
+		}
+	case transform.KindBinCount, transform.KindBinUDF:
+		if x.Type != dataset.Numerical {
+			return fmt.Errorf("vizql: numeric binning needs numerical x")
+		}
+	case transform.KindNone:
+		if y.Type != dataset.Numerical {
+			return fmt.Errorf("vizql: raw pass-through needs numerical y")
+		}
+	}
+	if (q.Spec.Agg == transform.AggSum || q.Spec.Agg == transform.AggAvg) && y.Type != dataset.Numerical {
+		return fmt.Errorf("vizql: %s needs numerical y", q.Spec.Agg)
+	}
+	return nil
+}
+
+// Dedupe removes nodes whose rendered data is identical (same transformed
+// series, chart type); different queries can collapse to the same chart
+// (e.g. GROUP and BIN BY DAY on a date-granular column).
+func Dedupe(nodes []*Node) []*Node {
+	seen := make(map[string]bool, len(nodes))
+	var out []*Node
+	for _, n := range nodes {
+		key := dataFingerprint(n)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, n)
+	}
+	return out
+}
+
+func dataFingerprint(n *Node) string {
+	// Hash the complete transformed series so distinct charts can never
+	// collide on a sampled subset; values are rounded to 9 significant
+	// digits so float drift between execution paths does not split
+	// identical charts.
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s|%d|", n.Chart, n.XName, n.YName, n.Res.Len())
+	for i := 0; i < n.Res.Len(); i++ {
+		fmt.Fprintf(h, "%s=%.9g;", n.Res.XLabels[i], roundSig(n.Res.Y[i]))
+	}
+	return fmt.Sprintf("%x", h.Sum64())
+}
+
+func roundSig(v float64) float64 {
+	if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return v
+	}
+	scale := math.Pow(10, 9-math.Ceil(math.Log10(math.Abs(v))))
+	return math.Round(v*scale) / scale
+}

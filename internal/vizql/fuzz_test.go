@@ -1,0 +1,65 @@
+package vizql
+
+import (
+	"testing"
+
+	"github.com/deepeye/deepeye/internal/transform"
+)
+
+// FuzzParse checks that arbitrary input never panics the parser and that
+// anything it accepts round-trips through String.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"VISUALIZE line SELECT a, AVG(b) FROM t BIN a BY HOUR ORDER BY a",
+		"VISUALIZE pie SELECT c, SUM(v) FROM t GROUP BY c",
+		"VISUALIZE bar SELECT x, CNT(x) FROM t BIN x INTO 10",
+		"VISUALIZE scatter SELECT a, b FROM t",
+		`VISUALIZE bar SELECT "a b", CNT("a b") FROM t GROUP BY "a b"`,
+		"VISUALIZE pie SELECT d, CNT(d) FROM t BIN d BY UDF(sign)",
+		"visualize LINE select a , avg(b) from t bin a by month",
+		"",
+		"VISUALIZE",
+		"VISUALIZE bar SELECT , FROM",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	udfs := map[string]*transform.UDF{"sign": DefaultUDF}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src, udfs)
+		if err != nil {
+			return
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered, udfs)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected own rendering %q: %v", src, rendered, err)
+		}
+		if q.Key() != q2.Key() {
+			t.Fatalf("round trip changed query: %q -> %q", q.Key(), q2.Key())
+		}
+	})
+}
+
+// FuzzParseMulti checks the multi-column parser the same way.
+func FuzzParseMulti(f *testing.F) {
+	seeds := []string{
+		"VISUALIZE line SELECT x, AVG(a), AVG(b) FROM t GROUP BY x",
+		"VISUALIZE bar SELECT x, SUM(z) FROM t BIN x INTO 10 SERIES BY c",
+		"VISUALIZE line SELECT when, AVG(a), SUM(b) FROM t BIN when BY MONTH",
+		"VISUALIZE bar SELECT x FROM t",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseMulti(src, nil)
+		if err != nil {
+			return
+		}
+		rendered := q.String()
+		if _, err := ParseMulti(rendered, nil); err != nil {
+			t.Fatalf("accepted %q but rejected own rendering %q: %v", src, rendered, err)
+		}
+	})
+}

@@ -1,0 +1,376 @@
+package vizql
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/deepeye/deepeye/internal/chart"
+	"github.com/deepeye/deepeye/internal/dataset"
+	"github.com/deepeye/deepeye/internal/transform"
+)
+
+// MultiQuery is the multi-column extension of the language (paper §II-B):
+//
+//   - Multi-Y (case i): one X on the x-axis and z ≥ 2 aggregated Y
+//     columns compared as series —
+//     VISUALIZE line SELECT X, AVG(Y1), AVG(Y2) FROM t BIN X BY MONTH
+//   - XYZ (case ii): group the rows by a series column, bucket Y inside
+//     each group, aggregate Z —
+//     VISUALIZE bar SELECT Y, SUM(Z) FROM t BIN Y BY MONTH SERIES BY X
+//
+// The SERIES BY clause is this implementation's concrete spelling of the
+// paper's "group the data by X" for case (ii).
+type MultiQuery struct {
+	Viz    chart.Type
+	X      string // x-axis column
+	Ys     []string
+	Aggs   []transform.Agg // per-Y aggregate (multi-Y); Aggs[0] for XYZ
+	Series string          // series column (case ii); empty for multi-Y
+	From   string
+	Spec   transform.Spec // bucketing of X (Agg field unused)
+}
+
+// String renders the query in language form.
+func (q MultiQuery) String() string {
+	var sb strings.Builder
+	x := quoteIdent(q.X)
+	fmt.Fprintf(&sb, "VISUALIZE %s\nSELECT %s", q.Viz, x)
+	for i, y := range q.Ys {
+		agg := transform.AggSum
+		if i < len(q.Aggs) {
+			agg = q.Aggs[i]
+		}
+		fmt.Fprintf(&sb, ", %s(%s)", agg, quoteIdent(y))
+	}
+	from := q.From
+	if from == "" {
+		from = "?"
+	}
+	fmt.Fprintf(&sb, "\nFROM %s", quoteIdent(from))
+	switch q.Spec.Kind {
+	case transform.KindGroup:
+		fmt.Fprintf(&sb, "\nGROUP BY %s", x)
+	case transform.KindBinUnit:
+		fmt.Fprintf(&sb, "\nBIN %s BY %s", x, q.Spec.Unit)
+	case transform.KindBinCount:
+		fmt.Fprintf(&sb, "\nBIN %s INTO %d", x, q.Spec.N)
+	}
+	if q.Series != "" {
+		fmt.Fprintf(&sb, "\nSERIES BY %s", quoteIdent(q.Series))
+	}
+	return sb.String()
+}
+
+// MultiNode is the materialized multi-series visualization.
+type MultiNode struct {
+	Query MultiQuery
+	Chart chart.Type
+	Res   *transform.MultiResult
+	// XOutType is the effective x-axis type after bucketing.
+	XOutType dataset.ColType
+}
+
+// Data materializes the node as a renderable multi-series chart.
+func (n *MultiNode) Data() *chart.MultiData {
+	d := &chart.MultiData{
+		Type:    n.Chart,
+		Title:   fmt.Sprintf("%s by %s", strings.Join(n.Res.SeriesNames, ", "), n.Query.X),
+		XName:   n.Query.X,
+		YName:   strings.Join(n.Query.Ys, ", "),
+		XLabels: n.Res.XLabels,
+	}
+	if n.XOutType != dataset.Categorical {
+		allOrdered := true
+		for _, o := range n.Res.XOrder {
+			if o != o { // NaN
+				allOrdered = false
+				break
+			}
+		}
+		if allOrdered {
+			d.XNums = n.Res.XOrder
+		}
+	}
+	for si, name := range n.Res.SeriesNames {
+		d.Series = append(d.Series, chart.Series{Name: name, Y: n.Res.Series[si]})
+	}
+	return d
+}
+
+// ExecuteMulti runs a multi-column query over a table.
+func ExecuteMulti(t *dataset.Table, q MultiQuery) (*MultiNode, error) {
+	if q.Viz == chart.Pie {
+		return nil, fmt.Errorf("vizql: pie charts cannot be multi-series")
+	}
+	x := t.Column(q.X)
+	if x == nil {
+		return nil, fmt.Errorf("vizql: unknown column %q", q.X)
+	}
+	var res *transform.MultiResult
+	var err error
+	if q.Series != "" {
+		// Case (ii): X bucketed, series column groups, single Z.
+		if len(q.Ys) != 1 {
+			return nil, fmt.Errorf("vizql: SERIES BY requires exactly one aggregated column, got %d", len(q.Ys))
+		}
+		sCol := t.Column(q.Series)
+		if sCol == nil {
+			return nil, fmt.Errorf("vizql: unknown series column %q", q.Series)
+		}
+		z := t.Column(q.Ys[0])
+		if z == nil {
+			return nil, fmt.Errorf("vizql: unknown column %q", q.Ys[0])
+		}
+		spec := q.Spec
+		if len(q.Aggs) > 0 {
+			spec.Agg = q.Aggs[0]
+		}
+		res, err = transform.ApplyXYZ(sCol, x, z, spec, 0)
+	} else {
+		// Case (i): multi-Y comparison.
+		ys := make([]*dataset.Column, len(q.Ys))
+		for i, name := range q.Ys {
+			ys[i] = t.Column(name)
+			if ys[i] == nil {
+				return nil, fmt.Errorf("vizql: unknown column %q", name)
+			}
+		}
+		res, err = transform.ApplyMultiY(x, ys, q.Spec, q.Aggs)
+	}
+	if err != nil {
+		return nil, err
+	}
+	n := &MultiNode{
+		Query:    q,
+		Chart:    q.Viz,
+		Res:      res,
+		XOutType: outType(x.Type, q.Spec.Kind),
+	}
+	if err := n.Data().Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// ParseMulti parses the multi-column form of the language. It accepts the
+// same clauses as Parse plus multiple aggregated SELECT items and the
+// optional SERIES BY clause; ORDER BY is not supported for multi-series
+// charts (the x-axis order is canonical).
+func ParseMulti(src string, udfs map[string]*transform.UDF) (MultiQuery, error) {
+	var q MultiQuery
+	p := &parser{toks: tokenize(src)}
+
+	if err := p.expectKeyword("VISUALIZE"); err != nil {
+		return q, err
+	}
+	typWord, err := p.next("chart type")
+	if err != nil {
+		return q, err
+	}
+	typ, err := chart.ParseType(strings.ToLower(typWord))
+	if err != nil {
+		return q, err
+	}
+	q.Viz = typ
+
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return q, err
+	}
+	q.X, err = p.next("x column")
+	if err != nil {
+		return q, err
+	}
+	for p.peekKeyword(",") {
+		p.pos++
+		agg, col, err := p.selectItem()
+		if err != nil {
+			return q, err
+		}
+		if agg == transform.AggNone {
+			return q, fmt.Errorf("vizql: multi-column SELECT items must be aggregated, got bare %q", col)
+		}
+		q.Ys = append(q.Ys, col)
+		q.Aggs = append(q.Aggs, agg)
+	}
+	if len(q.Ys) == 0 {
+		return q, fmt.Errorf("vizql: multi-column query needs at least one aggregated column")
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return q, err
+	}
+	q.From, err = p.next("table name")
+	if err != nil {
+		return q, err
+	}
+
+	switch {
+	case p.peekKeyword("GROUP"):
+		p.pos++
+		if err := p.expectKeyword("BY"); err != nil {
+			return q, err
+		}
+		col, err := p.next("group column")
+		if err != nil {
+			return q, err
+		}
+		if col != q.X {
+			return q, fmt.Errorf("vizql: GROUP BY %s does not match x column %s", col, q.X)
+		}
+		q.Spec.Kind = transform.KindGroup
+	case p.peekKeyword("BIN"):
+		p.pos++
+		col, err := p.next("bin column")
+		if err != nil {
+			return q, err
+		}
+		if col != q.X {
+			return q, fmt.Errorf("vizql: BIN %s does not match x column %s", col, q.X)
+		}
+		switch {
+		case p.peekKeyword("BY"):
+			p.pos++
+			word, err := p.next("bin unit or UDF")
+			if err != nil {
+				return q, err
+			}
+			if u, ok := parseUnit(word); ok {
+				q.Spec.Kind = transform.KindBinUnit
+				q.Spec.Unit = u
+			} else if name, ok := parseCall("UDF", word); ok {
+				udf := udfs[name]
+				if udf == nil {
+					return q, fmt.Errorf("vizql: unknown UDF %q", name)
+				}
+				q.Spec.Kind = transform.KindBinUDF
+				q.Spec.UDF = udf
+			} else {
+				return q, fmt.Errorf("vizql: bad BIN BY argument %q", word)
+			}
+		case p.peekKeyword("INTO"):
+			p.pos++
+			nWord, err := p.next("bin count")
+			if err != nil {
+				return q, err
+			}
+			n := 0
+			if _, err := fmt.Sscanf(nWord, "%d", &n); err != nil || n <= 0 {
+				return q, fmt.Errorf("vizql: bad bin count %q", nWord)
+			}
+			q.Spec.Kind = transform.KindBinCount
+			q.Spec.N = n
+		default:
+			return q, fmt.Errorf("vizql: BIN requires BY or INTO")
+		}
+	}
+
+	if p.peekKeyword("SERIES") {
+		p.pos++
+		if err := p.expectKeyword("BY"); err != nil {
+			return q, err
+		}
+		q.Series, err = p.next("series column")
+		if err != nil {
+			return q, err
+		}
+	}
+	if p.pos != len(p.toks) {
+		return q, fmt.Errorf("vizql: trailing input starting at %q", p.toks[p.pos])
+	}
+	if q.Series == "" && len(q.Ys) < 2 {
+		return q, fmt.Errorf("vizql: multi-Y query needs >= 2 aggregated columns (or a SERIES BY clause)")
+	}
+	return q, nil
+}
+
+// EnumerateMultiYQueries generates multi-Y candidates: for each bucketable
+// X, every pair of numerical Y columns compared with the same aggregate
+// (AVG and SUM), on line and bar charts. Larger Y subsets explode
+// combinatorially (the paper's Σ 4^z·C(m,z) term); pairs cover the
+// practically useful cases.
+func EnumerateMultiYQueries(t *dataset.Table) []MultiQuery {
+	var numeric []string
+	for _, c := range t.Columns {
+		if c.Type == dataset.Numerical {
+			numeric = append(numeric, c.Name)
+		}
+	}
+	var out []MultiQuery
+	for _, x := range t.Columns {
+		var specs []transform.Spec
+		switch x.Type {
+		case dataset.Categorical:
+			specs = []transform.Spec{{Kind: transform.KindGroup}}
+		case dataset.Temporal:
+			specs = []transform.Spec{
+				{Kind: transform.KindBinUnit, Unit: transform.ByMonth},
+				{Kind: transform.KindBinUnit, Unit: transform.ByWeek},
+			}
+		case dataset.Numerical:
+			specs = []transform.Spec{{Kind: transform.KindBinCount, N: transform.DefaultBinCount}}
+		}
+		for _, spec := range specs {
+			for i := 0; i < len(numeric); i++ {
+				for j := i + 1; j < len(numeric); j++ {
+					if numeric[i] == x.Name || numeric[j] == x.Name {
+						continue
+					}
+					for _, agg := range []transform.Agg{transform.AggAvg, transform.AggSum} {
+						for _, typ := range []chart.Type{chart.Line, chart.Bar} {
+							out = append(out, MultiQuery{
+								Viz: typ, X: x.Name,
+								Ys:   []string{numeric[i], numeric[j]},
+								Aggs: []transform.Agg{agg, agg},
+								From: t.Name, Spec: spec,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// EnumerateXYZQueries generates case-(ii) candidates: every categorical
+// series column × every bucketable Y axis × every numerical Z, with SUM
+// and AVG, on stacked bars and multi-line charts.
+func EnumerateXYZQueries(t *dataset.Table) []MultiQuery {
+	var out []MultiQuery
+	for _, series := range t.Columns {
+		if series.Type != dataset.Categorical {
+			continue
+		}
+		for _, axis := range t.Columns {
+			if axis.Name == series.Name {
+				continue
+			}
+			var specs []transform.Spec
+			switch axis.Type {
+			case dataset.Temporal:
+				specs = []transform.Spec{{Kind: transform.KindBinUnit, Unit: transform.ByMonth}}
+			case dataset.Numerical:
+				specs = []transform.Spec{{Kind: transform.KindBinCount, N: transform.DefaultBinCount}}
+			case dataset.Categorical:
+				specs = []transform.Spec{{Kind: transform.KindGroup}}
+			}
+			for _, z := range t.Columns {
+				if z.Type != dataset.Numerical || z.Name == series.Name || z.Name == axis.Name {
+					continue
+				}
+				for _, agg := range []transform.Agg{transform.AggSum, transform.AggAvg} {
+					for _, typ := range []chart.Type{chart.Bar, chart.Line} {
+						out = append(out, MultiQuery{
+							Viz: typ, X: axis.Name,
+							Ys:     []string{z.Name},
+							Aggs:   []transform.Agg{agg},
+							Series: series.Name,
+							From:   t.Name, Spec: specs[0],
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package vizql
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/deepeye/deepeye/internal/chart"
+	"github.com/deepeye/deepeye/internal/transform"
+)
+
+func TestParseMultiY(t *testing.T) {
+	q, err := ParseMulti("VISUALIZE line SELECT scheduled, AVG(departure_delay), AVG(arrival_delay) FROM flights BIN scheduled BY MONTH", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Viz != chart.Line || q.X != "scheduled" || len(q.Ys) != 2 {
+		t.Errorf("q = %+v", q)
+	}
+	if q.Aggs[0] != transform.AggAvg || q.Aggs[1] != transform.AggAvg {
+		t.Errorf("aggs = %v", q.Aggs)
+	}
+	if q.Spec.Kind != transform.KindBinUnit || q.Spec.Unit != transform.ByMonth {
+		t.Errorf("spec = %+v", q.Spec)
+	}
+}
+
+func TestParseSeriesBy(t *testing.T) {
+	q, err := ParseMulti("VISUALIZE bar SELECT scheduled, SUM(passengers) FROM flights BIN scheduled BY MONTH SERIES BY destination", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Series != "destination" || len(q.Ys) != 1 || q.Ys[0] != "passengers" {
+		t.Errorf("q = %+v", q)
+	}
+}
+
+func TestParseMultiErrors(t *testing.T) {
+	bad := []string{
+		"VISUALIZE line SELECT x, AVG(a) FROM t GROUP BY x",    // single Y, no series
+		"VISUALIZE line SELECT x, a, b FROM t GROUP BY x",      // bare items
+		"VISUALIZE line SELECT x FROM t",                       // no items
+		"VISUALIZE line SELECT x, AVG(a), AVG(b) FROM t extra", // trailing
+		"VISUALIZE line SELECT x, AVG(a), AVG(b) FROM t GROUP BY y",
+	}
+	for _, src := range bad {
+		if _, err := ParseMulti(src, nil); err == nil {
+			t.Errorf("ParseMulti(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseMultiRoundTrip(t *testing.T) {
+	srcs := []string{
+		"VISUALIZE line SELECT x, AVG(a), SUM(b) FROM t GROUP BY x",
+		"VISUALIZE bar SELECT x, SUM(z) FROM t BIN x INTO 10 SERIES BY c",
+	}
+	for _, src := range srcs {
+		q1, err := ParseMulti(src, nil)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		q2, err := ParseMulti(q1.String(), nil)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", q1.String(), err)
+		}
+		if q1.String() != q2.String() {
+			t.Errorf("round trip mismatch: %q vs %q", q1.String(), q2.String())
+		}
+	}
+}
+
+func TestExecuteMultiY(t *testing.T) {
+	tab := flightTable(t, 1000)
+	q, err := ParseMulti("VISUALIZE line SELECT scheduled, AVG(departure_delay), AVG(arrival_delay) FROM flights BIN scheduled BY MONTH", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ExecuteMulti(tab, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Res.NumSeries() != 2 {
+		t.Fatalf("series = %d", n.Res.NumSeries())
+	}
+	if n.Res.Len() != 12 {
+		t.Errorf("buckets = %d, want 12 months", n.Res.Len())
+	}
+	d := n.Data()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	out := chart.RenderMultiASCII(d, chart.RenderOptions{Width: 40, Height: 8})
+	if !strings.Contains(out, "AVG(departure_delay)") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}
+
+func TestExecuteMultiYMatchesSingle(t *testing.T) {
+	tab := flightTable(t, 600)
+	q, _ := ParseMulti("VISUALIZE bar SELECT carrier, SUM(passengers), AVG(passengers) FROM flights GROUP BY carrier", nil)
+	n, err := ExecuteMulti(tab, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Series 0 must equal the single-query SUM result.
+	single, err := Execute(tab, Query{
+		Viz: chart.Bar, X: "carrier", Y: "passengers", From: "flights",
+		Spec: transform.Spec{Kind: transform.KindGroup, Agg: transform.AggSum},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Res.Len() != single.Res.Len() {
+		t.Fatalf("bucket mismatch: %d vs %d", n.Res.Len(), single.Res.Len())
+	}
+	for i := range single.Res.Y {
+		if math.Abs(n.Res.Series[0][i]-single.Res.Y[i]) > 1e-9 {
+			t.Errorf("bucket %d: %v vs %v", i, n.Res.Series[0][i], single.Res.Y[i])
+		}
+	}
+}
+
+func TestExecuteXYZStackedBar(t *testing.T) {
+	tab := flightTable(t, 1500)
+	q, err := ParseMulti("VISUALIZE bar SELECT scheduled, SUM(passengers) FROM flights BIN scheduled BY MONTH SERIES BY carrier", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ExecuteMulti(tab, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Res.NumSeries() != 4 { // four carriers in flightTable
+		t.Fatalf("series = %d, want 4 carriers", n.Res.NumSeries())
+	}
+	// Stacked totals must match the single-query monthly SUM.
+	single, err := Execute(tab, Query{
+		Viz: chart.Bar, X: "scheduled", Y: "passengers", From: "flights",
+		Spec: transform.Spec{Kind: transform.KindBinUnit, Unit: transform.ByMonth, Agg: transform.AggSum},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range single.Res.Y {
+		var total float64
+		for _, s := range n.Res.Series {
+			if !math.IsNaN(s[i]) {
+				total += s[i]
+			}
+		}
+		if math.Abs(total-single.Res.Y[i]) > 1e-6 {
+			t.Errorf("month %d: stacked total %v vs %v", i, total, single.Res.Y[i])
+		}
+	}
+	out := chart.RenderMultiASCII(n.Data(), chart.RenderOptions{})
+	if !strings.Contains(out, "stack:") {
+		t.Errorf("stacked render missing legend:\n%s", out)
+	}
+}
+
+func TestExecuteMultiErrors(t *testing.T) {
+	tab := flightTable(t, 100)
+	cases := []MultiQuery{
+		{Viz: chart.Pie, X: "carrier", Ys: []string{"passengers", "departure_delay"},
+			Aggs: []transform.Agg{transform.AggSum, transform.AggSum},
+			Spec: transform.Spec{Kind: transform.KindGroup}},
+		{Viz: chart.Line, X: "nope", Ys: []string{"passengers", "departure_delay"},
+			Aggs: []transform.Agg{transform.AggSum, transform.AggSum},
+			Spec: transform.Spec{Kind: transform.KindGroup}},
+		{Viz: chart.Line, X: "carrier", Ys: []string{"passengers", "nope"},
+			Aggs: []transform.Agg{transform.AggSum, transform.AggSum},
+			Spec: transform.Spec{Kind: transform.KindGroup}},
+		{Viz: chart.Bar, X: "scheduled", Ys: []string{"passengers", "departure_delay"},
+			Aggs: []transform.Agg{transform.AggSum, transform.AggSum}, Series: "carrier",
+			Spec: transform.Spec{Kind: transform.KindBinUnit, Unit: transform.ByMonth}},
+	}
+	for i, q := range cases {
+		if _, err := ExecuteMulti(tab, q); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestEnumerateMultiY(t *testing.T) {
+	tab := flightTable(t, 200)
+	qs := EnumerateMultiYQueries(tab)
+	if len(qs) == 0 {
+		t.Fatal("no multi-Y candidates")
+	}
+	ok := 0
+	for _, q := range qs {
+		if _, err := ExecuteMulti(tab, q); err == nil {
+			ok++
+		}
+	}
+	if ok == 0 {
+		t.Error("no multi-Y candidate executed")
+	}
+}
+
+func TestEnumerateXYZ(t *testing.T) {
+	tab := flightTable(t, 200)
+	qs := EnumerateXYZQueries(tab)
+	if len(qs) == 0 {
+		t.Fatal("no XYZ candidates")
+	}
+	ok := 0
+	for _, q := range qs {
+		if _, err := ExecuteMulti(tab, q); err == nil {
+			ok++
+		}
+	}
+	if ok == 0 {
+		t.Error("no XYZ candidate executed")
+	}
+}

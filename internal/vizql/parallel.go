@@ -1,0 +1,56 @@
+package vizql
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/deepeye/deepeye/internal/dataset"
+	"github.com/deepeye/deepeye/internal/transform"
+)
+
+// ExecuteAllParallel materializes a query batch across a worker pool —
+// the paper notes that visualization generation/selection "is trivially
+// parallelizable" (§VI-D). Queries are grouped by their transform
+// signature so each worker executes one shared transform group (the same
+// sharing ExecuteAll exploits sequentially), and the result order is the
+// stable query order of the input. workers ≤ 0 uses GOMAXPROCS.
+func ExecuteAllParallel(t *dataset.Table, queries []Query, workers int) []*Node {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(queries) < 64 {
+		return ExecuteAll(t, queries)
+	}
+	type groupKey struct {
+		x, y, spec string
+		sort       transform.SortAxis
+	}
+	// Group queries so one worker owns one shared transform.
+	order := make([]groupKey, 0)
+	groups := make(map[groupKey][]Query)
+	for _, q := range queries {
+		key := groupKey{q.X, q.Y, q.Spec.String(), q.Order}
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], q)
+	}
+	results := make([][]*Node, len(order))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for gi, key := range order {
+		wg.Add(1)
+		go func(gi int, qs []Query) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[gi] = ExecuteAll(t, qs)
+		}(gi, groups[key])
+	}
+	wg.Wait()
+	var out []*Node
+	for _, nodes := range results {
+		out = append(out, nodes...)
+	}
+	return out
+}

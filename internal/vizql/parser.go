@@ -1,0 +1,283 @@
+package vizql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/deepeye/deepeye/internal/chart"
+	"github.com/deepeye/deepeye/internal/transform"
+)
+
+// Parse parses the textual form of the visualization language. Keywords
+// are case-insensitive; column names are case-sensitive. The grammar
+// (paper Fig. 2):
+//
+//	VISUALIZE (bar|line|pie|scatter)
+//	SELECT X ',' ( Y | SUM(Y) | AVG(Y) | CNT(Y) )
+//	FROM name
+//	[ GROUP BY X
+//	| BIN X BY (MINUTE|HOUR|DAY|WEEK|MONTH|QUARTER|YEAR)
+//	| BIN X INTO n
+//	| BIN X BY UDF(name) ]
+//	[ ORDER BY (X|Y|SUM(Y)|AVG(Y)|CNT(Y)) ]
+//
+// UDFs referenced by name are resolved from the udfs map; a nil map means
+// no UDFs are available.
+func Parse(src string, udfs map[string]*transform.UDF) (Query, error) {
+	var q Query
+	p := &parser{toks: tokenize(src)}
+
+	if err := p.expectKeyword("VISUALIZE"); err != nil {
+		return q, err
+	}
+	typWord, err := p.next("chart type")
+	if err != nil {
+		return q, err
+	}
+	typ, err := chart.ParseType(strings.ToLower(typWord))
+	if err != nil {
+		return q, err
+	}
+	q.Viz = typ
+
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return q, err
+	}
+	q.X, err = p.next("x column")
+	if err != nil {
+		return q, err
+	}
+	if err := p.expectKeyword(","); err != nil {
+		return q, err
+	}
+	yAgg, yCol, err := p.selectItem()
+	if err != nil {
+		return q, err
+	}
+	q.Y = yCol
+	q.Spec.Agg = yAgg
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return q, err
+	}
+	q.From, err = p.next("table name")
+	if err != nil {
+		return q, err
+	}
+
+	// Optional TRANSFORM clause.
+	switch {
+	case p.peekKeyword("GROUP"):
+		p.pos++
+		if err := p.expectKeyword("BY"); err != nil {
+			return q, err
+		}
+		col, err := p.next("group column")
+		if err != nil {
+			return q, err
+		}
+		if col != q.X {
+			return q, fmt.Errorf("vizql: GROUP BY %s does not match selected x column %s", col, q.X)
+		}
+		q.Spec.Kind = transform.KindGroup
+	case p.peekKeyword("BIN"):
+		p.pos++
+		col, err := p.next("bin column")
+		if err != nil {
+			return q, err
+		}
+		if col != q.X {
+			return q, fmt.Errorf("vizql: BIN %s does not match selected x column %s", col, q.X)
+		}
+		switch {
+		case p.peekKeyword("BY"):
+			p.pos++
+			word, err := p.next("bin unit or UDF")
+			if err != nil {
+				return q, err
+			}
+			if u, ok := parseUnit(word); ok {
+				q.Spec.Kind = transform.KindBinUnit
+				q.Spec.Unit = u
+			} else if name, ok := parseCall("UDF", word); ok {
+				udf := udfs[name]
+				if udf == nil {
+					return q, fmt.Errorf("vizql: unknown UDF %q", name)
+				}
+				q.Spec.Kind = transform.KindBinUDF
+				q.Spec.UDF = udf
+			} else {
+				return q, fmt.Errorf("vizql: bad BIN BY argument %q", word)
+			}
+		case p.peekKeyword("INTO"):
+			p.pos++
+			nWord, err := p.next("bin count")
+			if err != nil {
+				return q, err
+			}
+			n, err := strconv.Atoi(nWord)
+			if err != nil || n <= 0 {
+				return q, fmt.Errorf("vizql: bad bin count %q", nWord)
+			}
+			q.Spec.Kind = transform.KindBinCount
+			q.Spec.N = n
+		default:
+			return q, fmt.Errorf("vizql: BIN requires BY or INTO")
+		}
+	}
+	// A transform without an aggregate defaults to CNT; an aggregate
+	// without a transform is invalid (the paper's Y′ aggregates data that
+	// falls into the same bin or group).
+	if q.Spec.Kind == transform.KindNone && q.Spec.Agg != transform.AggNone {
+		return q, fmt.Errorf("vizql: %s(%s) requires a GROUP BY or BIN clause", q.Spec.Agg, q.Y)
+	}
+	if q.Spec.Kind != transform.KindNone && q.Spec.Agg == transform.AggNone {
+		q.Spec.Agg = transform.AggCnt
+	}
+
+	// Optional ORDER BY clause.
+	if p.peekKeyword("ORDER") {
+		p.pos++
+		if err := p.expectKeyword("BY"); err != nil {
+			return q, err
+		}
+		agg, col, err := p.selectItem()
+		if err != nil {
+			return q, err
+		}
+		switch {
+		case agg != transform.AggNone && col == q.Y:
+			// An aggregate wrapper always refers to Y′ — this matters for
+			// one-column queries where X == Y.
+			q.Order = transform.SortY
+		case col == q.X:
+			q.Order = transform.SortX
+		case col == q.Y:
+			q.Order = transform.SortY
+		default:
+			return q, fmt.Errorf("vizql: ORDER BY %s is neither the x nor y column", col)
+		}
+	}
+	if p.pos != len(p.toks) {
+		return q, fmt.Errorf("vizql: trailing input starting at %q", p.toks[p.pos])
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) next(what string) (string, error) {
+	if p.pos >= len(p.toks) {
+		return "", fmt.Errorf("vizql: unexpected end of query, want %s", what)
+	}
+	t := p.toks[p.pos]
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t, err := p.next(kw)
+	if err != nil {
+		return err
+	}
+	if !strings.EqualFold(t, kw) {
+		return fmt.Errorf("vizql: want %s, got %q", kw, t)
+	}
+	return nil
+}
+
+func (p *parser) peekKeyword(kw string) bool {
+	return p.pos < len(p.toks) && strings.EqualFold(p.toks[p.pos], kw)
+}
+
+// selectItem parses either a bare column or AGG(col).
+func (p *parser) selectItem() (transform.Agg, string, error) {
+	t, err := p.next("column")
+	if err != nil {
+		return transform.AggNone, "", err
+	}
+	for _, agg := range []struct {
+		kw string
+		a  transform.Agg
+	}{{"SUM", transform.AggSum}, {"AVG", transform.AggAvg}, {"CNT", transform.AggCnt}, {"COUNT", transform.AggCnt}} {
+		if name, ok := parseCall(agg.kw, t); ok {
+			return agg.a, name, nil
+		}
+	}
+	return transform.AggNone, t, nil
+}
+
+// parseCall matches KW(arg) case-insensitively on KW and returns arg.
+func parseCall(kw, tok string) (string, bool) {
+	open := strings.IndexByte(tok, '(')
+	if open < 0 || !strings.HasSuffix(tok, ")") {
+		return "", false
+	}
+	if !strings.EqualFold(tok[:open], kw) {
+		return "", false
+	}
+	return tok[open+1 : len(tok)-1], true
+}
+
+func parseUnit(word string) (transform.BinUnit, bool) {
+	switch strings.ToUpper(word) {
+	case "MINUTE":
+		return transform.ByMinute, true
+	case "HOUR":
+		return transform.ByHour, true
+	case "DAY":
+		return transform.ByDay, true
+	case "WEEK":
+		return transform.ByWeek, true
+	case "MONTH":
+		return transform.ByMonth, true
+	case "QUARTER":
+		return transform.ByQuarter, true
+	case "YEAR":
+		return transform.ByYear, true
+	case "HOUR_OF_DAY":
+		return transform.ByHourOfDay, true
+	case "DAY_OF_WEEK":
+		return transform.ByDayOfWeek, true
+	case "MONTH_OF_YEAR":
+		return transform.ByMonthOfYear, true
+	default:
+		return 0, false
+	}
+}
+
+// tokenize splits on whitespace, treating "," as its own token but keeping
+// parenthesized calls like AVG(delay) together. Column names with spaces
+// can be quoted with double quotes.
+func tokenize(src string) []string {
+	var toks []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range src {
+		switch {
+		case r == '"':
+			inQuote = !inQuote
+		case inQuote:
+			cur.WriteRune(r)
+		case r == ',':
+			flush()
+			toks = append(toks, ",")
+		case r == ' ' || r == '\t' || r == '\n' || r == '\r':
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return toks
+}

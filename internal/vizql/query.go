@@ -1,0 +1,92 @@
+// Package vizql implements DeepEye's visualization language (paper §II-B,
+// Fig. 2): the query AST, a text parser, the executor that materializes a
+// query over a table into a visualization node (Def. 1), the search-space
+// enumerators for one and two columns, and the closed-form search-space
+// counting of Fig. 3.
+//
+// A query has three mandatory clauses (VISUALIZE, SELECT, FROM) and two
+// optional clauses (TRANSFORM — GROUP BY / BIN — and ORDER BY):
+//
+//	VISUALIZE line
+//	SELECT scheduled, AVG(departure_delay)
+//	FROM flights
+//	BIN scheduled BY HOUR
+//	ORDER BY scheduled
+package vizql
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/deepeye/deepeye/internal/chart"
+	"github.com/deepeye/deepeye/internal/transform"
+)
+
+// Query is the AST of one visualization query Q; Q(D) produces a chart.
+type Query struct {
+	Viz   chart.Type
+	X     string // column on the x-axis (SELECT first item)
+	Y     string // column aggregated/plotted on the y-axis; may equal X
+	From  string // source table name (informational)
+	Spec  transform.Spec
+	Order transform.SortAxis
+}
+
+// quoteIdent quotes a column or table name when it would not survive
+// tokenization as a single token.
+func quoteIdent(name string) string {
+	if strings.ContainsAny(name, " \t\n,\"") {
+		return `"` + strings.ReplaceAll(name, `"`, "") + `"`
+	}
+	return name
+}
+
+// String renders the query in the paper's language (parseable by Parse).
+func (q Query) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "VISUALIZE %s\n", q.Viz)
+	x := quoteIdent(q.X)
+	y := quoteIdent(q.Y)
+	ySel := y
+	switch q.Spec.Agg {
+	case transform.AggSum:
+		ySel = fmt.Sprintf("SUM(%s)", y)
+	case transform.AggAvg:
+		ySel = fmt.Sprintf("AVG(%s)", y)
+	case transform.AggCnt:
+		ySel = fmt.Sprintf("CNT(%s)", y)
+	}
+	fmt.Fprintf(&sb, "SELECT %s, %s\n", x, ySel)
+	from := q.From
+	if from == "" {
+		from = "?"
+	}
+	fmt.Fprintf(&sb, "FROM %s", quoteIdent(from))
+	switch q.Spec.Kind {
+	case transform.KindGroup:
+		fmt.Fprintf(&sb, "\nGROUP BY %s", x)
+	case transform.KindBinUnit:
+		fmt.Fprintf(&sb, "\nBIN %s BY %s", x, q.Spec.Unit)
+	case transform.KindBinCount:
+		fmt.Fprintf(&sb, "\nBIN %s INTO %d", x, q.Spec.N)
+	case transform.KindBinUDF:
+		name := "udf"
+		if q.Spec.UDF != nil {
+			name = q.Spec.UDF.Name
+		}
+		fmt.Fprintf(&sb, "\nBIN %s BY UDF(%s)", x, name)
+	}
+	switch q.Order {
+	case transform.SortX:
+		fmt.Fprintf(&sb, "\nORDER BY %s", x)
+	case transform.SortY:
+		fmt.Fprintf(&sb, "\nORDER BY %s", ySel)
+	}
+	return sb.String()
+}
+
+// Key returns a compact canonical identity for deduplication: two queries
+// with the same key produce the same visualization.
+func (q Query) Key() string {
+	return fmt.Sprintf("%s|%s|%s|%s|%s", q.Viz, q.X, q.Y, q.Spec, q.Order)
+}

@@ -1,0 +1,201 @@
+package deepeye
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/deepeye/deepeye/internal/chart"
+	"github.com/deepeye/deepeye/internal/dataset"
+	"github.com/deepeye/deepeye/internal/stats"
+	"github.com/deepeye/deepeye/internal/transform"
+	"github.com/deepeye/deepeye/internal/vizql"
+)
+
+// MultiVisualization is a multi-series chart (the paper's multi-column
+// extension, §II-B): several compared Y columns over one x axis, or one
+// measure split into series by a categorical column (e.g. the stacked
+// bars of Fig. 1(b)).
+type MultiVisualization struct {
+	// Rank is the 1-based suggestion rank (0 for direct queries).
+	Rank int
+	// Query is the language text (including the SERIES BY extension).
+	Query string
+	// Chart is the visualization type.
+	Chart string
+	// Score is the suggestion score (0 for direct queries).
+	Score float64
+
+	node *vizql.MultiNode
+}
+
+func newMultiVisualization(n *vizql.MultiNode, score float64, rank int) *MultiVisualization {
+	return &MultiVisualization{
+		Rank:  rank,
+		Query: n.Query.String(),
+		Chart: n.Chart.String(),
+		Score: score,
+		node:  n,
+	}
+}
+
+// SeriesNames returns the plotted series labels.
+func (v *MultiVisualization) SeriesNames() []string { return v.node.Res.SeriesNames }
+
+// Points returns the number of x positions.
+func (v *MultiVisualization) Points() int { return v.node.Res.Len() }
+
+// RenderASCII renders the chart for a terminal (stacked bars or
+// glyph-per-series traces, with a legend).
+func (v *MultiVisualization) RenderASCII() string {
+	return chart.RenderMultiASCII(v.node.Data(), chart.RenderOptions{})
+}
+
+// RenderASCIISize renders with explicit dimensions.
+func (v *MultiVisualization) RenderASCIISize(width, height int) string {
+	return chart.RenderMultiASCII(v.node.Data(), chart.RenderOptions{Width: width, Height: height})
+}
+
+// VegaLite exports the chart as a Vega-Lite v5 spec with the series on
+// the color channel.
+func (v *MultiVisualization) VegaLite() ([]byte, error) {
+	return chart.VegaLiteMulti(v.node.Data())
+}
+
+// QueryMulti parses and executes a multi-column query: multiple
+// aggregated SELECT items compare series, and the SERIES BY clause
+// splits one measure by a categorical column.
+//
+//	VISUALIZE line SELECT month, AVG(cpi), AVG(ppi) FROM t BIN month BY MONTH
+//	VISUALIZE bar SELECT scheduled, SUM(passengers) FROM flights
+//	  BIN scheduled BY MONTH SERIES BY destination
+func (s *System) QueryMulti(t *Table, src string) (*MultiVisualization, error) {
+	q, err := vizql.ParseMulti(src, map[string]*transform.UDF{"sign": vizql.DefaultUDF})
+	if err != nil {
+		return nil, err
+	}
+	n, err := vizql.ExecuteMulti(t, q)
+	if err != nil {
+		return nil, err
+	}
+	return newMultiVisualization(n, 0, 0), nil
+}
+
+// SuggestMulti enumerates multi-Y and series-split candidates for the
+// table and returns the k most promising, scored by a heuristic in the
+// spirit of the single-chart factors: series count in a readable band,
+// bucket count in a readable band, correlated series for comparisons,
+// and trending series for time axes.
+func (s *System) SuggestMulti(t *Table, k int) ([]*MultiVisualization, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("deepeye: k must be positive, got %d", k)
+	}
+	if t == nil || t.NumRows() == 0 {
+		return nil, fmt.Errorf("deepeye: empty table")
+	}
+	queries := vizql.EnumerateMultiYQueries(t)
+	queries = append(queries, vizql.EnumerateXYZQueries(t)...)
+	type cand struct {
+		n     *vizql.MultiNode
+		score float64
+	}
+	var cands []cand
+	for _, q := range queries {
+		n, err := vizql.ExecuteMulti(t, q)
+		if err != nil {
+			continue
+		}
+		cands = append(cands, cand{n, multiScore(n)})
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("deepeye: no multi-column candidates for table %q", t.Name)
+	}
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].score > cands[b].score })
+	// One suggestion per (x, series/ys, chart) family keeps the list
+	// diverse, mirroring TopK's dedupe.
+	seen := map[string]bool{}
+	var out []*MultiVisualization
+	for _, c := range cands {
+		key := fmt.Sprintf("%s|%s|%v|%s", c.n.Chart, c.n.Query.X, c.n.Query.Ys, c.n.Query.Series)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, newMultiVisualization(c.n, c.score, len(out)+1))
+		if len(out) == k {
+			break
+		}
+	}
+	return out, nil
+}
+
+// multiScore is the suggestion heuristic for multi-series charts.
+func multiScore(n *vizql.MultiNode) float64 {
+	res := n.Res
+	score := 0.0
+	// Series count: 2-6 reads well, decays beyond.
+	ns := res.NumSeries()
+	switch {
+	case ns >= 2 && ns <= 6:
+		score += 0.3
+	case ns <= 10:
+		score += 0.15
+	}
+	// Bucket count: 5-30 reads well.
+	b := res.Len()
+	switch {
+	case b >= 5 && b <= 30:
+		score += 0.25
+	case b >= 3 && b <= 60:
+		score += 0.12
+	}
+	// Data coverage: penalize sparse series (many NaN buckets).
+	total, present := 0, 0
+	for _, s := range res.Series {
+		for _, v := range s {
+			total++
+			if !math.IsNaN(v) {
+				present++
+			}
+		}
+	}
+	if total > 0 {
+		score += 0.2 * float64(present) / float64(total)
+	}
+	// Comparability: series on similar scales compare honestly.
+	var maxAbs, minAbs float64 = 0, math.Inf(1)
+	for _, s := range res.Series {
+		m := 0.0
+		for _, v := range s {
+			if !math.IsNaN(v) {
+				m = math.Max(m, math.Abs(v))
+			}
+		}
+		if m > 0 {
+			maxAbs = math.Max(maxAbs, m)
+			minAbs = math.Min(minAbs, m)
+		}
+	}
+	if maxAbs > 0 && !math.IsInf(minAbs, 1) && minAbs/maxAbs > 0.1 {
+		score += 0.15
+	}
+	// Trend bonus for ordered axes: lines that go somewhere.
+	if n.XOutType != dataset.Categorical && n.Chart == chart.Line {
+		var best float64
+		for _, s := range res.Series {
+			xs := make([]float64, 0, len(s))
+			ys := make([]float64, 0, len(s))
+			for i, v := range s {
+				if !math.IsNaN(v) && !math.IsNaN(res.XOrder[i]) {
+					xs = append(xs, res.XOrder[i])
+					ys = append(ys, v)
+				}
+			}
+			if _, r2 := stats.Trend(xs, ys); r2 > best {
+				best = r2
+			}
+		}
+		score += 0.1 * best
+	}
+	return score
+}

@@ -1,0 +1,94 @@
+package deepeye
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQueryMulti(t *testing.T) {
+	tab := smallFlights(t)
+	sys := New(Options{})
+	v, err := sys.QueryMulti(tab, "VISUALIZE line SELECT scheduled, AVG(departure_delay), AVG(arrival_delay) FROM flights BIN scheduled BY MONTH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.SeriesNames()) != 2 {
+		t.Errorf("series = %v", v.SeriesNames())
+	}
+	if out := v.RenderASCII(); !strings.Contains(out, "2 series") {
+		t.Errorf("render:\n%s", out)
+	}
+	if _, err := v.VegaLite(); err != nil {
+		t.Errorf("vega export: %v", err)
+	}
+}
+
+func TestQueryMultiSeriesBy(t *testing.T) {
+	tab := smallFlights(t)
+	sys := New(Options{})
+	v, err := sys.QueryMulti(tab, "VISUALIZE bar SELECT scheduled, SUM(passengers) FROM flights BIN scheduled BY MONTH SERIES BY carrier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.SeriesNames()) != 5 {
+		t.Errorf("series = %v, want 5 carriers", v.SeriesNames())
+	}
+	if !strings.Contains(v.Query, "SERIES BY carrier") {
+		t.Errorf("query text = %q", v.Query)
+	}
+}
+
+func TestQueryMultiErrors(t *testing.T) {
+	tab := smallFlights(t)
+	sys := New(Options{})
+	if _, err := sys.QueryMulti(tab, "VISUALIZE pie SELECT carrier, SUM(a), SUM(b) FROM t GROUP BY carrier"); err == nil {
+		t.Error("multi pie should fail")
+	}
+	if _, err := sys.QueryMulti(tab, "garbage"); err == nil {
+		t.Error("garbage should fail")
+	}
+}
+
+func TestSuggestMulti(t *testing.T) {
+	tab := smallFlights(t)
+	sys := New(Options{})
+	vs, err := sys.SuggestMulti(tab, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Fatal("no suggestions")
+	}
+	if len(vs) > 4 {
+		t.Fatalf("got %d suggestions", len(vs))
+	}
+	for i, v := range vs {
+		if v.Rank != i+1 {
+			t.Errorf("rank[%d] = %d", i, v.Rank)
+		}
+		if i > 0 && v.Score > vs[i-1].Score+1e-9 {
+			t.Errorf("scores not descending at %d", i)
+		}
+		if v.Points() == 0 || len(v.SeriesNames()) < 2 {
+			t.Errorf("suggestion %d malformed: %d points, %v series", i, v.Points(), v.SeriesNames())
+		}
+	}
+	// Suggestions are diverse: no duplicate (chart, x, series) families.
+	seen := map[string]bool{}
+	for _, v := range vs {
+		if seen[v.Query] {
+			t.Errorf("duplicate suggestion %q", v.Query)
+		}
+		seen[v.Query] = true
+	}
+}
+
+func TestSuggestMultiErrors(t *testing.T) {
+	sys := New(Options{})
+	if _, err := sys.SuggestMulti(nil, 3); err == nil {
+		t.Error("nil table should fail")
+	}
+	if _, err := sys.SuggestMulti(smallFlights(t), 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+}

@@ -1,0 +1,120 @@
+package deepeye
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/deepeye/deepeye/internal/ml/bayes"
+	"github.com/deepeye/deepeye/internal/ml/dtree"
+	"github.com/deepeye/deepeye/internal/ml/lambdamart"
+	"github.com/deepeye/deepeye/internal/ml/svm"
+)
+
+// modelEnvelope is the on-disk format of a trained System's models.
+type modelEnvelope struct {
+	Version        int             `json:"version"`
+	RecognizerKind string          `json:"recognizer_kind,omitempty"`
+	Recognizer     json.RawMessage `json:"recognizer,omitempty"`
+	LTR            json.RawMessage `json:"ltr,omitempty"`
+	Alpha          float64         `json:"alpha"`
+}
+
+const modelVersion = 1
+
+// SaveModels serializes the system's trained models (recognizer,
+// LambdaMART ranker, hybrid α) as JSON. Untrained components are
+// omitted; the configuration in Options is not saved.
+func (s *System) SaveModels(w io.Writer) error {
+	env := modelEnvelope{Version: modelVersion, Alpha: s.alpha}
+	if s.recognizer != nil {
+		raw, err := json.Marshal(s.recognizer)
+		if err != nil {
+			return fmt.Errorf("deepeye: serializing recognizer: %w", err)
+		}
+		env.Recognizer = raw
+		env.RecognizerKind = s.recognizer.Name()
+	}
+	if s.ltr != nil {
+		raw, err := json.Marshal(s.ltr)
+		if err != nil {
+			return fmt.Errorf("deepeye: serializing ranker: %w", err)
+		}
+		env.LTR = raw
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(env)
+}
+
+// LoadModels restores models previously written by SaveModels,
+// overwriting any currently trained models.
+func (s *System) LoadModels(r io.Reader) error {
+	var env modelEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return fmt.Errorf("deepeye: decoding models: %w", err)
+	}
+	if env.Version != modelVersion {
+		return fmt.Errorf("deepeye: unsupported model version %d", env.Version)
+	}
+	s.recognizer = nil
+	if len(env.Recognizer) > 0 {
+		switch env.RecognizerKind {
+		case "DecisionTree":
+			m := dtree.New(dtree.Options{})
+			if err := json.Unmarshal(env.Recognizer, m); err != nil {
+				return fmt.Errorf("deepeye: loading recognizer: %w", err)
+			}
+			s.recognizer = m
+		case "NaiveBayes":
+			m := bayes.New()
+			if err := json.Unmarshal(env.Recognizer, m); err != nil {
+				return fmt.Errorf("deepeye: loading recognizer: %w", err)
+			}
+			s.recognizer = m
+		case "SVM":
+			m := svm.New(svm.Options{})
+			if err := json.Unmarshal(env.Recognizer, m); err != nil {
+				return fmt.Errorf("deepeye: loading recognizer: %w", err)
+			}
+			s.recognizer = m
+		default:
+			return fmt.Errorf("deepeye: unknown recognizer kind %q", env.RecognizerKind)
+		}
+	}
+	s.ltr = nil
+	if len(env.LTR) > 0 {
+		m := lambdamart.New(lambdamart.Options{})
+		if err := json.Unmarshal(env.LTR, m); err != nil {
+			return fmt.Errorf("deepeye: loading ranker: %w", err)
+		}
+		s.ltr = m
+	}
+	if env.Alpha > 0 {
+		s.alpha = env.Alpha
+	}
+	return nil
+}
+
+// SaveModelsFile writes the trained models to a file.
+func (s *System) SaveModelsFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("deepeye: %w", err)
+	}
+	defer f.Close()
+	if err := s.SaveModels(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModelsFile restores trained models from a file.
+func (s *System) LoadModelsFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("deepeye: %w", err)
+	}
+	defer f.Close()
+	return s.LoadModels(f)
+}

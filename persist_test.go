@@ -1,0 +1,141 @@
+package deepeye
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/deepeye/deepeye/internal/datagen"
+)
+
+// trainSmall trains a system quickly on a couple of datasets.
+func trainSmall(t *testing.T, kind ClassifierKind) (*System, *Corpus) {
+	t.Helper()
+	tables := trainTables(t, 6)
+	sys := New(Options{})
+	corpus, err := sys.TrainFromOracle(tables, CrowdOracle(3), kind, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, corpus
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	sys, _ := trainSmall(t, ClassifierDecisionTree)
+
+	var buf bytes.Buffer
+	if err := sys.SaveModels(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := New(Options{})
+	if err := restored.LoadModels(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Recognizer() == nil {
+		t.Fatal("recognizer not restored")
+	}
+	if restored.Alpha() != sys.Alpha() {
+		t.Errorf("alpha = %v, want %v", restored.Alpha(), sys.Alpha())
+	}
+
+	// Identical predictions on a held-out table's candidates.
+	test, err := datagen.TestSet(1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := sys.Candidates(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		f := n.Features.Slice()
+		if sys.Recognizer().Predict(f) != restored.Recognizer().Predict(f) {
+			t.Fatal("recognizer predictions diverge after reload")
+		}
+	}
+	// Identical LTR rankings.
+	a, err := sys.Rank(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysLTR := New(Options{Method: MethodLearningToRank})
+	sysLTR.ltr = sys.ltr
+	resLTR := New(Options{Method: MethodLearningToRank})
+	resLTR.ltr = restored.ltr
+	oa, err := sysLTR.Rank(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, err := resLTR.Rank(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range oa {
+		if oa[i] != ob[i] {
+			t.Fatal("LTR rankings diverge after reload")
+		}
+	}
+	_ = a
+}
+
+func TestSaveLoadAllClassifierKinds(t *testing.T) {
+	for _, kind := range []ClassifierKind{ClassifierDecisionTree, ClassifierBayes, ClassifierSVM} {
+		sys, _ := trainSmall(t, kind)
+		var buf bytes.Buffer
+		if err := sys.SaveModels(&buf); err != nil {
+			t.Fatalf("kind %d: %v", kind, err)
+		}
+		restored := New(Options{})
+		if err := restored.LoadModels(&buf); err != nil {
+			t.Fatalf("kind %d: %v", kind, err)
+		}
+		if restored.Recognizer().Name() != sys.Recognizer().Name() {
+			t.Errorf("kind %d: name %q vs %q", kind, restored.Recognizer().Name(), sys.Recognizer().Name())
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	sys, _ := trainSmall(t, ClassifierDecisionTree)
+	path := filepath.Join(t.TempDir(), "models.json")
+	if err := sys.SaveModelsFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored := New(Options{})
+	if err := restored.LoadModelsFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Recognizer() == nil {
+		t.Fatal("recognizer not restored from file")
+	}
+}
+
+func TestLoadModelsErrors(t *testing.T) {
+	sys := New(Options{})
+	if err := sys.LoadModels(strings.NewReader("not json")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if err := sys.LoadModels(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Error("unknown version should fail")
+	}
+	if err := sys.LoadModels(strings.NewReader(`{"version":1,"recognizer_kind":"Quantum","recognizer":{}}`)); err == nil {
+		t.Error("unknown recognizer kind should fail")
+	}
+}
+
+func TestSaveUntrainedSystem(t *testing.T) {
+	sys := New(Options{})
+	var buf bytes.Buffer
+	if err := sys.SaveModels(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := New(Options{})
+	if err := restored.LoadModels(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Recognizer() != nil {
+		t.Error("untrained save should restore no recognizer")
+	}
+}

@@ -1,0 +1,208 @@
+package deepeye
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/deepeye/deepeye/internal/chart"
+	"github.com/deepeye/deepeye/internal/vizql"
+)
+
+// Search finds the top-k visualizations matching a keyword query — the
+// keyword-driven interface the paper names as its major future work
+// (§VIII, realized in the DeepEye demo companions [25, 26]). Keywords
+// are matched against column names (exact, prefix, and substring) and
+// against chart-intent vocabulary ("trend" → line, "proportion" → pie,
+// "correlation" → scatter, "compare"/"distribution" → bar, plus
+// granularity words like "monthly" or "hourly"); candidates are ranked
+// by keyword affinity blended with the partial-order score.
+//
+//	sys.Search(tab, "delay trend by hour", 3)
+//	sys.Search(tab, "passengers share by carrier", 3)
+func (s *System) Search(t *Table, query string, k int) ([]*Visualization, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("deepeye: k must be positive, got %d", k)
+	}
+	intent := parseIntent(query, t)
+	if len(intent.columns) == 0 && len(intent.charts) == 0 && intent.unit == "" {
+		return nil, fmt.Errorf("deepeye: query %q matches no columns or chart intents", query)
+	}
+	nodes, err := s.Candidates(t)
+	if err != nil {
+		return nil, err
+	}
+	order, scores, err := s.rankNodes(nodes)
+	if err != nil {
+		return nil, err
+	}
+	// Normalize the base ranking to positions so keyword affinity and
+	// ranking quality combine on comparable scales.
+	pos := make([]int, len(nodes))
+	for p, idx := range order {
+		pos[idx] = p
+	}
+	type scored struct {
+		idx      int
+		affinity float64
+	}
+	var cands []scored
+	for i, n := range nodes {
+		a := intent.affinity(n)
+		if a <= 0 {
+			continue
+		}
+		// Blend: affinity dominates, base rank breaks ties.
+		cands = append(cands, scored{i, a - 0.001*float64(pos[i])})
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("deepeye: no visualization matches %q", query)
+	}
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].affinity > cands[b].affinity })
+
+	seen := map[string]bool{}
+	var out []*Visualization
+	for _, c := range cands {
+		n := nodes[c.idx]
+		key := fmt.Sprintf("%s|%s|%s|%d|%d", n.Chart, n.XName, n.YName, n.Query.Spec.Kind, n.Query.Spec.Unit)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		v := newVisualization(n, scores[c.idx], len(out)+1)
+		out = append(out, v)
+		if len(out) == k {
+			break
+		}
+	}
+	return out, nil
+}
+
+// intent is the parsed meaning of a keyword query.
+type intent struct {
+	columns map[string]float64 // column name -> match strength
+	charts  map[chart.Type]bool
+	unit    string // granularity keyword ("month", "hour", …)
+}
+
+// chartVocabulary maps intent words to chart types.
+var chartVocabulary = map[string]chart.Type{
+	"trend": chart.Line, "over": chart.Line, "timeline": chart.Line, "line": chart.Line,
+	"proportion": chart.Pie, "share": chart.Pie, "percentage": chart.Pie, "pie": chart.Pie,
+	"breakdown":   chart.Pie,
+	"correlation": chart.Scatter, "correlate": chart.Scatter, "versus": chart.Scatter,
+	"vs": chart.Scatter, "scatter": chart.Scatter, "relationship": chart.Scatter,
+	"compare": chart.Bar, "comparison": chart.Bar, "distribution": chart.Bar,
+	"histogram": chart.Bar, "bar": chart.Bar, "count": chart.Bar, "top": chart.Bar,
+}
+
+// unitVocabulary maps granularity words to bin-unit keywords.
+var unitVocabulary = map[string]string{
+	"minute": "MINUTE", "hourly": "HOUR", "hour": "HOUR", "daily": "DAY", "day": "DAY",
+	"weekly": "WEEK", "week": "WEEK", "monthly": "MONTH", "month": "MONTH",
+	"quarterly": "QUARTER", "quarter": "QUARTER", "yearly": "YEAR", "year": "YEAR",
+	"annual": "YEAR",
+}
+
+// stopwords are ignored entirely.
+var stopwords = map[string]bool{
+	"by": true, "of": true, "the": true, "a": true, "an": true, "per": true,
+	"for": true, "in": true, "show": true, "me": true, "and": true, "with": true,
+}
+
+func parseIntent(query string, t *Table) intent {
+	in := intent{columns: map[string]float64{}, charts: map[chart.Type]bool{}}
+	for _, word := range strings.Fields(strings.ToLower(query)) {
+		word = strings.Trim(word, ".,;:!?\"'")
+		if word == "" || stopwords[word] {
+			continue
+		}
+		if typ, ok := chartVocabulary[word]; ok {
+			in.charts[typ] = true
+			continue
+		}
+		if u, ok := unitVocabulary[word]; ok {
+			in.unit = u
+			// "month"/"year" can also be column names; fall through.
+		}
+		for _, col := range t.Columns {
+			name := strings.ToLower(col.Name)
+			// Evidence accumulates per word, so "departure delay" binds
+			// more strongly to departure_delay than "delay" alone does to
+			// arrival_delay.
+			switch {
+			case name == word:
+				in.columns[col.Name] += 1.0
+			case strings.HasPrefix(name, word) || strings.HasPrefix(word, name):
+				in.columns[col.Name] += 0.8
+			case strings.Contains(name, word) || strings.Contains(word, name):
+				in.columns[col.Name] += 0.6
+			}
+		}
+	}
+	for name, w := range in.columns {
+		in.columns[name] = min64(w, 1.6)
+	}
+	return in
+}
+
+// affinity scores how well a candidate matches the intent; 0 means no
+// match at all.
+func (in intent) affinity(n *vizql.Node) float64 {
+	var a float64
+	matched := false
+	if w, ok := in.columns[n.XName]; ok {
+		a += w
+		matched = true
+	}
+	if n.YName != n.XName {
+		if w, ok := in.columns[n.YName]; ok {
+			a += w
+			matched = true
+		}
+	}
+	if len(in.charts) > 0 {
+		if in.charts[n.Chart] {
+			a += 0.7
+			matched = true
+		} else if len(in.columns) == 0 {
+			return 0 // chart-only query: wrong type is a non-match
+		}
+	}
+	if in.unit != "" && strings.Contains(n.Query.Spec.String(), in.unit) {
+		a += 0.9
+		matched = true
+	}
+	if !matched {
+		return 0
+	}
+	// When the query names two or more columns *strongly* (exact or
+	// multi-word evidence), charts missing one of them are demoted — but
+	// weak substring matches ("delay" brushing arrival_delay) don't
+	// create requirements.
+	var required []string
+	for name, w := range in.columns {
+		if w >= 1.0 {
+			required = append(required, name)
+		}
+	}
+	if len(required) >= 2 {
+		hits := 0
+		for _, name := range required {
+			if n.XName == name || n.YName == name {
+				hits++
+			}
+		}
+		if hits < 2 {
+			a *= 0.3
+		}
+	}
+	return a
+}
+
+func min64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,94 @@
+package deepeye
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSearchByColumnAndUnit(t *testing.T) {
+	tab := smallFlights(t)
+	sys := New(Options{})
+	vs, err := sys.Search(tab, "departure delay trend by hour", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Fatal("no results")
+	}
+	top := vs[0]
+	if top.XName() != "scheduled" && top.YName() != "departure_delay" &&
+		top.XName() != "departure_delay" {
+		t.Errorf("top result off-intent: %s vs %s", top.YName(), top.XName())
+	}
+	// The hour intent should surface an hourly binning in the top results.
+	foundHour := false
+	for _, v := range vs {
+		if strings.Contains(v.Query, "BY HOUR") {
+			foundHour = true
+		}
+	}
+	if !foundHour {
+		t.Errorf("no hourly chart in results: %v", queriesOf(vs))
+	}
+}
+
+func TestSearchChartIntent(t *testing.T) {
+	tab := smallFlights(t)
+	sys := New(Options{})
+	vs, err := sys.Search(tab, "passengers share by carrier", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs[0].Chart != "pie" {
+		t.Errorf("share intent should yield a pie first, got %s (%s)", vs[0].Chart, vs[0].Query)
+	}
+}
+
+func TestSearchCorrelationIntent(t *testing.T) {
+	tab := smallFlights(t)
+	sys := New(Options{})
+	vs, err := sys.Search(tab, "departure_delay versus arrival_delay", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs[0].Chart != "scatter" {
+		t.Errorf("versus intent should yield a scatter first, got %s", vs[0].Chart)
+	}
+	set := map[string]bool{vs[0].XName(): true, vs[0].YName(): true}
+	if !set["departure_delay"] || !set["arrival_delay"] {
+		t.Errorf("wrong columns: %s vs %s", vs[0].YName(), vs[0].XName())
+	}
+}
+
+func TestSearchNoMatch(t *testing.T) {
+	tab := smallFlights(t)
+	sys := New(Options{})
+	if _, err := sys.Search(tab, "zorp blimfle", 3); err == nil {
+		t.Error("nonsense query should fail")
+	}
+	if _, err := sys.Search(tab, "delay", 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestSearchChartOnlyQuery(t *testing.T) {
+	tab := smallFlights(t)
+	sys := New(Options{})
+	vs, err := sys.Search(tab, "pie", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		if v.Chart != "pie" {
+			t.Errorf("chart-only query returned %s", v.Chart)
+		}
+	}
+}
+
+func queriesOf(vs []*Visualization) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = strings.ReplaceAll(v.Query, "\n", " ")
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package deepeye
+
+import (
+	"fmt"
+
+	"github.com/deepeye/deepeye/internal/crowd"
+	"github.com/deepeye/deepeye/internal/hybrid"
+	"github.com/deepeye/deepeye/internal/ml/bayes"
+	"github.com/deepeye/deepeye/internal/ml/dtree"
+	"github.com/deepeye/deepeye/internal/ml/lambdamart"
+	"github.com/deepeye/deepeye/internal/ml/svm"
+	"github.com/deepeye/deepeye/internal/vizql"
+)
+
+// ClassifierKind selects the recognition model (paper §VI-B compares all
+// three).
+type ClassifierKind int
+
+const (
+	// ClassifierDecisionTree is the paper's model of choice.
+	ClassifierDecisionTree ClassifierKind = iota
+	// ClassifierBayes is the Gaussian naive Bayes baseline.
+	ClassifierBayes
+	// ClassifierSVM is the linear SVM baseline.
+	ClassifierSVM
+)
+
+// Oracle is the labelling interface a training corpus is built against:
+// good/bad verdicts and graded relevance per candidate set. The crowd
+// simulation implements it; user-supplied labels can too.
+type Oracle interface {
+	LabelAll(nodes []*vizql.Node) []bool
+	Relevance(nodes []*vizql.Node, grades int) []float64
+}
+
+// CrowdOracle returns the default simulated 100-student crowd (§VI
+// ground truth; see DESIGN.md §2 for the substitution).
+func CrowdOracle(seed int64) Oracle { return crowd.Oracle{Seed: seed} }
+
+// Corpus is a training corpus: per-dataset candidate sets with good/bad
+// labels and graded relevance.
+type Corpus struct {
+	// Tables[i] produced Nodes[i], Labels[i], Relevance[i].
+	Tables    []*Table
+	Nodes     [][]*vizql.Node
+	Labels    [][]bool
+	Relevance [][]float64
+}
+
+// NumExamples counts labelled candidates across datasets.
+func (c *Corpus) NumExamples() int {
+	n := 0
+	for _, nodes := range c.Nodes {
+		n += len(nodes)
+	}
+	return n
+}
+
+// BuildCorpus enumerates candidates for every table (under the system's
+// EnumMode) and labels them with the oracle. MaxPerTable bounds the
+// candidate count per dataset (0 = unlimited) to keep pairwise comparison
+// budgets sane on wide tables.
+func (s *System) BuildCorpus(tables []*Table, o Oracle, maxPerTable int) (*Corpus, error) {
+	if o == nil {
+		return nil, fmt.Errorf("deepeye: nil oracle")
+	}
+	c := &Corpus{}
+	for _, t := range tables {
+		nodes, err := s.candidatesUnfiltered(t)
+		if err != nil {
+			return nil, fmt.Errorf("deepeye: corpus for %q: %w", t.Name, err)
+		}
+		if maxPerTable > 0 && len(nodes) > maxPerTable {
+			nodes = nodes[:maxPerTable]
+		}
+		c.Tables = append(c.Tables, t)
+		c.Nodes = append(c.Nodes, nodes)
+		c.Labels = append(c.Labels, o.LabelAll(nodes))
+		c.Relevance = append(c.Relevance, o.Relevance(nodes, 5))
+	}
+	if c.NumExamples() == 0 {
+		return nil, fmt.Errorf("deepeye: empty corpus")
+	}
+	return c, nil
+}
+
+// candidatesUnfiltered enumerates without the recognizer filter (training
+// must see both good and bad candidates).
+func (s *System) candidatesUnfiltered(t *Table) ([]*vizql.Node, error) {
+	saved := s.opts.UseRecognizer
+	s.opts.UseRecognizer = false
+	nodes, err := s.Candidates(t)
+	s.opts.UseRecognizer = saved
+	return nodes, err
+}
+
+// TrainRecognizer fits the selected binary classifier on the corpus.
+func (s *System) TrainRecognizer(kind ClassifierKind, c *Corpus) error {
+	var X [][]float64
+	var y []bool
+	for i, nodes := range c.Nodes {
+		for j, n := range nodes {
+			X = append(X, n.Features.Slice())
+			y = append(y, c.Labels[i][j])
+		}
+	}
+	switch kind {
+	case ClassifierBayes:
+		s.recognizer = bayes.New()
+	case ClassifierSVM:
+		s.recognizer = svm.New(svm.Options{})
+	default:
+		s.recognizer = dtree.New(dtree.Options{})
+	}
+	return s.recognizer.Fit(X, y)
+}
+
+// LTROptions re-exports LambdaMART's knobs.
+type LTROptions = lambdamart.Options
+
+// TrainRanker fits the LambdaMART learning-to-rank model, one query group
+// per corpus dataset.
+func (s *System) TrainRanker(c *Corpus, opts LTROptions) error {
+	var groups []lambdamart.Group
+	for i, nodes := range c.Nodes {
+		var g lambdamart.Group
+		for j, n := range nodes {
+			g = append(g, lambdamart.Sample{
+				Features:  n.Features.Slice(),
+				Relevance: c.Relevance[i][j],
+			})
+		}
+		groups = append(groups, g)
+	}
+	s.ltr = lambdamart.New(opts)
+	return s.ltr.Train(groups)
+}
+
+// LearnHybridAlpha fits the §IV-D preference weight α on the corpus by
+// maximizing NDCG of the combined ranking. Requires a trained ranker.
+func (s *System) LearnHybridAlpha(c *Corpus) error {
+	if s.ltr == nil {
+		return fmt.Errorf("deepeye: train the ranker before learning α")
+	}
+	var groups []hybrid.TrainingGroup
+	for i, nodes := range c.Nodes {
+		if len(nodes) < 2 {
+			continue
+		}
+		ltrOrder := s.ltr.Rank(featureMatrix(nodes))
+		poOrder, _, _ := partialOrderRank(nodes, s.opts)
+		groups = append(groups, hybrid.TrainingGroup{
+			LTR:       ltrOrder,
+			PO:        poOrder,
+			Relevance: c.Relevance[i],
+		})
+	}
+	alpha, err := hybrid.LearnAlpha(groups, nil)
+	if err != nil {
+		return err
+	}
+	s.alpha = alpha
+	return nil
+}
+
+// TrainFromOracle is the full offline pipeline of Fig. 4: build the
+// corpus from the oracle, train the recognition classifier and the
+// learning-to-rank model, and fit the hybrid weight. MaxPerTable bounds
+// per-dataset candidates (0 = unlimited).
+func (s *System) TrainFromOracle(tables []*Table, o Oracle, kind ClassifierKind, maxPerTable int) (*Corpus, error) {
+	c, err := s.BuildCorpus(tables, o, maxPerTable)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.TrainRecognizer(kind, c); err != nil {
+		return nil, err
+	}
+	if err := s.TrainRanker(c, LTROptions{Trees: 60, MaxDepth: 4}); err != nil {
+		return nil, err
+	}
+	if err := s.LearnHybridAlpha(c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

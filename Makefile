@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench fuzz experiments clean
+.PHONY: all build test vet bench race fuzz experiments clean
 
 all: build vet test
 
@@ -20,6 +20,11 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Full suite under the race detector (exercises the parallel executor,
+# the server limiter, and the cancellation paths).
+race:
+	$(GO) test -race ./...
 
 # Brief fuzzing session over every fuzz target.
 fuzz:

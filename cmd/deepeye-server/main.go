@@ -2,20 +2,35 @@
 //
 //	deepeye-server -addr :8080
 //	deepeye-server -addr :8080 -models models.json   # serve trained models
+//	deepeye-server -addr :8080 -timeout 10s -max-inflight 64 -pprof
 //
 // Endpoints (CSV with a header row as the request body):
 //
 //	POST /topk?k=5        → top-k charts as JSON (data + Vega-Lite specs)
 //	POST /query?q=QUERY   → run one visualization-language query
 //	POST /multi?k=5       → multi-series suggestions
+//	POST /search?q=WORDS  → keyword-driven top-k
 //	GET  /healthz         → liveness
+//	GET  /metrics         → Prometheus text metrics (requests, in-flight,
+//	                        request + pipeline-stage latency histograms)
+//
+// Every request runs under -timeout (expired requests answer 504 and the
+// selection pipeline stops immediately via context cancellation), at most
+// -max-inflight requests are served concurrently (excess answers 503),
+// and SIGINT/SIGTERM drain in-flight requests before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	deepeye "github.com/deepeye/deepeye"
@@ -24,12 +39,16 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		modelsPath = flag.String("models", "", "trained models file (from SaveModels); optional")
-		useRecog   = flag.Bool("recognizer", false, "filter candidates with the trained recognizer")
-		hybridRank = flag.Bool("hybrid", false, "rank with the trained hybrid method")
-		ascii      = flag.Bool("ascii", false, "include ASCII renderings in responses")
-		maxBody    = flag.Int64("max-body", 16<<20, "max upload size in bytes")
+		addr        = flag.String("addr", ":8080", "listen address")
+		modelsPath  = flag.String("models", "", "trained models file (from SaveModels); optional")
+		useRecog    = flag.Bool("recognizer", false, "filter candidates with the trained recognizer")
+		hybridRank  = flag.Bool("hybrid", false, "rank with the trained hybrid method")
+		ascii       = flag.Bool("ascii", false, "include ASCII renderings in responses")
+		maxBody     = flag.Int64("max-body", 16<<20, "max upload size in bytes")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request pipeline deadline (0 = none)")
+		maxInFlight = flag.Int("max-inflight", 128, "max concurrently served requests (0 = unlimited)")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		grace       = flag.Duration("grace", 15*time.Second, "shutdown grace period for in-flight requests")
 	)
 	flag.Parse()
 
@@ -47,14 +66,51 @@ func main() {
 		log.Fatal("-recognizer/-hybrid need -models")
 	}
 
-	h := server.New(sys, server.Options{MaxBodyBytes: *maxBody, ASCII: *ascii})
+	h := server.New(sys, server.Options{
+		MaxBodyBytes: *maxBody,
+		ASCII:        *ascii,
+		Timeout:      *timeout,
+		MaxInFlight:  *maxInFlight,
+	})
+	var handler http.Handler = h
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", h)
+		handler = mux
+		log.Printf("pprof enabled under /debug/pprof/")
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           h,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       60 * time.Second,
 		WriteTimeout:      60 * time.Second,
 	}
+
+	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, then drain
+	// in-flight requests for up to -grace before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("deepeye-server listening on %s\n", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		log.Printf("signal received, draining for up to %v", *grace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("shutdown: %v", err)
+		}
+		log.Printf("bye")
+	}
 }

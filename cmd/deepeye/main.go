@@ -11,14 +11,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	deepeye "github.com/deepeye/deepeye"
 	"github.com/deepeye/deepeye/internal/dataset"
+	"github.com/deepeye/deepeye/internal/obs"
 	"github.com/deepeye/deepeye/internal/report"
 )
 
@@ -37,6 +40,8 @@ func main() {
 		exhaustive  = flag.Bool("exhaustive", false, "enumerate the full search space instead of rule-pruned candidates")
 		oneColumn   = flag.Bool("one-column", true, "include single-column histograms")
 		width       = flag.Int("width", 60, "ASCII chart width")
+		timeout     = flag.Duration("timeout", 0, "bound selection time; expired runs fail with a deadline error (0 = none)")
+		stats       = flag.Bool("stats", false, "print per-stage pipeline timings after the run")
 	)
 	flag.Parse()
 	if *csvPath == "" {
@@ -50,10 +55,29 @@ func main() {
 		jsonOut:     *jsonOut,
 		progressive: *progressive, exhaustive: *exhaustive,
 		oneColumn: *oneColumn, width: *width,
+		timeout: *timeout,
 	}
-	if err := run(cfg); err != nil {
+	err := run(cfg)
+	if *stats {
+		printStageStats()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "deepeye:", err)
 		os.Exit(1)
+	}
+}
+
+// printStageStats reports the pipeline's per-stage timings collected in
+// the default obs registry during this run.
+func printStageStats() {
+	sums := obs.StageSummaries()
+	if len(sums) == 0 {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "\npipeline stages:")
+	for _, s := range sums {
+		fmt.Fprintf(os.Stderr, "  %-40s n=%-3d total=%-12s mean=%s\n",
+			s.Labels, s.Count, s.Sum.Round(time.Microsecond), s.Mean.Round(time.Microsecond))
 	}
 }
 
@@ -63,6 +87,7 @@ type runConfig struct {
 	k, width                           int
 	multi, profile, jsonOut            bool
 	progressive, exhaustive, oneColumn bool
+	timeout                            time.Duration
 }
 
 // chartJSON is the -json output row.
@@ -99,8 +124,15 @@ func run(cfg runConfig) error {
 	}
 	sys := deepeye.New(opts)
 
+	ctx := context.Background()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+
 	if cfg.multi {
-		vs, err := sys.SuggestMulti(tab, cfg.k)
+		vs, err := sys.SuggestMultiCtx(ctx, tab, cfg.k)
 		if err != nil {
 			return err
 		}
@@ -114,18 +146,18 @@ func run(cfg runConfig) error {
 	var vs []*deepeye.Visualization
 	switch {
 	case cfg.query != "":
-		v, err := sys.Query(tab, cfg.query)
+		v, err := sys.QueryCtx(ctx, tab, cfg.query)
 		if err != nil {
 			return err
 		}
 		vs = []*deepeye.Visualization{v}
 	case cfg.search != "":
-		vs, err = sys.Search(tab, cfg.search, cfg.k)
+		vs, err = sys.SearchCtx(ctx, tab, cfg.search, cfg.k)
 		if err != nil {
 			return err
 		}
 	default:
-		vs, err = sys.TopK(tab, cfg.k)
+		vs, err = sys.TopKCtx(ctx, tab, cfg.k)
 		if err != nil {
 			return err
 		}

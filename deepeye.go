@@ -30,6 +30,7 @@
 package deepeye
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -38,6 +39,7 @@ import (
 	"github.com/deepeye/deepeye/internal/hybrid"
 	"github.com/deepeye/deepeye/internal/ml"
 	"github.com/deepeye/deepeye/internal/ml/lambdamart"
+	"github.com/deepeye/deepeye/internal/obs"
 	"github.com/deepeye/deepeye/internal/progressive"
 	"github.com/deepeye/deepeye/internal/rank"
 	"github.com/deepeye/deepeye/internal/rules"
@@ -154,10 +156,20 @@ func (s *System) Alpha() float64 { return s.alpha }
 // visualizations for a table under the configured EnumMode, applying the
 // recognizer filter when configured.
 func (s *System) Candidates(t *Table) ([]*vizql.Node, error) {
+	return s.CandidatesCtx(context.Background(), t)
+}
+
+// CandidatesCtx is Candidates with cancellation: enumeration and
+// candidate materialization (the pipeline's dominant cost on large
+// tables) both re-check ctx and return ctx.Err() promptly. Stage
+// durations are reported to the default obs registry.
+func (s *System) CandidatesCtx(ctx context.Context, t *Table) ([]*vizql.Node, error) {
 	if t == nil || t.NumRows() == 0 {
 		return nil, fmt.Errorf("deepeye: empty table")
 	}
+	stop := obs.StageTimer(obs.StageEnumerate)
 	var queries []vizql.Query
+	var err error
 	switch s.opts.Enum {
 	case EnumExhaustive:
 		queries = vizql.EnumerateQueries(t)
@@ -165,7 +177,10 @@ func (s *System) Candidates(t *Table) ([]*vizql.Node, error) {
 			queries = append(queries, vizql.EnumerateOneColumnQueries(t)...)
 		}
 	default:
-		queries = rules.EnumerateQueries(t)
+		queries, err = rules.EnumerateQueriesCtx(ctx, t)
+		if err != nil {
+			return nil, err
+		}
 		if !s.opts.IncludeOneColumn {
 			// rules.EnumerateQueries includes one-column histograms;
 			// filter them out when not requested.
@@ -178,12 +193,18 @@ func (s *System) Candidates(t *Table) ([]*vizql.Node, error) {
 			queries = filtered
 		}
 	}
+	stop()
+	stop = obs.StageTimer(obs.StageExecute)
 	var nodes []*vizql.Node
 	if s.opts.Workers != 0 {
-		nodes = vizql.ExecuteAllParallel(t, queries, s.opts.Workers)
+		nodes, err = vizql.ExecuteAllParallelCtx(ctx, t, queries, s.opts.Workers)
 	} else {
-		nodes = vizql.ExecuteAll(t, queries)
+		nodes, err = vizql.ExecuteAllCtx(ctx, t, queries)
 	}
+	if err != nil {
+		return nil, err
+	}
+	stop()
 	nodes = vizql.Dedupe(nodes)
 	if s.opts.UseRecognizer {
 		if s.recognizer == nil {
@@ -205,14 +226,25 @@ func (s *System) Candidates(t *Table) ([]*vizql.Node, error) {
 
 // TopK returns the k best visualizations for the table, best first.
 func (s *System) TopK(t *Table, k int) ([]*Visualization, error) {
+	return s.TopKCtx(context.Background(), t, k)
+}
+
+// TopKCtx is TopK with cancellation threaded through the whole
+// selection pipeline — candidate enumeration, materialization (including
+// the parallel worker fan-out), ranking, and the progressive tournament
+// all re-check ctx and return ctx.Err() promptly, so callers can bound
+// selection latency with context.WithTimeout.
+func (s *System) TopKCtx(ctx context.Context, t *Table, k int) ([]*Visualization, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("deepeye: k must be positive, got %d", k)
 	}
 	if s.opts.Progressive && s.opts.Method == MethodPartialOrder && s.opts.Enum == EnumRules && !s.opts.UseRecognizer {
-		results, _, err := progressive.TopK(t, k, progressive.Options{
+		stop := obs.StageTimer(obs.StageProgressive)
+		results, _, err := progressive.TopKCtx(ctx, t, k, progressive.Options{
 			Factors:          s.opts.Factors,
 			IncludeOneColumn: s.opts.IncludeOneColumn,
 		})
+		stop()
 		if err != nil {
 			return nil, err
 		}
@@ -223,11 +255,13 @@ func (s *System) TopK(t *Table, k int) ([]*Visualization, error) {
 		return out, nil
 	}
 
-	nodes, err := s.Candidates(t)
+	nodes, err := s.CandidatesCtx(ctx, t)
 	if err != nil {
 		return nil, err
 	}
-	order, scores, factors, err := s.rankNodesExplained(nodes)
+	stop := obs.StageTimer(obs.StageRank)
+	order, scores, factors, err := s.rankNodesExplainedCtx(ctx, nodes)
+	stop()
 	if err != nil {
 		return nil, err
 	}
@@ -265,13 +299,14 @@ func (s *System) Rank(nodes []*vizql.Node) ([]int, error) {
 }
 
 func (s *System) rankNodes(nodes []*vizql.Node) (order []int, scores []float64, err error) {
-	order, scores, _, err = s.rankNodesExplained(nodes)
+	order, scores, _, err = s.rankNodesExplainedCtx(context.Background(), nodes)
 	return order, scores, err
 }
 
-// rankNodesExplained additionally returns the partial-order factors when
-// the configured method computes them (nil for pure learning-to-rank).
-func (s *System) rankNodesExplained(nodes []*vizql.Node) (order []int, scores []float64, factors []rank.Factors, err error) {
+// rankNodesExplainedCtx additionally returns the partial-order factors
+// when the configured method computes them (nil for pure
+// learning-to-rank); ctx cancels factor computation and graph building.
+func (s *System) rankNodesExplainedCtx(ctx context.Context, nodes []*vizql.Node) (order []int, scores []float64, factors []rank.Factors, err error) {
 	switch s.opts.Method {
 	case MethodLearningToRank:
 		if s.ltr == nil {
@@ -289,7 +324,10 @@ func (s *System) rankNodesExplained(nodes []*vizql.Node) (order []int, scores []
 			return nil, nil, nil, fmt.Errorf("deepeye: hybrid ranking requested but no model is trained")
 		}
 		ltrOrder := s.ltr.Rank(featureMatrix(nodes))
-		poOrder, poScores, poFactors := partialOrderRank(nodes, s.opts)
+		poOrder, poScores, poFactors, err := partialOrderRankCtx(ctx, nodes, s.opts)
+		if err != nil {
+			return nil, nil, nil, err
+		}
 		order, err = hybrid.Combine(ltrOrder, poOrder, s.alpha)
 		if err != nil {
 			return nil, nil, nil, err
@@ -297,17 +335,23 @@ func (s *System) rankNodesExplained(nodes []*vizql.Node) (order []int, scores []
 		// Report partial-order scores (hybrid scores are rank positions).
 		return order, poScores, poFactors, nil
 	default:
-		order, scores, factors = partialOrderRank(nodes, s.opts)
-		return order, scores, factors, nil
+		order, scores, factors, err = partialOrderRankCtx(ctx, nodes, s.opts)
+		return order, scores, factors, err
 	}
 }
 
-// partialOrderRank computes factors, builds the Hasse diagram over a
+// partialOrderRankCtx computes factors, builds the Hasse diagram over a
 // factor-sum shortlist, and ranks by the weight-aware score S(v).
-func partialOrderRank(nodes []*vizql.Node, opts Options) ([]int, []float64, []rank.Factors) {
-	factors := rank.ComputeFactors(nodes, opts.Factors)
-	order, scores := rank.Order(nodes, factors, rank.SelectOptions{Build: opts.GraphBuild})
-	return order, scores, factors
+func partialOrderRankCtx(ctx context.Context, nodes []*vizql.Node, opts Options) ([]int, []float64, []rank.Factors, error) {
+	factors, err := rank.ComputeFactorsCtx(ctx, nodes, opts.Factors)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	order, scores, err := rank.OrderCtx(ctx, nodes, factors, rank.SelectOptions{Build: opts.GraphBuild})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return order, scores, factors, nil
 }
 
 func featureMatrix(nodes []*vizql.Node) [][]float64 {
@@ -321,8 +365,17 @@ func featureMatrix(nodes []*vizql.Node) [][]float64 {
 // Query parses a visualization-language query (paper Fig. 2) and executes
 // it over the table, returning the materialized visualization.
 func (s *System) Query(t *Table, src string) (*Visualization, error) {
+	return s.QueryCtx(context.Background(), t, src)
+}
+
+// QueryCtx is Query with cancellation; a single query is one transform
+// pass, so ctx is consulted once before executing.
+func (s *System) QueryCtx(ctx context.Context, t *Table, src string) (*Visualization, error) {
 	q, err := vizql.Parse(src, map[string]*transform.UDF{"sign": vizql.DefaultUDF})
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	n, err := vizql.Execute(t, q)

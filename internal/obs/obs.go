@@ -1,0 +1,335 @@
+// Package obs is DeepEye's stdlib-only observability layer: atomic
+// counters, gauges, and fixed-bucket latency histograms collected in a
+// Registry and exported in the Prometheus text exposition format. The
+// HTTP server reports request metrics through it, and the selection
+// pipeline reports per-stage timings (enumerate, execute, rank, …), so
+// the Fig. 12-style latency numbers of the paper's evaluation can be
+// read off a live process instead of a dedicated benchmark run.
+//
+// The package deliberately avoids third-party metric libraries: every
+// instrument is a thin wrapper over sync/atomic, safe for concurrent
+// use on the hot path.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n (n < 0 is ignored).
+func (c *Counter) Add(n int) {
+	if n > 0 {
+		c.v.Add(uint64(n))
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (e.g. in-flight requests).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc increments the gauge.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec decrements the gauge.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefBuckets are the default latency histogram bounds in seconds
+// (Prometheus' classic defaults: 5ms … 10s).
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Histogram is a fixed-bucket cumulative histogram of durations in
+// seconds. Observations are lock-free.
+type Histogram struct {
+	bounds []float64       // upper bounds, ascending
+	counts []atomic.Uint64 // per-bucket counts; len(bounds)+1 for +Inf
+	count  atomic.Uint64
+	sumNs  atomic.Int64 // sum of observations in nanoseconds
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, s)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNs.Load()) }
+
+// Mean returns the mean observed duration (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(uint64(h.sumNs.Load()) / n)
+}
+
+// metricType tags a family for the exposition format.
+type metricType int
+
+const (
+	counterType metricType = iota
+	gaugeType
+	histogramType
+)
+
+func (t metricType) String() string {
+	switch t {
+	case counterType:
+		return "counter"
+	case gaugeType:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family groups the series of one metric name.
+type family struct {
+	name    string
+	help    string
+	typ     metricType
+	bounds  []float64 // histograms only
+	series  map[string]any
+	ordered []string // label keys in first-registration order for output
+}
+
+// Registry collects named instruments and writes them in the Prometheus
+// text format. The zero value is not usable; construct with NewRegistry
+// or use Default.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Default is the process-wide registry. The selection pipeline reports
+// per-stage timings here; the HTTP server defaults to it so /metrics
+// exposes both request and pipeline metrics.
+var Default = NewRegistry()
+
+// labelKey renders labels (alternating key, value pairs) into the
+// canonical `{k="v",…}` suffix; keys are sorted for determinism.
+func labelKey(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].k < pairs[b].k })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", p.k, p.v)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func (r *Registry) familyOf(name, help string, typ metricType, bounds []float64) *family {
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, bounds: bounds, series: make(map[string]any)}
+		r.families[name] = f
+		r.names = append(r.names, name)
+		sort.Strings(r.names)
+	}
+	return f
+}
+
+// Counter returns (registering on first use) the counter for name and
+// labels, given as alternating key, value pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyOf(name, help, counterType, nil)
+	key := labelKey(labels)
+	if m, ok := f.series[key]; ok {
+		return m.(*Counter)
+	}
+	c := &Counter{}
+	f.series[key] = c
+	f.ordered = append(f.ordered, key)
+	return c
+}
+
+// Gauge returns (registering on first use) the gauge for name and labels.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyOf(name, help, gaugeType, nil)
+	key := labelKey(labels)
+	if m, ok := f.series[key]; ok {
+		return m.(*Gauge)
+	}
+	g := &Gauge{}
+	f.series[key] = g
+	f.ordered = append(f.ordered, key)
+	return g
+}
+
+// Histogram returns (registering on first use) the histogram for name
+// and labels; bounds apply on first registration only (nil = DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyOf(name, help, histogramType, bounds)
+	key := labelKey(labels)
+	if m, ok := f.series[key]; ok {
+		return m.(*Histogram)
+	}
+	h := newHistogram(f.bounds)
+	f.series[key] = h
+	f.ordered = append(f.ordered, key)
+	return h
+}
+
+// HistogramSummary is one histogram series condensed for reporting.
+type HistogramSummary struct {
+	Labels string // canonical `{k="v",…}` form, "" for unlabeled
+	Count  uint64
+	Sum    time.Duration
+	Mean   time.Duration
+}
+
+// HistogramSummaries returns a summary per series of the named
+// histogram family, sorted by label key (nil for unknown names).
+func (r *Registry) HistogramSummaries(name string) []HistogramSummary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil || f.typ != histogramType {
+		return nil
+	}
+	keys := append([]string(nil), f.ordered...)
+	sort.Strings(keys)
+	out := make([]HistogramSummary, 0, len(keys))
+	for _, key := range keys {
+		h := f.series[key].(*Histogram)
+		out = append(out, HistogramSummary{Labels: key, Count: h.Count(), Sum: h.Sum(), Mean: h.Mean()})
+	}
+	return out
+}
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4). Families and series are emitted in
+// sorted order so output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.names {
+		f := r.families[name]
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ); err != nil {
+			return err
+		}
+		keys := append([]string(nil), f.ordered...)
+		sort.Strings(keys)
+		for _, key := range keys {
+			if err := writeSeries(w, f, name, key); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, name, key string) error {
+	switch f.typ {
+	case counterType:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", name, key, f.series[key].(*Counter).Value())
+		return err
+	case gaugeType:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", name, key, f.series[key].(*Gauge).Value())
+		return err
+	default:
+		return writeHistogram(w, name, key, f.series[key].(*Histogram))
+	}
+}
+
+// writeHistogram emits the cumulative _bucket, _sum, and _count series.
+func writeHistogram(w io.Writer, name, key string, h *Histogram) error {
+	var cum uint64
+	for i, ub := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketKey(key, ub), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketKey(key, math.Inf(1)), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", name, key, h.Sum().Seconds()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, key, h.Count())
+	return err
+}
+
+// bucketKey splices the le label into an existing (possibly empty)
+// label set.
+func bucketKey(key string, ub float64) string {
+	le := "+Inf"
+	if !math.IsInf(ub, 1) {
+		le = fmt.Sprintf("%g", ub)
+	}
+	if key == "" {
+		return fmt.Sprintf("{le=%q}", le)
+	}
+	return fmt.Sprintf("%s,le=%q}", key[:len(key)-1], le)
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests", "route", "/topk")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	// Same name+labels returns the same instrument.
+	if r.Counter("reqs_total", "requests", "route", "/topk") != c {
+		t.Fatal("counter not deduplicated by name+labels")
+	}
+	g := r.Gauge("in_flight", "in-flight")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 1 {
+		t.Fatalf("gauge = %d, want 1", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{0.01, 0.1, 1})
+	h.Observe(5 * time.Millisecond)   // le=0.01
+	h.Observe(50 * time.Millisecond)  // le=0.1
+	h.Observe(500 * time.Millisecond) // le=1
+	h.Observe(5 * time.Second)        // +Inf
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	wantSum := 5555 * time.Millisecond
+	if h.Sum() != wantSum {
+		t.Fatalf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE lat histogram",
+		`lat_bucket{le="0.01"} 1`,
+		`lat_bucket{le="0.1"} 2`,
+		`lat_bucket{le="1"} 3`,
+		`lat_bucket{le="+Inf"} 4`,
+		"lat_sum 5.555",
+		"lat_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusLabelsAndOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "b", "route", "/x").Inc()
+	r.Counter("a_total", "a").Add(7)
+	r.Gauge("g", "gauge", "b", "2", "a", "1").Set(-3)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Families sorted by name; label keys sorted within a series.
+	if strings.Index(out, "a_total") > strings.Index(out, "b_total") {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+	for _, want := range []string{
+		"a_total 7",
+		`b_total{route="/x"} 1`,
+		`g{a="1",b="2"} -3`,
+		"# HELP a_total a",
+		"# TYPE g gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramSummaries(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("stage", "s", nil, "stage", "rank").Observe(10 * time.Millisecond)
+	r.Histogram("stage", "s", nil, "stage", "rank").Observe(30 * time.Millisecond)
+	r.Histogram("stage", "s", nil, "stage", "execute").Observe(5 * time.Millisecond)
+	sums := r.HistogramSummaries("stage")
+	if len(sums) != 2 {
+		t.Fatalf("got %d summaries, want 2", len(sums))
+	}
+	// Sorted by label key: execute before rank.
+	if !strings.Contains(sums[0].Labels, "execute") || sums[0].Count != 1 {
+		t.Errorf("first summary = %+v", sums[0])
+	}
+	if !strings.Contains(sums[1].Labels, "rank") || sums[1].Count != 2 || sums[1].Mean != 20*time.Millisecond {
+		t.Errorf("second summary = %+v", sums[1])
+	}
+	if r.HistogramSummaries("missing") != nil {
+		t.Error("unknown family should return nil")
+	}
+}
+
+// TestConcurrentUse exercises every instrument from many goroutines so
+// the race suite proves the lock-free paths.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("c_total", "c").Inc()
+				g := r.Gauge("g", "g")
+				g.Inc()
+				g.Dec()
+				r.Histogram("h", "h", nil, "stage", "x").Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", "c").Value(); got != 4000 {
+		t.Fatalf("counter = %d, want 4000", got)
+	}
+	if got := r.Histogram("h", "h", nil, "stage", "x").Count(); got != 4000 {
+		t.Fatalf("histogram count = %d, want 4000", got)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,6 +22,7 @@ package progressive
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 
@@ -56,11 +57,25 @@ type Stats struct {
 // TopK returns the k best charts for the table under the progressive
 // tournament. Results come back best-first with ORDER BY applied.
 func TopK(t *dataset.Table, k int, opts Options) ([]Result, Stats, error) {
+	return TopKCtx(context.Background(), t, k, opts)
+}
+
+// TopKCtx is TopK with cancellation: the tournament loop re-checks ctx
+// before every spec materialization (each one is at most a pass over
+// the data), so a cancelled selection returns ctx.Err() promptly.
+func TopKCtx(ctx context.Context, t *dataset.Table, k int, opts Options) ([]Result, Stats, error) {
 	if k <= 0 {
 		return nil, Stats{}, fmt.Errorf("progressive: k must be positive, got %d", k)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
 	sel := newSelector(t, opts)
+	sel.ctx = ctx
 	results := sel.run(k)
+	if err := ctx.Err(); err != nil {
+		return nil, sel.stats, err
+	}
 	// Postponed ORDER BY (optimization 3): apply the natural sort to the
 	// winners only — X order for ordered axes, descending-value order for
 	// categorical bars/pies.
@@ -128,6 +143,7 @@ type selector struct {
 	t     *dataset.Table
 	opts  Options
 	o     rank.FactorOptions
+	ctx   context.Context // cancellation; nil means never cancelled
 	leafs []*leaf
 	stats Stats
 	// shared transformation cache: one bucketing pass serves all Y
@@ -223,6 +239,9 @@ func (s *selector) run(k int) []Result {
 	}
 	var out []Result
 	for h.Len() > 0 && len(out) < k {
+		if s.done() {
+			return out
+		}
 		e := heap.Pop(h).(leafEntry)
 		lf := e.leaf
 		head, ok := lf.head()
@@ -262,8 +281,16 @@ func (lf *leaf) head() (Result, bool) {
 // bound-based pruning of §V-B optimization 2: specs whose score upper
 // bound cannot beat the leaf's proven head are never executed (and, via
 // the tournament, leaves whose head cannot win are never advanced).
+// done reports whether the selector's context has been cancelled.
+func (s *selector) done() bool {
+	return s.ctx != nil && s.ctx.Err() != nil
+}
+
 func (s *selector) advance(lf *leaf) {
 	for len(lf.pending) > 0 {
+		if s.done() {
+			return
+		}
 		top := lf.pending[0]
 		if len(lf.ready) > 0 && top.bound <= lf.ready[0].Score {
 			break // head is already provably the leaf's best

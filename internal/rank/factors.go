@@ -8,6 +8,7 @@
 package rank
 
 import (
+	"context"
 	"math"
 
 	"github.com/deepeye/deepeye/internal/chart"
@@ -122,12 +123,25 @@ func rawQ(n *vizql.Node) float64 {
 // eq. 8 normalizes W over all nodes), so factors are only comparable
 // within one candidate set.
 func ComputeFactors(nodes []*vizql.Node, opts FactorOptions) []Factors {
+	fs, _ := ComputeFactorsCtx(context.Background(), nodes, opts)
+	return fs
+}
+
+// ComputeFactorsCtx is ComputeFactors with cancellation, checked
+// periodically through the per-node factor loop (rawM walks each node's
+// transformed labels, so large candidate sets take real time).
+func ComputeFactorsCtx(ctx context.Context, nodes []*vizql.Node, opts FactorOptions) ([]Factors, error) {
 	o := opts.withDefaults()
 	fs := make([]Factors, len(nodes))
 
 	// M: raw, then per-chart-type max normalization (eq. 5).
 	maxM := map[chart.Type]float64{}
 	for i, n := range nodes {
+		if i&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		fs[i].M = rawM(n, o)
 		if fs[i].M > maxM[n.Chart] {
 			maxM[n.Chart] = fs[i].M
@@ -170,7 +184,7 @@ func ComputeFactors(nodes []*vizql.Node, opts FactorOptions) []Factors {
 			fs[i].W /= maxW
 		}
 	}
-	return fs
+	return fs, nil
 }
 
 // nodeColumns returns the distinct original columns of a node (one entry

@@ -1,6 +1,7 @@
 package rank
 
 import (
+	"context"
 	"sort"
 
 	"github.com/deepeye/deepeye/internal/rangetree"
@@ -36,7 +37,19 @@ type Graph struct {
 	OutW [][]float64
 
 	comparisons int // factor comparisons performed during construction
+
+	// Cancellation state during construction: every checkStride
+	// comparisons the build re-checks ctx; once cancelled, the builders
+	// unwind without doing further comparisons.
+	ctx       context.Context
+	cancelled bool
 }
+
+// checkStride is how many pairwise comparisons pass between context
+// checks during graph construction (a comparison is a handful of float
+// compares, so the stride keeps the check overhead negligible while
+// bounding cancellation latency to microseconds).
+const checkStride = 1024
 
 // Comparisons reports how many pairwise factor comparisons construction
 // performed — the quantity the quick-sort and range-tree variants reduce.
@@ -53,11 +66,20 @@ func (g *Graph) NumEdges() int {
 
 // BuildGraph constructs the dominance graph with the selected method.
 func BuildGraph(nodes []*vizql.Node, factors []Factors, method BuildMethod) *Graph {
+	g, _ := BuildGraphCtx(context.Background(), nodes, factors, method)
+	return g
+}
+
+// BuildGraphCtx is BuildGraph with cancellation: construction re-checks
+// ctx every checkStride pairwise comparisons and returns ctx.Err()
+// (with a nil graph) once cancellation is observed.
+func BuildGraphCtx(ctx context.Context, nodes []*vizql.Node, factors []Factors, method BuildMethod) (*Graph, error) {
 	g := &Graph{
 		Nodes:   nodes,
 		Factors: factors,
 		Out:     make([][]int32, len(nodes)),
 		OutW:    make([][]float64, len(nodes)),
+		ctx:     ctx,
 	}
 	switch method {
 	case BuildQuickSort:
@@ -71,11 +93,28 @@ func BuildGraph(nodes []*vizql.Node, factors []Factors, method BuildMethod) *Gra
 	default:
 		g.buildNaive()
 	}
+	if g.cancelled {
+		return nil, ctx.Err()
+	}
 	// Deterministic edge order simplifies equality checks and scoring.
 	for i := range g.Out {
 		sortEdges(g.Out[i], g.OutW[i])
 	}
-	return g
+	g.ctx = nil // construction done; drop the reference
+	return g, nil
+}
+
+// tick counts one comparison against the cancellation stride and
+// reports whether construction should stop.
+func (g *Graph) tick() bool {
+	if g.cancelled {
+		return true
+	}
+	g.comparisons++
+	if g.comparisons%checkStride == 0 && g.ctx != nil && g.ctx.Err() != nil {
+		g.cancelled = true
+	}
+	return g.cancelled
 }
 
 func sortEdges(out []int32, w []float64) {
@@ -102,7 +141,9 @@ func (g *Graph) addEdge(u, v int) {
 // compare examines one unordered pair and adds the strict-dominance edge
 // if present.
 func (g *Graph) compare(i, j int) {
-	g.comparisons++
+	if g.tick() {
+		return
+	}
 	fi, fj := g.Factors[i], g.Factors[j]
 	switch {
 	case StrictlyDominates(fi, fj):
@@ -114,7 +155,7 @@ func (g *Graph) compare(i, j int) {
 
 func (g *Graph) buildNaive() {
 	n := len(g.Nodes)
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && !g.cancelled; i++ {
 		for j := i + 1; j < n; j++ {
 			g.compare(i, j)
 		}
@@ -126,6 +167,9 @@ func (g *Graph) buildNaive() {
 // incomparable I. Edges B×W follow by transitivity without comparisons;
 // B, W, I recurse; ties share the pivot's relationships.
 func (g *Graph) buildPartition(idx []int) {
+	if g.cancelled {
+		return
+	}
 	const cutoff = 8
 	if len(idx) <= cutoff {
 		for a := 0; a < len(idx); a++ {
@@ -142,7 +186,9 @@ func (g *Graph) buildPartition(idx []int) {
 		if i == pivot {
 			continue
 		}
-		g.comparisons++
+		if g.tick() {
+			return
+		}
 		fi := g.Factors[i]
 		switch {
 		case equalFactors(fi, fp):
@@ -199,12 +245,17 @@ func (g *Graph) buildRangeTree() {
 	}
 	tree := rangetree.New(pts)
 	for i, f := range g.Factors {
+		if g.cancelled {
+			return
+		}
 		dominated := tree.DominatedBy([]float64{f.M, f.Q, f.W})
 		for _, j := range dominated {
 			if j == i {
 				continue
 			}
-			g.comparisons++
+			if g.tick() {
+				return
+			}
 			if StrictlyDominates(f, g.Factors[j]) {
 				g.addEdge(i, j)
 			}

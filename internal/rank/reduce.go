@@ -1,6 +1,7 @@
 package rank
 
 import (
+	"context"
 	"sort"
 
 	"github.com/deepeye/deepeye/internal/vizql"
@@ -116,6 +117,14 @@ type SelectOptions struct {
 // best-first order together with per-node scores (0 for nodes outside
 // the shortlist).
 func Order(nodes []*vizql.Node, factors []Factors, opts SelectOptions) ([]int, []float64) {
+	order, scores, _ := OrderCtx(context.Background(), nodes, factors, opts)
+	return order, scores
+}
+
+// OrderCtx is Order with cancellation, threaded into the dominance-graph
+// construction (the only super-linear step); it returns ctx.Err() as
+// soon as the build observes cancellation.
+func OrderCtx(ctx context.Context, nodes []*vizql.Node, factors []Factors, opts SelectOptions) ([]int, []float64, error) {
 	maxN := opts.MaxGraphNodes
 	if maxN <= 0 {
 		maxN = 1200
@@ -140,7 +149,11 @@ func Order(nodes []*vizql.Node, factors []Factors, opts SelectOptions) ([]int, [
 		subNodes[k] = nodes[i]
 		subFactors[k] = factors[i]
 	}
-	g := BuildGraph(subNodes, subFactors, opts.Build).Reduce()
+	built, err := BuildGraphCtx(ctx, subNodes, subFactors, opts.Build)
+	if err != nil {
+		return nil, nil, err
+	}
+	g := built.Reduce()
 	subScores := g.Scores()
 	// S(v) sums over all dominance paths and can reach astronomic
 	// magnitudes on deep diagrams; normalize to [0, 1] (rank-preserving)
@@ -170,5 +183,5 @@ func Order(nodes []*vizql.Node, factors []Factors, opts SelectOptions) ([]int, [
 		scores[shortlist[k]] = subScores[k]
 	}
 	order = append(order, rest...)
-	return order, scores
+	return order, scores, nil
 }

@@ -13,6 +13,8 @@
 package rules
 
 import (
+	"context"
+
 	"github.com/deepeye/deepeye/internal/chart"
 	"github.com/deepeye/deepeye/internal/dataset"
 	"github.com/deepeye/deepeye/internal/stats"
@@ -124,17 +126,29 @@ func xOutType(in dataset.ColType, kind transform.Kind) dataset.ColType {
 // Correlation gating for scatter requires data, not just types; the
 // enumerator estimates c(X, Y) on the raw columns once per pair.
 func EnumerateQueries(t *dataset.Table) []vizql.Query {
+	out, _ := EnumerateQueriesCtx(context.Background(), t)
+	return out
+}
+
+// EnumerateQueriesCtx is EnumerateQueries with cancellation: ctx is
+// checked once per ordered column pair (each pair may sample the raw
+// columns for the correlation gate), returning ctx.Err() promptly on
+// wide tables.
+func EnumerateQueriesCtx(ctx context.Context, t *dataset.Table) ([]vizql.Query, error) {
 	var out []vizql.Query
 	for i, x := range t.Columns {
 		for j, y := range t.Columns {
 			if i == j {
 				continue
 			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			out = append(out, enumeratePair(t, x, y)...)
 		}
 	}
 	out = append(out, EnumerateOneColumnQueries(t)...)
-	return out
+	return out, nil
 }
 
 func enumeratePair(t *dataset.Table, x, y *dataset.Column) []vizql.Query {

@@ -1,0 +1,28 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// parseKParam is the single source of truth for the k query parameter
+// across /topk, /multi, and /search: absent means def, non-integer or
+// k ≤ 0 is an error (the caller answers 400), and values above max are
+// clamped rather than rejected so clients probing for "as many as you
+// have" degrade gracefully.
+func parseKParam(raw string, def, max int) (int, error) {
+	if raw == "" {
+		return def, nil
+	}
+	k, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad k %q: not an integer", raw)
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("bad k %q: must be positive", raw)
+	}
+	if k > max {
+		k = max
+	}
+	return k, nil
+}

@@ -1,0 +1,37 @@
+package server
+
+import "testing"
+
+func TestParseKParam(t *testing.T) {
+	const (
+		def = 5
+		max = 50
+	)
+	cases := []struct {
+		name    string
+		raw     string
+		want    int
+		wantErr bool
+	}{
+		{"absent uses default", "", def, false},
+		{"plain value", "7", 7, false},
+		{"max passes through", "50", 50, false},
+		{"above max clamps", "99", max, false},
+		{"zero rejected", "0", 0, true},
+		{"negative rejected", "-4", 0, true},
+		{"non-integer rejected", "abc", 0, true},
+		{"float rejected", "2.5", 0, true},
+		{"trailing junk rejected", "7x", 0, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := parseKParam(c.raw, def, max)
+			if (err != nil) != c.wantErr {
+				t.Fatalf("parseKParam(%q) err = %v, wantErr = %v", c.raw, err, c.wantErr)
+			}
+			if err == nil && got != c.want {
+				t.Errorf("parseKParam(%q) = %d, want %d", c.raw, got, c.want)
+			}
+		})
+	}
+}

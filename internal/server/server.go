@@ -1,15 +1,23 @@
 // Package server exposes DeepEye over HTTP: post a CSV, get back the
 // top-k visualizations as JSON (with Vega-Lite specs ready for
-// embedding). It is the serving half of the paper's Fig. 9 demo.
+// embedding). It is the serving half of the paper's Fig. 9 demo,
+// hardened for production traffic: every request runs under a deadline
+// (cancellation is threaded through the whole selection pipeline), a
+// concurrency limiter sheds load past MaxInFlight, and GET /metrics
+// exposes request counts, the in-flight gauge, and latency histograms
+// in the Prometheus text format.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
-	"strconv"
+	"time"
 
 	deepeye "github.com/deepeye/deepeye"
+	"github.com/deepeye/deepeye/internal/obs"
 )
 
 // ChartJSON is the wire form of one recommended chart.
@@ -50,6 +58,16 @@ type Options struct {
 	MaxK int
 	// ASCII includes terminal renderings in responses when true.
 	ASCII bool
+	// Timeout bounds each request's pipeline work via the request
+	// context; expired requests answer 504. 0 disables the deadline.
+	Timeout time.Duration
+	// MaxInFlight caps concurrently served requests; excess requests
+	// are shed with 503. 0 disables the limiter.
+	MaxInFlight int
+	// Registry receives request metrics; nil uses obs.Default (which
+	// also carries the pipeline's per-stage timings, so /metrics shows
+	// both).
+	Registry *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -62,38 +80,89 @@ func (o Options) withDefaults() Options {
 	if o.MaxK <= 0 {
 		o.MaxK = 50
 	}
+	if o.Registry == nil {
+		o.Registry = obs.Default
+	}
 	return o
 }
 
 // Handler is the DeepEye HTTP API.
 type Handler struct {
-	sys  *deepeye.System
-	opts Options
-	mux  *http.ServeMux
+	sys      *deepeye.System
+	opts     Options
+	mux      *http.ServeMux
+	reg      *obs.Registry
+	inFlight *obs.Gauge
+	slots    chan struct{} // nil when MaxInFlight is 0
 }
+
+// Metric names exported on /metrics.
+const (
+	metricRequests = "deepeye_http_requests_total"
+	metricShed     = "deepeye_http_requests_shed_total"
+	metricInFlight = "deepeye_http_in_flight"
+	metricLatency  = "deepeye_http_request_duration_seconds"
+)
 
 // New builds the handler around a configured (optionally trained) System.
 func New(sys *deepeye.System, opts Options) *Handler {
-	h := &Handler{sys: sys, opts: opts.withDefaults(), mux: http.NewServeMux()}
+	opts = opts.withDefaults()
+	h := &Handler{sys: sys, opts: opts, mux: http.NewServeMux(), reg: opts.Registry}
+	h.inFlight = h.reg.Gauge(metricInFlight, "Requests currently being served.")
+	if opts.MaxInFlight > 0 {
+		h.slots = make(chan struct{}, opts.MaxInFlight)
+	}
 	h.mux.HandleFunc("POST /topk", h.handleTopK)
 	h.mux.HandleFunc("POST /query", h.handleQuery)
 	h.mux.HandleFunc("POST /multi", h.handleMulti)
 	h.mux.HandleFunc("POST /search", h.handleSearch)
 	h.mux.HandleFunc("POST /profile", h.handleProfile)
 	h.mux.HandleFunc("GET /healthz", h.handleHealth)
+	h.mux.HandleFunc("GET /metrics", h.handleMetrics)
 	return h
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler: it applies the concurrency
+// limiter, the per-request deadline, and request metrics around the
+// route handlers.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	route := r.URL.Path
+	h.reg.Counter(metricRequests, "HTTP requests by route.", "route", route).Inc()
+	if h.slots != nil {
+		select {
+		case h.slots <- struct{}{}:
+			defer func() { <-h.slots }()
+		default:
+			h.reg.Counter(metricShed, "Requests shed by the concurrency limiter.", "route", route).Inc()
+			writeJSON(w, http.StatusServiceUnavailable, errorJSON{"server at capacity, retry later"})
+			return
+		}
+	}
+	h.inFlight.Inc()
+	defer h.inFlight.Dec()
+	if h.opts.Timeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), h.opts.Timeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	start := time.Now()
 	h.mux.ServeHTTP(w, r)
+	h.reg.Histogram(metricLatency, "HTTP request latency in seconds.", nil, "route", route).
+		Observe(time.Since(start))
 }
 
 func (h *Handler) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// readTable reads the request body as CSV.
+// handleMetrics serves the registry in the Prometheus text format.
+func (h *Handler) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = h.reg.WritePrometheus(w)
+}
+
+// readTable reads the request body as CSV. Oversized uploads answer
+// 413, unparseable ones 400.
 func (h *Handler) readTable(w http.ResponseWriter, r *http.Request) (*deepeye.Table, bool) {
 	body := http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes)
 	name := r.URL.Query().Get("name")
@@ -102,25 +171,36 @@ func (h *Handler) readTable(w http.ResponseWriter, r *http.Request) (*deepeye.Ta
 	}
 	tab, err := deepeye.LoadCSV(name, body)
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorJSON{fmt.Sprintf("body exceeds %d bytes", tooBig.Limit)})
+			return nil, false
+		}
 		writeJSON(w, http.StatusBadRequest, errorJSON{fmt.Sprintf("parsing csv: %v", err)})
 		return nil, false
 	}
 	return tab, true
 }
 
+// parseK applies the shared k parsing/clamping rules to the request.
 func (h *Handler) parseK(r *http.Request) (int, error) {
-	raw := r.URL.Query().Get("k")
-	if raw == "" {
-		return h.opts.DefaultK, nil
+	return parseKParam(r.URL.Query().Get("k"), h.opts.DefaultK, h.opts.MaxK)
+}
+
+// writePipelineError maps a selection-pipeline failure to a status:
+// deadline expiry is the server's fault (504), client disconnects get
+// the nginx-style 499 (the client is gone, the code is for the logs),
+// everything else is an unprocessable table (422).
+func writePipelineError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, errorJSON{"request timed out"})
+	case errors.Is(err, context.Canceled):
+		writeJSON(w, 499, errorJSON{"request canceled"})
+	default:
+		writeJSON(w, http.StatusUnprocessableEntity, errorJSON{err.Error()})
 	}
-	k, err := strconv.Atoi(raw)
-	if err != nil || k <= 0 {
-		return 0, fmt.Errorf("bad k %q", raw)
-	}
-	if k > h.opts.MaxK {
-		k = h.opts.MaxK
-	}
-	return k, nil
 }
 
 func (h *Handler) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -133,9 +213,9 @@ func (h *Handler) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
 		return
 	}
-	vs, err := h.sys.TopK(tab, k)
+	vs, err := h.sys.TopKCtx(r.Context(), tab, k)
 	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, errorJSON{err.Error()})
+		writePipelineError(w, err)
 		return
 	}
 	resp := TopKResponse{Table: tab.Name, Rows: tab.NumRows(), Columns: tab.NumCols()}
@@ -155,9 +235,9 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	v, err := h.sys.Query(tab, q)
+	v, err := h.sys.QueryCtx(r.Context(), tab, q)
 	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, errorJSON{err.Error()})
+		writePipelineError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, h.chartJSON(v))
@@ -173,9 +253,9 @@ func (h *Handler) handleMulti(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
 		return
 	}
-	vs, err := h.sys.SuggestMulti(tab, k)
+	vs, err := h.sys.SuggestMultiCtx(r.Context(), tab, k)
 	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, errorJSON{err.Error()})
+		writePipelineError(w, err)
 		return
 	}
 	resp := TopKResponse{Table: tab.Name, Rows: tab.NumRows(), Columns: tab.NumCols()}
@@ -210,9 +290,9 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
 		return
 	}
-	vs, err := h.sys.Search(tab, q, k)
+	vs, err := h.sys.SearchCtx(r.Context(), tab, q, k)
 	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, errorJSON{err.Error()})
+		writePipelineError(w, err)
 		return
 	}
 	resp := TopKResponse{Table: tab.Name, Rows: tab.NumRows(), Columns: tab.NumCols()}

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	deepeye "github.com/deepeye/deepeye"
+	"github.com/deepeye/deepeye/internal/obs"
+)
+
+// decodeError reads an errorJSON body, failing the test on anything else.
+func decodeError(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var e errorJSON
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("decoding error body: %v", err)
+	}
+	if e.Error == "" {
+		t.Fatal("error body has empty error field")
+	}
+	return e.Error
+}
+
+func TestMalformedCSV(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Post(srv.URL+"/topk", "text/csv", strings.NewReader("a,b\n\"unclosed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed csv status = %d, want 400", resp.StatusCode)
+	}
+	if msg := decodeError(t, resp); !strings.Contains(msg, "csv") {
+		t.Errorf("error = %q, want a csv parse message", msg)
+	}
+}
+
+func TestNegativeK(t *testing.T) {
+	srv := newTestServer(t)
+	for _, raw := range []string{"-3", "0"} {
+		resp, err := http.Post(srv.URL+"/topk?k="+raw, "text/csv", strings.NewReader(testCSV))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("k=%s status = %d, want 400", raw, resp.StatusCode)
+		}
+	}
+}
+
+// TestRequestTimeout sets a deadline no pipeline run can meet and checks
+// the 504 mapping, including the JSON error body.
+func TestRequestTimeout(t *testing.T) {
+	h := New(deepeye.New(deepeye.Options{IncludeOneColumn: true}), Options{
+		Timeout:  time.Nanosecond,
+		Registry: obs.NewRegistry(),
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/topk", "text/csv", strings.NewReader(testCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+	if msg := decodeError(t, resp); !strings.Contains(msg, "timed out") {
+		t.Errorf("error = %q, want a timeout message", msg)
+	}
+}
+
+// TestMetricsEndpoint drives one request through the handler and checks
+// the Prometheus exposition carries the request counter and at least one
+// latency histogram bucket.
+func TestMetricsEndpoint(t *testing.T) {
+	h := New(deepeye.New(deepeye.Options{IncludeOneColumn: true}), Options{
+		Registry: obs.NewRegistry(),
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/topk?k=2", "text/csv", strings.NewReader(testCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("topk status = %d", resp.StatusCode)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", mresp.StatusCode)
+	}
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content-type = %q", ct)
+	}
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.Contains(text, `deepeye_http_requests_total{route="/topk"} 1`) {
+		t.Errorf("metrics missing topk request counter:\n%s", text)
+	}
+	if !strings.Contains(text, "deepeye_http_in_flight") {
+		t.Errorf("metrics missing in-flight gauge:\n%s", text)
+	}
+	if !strings.Contains(text, `deepeye_http_request_duration_seconds_bucket{route="/topk",le=`) {
+		t.Errorf("metrics missing latency bucket:\n%s", text)
+	}
+	if !strings.Contains(text, `deepeye_http_request_duration_seconds_count{route="/topk"} 1`) {
+		t.Errorf("metrics missing latency count:\n%s", text)
+	}
+}
+
+// TestConcurrencyLimiter hammers a MaxInFlight=1 server: every request
+// must complete with either a real answer (200) or a shed (503) — no
+// hangs, no other statuses — and the shed counter must equal the number
+// of 503s. Run under -race this also exercises the limiter for data
+// races.
+func TestConcurrencyLimiter(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := New(deepeye.New(deepeye.Options{IncludeOneColumn: true}), Options{
+		MaxInFlight: 1,
+		Registry:    reg,
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	const n = 8
+	statuses := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/topk?k=2", "text/csv", strings.NewReader(testCSV))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			resp.Body.Close()
+			statuses[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+
+	shed := 0
+	for i, s := range statuses {
+		switch s {
+		case http.StatusOK:
+		case http.StatusServiceUnavailable:
+			shed++
+		default:
+			t.Errorf("request %d: status = %d, want 200 or 503", i, s)
+		}
+	}
+	if got := reg.Counter(metricShed, "", "route", "/topk").Value(); got != uint64(shed) {
+		t.Errorf("shed counter = %d, observed %d 503s", got, shed)
+	}
+}

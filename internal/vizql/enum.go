@@ -1,6 +1,7 @@
 package vizql
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -117,6 +118,14 @@ func EnumerateOneColumnQueries(t *dataset.Table) []Query {
 // types, so the four chart variants of one transform cost a single pass
 // over the data — the first optimization of §V-B.
 func ExecuteAll(t *dataset.Table, queries []Query) []*Node {
+	out, _ := ExecuteAllCtx(context.Background(), t, queries)
+	return out
+}
+
+// ExecuteAllCtx is ExecuteAll with cancellation: the batch loop checks
+// ctx between queries (each query is at most one pass over the data) and
+// returns ctx.Err() as soon as cancellation is observed.
+func ExecuteAllCtx(ctx context.Context, t *dataset.Table, queries []Query) ([]*Node, error) {
 	type cacheKey struct {
 		x, y, spec string
 		sort       transform.SortAxis
@@ -131,12 +140,17 @@ func ExecuteAll(t *dataset.Table, queries []Query) []*Node {
 	cache := make(map[cacheKey]*cacheVal)
 	var out []*Node
 	for _, q := range queries {
+		// A cache miss costs a full pass over the data, so check before
+		// every query to keep cancellation latency within one pass.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		key := cacheKey{q.X, q.Y, q.Spec.String(), q.Order}
 		cv := cache[key]
 		if cv == nil {
 			cv = &cacheVal{}
 			cache[key] = cv
-			if n, err := Execute(t, q); err == nil {
+			if n, err := ExecuteCtx(ctx, t, q); err == nil {
 				cv.res = n.Res
 				cv.corr = n.Corr
 				cv.trendR2 = n.TrendR2
@@ -145,6 +159,9 @@ func ExecuteAll(t *dataset.Table, queries []Query) []*Node {
 				// Reuse this first materialization directly.
 				out = append(out, n)
 				continue
+			} else if cerr := ctx.Err(); cerr != nil {
+				// Cancellation, not an inexecutable query: stop the batch.
+				return nil, cerr
 			}
 		}
 		if !cv.ok {
@@ -166,7 +183,7 @@ func ExecuteAll(t *dataset.Table, queries []Query) []*Node {
 		fillFeatures(n)
 		out = append(out, n)
 	}
-	return out
+	return out, nil
 }
 
 // SearchSpaceTwoColumns is the Fig. 3 closed form for two columns:

@@ -1,6 +1,7 @@
 package vizql
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -97,6 +98,15 @@ func yTitle(n *Node) string {
 // but deliberately does not judge chart quality — that is the job of the
 // recognizer, the rules, and the ranking factors.
 func Execute(t *dataset.Table, q Query) (*Node, error) {
+	return ExecuteCtx(context.Background(), t, q)
+}
+
+// ExecuteCtx is Execute with cancellation. A query runs in three phases
+// — the transform pass, the sort, and the derived statistics — each at
+// most one sweep over the data; ctx is re-checked between phases so the
+// longest uninterruptible stretch is a single sweep even on wide,
+// high-cardinality tables.
+func ExecuteCtx(ctx context.Context, t *dataset.Table, q Query) (*Node, error) {
 	x := t.Column(q.X)
 	if x == nil {
 		return nil, fmt.Errorf("vizql: unknown column %q", q.X)
@@ -105,12 +115,18 @@ func Execute(t *dataset.Table, q Query) (*Node, error) {
 	if y == nil {
 		return nil, fmt.Errorf("vizql: unknown column %q", q.Y)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res, err := transform.Apply(x, y, q.Spec)
 	if err != nil {
 		return nil, err
 	}
 	if res.Len() == 0 {
 		return nil, fmt.Errorf("vizql: query produced no data")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	transform.OrderBy(res, q.Order)
 
@@ -124,6 +140,9 @@ func Execute(t *dataset.Table, q Query) (*Node, error) {
 		InputRows: res.InputRows,
 		Res:       res,
 		XOutType:  outType(x.Type, q.Spec.Kind),
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	fillDerived(n)
 	return n, nil

@@ -1,6 +1,7 @@
 package vizql
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -15,11 +16,21 @@ import (
 // sharing ExecuteAll exploits sequentially), and the result order is the
 // stable query order of the input. workers ≤ 0 uses GOMAXPROCS.
 func ExecuteAllParallel(t *dataset.Table, queries []Query, workers int) []*Node {
+	out, _ := ExecuteAllParallelCtx(context.Background(), t, queries, workers)
+	return out
+}
+
+// ExecuteAllParallelCtx is ExecuteAllParallel with cancellation: a fixed
+// pool of workers drains a job channel, every worker re-checks ctx
+// before each group, and the feeder stops handing out work the moment
+// ctx is done — so cancellation both returns promptly and leaves no
+// goroutine behind (the pool is joined before returning).
+func ExecuteAllParallelCtx(ctx context.Context, t *dataset.Table, queries []Query, workers int) ([]*Node, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 || len(queries) < 64 {
-		return ExecuteAll(t, queries)
+		return ExecuteAllCtx(ctx, t, queries)
 	}
 	type groupKey struct {
 		x, y, spec string
@@ -36,21 +47,37 @@ func ExecuteAllParallel(t *dataset.Table, queries []Query, workers int) []*Node 
 		groups[key] = append(groups[key], q)
 	}
 	results := make([][]*Node, len(order))
+	jobs := make(chan int)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for gi, key := range order {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(gi int, qs []Query) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[gi] = ExecuteAll(t, qs)
-		}(gi, groups[key])
+			for gi := range jobs {
+				nodes, err := ExecuteAllCtx(ctx, t, groups[order[gi]])
+				if err != nil {
+					return // cancelled; the feeder stops on ctx.Done
+				}
+				results[gi] = nodes
+			}
+		}()
 	}
+feed:
+	for gi := range order {
+		select {
+		case jobs <- gi:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var out []*Node
 	for _, nodes := range results {
 		out = append(out, nodes...)
 	}
-	return out
+	return out, nil
 }

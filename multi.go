@@ -1,12 +1,14 @@
 package deepeye
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"github.com/deepeye/deepeye/internal/chart"
 	"github.com/deepeye/deepeye/internal/dataset"
+	"github.com/deepeye/deepeye/internal/obs"
 	"github.com/deepeye/deepeye/internal/stats"
 	"github.com/deepeye/deepeye/internal/transform"
 	"github.com/deepeye/deepeye/internal/vizql"
@@ -87,12 +89,20 @@ func (s *System) QueryMulti(t *Table, src string) (*MultiVisualization, error) {
 // bucket count in a readable band, correlated series for comparisons,
 // and trending series for time axes.
 func (s *System) SuggestMulti(t *Table, k int) ([]*MultiVisualization, error) {
+	return s.SuggestMultiCtx(context.Background(), t, k)
+}
+
+// SuggestMultiCtx is SuggestMulti with cancellation: ctx is re-checked
+// before each candidate execution (every multi-query is a pass over the
+// data), so a cancelled suggestion returns ctx.Err() promptly.
+func (s *System) SuggestMultiCtx(ctx context.Context, t *Table, k int) ([]*MultiVisualization, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("deepeye: k must be positive, got %d", k)
 	}
 	if t == nil || t.NumRows() == 0 {
 		return nil, fmt.Errorf("deepeye: empty table")
 	}
+	defer obs.StageTimer(obs.StageSuggest)()
 	queries := vizql.EnumerateMultiYQueries(t)
 	queries = append(queries, vizql.EnumerateXYZQueries(t)...)
 	type cand struct {
@@ -101,6 +111,9 @@ func (s *System) SuggestMulti(t *Table, k int) ([]*MultiVisualization, error) {
 	}
 	var cands []cand
 	for _, q := range queries {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		n, err := vizql.ExecuteMulti(t, q)
 		if err != nil {
 			continue

@@ -1,6 +1,7 @@
 package deepeye
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -21,6 +22,12 @@ import (
 //	sys.Search(tab, "delay trend by hour", 3)
 //	sys.Search(tab, "passengers share by carrier", 3)
 func (s *System) Search(t *Table, query string, k int) ([]*Visualization, error) {
+	return s.SearchCtx(context.Background(), t, query, k)
+}
+
+// SearchCtx is Search with cancellation threaded through candidate
+// generation and ranking, the two costly phases of a keyword search.
+func (s *System) SearchCtx(ctx context.Context, t *Table, query string, k int) ([]*Visualization, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("deepeye: k must be positive, got %d", k)
 	}
@@ -28,11 +35,11 @@ func (s *System) Search(t *Table, query string, k int) ([]*Visualization, error)
 	if len(intent.columns) == 0 && len(intent.charts) == 0 && intent.unit == "" {
 		return nil, fmt.Errorf("deepeye: query %q matches no columns or chart intents", query)
 	}
-	nodes, err := s.Candidates(t)
+	nodes, err := s.CandidatesCtx(ctx, t)
 	if err != nil {
 		return nil, err
 	}
-	order, scores, err := s.rankNodes(nodes)
+	order, scores, _, err := s.rankNodesExplainedCtx(ctx, nodes)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package deepeye
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/deepeye/deepeye/internal/crowd"
@@ -148,7 +149,10 @@ func (s *System) LearnHybridAlpha(c *Corpus) error {
 			continue
 		}
 		ltrOrder := s.ltr.Rank(featureMatrix(nodes))
-		poOrder, _, _ := partialOrderRank(nodes, s.opts)
+		poOrder, _, _, err := partialOrderRankCtx(context.Background(), nodes, s.opts)
+		if err != nil {
+			return err
+		}
 		groups = append(groups, hybrid.TrainingGroup{
 			LTR:       ltrOrder,
 			PO:        poOrder,

@@ -1,6 +1,15 @@
 GO ?= go
 
-.PHONY: all build test vet bench race fuzz experiments clean
+# Benchmarks the CI bench-regression job gates on: cmd/benchdiff
+# compares per-benchmark medians over BENCH_COUNT repeats and fails on
+# >20% ns/op regressions. CI and local runs share these definitions.
+BENCH_PATTERN ?= BenchmarkTable_SearchSpace|BenchmarkGraphBuild|BenchmarkTopKCached
+BENCH_COUNT ?= 6
+BENCHTIME ?= 0.3s
+COVER_FLOOR ?= 70.0
+
+.PHONY: all build test vet bench race fuzz experiments clean \
+	bench-smoke bench-run bench-diff cover-check
 
 all: build vet test
 
@@ -32,6 +41,31 @@ fuzz:
 	$(GO) test -fuzz FuzzParseMulti -fuzztime 30s ./internal/vizql/
 	$(GO) test -fuzz FuzzFromCSV -fuzztime 30s ./internal/dataset/
 	$(GO) test -fuzz FuzzInferColumn -fuzztime 30s ./internal/dataset/
+
+# One-iteration pass over the gated benchmarks: catches benchmarks that
+# fail outright without paying for timing runs.
+bench-smoke:
+	$(GO) test -run XXX -bench '$(BENCH_PATTERN)' -benchtime=1x .
+
+# Repeated timed run whose output feeds bench-diff.
+# Usage: make bench-run OUT=pr.txt
+bench-run:
+	@test -n "$(OUT)" || { echo "usage: make bench-run OUT=file.txt"; exit 2; }
+	$(GO) test -run XXX -bench '$(BENCH_PATTERN)' -count=$(BENCH_COUNT) -benchtime=$(BENCHTIME) . > $(OUT)
+	@cat $(OUT)
+
+# Compare two bench-run outputs; exits nonzero on a >20% median ns/op
+# regression. Usage: make bench-diff OLD=main.txt NEW=pr.txt [JSON=BENCH_PR2.json]
+bench-diff:
+	@test -n "$(OLD)" && test -n "$(NEW)" || { echo "usage: make bench-diff OLD=old.txt NEW=new.txt [JSON=out.json]"; exit 2; }
+	$(GO) run ./cmd/benchdiff -old $(OLD) -new $(NEW) $(if $(JSON),-json $(JSON))
+
+# Whole-module coverage with the CI floor.
+cover-check:
+	$(GO) test -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t=$$total -v f=$(COVER_FLOOR) 'BEGIN { exit (t + 0 < f + 0) }'
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

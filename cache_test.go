@@ -1,0 +1,236 @@
+// Integration tests for the result/statistics cache: repeated TopK and
+// Query calls on identical content are served from the cache (including
+// across re-parsed uploads of the same CSV), different k reuses the
+// ranked candidate set, training invalidates, and a same-named table
+// with different content never sees stale results.
+package deepeye_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	deepeye "github.com/deepeye/deepeye"
+	"github.com/deepeye/deepeye/internal/datagen"
+)
+
+const cacheTestCSV = `city,population,founded
+Beijing,2154,1949-10-01
+Shanghai,2424,1949-05-27
+Shenzhen,1303,1979-03-05
+Guangzhou,1490,1921-02-15
+Chengdu,1633,1928-11-20
+Wuhan,1108,1926-10-12
+`
+
+func cacheTestTable(t testing.TB, name string) *deepeye.Table {
+	t.Helper()
+	tab, err := deepeye.LoadCSV(name, strings.NewReader(cacheTestCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func sameCharts(a, b []*deepeye.Visualization) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Query != b[i].Query || a[i].Chart != b[i].Chart {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTopKCacheHitAcrossReuploads(t *testing.T) {
+	sys := deepeye.New(deepeye.Options{IncludeOneColumn: true, CacheSize: 16 << 20})
+	first, err := sys.TopK(cacheTestTable(t, "cities"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st0, ok := sys.CacheStats()
+	if !ok {
+		t.Fatal("CacheStats reports caching disabled")
+	}
+	// Same content re-parsed under a different name: must hit.
+	second, err := sys.TopK(cacheTestTable(t, "renamed"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, _ := sys.CacheStats()
+	if st1.Hits <= st0.Hits {
+		t.Errorf("re-upload did not hit: %+v -> %+v", st0, st1)
+	}
+	if !sameCharts(first, second) {
+		t.Error("cached result differs from computed result")
+	}
+}
+
+func TestTopKRankReuseAcrossK(t *testing.T) {
+	sys := deepeye.New(deepeye.Options{IncludeOneColumn: true, CacheSize: 16 << 20})
+	tab := cacheTestTable(t, "cities")
+	top5, err := sys.TopK(tab, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st0, _ := sys.CacheStats()
+	// A different k misses the result entry but reuses the ranked
+	// candidate set (the "rank|" entry), so only hits accrue there.
+	top2, err := sys.TopK(tab, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, _ := sys.CacheStats()
+	if st1.Hits <= st0.Hits {
+		t.Errorf("rank-level reuse did not register a hit: %+v -> %+v", st0, st1)
+	}
+	if !sameCharts(top5[:2], top2) {
+		t.Errorf("top2 != top5[:2]:\n%v\n%v", top5[:2], top2)
+	}
+}
+
+func TestTopKCacheDisabledByDefault(t *testing.T) {
+	sys := deepeye.New(deepeye.Options{})
+	if _, ok := sys.CacheStats(); ok {
+		t.Fatal("zero Options enabled the cache")
+	}
+	if _, err := sys.TopK(cacheTestTable(t, "cities"), 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCachedMatchesUncached(t *testing.T) {
+	tab, err := datagen.TestSet(0, 1.0) // X1: 75 rows, 8 columns
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := deepeye.New(deepeye.Options{IncludeOneColumn: true})
+	cached := deepeye.New(deepeye.Options{IncludeOneColumn: true, CacheSize: 32 << 20})
+	want, err := plain.TopK(tab, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ { // cold, result-hit, result-hit
+		got, err := cached.TopK(tab, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameCharts(want, got) {
+			t.Fatalf("round %d: cached top-k diverges from uncached", round)
+		}
+	}
+}
+
+func TestQueryCache(t *testing.T) {
+	sys := deepeye.New(deepeye.Options{CacheSize: 16 << 20})
+	tab := cacheTestTable(t, "cities")
+	const q = "VISUALIZE bar\nSELECT city, population\nFROM cities\nGROUP BY city"
+	v1, err := sys.Query(tab, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st0, _ := sys.CacheStats()
+	v2, err := sys.Query(tab, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, _ := sys.CacheStats()
+	if st1.Hits <= st0.Hits {
+		t.Errorf("repeated query did not hit: %+v -> %+v", st0, st1)
+	}
+	if v1.Query != v2.Query || v1.Chart != v2.Chart {
+		t.Error("cached query result differs")
+	}
+	// A bad query errors both times (errors are never cached).
+	if _, err := sys.Query(tab, "VISUALIZE bar\nSELECT nope, population\nFROM cities"); err == nil {
+		t.Error("bad query succeeded")
+	}
+	if _, err := sys.Query(tab, "VISUALIZE bar\nSELECT nope, population\nFROM cities"); err == nil {
+		t.Error("bad query succeeded on second call")
+	}
+}
+
+func TestSameNameDifferentContentInvalidates(t *testing.T) {
+	sys := deepeye.New(deepeye.Options{IncludeOneColumn: true, CacheSize: 16 << 20})
+	load := func(csv string) *deepeye.Table {
+		tab, err := deepeye.LoadCSV("metrics", strings.NewReader(csv))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	a := load("label,v\nx,1\ny,2\nz,3\n")
+	b := load("label,v\nx,100\ny,2\nz,3\n") // same name and shape, new values
+	va, err := sys.Query(a, "VISUALIZE bar\nSELECT label, SUM(v)\nFROM metrics\nGROUP BY label")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := sys.Query(b, "VISUALIZE bar\nSELECT label, SUM(v)\nFROM metrics\nGROUP BY label")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ya := va.Data()
+	_, yb := vb.Data()
+	if fmt.Sprint(ya) == fmt.Sprint(yb) {
+		t.Fatalf("reloaded content served stale data: %v vs %v", ya, yb)
+	}
+}
+
+func TestTrainingInvalidatesCache(t *testing.T) {
+	sys := deepeye.New(deepeye.Options{IncludeOneColumn: true, CacheSize: 16 << 20})
+	tab := cacheTestTable(t, "cities")
+	if _, err := sys.TopK(tab, 3); err != nil {
+		t.Fatal(err)
+	}
+	st0, _ := sys.CacheStats()
+	if st0.Entries == 0 {
+		t.Fatal("nothing cached")
+	}
+	// Loading models (even a failed load that rejects the payload after
+	// validation) must not leave stale entries; use the documented
+	// invalidation path via LoadModels with a valid empty envelope.
+	if err := sys.LoadModels(strings.NewReader(`{"version":1}`)); err != nil {
+		t.Fatalf("loading empty models: %v", err)
+	}
+	st1, _ := sys.CacheStats()
+	if st1.Entries != 0 {
+		t.Errorf("cache not purged on model load: %+v", st1)
+	}
+	// And the recomputed answer is served fresh, not from a stale key.
+	if _, err := sys.TopK(tab, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKCacheConcurrentCoalescing(t *testing.T) {
+	sys := deepeye.New(deepeye.Options{IncludeOneColumn: true, CacheSize: 16 << 20})
+	tab := cacheTestTable(t, "cities")
+	const callers = 12
+	var wg sync.WaitGroup
+	results := make([][]*deepeye.Visualization, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = sys.TopKCtx(context.Background(), tab, 4)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if !sameCharts(results[0], results[i]) {
+			t.Fatalf("caller %d got a different answer", i)
+		}
+	}
+	st, _ := sys.CacheStats()
+	if st.Hits+st.Coalesced == 0 {
+		t.Errorf("no sharing among %d identical concurrent calls: %+v", callers, st)
+	}
+}

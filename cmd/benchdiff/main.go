@@ -1,0 +1,154 @@
+// Command benchdiff gates benchmark regressions in CI. It parses two
+// `go test -bench` output files (typically main and the PR head, each
+// run with -count=N), reduces every benchmark to its median ns/op, and
+// exits nonzero when any benchmark present on both sides got slower
+// than the threshold.
+//
+//	benchdiff -old main.txt -new pr.txt            # gate at the default +20%
+//	benchdiff -old main.txt -new pr.txt -threshold 1.5
+//	benchdiff -new pr.txt -json BENCH_PR2.json     # emit medians, no gate
+//
+// Benchmarks that exist only in the new file (for example, ones this PR
+// introduces) are reported informationally and never fail the gate;
+// medians over repeated counts absorb scheduler noise that a single run
+// would misread as a regression.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+
+	"github.com/deepeye/deepeye/internal/stats"
+)
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+//
+//	BenchmarkTopKCachedWarm-8   5   2178 ns/op   153 B/op   5 allocs/op
+//
+// The -8 GOMAXPROCS suffix is stripped so runs from machines with
+// different core counts still compare by name.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+
+func parseFile(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string][]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad ns/op in %q: %v", path, sc.Text(), err)
+		}
+		out[m[1]] = append(out[m[1]], ns)
+	}
+	return out, sc.Err()
+}
+
+func medians(samples map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(samples))
+	for name, xs := range samples {
+		out[name] = stats.Median(xs)
+	}
+	return out
+}
+
+func sortedNames(m map[string]float64) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "", "baseline `go test -bench` output (optional)")
+		newPath   = flag.String("new", "", "candidate `go test -bench` output (required)")
+		threshold = flag.Float64("threshold", 1.20, "fail when new/old median ns/op exceeds this ratio")
+		jsonPath  = flag.String("json", "", "write the candidate's medians as JSON to this file")
+	)
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	newSamples, err := parseFile(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if len(newSamples) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no benchmark results in %s\n", *newPath)
+		os.Exit(2)
+	}
+	newMed := medians(newSamples)
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(map[string]any{"median_ns_per_op": newMed}, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+	}
+
+	if *oldPath == "" {
+		for _, name := range sortedNames(newMed) {
+			fmt.Printf("%-40s %14.1f ns/op (n=%d)\n", name, newMed[name], len(newSamples[name]))
+		}
+		return
+	}
+
+	oldSamples, err := parseFile(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	oldMed := medians(oldSamples)
+
+	failed := false
+	for _, name := range sortedNames(newMed) {
+		old, ok := oldMed[name]
+		if !ok {
+			fmt.Printf("NEW   %-40s %14.1f ns/op (no baseline)\n", name, newMed[name])
+			continue
+		}
+		ratio := newMed[name] / old
+		verdict := "ok"
+		if ratio > *threshold {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-5s %-40s %14.1f -> %14.1f ns/op (%+.1f%%)\n",
+			verdict, name, old, newMed[name], (ratio-1)*100)
+	}
+	for _, name := range sortedNames(oldMed) {
+		if _, ok := newMed[name]; !ok {
+			fmt.Printf("GONE  %-40s (present only in baseline)\n", name)
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: median ns/op regressed beyond %.0f%%\n", (*threshold-1)*100)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: github.com/deepeye/deepeye
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkTopKCachedWarm-8   	  500000	      2178 ns/op	     153 B/op	       5 allocs/op
+BenchmarkTopKCachedWarm-8   	  500000	      2300 ns/op	     153 B/op	       5 allocs/op
+BenchmarkTopKCachedWarm-8   	  500000	      9999 ns/op	     153 B/op	       5 allocs/op
+BenchmarkGraphBuildNaive-8  	       5	 611973013 ns/op
+BenchmarkTable_SearchSpace  	       3	   1000000 ns/op	         42.00 charts
+PASS
+ok  	github.com/deepeye/deepeye	11.217s
+`
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseFile(t *testing.T) {
+	got, err := parseFile(writeTemp(t, sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The -8 suffix is stripped; the unsuffixed line parses too.
+	if n := len(got["BenchmarkTopKCachedWarm"]); n != 3 {
+		t.Errorf("Warm samples = %d, want 3", n)
+	}
+	if n := len(got["BenchmarkGraphBuildNaive"]); n != 1 {
+		t.Errorf("Naive samples = %d, want 1", n)
+	}
+	if xs := got["BenchmarkTable_SearchSpace"]; len(xs) != 1 || xs[0] != 1e6 {
+		t.Errorf("SearchSpace samples = %v", xs)
+	}
+	if len(got) != 3 {
+		t.Errorf("parsed %d benchmarks, want 3", len(got))
+	}
+}
+
+func TestMediansRobustToOutlier(t *testing.T) {
+	samples, err := parseFile(writeTemp(t, sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := medians(samples)
+	// Median of {2178, 2300, 9999} ignores the slow outlier run.
+	if got := med["BenchmarkTopKCachedWarm"]; got != 2300 {
+		t.Errorf("median = %v, want 2300", got)
+	}
+}
+
+func TestParseFileMissing(t *testing.T) {
+	if _, err := parseFile(filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+		t.Fatal("missing file did not error")
+	}
+}

@@ -17,7 +17,10 @@
 // Every request runs under -timeout (expired requests answer 504 and the
 // selection pipeline stops immediately via context cancellation), at most
 // -max-inflight requests are served concurrently (excess answers 503),
-// and SIGINT/SIGTERM drain in-flight requests before exiting.
+// and SIGINT/SIGTERM drain in-flight requests before exiting. Results
+// and per-column statistics are cached by upload content fingerprint
+// within the -cache-size byte budget (concurrent identical requests
+// coalesce onto one computation); pass -cache-size 0 to disable.
 package main
 
 import (
@@ -47,12 +50,13 @@ func main() {
 		maxBody     = flag.Int64("max-body", 16<<20, "max upload size in bytes")
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request pipeline deadline (0 = none)")
 		maxInFlight = flag.Int("max-inflight", 128, "max concurrently served requests (0 = unlimited)")
+		cacheSize   = flag.Int64("cache-size", 256<<20, "result/statistics cache byte budget (0 = disabled)")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		grace       = flag.Duration("grace", 15*time.Second, "shutdown grace period for in-flight requests")
 	)
 	flag.Parse()
 
-	opts := deepeye.Options{IncludeOneColumn: true, UseRecognizer: *useRecog}
+	opts := deepeye.Options{IncludeOneColumn: true, UseRecognizer: *useRecog, CacheSize: *cacheSize}
 	if *hybridRank {
 		opts.Method = deepeye.MethodHybrid
 	}

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/deepeye/deepeye/internal/cache"
 	"github.com/deepeye/deepeye/internal/chart"
 	"github.com/deepeye/deepeye/internal/dataset"
 	"github.com/deepeye/deepeye/internal/hybrid"
@@ -127,6 +128,18 @@ type Options struct {
 	// (the paper notes the task is trivially parallelizable, §VI-D).
 	// 0 = sequential; negative = GOMAXPROCS.
 	Workers int
+	// CacheSize, when positive, enables the result/statistics cache: a
+	// sharded LRU with this total byte budget memoizing TopK/Query
+	// results, ranked candidate sets, and per-column statistics by table
+	// content fingerprint, with request coalescing for concurrent
+	// identical calls. Repeated-table workloads (the common serving
+	// shape) skip the whole selection pipeline on a hit. Cached results
+	// are shared across callers — treat returned visualizations as
+	// read-only when caching is enabled. 0 disables caching.
+	CacheSize int64
+	// CacheRegistry receives the cache's deepeye_cache_* metrics; nil
+	// uses obs.Default, the registry behind the server's /metrics.
+	CacheRegistry *obs.Registry
 }
 
 // System is a configured DeepEye instance. Construct with New; train the
@@ -137,12 +150,63 @@ type System struct {
 	recognizer ml.Classifier
 	ltr        *lambdamart.Model
 	alpha      float64
+
+	// cache memoizes results/statistics by table fingerprint when
+	// Options.CacheSize > 0 (nil otherwise); modelGen invalidates cached
+	// entries when training/loading swaps the models out from under
+	// previously cached rankings.
+	cache    *cache.Cache
+	modelGen int
 }
 
 // New creates a System. The zero Options value gives the rule-pruned,
 // partial-order-ranked configuration that needs no training.
 func New(opts Options) *System {
-	return &System{opts: opts, alpha: 1}
+	s := &System{opts: opts, alpha: 1}
+	if opts.CacheSize > 0 {
+		s.cache = cache.New(cache.Config{Name: "result", MaxBytes: opts.CacheSize, Registry: opts.CacheRegistry})
+	}
+	return s
+}
+
+// CacheStats snapshots the result/statistics cache counters; ok is
+// false when caching is disabled.
+func (s *System) CacheStats() (st cache.Stats, ok bool) {
+	if s.cache == nil {
+		return cache.Stats{}, false
+	}
+	return s.cache.CacheStats(), true
+}
+
+// PurgeCache drops every cached result and statistic without touching
+// trained models. Useful in benchmarks and tests that need a cold cache;
+// a no-op when caching is disabled.
+func (s *System) PurgeCache() {
+	if s.cache != nil {
+		s.cache.Purge()
+	}
+}
+
+// invalidateCache drops every cached entry and bumps the model
+// generation; called whenever training or model loading changes what
+// the pipeline would compute.
+func (s *System) invalidateCache() {
+	s.modelGen++
+	if s.cache != nil {
+		s.cache.Purge()
+	}
+}
+
+// optionsKey renders the result-affecting configuration into the cache
+// key: everything that changes the top-k except the table itself.
+// Workers is deliberately excluded (parallelism does not change the
+// result set); modelGen folds in the trained-model state.
+func (s *System) optionsKey() string {
+	o := s.opts
+	return fmt.Sprintf("%d|%d|%t|%d|%g|%d|%d|%t|%t|%g|%d",
+		o.Enum, o.Method, o.Progressive, o.GraphBuild,
+		o.Factors.TrendThreshold, o.Factors.PieMaxSlices, o.Factors.BarMaxBars,
+		o.IncludeOneColumn, o.UseRecognizer, s.alpha, s.modelGen)
 }
 
 // Recognizer returns the trained recognition classifier (nil before
@@ -234,10 +298,35 @@ func (s *System) TopK(t *Table, k int) ([]*Visualization, error) {
 // the parallel worker fan-out), ranking, and the progressive tournament
 // all re-check ctx and return ctx.Err() promptly, so callers can bound
 // selection latency with context.WithTimeout.
+//
+// With Options.CacheSize set, the result is memoized by (table
+// fingerprint, k, options) and concurrent identical calls coalesce onto
+// one computation; a waiter's own ctx still cancels its wait, and a
+// cancelled leader never poisons live waiters (one of them recomputes).
 func (s *System) TopKCtx(ctx context.Context, t *Table, k int) ([]*Visualization, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("deepeye: k must be positive, got %d", k)
 	}
+	if s.cache == nil || t == nil {
+		return s.topKCompute(ctx, t, k)
+	}
+	key := fmt.Sprintf("topk|%s|%d|%s", t.Fingerprint(), k, s.optionsKey())
+	v, _, err := s.cache.Do(ctx, key, func(ctx context.Context) (any, int64, error) {
+		cache.PrimeTable(s.cache, t)
+		vs, err := s.topKCompute(ctx, t, k)
+		if err != nil {
+			return nil, 0, err
+		}
+		return vs, visualizationsSize(vs), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]*Visualization), nil
+}
+
+// topKCompute is the uncached selection pipeline behind TopKCtx.
+func (s *System) topKCompute(ctx context.Context, t *Table, k int) ([]*Visualization, error) {
 	if s.opts.Progressive && s.opts.Method == MethodPartialOrder && s.opts.Enum == EnumRules && !s.opts.UseRecognizer {
 		stop := obs.StageTimer(obs.StageProgressive)
 		results, _, err := progressive.TopKCtx(ctx, t, k, progressive.Options{
@@ -255,13 +344,7 @@ func (s *System) TopKCtx(ctx context.Context, t *Table, k int) ([]*Visualization
 		return out, nil
 	}
 
-	nodes, err := s.CandidatesCtx(ctx, t)
-	if err != nil {
-		return nil, err
-	}
-	stop := obs.StageTimer(obs.StageRank)
-	order, scores, factors, err := s.rankNodesExplainedCtx(ctx, nodes)
-	stop()
+	nodes, ranking, err := s.rankedCandidatesCtx(ctx, t)
 	if err != nil {
 		return nil, err
 	}
@@ -271,7 +354,7 @@ func (s *System) TopKCtx(ctx context.Context, t *Table, k int) ([]*Visualization
 	// each combination so the first page stays diverse (cf. Fig. 9).
 	out := make([]*Visualization, 0, k)
 	seen := make(map[string]bool, k)
-	for _, idx := range order {
+	for _, idx := range ranking.Order {
 		n := nodes[idx]
 		key := fmt.Sprintf("%s|%s|%s|%d|%d|%d", n.Chart, n.XName, n.YName,
 			n.Query.Spec.Kind, n.Query.Spec.Unit, n.Query.Spec.N)
@@ -279,9 +362,9 @@ func (s *System) TopKCtx(ctx context.Context, t *Table, k int) ([]*Visualization
 			continue
 		}
 		seen[key] = true
-		v := newVisualization(n, scores[idx], len(out)+1)
-		if factors != nil {
-			v.attachFactors(factors[idx])
+		v := newVisualization(n, ranking.Scores[idx], len(out)+1)
+		if ranking.Factors != nil {
+			v.attachFactors(ranking.Factors[idx])
 		}
 		out = append(out, v)
 		if len(out) == k {
@@ -289,6 +372,80 @@ func (s *System) TopKCtx(ctx context.Context, t *Table, k int) ([]*Visualization
 		}
 	}
 	return out, nil
+}
+
+// rankedSet is the cached product of candidate generation + ranking:
+// everything k-independent about a TopK answer. Reused across requests
+// that differ only in k, so the dominance graph is built once per
+// (table content, options).
+type rankedSet struct {
+	nodes   []*vizql.Node
+	ranking rank.Ranking
+}
+
+func (rs rankedSet) sizeBytes() int64 {
+	sz := rs.ranking.SizeBytes()
+	for _, n := range rs.nodes {
+		sz += nodeSize(n)
+	}
+	return sz
+}
+
+// rankedCandidatesCtx enumerates, materializes, and ranks the candidate
+// set, consulting the rank-level cache when enabled.
+func (s *System) rankedCandidatesCtx(ctx context.Context, t *Table) ([]*vizql.Node, rank.Ranking, error) {
+	compute := func(ctx context.Context) (rankedSet, error) {
+		nodes, err := s.CandidatesCtx(ctx, t)
+		if err != nil {
+			return rankedSet{}, err
+		}
+		stop := obs.StageTimer(obs.StageRank)
+		order, scores, factors, err := s.rankNodesExplainedCtx(ctx, nodes)
+		stop()
+		if err != nil {
+			return rankedSet{}, err
+		}
+		return rankedSet{nodes: nodes, ranking: rank.Ranking{Order: order, Scores: scores, Factors: factors}}, nil
+	}
+	if s.cache == nil || t == nil {
+		rs, err := compute(ctx)
+		return rs.nodes, rs.ranking, err
+	}
+	key := fmt.Sprintf("rank|%s|%s", t.Fingerprint(), s.optionsKey())
+	v, _, err := s.cache.Do(ctx, key, func(ctx context.Context) (any, int64, error) {
+		rs, err := compute(ctx)
+		if err != nil {
+			return nil, 0, err
+		}
+		return rs, rs.sizeBytes(), nil
+	})
+	if err != nil {
+		return nil, rank.Ranking{}, err
+	}
+	rs := v.(rankedSet)
+	return rs.nodes, rs.ranking, nil
+}
+
+// nodeSize estimates the bytes a materialized candidate holds (for
+// cache accounting): the transformed series plus fixed overhead.
+func nodeSize(n *vizql.Node) int64 {
+	sz := int64(256)
+	if n.Res != nil {
+		sz += int64(n.Res.Len()) * 48 // XOrder + Y + label headers
+		for _, l := range n.Res.XLabels {
+			sz += int64(len(l))
+		}
+	}
+	return sz
+}
+
+// visualizationsSize estimates the bytes a cached top-k result holds.
+func visualizationsSize(vs []*Visualization) int64 {
+	var sz int64
+	for _, v := range vs {
+		sz += int64(len(v.Query)+len(v.Chart)) + 64 + nodeSize(v.node)
+	}
+	return sz
 }
 
 // Rank orders an explicit candidate set best-first and returns the order
@@ -369,8 +526,29 @@ func (s *System) Query(t *Table, src string) (*Visualization, error) {
 }
 
 // QueryCtx is Query with cancellation; a single query is one transform
-// pass, so ctx is consulted once before executing.
+// pass, so ctx is consulted once before executing. With caching
+// enabled, the materialized result is memoized by (table fingerprint,
+// query text) — query answers depend only on the data, not on the
+// ranking options — and concurrent identical queries coalesce.
 func (s *System) QueryCtx(ctx context.Context, t *Table, src string) (*Visualization, error) {
+	if s.cache == nil || t == nil {
+		return s.queryCompute(ctx, t, src)
+	}
+	key := "query|" + t.Fingerprint() + "|" + src
+	v, _, err := s.cache.Do(ctx, key, func(ctx context.Context) (any, int64, error) {
+		viz, err := s.queryCompute(ctx, t, src)
+		if err != nil {
+			return nil, 0, err
+		}
+		return viz, int64(len(src)) + 64 + nodeSize(viz.node), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Visualization), nil
+}
+
+func (s *System) queryCompute(ctx context.Context, t *Table, src string) (*Visualization, error) {
 	q, err := vizql.Parse(src, map[string]*transform.UDF{"sign": vizql.DefaultUDF})
 	if err != nil {
 		return nil, err

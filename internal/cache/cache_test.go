@@ -1,0 +1,320 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/deepeye/deepeye/internal/dataset"
+	"github.com/deepeye/deepeye/internal/obs"
+)
+
+func newTestCache(maxBytes int64) *Cache {
+	return New(Config{Name: "test", MaxBytes: maxBytes, Registry: obs.NewRegistry()})
+}
+
+func TestGetPut(t *testing.T) {
+	c := newTestCache(1 << 20)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache returned a value")
+	}
+	c.Put("a", 42, 10)
+	v, ok := c.Get("a")
+	if !ok || v.(int) != 42 {
+		t.Fatalf("Get(a) = %v, %t", v, ok)
+	}
+	c.Put("a", 43, 10) // replace
+	if v, _ := c.Get("a"); v.(int) != 43 {
+		t.Fatalf("replaced value = %v", v)
+	}
+	if n := c.Len(); n != 1 {
+		t.Fatalf("Len = %d", n)
+	}
+	st := c.CacheStats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 2 hits / 1 miss", st)
+	}
+	c.Remove("a")
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("Remove left the entry")
+	}
+}
+
+func TestEvictionLRUUnderBytePressure(t *testing.T) {
+	// One shard's budget is MaxBytes/16; use keys that land in the same
+	// shard by brute-force searching for them.
+	c := newTestCache(16 * 100) // 100 bytes per shard
+	shardOf := func(k string) *shard { return c.shardOf(k) }
+	var keys []string
+	want := shardOf("seed")
+	for i := 0; len(keys) < 4; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if shardOf(k) == want {
+			keys = append(keys, k)
+		}
+	}
+	for _, k := range keys[:3] {
+		c.Put(k, k, 40) // 3 × 40 > 100: the first inserted must go
+	}
+	if _, ok := c.Get(keys[0]); ok {
+		t.Error("LRU entry survived byte pressure")
+	}
+	for _, k := range keys[1:3] {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("recent entry %s evicted", k)
+		}
+	}
+	if st := c.CacheStats(); st.Evictions == 0 {
+		t.Error("evictions counter stayed zero")
+	}
+	// Touching keys[1] makes keys[2] the LRU victim for the next insert.
+	c.Get(keys[1])
+	c.Put(keys[3], "x", 40)
+	if _, ok := c.Get(keys[2]); ok {
+		t.Error("LRU order ignored a Get promotion")
+	}
+	if _, ok := c.Get(keys[1]); !ok {
+		t.Error("promoted entry evicted")
+	}
+}
+
+func TestOversizedEntryNotCached(t *testing.T) {
+	c := newTestCache(16 * 100)
+	c.Put("huge", "x", 1000) // larger than a shard: skipped
+	if _, ok := c.Get("huge"); ok {
+		t.Error("entry larger than a shard was cached")
+	}
+	if c.Bytes() != 0 {
+		t.Errorf("Bytes = %d", c.Bytes())
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := newTestCache(1 << 20)
+	for i := 0; i < 50; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i, 10)
+	}
+	c.Purge()
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("after purge: len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+}
+
+func TestDoComputesOnceAndCaches(t *testing.T) {
+	c := newTestCache(1 << 20)
+	calls := 0
+	compute := func(context.Context) (any, int64, error) {
+		calls++
+		return "value", 10, nil
+	}
+	v, hit, err := c.Do(context.Background(), "k", compute)
+	if err != nil || hit || v.(string) != "value" {
+		t.Fatalf("first Do = %v, %t, %v", v, hit, err)
+	}
+	v, hit, err = c.Do(context.Background(), "k", compute)
+	if err != nil || !hit || v.(string) != "value" {
+		t.Fatalf("second Do = %v, %t, %v", v, hit, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times", calls)
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := newTestCache(1 << 20)
+	boom := errors.New("boom")
+	calls := 0
+	_, _, err := c.Do(context.Background(), "k", func(context.Context) (any, int64, error) {
+		calls++
+		return nil, 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	v, _, err := c.Do(context.Background(), "k", func(context.Context) (any, int64, error) {
+		calls++
+		return "ok", 1, nil
+	})
+	if err != nil || v.(string) != "ok" || calls != 2 {
+		t.Fatalf("retry after error: v=%v err=%v calls=%d", v, err, calls)
+	}
+}
+
+func TestDoCoalescesConcurrentCallers(t *testing.T) {
+	c := newTestCache(1 << 20)
+	const waiters = 8
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var calls int
+	var wg sync.WaitGroup
+	results := make([]string, waiters+1)
+	errs := make([]error, waiters+1)
+
+	// Leader: blocks inside compute until released.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, _, err := c.Do(context.Background(), "k", func(context.Context) (any, int64, error) {
+			calls++ // only the leader runs compute; no lock needed
+			close(started)
+			<-release
+			return "shared", 10, nil
+		})
+		if err == nil {
+			results[0] = v.(string)
+		}
+		errs[0] = err
+	}()
+	<-started
+	// Waiters join while the leader is mid-compute.
+	for i := 1; i <= waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, hit, err := c.Do(context.Background(), "k", func(context.Context) (any, int64, error) {
+				t.Error("waiter ran compute")
+				return nil, 0, nil
+			})
+			if err == nil {
+				results[i] = v.(string)
+				if !hit {
+					t.Error("waiter reported a non-hit")
+				}
+			}
+			errs[i] = err
+		}(i)
+	}
+	// Wait until every waiter has joined the flight, then release.
+	for c.CacheStats().Coalesced < waiters {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	for i, r := range results {
+		if errs[i] != nil || r != "shared" {
+			t.Fatalf("caller %d: %q, %v", i, r, errs[i])
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times for %d concurrent callers", calls, waiters+1)
+	}
+	if st := c.CacheStats(); st.Coalesced != waiters {
+		t.Errorf("coalesced = %d, want %d", st.Coalesced, waiters)
+	}
+}
+
+func TestDoWaiterCancellation(t *testing.T) {
+	c := newTestCache(1 << 20)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go c.Do(context.Background(), "k", func(context.Context) (any, int64, error) {
+		close(started)
+		<-release
+		return "v", 1, nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.Do(ctx, "k", func(context.Context) (any, int64, error) {
+		t.Error("cancelled waiter ran compute")
+		return nil, 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestDoLeaderCancellationDoesNotPoisonWaiters(t *testing.T) {
+	c := newTestCache(1 << 20)
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, err := c.Do(leaderCtx, "k", func(ctx context.Context) (any, int64, error) {
+			close(started)
+			<-ctx.Done() // the leader's request dies mid-compute
+			return nil, 0, ctx.Err()
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("leader err = %v", err)
+		}
+	}()
+	<-started
+
+	// A waiter with a live ctx joins, the leader is cancelled, and the
+	// waiter must retry and compute the value itself.
+	done := make(chan struct{})
+	var got any
+	var gotErr error
+	go func() {
+		defer close(done)
+		got, _, gotErr = c.Do(context.Background(), "k", func(context.Context) (any, int64, error) {
+			return "recomputed", 1, nil
+		})
+	}()
+	cancelLeader()
+	<-done
+	wg.Wait()
+	if gotErr != nil || got.(string) != "recomputed" {
+		t.Fatalf("waiter after leader cancellation: %v, %v", got, gotErr)
+	}
+}
+
+func TestPrimeTableInjectsCachedStats(t *testing.T) {
+	c := newTestCache(1 << 20)
+	load := func() *dataset.Table {
+		tab, err := dataset.FromCSV("t", strings.NewReader("city,pop\nBeijing,21\nShanghai,24\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	a := load()
+	PrimeTable(c, a)
+	wantEntries := a.NumCols()
+	if c.Len() != wantEntries {
+		t.Fatalf("entries after first prime = %d, want %d", c.Len(), wantEntries)
+	}
+	// A second, identical upload parses into a fresh table; priming must
+	// hit every column entry and inject the same statistics.
+	before := c.CacheStats()
+	b := load()
+	PrimeTable(c, b)
+	after := c.CacheStats()
+	if hits := after.Hits - before.Hits; hits != uint64(wantEntries) {
+		t.Errorf("prime hits = %d, want %d", hits, wantEntries)
+	}
+	for i := range a.Columns {
+		if a.Columns[i].Stats() != b.Columns[i].Stats() {
+			t.Errorf("column %d stats differ after injection", i)
+		}
+	}
+	// ColumnInfo served from the same entries.
+	info, ok := ColumnInfo(c, b, "pop")
+	if !ok || info.N != 2 || info.Distinct != 2 {
+		t.Errorf("ColumnInfo = %+v, %t", info, ok)
+	}
+	if _, ok := ColumnInfo(c, b, "missing"); ok {
+		t.Error("ColumnInfo found a missing column")
+	}
+}
+
+func TestShardSpread(t *testing.T) {
+	c := newTestCache(1 << 20)
+	used := map[*shard]bool{}
+	for i := 0; i < 200; i++ {
+		used[c.shardOf(fmt.Sprintf("key-%d", i))] = true
+	}
+	if len(used) < numShards/2 {
+		t.Errorf("200 keys landed on only %d of %d shards", len(used), numShards)
+	}
+}

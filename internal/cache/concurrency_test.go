@@ -1,0 +1,176 @@
+// Concurrency suite for the sharded cache, written to run under
+// -race: parallel hits and misses across shards, coalescing with many
+// waiters, eviction under byte pressure while readers are active, and
+// fingerprint-keyed invalidation when a same-named table is reloaded
+// with different content.
+package cache
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/deepeye/deepeye/internal/dataset"
+)
+
+func TestConcurrentHitsAndMissesAcrossShards(t *testing.T) {
+	c := newTestCache(1 << 20)
+	const goroutines = 16
+	const keys = 64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("key-%d", (g*31+i)%keys)
+				if v, ok := c.Get(k); ok {
+					if v.(string) != k {
+						t.Errorf("Get(%s) = %v", k, v)
+						return
+					}
+				} else {
+					c.Put(k, k, 16)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.CacheStats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("expected both hits and misses, got %+v", st)
+	}
+	if c.Len() > keys {
+		t.Errorf("Len = %d > distinct keys %d", c.Len(), keys)
+	}
+}
+
+func TestConcurrentDoManyKeys(t *testing.T) {
+	c := newTestCache(1 << 20)
+	var computes atomic.Int64
+	const keys = 8
+	const goroutines = 32
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := fmt.Sprintf("key-%d", (g+i)%keys)
+				v, _, err := c.Do(context.Background(), k, func(context.Context) (any, int64, error) {
+					computes.Add(1)
+					return k, 16, nil
+				})
+				if err != nil || v.(string) != k {
+					t.Errorf("Do(%s) = %v, %v", k, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Every key computes at least once; coalescing and caching bound the
+	// total far below the call count.
+	if n := computes.Load(); n < keys || n > keys*4 {
+		t.Errorf("computes = %d for %d keys and %d calls", n, keys, goroutines*50)
+	}
+}
+
+func TestConcurrentEvictionUnderBytePressure(t *testing.T) {
+	// Tiny budget so writers constantly evict while readers scan.
+	c := newTestCache(16 * 256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				k := fmt.Sprintf("w%d-%d", g, i)
+				c.Put(k, i, 64)
+				c.Get(k)
+				c.Get(fmt.Sprintf("w%d-%d", (g+1)%8, i/2))
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.CacheStats()
+	if st.Evictions == 0 {
+		t.Error("no evictions under byte pressure")
+	}
+	if got, max := c.Bytes(), int64(16*256); got > max {
+		t.Errorf("Bytes = %d exceeds budget %d", got, max)
+	}
+	if st.Entries != c.Len() {
+		t.Errorf("stats entries %d != Len %d", st.Entries, c.Len())
+	}
+}
+
+func TestConcurrentPrimeSharedTable(t *testing.T) {
+	c := newTestCache(1 << 20)
+	tab, err := dataset.FromCSV("t", strings.NewReader("a,b,c\n1,x,2020-01-02\n2,y,2020-02-03\n3,z,2020-03-04\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			PrimeTable(c, tab)
+			for _, col := range tab.Columns {
+				col.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() != tab.NumCols() {
+		t.Errorf("entries = %d, want %d", c.Len(), tab.NumCols())
+	}
+}
+
+// TestReloadedTableInvalidation is the cache-level half of the
+// invalidation story: a table reloaded under the same name with
+// different content fingerprints differently, so its entries are
+// disjoint from the stale ones — readers of the old table keep their
+// (still correct for that content) entries, new content computes fresh.
+func TestReloadedTableInvalidation(t *testing.T) {
+	c := newTestCache(1 << 20)
+	load := func(csv string) *dataset.Table {
+		tab, err := dataset.FromCSV("same-name", strings.NewReader(csv))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	v1 := load("city,pop\nBeijing,21\nShanghai,24\n")
+	v2 := load("city,pop\nBeijing,99\nShanghai,24\n")
+	if v1.Fingerprint() == v2.Fingerprint() {
+		t.Fatal("different content fingerprints collide")
+	}
+	results := map[string]string{}
+	for _, tab := range []*dataset.Table{v1, v2} {
+		key := "topk|" + tab.Fingerprint()
+		fp := tab.Fingerprint()
+		v, _, err := c.Do(context.Background(), key, func(context.Context) (any, int64, error) {
+			return "answer-for-" + fp, 32, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[fp] = v.(string)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %v", results)
+	}
+	// Re-asking for v1 must still hit v1's entry, not v2's.
+	v, hit, _ := c.Do(context.Background(), "topk|"+v1.Fingerprint(), func(context.Context) (any, int64, error) {
+		t.Error("v1 entry lost")
+		return nil, 0, nil
+	})
+	if !hit || v.(string) != "answer-for-"+v1.Fingerprint() {
+		t.Errorf("v1 reread = %v, hit=%t", v, hit)
+	}
+}

@@ -1,0 +1,63 @@
+package cache
+
+import (
+	"github.com/deepeye/deepeye/internal/dataset"
+	"github.com/deepeye/deepeye/internal/feature"
+)
+
+// ColumnDerived bundles the per-column values the pipeline derives from
+// raw cells: the dataset statistics (distinct counts, min/max, nulls)
+// and the column half of the §III feature vector. Both are keyed by
+// (table fingerprint, column name), so they are computed once per table
+// content — re-uploads of an identical CSV reuse them even though every
+// upload parses into a fresh Table.
+type ColumnDerived struct {
+	Stats dataset.Stats
+	Info  feature.ColumnInfo
+}
+
+// columnDerivedSize is the flat size of one cached ColumnDerived entry
+// (two small structs); the key's bytes are added per entry.
+const columnDerivedSize = 128
+
+// PrimeTable injects cached per-column statistics into t's columns, and
+// caches freshly computed ones for the columns not seen before. After
+// priming, every downstream Stats()/feature extraction call on the
+// table is a memo read — the stats/feature passes run once per distinct
+// table content, not once per upload.
+func PrimeTable(c *Cache, t *dataset.Table) {
+	if c == nil || t == nil {
+		return
+	}
+	fp := t.Fingerprint()
+	for _, col := range t.Columns {
+		key := "col|" + fp + "|" + col.Name
+		if v, ok := c.Get(key); ok {
+			col.SetStats(v.(ColumnDerived).Stats)
+			continue
+		}
+		st := col.Stats()
+		c.Put(key, ColumnDerived{Stats: st, Info: feature.FromStats(st, col.Type)},
+			columnDerivedSize+int64(len(key)))
+	}
+}
+
+// ColumnInfo returns the cached feature-extraction summary for one of
+// t's columns, computing and caching it on a miss.
+func ColumnInfo(c *Cache, t *dataset.Table, name string) (feature.ColumnInfo, bool) {
+	col := t.Column(name)
+	if col == nil {
+		return feature.ColumnInfo{}, false
+	}
+	if c == nil {
+		return feature.FromColumn(col), true
+	}
+	key := "col|" + t.Fingerprint() + "|" + name
+	if v, ok := c.Get(key); ok {
+		return v.(ColumnDerived).Info, true
+	}
+	st := col.Stats()
+	d := ColumnDerived{Stats: st, Info: feature.FromStats(st, col.Type)}
+	c.Put(key, d, columnDerivedSize+int64(len(key)))
+	return d.Info, true
+}

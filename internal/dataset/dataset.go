@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -60,8 +61,10 @@ type Column struct {
 	Times []time.Time // parsed values when Type == Temporal
 	Null  []bool
 
-	// lazily computed statistics
-	statsOnce bool
+	// lazily computed statistics; sync.Once so concurrent readers of a
+	// shared table (parallel executor workers, coalesced cache requests)
+	// race-safely compute them exactly once.
+	statsOnce sync.Once
 	stats     Stats
 }
 
@@ -81,6 +84,10 @@ type Table struct {
 	Columns []*Column
 	nRows   int
 	byName  map[string]int
+
+	// lazily computed content fingerprint (see fingerprint.go)
+	fpOnce sync.Once
+	fp     string
 }
 
 // New builds a Table from named columns. All columns must have the same
@@ -132,11 +139,21 @@ func (t *Table) ColumnIndex(name string) int {
 
 // Stats returns the column's statistics, computing them on first use.
 // Columns are immutable after table construction, so the memoized value
-// never goes stale.
+// never goes stale; the memoization is safe for concurrent use.
 func (c *Column) Stats() Stats {
-	if c.statsOnce {
-		return c.stats
-	}
+	c.statsOnce.Do(func() { c.stats = computeStats(c) })
+	return c.stats
+}
+
+// SetStats injects precomputed statistics (from the fingerprint-keyed
+// statistics cache) into the column's memo. It is a no-op when the
+// statistics were already computed, so an injected value can never
+// overwrite a directly computed one.
+func (c *Column) SetStats(s Stats) {
+	c.statsOnce.Do(func() { c.stats = s })
+}
+
+func computeStats(c *Column) Stats {
 	s := Stats{Min: math.Inf(1), Max: math.Inf(-1)}
 	distinct := make(map[string]struct{})
 	for i, raw := range c.Raw {
@@ -172,8 +189,6 @@ func (c *Column) Stats() Stats {
 	if s.N == 0 || c.Type == Categorical {
 		s.Min, s.Max = 0, 0
 	}
-	c.stats = s
-	c.statsOnce = true
 	return s
 }
 

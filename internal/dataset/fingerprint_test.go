@@ -1,0 +1,119 @@
+package dataset
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func fpTable(t *testing.T, name, csv string) *Table {
+	t.Helper()
+	tab, err := FromCSV(name, strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestFingerprintContentKeyed(t *testing.T) {
+	csv := "city,pop\nBeijing,21\nShanghai,24\n"
+	a := fpTable(t, "cities", csv)
+	b := fpTable(t, "renamed", csv) // same content, different table name
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("identical content under different names fingerprints differ:\n%s\n%s",
+			a.Fingerprint(), b.Fingerprint())
+	}
+	// Memoized: repeated calls return the identical string.
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Error("fingerprint not stable across calls")
+	}
+}
+
+func TestFingerprintDistinguishesContent(t *testing.T) {
+	base := fpTable(t, "t", "city,pop\nBeijing,21\nShanghai,24\n")
+	cases := map[string]string{
+		"different value":  "city,pop\nBeijing,21\nShanghai,25\n",
+		"different column": "city,size\nBeijing,21\nShanghai,24\n",
+		"extra row":        "city,pop\nBeijing,21\nShanghai,24\nShenzhen,13\n",
+		"null cell":        "city,pop\nBeijing,21\nShanghai,\n",
+	}
+	for what, csv := range cases {
+		other := fpTable(t, "t", csv) // same name, different content
+		if other.Fingerprint() == base.Fingerprint() {
+			t.Errorf("%s: fingerprint collision with base table", what)
+		}
+	}
+}
+
+func TestFingerprintSampledLargeTable(t *testing.T) {
+	build := func(lastVal string) *Table {
+		var sb strings.Builder
+		sb.WriteString("id,v\n")
+		for i := 0; i < fingerprintExactRows+100; i++ {
+			sb.WriteString(strconv.Itoa(i))
+			sb.WriteString(",1\n")
+		}
+		sb.WriteString("tail,")
+		sb.WriteString(lastVal)
+		sb.WriteString("\n")
+		return fpTable(t, "big", sb.String())
+	}
+	a, b := build("7"), build("8")
+	// The last row is always sampled, so a tail-only change must be seen.
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("sampled fingerprint missed a change in the last row")
+	}
+}
+
+func TestFingerprintConcurrent(t *testing.T) {
+	tab := fpTable(t, "t", "a,b\n1,2\n3,4\n")
+	var wg sync.WaitGroup
+	got := make([]string, 16)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = tab.Fingerprint()
+		}(i)
+	}
+	wg.Wait()
+	for _, fp := range got {
+		if fp != got[0] {
+			t.Fatal("concurrent fingerprints disagree")
+		}
+	}
+}
+
+func TestSampleIndices(t *testing.T) {
+	if got := sampleIndices(3); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("small-n indices = %v", got)
+	}
+	big := sampleIndices(100000)
+	if len(big) != fingerprintSampleRows {
+		t.Fatalf("len = %d, want %d", len(big), fingerprintSampleRows)
+	}
+	if big[0] != 0 || big[len(big)-1] != 99999 {
+		t.Errorf("endpoints = %d, %d", big[0], big[len(big)-1])
+	}
+	for i := 1; i < len(big); i++ {
+		if big[i] <= big[i-1] {
+			t.Fatalf("indices not strictly increasing at %d: %v", i, big[i-1:i+1])
+		}
+	}
+}
+
+func TestSetStatsDoesNotOverride(t *testing.T) {
+	c := NumColumn("v", []float64{1, 2, 3})
+	want := c.Stats() // computed first
+	c.SetStats(Stats{N: 99})
+	if got := c.Stats(); got != want {
+		t.Errorf("SetStats overwrote computed stats: %+v", got)
+	}
+	// And the injection path: set before any computation.
+	c2 := NumColumn("v", []float64{1, 2, 3})
+	c2.SetStats(Stats{N: 42, Distinct: 7})
+	if got := c2.Stats(); got.N != 42 || got.Distinct != 7 {
+		t.Errorf("injected stats not returned: %+v", got)
+	}
+}

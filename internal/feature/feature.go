@@ -58,8 +58,14 @@ func (ci ColumnInfo) Ratio() float64 {
 
 // FromColumn derives ColumnInfo from a dataset column.
 func FromColumn(c *dataset.Column) ColumnInfo {
-	s := c.Stats()
-	return ColumnInfo{Distinct: s.Distinct, N: s.N, Min: s.Min, Max: s.Max, Type: c.Type}
+	return FromStats(c.Stats(), c.Type)
+}
+
+// FromStats derives ColumnInfo from already-computed column statistics
+// (the fingerprint-keyed statistics cache rebuilds per-column feature
+// summaries from cached stats without re-scanning the column).
+func FromStats(s dataset.Stats, typ dataset.ColType) ColumnInfo {
+	return ColumnInfo{Distinct: s.Distinct, N: s.N, Min: s.Min, Max: s.Max, Type: typ}
 }
 
 // FromSeries derives ColumnInfo from an explicit numeric series with a

@@ -1,0 +1,23 @@
+package rank
+
+// Ranking is one complete ranking of a candidate set: the best-first
+// order, the per-node scores, and (when the partial order computed
+// them) the per-node factors. It exists so the expensive part of
+// selection — factor computation plus dominance-graph construction —
+// can be cached per (table fingerprint, options) and reused across
+// requests that differ only in k: slicing a Ranking to a different k is
+// O(k), rebuilding the graph is not.
+type Ranking struct {
+	Order   []int
+	Scores  []float64
+	Factors []Factors // nil when the method does not compute them
+}
+
+// Len returns the ranked candidate count.
+func (r Ranking) Len() int { return len(r.Order) }
+
+// SizeBytes estimates the memory the ranking holds (for cache byte
+// accounting).
+func (r Ranking) SizeBytes() int64 {
+	return int64(len(r.Order))*8 + int64(len(r.Scores))*8 + int64(len(r.Factors))*24
+}

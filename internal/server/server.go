@@ -6,6 +6,12 @@
 // concurrency limiter sheds load past MaxInFlight, and GET /metrics
 // exposes request counts, the in-flight gauge, and latency histograms
 // in the Prometheus text format.
+//
+// Every upload is content-fingerprinted (the fingerprint is echoed in
+// responses); when the System is built with deepeye.Options.CacheSize,
+// repeated uploads of the same data are answered from the result cache
+// and concurrent identical requests coalesce onto one computation —
+// the deepeye_cache_* counters on /metrics report hit rates.
 package server
 
 import (
@@ -41,6 +47,10 @@ type TopKResponse struct {
 	Rows    int         `json:"rows"`
 	Columns int         `json:"columns"`
 	Charts  []ChartJSON `json:"charts"`
+	// Fingerprint is the upload's content fingerprint — the key the
+	// result cache memoizes under. Two uploads with the same fingerprint
+	// are answered from one computation when caching is enabled.
+	Fingerprint string `json:"fingerprint,omitempty"`
 }
 
 // errorJSON is the wire form of failures.
@@ -218,7 +228,8 @@ func (h *Handler) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writePipelineError(w, err)
 		return
 	}
-	resp := TopKResponse{Table: tab.Name, Rows: tab.NumRows(), Columns: tab.NumCols()}
+	resp := TopKResponse{Table: tab.Name, Rows: tab.NumRows(), Columns: tab.NumCols(),
+		Fingerprint: tab.Fingerprint()}
 	for _, v := range vs {
 		resp.Charts = append(resp.Charts, h.chartJSON(v))
 	}
@@ -258,7 +269,8 @@ func (h *Handler) handleMulti(w http.ResponseWriter, r *http.Request) {
 		writePipelineError(w, err)
 		return
 	}
-	resp := TopKResponse{Table: tab.Name, Rows: tab.NumRows(), Columns: tab.NumCols()}
+	resp := TopKResponse{Table: tab.Name, Rows: tab.NumRows(), Columns: tab.NumCols(),
+		Fingerprint: tab.Fingerprint()}
 	for _, v := range vs {
 		c := ChartJSON{
 			Rank: v.Rank, Query: v.Query, Chart: v.Chart, Score: v.Score,
@@ -295,7 +307,8 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writePipelineError(w, err)
 		return
 	}
-	resp := TopKResponse{Table: tab.Name, Rows: tab.NumRows(), Columns: tab.NumCols()}
+	resp := TopKResponse{Table: tab.Name, Rows: tab.NumRows(), Columns: tab.NumCols(),
+		Fingerprint: tab.Fingerprint()}
 	for _, v := range vs {
 		resp.Charts = append(resp.Charts, h.chartJSON(v))
 	}

@@ -57,6 +57,7 @@ func (s *System) LoadModels(r io.Reader) error {
 	if env.Version != modelVersion {
 		return fmt.Errorf("deepeye: unsupported model version %d", env.Version)
 	}
+	s.invalidateCache()
 	s.recognizer = nil
 	if len(env.Recognizer) > 0 {
 		switch env.RecognizerKind {

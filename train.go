@@ -97,6 +97,7 @@ func (s *System) candidatesUnfiltered(t *Table) ([]*vizql.Node, error) {
 
 // TrainRecognizer fits the selected binary classifier on the corpus.
 func (s *System) TrainRecognizer(kind ClassifierKind, c *Corpus) error {
+	s.invalidateCache()
 	var X [][]float64
 	var y []bool
 	for i, nodes := range c.Nodes {
@@ -122,6 +123,7 @@ type LTROptions = lambdamart.Options
 // TrainRanker fits the LambdaMART learning-to-rank model, one query group
 // per corpus dataset.
 func (s *System) TrainRanker(c *Corpus, opts LTROptions) error {
+	s.invalidateCache()
 	var groups []lambdamart.Group
 	for i, nodes := range c.Nodes {
 		var g lambdamart.Group
@@ -163,6 +165,7 @@ func (s *System) LearnHybridAlpha(c *Corpus) error {
 	if err != nil {
 		return err
 	}
+	s.invalidateCache()
 	s.alpha = alpha
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -33,7 +34,7 @@ import (
 //
 // The -8 GOMAXPROCS suffix is stripped so runs from machines with
 // different core counts still compare by name.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.eE+-]+) ns/op`)
 
 func parseFile(path string) (map[string][]float64, error) {
 	f, err := os.Open(path)
@@ -124,31 +125,42 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	oldMed := medians(oldSamples)
 
-	failed := false
+	if compare(os.Stdout, medians(oldSamples), newMed, *threshold) {
+		fmt.Fprintf(os.Stderr, "benchdiff: median ns/op regressed beyond %.0f%%\n", (*threshold-1)*100)
+		os.Exit(1)
+	}
+}
+
+// compare prints the per-benchmark verdicts and reports whether any
+// benchmark present on both sides regressed beyond the threshold.
+func compare(w io.Writer, oldMed, newMed map[string]float64, threshold float64) (failed bool) {
 	for _, name := range sortedNames(newMed) {
 		old, ok := oldMed[name]
 		if !ok {
-			fmt.Printf("NEW   %-40s %14.1f ns/op (no baseline)\n", name, newMed[name])
+			fmt.Fprintf(w, "NEW   %-40s %14.1f ns/op (no baseline)\n", name, newMed[name])
+			continue
+		}
+		if old == 0 {
+			// A 0 ns/op baseline (sub-ns benchmarks) makes the ratio
+			// meaningless; report it but never gate on it.
+			fmt.Fprintf(w, "SKIP  %-40s %14.1f -> %14.1f ns/op (zero baseline)\n",
+				name, old, newMed[name])
 			continue
 		}
 		ratio := newMed[name] / old
 		verdict := "ok"
-		if ratio > *threshold {
+		if ratio > threshold {
 			verdict = "REGRESSION"
 			failed = true
 		}
-		fmt.Printf("%-5s %-40s %14.1f -> %14.1f ns/op (%+.1f%%)\n",
+		fmt.Fprintf(w, "%-5s %-40s %14.1f -> %14.1f ns/op (%+.1f%%)\n",
 			verdict, name, old, newMed[name], (ratio-1)*100)
 	}
 	for _, name := range sortedNames(oldMed) {
 		if _, ok := newMed[name]; !ok {
-			fmt.Printf("GONE  %-40s (present only in baseline)\n", name)
+			fmt.Fprintf(w, "GONE  %-40s (present only in baseline)\n", name)
 		}
 	}
-	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: median ns/op regressed beyond %.0f%%\n", (*threshold-1)*100)
-		os.Exit(1)
-	}
+	return failed
 }

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -15,6 +17,7 @@ BenchmarkTopKCachedWarm-8   	  500000	      2300 ns/op	     153 B/op	       5 al
 BenchmarkTopKCachedWarm-8   	  500000	      9999 ns/op	     153 B/op	       5 allocs/op
 BenchmarkGraphBuildNaive-8  	       5	 611973013 ns/op
 BenchmarkTable_SearchSpace  	       3	   1000000 ns/op	         42.00 charts
+BenchmarkSubNano-8          	1000000000	         2.5e-01 ns/op
 PASS
 ok  	github.com/deepeye/deepeye	11.217s
 `
@@ -43,8 +46,12 @@ func TestParseFile(t *testing.T) {
 	if xs := got["BenchmarkTable_SearchSpace"]; len(xs) != 1 || xs[0] != 1e6 {
 		t.Errorf("SearchSpace samples = %v", xs)
 	}
-	if len(got) != 3 {
-		t.Errorf("parsed %d benchmarks, want 3", len(got))
+	// Scientific notation with a negative exponent parses too.
+	if xs := got["BenchmarkSubNano"]; len(xs) != 1 || xs[0] != 0.25 {
+		t.Errorf("SubNano samples = %v", xs)
+	}
+	if len(got) != 4 {
+		t.Errorf("parsed %d benchmarks, want 4", len(got))
 	}
 }
 
@@ -57,6 +64,38 @@ func TestMediansRobustToOutlier(t *testing.T) {
 	// Median of {2178, 2300, 9999} ignores the slow outlier run.
 	if got := med["BenchmarkTopKCachedWarm"]; got != 2300 {
 		t.Errorf("median = %v, want 2300", got)
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	oldMed := map[string]float64{
+		"BenchmarkStable": 100, "BenchmarkSlow": 100,
+		"BenchmarkZero": 0, "BenchmarkGone": 50,
+	}
+	newMed := map[string]float64{
+		"BenchmarkStable": 110, "BenchmarkSlow": 250,
+		"BenchmarkZero": 5, "BenchmarkNew": 42,
+	}
+	var out strings.Builder
+	if !compare(&out, oldMed, newMed, 1.20) {
+		t.Error("2.5x regression did not fail the gate")
+	}
+	for _, want := range []string{
+		"ok    BenchmarkStable",
+		"REGRESSION BenchmarkSlow",
+		"SKIP  BenchmarkZero", // zero baseline must not gate (or divide)
+		"NEW   BenchmarkNew",
+		"GONE  BenchmarkGone",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// Without the regression the gate passes; the zero baseline alone
+	// never fails it.
+	delete(newMed, "BenchmarkSlow")
+	if compare(io.Discard, oldMed, newMed, 1.20) {
+		t.Error("gate failed without a regression")
 	}
 }
 

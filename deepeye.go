@@ -33,6 +33,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"github.com/deepeye/deepeye/internal/cache"
 	"github.com/deepeye/deepeye/internal/chart"
@@ -154,9 +155,10 @@ type System struct {
 	// cache memoizes results/statistics by table fingerprint when
 	// Options.CacheSize > 0 (nil otherwise); modelGen invalidates cached
 	// entries when training/loading swaps the models out from under
-	// previously cached rankings.
+	// previously cached rankings. It is atomic because optionsKey reads
+	// it on every cached request while Train*/LoadModels bump it.
 	cache    *cache.Cache
-	modelGen int
+	modelGen atomic.Uint64
 }
 
 // New creates a System. The zero Options value gives the rule-pruned,
@@ -187,11 +189,16 @@ func (s *System) PurgeCache() {
 	}
 }
 
-// invalidateCache drops every cached entry and bumps the model
-// generation; called whenever training or model loading changes what
-// the pipeline would compute.
+// invalidateCache bumps the model generation and drops every cached
+// entry. It must run AFTER the model fields have been swapped (Train*/
+// LoadModels call it last): requests racing the swap key their results
+// under the old generation — which the purge drops and no post-swap
+// request ever reads — so no stale ranking can survive under the new
+// generation key. Training concurrent with serving may still compute
+// with a mid-swap model; such results are likewise keyed under the old
+// generation and become unreachable once this runs.
 func (s *System) invalidateCache() {
-	s.modelGen++
+	s.modelGen.Add(1)
 	if s.cache != nil {
 		s.cache.Purge()
 	}
@@ -206,7 +213,7 @@ func (s *System) optionsKey() string {
 	return fmt.Sprintf("%d|%d|%t|%d|%g|%d|%d|%t|%t|%g|%d",
 		o.Enum, o.Method, o.Progressive, o.GraphBuild,
 		o.Factors.TrendThreshold, o.Factors.PieMaxSlices, o.Factors.BarMaxBars,
-		o.IncludeOneColumn, o.UseRecognizer, s.alpha, s.modelGen)
+		o.IncludeOneColumn, o.UseRecognizer, s.alpha, s.modelGen.Load())
 }
 
 // Recognizer returns the trained recognition classifier (nil before

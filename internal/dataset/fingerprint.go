@@ -6,23 +6,16 @@ import (
 	"hash/fnv"
 )
 
-// fingerprintExactRows is the row count up to which the fingerprint
-// hashes every cell; above it, fingerprintSampleRows evenly spaced rows
-// (always including the first and last) are hashed per column instead,
-// keeping fingerprinting O(columns) on huge tables.
-const (
-	fingerprintExactRows  = 4096
-	fingerprintSampleRows = 256
-)
-
-// Fingerprint returns a fast content fingerprint of the table: a
-// 128-bit FNV-1a hash (hex) over the schema (column names and types),
-// the row count, and the cell values — every cell for tables up to
-// fingerprintExactRows rows, a deterministic evenly spaced sample above
-// that. Two loads of byte-identical content produce the same
-// fingerprint regardless of the table's Name, so re-uploads of the same
-// dataset hit the result cache while a same-named table with different
-// content misses it.
+// Fingerprint returns a content fingerprint of the table: a 128-bit
+// FNV-1a hash (hex) over the schema (column names and types), the row
+// count, and every cell value. Every cell is hashed — the fingerprint
+// keys the result/statistics caches end to end, so any single-cell edit
+// must change it; a pass of FNV over bytes the loader already touched
+// is cheap next to the CSV/JSON parse that produced the table. Two
+// loads of byte-identical content produce the same fingerprint
+// regardless of the table's Name, so re-uploads of the same dataset hit
+// the result cache while a same-named table with different content
+// misses it.
 //
 // The fingerprint is computed once per Table and memoized; Tables are
 // immutable after construction, so it never goes stale. Safe for
@@ -42,37 +35,20 @@ func fingerprint(t *Table) string {
 	writeInt(t.nRows)
 	writeInt(len(t.Columns))
 	for _, c := range t.Columns {
+		// Every variable-length field is length-prefixed so cell
+		// boundaries are unambiguous: ["a\x00","b"] and ["a","\x00b"]
+		// must not collide. Nulls get a sentinel no length can equal.
+		writeInt(len(c.Name))
 		h.Write([]byte(c.Name))
-		h.Write([]byte{0, byte(c.Type)})
-		for _, i := range sampleIndices(len(c.Raw)) {
+		h.Write([]byte{byte(c.Type)})
+		for i, raw := range c.Raw {
 			if c.Null[i] {
-				h.Write([]byte{1})
+				writeInt(-1)
 				continue
 			}
-			h.Write([]byte(c.Raw[i]))
-			h.Write([]byte{0})
+			writeInt(len(raw))
+			h.Write([]byte(raw))
 		}
 	}
 	return fmt.Sprintf("%x", h.Sum(nil))
-}
-
-// sampleIndices returns the row indices the fingerprint hashes: all of
-// them for small tables, fingerprintSampleRows evenly spaced ones
-// (first and last included) otherwise. The stride is deterministic so
-// identical content always samples identical cells.
-func sampleIndices(n int) []int {
-	if n <= fingerprintExactRows {
-		out := make([]int, n)
-		for i := range out {
-			out[i] = i
-		}
-		return out
-	}
-	out := make([]int, fingerprintSampleRows)
-	step := float64(n-1) / float64(fingerprintSampleRows-1)
-	for i := range out {
-		out[i] = int(float64(i) * step)
-	}
-	out[len(out)-1] = n - 1
-	return out
 }

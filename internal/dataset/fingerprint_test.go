@@ -46,23 +46,50 @@ func TestFingerprintDistinguishesContent(t *testing.T) {
 	}
 }
 
-func TestFingerprintSampledLargeTable(t *testing.T) {
-	build := func(lastVal string) *Table {
+func TestFingerprintLargeTableSingleCellEdit(t *testing.T) {
+	// Every cell is hashed, so editing any one row of a large table —
+	// including one deep in the middle — must change the fingerprint.
+	// (A sampled fingerprint would miss this and serve the previous
+	// table's cached results.)
+	const rows = 10000
+	build := func(editRow int, val string) *Table {
 		var sb strings.Builder
 		sb.WriteString("id,v\n")
-		for i := 0; i < fingerprintExactRows+100; i++ {
+		for i := 0; i < rows; i++ {
 			sb.WriteString(strconv.Itoa(i))
-			sb.WriteString(",1\n")
+			sb.WriteString(",")
+			if i == editRow {
+				sb.WriteString(val)
+			} else {
+				sb.WriteString("1")
+			}
+			sb.WriteString("\n")
 		}
-		sb.WriteString("tail,")
-		sb.WriteString(lastVal)
-		sb.WriteString("\n")
 		return fpTable(t, "big", sb.String())
 	}
-	a, b := build("7"), build("8")
-	// The last row is always sampled, so a tail-only change must be seen.
+	base := build(-1, "")
+	for _, editRow := range []int{0, 5000, rows - 1} {
+		if build(editRow, "2").Fingerprint() == base.Fingerprint() {
+			t.Errorf("fingerprint missed a single-cell edit at row %d", editRow)
+		}
+	}
+}
+
+func TestFingerprintCellBoundaries(t *testing.T) {
+	// Cells are length-prefixed, so values containing NUL bytes cannot
+	// alias across cell boundaries: ["a\x00","b"] vs ["a","\x00b"].
+	build := func(v1, v2 string) *Table {
+		c := &Column{Name: "c", Type: Categorical,
+			Raw: []string{v1, v2}, Null: []bool{false, false}}
+		tab, err := New("t", []*Column{c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	a, b := build("a\x00", "b"), build("a", "\x00b")
 	if a.Fingerprint() == b.Fingerprint() {
-		t.Error("sampled fingerprint missed a change in the last row")
+		t.Error("fingerprint collision across cell boundaries with embedded NUL")
 	}
 }
 
@@ -81,24 +108,6 @@ func TestFingerprintConcurrent(t *testing.T) {
 	for _, fp := range got {
 		if fp != got[0] {
 			t.Fatal("concurrent fingerprints disagree")
-		}
-	}
-}
-
-func TestSampleIndices(t *testing.T) {
-	if got := sampleIndices(3); len(got) != 3 || got[0] != 0 || got[2] != 2 {
-		t.Errorf("small-n indices = %v", got)
-	}
-	big := sampleIndices(100000)
-	if len(big) != fingerprintSampleRows {
-		t.Fatalf("len = %d, want %d", len(big), fingerprintSampleRows)
-	}
-	if big[0] != 0 || big[len(big)-1] != 99999 {
-		t.Errorf("endpoints = %d, %d", big[0], big[len(big)-1])
-	}
-	for i := 1; i < len(big); i++ {
-		if big[i] <= big[i-1] {
-			t.Fatalf("indices not strictly increasing at %d: %v", i, big[i-1:i+1])
 		}
 	}
 }

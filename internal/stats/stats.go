@@ -389,12 +389,6 @@ func NormalizedEntropy(weights []float64) float64 {
 
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
 // interpolation; it sorts a copy and leaves the input untouched.
-// Median returns the middle value of xs (the 0.5-quantile with linear
-// interpolation). The benchmark-regression gate compares per-benchmark
-// medians, which are robust to the odd slow iteration on shared CI
-// runners.
-func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
-
 func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -416,3 +410,9 @@ func Quantile(xs []float64, q float64) float64 {
 	frac := pos - float64(lo)
 	return s[lo]*(1-frac) + s[hi]*frac
 }
+
+// Median returns the middle value of xs (the 0.5-quantile with linear
+// interpolation). The benchmark-regression gate compares per-benchmark
+// medians, which are robust to the odd slow iteration on shared CI
+// runners.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }

@@ -57,7 +57,9 @@ func (s *System) LoadModels(r io.Reader) error {
 	if env.Version != modelVersion {
 		return fmt.Errorf("deepeye: unsupported model version %d", env.Version)
 	}
-	s.invalidateCache()
+	// Invalidate after the fields below are swapped (even on a partial
+	// load that errors out mid-way), never before — see invalidateCache.
+	defer s.invalidateCache()
 	s.recognizer = nil
 	if len(env.Recognizer) > 0 {
 		switch env.RecognizerKind {

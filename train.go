@@ -96,8 +96,10 @@ func (s *System) candidatesUnfiltered(t *Table) ([]*vizql.Node, error) {
 }
 
 // TrainRecognizer fits the selected binary classifier on the corpus.
+// The cache is invalidated after the model swap, so rankings a
+// concurrent request caches mid-training never outlive the training
+// call (see invalidateCache).
 func (s *System) TrainRecognizer(kind ClassifierKind, c *Corpus) error {
-	s.invalidateCache()
 	var X [][]float64
 	var y []bool
 	for i, nodes := range c.Nodes {
@@ -106,6 +108,7 @@ func (s *System) TrainRecognizer(kind ClassifierKind, c *Corpus) error {
 			y = append(y, c.Labels[i][j])
 		}
 	}
+	defer s.invalidateCache()
 	switch kind {
 	case ClassifierBayes:
 		s.recognizer = bayes.New()
@@ -123,7 +126,7 @@ type LTROptions = lambdamart.Options
 // TrainRanker fits the LambdaMART learning-to-rank model, one query group
 // per corpus dataset.
 func (s *System) TrainRanker(c *Corpus, opts LTROptions) error {
-	s.invalidateCache()
+	defer s.invalidateCache()
 	var groups []lambdamart.Group
 	for i, nodes := range c.Nodes {
 		var g lambdamart.Group
@@ -165,8 +168,8 @@ func (s *System) LearnHybridAlpha(c *Corpus) error {
 	if err != nil {
 		return err
 	}
-	s.invalidateCache()
 	s.alpha = alpha
+	s.invalidateCache()
 	return nil
 }
 

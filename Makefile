@@ -3,10 +3,10 @@ GO ?= go
 # Benchmarks the CI bench-regression job gates on: cmd/benchdiff
 # compares per-benchmark medians over BENCH_COUNT repeats and fails on
 # >20% ns/op regressions. CI and local runs share these definitions.
-BENCH_PATTERN ?= BenchmarkTable_SearchSpace|BenchmarkGraphBuild|BenchmarkTopKCached
+BENCH_PATTERN ?= BenchmarkTable_SearchSpace|BenchmarkGraphBuild|BenchmarkTopKCached|BenchmarkBuildGraphParallel
 BENCH_COUNT ?= 6
 BENCHTIME ?= 0.3s
-COVER_FLOOR ?= 70.0
+COVER_FLOOR ?= 75.0
 
 .PHONY: all build test vet bench race fuzz experiments clean \
 	bench-smoke bench-run bench-diff cover-check
@@ -41,6 +41,8 @@ fuzz:
 	$(GO) test -fuzz FuzzParseMulti -fuzztime 30s ./internal/vizql/
 	$(GO) test -fuzz FuzzFromCSV -fuzztime 30s ./internal/dataset/
 	$(GO) test -fuzz FuzzInferColumn -fuzztime 30s ./internal/dataset/
+	$(GO) test -fuzz FuzzRawQ -fuzztime 30s ./internal/rank/
+	$(GO) test -fuzz FuzzComputeFactors -fuzztime 30s ./internal/rank/
 
 # One-iteration pass over the gated benchmarks: catches benchmarks that
 # fail outright without paying for timing runs.

@@ -53,10 +53,15 @@ func main() {
 		cacheSize   = flag.Int64("cache-size", 256<<20, "result/statistics cache byte budget (0 = disabled)")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		grace       = flag.Duration("grace", 15*time.Second, "shutdown grace period for in-flight requests")
+		// Per-request parallelism defaults to serial: the server already
+		// runs many requests concurrently (-max-inflight), so fanning each
+		// one out to every core helps tail latency only when the box has
+		// idle cores. Results are identical either way.
+		workers = flag.Int("workers", 1, "per-request selection-pipeline worker count; 1 = serial, negative = GOMAXPROCS")
 	)
 	flag.Parse()
 
-	opts := deepeye.Options{IncludeOneColumn: true, UseRecognizer: *useRecog, CacheSize: *cacheSize}
+	opts := deepeye.Options{IncludeOneColumn: true, UseRecognizer: *useRecog, CacheSize: *cacheSize, Workers: *workers}
 	if *hybridRank {
 		opts.Method = deepeye.MethodHybrid
 	}

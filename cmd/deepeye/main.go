@@ -42,6 +42,7 @@ func main() {
 		width       = flag.Int("width", 60, "ASCII chart width")
 		timeout     = flag.Duration("timeout", 0, "bound selection time; expired runs fail with a deadline error (0 = none)")
 		stats       = flag.Bool("stats", false, "print per-stage pipeline timings after the run")
+		workers     = flag.Int("workers", -1, "selection-pipeline worker count; 1 = serial, negative = GOMAXPROCS (results are identical either way)")
 	)
 	flag.Parse()
 	if *csvPath == "" {
@@ -56,6 +57,7 @@ func main() {
 		progressive: *progressive, exhaustive: *exhaustive,
 		oneColumn: *oneColumn, width: *width,
 		timeout: *timeout,
+		workers: *workers,
 	}
 	err := run(cfg)
 	if *stats {
@@ -84,7 +86,7 @@ func printStageStats() {
 type runConfig struct {
 	csvPath, query, search, vegaDir    string
 	htmlPath                           string
-	k, width                           int
+	k, width, workers                  int
 	multi, profile, jsonOut            bool
 	progressive, exhaustive, oneColumn bool
 	timeout                            time.Duration
@@ -118,6 +120,7 @@ func run(cfg runConfig) error {
 	opts := deepeye.Options{
 		Progressive:      cfg.progressive,
 		IncludeOneColumn: cfg.oneColumn,
+		Workers:          cfg.workers,
 	}
 	if cfg.exhaustive {
 		opts.Enum = deepeye.EnumExhaustive

@@ -125,9 +125,15 @@ type Options struct {
 	// UseRecognizer filters candidates through the trained binary
 	// classifier before ranking (requires a trained recognizer).
 	UseRecognizer bool
-	// Workers parallelizes candidate materialization across goroutines
-	// (the paper notes the task is trivially parallelizable, §VI-D).
-	// 0 = sequential; negative = GOMAXPROCS.
+	// Workers parallelizes the selection pipeline across a bounded worker
+	// pool (the paper notes the task is trivially parallelizable, §VI-D):
+	// candidate materialization, factor computation, dominance-graph
+	// construction, batch classifier/ranker inference, and the
+	// progressive selector's per-column passes. 0 = sequential;
+	// 1 = the serial path (the differential-testing oracle); negative =
+	// GOMAXPROCS. Results are bit-identical for any worker count — the
+	// differential test suite asserts parallel == serial — so Workers
+	// trades wall time only, never output.
 	Workers int
 	// CacheSize, when positive, enables the result/statistics cache: a
 	// sharded LRU with this total byte budget memoizing TopK/Query
@@ -281,9 +287,13 @@ func (s *System) CandidatesCtx(ctx context.Context, t *Table) ([]*vizql.Node, er
 		if s.recognizer == nil {
 			return nil, fmt.Errorf("deepeye: UseRecognizer is set but no recognizer is trained")
 		}
+		preds, err := ml.PredictBatchCtx(ctx, s.recognizer, featureMatrix(nodes), s.opts.Workers)
+		if err != nil {
+			return nil, err
+		}
 		kept := nodes[:0]
-		for _, n := range nodes {
-			if s.recognizer.Predict(n.Features.Slice()) {
+		for i, n := range nodes {
+			if preds[i] {
 				kept = append(kept, n)
 			}
 		}
@@ -339,6 +349,7 @@ func (s *System) topKCompute(ctx context.Context, t *Table, k int) ([]*Visualiza
 		results, _, err := progressive.TopKCtx(ctx, t, k, progressive.Options{
 			Factors:          s.opts.Factors,
 			IncludeOneColumn: s.opts.IncludeOneColumn,
+			Workers:          s.opts.Workers,
 		})
 		stop()
 		if err != nil {
@@ -477,17 +488,23 @@ func (s *System) rankNodesExplainedCtx(ctx context.Context, nodes []*vizql.Node)
 			return nil, nil, nil, fmt.Errorf("deepeye: learning-to-rank requested but no model is trained")
 		}
 		feats := featureMatrix(nodes)
-		order = s.ltr.Rank(feats)
-		scores = make([]float64, len(nodes))
-		for i, f := range feats {
-			scores[i] = s.ltr.Score(f)
+		scores, err = s.ltr.ScoreBatchCtx(ctx, feats, s.opts.Workers)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		order, err = s.ltr.RankBatchCtx(ctx, feats, s.opts.Workers)
+		if err != nil {
+			return nil, nil, nil, err
 		}
 		return order, scores, nil, nil
 	case MethodHybrid:
 		if s.ltr == nil {
 			return nil, nil, nil, fmt.Errorf("deepeye: hybrid ranking requested but no model is trained")
 		}
-		ltrOrder := s.ltr.Rank(featureMatrix(nodes))
+		ltrOrder, err := s.ltr.RankBatchCtx(ctx, featureMatrix(nodes), s.opts.Workers)
+		if err != nil {
+			return nil, nil, nil, err
+		}
 		poOrder, poScores, poFactors, err := partialOrderRankCtx(ctx, nodes, s.opts)
 		if err != nil {
 			return nil, nil, nil, err
@@ -507,11 +524,11 @@ func (s *System) rankNodesExplainedCtx(ctx context.Context, nodes []*vizql.Node)
 // partialOrderRankCtx computes factors, builds the Hasse diagram over a
 // factor-sum shortlist, and ranks by the weight-aware score S(v).
 func partialOrderRankCtx(ctx context.Context, nodes []*vizql.Node, opts Options) ([]int, []float64, []rank.Factors, error) {
-	factors, err := rank.ComputeFactorsCtx(ctx, nodes, opts.Factors)
+	factors, err := rank.ComputeFactorsWorkersCtx(ctx, nodes, opts.Factors, opts.Workers)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	order, scores, err := rank.OrderCtx(ctx, nodes, factors, rank.SelectOptions{Build: opts.GraphBuild})
+	order, scores, err := rank.OrderCtx(ctx, nodes, factors, rank.SelectOptions{Build: opts.GraphBuild, Workers: opts.Workers})
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -1,0 +1,83 @@
+package deepeye
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// update regenerates the golden files instead of comparing against them:
+//
+//	go test -run TestGoldenCorpus -update .
+var update = flag.Bool("update", false, "rewrite testdata/golden/*.golden from current output")
+
+// goldenLines renders a top-k result in the stable line format the
+// golden files store: rank|chart|query|score (score at full float64
+// round-trip precision, so any ranking or scoring drift shows up).
+func goldenLines(vs []*Visualization) string {
+	var sb strings.Builder
+	for _, v := range vs {
+		query := strings.Join(strings.Fields(v.Query), " ") // flatten the multi-line rendering
+		fmt.Fprintf(&sb, "%d|%s|%s|%s\n", v.Rank, v.Chart, query,
+			strconv.FormatFloat(v.Score, 'g', -1, 64))
+	}
+	return sb.String()
+}
+
+// TestGoldenCorpus pins the end-to-end ranking semantics of the default
+// (partial-order, rule-pruned) configuration on 5 committed CSVs: the
+// top-5 queries, chart types, and exact scores must match the committed
+// golden outputs. Run with -update to regenerate after an intentional
+// ranking change — the diff then documents exactly what moved. The same
+// golden output must also come out of the parallel engine, so this suite
+// doubles as a fixed-corpus differential check.
+func TestGoldenCorpus(t *testing.T) {
+	csvs, err := filepath.Glob(filepath.Join("testdata", "golden", "*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(csvs) != 5 {
+		t.Fatalf("expected 5 golden CSVs, found %d", len(csvs))
+	}
+	sort.Strings(csvs)
+	for _, csvPath := range csvs {
+		name := strings.TrimSuffix(filepath.Base(csvPath), ".csv")
+		t.Run(name, func(t *testing.T) {
+			tab, err := LoadCSVFile(csvPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vs, err := New(Options{IncludeOneColumn: true}).TopK(tab, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := goldenLines(vs)
+			goldenPath := strings.TrimSuffix(csvPath, ".csv") + ".golden"
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			wantBytes, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run go test -run TestGoldenCorpus -update .): %v", err)
+			}
+			if got != string(wantBytes) {
+				t.Errorf("top-5 for %s changed:\n--- want\n%s--- got\n%s", name, wantBytes, got)
+			}
+			parVs, err := New(Options{IncludeOneColumn: true, Workers: 8}).TopK(tab, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par := goldenLines(parVs); par != string(wantBytes) {
+				t.Errorf("parallel top-5 for %s diverges from golden:\n--- want\n%s--- got\n%s", name, wantBytes, par)
+			}
+		})
+	}
+}

@@ -1,0 +1,55 @@
+package ml
+
+import (
+	"context"
+
+	"github.com/deepeye/deepeye/internal/pool"
+)
+
+// batchBlock is the per-task row count for batch inference: single-row
+// prediction is microseconds, so blocks amortize dispatch while leaving
+// enough blocks for the pool to load-balance.
+const batchBlock = 64
+
+// PredictBatchCtx classifies every row of X across a bounded worker
+// pool; workers follows pool.Normalize semantics (0/1 serial, negative =
+// GOMAXPROCS). Prediction is read-only on the model and each worker
+// writes only its own output slots, so the result is identical to a
+// serial Predict loop regardless of worker count.
+func PredictBatchCtx(ctx context.Context, c Classifier, X [][]float64, workers int) ([]bool, error) {
+	out := make([]bool, len(X))
+	err := pool.ForEachBlock(ctx, "ml_predict", workers, len(X), batchBlock, func(lo, hi int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for i := lo; i < hi; i++ {
+			out[i] = c.Predict(X[i])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ScoreBatchCtx evaluates a scoring function on every row of X across a
+// bounded worker pool, under the same determinism contract as
+// PredictBatchCtx. score must be safe for concurrent calls (model
+// inference is; anything stateful is the caller's problem).
+func ScoreBatchCtx(ctx context.Context, score func([]float64) float64, X [][]float64, workers int) ([]float64, error) {
+	out := make([]float64, len(X))
+	err := pool.ForEachBlock(ctx, "ml_score", workers, len(X), batchBlock, func(lo, hi int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for i := lo; i < hi; i++ {
+			out[i] = score(X[i])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

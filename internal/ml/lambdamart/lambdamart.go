@@ -7,10 +7,12 @@
 package lambdamart
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"github.com/deepeye/deepeye/internal/ml"
 	"github.com/deepeye/deepeye/internal/ml/regtree"
 )
 
@@ -210,15 +212,33 @@ func (m *Model) Score(x []float64) float64 {
 	return s
 }
 
+// ScoreBatchCtx evaluates the ensemble on every candidate across a
+// bounded worker pool (pool.Normalize semantics). Tree traversal is
+// read-only and each worker writes only its own output slots, so the
+// scores are bit-identical to a serial Score loop.
+func (m *Model) ScoreBatchCtx(ctx context.Context, candidates [][]float64, workers int) ([]float64, error) {
+	return ml.ScoreBatchCtx(ctx, m.Score, candidates, workers)
+}
+
 // Rank returns the indices of the candidates sorted by descending model
 // score — the ranked list for visualization selection.
 func (m *Model) Rank(candidates [][]float64) []int {
+	order, _ := m.RankBatchCtx(context.Background(), candidates, 1)
+	return order
+}
+
+// RankBatchCtx is Rank with cancellation and batch-parallel scoring; the
+// stable sort runs serially afterwards, so the order matches Rank
+// exactly for any worker count.
+func (m *Model) RankBatchCtx(ctx context.Context, candidates [][]float64, workers int) ([]int, error) {
+	scores, err := m.ScoreBatchCtx(ctx, candidates, workers)
+	if err != nil {
+		return nil, err
+	}
 	order := make([]int, len(candidates))
-	scores := make([]float64, len(candidates))
-	for i, c := range candidates {
+	for i := range order {
 		order[i] = i
-		scores[i] = m.Score(c)
 	}
 	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
-	return order
+	return order, nil
 }

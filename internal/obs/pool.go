@@ -1,0 +1,50 @@
+package obs
+
+import "time"
+
+// Worker-pool metric families reported by internal/pool. Every parallel
+// batch the selection pipeline fans out — factor computation, dominance-
+// graph edge construction, candidate materialization, batch model
+// inference — shows up here, so /metrics answers "is the parallel engine
+// actually engaged, and what is it costing" without a profiler.
+const (
+	// PoolBatchMetric times one whole parallel batch (submit → join).
+	PoolBatchMetric = "deepeye_pool_batch_duration_seconds"
+	// PoolBatchesMetric counts parallel batches per operation.
+	PoolBatchesMetric = "deepeye_pool_batches_total"
+	// PoolTasksMetric counts dispatched work blocks per operation.
+	PoolTasksMetric = "deepeye_pool_tasks_total"
+	// PoolBusyMetric gauges workers currently executing a block.
+	PoolBusyMetric = "deepeye_pool_busy_workers"
+	// PoolWorkersMetric gauges the worker count of the latest batch.
+	PoolWorkersMetric = "deepeye_pool_workers"
+)
+
+const (
+	poolBatchHelp   = "Parallel batch wall time (submit to join) in seconds."
+	poolBatchesHelp = "Parallel batches executed by the worker pool."
+	poolTasksHelp   = "Work blocks dispatched to pool workers."
+	poolBusyHelp    = "Pool workers currently executing a block."
+	poolWorkersHelp = "Worker count of the most recent pool batch."
+)
+
+// ObservePoolBatch records one completed parallel batch for op.
+func ObservePoolBatch(op string, d time.Duration) {
+	Default.Histogram(PoolBatchMetric, poolBatchHelp, nil, "op", op).Observe(d)
+	Default.Counter(PoolBatchesMetric, poolBatchesHelp, "op", op).Inc()
+}
+
+// AddPoolTasks counts n dispatched work blocks for op.
+func AddPoolTasks(op string, n int) {
+	Default.Counter(PoolTasksMetric, poolTasksHelp, "op", op).Add(n)
+}
+
+// PoolBusy returns the busy-worker gauge.
+func PoolBusy() *Gauge {
+	return Default.Gauge(PoolBusyMetric, poolBusyHelp)
+}
+
+// SetPoolWorkers records the worker count used by the latest batch.
+func SetPoolWorkers(op string, n int) {
+	Default.Gauge(PoolWorkersMetric, poolWorkersHelp, "op", op).Set(int64(n))
+}

@@ -28,6 +28,7 @@ import (
 
 	"github.com/deepeye/deepeye/internal/chart"
 	"github.com/deepeye/deepeye/internal/dataset"
+	"github.com/deepeye/deepeye/internal/pool"
 	"github.com/deepeye/deepeye/internal/rank"
 	"github.com/deepeye/deepeye/internal/rules"
 	"github.com/deepeye/deepeye/internal/transform"
@@ -39,6 +40,12 @@ type Options struct {
 	Factors rank.FactorOptions
 	// IncludeOneColumn adds single-column histogram candidates.
 	IncludeOneColumn bool
+	// Workers fans the per-column work — leaf-list construction and the
+	// shared bucketing pass's per-column sums — across a bounded worker
+	// pool: 0 and 1 mean serial, negative means GOMAXPROCS. Results are
+	// identical for any worker count (each column's work is independent
+	// and assembled in column order).
+	Workers int
 }
 
 // Result is one selected chart with its progressive score.
@@ -70,8 +77,7 @@ func TopKCtx(ctx context.Context, t *dataset.Table, k int, opts Options) ([]Resu
 	if err := ctx.Err(); err != nil {
 		return nil, Stats{}, err
 	}
-	sel := newSelector(t, opts)
-	sel.ctx = ctx
+	sel := newSelectorCtx(ctx, t, opts)
 	results := sel.run(k)
 	if err := ctx.Err(); err != nil {
 		return nil, sel.stats, err
@@ -162,38 +168,57 @@ type bucketing struct {
 }
 
 func newSelector(t *dataset.Table, opts Options) *selector {
-	s := &selector{t: t, opts: opts, o: opts.Factors, buckets: make(map[string]*bucketing)}
-	for _, col := range t.Columns {
-		lf := &leaf{xName: col.Name}
-		for _, y := range t.Columns {
-			if y.Name == col.Name {
-				continue
-			}
-			for _, spec := range rules.TransformSpecs(col.Type, y.Type) {
-				lf.pending = append(lf.pending, pendingSpec{
-					spec:  spec,
-					yName: y.Name,
-					bound: s.bound(col, spec),
-				})
-			}
-		}
-		if opts.IncludeOneColumn {
-			for _, spec := range rules.TransformSpecs(col.Type, col.Type) {
-				if spec.Agg != transform.AggCnt {
+	return newSelectorCtx(context.Background(), t, opts)
+}
+
+// newSelectorCtx builds the per-column leaf lists, fanning columns out
+// across the pool when opts.Workers asks for it. Each column's leaf is
+// built independently into its own slot and appended in column order, so
+// the selector state is identical for any worker count.
+func newSelectorCtx(ctx context.Context, t *dataset.Table, opts Options) *selector {
+	s := &selector{t: t, opts: opts, o: opts.Factors, ctx: ctx, buckets: make(map[string]*bucketing)}
+	byCol := make([]*leaf, len(t.Columns))
+	_ = pool.ForEachBlock(ctx, "progressive_leaves", opts.Workers, len(t.Columns), 1, func(lo, hi int) error {
+		for ci := lo; ci < hi; ci++ {
+			col := t.Columns[ci]
+			lf := &leaf{xName: col.Name}
+			for _, y := range t.Columns {
+				if y.Name == col.Name {
 					continue
 				}
-				lf.pending = append(lf.pending, pendingSpec{
-					spec:  spec,
-					yName: col.Name,
-					bound: s.bound(col, spec),
-				})
+				for _, spec := range rules.TransformSpecs(col.Type, y.Type) {
+					lf.pending = append(lf.pending, pendingSpec{
+						spec:  spec,
+						yName: y.Name,
+						bound: s.bound(col, spec),
+					})
+				}
 			}
+			if opts.IncludeOneColumn {
+				for _, spec := range rules.TransformSpecs(col.Type, col.Type) {
+					if spec.Agg != transform.AggCnt {
+						continue
+					}
+					lf.pending = append(lf.pending, pendingSpec{
+						spec:  spec,
+						yName: col.Name,
+						bound: s.bound(col, spec),
+					})
+				}
+			}
+			sort.SliceStable(lf.pending, func(a, b int) bool { return lf.pending[a].bound > lf.pending[b].bound })
+			byCol[ci] = lf
 		}
-		sort.SliceStable(lf.pending, func(a, b int) bool { return lf.pending[a].bound > lf.pending[b].bound })
+		return nil
+	})
+	// A cancelled ctx leaves some slots nil; the caller re-checks ctx
+	// after the tournament, so a partial selector is never observable.
+	for _, lf := range byCol {
+		if lf == nil || len(lf.pending) == 0 {
+			continue
+		}
 		s.stats.SpecsTotal += len(lf.pending)
-		if len(lf.pending) > 0 {
-			s.leafs = append(s.leafs, lf)
-		}
+		s.leafs = append(s.leafs, lf)
 	}
 	return s
 }
@@ -413,19 +438,37 @@ func (s *selector) bucketize(x *dataset.Column, spec transform.Spec) *bucketing 
 		sums:   make(map[string][]float64),
 		input:  res.InputRows,
 	}
+	var numeric []*dataset.Column
 	for _, y := range s.t.Columns {
-		if y.Type != dataset.Numerical {
-			continue
+		if y.Type == dataset.Numerical {
+			numeric = append(numeric, y)
 		}
-		sums := make([]float64, len(res.XLabels))
-		for bi, rows := range res.SourceRows {
-			for _, r := range rows {
-				if !y.Null[r] {
-					sums[bi] += y.Nums[r]
+	}
+	// Per-column sums are independent sweeps over the shared bucket row
+	// lists; fan them out, each into its own slot, and install into the
+	// map serially (map writes are not concurrent-safe). Sums accumulate
+	// per column in the same row order as the serial sweep, so values are
+	// bit-identical for any worker count.
+	sumsByCol := make([][]float64, len(numeric))
+	_ = pool.ForEachBlock(s.ctx, "progressive_sums", s.opts.Workers, len(numeric), 1, func(lo, hi int) error {
+		for yi := lo; yi < hi; yi++ {
+			y := numeric[yi]
+			sums := make([]float64, len(res.XLabels))
+			for bi, rows := range res.SourceRows {
+				for _, r := range rows {
+					if !y.Null[r] {
+						sums[bi] += y.Nums[r]
+					}
 				}
 			}
+			sumsByCol[yi] = sums
 		}
-		b.sums[y.Name] = sums
+		return nil
+	})
+	for yi, y := range numeric {
+		if sumsByCol[yi] != nil {
+			b.sums[y.Name] = sumsByCol[yi]
+		}
 	}
 	return b
 }

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"github.com/deepeye/deepeye/internal/chart"
+	"github.com/deepeye/deepeye/internal/pool"
 	"github.com/deepeye/deepeye/internal/stats"
 	"github.com/deepeye/deepeye/internal/transform"
 	"github.com/deepeye/deepeye/internal/vizql"
@@ -60,6 +61,9 @@ func RawQ(n *vizql.Node) float64 { return rawQ(n) }
 
 // rawM computes the un-normalized matching quality of eq. (1)–(4).
 func rawM(n *vizql.Node, o FactorOptions) float64 {
+	if n.Res == nil {
+		return 0 // degenerate node: nothing was materialized
+	}
 	d := n.DistinctX()
 	switch n.Chart {
 	case chart.Pie:
@@ -107,8 +111,11 @@ func rawM(n *vizql.Node, o FactorOptions) float64 {
 
 // rawQ computes the transformation quality of eq. (6):
 // 1 − |X′|/|X| — aggressive, meaningful summarization scores high.
+// Degenerate inputs (no materialized result, zero or negative row count)
+// score 0 rather than escaping [0, 1] or panicking: a negative InputRows
+// would flip the ratio's sign and yield q > 1.
 func rawQ(n *vizql.Node) float64 {
-	if n.InputRows == 0 {
+	if n.Res == nil || n.InputRows <= 0 {
 		return 0
 	}
 	q := 1 - float64(n.Res.Len())/float64(n.InputRows)
@@ -131,18 +138,38 @@ func ComputeFactors(nodes []*vizql.Node, opts FactorOptions) []Factors {
 // periodically through the per-node factor loop (rawM walks each node's
 // transformed labels, so large candidate sets take real time).
 func ComputeFactorsCtx(ctx context.Context, nodes []*vizql.Node, opts FactorOptions) ([]Factors, error) {
+	return ComputeFactorsWorkersCtx(ctx, nodes, opts, 1)
+}
+
+// ComputeFactorsWorkersCtx is ComputeFactorsCtx with the raw per-node
+// factor pass (the expensive part — rawM walks each node's transformed
+// labels) fanned out across a bounded worker pool; workers follows
+// pool.Normalize semantics. Each worker writes only its own index range
+// and the normalizations run serially afterwards, so the result is
+// bit-identical to the serial pass regardless of worker count.
+func ComputeFactorsWorkersCtx(ctx context.Context, nodes []*vizql.Node, opts FactorOptions, workers int) ([]Factors, error) {
 	o := opts.withDefaults()
 	fs := make([]Factors, len(nodes))
 
-	// M: raw, then per-chart-type max normalization (eq. 5).
+	// Raw M and Q per node. The 256-index block keeps the serial path's
+	// cancellation cadence (one ctx check every 256 nodes).
+	err := pool.ForEachBlock(ctx, "factors", workers, len(nodes), 256, func(lo, hi int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for i := lo; i < hi; i++ {
+			fs[i].M = rawM(nodes[i], o)
+			fs[i].Q = rawQ(nodes[i])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-chart-type max normalization of M (eq. 5).
 	maxM := map[chart.Type]float64{}
 	for i, n := range nodes {
-		if i&255 == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		fs[i].M = rawM(n, o)
 		if fs[i].M > maxM[n.Chart] {
 			maxM[n.Chart] = fs[i].M
 		}
@@ -154,9 +181,6 @@ func ComputeFactorsCtx(ctx context.Context, nodes []*vizql.Node, opts FactorOpti
 	}
 
 	// Q (eq. 6) needs no normalization: it is already a ratio in [0, 1].
-	for i, n := range nodes {
-		fs[i].Q = rawQ(n)
-	}
 
 	// W: column importance (eq. 7) = share of candidate charts containing
 	// the column; node weight sums its distinct columns, then max
@@ -183,6 +207,14 @@ func ComputeFactorsCtx(ctx context.Context, nodes []*vizql.Node, opts FactorOpti
 		for i := range fs {
 			fs[i].W /= maxW
 		}
+	}
+	// Bound every factor into [0, 1]: a NaN correlation or other
+	// degenerate input must never leak an out-of-range factor into the
+	// dominance order, where it would break antisymmetry.
+	for i := range fs {
+		fs[i].M = clamp01(fs[i].M)
+		fs[i].Q = clamp01(fs[i].Q)
+		fs[i].W = clamp01(fs[i].W)
 	}
 	return fs, nil
 }
@@ -217,7 +249,13 @@ func equalFactors(a, b Factors) bool {
 	return a.M == b.M && a.Q == b.Q && a.W == b.W
 }
 
-// clamp01 bounds a factor into [0, 1] against floating-point drift.
+// clamp01 bounds a factor into [0, 1] against floating-point drift and
+// degenerate inputs: NaN maps to 0 (math.Min/Max would propagate it,
+// and a NaN factor is incomparable to everything, which breaks the
+// partial order), +Inf to 1, −Inf to 0.
 func clamp01(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
 	return math.Max(0, math.Min(1, v))
 }

@@ -1,0 +1,130 @@
+package rank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genFactors draws a factor triple; the coarse grid makes coincidences
+// (ties, shared coordinates) common enough for the properties to be
+// exercised on their boundary cases, not just in general position.
+func genFactors(rng *rand.Rand) Factors {
+	grid := func() float64 {
+		if rng.Intn(2) == 0 {
+			return float64(rng.Intn(4)) / 3
+		}
+		return rng.Float64()
+	}
+	return Factors{M: grid(), Q: grid(), W: grid()}
+}
+
+// TestDominatesAntisymmetric: a ⪰ b and b ⪰ a together imply a == b —
+// weak dominance is antisymmetric, so strict dominance can never hold
+// both ways.
+func TestDominatesAntisymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := genFactors(rng), genFactors(rng)
+		if Dominates(a, b) && Dominates(b, a) && !equalFactors(a, b) {
+			return false
+		}
+		if StrictlyDominates(a, b) && StrictlyDominates(b, a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDominatesTransitive: a ⪰ b ⪰ c implies a ⪰ c, and likewise for
+// the strict order (which the dominance graph relies on to be a DAG and
+// for the quick-sort builder's transitivity shortcut to be sound).
+func TestDominatesTransitive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := genFactors(rng), genFactors(rng), genFactors(rng)
+		if Dominates(a, b) && Dominates(b, c) && !Dominates(a, c) {
+			return false
+		}
+		if StrictlyDominates(a, b) && StrictlyDominates(b, c) && !StrictlyDominates(a, c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStrictDominanceIrreflexive: no factor triple strictly dominates
+// itself.
+func TestStrictDominanceIrreflexive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := genFactors(rng)
+		return !StrictlyDominates(a, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEdgeWeightProperties: on a dominating pair the edge weight (eq. 9)
+// is non-negative, and it is zero iff the factors are equal.
+func TestEdgeWeightProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u, v := genFactors(rng), genFactors(rng)
+		if Dominates(u, v) {
+			w := EdgeWeight(u, v)
+			if w < 0 {
+				return false
+			}
+			if (w == 0) != equalFactors(u, v) {
+				return false
+			}
+		}
+		if equalFactors(u, v) && EdgeWeight(u, v) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClamp01Bounds: clamp01 maps every float64 — including NaN and
+// ±Inf — into [0, 1]. NaN maps to 0 specifically: math.Min/Max would
+// propagate it, and a NaN factor is incomparable to everything, which
+// would break the partial order downstream.
+func TestClamp01Bounds(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{math.NaN(), 0},
+		{math.Inf(1), 1},
+		{math.Inf(-1), 0},
+		{-0.5, 0},
+		{1.5, 1},
+		{0, 0},
+		{1, 1},
+		{0.25, 0.25},
+		{math.Copysign(0, -1), 0},
+	}
+	for _, c := range cases {
+		got := clamp01(c.in)
+		if math.Float64bits(got) != math.Float64bits(c.want) && got != c.want {
+			t.Errorf("clamp01(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	f := func(v float64) bool {
+		got := clamp01(v)
+		return got >= 0 && got <= 1 && !math.IsNaN(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -109,6 +109,11 @@ type SelectOptions struct {
 	MaxGraphNodes int
 	// Build selects the graph construction algorithm.
 	Build BuildMethod
+	// Workers fans the dominance-graph build across a bounded worker
+	// pool: 0 and 1 mean serial, negative means GOMAXPROCS. The parallel
+	// build is bit-identical to the serial one (the differential suite
+	// asserts it), so Workers never changes results — only wall time.
+	Workers int
 }
 
 // Order ranks a candidate set with the partial-order method end to end:
@@ -149,7 +154,7 @@ func OrderCtx(ctx context.Context, nodes []*vizql.Node, factors []Factors, opts 
 		subNodes[k] = nodes[i]
 		subFactors[k] = factors[i]
 	}
-	built, err := BuildGraphCtx(ctx, subNodes, subFactors, opts.Build)
+	built, err := BuildGraphParCtx(ctx, subNodes, subFactors, opts.Build, opts.Workers)
 	if err != nil {
 		return nil, nil, err
 	}

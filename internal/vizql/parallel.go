@@ -3,9 +3,9 @@ package vizql
 import (
 	"context"
 	"runtime"
-	"sync"
 
 	"github.com/deepeye/deepeye/internal/dataset"
+	"github.com/deepeye/deepeye/internal/pool"
 	"github.com/deepeye/deepeye/internal/transform"
 )
 
@@ -20,12 +20,16 @@ func ExecuteAllParallel(t *dataset.Table, queries []Query, workers int) []*Node 
 	return out
 }
 
-// ExecuteAllParallelCtx is ExecuteAllParallel with cancellation: a fixed
-// pool of workers drains a job channel, every worker re-checks ctx
-// before each group, and the feeder stops handing out work the moment
-// ctx is done — so cancellation both returns promptly and leaves no
-// goroutine behind (the pool is joined before returning).
+// ExecuteAllParallelCtx is ExecuteAllParallel with cancellation, fanned
+// out through the shared bounded pool (ctx-cancellable, panic-safe,
+// reported under deepeye_pool_* metrics). Each task owns one transform
+// group and writes only its group's result slot; groups are concatenated
+// in first-appearance order afterwards, so the output order matches the
+// serial ExecuteAllCtx for any worker count.
 func ExecuteAllParallelCtx(ctx context.Context, t *dataset.Table, queries []Query, workers int) ([]*Node, error) {
+	// This package's documented contract predates the pool: workers ≤ 0
+	// means GOMAXPROCS (pool.Normalize treats 0 as serial), so resolve
+	// before handing off.
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -47,32 +51,17 @@ func ExecuteAllParallelCtx(ctx context.Context, t *dataset.Table, queries []Quer
 		groups[key] = append(groups[key], q)
 	}
 	results := make([][]*Node, len(order))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for gi := range jobs {
-				nodes, err := ExecuteAllCtx(ctx, t, groups[order[gi]])
-				if err != nil {
-					return // cancelled; the feeder stops on ctx.Done
-				}
-				results[gi] = nodes
+	err := pool.ForEachBlock(ctx, "vizql_execute", workers, len(order), 1, func(lo, hi int) error {
+		for gi := lo; gi < hi; gi++ {
+			nodes, err := ExecuteAllCtx(ctx, t, groups[order[gi]])
+			if err != nil {
+				return err
 			}
-		}()
-	}
-feed:
-	for gi := range order {
-		select {
-		case jobs <- gi:
-		case <-ctx.Done():
-			break feed
+			results[gi] = nodes
 		}
-	}
-	close(jobs)
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	var out []*Node

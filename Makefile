@@ -3,7 +3,7 @@ GO ?= go
 # Benchmarks the CI bench-regression job gates on: cmd/benchdiff
 # compares per-benchmark medians over BENCH_COUNT repeats and fails on
 # >20% ns/op regressions. CI and local runs share these definitions.
-BENCH_PATTERN ?= BenchmarkTable_SearchSpace|BenchmarkGraphBuild|BenchmarkTopKCached|BenchmarkBuildGraphParallel
+BENCH_PATTERN ?= BenchmarkTable_SearchSpace|BenchmarkGraphBuild|BenchmarkTopKCached|BenchmarkBuildGraphParallel|BenchmarkAppend|BenchmarkSnapshotTopK
 BENCH_COUNT ?= 6
 BENCHTIME ?= 0.3s
 COVER_FLOOR ?= 75.0
@@ -43,6 +43,7 @@ fuzz:
 	$(GO) test -fuzz FuzzInferColumn -fuzztime 30s ./internal/dataset/
 	$(GO) test -fuzz FuzzRawQ -fuzztime 30s ./internal/rank/
 	$(GO) test -fuzz FuzzComputeFactors -fuzztime 30s ./internal/rank/
+	$(GO) test -fuzz FuzzAppend -fuzztime 30s ./internal/registry/
 
 # One-iteration pass over the gated benchmarks: catches benchmarks that
 # fail outright without paying for timing runs.

@@ -14,6 +14,17 @@
 //	GET  /metrics         → Prometheus text metrics (requests, in-flight,
 //	                        request + pipeline-stage latency histograms)
 //
+// Live datasets (enabled with -registry-size > 0; see -dataset-ttl):
+//
+//	POST   /datasets?name=trips      → register the body CSV as a live dataset
+//	POST   /datasets/{id}/rows       → append headerless CSV rows (?header=1 skips one)
+//	GET    /datasets                 → list live datasets (most recently used first)
+//	GET    /datasets/{id}            → dataset info with live column profile
+//	GET    /datasets/{id}/topk?k=5   → top-k on the current snapshot
+//	GET    /datasets/{id}/search?q=… → keyword top-k on the current snapshot
+//	GET    /datasets/{id}/query?q=…  → one query on the current snapshot
+//	DELETE /datasets/{id}            → drop the dataset and its cache entries
+//
 // Every request runs under -timeout (expired requests answer 504 and the
 // selection pipeline stops immediately via context cancellation), at most
 // -max-inflight requests are served concurrently (excess answers 503),
@@ -51,6 +62,8 @@ func main() {
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request pipeline deadline (0 = none)")
 		maxInFlight = flag.Int("max-inflight", 128, "max concurrently served requests (0 = unlimited)")
 		cacheSize   = flag.Int64("cache-size", 256<<20, "result/statistics cache byte budget (0 = disabled)")
+		regSize     = flag.Int64("registry-size", 256<<20, "live dataset registry byte budget (0 = registry disabled)")
+		datasetTTL  = flag.Duration("dataset-ttl", 30*time.Minute, "evict live datasets idle longer than this (0 = never)")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		grace       = flag.Duration("grace", 15*time.Second, "shutdown grace period for in-flight requests")
 		// Per-request parallelism defaults to serial: the server already
@@ -61,7 +74,10 @@ func main() {
 	)
 	flag.Parse()
 
-	opts := deepeye.Options{IncludeOneColumn: true, UseRecognizer: *useRecog, CacheSize: *cacheSize, Workers: *workers}
+	opts := deepeye.Options{
+		IncludeOneColumn: true, UseRecognizer: *useRecog, CacheSize: *cacheSize,
+		Workers: *workers, RegistrySize: *regSize, DatasetTTL: *datasetTTL,
+	}
 	if *hybridRank {
 		opts.Method = deepeye.MethodHybrid
 	}

@@ -8,6 +8,10 @@
 //	deepeye -csv data.csv -query "VISUALIZE line SELECT date, AVG(price) FROM t BIN date BY MONTH"
 //	deepeye -csv data.csv -k 5 -progressive      # tournament selector
 //	deepeye -csv data.csv -k 5 -exhaustive       # full Fig. 3 search space
+//	deepeye -csv day1.csv -append day2.csv,day3.csv -k 5
+//	                                             # live-registry ingestion demo:
+//	                                             # append each file's rows, then
+//	                                             # rank the grown snapshot
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	deepeye "github.com/deepeye/deepeye"
@@ -33,6 +38,7 @@ func main() {
 		search      = flag.String("search", "", "keyword search, e.g. \"delay trend by hour\"")
 		multi       = flag.Bool("multi", false, "suggest multi-series charts instead of single-series top-k")
 		profile     = flag.Bool("profile", false, "print the column profile and exit")
+		appendCSVs  = flag.String("append", "", "comma-separated CSV files (header row skipped) appended to the dataset via the live registry before ranking")
 		vegaDir     = flag.String("vega", "", "directory to write Vega-Lite specs into")
 		htmlPath    = flag.String("html", "", "write an HTML report of the results to this file")
 		jsonOut     = flag.Bool("json", false, "print results as JSON instead of ASCII charts")
@@ -52,7 +58,8 @@ func main() {
 	}
 	cfg := runConfig{
 		csvPath: *csvPath, k: *k, query: *query, search: *search,
-		multi: *multi, profile: *profile, vegaDir: *vegaDir, htmlPath: *htmlPath,
+		appendCSVs: *appendCSVs,
+		multi:      *multi, profile: *profile, vegaDir: *vegaDir, htmlPath: *htmlPath,
 		jsonOut:     *jsonOut,
 		progressive: *progressive, exhaustive: *exhaustive,
 		oneColumn: *oneColumn, width: *width,
@@ -85,11 +92,57 @@ func printStageStats() {
 
 type runConfig struct {
 	csvPath, query, search, vegaDir    string
-	htmlPath                           string
+	htmlPath, appendCSVs               string
 	k, width, workers                  int
 	multi, profile, jsonOut            bool
 	progressive, exhaustive, oneColumn bool
 	timeout                            time.Duration
+}
+
+// ingestAppends registers tab as a live dataset, streams each CSV's
+// rows in through the incremental-maintenance path (header rows are
+// skipped; the registered schema fixes each column's type), and
+// returns the grown snapshot. After every batch it prints the new row
+// count, snapshot epoch, and content fingerprint so the incremental
+// bookkeeping is visible.
+func ingestAppends(sys *deepeye.System, tab *deepeye.Table, files string, quiet bool) (*deepeye.Table, error) {
+	info, err := sys.RegisterTable(tab.Name, tab)
+	if err != nil {
+		return nil, err
+	}
+	if !quiet {
+		fmt.Printf("registered %q: epoch=%d fingerprint=%s\n", info.Name, info.Epoch, info.Fingerprint)
+	}
+	for _, path := range strings.Split(files, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sys.AppendCSV(tab.Name, f, true)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("appending %s: %w", path, err)
+		}
+		if !quiet {
+			fmt.Printf("appended %s: +%d rows → %d total, epoch=%d fingerprint=%s", path, res.Appended, res.Rows, res.Epoch, res.Fingerprint)
+			if res.Ragged > 0 {
+				fmt.Printf(" (%d ragged rows truncated)", res.Ragged)
+			}
+			fmt.Println()
+		}
+	}
+	snap, ok := sys.DatasetSnapshot(tab.Name)
+	if !ok {
+		return nil, fmt.Errorf("dataset %q vanished from the registry", tab.Name)
+	}
+	if !quiet {
+		fmt.Println()
+	}
+	return snap, nil
 }
 
 // chartJSON is the -json output row.
@@ -109,10 +162,17 @@ func run(cfg runConfig) error {
 		return err
 	}
 	if !cfg.jsonOut {
-		fmt.Printf("loaded %s: %d rows × %d columns\n\n", cfg.csvPath, tab.NumRows(), tab.NumCols())
+		fmt.Printf("loaded %s: %d rows × %d columns\n", cfg.csvPath, tab.NumRows(), tab.NumCols())
+		if tab.RaggedRows > 0 {
+			fmt.Printf("warning: %d ragged rows wider than the header were truncated\n", tab.RaggedRows)
+		}
+		fmt.Println()
 	}
 
 	if cfg.profile {
+		if tab.RaggedRows > 0 {
+			fmt.Printf("ragged rows truncated: %d\n", tab.RaggedRows)
+		}
 		fmt.Print(dataset.FormatProfile(tab.Profile(5)))
 		return nil
 	}
@@ -125,7 +185,18 @@ func run(cfg runConfig) error {
 	if cfg.exhaustive {
 		opts.Enum = deepeye.EnumExhaustive
 	}
+	if cfg.appendCSVs != "" {
+		// The -append demo holds one dataset in-process; budget is moot.
+		opts.RegistrySize = 1 << 30
+	}
 	sys := deepeye.New(opts)
+
+	if cfg.appendCSVs != "" {
+		tab, err = ingestAppends(sys, tab, cfg.appendCSVs, cfg.jsonOut)
+		if err != nil {
+			return err
+		}
+	}
 
 	ctx := context.Background()
 	if cfg.timeout > 0 {

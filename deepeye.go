@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 
 	"github.com/deepeye/deepeye/internal/cache"
 	"github.com/deepeye/deepeye/internal/chart"
@@ -44,6 +45,7 @@ import (
 	"github.com/deepeye/deepeye/internal/obs"
 	"github.com/deepeye/deepeye/internal/progressive"
 	"github.com/deepeye/deepeye/internal/rank"
+	"github.com/deepeye/deepeye/internal/registry"
 	"github.com/deepeye/deepeye/internal/rules"
 	"github.com/deepeye/deepeye/internal/transform"
 	"github.com/deepeye/deepeye/internal/vizql"
@@ -147,6 +149,15 @@ type Options struct {
 	// CacheRegistry receives the cache's deepeye_cache_* metrics; nil
 	// uses obs.Default, the registry behind the server's /metrics.
 	CacheRegistry *obs.Registry
+	// RegistrySize, when positive, enables the live dataset registry
+	// (RegisterTable/AppendRows/TopKByName and the server's /datasets
+	// API): named append-only datasets held under this byte budget
+	// with LRU eviction, incrementally maintained statistics and
+	// fingerprints, and snapshot-consistent reads. 0 disables it.
+	RegistrySize int64
+	// DatasetTTL expires registered datasets not accessed within the
+	// window (0 = never). Only meaningful with RegistrySize > 0.
+	DatasetTTL time.Duration
 }
 
 // System is a configured DeepEye instance. Construct with New; train the
@@ -165,6 +176,11 @@ type System struct {
 	// it on every cached request while Train*/LoadModels bump it.
 	cache    *cache.Cache
 	modelGen atomic.Uint64
+
+	// registry holds live datasets when Options.RegistrySize > 0 (nil
+	// otherwise); retired fingerprints flow back into targeted cache
+	// invalidation (see live.go).
+	registry *registry.Registry
 }
 
 // New creates a System. The zero Options value gives the rule-pruned,
@@ -173,6 +189,18 @@ func New(opts Options) *System {
 	s := &System{opts: opts, alpha: 1}
 	if opts.CacheSize > 0 {
 		s.cache = cache.New(cache.Config{Name: "result", MaxBytes: opts.CacheSize, Registry: opts.CacheRegistry})
+	}
+	if opts.RegistrySize > 0 {
+		s.registry = registry.New(registry.Config{
+			MaxBytes: opts.RegistrySize,
+			TTL:      opts.DatasetTTL,
+			Obs:      opts.CacheRegistry,
+			OnRetire: func(fp string) {
+				if s.cache != nil {
+					s.cache.RemoveFingerprint(fp)
+				}
+			},
+		})
 	}
 	return s
 }

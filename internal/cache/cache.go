@@ -28,6 +28,7 @@ import (
 	"context"
 	"errors"
 	"hash/fnv"
+	"strings"
 	"sync"
 
 	"github.com/deepeye/deepeye/internal/obs"
@@ -43,6 +44,7 @@ const (
 	metricMisses    = "deepeye_cache_misses_total"
 	metricEvictions = "deepeye_cache_evictions_total"
 	metricCoalesced = "deepeye_cache_coalesced_total"
+	metricInvalid   = "deepeye_cache_invalidations_total"
 	metricEntries   = "deepeye_cache_entries"
 	metricBytes     = "deepeye_cache_bytes"
 )
@@ -93,8 +95,8 @@ type shard struct {
 type Cache struct {
 	shards [numShards]*shard
 
-	hits, misses, evictions, coalesced *obs.Counter
-	entries, bytes                     *obs.Gauge
+	hits, misses, evictions, coalesced, invalidations *obs.Counter
+	entries, bytes                                    *obs.Gauge
 }
 
 // New builds a cache with cfg.MaxBytes split evenly across the shards.
@@ -111,8 +113,10 @@ func New(cfg Config) *Cache {
 		misses:    reg.Counter(metricMisses, "Cache misses.", "cache", cfg.Name),
 		evictions: reg.Counter(metricEvictions, "Cache evictions under byte pressure.", "cache", cfg.Name),
 		coalesced: reg.Counter(metricCoalesced, "Requests coalesced onto an in-flight computation.", "cache", cfg.Name),
-		entries:   reg.Gauge(metricEntries, "Live cache entries.", "cache", cfg.Name),
-		bytes:     reg.Gauge(metricBytes, "Estimated bytes held by the cache.", "cache", cfg.Name),
+		invalidations: reg.Counter(metricInvalid,
+			"Entries dropped by targeted invalidation (retired dataset fingerprints).", "cache", cfg.Name),
+		entries: reg.Gauge(metricEntries, "Live cache entries.", "cache", cfg.Name),
+		bytes:   reg.Gauge(metricBytes, "Estimated bytes held by the cache.", "cache", cfg.Name),
 	}
 	per := cfg.MaxBytes / numShards
 	for i := range c.shards {
@@ -207,6 +211,65 @@ func (c *Cache) Remove(key string) {
 		c.entries.Dec()
 		c.syncBytesGauge()
 	}
+}
+
+// RemoveFunc drops every entry whose key matches, returning how many
+// were dropped. It scans all shards under their locks — O(entries) —
+// which is the point: a targeted invalidation (one dataset's retired
+// fingerprint) reclaims exactly that dataset's entries and leaves the
+// rest of the working set warm, where Purge would cold-start every
+// dataset the server is holding.
+func (c *Cache) RemoveFunc(match func(key string) bool) int {
+	removed := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		var next *list.Element
+		for el := sh.ll.Front(); el != nil; el = next {
+			next = el.Next()
+			e := el.Value.(*entry)
+			if !match(e.key) {
+				continue
+			}
+			sh.ll.Remove(el)
+			delete(sh.items, e.key)
+			sh.bytes -= e.size
+			removed++
+		}
+		sh.mu.Unlock()
+	}
+	if removed > 0 {
+		c.invalidations.Add(removed)
+		for i := 0; i < removed; i++ {
+			c.entries.Dec()
+		}
+		c.syncBytesGauge()
+	}
+	return removed
+}
+
+// RemoveFingerprint drops every entry keyed under the given table
+// content fingerprint — the topk|, rank|, query|, and col| families
+// all embed the fingerprint as the key's second |-separated field.
+// Called when a live dataset appends rows (the old fingerprint will
+// never be requested again by that dataset) or is deleted/evicted.
+// Content-addressed entries are never wrong, so this is purely a
+// byte-budget reclaim: if a second registered dataset happens to hold
+// identical content, its next request recomputes and re-caches.
+func (c *Cache) RemoveFingerprint(fp string) int {
+	if fp == "" {
+		return 0
+	}
+	return c.RemoveFunc(func(key string) bool {
+		i := strings.IndexByte(key, '|')
+		if i < 0 {
+			return false
+		}
+		rest := key[i+1:]
+		if j := strings.IndexByte(rest, '|'); j >= 0 {
+			rest = rest[:j]
+		}
+		return rest == fp
+	})
 }
 
 // Purge drops every entry (in-flight computations are unaffected).

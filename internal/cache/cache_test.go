@@ -318,3 +318,54 @@ func TestShardSpread(t *testing.T) {
 		t.Errorf("200 keys landed on only %d of %d shards", len(used), numShards)
 	}
 }
+
+func TestRemoveFunc(t *testing.T) {
+	c := newTestCache(1 << 20)
+	c.Put("topk|fpA|k=5", 1, 10)
+	c.Put("topk|fpB|k=5", 2, 10)
+	c.Put("rank|fpA", 3, 10)
+	c.Put("plain", 4, 10)
+	n := c.RemoveFunc(func(key string) bool { return strings.HasPrefix(key, "topk|") })
+	if n != 2 {
+		t.Fatalf("RemoveFunc removed %d, want 2", n)
+	}
+	if _, ok := c.Get("topk|fpA|k=5"); ok {
+		t.Error("matched entry survived")
+	}
+	if _, ok := c.Get("rank|fpA"); !ok {
+		t.Error("unmatched entry was removed")
+	}
+	if c.Len() != 2 || c.Bytes() != 20 {
+		t.Errorf("Len/Bytes = %d/%d after RemoveFunc, want 2/20", c.Len(), c.Bytes())
+	}
+	if n := c.RemoveFunc(func(string) bool { return false }); n != 0 {
+		t.Errorf("no-match RemoveFunc removed %d", n)
+	}
+}
+
+func TestRemoveFingerprint(t *testing.T) {
+	c := newTestCache(1 << 20)
+	c.Put("topk|fpA|k=5", 1, 10)
+	c.Put("query|fpA|VISUALIZE …", 2, 10)
+	c.Put("col|fpA|city", 3, 10)
+	c.Put("rank|fpA", 4, 10)
+	c.Put("topk|fpB|k=5", 5, 10)
+	c.Put("nopipes", 6, 10)
+	if n := c.RemoveFingerprint("fpA"); n != 4 {
+		t.Fatalf("RemoveFingerprint(fpA) removed %d, want 4", n)
+	}
+	if _, ok := c.Get("topk|fpB|k=5"); !ok {
+		t.Error("fpB entry was removed")
+	}
+	if _, ok := c.Get("nopipes"); !ok {
+		t.Error("pipeless key was removed")
+	}
+	if n := c.RemoveFingerprint(""); n != 0 {
+		t.Errorf("RemoveFingerprint(\"\") removed %d", n)
+	}
+	// fpA must not match as a prefix or substring of another fingerprint.
+	c.Put("topk|fpAA|k=5", 7, 10)
+	if n := c.RemoveFingerprint("fpA"); n != 0 {
+		t.Errorf("RemoveFingerprint(fpA) matched fpAA: removed %d", n)
+	}
+}

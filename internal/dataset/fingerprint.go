@@ -3,19 +3,28 @@ package dataset
 import (
 	"encoding/binary"
 	"fmt"
+	"hash"
 	"hash/fnv"
 )
 
 // Fingerprint returns a content fingerprint of the table: a 128-bit
-// FNV-1a hash (hex) over the schema (column names and types), the row
-// count, and every cell value. Every cell is hashed — the fingerprint
-// keys the result/statistics caches end to end, so any single-cell edit
-// must change it; a pass of FNV over bytes the loader already touched
-// is cheap next to the CSV/JSON parse that produced the table. Two
-// loads of byte-identical content produce the same fingerprint
-// regardless of the table's Name, so re-uploads of the same dataset hit
-// the result cache while a same-named table with different content
-// misses it.
+// FNV-1a hash (hex) over the schema (column count, names, types)
+// followed by every cell value in row-major order. Every cell is
+// hashed — the fingerprint keys the result/statistics caches end to
+// end, so any single-cell edit must change it; a pass of FNV over
+// bytes the loader already touched is cheap next to the CSV/JSON parse
+// that produced the table. Two loads of byte-identical content produce
+// the same fingerprint regardless of the table's Name, so re-uploads
+// of the same dataset hit the result cache while a same-named table
+// with different content misses it.
+//
+// The stream is row-major so it is append-extendable: a live dataset
+// (internal/registry) keeps a rolling Hasher and extends it per
+// appended cell, and the rolled digest equals a full recompute on the
+// grown table — the registry's property tests assert exactly that.
+// The row count is not hashed explicitly; the column count is, and
+// every cell is length-prefixed, so the stream parses unambiguously
+// and the row count is implied by its length.
 //
 // The fingerprint is computed once per Table and memoized; Tables are
 // immutable after construction, so it never goes stale. Safe for
@@ -25,30 +34,71 @@ func (t *Table) Fingerprint() string {
 	return t.fp
 }
 
+// SetFingerprint injects a precomputed fingerprint (a live dataset's
+// rolling digest) into the table's memo, skipping the full recompute.
+// Like SetStats it is a no-op when the fingerprint was already
+// computed, so an injected value can never overwrite a computed one.
+// Callers must only inject digests produced by a Hasher fed this
+// table's exact schema and cells; the registry's differential tests
+// verify that equivalence.
+func (t *Table) SetFingerprint(fp string) {
+	t.fpOnce.Do(func() { t.fp = fp })
+}
+
 func fingerprint(t *Table) string {
-	h := fnv.New128a()
-	var buf [8]byte
-	writeInt := func(v int) {
-		binary.LittleEndian.PutUint64(buf[:], uint64(v))
-		h.Write(buf[:])
-	}
-	writeInt(t.nRows)
-	writeInt(len(t.Columns))
-	for _, c := range t.Columns {
-		// Every variable-length field is length-prefixed so cell
-		// boundaries are unambiguous: ["a\x00","b"] and ["a","\x00b"]
-		// must not collide. Nulls get a sentinel no length can equal.
-		writeInt(len(c.Name))
-		h.Write([]byte(c.Name))
-		h.Write([]byte{byte(c.Type)})
-		for i, raw := range c.Raw {
-			if c.Null[i] {
-				writeInt(-1)
-				continue
-			}
-			writeInt(len(raw))
-			h.Write([]byte(raw))
+	h := NewHasher(t.Columns)
+	for i := 0; i < t.nRows; i++ {
+		for _, c := range t.Columns {
+			h.WriteCell(c.Raw[i], c.Null[i])
 		}
 	}
-	return fmt.Sprintf("%x", h.Sum(nil))
+	return h.Sum()
+}
+
+// Hasher is the rolling form of Fingerprint: construct it over a
+// schema, feed it every cell in row-major order, and Sum at any row
+// boundary. Sum does not disturb the rolling state, so a live dataset
+// can stamp an epoch fingerprint after each append and keep extending
+// the same Hasher. Not safe for concurrent use; callers serialize
+// (the registry feeds it under the dataset lock).
+type Hasher struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+// NewHasher starts a fingerprint stream over the schema: column count,
+// then each column's length-prefixed name and type byte.
+func NewHasher(cols []*Column) *Hasher {
+	fh := &Hasher{h: fnv.New128a()}
+	fh.writeInt(len(cols))
+	for _, c := range cols {
+		fh.writeInt(len(c.Name))
+		fh.h.Write([]byte(c.Name))
+		fh.h.Write([]byte{byte(c.Type)})
+	}
+	return fh
+}
+
+// WriteCell extends the stream with one cell. Every variable-length
+// field is length-prefixed so cell boundaries are unambiguous:
+// ["a\x00","b"] and ["a","\x00b"] must not collide. Nulls get a
+// sentinel no length can equal.
+func (fh *Hasher) WriteCell(raw string, null bool) {
+	if null {
+		fh.writeInt(-1)
+		return
+	}
+	fh.writeInt(len(raw))
+	fh.h.Write([]byte(raw))
+}
+
+// Sum returns the hex digest of the stream so far without resetting
+// the rolling state.
+func (fh *Hasher) Sum() string {
+	return fmt.Sprintf("%x", fh.h.Sum(nil))
+}
+
+func (fh *Hasher) writeInt(v int) {
+	binary.LittleEndian.PutUint64(fh.buf[:], uint64(v))
+	fh.h.Write(fh.buf[:])
 }

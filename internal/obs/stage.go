@@ -15,6 +15,8 @@ const (
 	StageRank        = "rank"        // factor computation + dominance ranking
 	StageProgressive = "progressive" // tournament selection end to end
 	StageSuggest     = "suggest"     // multi-series suggestion end to end
+	StageAppend      = "append"      // live-dataset row ingestion (parse + stats + fingerprint)
+	StageSnapshot    = "snapshot"    // live-dataset epoch snapshot materialization
 )
 
 // ObserveStage records one stage duration into the Default registry.

@@ -1,0 +1,286 @@
+package registry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/deepeye/deepeye/internal/dataset"
+	"github.com/deepeye/deepeye/internal/obs"
+)
+
+// Dataset is one live, append-only dataset: typed column storage the
+// registry grows in place, per-column online statistics, and a rolling
+// content fingerprint extended per appended cell. Reads never touch
+// the live storage directly — Snapshot returns an immutable epoch view
+// — so an in-flight recommendation can never observe a torn table.
+type Dataset struct {
+	name   string
+	mu     sync.Mutex // guards everything below
+	cols   []*dataset.Column
+	stats  []*colTracker
+	hasher *dataset.Hasher
+	fp     string // rolling digest at the current epoch
+	nRows  int
+	ragged int // cumulative over-wide rows truncated at ingest
+	epoch  uint64
+	snap   *dataset.Table // memoized snapshot for the current epoch
+
+	// bytes and retired are atomics because the registry reads them
+	// under its own lock while appends update them under d.mu; access
+	// and creation times are atomics for the same reason (TTL sweeps
+	// read them lock-free).
+	bytes      atomic.Int64
+	retired    atomic.Bool
+	createdAt  time.Time
+	lastAccess atomic.Int64 // unix nanos
+}
+
+// ColumnInfo is the live profile of one column, maintained online.
+type ColumnInfo struct {
+	Name          string
+	Type          dataset.ColType
+	NonNull       int
+	Nulls         int
+	Distinct      int
+	DistinctExact bool // false once the HyperLogLog fallback engaged
+	Min, Max      float64
+	Mean, Std     float64 // Welford accumulator (numeric/temporal only)
+}
+
+// Info is a point-in-time description of a dataset.
+type Info struct {
+	Name        string
+	Rows        int
+	Cols        int
+	Epoch       uint64
+	Fingerprint string
+	Bytes       int64
+	RaggedRows  int
+	CreatedAt   time.Time
+	LastAccess  time.Time
+	Columns     []ColumnInfo
+}
+
+// AppendResult reports one append batch.
+type AppendResult struct {
+	Dataset     string
+	Appended    int    // rows ingested by this call
+	Rows        int    // total rows after the append
+	Epoch       uint64 // epoch after the append
+	Fingerprint string // rolling fingerprint after the append
+	Ragged      int    // over-wide rows truncated in this call
+	RaggedTotal int    // cumulative over-wide rows
+}
+
+// newDataset adopts a built table as live storage. The source table's
+// columns are cloned (three-index slices force copy-on-first-append),
+// so the caller's table stays immutable; the trackers and the rolling
+// hasher are seeded with every existing cell.
+func newDataset(name string, t *dataset.Table, now time.Time) *Dataset {
+	d := &Dataset{name: name, nRows: t.NumRows(), ragged: t.RaggedRows, createdAt: now}
+	d.lastAccess.Store(now.UnixNano())
+	d.cols = make([]*dataset.Column, len(t.Columns))
+	d.stats = make([]*colTracker, len(t.Columns))
+	var bytes int64
+	for j, src := range t.Columns {
+		c := &dataset.Column{Name: src.Name, Type: src.Type,
+			Raw:  src.Raw[:len(src.Raw):len(src.Raw)],
+			Null: src.Null[:len(src.Null):len(src.Null)],
+		}
+		if src.Nums != nil {
+			c.Nums = src.Nums[:len(src.Nums):len(src.Nums)]
+		}
+		if src.Times != nil {
+			c.Times = src.Times[:len(src.Times):len(src.Times)]
+		}
+		d.cols[j] = c
+		tr := newColTracker()
+		for i := range c.Raw {
+			v, hasNum := numericAt(c, i)
+			tr.observe(c.Raw[i], c.Null[i], v, hasNum)
+			bytes += cellBytes(c.Raw[i], c.Type)
+		}
+		d.stats[j] = tr
+	}
+	d.hasher = dataset.NewHasher(d.cols)
+	for i := 0; i < d.nRows; i++ {
+		for _, c := range d.cols {
+			d.hasher.WriteCell(c.Raw[i], c.Null[i])
+		}
+	}
+	d.fp = d.hasher.Sum()
+	d.bytes.Store(bytes)
+	return d
+}
+
+// numericAt returns the numeric interpretation of cell i (parsed value
+// or Unix seconds) and whether one exists — mirroring what
+// computeStats feeds its min/max.
+func numericAt(c *dataset.Column, i int) (float64, bool) {
+	if c.Null[i] {
+		return 0, false
+	}
+	switch c.Type {
+	case dataset.Numerical:
+		return c.Nums[i], true
+	case dataset.Temporal:
+		return float64(c.Times[i].Unix()), true
+	}
+	return 0, false
+}
+
+// cellBytes estimates the live-storage cost of one cell: the raw
+// string's bytes plus header/null/parsed-value overhead. The estimate
+// feeds the registry's byte budget, not any correctness path.
+func cellBytes(raw string, typ dataset.ColType) int64 {
+	b := int64(len(raw)) + 17 // string header + null flag
+	switch typ {
+	case dataset.Numerical:
+		b += 8
+	case dataset.Temporal:
+		b += 24
+	}
+	return b
+}
+
+// append ingests a batch of raw rows: each row's cells are matched
+// positionally to the schema, short rows pad with nulls, over-wide
+// rows are truncated and counted. Incremental maintenance happens
+// per cell — column storage, online trackers, and the rolling
+// fingerprint all advance together — and the epoch bumps once per
+// batch, retiring the memoized snapshot. It returns the result, the
+// byte-budget delta, and the fingerprint the batch retired ("" when
+// rows is empty and nothing changed).
+func (d *Dataset) append(rows [][]string) (AppendResult, int64, string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(rows) == 0 {
+		return AppendResult{Dataset: d.name, Rows: d.nRows, Epoch: d.epoch,
+			Fingerprint: d.fp, RaggedTotal: d.ragged}, 0, ""
+	}
+	stop := obs.StageTimer(obs.StageAppend)
+	defer stop()
+	oldFp := d.fp
+	var delta int64
+	raggedBatch := 0
+	for _, row := range rows {
+		if len(row) > len(d.cols) {
+			raggedBatch++
+		}
+		for j, c := range d.cols {
+			cell := ""
+			if j < len(row) {
+				cell = row[j]
+			}
+			null := c.AppendCell(cell)
+			d.hasher.WriteCell(cell, null)
+			v, hasNum := numericAt(c, len(c.Raw)-1)
+			d.stats[j].observe(cell, null, v, hasNum)
+			delta += cellBytes(cell, c.Type)
+		}
+	}
+	d.nRows += len(rows)
+	d.ragged += raggedBatch
+	d.epoch++
+	d.snap = nil
+	d.fp = d.hasher.Sum()
+	// d.bytes is NOT updated here: the registry commits the delta under
+	// its own lock, so a concurrent removal can never subtract bytes
+	// that were never added to the registry total.
+	return AppendResult{
+		Dataset: d.name, Appended: len(rows), Rows: d.nRows,
+		Epoch: d.epoch, Fingerprint: d.fp,
+		Ragged: raggedBatch, RaggedTotal: d.ragged,
+	}, delta, oldFp
+}
+
+// Snapshot returns the immutable table view of the current epoch,
+// materializing it on first use and memoizing it until the next
+// append. Snapshot columns are fresh headers over three-index slices
+// of the live storage — copy-on-write tails: later appends either
+// write past every snapshot's length or reallocate, so existing
+// snapshots never change. The rolling fingerprint is injected (no
+// recompute), and tracker statistics are injected while they are
+// still exact, so a warm snapshot costs O(columns), not O(cells).
+func (d *Dataset) Snapshot() *dataset.Table {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.snap != nil {
+		return d.snap
+	}
+	stop := obs.StageTimer(obs.StageSnapshot)
+	defer stop()
+	cols := make([]*dataset.Column, len(d.cols))
+	for j, c := range d.cols {
+		sc := &dataset.Column{Name: c.Name, Type: c.Type,
+			Raw:  c.Raw[:d.nRows:d.nRows],
+			Null: c.Null[:d.nRows:d.nRows],
+		}
+		if c.Nums != nil {
+			sc.Nums = c.Nums[:d.nRows:d.nRows]
+		}
+		if c.Times != nil {
+			sc.Times = c.Times[:d.nRows:d.nRows]
+		}
+		if st, exact := d.stats[j].stats(c.Type); exact {
+			sc.SetStats(st)
+		}
+		cols[j] = sc
+	}
+	t, err := dataset.New(d.name, cols)
+	if err != nil {
+		// Unreachable: the schema was validated at registration and
+		// every column grows in lockstep.
+		panic("registry: snapshot of inconsistent dataset: " + err.Error())
+	}
+	t.RaggedRows = d.ragged
+	t.SetFingerprint(d.fp)
+	d.snap = t
+	return t
+}
+
+// Info snapshots the dataset's description and live column profiles.
+func (d *Dataset) Info() Info {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	info := Info{
+		Name: d.name, Rows: d.nRows, Cols: len(d.cols),
+		Epoch: d.epoch, Fingerprint: d.fp,
+		Bytes: d.bytes.Load(), RaggedRows: d.ragged,
+		CreatedAt:  d.createdAt,
+		LastAccess: time.Unix(0, d.lastAccess.Load()),
+	}
+	for j, c := range d.cols {
+		tr := d.stats[j]
+		distinct, exact := tr.distinct()
+		ci := ColumnInfo{
+			Name: c.Name, Type: c.Type,
+			NonNull: tr.nonNull, Nulls: tr.nulls,
+			Distinct: distinct, DistinctExact: exact,
+			Mean: tr.mean, Std: tr.stddev(),
+		}
+		if tr.nNum > 0 {
+			ci.Min, ci.Max = tr.min, tr.max
+		}
+		info.Columns = append(info.Columns, ci)
+	}
+	return info
+}
+
+// Name returns the dataset's registry name.
+func (d *Dataset) Name() string { return d.name }
+
+// Fingerprint returns the rolling fingerprint at the current epoch.
+func (d *Dataset) Fingerprint() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.fp
+}
+
+// Epoch returns the current epoch (one bump per append batch).
+func (d *Dataset) Epoch() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.epoch
+}

@@ -1,0 +1,71 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/deepeye/deepeye/internal/dataset"
+)
+
+// FuzzAppend feeds arbitrary cell bytes through the append path and
+// checks the subsystem's core invariant on every input: the rolling
+// fingerprint after the append equals a from-scratch Fingerprint() of
+// the grown content, and the snapshot's injected statistics equal a
+// cold computeStats pass. Rows are derived from the fuzz input by
+// splitting on newlines and commas, so the corpus explores nulls,
+// numbers that fail to parse, over-wide and empty rows, and binary
+// junk in cells.
+func FuzzAppend(f *testing.F) {
+	f.Add("Oslo,19.5,2024-01-04\nBerlin,7,2024-01-05")
+	f.Add("a\nb,c,d,e,f\n\n,,,\nnull,NaN,xx")
+	f.Add("x,1e300,1970-01-01\ny,-0,not a date")
+	f.Add(strings.Repeat("cell,", 40))
+	f.Fuzz(func(t *testing.T, data string) {
+		if len(data) > 1<<12 {
+			t.Skip("oversized input")
+		}
+		var rows [][]string
+		for _, line := range strings.Split(data, "\n") {
+			rows = append(rows, strings.Split(line, ","))
+		}
+		r := New(Config{})
+		tab, err := dataset.FromCSVString("fuzz", tripsCSV)
+		if err != nil {
+			t.Fatalf("seed table: %v", err)
+		}
+		if _, err := r.Register("fuzz", tab); err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+		res, err := r.Append("fuzz", rows)
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if res.Rows != 3+len(rows) {
+			t.Fatalf("Rows = %d, want %d", res.Rows, 3+len(rows))
+		}
+		snap, ok := r.Snapshot("fuzz")
+		if !ok {
+			t.Fatal("Snapshot missed")
+		}
+		n := snap.NumRows()
+		cols := make([]*dataset.Column, len(snap.Columns))
+		for j, c := range snap.Columns {
+			if len(c.Raw) != n || len(c.Null) != n {
+				t.Fatalf("col %s: %d/%d cells for %d rows", c.Name, len(c.Raw), len(c.Null), n)
+			}
+			cols[j] = dataset.ForceType(c.Name, append([]string(nil), c.Raw...), c.Type)
+		}
+		fresh, err := dataset.New("fuzz", cols)
+		if err != nil {
+			t.Fatalf("rebuilding: %v", err)
+		}
+		if got, want := snap.Fingerprint(), fresh.Fingerprint(); got != want {
+			t.Fatalf("rolling fingerprint %s != recompute %s", got, want)
+		}
+		for j, sc := range snap.Columns {
+			if got, want := sc.Stats(), fresh.Columns[j].Stats(); got != want {
+				t.Fatalf("col %s: snapshot stats %+v != computed %+v", sc.Name, got, want)
+			}
+		}
+	})
+}

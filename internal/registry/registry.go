@@ -1,0 +1,352 @@
+// Package registry is DeepEye's live dataset subsystem: named,
+// append-only datasets held in memory under a byte budget with
+// TTL + LRU eviction, each maintained incrementally — online
+// per-column statistics (min/max/mean/M2 via Welford, distinct counts
+// via an exact set with a HyperLogLog fallback, null counts) and a
+// rolling FNV-128a content fingerprint extended per appended cell
+// that provably equals a full recompute on the grown table.
+//
+// The paper's pipeline assumes a static table: every run re-reads,
+// re-types, and re-profiles the full dataset. Production traffic is
+// the opposite shape — the same dataset is queried thousands of times
+// while rows keep arriving — so the registry puts a stateful layer
+// under the stateless pipeline: POST rows in, and every subsequent
+// recommendation sees them without a re-upload or a full re-profile.
+//
+// Reads are snapshot-consistent: Snapshot returns an immutable epoch
+// view (fresh column headers over copy-on-write tails of the live
+// storage), so an in-flight TopK never sees a torn table, and the
+// epoch's fingerprint keys the result cache exactly as a cold upload
+// of the same content would. When a dataset's content moves on (append,
+// delete, eviction, expiry), the retired fingerprint is reported to
+// the OnRetire hook so the serving cache can drop just that dataset's
+// entries instead of purging globally.
+//
+// Gauges and counters are exported on the obs registry (and thus
+// GET /metrics) under deepeye_registry_*.
+package registry
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/deepeye/deepeye/internal/dataset"
+	"github.com/deepeye/deepeye/internal/obs"
+)
+
+// Metric names exported on the obs registry.
+const (
+	metricDatasets  = "deepeye_registry_datasets"
+	metricBytes     = "deepeye_registry_bytes"
+	metricEvictions = "deepeye_registry_evictions_total"
+	metricAppends   = "deepeye_registry_appends_total"
+	metricRows      = "deepeye_registry_appended_rows_total"
+	metricEpochs    = "deepeye_registry_snapshot_epochs_total"
+	metricSnapshots = "deepeye_registry_snapshots_total"
+	metricLookups   = "deepeye_registry_lookups_total"
+)
+
+// Sentinel errors callers map to API responses.
+var (
+	ErrNotFound = errors.New("registry: dataset not found")
+	ErrExists   = errors.New("registry: dataset already exists")
+)
+
+// Config configures a Registry.
+type Config struct {
+	// MaxBytes is the byte budget across all datasets; exceeding it
+	// evicts least-recently-used datasets (never the one currently
+	// being registered or appended to). 0 means unlimited.
+	MaxBytes int64
+	// TTL expires datasets not accessed (read or appended) within the
+	// window; expiry is enforced lazily on registry operations.
+	// 0 disables expiry.
+	TTL time.Duration
+	// OnRetire, when set, is called with each content fingerprint the
+	// registry retires (append advanced it; delete/evict/expiry removed
+	// the dataset). The serving layer uses it for targeted cache
+	// invalidation. Called outside registry locks.
+	OnRetire func(fingerprint string)
+	// Obs receives the registry's metrics; nil uses obs.Default.
+	Obs *obs.Registry
+	// Now overrides the clock (TTL tests); nil uses time.Now.
+	Now func() time.Time
+}
+
+// Registry holds live datasets by name. Safe for concurrent use.
+type Registry struct {
+	cfg Config
+	now func() time.Time
+
+	mu     sync.Mutex
+	ll     *list.List // front = most recently used; values are *Dataset
+	byName map[string]*list.Element
+	bytes  int64
+
+	datasetsG, bytesG                                    *obs.Gauge
+	evictionsLRU, evictionsTTL                           *obs.Counter
+	appends, appendedRows, epochs, snapshotsMat, lookups *obs.Counter
+}
+
+// New builds an empty registry.
+func New(cfg Config) *Registry {
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.Default
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &Registry{
+		cfg: cfg, now: now,
+		ll: list.New(), byName: make(map[string]*list.Element),
+		datasetsG:    reg.Gauge(metricDatasets, "Live datasets currently registered."),
+		bytesG:       reg.Gauge(metricBytes, "Estimated bytes held by live datasets."),
+		evictionsLRU: reg.Counter(metricEvictions, "Datasets evicted.", "reason", "lru"),
+		evictionsTTL: reg.Counter(metricEvictions, "Datasets evicted.", "reason", "ttl"),
+		appends:      reg.Counter(metricAppends, "Append batches ingested."),
+		appendedRows: reg.Counter(metricRows, "Rows ingested via append."),
+		epochs:       reg.Counter(metricEpochs, "Snapshot epoch advances (one per content change)."),
+		snapshotsMat: reg.Counter(metricSnapshots, "Epoch snapshots materialized."),
+		lookups:      reg.Counter(metricLookups, "Dataset lookups."),
+	}
+}
+
+// Register adopts a built table as a new live dataset under name.
+// The table's columns are cloned, so the caller's table stays
+// immutable. Registering over an existing name fails with ErrExists.
+func (r *Registry) Register(name string, t *dataset.Table) (*Dataset, error) {
+	if name == "" {
+		return nil, fmt.Errorf("registry: empty dataset name")
+	}
+	if t == nil || t.NumCols() == 0 {
+		return nil, fmt.Errorf("registry: dataset %q has no columns", name)
+	}
+	now := r.now()
+	d := newDataset(name, t, now) // O(cells); built outside the registry lock
+	r.mu.Lock()
+	retired := r.sweepExpiredLocked(now)
+	if _, exists := r.byName[name]; exists {
+		r.mu.Unlock()
+		r.retire(retired)
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	r.byName[name] = r.ll.PushFront(d)
+	r.bytes += d.bytes.Load()
+	r.epochs.Inc()
+	retired = append(retired, r.evictOverBudgetLocked(d)...)
+	r.syncGaugesLocked()
+	r.mu.Unlock()
+	r.retire(retired)
+	return d, nil
+}
+
+// Get returns the named dataset, refreshing its LRU/TTL position.
+func (r *Registry) Get(name string) (*Dataset, bool) {
+	r.mu.Lock()
+	d, ok, retired := r.getLocked(name)
+	r.mu.Unlock()
+	r.retire(retired)
+	return d, ok
+}
+
+func (r *Registry) getLocked(name string) (*Dataset, bool, []string) {
+	r.lookups.Inc()
+	now := r.now()
+	retired := r.sweepExpiredLocked(now)
+	el, ok := r.byName[name]
+	if !ok {
+		return nil, false, retired
+	}
+	d := el.Value.(*Dataset)
+	r.ll.MoveToFront(el)
+	d.lastAccess.Store(now.UnixNano())
+	return d, true, retired
+}
+
+// Append ingests rows into the named dataset (see Dataset.append for
+// the row semantics), refreshes its LRU/TTL position, applies the
+// byte budget, and reports the retired fingerprint to OnRetire.
+func (r *Registry) Append(name string, rows [][]string) (AppendResult, error) {
+	r.mu.Lock()
+	d, ok, retired := r.getLocked(name)
+	r.mu.Unlock()
+	if !ok {
+		r.retire(retired)
+		return AppendResult{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	res, delta, oldFp := d.append(rows)
+	r.mu.Lock()
+	if !d.retired.Load() { // evicted while we appended: skip accounting
+		d.bytes.Add(delta)
+		r.bytes += delta
+		if oldFp != "" {
+			r.appends.Inc()
+			r.appendedRows.Add(res.Appended)
+			r.epochs.Inc()
+			retired = append(retired, oldFp)
+		}
+		retired = append(retired, r.evictOverBudgetLocked(d)...)
+		r.syncGaugesLocked()
+	} else if oldFp != "" {
+		retired = append(retired, oldFp)
+	}
+	r.mu.Unlock()
+	r.retire(retired)
+	return res, nil
+}
+
+// Snapshot returns the current epoch view of the named dataset.
+func (r *Registry) Snapshot(name string) (*dataset.Table, bool) {
+	d, ok := r.Get(name)
+	if !ok {
+		return nil, false
+	}
+	return r.snapshotOf(d), true
+}
+
+// Use returns the named dataset's snapshot together with its Info —
+// the one-call form the serving layer uses per request.
+func (r *Registry) Use(name string) (*dataset.Table, Info, error) {
+	d, ok := r.Get(name)
+	if !ok {
+		return nil, Info{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return r.snapshotOf(d), d.Info(), nil
+}
+
+// snapshotOf materializes d's snapshot, counting first-per-epoch
+// materializations.
+func (r *Registry) snapshotOf(d *Dataset) *dataset.Table {
+	d.mu.Lock()
+	fresh := d.snap == nil
+	d.mu.Unlock()
+	t := d.Snapshot()
+	if fresh {
+		r.snapshotsMat.Inc()
+	}
+	return t
+}
+
+// Delete removes the named dataset, retiring its fingerprint.
+func (r *Registry) Delete(name string) bool {
+	r.mu.Lock()
+	el, ok := r.byName[name]
+	var retired []string
+	if ok {
+		retired = append(retired, r.removeLocked(el))
+		r.syncGaugesLocked()
+	}
+	r.mu.Unlock()
+	r.retire(retired)
+	return ok
+}
+
+// List describes every live dataset, most recently used first.
+func (r *Registry) List() []Info {
+	r.mu.Lock()
+	retired := r.sweepExpiredLocked(r.now())
+	ds := make([]*Dataset, 0, r.ll.Len())
+	for el := r.ll.Front(); el != nil; el = el.Next() {
+		ds = append(ds, el.Value.(*Dataset))
+	}
+	r.mu.Unlock()
+	r.retire(retired)
+	out := make([]Info, len(ds))
+	for i, d := range ds {
+		out[i] = d.Info()
+	}
+	return out
+}
+
+// Len returns the number of live datasets.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ll.Len()
+}
+
+// Bytes returns the estimated bytes held across datasets.
+func (r *Registry) Bytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bytes
+}
+
+// removeLocked unlinks a dataset and returns its retired fingerprint.
+func (r *Registry) removeLocked(el *list.Element) string {
+	d := el.Value.(*Dataset)
+	r.ll.Remove(el)
+	delete(r.byName, d.name)
+	d.retired.Store(true)
+	r.bytes -= d.bytes.Load()
+	return d.Fingerprint()
+}
+
+// sweepExpiredLocked expires datasets whose last access predates the
+// TTL window, returning their retired fingerprints. The LRU list is
+// access-ordered, so expired datasets cluster at the back and the
+// sweep stops at the first live one.
+func (r *Registry) sweepExpiredLocked(now time.Time) []string {
+	if r.cfg.TTL <= 0 {
+		return nil
+	}
+	cutoff := now.Add(-r.cfg.TTL).UnixNano()
+	var retired []string
+	for back := r.ll.Back(); back != nil; back = r.ll.Back() {
+		d := back.Value.(*Dataset)
+		if d.lastAccess.Load() > cutoff {
+			break
+		}
+		retired = append(retired, r.removeLocked(back))
+		r.evictionsTTL.Inc()
+	}
+	if len(retired) > 0 {
+		r.syncGaugesLocked()
+	}
+	return retired
+}
+
+// evictOverBudgetLocked evicts least-recently-used datasets (never
+// keep) until the byte budget is met, returning retired fingerprints.
+// A sole dataset larger than the whole budget is allowed to stay: the
+// budget guides eviction of other datasets, it does not reject data.
+func (r *Registry) evictOverBudgetLocked(keep *Dataset) []string {
+	if r.cfg.MaxBytes <= 0 {
+		return nil
+	}
+	var retired []string
+	for r.bytes > r.cfg.MaxBytes {
+		back := r.ll.Back()
+		if back == nil {
+			break
+		}
+		if back.Value.(*Dataset) == keep {
+			break // never evict the dataset being served/grown
+		}
+		retired = append(retired, r.removeLocked(back))
+		r.evictionsLRU.Inc()
+	}
+	return retired
+}
+
+func (r *Registry) syncGaugesLocked() {
+	r.datasetsG.Set(int64(r.ll.Len()))
+	r.bytesG.Set(r.bytes)
+}
+
+// retire invokes the OnRetire hook for each fingerprint. Runs
+// unlocked so the hook (which takes cache shard locks) cannot
+// deadlock with registry operations.
+func (r *Registry) retire(fps []string) {
+	if r.cfg.OnRetire == nil {
+		return
+	}
+	for _, fp := range fps {
+		r.cfg.OnRetire(fp)
+	}
+}

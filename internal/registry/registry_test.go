@@ -1,0 +1,519 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/deepeye/deepeye/internal/dataset"
+	"github.com/deepeye/deepeye/internal/obs"
+)
+
+// mkTable builds a table from inline CSV.
+func mkTable(t *testing.T, name, csv string) *dataset.Table {
+	t.Helper()
+	tab, err := dataset.FromCSVString(name, csv)
+	if err != nil {
+		t.Fatalf("FromCSVString: %v", err)
+	}
+	return tab
+}
+
+const tripsCSV = "city,fare,day\nBerlin,12.5,2024-01-01\nTokyo,30,2024-01-02\nBerlin,8,2024-01-03\n"
+
+func newTestRegistry(cfg Config) *Registry {
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
+	return New(cfg)
+}
+
+// rebuild reconstructs a fresh, independent table from a snapshot's raw
+// cells under the snapshot's types — what a cold CSV load of the grown
+// content would produce. Its Fingerprint() and Stats() are computed
+// from scratch, so they are the ground truth the incremental paths
+// must match.
+func rebuild(t *testing.T, snap *dataset.Table) *dataset.Table {
+	t.Helper()
+	cols := make([]*dataset.Column, len(snap.Columns))
+	for j, c := range snap.Columns {
+		raw := append([]string(nil), c.Raw...)
+		cols[j] = dataset.ForceType(c.Name, raw, c.Type)
+	}
+	nt, err := dataset.New(snap.Name, cols)
+	if err != nil {
+		t.Fatalf("rebuilding snapshot: %v", err)
+	}
+	return nt
+}
+
+func TestRegisterGetDelete(t *testing.T) {
+	r := newTestRegistry(Config{})
+	tab := mkTable(t, "trips", tripsCSV)
+	d, err := r.Register("trips", tab)
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if d.Epoch() != 0 {
+		t.Errorf("fresh dataset epoch = %d, want 0", d.Epoch())
+	}
+	if _, err := r.Register("trips", tab); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate Register err = %v, want ErrExists", err)
+	}
+	if _, err := r.Register("", tab); err == nil {
+		t.Error("Register with empty name succeeded")
+	}
+	if _, ok := r.Get("trips"); !ok {
+		t.Error("Get(trips) missed")
+	}
+	if _, ok := r.Get("nope"); ok {
+		t.Error("Get(nope) hit")
+	}
+	if _, err := r.Append("nope", [][]string{{"x"}}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Append(nope) err = %v, want ErrNotFound", err)
+	}
+	if !r.Delete("trips") {
+		t.Error("Delete(trips) reported absent")
+	}
+	if r.Delete("trips") {
+		t.Error("second Delete(trips) reported present")
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len = %d after delete, want 0", r.Len())
+	}
+}
+
+func TestAppendGrowsAndFingerprintMatchesRecompute(t *testing.T) {
+	r := newTestRegistry(Config{})
+	d, err := r.Register("trips", mkTable(t, "trips", tripsCSV))
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	res, err := r.Append("trips", [][]string{
+		{"Oslo", "19.5", "2024-01-04"},
+		{"Berlin", "7", "2024-01-05"},
+	})
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if res.Appended != 2 || res.Rows != 5 || res.Epoch != 1 {
+		t.Fatalf("AppendResult = %+v, want Appended=2 Rows=5 Epoch=1", res)
+	}
+	snap, ok := r.Snapshot("trips")
+	if !ok {
+		t.Fatal("Snapshot missed")
+	}
+	if snap.NumRows() != 5 {
+		t.Fatalf("snapshot rows = %d, want 5", snap.NumRows())
+	}
+	if snap.Fingerprint() != res.Fingerprint {
+		t.Errorf("snapshot fingerprint %s != append result %s", snap.Fingerprint(), res.Fingerprint)
+	}
+	if got, want := d.Fingerprint(), rebuild(t, snap).Fingerprint(); got != want {
+		t.Errorf("rolling fingerprint %s != full recompute %s", got, want)
+	}
+}
+
+func TestAppendRowShaping(t *testing.T) {
+	r := newTestRegistry(Config{})
+	if _, err := r.Register("trips", mkTable(t, "trips", tripsCSV)); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	res, err := r.Append("trips", [][]string{
+		{"Oslo"}, // short: fare/day pad to null
+		{"Rome", "5", "2024-02-01", "extra", "x"}, // over-wide: truncated, counted
+		{"Lima", "not-a-number", "2024-02-02"},    // unparseable fare → null
+	})
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if res.Ragged != 1 || res.RaggedTotal != 1 {
+		t.Errorf("Ragged = %d/%d, want 1/1", res.Ragged, res.RaggedTotal)
+	}
+	snap, _ := r.Snapshot("trips")
+	if snap.RaggedRows != 1 {
+		t.Errorf("snapshot RaggedRows = %d, want 1", snap.RaggedRows)
+	}
+	fare := snap.Column("fare")
+	if !fare.Null[3] {
+		t.Error("padded short-row fare cell not null")
+	}
+	if !fare.Null[5] {
+		t.Error("unparseable fare cell not null")
+	}
+	// The truncated row must hash as 3 cells, identically to a cold load
+	// of the same grown content.
+	if got, want := snap.Fingerprint(), rebuild(t, snap).Fingerprint(); got != want {
+		t.Errorf("fingerprint with ragged append %s != recompute %s", got, want)
+	}
+}
+
+func TestEmptyAppendIsNoOp(t *testing.T) {
+	retired := []string{}
+	r := newTestRegistry(Config{OnRetire: func(fp string) { retired = append(retired, fp) }})
+	d, err := r.Register("trips", mkTable(t, "trips", tripsCSV))
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	fp := d.Fingerprint()
+	res, err := r.Append("trips", nil)
+	if err != nil {
+		t.Fatalf("Append(nil): %v", err)
+	}
+	if res.Epoch != 0 || res.Fingerprint != fp || res.Rows != 3 {
+		t.Errorf("empty append changed state: %+v", res)
+	}
+	if len(retired) != 0 {
+		t.Errorf("empty append retired fingerprints: %v", retired)
+	}
+}
+
+// TestSnapshotIsolation pins the copy-on-write contract: a snapshot
+// taken before an append must not observe the appended rows, and its
+// fingerprint stays the old epoch's.
+func TestSnapshotIsolation(t *testing.T) {
+	r := newTestRegistry(Config{})
+	if _, err := r.Register("trips", mkTable(t, "trips", tripsCSV)); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	before, _ := r.Snapshot("trips")
+	fpBefore := before.Fingerprint()
+	for i := 0; i < 64; i++ { // enough appends to force tail reallocation
+		if _, err := r.Append("trips", [][]string{{"X", fmt.Sprint(i), "2024-03-01"}}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if before.NumRows() != 3 {
+		t.Errorf("old snapshot grew to %d rows", before.NumRows())
+	}
+	if before.Fingerprint() != fpBefore {
+		t.Error("old snapshot fingerprint changed")
+	}
+	if got, want := before.Fingerprint(), rebuild(t, before).Fingerprint(); got != want {
+		t.Errorf("old snapshot fingerprint %s != recompute over its own cells %s", got, want)
+	}
+	after, _ := r.Snapshot("trips")
+	if after.NumRows() != 67 {
+		t.Errorf("new snapshot rows = %d, want 67", after.NumRows())
+	}
+	// Same epoch → memoized: both calls must return the identical table.
+	again, _ := r.Snapshot("trips")
+	if again != after {
+		t.Error("same-epoch snapshots are distinct tables")
+	}
+}
+
+// TestFingerprintPropertyRandom drives random schemas and append
+// batches through the rolling hasher and cross-checks every epoch
+// against a from-scratch recompute.
+func TestFingerprintPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cells := []string{"a", "b", "", "null", "3.14", "-2", "2024-05-01", "x,y", "long string value", "0"}
+	for trial := 0; trial < 25; trial++ {
+		nCols := 1 + rng.Intn(4)
+		var sb strings.Builder
+		for j := 0; j < nCols; j++ {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "c%d", j)
+		}
+		sb.WriteByte('\n')
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			for j := 0; j < nCols; j++ {
+				if j > 0 {
+					sb.WriteByte(',')
+				}
+				fmt.Fprintf(&sb, "%d", rng.Intn(100))
+			}
+			sb.WriteByte('\n')
+		}
+		r := newTestRegistry(Config{})
+		name := fmt.Sprintf("t%d", trial)
+		if _, err := r.Register(name, mkTable(t, name, sb.String())); err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+		for batch := 0; batch < 4; batch++ {
+			rows := make([][]string, rng.Intn(4))
+			for i := range rows {
+				width := rng.Intn(nCols + 2) // exercises short and over-wide rows
+				row := make([]string, width)
+				for j := range row {
+					row[j] = cells[rng.Intn(len(cells))]
+				}
+				rows[i] = row
+			}
+			res, err := r.Append(name, rows)
+			if err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			snap, _ := r.Snapshot(name)
+			if got := rebuild(t, snap).Fingerprint(); got != res.Fingerprint {
+				t.Fatalf("trial %d batch %d: rolling %s != recompute %s", trial, batch, res.Fingerprint, got)
+			}
+		}
+	}
+}
+
+// TestOnlineStatsMatchComputeStats checks that in the exact regime the
+// tracker-maintained statistics injected into snapshot columns are
+// bit-for-bit what a cold computeStats pass over the same cells yields.
+func TestOnlineStatsMatchComputeStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	r := newTestRegistry(Config{})
+	if _, err := r.Register("trips", mkTable(t, "trips", tripsCSV)); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	for batch := 0; batch < 6; batch++ {
+		rows := make([][]string, 1+rng.Intn(20))
+		for i := range rows {
+			city := fmt.Sprintf("city%d", rng.Intn(9))
+			fare := fmt.Sprintf("%.2f", rng.Float64()*100-20)
+			if rng.Intn(10) == 0 {
+				fare = "" // null fare
+			}
+			day := fmt.Sprintf("2024-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28))
+			rows[i] = []string{city, fare, day}
+		}
+		if _, err := r.Append("trips", rows); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		snap, _ := r.Snapshot("trips")
+		fresh := rebuild(t, snap)
+		for j, sc := range snap.Columns {
+			got, want := sc.Stats(), fresh.Columns[j].Stats()
+			if got != want {
+				t.Fatalf("batch %d col %s: injected stats %+v != computed %+v", batch, sc.Name, got, want)
+			}
+		}
+		// The live Info profile must agree too (mean/std come only from
+		// the tracker; cross-check against a direct pass).
+		d, _ := r.Get("trips")
+		info := d.Info()
+		for j, ci := range info.Columns {
+			ws := fresh.Columns[j].Stats()
+			if ci.NonNull != ws.N || ci.Distinct != ws.Distinct {
+				t.Fatalf("col %s: info N/distinct %d/%d != %d/%d", ci.Name, ci.NonNull, ci.Distinct, ws.N, ws.Distinct)
+			}
+			if ci.Type != dataset.Categorical && ci.NonNull > 0 {
+				if ci.Min != ws.Min || ci.Max != ws.Max {
+					t.Fatalf("col %s: info min/max %v/%v != %v/%v", ci.Name, ci.Min, ci.Max, ws.Min, ws.Max)
+				}
+				vals := fresh.Columns[j].NumericValues()
+				mean, m2 := 0.0, 0.0
+				for i, v := range vals {
+					dlt := v - mean
+					mean += dlt / float64(i+1)
+					m2 += dlt * (v - mean)
+				}
+				if math.Abs(ci.Mean-mean) > 1e-9*math.Max(1, math.Abs(mean)) {
+					t.Fatalf("col %s: info mean %v != %v", ci.Name, ci.Mean, mean)
+				}
+			}
+		}
+	}
+}
+
+// TestDistinctSketchFallback pushes a column past distinctExactLimit
+// and checks the HyperLogLog estimate plus the snapshot's fall-back to
+// exact lazy computation.
+func TestDistinctSketchFallback(t *testing.T) {
+	r := newTestRegistry(Config{})
+	if _, err := r.Register("ids", mkTable(t, "ids", "id\nseed\n")); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	total := 3 * distinctExactLimit
+	rows := make([][]string, total)
+	for i := range rows {
+		rows[i] = []string{fmt.Sprintf("user-%d", i)}
+	}
+	if _, err := r.Append("ids", rows); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	d, _ := r.Get("ids")
+	info := d.Info()
+	ci := info.Columns[0]
+	if ci.DistinctExact {
+		t.Fatalf("DistinctExact still true past the limit (distinct=%d)", ci.Distinct)
+	}
+	truth := float64(total + 1)
+	if err := math.Abs(float64(ci.Distinct)-truth) / truth; err > 0.05 {
+		t.Errorf("HLL estimate %d off truth %v by %.1f%% (>5%%)", ci.Distinct, truth, err*100)
+	}
+	// Past the exact regime the snapshot must NOT carry approximate
+	// stats: its lazily computed Stats are exact.
+	snap, _ := r.Snapshot("ids")
+	if got := snap.Columns[0].Stats().Distinct; got != total+1 {
+		t.Errorf("snapshot distinct = %d, want exact %d", got, total+1)
+	}
+}
+
+func TestLRUEvictionUnderByteBudget(t *testing.T) {
+	var retired []string
+	reg := obs.NewRegistry()
+	r := newTestRegistry(Config{
+		MaxBytes: 4096,
+		Obs:      reg,
+		OnRetire: func(fp string) { retired = append(retired, fp) },
+	})
+	wide := "v\n" + strings.Repeat("abcdefghijklmnopqrstuvwxyz-0123456789\n", 40) // ~2.2 KiB estimated
+	fps := map[string]string{}
+	for _, name := range []string{"a", "b", "c"} {
+		d, err := r.Register(name, mkTable(t, name, wide+name+"\n"))
+		if err != nil {
+			t.Fatalf("Register(%s): %v", name, err)
+		}
+		fps[name] = d.Fingerprint()
+	}
+	// Budget fits one dataset plus change: "a" (the oldest) must be gone.
+	if _, ok := r.Get("a"); ok {
+		t.Error("LRU dataset a survived over budget")
+	}
+	if _, ok := r.Get("c"); !ok {
+		t.Error("newest dataset c was evicted")
+	}
+	found := false
+	for _, fp := range retired {
+		if fp == fps["a"] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("eviction did not retire a's fingerprint; retired=%v", retired)
+	}
+	if r.Bytes() > 4096 && r.Len() > 1 {
+		t.Errorf("still %d bytes across %d datasets over a 4096 budget", r.Bytes(), r.Len())
+	}
+}
+
+func TestSoleOversizedDatasetStays(t *testing.T) {
+	r := newTestRegistry(Config{MaxBytes: 64})
+	if _, err := r.Register("big", mkTable(t, "big", tripsCSV)); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if _, ok := r.Get("big"); !ok {
+		t.Error("sole over-budget dataset was evicted")
+	}
+	// Appending keeps it resident too: the budget never evicts the
+	// dataset being grown.
+	if _, err := r.Append("big", [][]string{{"Oslo", "1", "2024-01-04"}}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if _, ok := r.Get("big"); !ok {
+		t.Error("over-budget dataset evicted by its own append")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	clock := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	now := func() time.Time { return clock }
+	var retired []string
+	r := newTestRegistry(Config{
+		TTL:      time.Minute,
+		Now:      now,
+		OnRetire: func(fp string) { retired = append(retired, fp) },
+	})
+	if _, err := r.Register("old", mkTable(t, "old", tripsCSV)); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	clock = clock.Add(30 * time.Second)
+	if _, err := r.Register("young", mkTable(t, "young", tripsCSV)); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	clock = clock.Add(45 * time.Second) // old idle 75s, young idle 45s
+	if _, ok := r.Get("old"); ok {
+		t.Error("expired dataset old still served")
+	}
+	if _, ok := r.Get("young"); !ok {
+		t.Error("live dataset young expired early")
+	}
+	if len(retired) != 1 {
+		t.Errorf("retired %d fingerprints, want 1 (old's)", len(retired))
+	}
+	// Access refreshes the TTL window.
+	clock = clock.Add(50 * time.Second)
+	if _, ok := r.Get("young"); !ok {
+		t.Error("young expired despite the Get refresh 50s ago")
+	}
+	clock = clock.Add(2 * time.Minute)
+	if n := r.Len(); n != 0 {
+		// Len takes no sweep; List does.
+		if got := len(r.List()); got != 0 {
+			t.Errorf("List after full expiry = %d datasets", got)
+		}
+		_ = n
+	}
+}
+
+func TestAppendRetiresOldFingerprintOnly(t *testing.T) {
+	var retired []string
+	r := newTestRegistry(Config{OnRetire: func(fp string) { retired = append(retired, fp) }})
+	d, err := r.Register("trips", mkTable(t, "trips", tripsCSV))
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	fp0 := d.Fingerprint()
+	res, err := r.Append("trips", [][]string{{"Oslo", "1", "2024-01-04"}})
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if len(retired) != 1 || retired[0] != fp0 {
+		t.Errorf("retired = %v, want exactly [%s]", retired, fp0)
+	}
+	if res.Fingerprint == fp0 {
+		t.Error("append did not advance the fingerprint")
+	}
+}
+
+func TestListOrderAndInfo(t *testing.T) {
+	r := newTestRegistry(Config{})
+	for _, name := range []string{"a", "b", "c"} {
+		if _, err := r.Register(name, mkTable(t, name, tripsCSV)); err != nil {
+			t.Fatalf("Register(%s): %v", name, err)
+		}
+	}
+	r.Get("a") // a becomes most recently used
+	got := []string{}
+	for _, info := range r.List() {
+		got = append(got, info.Name)
+	}
+	if strings.Join(got, ",") != "a,c,b" {
+		t.Errorf("List order = %v, want [a c b]", got)
+	}
+	info := r.List()[0]
+	if info.Rows != 3 || info.Cols != 3 || len(info.Columns) != 3 || info.Bytes <= 0 {
+		t.Errorf("Info = %+v, want 3 rows × 3 profiled columns with positive bytes", info)
+	}
+}
+
+func TestRegistryMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := newTestRegistry(Config{Obs: reg})
+	if _, err := r.Register("trips", mkTable(t, "trips", tripsCSV)); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if _, err := r.Append("trips", [][]string{{"Oslo", "1", "2024-01-04"}}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	r.Snapshot("trips")
+	var out strings.Builder
+	if err := reg.WritePrometheus(&out); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"deepeye_registry_datasets 1",
+		"deepeye_registry_appends_total 1",
+		"deepeye_registry_appended_rows_total 1",
+		"deepeye_registry_snapshots_total 1",
+		"deepeye_registry_bytes",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}

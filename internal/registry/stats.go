@@ -1,0 +1,169 @@
+package registry
+
+import (
+	"hash/fnv"
+	"math"
+	"math/bits"
+
+	"github.com/deepeye/deepeye/internal/dataset"
+)
+
+// distinctExactLimit is how many distinct values a column tracks
+// exactly before falling back to the HyperLogLog sketch. Below the
+// limit the tracker's Distinct equals computeStats' map-based count
+// bit for bit, so snapshot columns can be primed with tracker stats;
+// past it the estimate is approximate and snapshots compute their own
+// exact stats lazily instead.
+const distinctExactLimit = 4096
+
+// colTracker maintains a column's statistics online, one cell at a
+// time, so a dataset that has seen millions of appends can answer
+// profile queries without rescanning: non-null/null counts, numeric
+// min/max, a Welford mean/M2 accumulator (numerically stable at any
+// row count), and a distinct counter that is exact up to
+// distinctExactLimit and a 2^12-register HyperLogLog beyond it.
+// Callers serialize access (the registry's per-dataset lock).
+type colTracker struct {
+	nonNull, nulls int
+	min, max       float64
+	nNum           int
+	mean, m2       float64
+	seen           map[string]struct{} // nil after sketch fallback
+	sketch         *hll
+}
+
+func newColTracker() *colTracker {
+	return &colTracker{min: math.Inf(1), max: math.Inf(-1), seen: make(map[string]struct{})}
+}
+
+// observe ingests one cell: raw is the stored string, null its stored
+// null flag, and v the numeric interpretation (parsed value for
+// numerical columns, Unix seconds for temporal) when hasNum is true.
+func (t *colTracker) observe(raw string, null bool, v float64, hasNum bool) {
+	if null {
+		t.nulls++
+		return
+	}
+	t.nonNull++
+	if t.seen != nil {
+		t.seen[raw] = struct{}{}
+		if len(t.seen) > distinctExactLimit {
+			t.sketch = newHLL()
+			for s := range t.seen {
+				t.sketch.add(s)
+			}
+			t.seen = nil
+		}
+	} else {
+		t.sketch.add(raw)
+	}
+	if hasNum {
+		if v < t.min {
+			t.min = v
+		}
+		if v > t.max {
+			t.max = v
+		}
+		t.nNum++
+		d := v - t.mean
+		t.mean += d / float64(t.nNum)
+		t.m2 += d * (v - t.mean)
+	}
+}
+
+// distinct returns the current distinct count and whether it is exact.
+func (t *colTracker) distinct() (int, bool) {
+	if t.seen != nil {
+		return len(t.seen), true
+	}
+	return t.sketch.estimate(), false
+}
+
+// stats renders the tracker as a dataset.Stats value under the same
+// conventions computeStats uses (Min/Max zeroed for empty or
+// categorical columns). exact reports whether every field — Distinct
+// included — matches what a full computeStats pass over the column
+// would produce, which is the precondition for injecting the value
+// into a snapshot column's memo.
+func (t *colTracker) stats(typ dataset.ColType) (s dataset.Stats, exact bool) {
+	d, exactD := t.distinct()
+	s = dataset.Stats{
+		N:        t.nonNull,
+		Distinct: d,
+		Min:      t.min,
+		Max:      t.max,
+		HasNull:  t.nulls > 0,
+	}
+	if s.N > 0 {
+		s.Ratio = float64(s.Distinct) / float64(s.N)
+	}
+	if s.N == 0 || typ == dataset.Categorical {
+		s.Min, s.Max = 0, 0
+	}
+	return s, exactD
+}
+
+// stddev returns the sample standard deviation of the numeric values
+// seen so far (0 for fewer than two observations).
+func (t *colTracker) stddev() float64 {
+	if t.nNum < 2 {
+		return 0
+	}
+	return math.Sqrt(t.m2 / float64(t.nNum-1))
+}
+
+// hll is a minimal HyperLogLog cardinality sketch: 2^hllP registers,
+// FNV-64a hashing, with the standard small-range linear-counting
+// correction. At 4096 registers the typical relative error is
+// ~1.04/sqrt(4096) ≈ 1.6%, plenty for the ratio feature's
+// distinct-count input on columns too wide to track exactly.
+type hll struct {
+	regs []uint8
+}
+
+const hllP = 12 // 4096 registers
+
+func newHLL() *hll {
+	return &hll{regs: make([]uint8, 1<<hllP)}
+}
+
+func (h *hll) add(s string) {
+	f := fnv.New64a()
+	f.Write([]byte(s))
+	// FNV's high bits avalanche poorly on short keys, which skews the
+	// register index badly; finish with murmur3's fmix64 mixer.
+	x := f.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	idx := x >> (64 - hllP)
+	// Rank of the first set bit in the remaining 64-hllP bits.
+	rest := x << hllP
+	rank := uint8(bits.LeadingZeros64(rest)) + 1
+	if r := uint8(64 - hllP + 1); rank > r {
+		rank = r // all remaining bits zero
+	}
+	if rank > h.regs[idx] {
+		h.regs[idx] = rank
+	}
+}
+
+func (h *hll) estimate() int {
+	m := float64(len(h.regs))
+	var sum float64
+	zeros := 0
+	for _, r := range h.regs {
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	alpha := 0.7213 / (1 + 1.079/m)
+	e := alpha * m * m / sum
+	if e <= 2.5*m && zeros > 0 {
+		e = m * math.Log(m/float64(zeros)) // linear counting for small cardinalities
+	}
+	return int(e + 0.5)
+}

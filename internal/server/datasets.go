@@ -1,0 +1,256 @@
+// Live dataset endpoints: the HTTP face of the dataset registry.
+// Register a CSV once (POST /datasets), stream rows in
+// (POST /datasets/{id}/rows), and read recommendations by name
+// (GET /datasets/{id}/topk|search|query) — each read runs on an
+// immutable snapshot of the dataset's current epoch, so concurrent
+// appends never tear an in-flight answer.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	deepeye "github.com/deepeye/deepeye"
+)
+
+// DatasetColumnJSON is the wire form of one live column profile.
+type DatasetColumnJSON struct {
+	Name          string  `json:"name"`
+	Type          string  `json:"type"`
+	NonNull       int     `json:"non_null"`
+	Nulls         int     `json:"nulls"`
+	Distinct      int     `json:"distinct"`
+	DistinctExact bool    `json:"distinct_exact"`
+	Min           float64 `json:"min,omitempty"`
+	Max           float64 `json:"max,omitempty"`
+	Mean          float64 `json:"mean,omitempty"`
+	Std           float64 `json:"std,omitempty"`
+}
+
+// DatasetJSON is the wire form of one live dataset description.
+type DatasetJSON struct {
+	Name        string              `json:"name"`
+	Rows        int                 `json:"rows"`
+	Columns     int                 `json:"columns"`
+	Epoch       uint64              `json:"epoch"`
+	Fingerprint string              `json:"fingerprint"`
+	Bytes       int64               `json:"bytes"`
+	RaggedRows  int                 `json:"ragged_rows,omitempty"`
+	CreatedAt   time.Time           `json:"created_at"`
+	LastAccess  time.Time           `json:"last_access"`
+	Profile     []DatasetColumnJSON `json:"profile,omitempty"`
+}
+
+// AppendJSON is the wire form of a row-append answer.
+type AppendJSON struct {
+	Dataset     string `json:"dataset"`
+	Appended    int    `json:"appended"`
+	Rows        int    `json:"rows"`
+	Epoch       uint64 `json:"epoch"`
+	Fingerprint string `json:"fingerprint"`
+	RaggedRows  int    `json:"ragged_rows,omitempty"`
+	RaggedTotal int    `json:"ragged_rows_total,omitempty"`
+}
+
+func datasetJSON(info deepeye.DatasetInfo, withProfile bool) DatasetJSON {
+	out := DatasetJSON{
+		Name: info.Name, Rows: info.Rows, Columns: info.Cols,
+		Epoch: info.Epoch, Fingerprint: info.Fingerprint,
+		Bytes: info.Bytes, RaggedRows: info.RaggedRows,
+		CreatedAt: info.CreatedAt, LastAccess: info.LastAccess,
+	}
+	if !withProfile {
+		return out
+	}
+	for _, c := range info.Columns {
+		out.Profile = append(out.Profile, DatasetColumnJSON{
+			Name: c.Name, Type: c.Type.String(),
+			NonNull: c.NonNull, Nulls: c.Nulls,
+			Distinct: c.Distinct, DistinctExact: c.DistinctExact,
+			Min: c.Min, Max: c.Max, Mean: c.Mean, Std: c.Std,
+		})
+	}
+	return out
+}
+
+// writeRegistryError maps registry failures to statuses: disabled
+// registry 501, unknown dataset 404, duplicate name 409, bad input 400.
+func writeRegistryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, deepeye.ErrRegistryDisabled):
+		writeJSON(w, http.StatusNotImplemented,
+			errorJSON{"live dataset registry disabled (start the server with -registry-size > 0)"})
+	case errors.Is(err, deepeye.ErrDatasetNotFound):
+		writeJSON(w, http.StatusNotFound, errorJSON{err.Error()})
+	case errors.Is(err, deepeye.ErrDatasetExists):
+		writeJSON(w, http.StatusConflict, errorJSON{err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+	}
+}
+
+// handleDatasetCreate registers the uploaded CSV as a live dataset:
+// POST /datasets?name=trips with the CSV (header row required) as the
+// body. Column types are inferred once, then fixed for the dataset's
+// lifetime — appended cells parse under them.
+func (h *Handler) handleDatasetCreate(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeJSON(w, http.StatusBadRequest, errorJSON{"missing name parameter"})
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes)
+	info, err := h.sys.RegisterCSV(name, body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorJSON{fmt.Sprintf("body exceeds %d bytes", tooBig.Limit)})
+			return
+		}
+		writeRegistryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, datasetJSON(info, true))
+}
+
+// handleDatasetAppend ingests CSV rows: POST /datasets/{id}/rows with
+// headerless CSV records as the body (pass ?header=1 if the client
+// repeats the header row; it is skipped, not matched by name). Cells
+// are positional against the registered schema; short rows pad with
+// nulls, over-wide rows are truncated and counted in the response.
+func (h *Handler) handleDatasetAppend(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("id")
+	body := http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes)
+	res, err := h.sys.AppendCSV(name, body, r.URL.Query().Get("header") == "1")
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorJSON{fmt.Sprintf("body exceeds %d bytes", tooBig.Limit)})
+			return
+		}
+		writeRegistryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, AppendJSON{
+		Dataset: res.Dataset, Appended: res.Appended, Rows: res.Rows,
+		Epoch: res.Epoch, Fingerprint: res.Fingerprint,
+		RaggedRows: res.Ragged, RaggedTotal: res.RaggedTotal,
+	})
+}
+
+func (h *Handler) handleDatasetList(w http.ResponseWriter, _ *http.Request) {
+	if !h.sys.RegistryEnabled() {
+		writeRegistryError(w, deepeye.ErrRegistryDisabled)
+		return
+	}
+	out := []DatasetJSON{}
+	for _, info := range h.sys.ListDatasets() {
+		out = append(out, datasetJSON(info, false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (h *Handler) handleDatasetInfo(w http.ResponseWriter, r *http.Request) {
+	info, err := h.sys.DatasetInfoByName(r.PathValue("id"))
+	if err != nil {
+		writeRegistryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, datasetJSON(info, true))
+}
+
+func (h *Handler) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
+	if !h.sys.RegistryEnabled() {
+		writeRegistryError(w, deepeye.ErrRegistryDisabled)
+		return
+	}
+	name := r.PathValue("id")
+	if !h.sys.DropDataset(name) {
+		writeJSON(w, http.StatusNotFound, errorJSON{fmt.Sprintf("dataset %q not found", name)})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+// handleDatasetTopK serves GET /datasets/{id}/topk?k=5 from the
+// dataset's current snapshot.
+func (h *Handler) handleDatasetTopK(w http.ResponseWriter, r *http.Request) {
+	k, err := h.parseK(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+		return
+	}
+	vs, info, err := h.sys.TopKByName(r.Context(), r.PathValue("id"), k)
+	if err != nil {
+		h.writeDatasetPipelineError(w, err)
+		return
+	}
+	resp := h.datasetTopKResponse(info)
+	for _, v := range vs {
+		resp.Charts = append(resp.Charts, h.chartJSON(v))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDatasetSearch serves GET /datasets/{id}/search?q=words&k=5.
+func (h *Handler) handleDatasetSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeJSON(w, http.StatusBadRequest, errorJSON{"missing q parameter"})
+		return
+	}
+	k, err := h.parseK(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+		return
+	}
+	vs, info, err := h.sys.SearchByName(r.Context(), r.PathValue("id"), q, k)
+	if err != nil {
+		h.writeDatasetPipelineError(w, err)
+		return
+	}
+	resp := h.datasetTopKResponse(info)
+	for _, v := range vs {
+		resp.Charts = append(resp.Charts, h.chartJSON(v))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDatasetQuery serves GET /datasets/{id}/query?q=VISUALIZE….
+func (h *Handler) handleDatasetQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeJSON(w, http.StatusBadRequest, errorJSON{"missing q parameter"})
+		return
+	}
+	v, _, err := h.sys.QueryByName(r.Context(), r.PathValue("id"), q)
+	if err != nil {
+		h.writeDatasetPipelineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, h.chartJSON(v))
+}
+
+func (h *Handler) datasetTopKResponse(info deepeye.DatasetInfo) TopKResponse {
+	return TopKResponse{
+		Table: info.Name, Rows: info.Rows, Columns: info.Cols,
+		Fingerprint: info.Fingerprint, RaggedRows: info.RaggedRows,
+		Epoch: info.Epoch,
+	}
+}
+
+// writeDatasetPipelineError distinguishes registry lookup failures
+// (404/409/501) from selection-pipeline failures (504/499/422).
+func (h *Handler) writeDatasetPipelineError(w http.ResponseWriter, err error) {
+	if errors.Is(err, deepeye.ErrRegistryDisabled) ||
+		errors.Is(err, deepeye.ErrDatasetNotFound) ||
+		errors.Is(err, deepeye.ErrDatasetExists) {
+		writeRegistryError(w, err)
+		return
+	}
+	writePipelineError(w, err)
+}

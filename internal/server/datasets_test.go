@@ -1,0 +1,259 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	deepeye "github.com/deepeye/deepeye"
+)
+
+// newLiveServer serves a System with the dataset registry enabled.
+func newLiveServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	sys := deepeye.New(deepeye.Options{
+		IncludeOneColumn: true,
+		CacheSize:        1 << 20,
+		RegistrySize:     1 << 20,
+	})
+	srv := httptest.NewServer(New(sys, Options{}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func doReq(t *testing.T, method, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func TestDatasetLifecycle(t *testing.T) {
+	srv := newLiveServer(t)
+
+	// Register.
+	resp, body := doReq(t, http.MethodPost, srv.URL+"/datasets?name=sales", testCSV)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status = %d: %s", resp.StatusCode, body)
+	}
+	var ds DatasetJSON
+	if err := json.Unmarshal(body, &ds); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "sales" || ds.Rows != 12 || ds.Columns != 4 || ds.Epoch != 0 {
+		t.Fatalf("created dataset = %+v", ds)
+	}
+	if len(ds.Profile) != 4 || ds.Fingerprint == "" {
+		t.Fatalf("missing profile/fingerprint: %+v", ds)
+	}
+
+	// Duplicate name conflicts.
+	resp, _ = doReq(t, http.MethodPost, srv.URL+"/datasets?name=sales", testCSV)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate create status = %d, want 409", resp.StatusCode)
+	}
+
+	// Top-k on the initial epoch.
+	resp, body = doReq(t, http.MethodGet, srv.URL+"/datasets/sales/topk?k=3", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("topk status = %d: %s", resp.StatusCode, body)
+	}
+	var tk TopKResponse
+	if err := json.Unmarshal(body, &tk); err != nil {
+		t.Fatal(err)
+	}
+	if tk.Rows != 12 || len(tk.Charts) == 0 || tk.Fingerprint != ds.Fingerprint {
+		t.Fatalf("topk = rows %d, %d charts, fp %s (want fp %s)", tk.Rows, len(tk.Charts), tk.Fingerprint, ds.Fingerprint)
+	}
+
+	// Append rows (one over-wide).
+	rows := "2016-01-05,North,25,13\n2016-02-09,South,10,5,EXTRA\n"
+	resp, body = doReq(t, http.MethodPost, srv.URL+"/datasets/sales/rows", rows)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append status = %d: %s", resp.StatusCode, body)
+	}
+	var ap AppendJSON
+	if err := json.Unmarshal(body, &ap); err != nil {
+		t.Fatal(err)
+	}
+	if ap.Appended != 2 || ap.Rows != 14 || ap.Epoch != 1 || ap.RaggedRows != 1 {
+		t.Fatalf("append = %+v, want 2 appended, 14 rows, epoch 1, 1 ragged", ap)
+	}
+	if ap.Fingerprint == ds.Fingerprint {
+		t.Fatal("append did not advance the fingerprint")
+	}
+
+	// Reads see the grown snapshot with the new epoch.
+	resp, body = doReq(t, http.MethodGet, srv.URL+"/datasets/sales/topk?k=3", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("topk after append status = %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &tk); err != nil {
+		t.Fatal(err)
+	}
+	if tk.Rows != 14 || tk.Epoch != 1 || tk.Fingerprint != ap.Fingerprint || tk.RaggedRows != 1 {
+		t.Fatalf("topk after append = rows %d epoch %d ragged %d", tk.Rows, tk.Epoch, tk.RaggedRows)
+	}
+
+	// ?header=1 skips the repeated header row.
+	resp, body = doReq(t, http.MethodPost, srv.URL+"/datasets/sales/rows?header=1",
+		"when,region,amount,profit\n2016-03-17,West,9,4\n")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append w/ header status = %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &ap); err != nil {
+		t.Fatal(err)
+	}
+	if ap.Appended != 1 || ap.Rows != 15 {
+		t.Fatalf("append w/ header = %+v, want 1 appended, 15 rows", ap)
+	}
+
+	// List and info.
+	resp, body = doReq(t, http.MethodGet, srv.URL+"/datasets", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list status = %d", resp.StatusCode)
+	}
+	var list []DatasetJSON
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Name != "sales" || list[0].Rows != 15 {
+		t.Fatalf("list = %+v", list)
+	}
+	resp, body = doReq(t, http.MethodGet, srv.URL+"/datasets/sales", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("info status = %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &ds); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Rows != 15 || ds.Epoch != 2 || len(ds.Profile) != 4 || ds.RaggedRows != 1 {
+		t.Fatalf("info = %+v", ds)
+	}
+
+	// Search and query on the snapshot.
+	resp, body = doReq(t, http.MethodGet, srv.URL+"/datasets/sales/search?q=amount+by+region&k=2", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search status = %d: %s", resp.StatusCode, body)
+	}
+	q := url.QueryEscape("VISUALIZE bar SELECT region, SUM(amount) FROM sales GROUP BY region")
+	resp, body = doReq(t, http.MethodGet, srv.URL+"/datasets/sales/query?q="+q, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d: %s", resp.StatusCode, body)
+	}
+
+	// Delete, then 404.
+	resp, _ = doReq(t, http.MethodDelete, srv.URL+"/datasets/sales", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status = %d", resp.StatusCode)
+	}
+	resp, _ = doReq(t, http.MethodGet, srv.URL+"/datasets/sales/topk", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("topk after delete status = %d, want 404", resp.StatusCode)
+	}
+	resp, _ = doReq(t, http.MethodDelete, srv.URL+"/datasets/sales", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("second delete status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestDatasetEndpointsValidation(t *testing.T) {
+	srv := newLiveServer(t)
+	// Missing name.
+	resp, _ := doReq(t, http.MethodPost, srv.URL+"/datasets", testCSV)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("create without name = %d, want 400", resp.StatusCode)
+	}
+	// Bad CSV.
+	resp, _ = doReq(t, http.MethodPost, srv.URL+"/datasets?name=x", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("create with empty body = %d, want 400", resp.StatusCode)
+	}
+	// Unknown dataset.
+	for _, u := range []string{"/datasets/nope", "/datasets/nope/topk", "/datasets/nope/search?q=x", "/datasets/nope/query?q=x"} {
+		resp, _ = doReq(t, http.MethodGet, srv.URL+u, "")
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", u, resp.StatusCode)
+		}
+	}
+	resp, _ = doReq(t, http.MethodPost, srv.URL+"/datasets/nope/rows", "a,b\n")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("append to unknown dataset = %d, want 404", resp.StatusCode)
+	}
+	// Missing q.
+	doReq(t, http.MethodPost, srv.URL+"/datasets?name=v", testCSV)
+	resp, _ = doReq(t, http.MethodGet, srv.URL+"/datasets/v/search", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("search without q = %d, want 400", resp.StatusCode)
+	}
+	resp, _ = doReq(t, http.MethodGet, srv.URL+"/datasets/v/query", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("query without q = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestDatasetEndpointsDisabledRegistry(t *testing.T) {
+	// Default Options: no RegistrySize → every dataset route answers 501.
+	srv := newTestServer(t)
+	checks := []struct{ method, path string }{
+		{http.MethodPost, "/datasets?name=x"},
+		{http.MethodGet, "/datasets"},
+		{http.MethodGet, "/datasets/x"},
+		{http.MethodDelete, "/datasets/x"},
+		{http.MethodPost, "/datasets/x/rows"},
+		{http.MethodGet, "/datasets/x/topk"},
+		{http.MethodGet, "/datasets/x/search?q=y"},
+		{http.MethodGet, "/datasets/x/query?q=y"},
+	}
+	for _, c := range checks {
+		resp, body := doReq(t, c.method, srv.URL+c.path, testCSV)
+		if resp.StatusCode != http.StatusNotImplemented {
+			t.Errorf("%s %s = %d (%s), want 501", c.method, c.path, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestUploadResponsesReportRaggedRows(t *testing.T) {
+	srv := newTestServer(t)
+	ragged := testCSV + "2016-01-05,North,25,13,EXTRA,MORE\n"
+	resp, err := http.Post(srv.URL+"/topk?k=2", "text/csv", strings.NewReader(ragged))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tk TopKResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tk); err != nil {
+		t.Fatal(err)
+	}
+	if tk.RaggedRows != 1 {
+		t.Fatalf("ragged_rows = %d, want 1", tk.RaggedRows)
+	}
+	if tk.Rows != 13 {
+		t.Fatalf("rows = %d, want 13 (ragged row kept, extras truncated)", tk.Rows)
+	}
+}
+
+func TestDatasetAppendBodyLimit(t *testing.T) {
+	sys := deepeye.New(deepeye.Options{RegistrySize: 1 << 20})
+	srv := httptest.NewServer(New(sys, Options{MaxBodyBytes: 256}))
+	t.Cleanup(srv.Close)
+	resp, _ := doReq(t, http.MethodPost, srv.URL+"/datasets?name=big",
+		fmt.Sprintf("a,b\n%s,1\n", strings.Repeat("x", 400)))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized create = %d, want 413", resp.StatusCode)
+	}
+}

@@ -51,6 +51,12 @@ type TopKResponse struct {
 	// result cache memoizes under. Two uploads with the same fingerprint
 	// are answered from one computation when caching is enabled.
 	Fingerprint string `json:"fingerprint,omitempty"`
+	// RaggedRows counts input rows wider than the header whose extra
+	// cells were truncated during ingestion (0 omits the field).
+	RaggedRows int `json:"ragged_rows,omitempty"`
+	// Epoch is set on dataset-registry reads: the snapshot epoch the
+	// answer was computed on (bumps once per append batch).
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // errorJSON is the wire form of failures.
@@ -129,6 +135,15 @@ func New(sys *deepeye.System, opts Options) *Handler {
 	h.mux.HandleFunc("POST /profile", h.handleProfile)
 	h.mux.HandleFunc("GET /healthz", h.handleHealth)
 	h.mux.HandleFunc("GET /metrics", h.handleMetrics)
+	// Live dataset registry (enabled with deepeye.Options.RegistrySize).
+	h.mux.HandleFunc("POST /datasets", h.handleDatasetCreate)
+	h.mux.HandleFunc("GET /datasets", h.handleDatasetList)
+	h.mux.HandleFunc("GET /datasets/{id}", h.handleDatasetInfo)
+	h.mux.HandleFunc("DELETE /datasets/{id}", h.handleDatasetDelete)
+	h.mux.HandleFunc("POST /datasets/{id}/rows", h.handleDatasetAppend)
+	h.mux.HandleFunc("GET /datasets/{id}/topk", h.handleDatasetTopK)
+	h.mux.HandleFunc("GET /datasets/{id}/search", h.handleDatasetSearch)
+	h.mux.HandleFunc("GET /datasets/{id}/query", h.handleDatasetQuery)
 	return h
 }
 
@@ -229,7 +244,7 @@ func (h *Handler) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := TopKResponse{Table: tab.Name, Rows: tab.NumRows(), Columns: tab.NumCols(),
-		Fingerprint: tab.Fingerprint()}
+		Fingerprint: tab.Fingerprint(), RaggedRows: tab.RaggedRows}
 	for _, v := range vs {
 		resp.Charts = append(resp.Charts, h.chartJSON(v))
 	}
@@ -270,7 +285,7 @@ func (h *Handler) handleMulti(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := TopKResponse{Table: tab.Name, Rows: tab.NumRows(), Columns: tab.NumCols(),
-		Fingerprint: tab.Fingerprint()}
+		Fingerprint: tab.Fingerprint(), RaggedRows: tab.RaggedRows}
 	for _, v := range vs {
 		c := ChartJSON{
 			Rank: v.Rank, Query: v.Query, Chart: v.Chart, Score: v.Score,
@@ -308,7 +323,7 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := TopKResponse{Table: tab.Name, Rows: tab.NumRows(), Columns: tab.NumCols(),
-		Fingerprint: tab.Fingerprint()}
+		Fingerprint: tab.Fingerprint(), RaggedRows: tab.RaggedRows}
 	for _, v := range vs {
 		resp.Charts = append(resp.Charts, h.chartJSON(v))
 	}

@@ -1,0 +1,212 @@
+// Live dataset serving: the System-level face of internal/registry.
+// Register a table once, stream rows in with AppendRows, and serve
+// top-k/search/query recommendations by dataset name — every read runs
+// on an immutable epoch snapshot (never a torn table), every append
+// advances the content fingerprint incrementally, and the result cache
+// sheds just the retired fingerprint's entries instead of purging.
+package deepeye
+
+import (
+	"context"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/deepeye/deepeye/internal/dataset"
+	"github.com/deepeye/deepeye/internal/registry"
+)
+
+// DatasetInfo describes a live dataset: identity, size, epoch,
+// fingerprint, and per-column online statistics.
+type DatasetInfo = registry.Info
+
+// DatasetColumnInfo is one column's live profile.
+type DatasetColumnInfo = registry.ColumnInfo
+
+// AppendResult reports one AppendRows batch.
+type AppendResult = registry.AppendResult
+
+// Dataset-registry sentinel errors (match with errors.Is).
+var (
+	ErrDatasetNotFound  = registry.ErrNotFound
+	ErrDatasetExists    = registry.ErrExists
+	ErrRegistryDisabled = errors.New("deepeye: live dataset registry disabled (set Options.RegistrySize)")
+)
+
+// RegistryEnabled reports whether the live dataset registry is on
+// (Options.RegistrySize > 0).
+func (s *System) RegistryEnabled() bool { return s.registry != nil }
+
+// liveRegistry returns the registry or the disabled error.
+func (s *System) liveRegistry() (*registry.Registry, error) {
+	if s.registry == nil {
+		return nil, ErrRegistryDisabled
+	}
+	return s.registry, nil
+}
+
+// RegisterTable adopts a loaded table as a live dataset under name.
+// The table's column types become the dataset's fixed schema: appended
+// cells are parsed under them (never re-inferred), so a year column
+// that loaded as numerical stays numerical forever. The table itself
+// is not retained — its columns are cloned — so callers may keep using
+// it. Fails with ErrDatasetExists if name is taken.
+func (s *System) RegisterTable(name string, t *Table) (DatasetInfo, error) {
+	r, err := s.liveRegistry()
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	d, err := r.Register(name, t)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	return d.Info(), nil
+}
+
+// RegisterCSV loads CSV content (header row required) and registers it
+// in one step.
+func (s *System) RegisterCSV(name string, r io.Reader) (DatasetInfo, error) {
+	t, err := dataset.FromCSV(name, r)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	return s.RegisterTable(name, t)
+}
+
+// AppendRows ingests raw rows into the named dataset. Cells match the
+// schema positionally; short rows pad with nulls, over-wide rows are
+// truncated and counted on the result. The dataset's statistics and
+// content fingerprint advance incrementally (no rescan), the snapshot
+// epoch bumps, and cache entries keyed under the retired fingerprint
+// are dropped.
+func (s *System) AppendRows(name string, rows [][]string) (AppendResult, error) {
+	r, err := s.liveRegistry()
+	if err != nil {
+		return AppendResult{}, err
+	}
+	return r.Append(name, rows)
+}
+
+// AppendCSV parses CSV records from rd and appends them to the named
+// dataset. When header is true the first record is skipped (a header
+// row repeated by the client); records are otherwise positional.
+func (s *System) AppendCSV(name string, rd io.Reader, header bool) (AppendResult, error) {
+	rows, err := readCSVRows(rd, header)
+	if err != nil {
+		return AppendResult{}, err
+	}
+	return s.AppendRows(name, rows)
+}
+
+// readCSVRows reads raw CSV records (ragged tolerated) for AppendCSV.
+func readCSVRows(rd io.Reader, header bool) ([][]string, error) {
+	cr := csv.NewReader(rd)
+	cr.TrimLeadingSpace = true
+	cr.FieldsPerRecord = -1
+	var rows [][]string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("deepeye: reading append rows: %w", err)
+		}
+		rows = append(rows, rec)
+	}
+	if header && len(rows) > 0 {
+		rows = rows[1:]
+	}
+	return rows, nil
+}
+
+// TopKByName serves the k best visualizations for the named dataset's
+// current snapshot. The snapshot is immutable — appends racing this
+// call land in the next epoch — and its fingerprint keys the result
+// cache exactly as a cold upload of identical content would, so a
+// warm epoch answers from cache and an appended-to dataset recomputes.
+func (s *System) TopKByName(ctx context.Context, name string, k int) ([]*Visualization, DatasetInfo, error) {
+	r, err := s.liveRegistry()
+	if err != nil {
+		return nil, DatasetInfo{}, err
+	}
+	snap, info, err := r.Use(name)
+	if err != nil {
+		return nil, DatasetInfo{}, err
+	}
+	vs, err := s.TopKCtx(ctx, snap, k)
+	return vs, info, err
+}
+
+// QueryByName runs one visualization-language query against the named
+// dataset's current snapshot.
+func (s *System) QueryByName(ctx context.Context, name, src string) (*Visualization, DatasetInfo, error) {
+	r, err := s.liveRegistry()
+	if err != nil {
+		return nil, DatasetInfo{}, err
+	}
+	snap, info, err := r.Use(name)
+	if err != nil {
+		return nil, DatasetInfo{}, err
+	}
+	v, err := s.QueryCtx(ctx, snap, src)
+	return v, info, err
+}
+
+// SearchByName runs a keyword-driven top-k against the named dataset's
+// current snapshot.
+func (s *System) SearchByName(ctx context.Context, name, query string, k int) ([]*Visualization, DatasetInfo, error) {
+	r, err := s.liveRegistry()
+	if err != nil {
+		return nil, DatasetInfo{}, err
+	}
+	snap, info, err := r.Use(name)
+	if err != nil {
+		return nil, DatasetInfo{}, err
+	}
+	vs, err := s.SearchCtx(ctx, snap, query, k)
+	return vs, info, err
+}
+
+// DatasetInfoByName describes the named dataset without serving a
+// recommendation (live column profiles included).
+func (s *System) DatasetInfoByName(name string) (DatasetInfo, error) {
+	r, err := s.liveRegistry()
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	d, ok := r.Get(name)
+	if !ok {
+		return DatasetInfo{}, fmt.Errorf("%w: %q", ErrDatasetNotFound, name)
+	}
+	return d.Info(), nil
+}
+
+// DatasetSnapshot returns the named dataset's current immutable epoch
+// view (nil, false when absent). The returned table is safe to read
+// concurrently with further appends.
+func (s *System) DatasetSnapshot(name string) (*Table, bool) {
+	if s.registry == nil {
+		return nil, false
+	}
+	return s.registry.Snapshot(name)
+}
+
+// ListDatasets describes every live dataset, most recently used first.
+// Empty (not an error) when the registry is disabled.
+func (s *System) ListDatasets() []DatasetInfo {
+	if s.registry == nil {
+		return nil
+	}
+	return s.registry.List()
+}
+
+// DropDataset removes the named dataset and reclaims its cache
+// entries; it reports whether the dataset existed.
+func (s *System) DropDataset(name string) bool {
+	if s.registry == nil {
+		return false
+	}
+	return s.registry.Delete(name)
+}

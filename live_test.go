@@ -1,0 +1,298 @@
+package deepeye
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/deepeye/deepeye/internal/dataset"
+)
+
+const liveCSV = `when,region,amount,profit
+2015-01-05,North,12,6
+2015-02-09,South,7,3
+2015-03-17,North,3,2
+2015-04-02,East,15,8
+2015-05-11,South,8,4
+2015-06-19,West,4,2
+2015-07-06,North,18,9
+2015-08-14,East,6,3
+2015-09-21,South,9,5
+2015-10-02,West,11,6
+2015-11-18,North,21,11
+2015-12-05,East,13,7
+`
+
+// rebuildCold reconstructs an independent table from a snapshot's raw
+// cells under its locked types — exactly what a cold load of the grown
+// content produces. Nothing incremental (fingerprint, injected stats)
+// carries over, so it is the ground-truth input for oracle runs.
+func rebuildCold(t *testing.T, snap *Table) *Table {
+	t.Helper()
+	cols := make([]*dataset.Column, len(snap.Columns))
+	for j, c := range snap.Columns {
+		cols[j] = dataset.ForceType(c.Name, append([]string(nil), c.Raw...), c.Type)
+	}
+	nt, err := dataset.New(snap.Name, cols)
+	if err != nil {
+		t.Fatalf("rebuilding snapshot: %v", err)
+	}
+	return nt
+}
+
+func TestLiveRegistryDisabledByDefault(t *testing.T) {
+	sys := New(Options{})
+	if sys.RegistryEnabled() {
+		t.Fatal("registry enabled without RegistrySize")
+	}
+	tab, err := LoadCSV("t", strings.NewReader(liveCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RegisterTable("t", tab); !errors.Is(err, ErrRegistryDisabled) {
+		t.Errorf("RegisterTable err = %v, want ErrRegistryDisabled", err)
+	}
+	if _, err := sys.AppendRows("t", nil); !errors.Is(err, ErrRegistryDisabled) {
+		t.Errorf("AppendRows err = %v, want ErrRegistryDisabled", err)
+	}
+	if _, _, err := sys.TopKByName(context.Background(), "t", 3); !errors.Is(err, ErrRegistryDisabled) {
+		t.Errorf("TopKByName err = %v, want ErrRegistryDisabled", err)
+	}
+	if got := sys.ListDatasets(); len(got) != 0 {
+		t.Errorf("ListDatasets = %v on disabled registry", got)
+	}
+	if sys.DropDataset("t") {
+		t.Error("DropDataset reported success on disabled registry")
+	}
+}
+
+// TestLiveTopKMatchesColdRun: a registry-served top-k equals a cold,
+// cache-free run over the identical content — before and after appends.
+func TestLiveTopKMatchesColdRun(t *testing.T) {
+	sys := New(Options{IncludeOneColumn: true, CacheSize: 1 << 20, RegistrySize: 1 << 30})
+	oracle := New(Options{IncludeOneColumn: true})
+	tab, err := LoadCSV("live", strings.NewReader(liveCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RegisterTable("live", tab); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	vs, info, err := sys.TopKByName(ctx, "live", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := sys.DatasetSnapshot("live")
+	want, err := oracle.TopK(rebuildCold(t, snap), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameVisualizations(t, want, vs, "epoch 0")
+
+	// Warm read: answered from cache, still identical.
+	vs2, info2, err := sys.TopKByName(ctx, "live", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Fingerprint != info.Fingerprint {
+		t.Fatal("fingerprint moved without an append")
+	}
+	assertSameVisualizations(t, want, vs2, "epoch 0 warm")
+
+	// Append, then the serve must recompute on the grown content; the
+	// stale epoch's answer must not leak from the cache.
+	if _, err := sys.AppendRows("live", [][]string{
+		{"2016-01-05", "North", "40", "22"},
+		{"2016-02-09", "South", "2", "1"},
+		{"2016-03-17", "West", "33", "19"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	vs3, info3, err := sys.TopKByName(ctx, "live", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info3.Fingerprint == info.Fingerprint || info3.Epoch != 1 {
+		t.Fatalf("append did not advance identity: %+v", info3)
+	}
+	grown, _ := sys.DatasetSnapshot("live")
+	if grown.NumRows() != 15 {
+		t.Fatalf("grown snapshot rows = %d, want 15", grown.NumRows())
+	}
+	wantGrown, err := oracle.TopK(rebuildCold(t, grown), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameVisualizations(t, wantGrown, vs3, "epoch 1")
+}
+
+// TestLiveDifferentialConcurrentAppends is the subsystem's end-to-end
+// differential guarantee: while appenders grow the dataset, every
+// served top-k must be bit-identical to a cold TopK over the frozen
+// snapshot it ran on, and after quiescence the served answer matches a
+// cold run over the full grown table.
+func TestLiveDifferentialConcurrentAppends(t *testing.T) {
+	sys := New(Options{IncludeOneColumn: true, CacheSize: 1 << 20, RegistrySize: 1 << 30, Workers: 2})
+	tab, err := LoadCSV("live", strings.NewReader(liveCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RegisterTable("live", tab); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	regions := []string{"North", "South", "East", "West"}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() { // appender
+		defer wg.Done()
+		defer close(done)
+		for b := 0; b < 30; b++ {
+			rows := [][]string{{
+				fmt.Sprintf("2016-%02d-%02d", 1+b%12, 1+b%28),
+				regions[b%len(regions)],
+				fmt.Sprint(1 + b*3%50),
+				fmt.Sprint(1 + b%20),
+			}}
+			if _, err := sys.AppendRows("live", rows); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() { // reader: serve, freeze, compare against a cold oracle
+			defer wg.Done()
+			oracle := New(Options{IncludeOneColumn: true, Workers: 1})
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				vs, info, err := sys.TopKByName(ctx, "live", 5)
+				if err != nil {
+					errc <- err
+					return
+				}
+				snap, ok := sys.DatasetSnapshot("live")
+				if !ok {
+					errc <- errors.New("snapshot missed")
+					return
+				}
+				// An append may have landed between the serve and the
+				// snapshot grab; only same-epoch pairs are comparable.
+				if snap.Fingerprint() != info.Fingerprint {
+					continue
+				}
+				want, err := oracle.TopK(rebuildCold(t, snap), 5)
+				if err != nil {
+					errc <- err
+					return
+				}
+				assertSameVisualizations(t, want, vs, "concurrent serve")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Quiescent: the served answer equals a cold run on the full table.
+	vs, info, err := sys.TopKByName(ctx, "live", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := sys.DatasetSnapshot("live")
+	if snap.NumRows() != 12+30 || info.Rows != 42 {
+		t.Fatalf("final rows = %d/%d, want 42", snap.NumRows(), info.Rows)
+	}
+	oracle := New(Options{IncludeOneColumn: true})
+	want, err := oracle.TopK(rebuildCold(t, snap), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameVisualizations(t, want, vs, "post-append cold run")
+}
+
+// TestLiveSearchAndQueryByName covers the remaining by-name serving
+// surfaces against their table-level equivalents on the same snapshot.
+func TestLiveSearchAndQueryByName(t *testing.T) {
+	sys := New(Options{IncludeOneColumn: true, RegistrySize: 1 << 30})
+	tab, err := LoadCSV("live", strings.NewReader(liveCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RegisterTable("live", tab); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	vs, _, err := sys.SearchByName(ctx, "live", "amount by region", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := sys.DatasetSnapshot("live")
+	want, err := sys.SearchCtx(ctx, snap, "amount by region", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameVisualizations(t, want, vs, "search by name")
+
+	const q = "VISUALIZE bar SELECT region, SUM(amount) FROM live GROUP BY region"
+	v, _, err := sys.QueryByName(ctx, "live", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV, err := sys.QueryCtx(ctx, snap, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameVisualizations(t, []*Visualization{wantV}, []*Visualization{v}, "query by name")
+
+	if _, _, err := sys.QueryByName(ctx, "missing", q); !errors.Is(err, ErrDatasetNotFound) {
+		t.Errorf("QueryByName(missing) err = %v, want ErrDatasetNotFound", err)
+	}
+}
+
+// TestLiveAppendCSVAndInfo covers the CSV append surface and the info
+// accessors.
+func TestLiveAppendCSVAndInfo(t *testing.T) {
+	sys := New(Options{RegistrySize: 1 << 30})
+	if _, err := sys.RegisterCSV("live", strings.NewReader(liveCSV)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.AppendCSV("live", strings.NewReader("when,region,amount,profit\n2016-01-05,North,1,1\n"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Appended != 1 || res.Rows != 13 {
+		t.Fatalf("AppendCSV result = %+v", res)
+	}
+	info, err := sys.DatasetInfoByName("live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Rows != 13 || len(info.Columns) != 4 {
+		t.Fatalf("info = %+v", info)
+	}
+	if list := sys.ListDatasets(); len(list) != 1 || list[0].Name != "live" {
+		t.Fatalf("list = %+v", list)
+	}
+	if !sys.DropDataset("live") {
+		t.Fatal("DropDataset missed")
+	}
+	if _, err := sys.DatasetInfoByName("live"); !errors.Is(err, ErrDatasetNotFound) {
+		t.Fatalf("info after drop err = %v", err)
+	}
+}

@@ -1,0 +1,85 @@
+package deepeye
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// benchLiveSystem registers a moderate dataset in a fresh registry.
+func benchLiveSystem(b *testing.B, cacheSize int64) *System {
+	b.Helper()
+	sys := New(Options{IncludeOneColumn: true, CacheSize: cacheSize, RegistrySize: 1 << 30})
+	var sb strings.Builder
+	sb.WriteString("when,region,amount,profit\n")
+	regions := []string{"North", "South", "East", "West"}
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&sb, "2015-%02d-%02d,%s,%d,%d\n",
+			1+i%12, 1+i%28, regions[i%4], 1+i*7%100, 1+i*3%50)
+	}
+	if _, err := sys.RegisterCSV("bench", strings.NewReader(sb.String())); err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkAppendRows measures incremental ingestion: per-batch cost of
+// growing columns, online statistics, and the rolling fingerprint.
+func BenchmarkAppendRows(b *testing.B) {
+	for _, batch := range []int{1, 100} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			sys := benchLiveSystem(b, 0)
+			rows := make([][]string, batch)
+			for i := range rows {
+				rows[i] = []string{"2016-01-05", "North", fmt.Sprint(i % 97), "7"}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.AppendRows("bench", rows); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(batch), "rows/batch")
+		})
+	}
+}
+
+// BenchmarkSnapshotTopKWarm is the steady-state serving path: same
+// epoch every iteration, so the snapshot is memoized and the result
+// cache answers by fingerprint.
+func BenchmarkSnapshotTopKWarm(b *testing.B) {
+	sys := benchLiveSystem(b, 1<<20)
+	ctx := context.Background()
+	if _, _, err := sys.TopKByName(ctx, "bench", 5); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sys.TopKByName(ctx, "bench", 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotTopKInvalidated alternates append and serve: every
+// top-k lands on a fresh epoch, so each iteration pays snapshot
+// materialization plus a full pipeline run — the worst case the
+// targeted invalidation design bounds.
+func BenchmarkSnapshotTopKInvalidated(b *testing.B) {
+	sys := benchLiveSystem(b, 1<<20)
+	ctx := context.Background()
+	row := [][]string{{"2016-01-05", "North", "42", "7"}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.AppendRows("bench", row); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := sys.TopKByName(ctx, "bench", 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

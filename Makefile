@@ -3,13 +3,13 @@ GO ?= go
 # Benchmarks the CI bench-regression job gates on: cmd/benchdiff
 # compares per-benchmark medians over BENCH_COUNT repeats and fails on
 # >20% ns/op regressions. CI and local runs share these definitions.
-BENCH_PATTERN ?= BenchmarkTable_SearchSpace|BenchmarkGraphBuild|BenchmarkTopKCached|BenchmarkBuildGraphParallel|BenchmarkAppend|BenchmarkSnapshotTopK
+BENCH_PATTERN ?= BenchmarkTable_SearchSpace|BenchmarkGraphBuild|BenchmarkTopKCached|BenchmarkBuildGraphParallel|BenchmarkAppend|BenchmarkSnapshotTopK|BenchmarkWALAppend|BenchmarkRecovery
 BENCH_COUNT ?= 6
 BENCHTIME ?= 0.3s
 COVER_FLOOR ?= 75.0
 
 .PHONY: all build test vet bench race fuzz experiments clean \
-	bench-smoke bench-run bench-diff cover-check
+	bench-smoke bench-run bench-diff cover-check crash-test
 
 all: build vet test
 
@@ -43,7 +43,15 @@ fuzz:
 	$(GO) test -fuzz FuzzInferColumn -fuzztime 30s ./internal/dataset/
 	$(GO) test -fuzz FuzzRawQ -fuzztime 30s ./internal/rank/
 	$(GO) test -fuzz FuzzComputeFactors -fuzztime 30s ./internal/rank/
-	$(GO) test -fuzz FuzzAppend -fuzztime 30s ./internal/registry/
+	$(GO) test -fuzz FuzzAppend$$ -fuzztime 30s ./internal/registry/
+	$(GO) test -fuzz FuzzWALReplay -fuzztime 30s ./internal/registry/
+
+# Fault-injection and crash-consistency suite under the race detector:
+# every-byte WAL truncation/corruption, compaction crash windows,
+# kill-and-restart recovery, and read-only degradation.
+crash-test:
+	$(GO) test -race -run 'Crash|Recovery|Recovered|ReadOnly|Torn|Corrupt|Compaction|Durable|KillAndRestart|Evict|Sticky' \
+		./internal/wal/ ./internal/registry/ .
 
 # One-iteration pass over the gated benchmarks: catches benchmarks that
 # fail outright without paying for timing runs.

@@ -64,6 +64,11 @@ func main() {
 		cacheSize   = flag.Int64("cache-size", 256<<20, "result/statistics cache byte budget (0 = disabled)")
 		regSize     = flag.Int64("registry-size", 256<<20, "live dataset registry byte budget (0 = registry disabled)")
 		datasetTTL  = flag.Duration("dataset-ttl", 30*time.Minute, "evict live datasets idle longer than this (0 = never)")
+		dataDir     = flag.String("data-dir", "", "durability directory for the live registry: every mutation is journaled (WAL) and replayed on restart (empty = in-memory only)")
+		walCompact  = flag.Int64("wal-compact-bytes", 64<<20, "compact the WAL into a snapshot when it outgrows this many bytes (negative = never)")
+		walNoSync   = flag.Bool("wal-no-sync", false, "skip the per-mutation fsync (throughput over durability)")
+		maxRows     = flag.Int("max-rows", 0, "max data rows per CSV ingest; violations answer 413 (0 = unlimited)")
+		maxCell     = flag.Int("max-cell-bytes", 0, "max bytes in one CSV cell on ingest; violations answer 413 (0 = unlimited)")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		grace       = flag.Duration("grace", 15*time.Second, "shutdown grace period for in-flight requests")
 		// Per-request parallelism defaults to serial: the server already
@@ -77,11 +82,24 @@ func main() {
 	opts := deepeye.Options{
 		IncludeOneColumn: true, UseRecognizer: *useRecog, CacheSize: *cacheSize,
 		Workers: *workers, RegistrySize: *regSize, DatasetTTL: *datasetTTL,
+		DataDir: *dataDir, WALCompactBytes: *walCompact, WALNoSync: *walNoSync,
 	}
 	if *hybridRank {
 		opts.Method = deepeye.MethodHybrid
 	}
-	sys := deepeye.New(opts)
+	sys, err := deepeye.Open(opts)
+	if err != nil {
+		log.Fatalf("opening system: %v", err)
+	}
+	defer sys.Close()
+	if *dataDir != "" {
+		rec := sys.Recovery()
+		log.Printf("recovered %s: %d snapshot datasets, %d journal records replayed, truncated=%v",
+			*dataDir, rec.SnapshotDatasets, rec.ReplayedRecords, rec.Truncated)
+		for _, name := range rec.DroppedDatasets {
+			log.Printf("dropped dataset %q: recovered content failed fingerprint verification", name)
+		}
+	}
 	if *modelsPath != "" {
 		if err := sys.LoadModelsFile(*modelsPath); err != nil {
 			log.Fatalf("loading models: %v", err)
@@ -96,6 +114,8 @@ func main() {
 		ASCII:        *ascii,
 		Timeout:      *timeout,
 		MaxInFlight:  *maxInFlight,
+		MaxRows:      *maxRows,
+		MaxCellBytes: *maxCell,
 	})
 	var handler http.Handler = h
 	if *pprofOn {

@@ -17,6 +17,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -49,6 +50,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "bound selection time; expired runs fail with a deadline error (0 = none)")
 		stats       = flag.Bool("stats", false, "print per-stage pipeline timings after the run")
 		workers     = flag.Int("workers", -1, "selection-pipeline worker count; 1 = serial, negative = GOMAXPROCS (results are identical either way)")
+		dataDir     = flag.String("data-dir", "", "durability directory for the -append live registry: datasets journaled there survive across runs (empty = in-memory only)")
 	)
 	flag.Parse()
 	if *csvPath == "" {
@@ -58,8 +60,8 @@ func main() {
 	}
 	cfg := runConfig{
 		csvPath: *csvPath, k: *k, query: *query, search: *search,
-		appendCSVs: *appendCSVs,
-		multi:      *multi, profile: *profile, vegaDir: *vegaDir, htmlPath: *htmlPath,
+		appendCSVs: *appendCSVs, dataDir: *dataDir,
+		multi: *multi, profile: *profile, vegaDir: *vegaDir, htmlPath: *htmlPath,
 		jsonOut:     *jsonOut,
 		progressive: *progressive, exhaustive: *exhaustive,
 		oneColumn: *oneColumn, width: *width,
@@ -92,7 +94,7 @@ func printStageStats() {
 
 type runConfig struct {
 	csvPath, query, search, vegaDir    string
-	htmlPath, appendCSVs               string
+	htmlPath, appendCSVs, dataDir      string
 	k, width, workers                  int
 	multi, profile, jsonOut            bool
 	progressive, exhaustive, oneColumn bool
@@ -107,10 +109,20 @@ type runConfig struct {
 // bookkeeping is visible.
 func ingestAppends(sys *deepeye.System, tab *deepeye.Table, files string, quiet bool) (*deepeye.Table, error) {
 	info, err := sys.RegisterTable(tab.Name, tab)
-	if err != nil {
+	if errors.Is(err, deepeye.ErrDatasetExists) {
+		// A durable run (-data-dir) recovered the dataset from a prior
+		// invocation: keep appending to it instead of re-registering.
+		info, err = sys.DatasetInfoByName(tab.Name)
+		if err != nil {
+			return nil, err
+		}
+		if !quiet {
+			fmt.Printf("resuming %q from the journal: %d rows, epoch=%d fingerprint=%s\n",
+				info.Name, info.Rows, info.Epoch, info.Fingerprint)
+		}
+	} else if err != nil {
 		return nil, err
-	}
-	if !quiet {
+	} else if !quiet {
 		fmt.Printf("registered %q: epoch=%d fingerprint=%s\n", info.Name, info.Epoch, info.Fingerprint)
 	}
 	for _, path := range strings.Split(files, ",") {
@@ -188,8 +200,20 @@ func run(cfg runConfig) error {
 	if cfg.appendCSVs != "" {
 		// The -append demo holds one dataset in-process; budget is moot.
 		opts.RegistrySize = 1 << 30
+		opts.DataDir = cfg.dataDir
 	}
-	sys := deepeye.New(opts)
+	sys, err := deepeye.Open(opts)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	if cfg.dataDir != "" && !cfg.jsonOut {
+		rec := sys.Recovery()
+		if rec.SnapshotDatasets+rec.ReplayedRecords > 0 {
+			fmt.Printf("recovered %s: %d snapshot datasets, %d journal records replayed\n",
+				cfg.dataDir, rec.SnapshotDatasets, rec.ReplayedRecords)
+		}
+	}
 
 	if cfg.appendCSVs != "" {
 		tab, err = ingestAppends(sys, tab, cfg.appendCSVs, cfg.jsonOut)

@@ -49,6 +49,7 @@ import (
 	"github.com/deepeye/deepeye/internal/rules"
 	"github.com/deepeye/deepeye/internal/transform"
 	"github.com/deepeye/deepeye/internal/vizql"
+	"github.com/deepeye/deepeye/internal/wal"
 )
 
 // Table is a typed relational table (columns are categorical, numerical,
@@ -57,6 +58,13 @@ type Table = dataset.Table
 
 // LoadCSV reads a table with a header row from r, inferring column types.
 func LoadCSV(name string, r io.Reader) (*Table, error) { return dataset.FromCSV(name, r) }
+
+// LoadCSVLimited is LoadCSV with ingestion limits applied while the CSV
+// streams; an oversized payload aborts with *IngestLimitError before it
+// is materialized.
+func LoadCSVLimited(name string, r io.Reader, lim IngestLimits) (*Table, error) {
+	return dataset.FromCSVLimited(name, r, nil, lim)
+}
 
 // LoadCSVFile reads a table from a CSV file.
 func LoadCSVFile(path string) (*Table, error) { return dataset.FromCSVFile(path) }
@@ -158,6 +166,24 @@ type Options struct {
 	// DatasetTTL expires registered datasets not accessed within the
 	// window (0 = never). Only meaningful with RegistrySize > 0.
 	DatasetTTL time.Duration
+	// DataDir, when set, makes the live dataset registry crash-safe:
+	// every mutation is journaled to a checksummed write-ahead log in
+	// this directory (fsynced per mutation unless WALNoSync) before it
+	// is acknowledged, and Open replays snapshot + WAL on startup, so a
+	// kill -9 loses nothing. Requires RegistrySize > 0; construct the
+	// System with Open (New panics on a recovery failure). If a journal
+	// write ever fails the registry degrades to read-only: reads keep
+	// serving, mutations fail with ErrDatasetReadOnly.
+	DataDir string
+	// WALCompactBytes triggers snapshot compaction when the WAL file
+	// outgrows it (the journal is folded into a snapshot and reset).
+	// 0 uses the 64 MiB default; negative disables size-triggered
+	// compaction.
+	WALCompactBytes int64
+	// WALNoSync skips the per-mutation fsync: throughput over
+	// durability. Acknowledged mutations may be lost on power failure,
+	// but the checksummed framing still recovers a clean prefix.
+	WALNoSync bool
 }
 
 // System is a configured DeepEye instance. Construct with New; train the
@@ -181,11 +207,47 @@ type System struct {
 	// otherwise); retired fingerprints flow back into targeted cache
 	// invalidation (see live.go).
 	registry *registry.Registry
+
+	// wal is the registry's durability journal when Options.DataDir is
+	// set (nil otherwise); recovery records what Open replayed.
+	wal      *wal.Log
+	recovery RecoveryInfo
+}
+
+// RecoveryInfo reports what Open recovered from Options.DataDir.
+type RecoveryInfo struct {
+	// SnapshotDatasets is the number of datasets loaded from the
+	// snapshot file; ReplayedRecords the WAL records applied after it.
+	SnapshotDatasets int
+	ReplayedRecords  int
+	// Truncated reports that a torn or corrupt record was found and the
+	// journal was cut there (expected after a crash, not an error).
+	Truncated bool
+	// DroppedDatasets names recovered datasets whose recomputed content
+	// fingerprint disagreed with the journaled rolling digest; they were
+	// dropped rather than served.
+	DroppedDatasets []string
 }
 
 // New creates a System. The zero Options value gives the rule-pruned,
-// partial-order-ranked configuration that needs no training.
+// partial-order-ranked configuration that needs no training. With
+// Options.DataDir set, New delegates to Open and panics on a recovery
+// failure — call Open directly to handle it.
 func New(opts Options) *System {
+	s, err := Open(opts)
+	if err != nil {
+		panic("deepeye: " + err.Error())
+	}
+	return s
+}
+
+// Open creates a System and, when Options.DataDir is set, recovers the
+// live dataset registry from its write-ahead log: the newest snapshot
+// is loaded, the journal replayed (truncating at the first torn or
+// corrupt record), every recovered dataset's fingerprint verified
+// against a recompute, and journaling armed for subsequent mutations.
+// Callers owning a durable System should Close it on shutdown.
+func Open(opts Options) (*System, error) {
 	s := &System{opts: opts, alpha: 1}
 	if opts.CacheSize > 0 {
 		s.cache = cache.New(cache.Config{Name: "result", MaxBytes: opts.CacheSize, Registry: opts.CacheRegistry})
@@ -202,7 +264,47 @@ func New(opts Options) *System {
 			},
 		})
 	}
-	return s
+	if opts.DataDir == "" {
+		return s, nil
+	}
+	if s.registry == nil {
+		return nil, fmt.Errorf("deepeye: Options.DataDir requires RegistrySize > 0")
+	}
+	log, stats, err := wal.Open(wal.Config{
+		Dir: opts.DataDir, NoSync: opts.WALNoSync, Obs: opts.CacheRegistry,
+	}, s.registry.Applier())
+	if err != nil {
+		return nil, fmt.Errorf("deepeye: recovering %s: %w", opts.DataDir, err)
+	}
+	s.recovery = RecoveryInfo{
+		SnapshotDatasets: stats.SnapshotRecords,
+		ReplayedRecords:  stats.Replayed,
+		Truncated:        stats.Truncated,
+		DroppedDatasets:  s.registry.VerifyRecovered(),
+	}
+	compact := opts.WALCompactBytes
+	switch {
+	case compact == 0:
+		compact = 64 << 20
+	case compact < 0:
+		compact = 0
+	}
+	s.registry.AttachLog(log, compact)
+	s.wal = log
+	return s, nil
+}
+
+// Recovery reports what Open replayed from Options.DataDir (zero value
+// when the System is not durable).
+func (s *System) Recovery() RecoveryInfo { return s.recovery }
+
+// Close releases the durability journal (no-op for non-durable
+// Systems). Mutations after Close fail read-only.
+func (s *System) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Close()
 }
 
 // CacheStats snapshots the result/statistics cache counters; ok is

@@ -1,0 +1,223 @@
+package deepeye
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// durableOptions enables the registry with a WAL rooted at dir.
+func durableOptions(dir string) Options {
+	return Options{
+		IncludeOneColumn: true,
+		CacheSize:        1 << 20,
+		RegistrySize:     1 << 30,
+		DataDir:          dir,
+	}
+}
+
+// TestKillAndRestartPreservesDatasetsAndEpochs is the acceptance
+// scenario over the real filesystem: grow a registry, abandon the
+// System without Close (a kill), reopen the same directory, and every
+// dataset must come back with its rows, fingerprint, AND epoch —
+// and a post-recovery TopKByName must equal a cold TopK over the
+// recovered content.
+func TestKillAndRestartPreservesDatasetsAndEpochs(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	sys, err := Open(durableOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RegisterCSV("live", strings.NewReader(liveCSV)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := sys.AppendRows("live", [][]string{
+			{"2016-01-05", "North", fmt.Sprint(20 + i), "9"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sys.RegisterCSV("second", strings.NewReader(liveCSV)); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := sys.DropDataset("second"); err != nil || !ok {
+		t.Fatalf("drop second: %v %v", ok, err)
+	}
+	before, err := sys.DatasetInfoByName("live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Epoch != 3 {
+		t.Fatalf("pre-kill epoch = %d, want 3", before.Epoch)
+	}
+	// No Close: the process dies here. Every acknowledged mutation is
+	// already fsynced.
+
+	sys2, err := Open(durableOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	rec := sys2.Recovery()
+	if rec.ReplayedRecords != 6 || rec.Truncated || len(rec.DroppedDatasets) != 0 {
+		t.Fatalf("recovery = %+v, want 6 clean replayed records", rec)
+	}
+	if got := sys2.ListDatasets(); len(got) != 1 {
+		t.Fatalf("recovered %d datasets, want 1 (second was dropped)", len(got))
+	}
+	after, err := sys2.DatasetInfoByName("live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Epoch != before.Epoch || after.Fingerprint != before.Fingerprint ||
+		after.Rows != before.Rows {
+		t.Fatalf("recovered identity %+v, want %+v", after, before)
+	}
+
+	// Served top-k equals a cold, cache-free run over the recovered
+	// snapshot.
+	vs, _, err := sys2.TopKByName(ctx, "live", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := sys2.DatasetSnapshot("live")
+	if !ok {
+		t.Fatal("no snapshot after recovery")
+	}
+	oracle := New(Options{IncludeOneColumn: true})
+	want, err := oracle.TopK(rebuildCold(t, snap), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameVisualizations(t, want, vs, "post-recovery")
+
+	// The journal stays live: appends continue the epoch sequence and
+	// survive another restart.
+	res, err := sys2.AppendRows("live", [][]string{{"2016-04-01", "East", "5", "2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 4 {
+		t.Fatalf("post-recovery append epoch = %d, want 4", res.Epoch)
+	}
+	sys2.Close()
+
+	sys3, err := Open(durableOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys3.Close()
+	final, err := sys3.DatasetInfoByName("live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Epoch != 4 || final.Fingerprint != res.Fingerprint {
+		t.Fatalf("second restart identity %+v, want epoch 4 fp %s", final, res.Fingerprint)
+	}
+}
+
+// TestDurableCompactionAcrossRestart drives enough appends through a
+// tiny compaction threshold to force snapshot generations, then
+// verifies a restart loads from the snapshot (not a full replay) with
+// identical content.
+func TestDurableCompactionAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	opts := durableOptions(dir)
+	opts.WALCompactBytes = 512
+
+	sys, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RegisterCSV("live", strings.NewReader(liveCSV)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := sys.AppendRows("live", [][]string{
+			{"2016-02-01", "West", fmt.Sprint(i), "1"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := sys.DatasetInfoByName("live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Close()
+
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("no snapshot files after compaction: %v %v", snaps, err)
+	}
+	sys2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	rec := sys2.Recovery()
+	if rec.SnapshotDatasets != 1 {
+		t.Fatalf("recovery = %+v, want 1 snapshot dataset", rec)
+	}
+	if rec.ReplayedRecords >= 21 {
+		t.Fatalf("replayed %d records despite compaction", rec.ReplayedRecords)
+	}
+	after, err := sys2.DatasetInfoByName("live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Epoch != before.Epoch || after.Fingerprint != before.Fingerprint {
+		t.Fatalf("compacted restart identity %+v, want %+v", after, before)
+	}
+}
+
+// TestOpenDataDirRequiresRegistry: durability without a registry to
+// make durable is a configuration error, not a silent no-op.
+func TestOpenDataDirRequiresRegistry(t *testing.T) {
+	if _, err := Open(Options{DataDir: t.TempDir()}); err == nil {
+		t.Fatal("Open accepted DataDir without RegistrySize")
+	}
+	// New must panic rather than swallow the same misconfiguration.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New did not panic on DataDir without RegistrySize")
+		}
+	}()
+	New(Options{DataDir: t.TempDir()})
+}
+
+// TestDurableIngestLimits: the limited ingestion APIs reject oversized
+// cells and row floods with typed errors that identify the limit.
+func TestDurableIngestLimits(t *testing.T) {
+	sys := New(Options{RegistrySize: 1 << 30})
+	lim := IngestLimits{MaxRows: 3, MaxCellBytes: 16}
+
+	var limErr *IngestLimitError
+	_, err := sys.RegisterCSVLimited("big", strings.NewReader(liveCSV), lim)
+	if !errors.As(err, &limErr) || limErr.What != "rows" || limErr.Limit != 3 {
+		t.Fatalf("row flood err = %v", err)
+	}
+	wide := "a,b\n" + strings.Repeat("x", 64) + ",1\n"
+	_, err = sys.RegisterCSVLimited("wide", strings.NewReader(wide), lim)
+	if !errors.As(err, &limErr) || limErr.What != "cell-bytes" || limErr.Limit != 16 {
+		t.Fatalf("wide cell err = %v", err)
+	}
+	// Under the limits, ingestion works and appends enforce them too.
+	small := "a,b\nx,1\ny,2\n"
+	if _, err := sys.RegisterCSVLimited("ok", strings.NewReader(small), lim); err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.AppendCSVLimited("ok", strings.NewReader(strings.Repeat("z", 64)+",9\n"), false, lim)
+	if !errors.As(err, &limErr) || limErr.What != "cell-bytes" {
+		t.Fatalf("append wide cell err = %v", err)
+	}
+	info, err := sys.DatasetInfoByName("ok")
+	if err != nil || info.Rows != 2 {
+		t.Fatalf("rejected append mutated dataset: %+v %v", info, err)
+	}
+}

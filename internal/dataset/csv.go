@@ -14,6 +14,70 @@ func FromCSV(name string, r io.Reader) (*Table, error) {
 	return FromCSVWithTypes(name, r, nil)
 }
 
+// ReadLimits bounds CSV ingestion so a hostile payload cannot balloon
+// the parsed representation far past the raw body cap: MaxRows caps
+// data rows (header excluded), MaxCellBytes caps a single cell's size.
+// Zero fields are unlimited.
+type ReadLimits struct {
+	MaxRows      int
+	MaxCellBytes int
+}
+
+// LimitError reports which ingestion limit a payload hit; servers map
+// it to 413 echoing the limit.
+type LimitError struct {
+	What  string // "rows" or "cell-bytes"
+	Limit int
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("dataset: input exceeds %s limit of %d", e.What, e.Limit)
+}
+
+// checkRec applies the limits to one data record (row index is the
+// 0-based count of data rows read so far, this record excluded).
+func (lim ReadLimits) checkRec(rowsRead int, rec []string) error {
+	if lim.MaxRows > 0 && rowsRead >= lim.MaxRows {
+		return &LimitError{What: "rows", Limit: lim.MaxRows}
+	}
+	if lim.MaxCellBytes > 0 {
+		for _, cell := range rec {
+			if len(cell) > lim.MaxCellBytes {
+				return &LimitError{What: "cell-bytes", Limit: lim.MaxCellBytes}
+			}
+		}
+	}
+	return nil
+}
+
+// ReadRows reads raw CSV records (ragged tolerated) under the limits —
+// the ingestion path for registry appends. When header is true the
+// first record is skipped and does not count against MaxRows.
+func ReadRows(rd io.Reader, header bool, lim ReadLimits) ([][]string, error) {
+	cr := csv.NewReader(rd)
+	cr.TrimLeadingSpace = true
+	cr.FieldsPerRecord = -1
+	var rows [][]string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading append rows: %w", err)
+		}
+		if header {
+			header = false
+			continue
+		}
+		if err := lim.checkRec(len(rows), rec); err != nil {
+			return nil, err
+		}
+		rows = append(rows, rec)
+	}
+	return rows, nil
+}
+
 // FromCSVWithTypes reads a table from CSV data, forcing the types of the
 // named columns instead of inferring them (cells that fail to parse under
 // a forced type become null). Columns absent from overrides are inferred
@@ -26,6 +90,13 @@ func FromCSV(name string, r io.Reader) (*Table, error) {
 // rows longer than the header are truncated and counted on the
 // resulting table's RaggedRows instead of being dropped silently.
 func FromCSVWithTypes(name string, r io.Reader, overrides map[string]ColType) (*Table, error) {
+	return FromCSVLimited(name, r, overrides, ReadLimits{})
+}
+
+// FromCSVLimited is FromCSVWithTypes with ingestion limits applied per
+// record as it streams; a violation aborts the parse with a LimitError
+// before the oversized payload is materialized.
+func FromCSVLimited(name string, r io.Reader, overrides map[string]ColType, lim ReadLimits) (*Table, error) {
 	cr := csv.NewReader(r)
 	cr.TrimLeadingSpace = true
 	cr.FieldsPerRecord = -1 // tolerate ragged rows
@@ -45,6 +116,9 @@ func FromCSVWithTypes(name string, r io.Reader, overrides map[string]ColType) (*
 		}
 		if err != nil {
 			return nil, fmt.Errorf("dataset: reading csv: %w", err)
+		}
+		if err := lim.checkRec(len(raws[0]), rec); err != nil {
+			return nil, err
 		}
 		if len(rec) > len(header) {
 			ragged++

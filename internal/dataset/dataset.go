@@ -213,27 +213,7 @@ func (c *Column) InvalidateStats() {
 // instead of the column it grows. Never call it on a column reachable
 // from a served Table.
 func (c *Column) AppendCell(raw string) (null bool) {
-	null = isNullToken(raw)
-	var num float64
-	var ts time.Time
-	if !null {
-		switch c.Type {
-		case Numerical:
-			v, ok := parseNumber(raw)
-			if !ok {
-				null = true
-			} else {
-				num = v
-			}
-		case Temporal:
-			v, ok := ParseTime(raw)
-			if !ok {
-				null = true
-			} else {
-				ts = v
-			}
-		}
-	}
+	num, ts, null := c.parseCell(raw)
 	c.Raw = append(c.Raw, raw)
 	c.Null = append(c.Null, null)
 	switch c.Type {
@@ -243,6 +223,38 @@ func (c *Column) AppendCell(raw string) (null bool) {
 		c.Times = append(c.Times, ts)
 	}
 	c.InvalidateStats()
+	return null
+}
+
+// parseCell evaluates one raw cell under the column's fixed type: the
+// parsed value (for numerical/temporal columns) and whether the stored
+// cell would be null. Pure — the column is not touched.
+func (c *Column) parseCell(raw string) (num float64, ts time.Time, null bool) {
+	if isNullToken(raw) {
+		return 0, time.Time{}, true
+	}
+	switch c.Type {
+	case Numerical:
+		v, ok := parseNumber(raw)
+		if !ok {
+			return 0, time.Time{}, true
+		}
+		return v, time.Time{}, false
+	case Temporal:
+		v, ok := ParseTime(raw)
+		if !ok {
+			return 0, time.Time{}, true
+		}
+		return 0, v, false
+	}
+	return 0, time.Time{}, false
+}
+
+// CellIsNull reports whether AppendCell(raw) would store a null cell —
+// the dry-run the registry's WAL preview uses to journal an append's
+// post-state fingerprint before mutating any storage.
+func (c *Column) CellIsNull(raw string) bool {
+	_, _, null := c.parseCell(raw)
 	return null
 }
 
@@ -430,6 +442,42 @@ func ForceType(name string, raw []string, typ ColType) *Column {
 		}
 	}
 	materialize(c)
+	return c
+}
+
+// RebuildColumn reconstructs a column from journaled storage: raw
+// strings and null flags are adopted verbatim (they are the stored
+// truth — caller-built tables can carry null flags that are not
+// derivable from the raw strings, so re-parsing would drift), and only
+// the parsed-value slices are rematerialized for non-null cells. A
+// non-null cell whose raw string no longer parses keeps a zero value,
+// mirroring what the original column held. Used by WAL/snapshot
+// recovery in the live-dataset registry.
+func RebuildColumn(name string, typ ColType, raw []string, null []bool) *Column {
+	n := len(raw)
+	c := &Column{Name: name, Type: typ, Raw: raw, Null: null}
+	switch typ {
+	case Numerical:
+		c.Nums = make([]float64, n)
+		for i, s := range raw {
+			if null[i] {
+				continue
+			}
+			if v, ok := parseNumber(s); ok {
+				c.Nums[i] = v
+			}
+		}
+	case Temporal:
+		c.Times = make([]time.Time, n)
+		for i, s := range raw {
+			if null[i] {
+				continue
+			}
+			if ts, ok := ParseTime(s); ok {
+				c.Times[i] = ts
+			}
+		}
+	}
 	return c
 }
 

@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"encoding"
 	"encoding/binary"
 	"fmt"
 	"hash"
@@ -96,6 +97,24 @@ func (fh *Hasher) WriteCell(raw string, null bool) {
 // the rolling state.
 func (fh *Hasher) Sum() string {
 	return fmt.Sprintf("%x", fh.h.Sum(nil))
+}
+
+// Clone returns an independent copy of the rolling state, so a caller
+// can preview the digest a batch of cells would produce — the WAL
+// journals an append's post-state fingerprint before the append is
+// applied — without disturbing the live stream. The fnv digests
+// implement encoding.BinaryMarshaler, so the copy is exact.
+func (fh *Hasher) Clone() *Hasher {
+	m, err := fh.h.(encoding.BinaryMarshaler).MarshalBinary()
+	if err != nil {
+		// Unreachable: fnv's MarshalBinary cannot fail.
+		panic("dataset: marshaling fingerprint state: " + err.Error())
+	}
+	c := &Hasher{h: fnv.New128a()}
+	if err := c.h.(encoding.BinaryUnmarshaler).UnmarshalBinary(m); err != nil {
+		panic("dataset: unmarshaling fingerprint state: " + err.Error())
+	}
+	return c
 }
 
 func (fh *Hasher) writeInt(v int) {

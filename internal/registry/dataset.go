@@ -7,6 +7,7 @@ import (
 
 	"github.com/deepeye/deepeye/internal/dataset"
 	"github.com/deepeye/deepeye/internal/obs"
+	"github.com/deepeye/deepeye/internal/wal"
 )
 
 // Dataset is one live, append-only dataset: typed column storage the
@@ -152,15 +153,27 @@ func cellBytes(raw string, typ dataset.ColType) int64 {
 // batch, retiring the memoized snapshot. It returns the result, the
 // byte-budget delta, and the fingerprint the batch retired ("" when
 // rows is empty and nothing changed).
-func (d *Dataset) append(rows [][]string) (AppendResult, int64, string) {
+//
+// When reg carries a WAL, the batch is journaled — with its previewed
+// post-state fingerprint, computed on a clone of the rolling hasher —
+// and made durable BEFORE any storage mutates, so an acknowledged
+// append is never lost and a failed journal write leaves the dataset
+// untouched (the registry flips to read-only). Pass reg == nil (or a
+// registry with no log) for the undurable path.
+func (d *Dataset) append(rows [][]string, reg *Registry) (AppendResult, int64, string, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if len(rows) == 0 {
 		return AppendResult{Dataset: d.name, Rows: d.nRows, Epoch: d.epoch,
-			Fingerprint: d.fp, RaggedTotal: d.ragged}, 0, ""
+			Fingerprint: d.fp, RaggedTotal: d.ragged}, 0, "", nil
 	}
 	stop := obs.StageTimer(obs.StageAppend)
 	defer stop()
+	if reg != nil && reg.log != nil {
+		if err := reg.journal(d.appendRecordLocked(rows)); err != nil {
+			return AppendResult{}, 0, "", err
+		}
+	}
 	oldFp := d.fp
 	var delta int64
 	raggedBatch := 0
@@ -192,7 +205,63 @@ func (d *Dataset) append(rows [][]string) (AppendResult, int64, string) {
 		Dataset: d.name, Appended: len(rows), Rows: d.nRows,
 		Epoch: d.epoch, Fingerprint: d.fp,
 		Ragged: raggedBatch, RaggedTotal: d.ragged,
-	}, delta, oldFp
+	}, delta, oldFp, nil
+}
+
+// appendRecordLocked builds the WAL record for an append batch: the
+// raw rows verbatim plus the previewed post-state fingerprint. The
+// preview runs the exact cell loop apply will run — padding, ragged
+// truncation, null detection — against a clone of the rolling hasher,
+// so the journaled fingerprint is the one the dataset will carry
+// after the batch lands, and replay can verify it byte for byte.
+// Caller holds d.mu.
+func (d *Dataset) appendRecordLocked(rows [][]string) *wal.Record {
+	h := d.hasher.Clone()
+	for _, row := range rows {
+		for j, c := range d.cols {
+			cell := ""
+			if j < len(row) {
+				cell = row[j]
+			}
+			h.WriteCell(cell, c.CellIsNull(cell))
+		}
+	}
+	return &wal.Record{
+		Op: wal.OpAppend, Name: d.name,
+		RawRows:     rows,
+		Fingerprint: h.Sum(),
+	}
+}
+
+// registerRecordLocked serializes the dataset's full current state as
+// an OpRegister record: schema, every cell (raw bytes plus explicit
+// null flag — null flags are not always derivable from the raw string,
+// e.g. caller-built tables), the rolling fingerprint, creation time,
+// epoch, and ragged count. It serves both the registration journal
+// entry (epoch 0 at that point) and snapshot compaction, which is why
+// Epoch is persisted explicitly: recovered datasets must keep their
+// epoch numbering across restarts. Caller holds d.mu (or has exclusive
+// access, as at registration before insertion).
+func (d *Dataset) registerRecordLocked() *wal.Record {
+	rec := &wal.Record{
+		Op: wal.OpRegister, Name: d.name,
+		CreatedAtNanos: d.createdAt.UnixNano(),
+		Epoch:          d.epoch,
+		Ragged:         d.ragged,
+		Rows:           d.nRows,
+		Fingerprint:    d.fp,
+	}
+	rec.Cols = make([]wal.Col, len(d.cols))
+	for j, c := range d.cols {
+		rec.Cols[j] = wal.Col{Name: c.Name, Type: byte(c.Type)}
+	}
+	rec.Cells = make([]wal.Cell, 0, d.nRows*len(d.cols))
+	for i := 0; i < d.nRows; i++ {
+		for _, c := range d.cols {
+			rec.Cells = append(rec.Cells, wal.Cell{Raw: c.Raw[i], Null: c.Null[i]})
+		}
+	}
+	return rec
 }
 
 // Snapshot returns the immutable table view of the current epoch,

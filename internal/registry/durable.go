@@ -1,0 +1,267 @@
+package registry
+
+import (
+	"container/list"
+	"fmt"
+	"time"
+
+	"github.com/deepeye/deepeye/internal/dataset"
+	"github.com/deepeye/deepeye/internal/wal"
+)
+
+// This file is the registry's durability glue: the wal.Applier that
+// rebuilds in-memory state during recovery, the post-recovery
+// verification pass, log attachment, and snapshot compaction.
+//
+// Recovery protocol (driven by wal.Open):
+//
+//  1. Snapshot records and then WAL records stream through Applier in
+//     journal order. Apply bypasses the public mutation paths — no WAL
+//     writes, no ingest counters, no evictions — because replay must
+//     reconstruct state, not re-observe traffic.
+//  2. Each applied record is verified against its journaled rolling
+//     fingerprint; a mismatch returns wal.ErrVerify, which truncates
+//     the log at that record exactly as a torn frame would.
+//  3. VerifyRecovered then recomputes every surviving dataset's
+//     fingerprint cold and drops any that disagree with the rolling
+//     digest: a fingerprint-mismatched table is never served.
+//  4. AttachLog arms journaling for subsequent mutations and enforces
+//     TTL/budget once over the recovered population (journaling those
+//     drops), so a restart under a smaller budget converges immediately.
+//
+// Lock order everywhere: Registry.mu, then Dataset.mu, then the WAL's
+// internal mutex. Compact is the only path holding many Dataset locks
+// at once; it freezes every dataset across both the state capture and
+// the log swap so no append can land in a WAL generation that is about
+// to be deleted.
+
+// applier adapts the registry to wal.Applier for recovery.
+type applier struct{ r *Registry }
+
+// Applier returns the recovery sink wal.Open replays into. Use it only
+// on a registry that is not yet shared: replay mutates state without
+// journaling.
+func (r *Registry) Applier() wal.Applier { return applier{r} }
+
+// Apply rebuilds one journaled mutation in memory.
+func (a applier) Apply(rec *wal.Record) error {
+	switch rec.Op {
+	case wal.OpRegister:
+		return a.r.applyRegister(rec)
+	case wal.OpAppend:
+		return a.r.applyAppend(rec)
+	case wal.OpDrop:
+		a.r.applyDrop(rec)
+		return nil
+	}
+	return fmt.Errorf("%w: unknown op %d", wal.ErrTorn, rec.Op)
+}
+
+// applyRegister reconstructs a dataset from a register/snapshot record.
+// Columns adopt the journaled raw strings and null flags verbatim
+// (null flags of caller-built tables are not re-derivable from raw
+// strings); newDataset then reseeds trackers and the rolling hasher
+// from those cells, and the resulting digest must equal the journaled
+// fingerprint. Registration over an existing name is skipped: WAL
+// order can interleave a drop and a re-register of the same name, and
+// the earlier record wins only until its drop replays.
+func (r *Registry) applyRegister(rec *wal.Record) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.byName[rec.Name]; exists {
+		return nil
+	}
+	ncols := len(rec.Cols)
+	if ncols == 0 || len(rec.Cells) != rec.Rows*ncols {
+		return fmt.Errorf("%w: register %q cell count", wal.ErrTorn, rec.Name)
+	}
+	cols := make([]*dataset.Column, ncols)
+	for j, c := range rec.Cols {
+		raw := make([]string, rec.Rows)
+		null := make([]bool, rec.Rows)
+		for i := 0; i < rec.Rows; i++ {
+			cell := rec.Cells[i*ncols+j]
+			raw[i], null[i] = cell.Raw, cell.Null
+		}
+		cols[j] = dataset.RebuildColumn(c.Name, dataset.ColType(c.Type), raw, null)
+	}
+	t, err := dataset.New(rec.Name, cols)
+	if err != nil {
+		return fmt.Errorf("%w: register %q: %v", wal.ErrTorn, rec.Name, err)
+	}
+	t.RaggedRows = rec.Ragged
+	d := newDataset(rec.Name, t, r.now())
+	if d.fp != rec.Fingerprint {
+		return fmt.Errorf("%w: dataset %q fingerprint %s, journaled %s",
+			wal.ErrVerify, rec.Name, d.fp, rec.Fingerprint)
+	}
+	d.createdAt = time.Unix(0, rec.CreatedAtNanos)
+	d.epoch = rec.Epoch
+	r.byName[rec.Name] = r.ll.PushFront(d)
+	r.bytes += d.bytes.Load()
+	r.syncGaugesLocked()
+	return nil
+}
+
+// applyAppend re-applies one journaled append batch. The journaled
+// post-state fingerprint is previewed first — against a clone of the
+// rolling hasher, before any storage mutates — so a mismatch rejects
+// the record cleanly instead of leaving a half-applied batch. An
+// append to a missing dataset is skipped, not an error: under live
+// locking an eviction's drop record can precede an in-flight append's
+// record for the same dataset.
+func (r *Registry) applyAppend(rec *wal.Record) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.byName[rec.Name]
+	if !ok {
+		return nil
+	}
+	d := el.Value.(*Dataset)
+	d.mu.Lock()
+	preview := d.appendRecordLocked(rec.RawRows)
+	d.mu.Unlock()
+	if preview.Fingerprint != rec.Fingerprint {
+		return fmt.Errorf("%w: dataset %q append fingerprint %s, journaled %s",
+			wal.ErrVerify, rec.Name, preview.Fingerprint, rec.Fingerprint)
+	}
+	res, delta, _, err := d.append(rec.RawRows, nil)
+	if err != nil {
+		return err // unreachable: nil registry never journals
+	}
+	if res.Fingerprint != rec.Fingerprint {
+		// Unreachable: the preview runs the exact apply loop.
+		return fmt.Errorf("%w: dataset %q applied fingerprint diverged",
+			wal.ErrVerify, rec.Name)
+	}
+	d.bytes.Add(delta)
+	r.bytes += delta
+	r.syncGaugesLocked()
+	return nil
+}
+
+// applyDrop removes a journaled drop's dataset if present. No OnRetire:
+// nothing downstream has cached a fingerprint yet during recovery.
+func (r *Registry) applyDrop(rec *wal.Record) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.byName[rec.Name]; ok {
+		r.removeLocked(el)
+		r.syncGaugesLocked()
+	}
+}
+
+// VerifyRecovered recomputes every dataset's content fingerprint from
+// scratch and drops (unjournaled) any whose rolling digest disagrees,
+// returning the dropped names. Call it after wal.Open and before the
+// registry serves traffic: it is the final guarantee that recovery
+// never serves a fingerprint-mismatched table, independent of the
+// per-record checks replay already made.
+func (r *Registry) VerifyRecovered() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var bad []string
+	var next *list.Element
+	for el := r.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		d := el.Value.(*Dataset)
+		d.mu.Lock()
+		h := dataset.NewHasher(d.cols)
+		for i := 0; i < d.nRows; i++ {
+			for _, c := range d.cols {
+				h.WriteCell(c.Raw[i], c.Null[i])
+			}
+		}
+		ok := h.Sum() == d.fp
+		d.mu.Unlock()
+		if !ok {
+			bad = append(bad, d.name)
+			r.removeLocked(el)
+		}
+	}
+	if len(bad) > 0 {
+		r.syncGaugesLocked()
+	}
+	return bad
+}
+
+// AttachLog arms journaling: every subsequent mutation is written to
+// log before it is applied, and the WAL compacts into a snapshot when
+// it outgrows compactBytes (0 disables size-triggered compaction).
+// TTL and the byte budget are then enforced once over the recovered
+// population — with those drops journaled — so a restart under a
+// tighter budget or an expired TTL converges immediately instead of
+// on first traffic.
+func (r *Registry) AttachLog(log *wal.Log, compactBytes int64) {
+	r.mu.Lock()
+	r.log = log
+	r.compactBytes = compactBytes
+	retired := r.sweepExpiredLocked(r.now())
+	// Enforce the (possibly tighter) budget over the recovered
+	// population with live-path semantics: the most recently used
+	// dataset survives even if it alone exceeds the budget.
+	var keep *Dataset
+	if front := r.ll.Front(); front != nil {
+		keep = front.Value.(*Dataset)
+	}
+	retired = append(retired, r.evictOverBudgetLocked(keep)...)
+	r.syncGaugesLocked()
+	r.mu.Unlock()
+	r.retire(retired)
+}
+
+// Log returns the attached WAL, or nil.
+func (r *Registry) Log() *wal.Log {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.log
+}
+
+// Compact freezes the registry — its own lock plus every dataset's —
+// captures the full state as register-style records, and atomically
+// swaps the WAL generation for the snapshot. Holding every dataset
+// lock across both the capture and the swap closes the lost-append
+// window: no journal write can land in the old generation after its
+// state was captured. A compaction failure flips the registry
+// read-only (the WAL handle is poisoned anyway).
+func (r *Registry) Compact() error {
+	if r.Log() == nil {
+		return nil
+	}
+	if _, ro := r.ReadOnly(); ro {
+		return r.roError()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	records := make([]*wal.Record, 0, r.ll.Len())
+	locked := make([]*Dataset, 0, r.ll.Len())
+	for el := r.ll.Back(); el != nil; el = el.Prev() {
+		// Back-to-front so the snapshot replays oldest-first and
+		// PushFront during recovery restores today's LRU order.
+		d := el.Value.(*Dataset)
+		d.mu.Lock()
+		locked = append(locked, d)
+		records = append(records, d.registerRecordLocked())
+	}
+	err := r.log.Compact(records)
+	for _, d := range locked {
+		d.mu.Unlock()
+	}
+	if err != nil {
+		r.enterReadOnly(err)
+		return err
+	}
+	return nil
+}
+
+// maybeCompact runs a compaction when the WAL has outgrown the
+// configured threshold. Called after mutations, outside all locks.
+func (r *Registry) maybeCompact() {
+	r.mu.Lock()
+	log, limit := r.log, r.compactBytes
+	r.mu.Unlock()
+	if log == nil || limit <= 0 || log.Size() <= limit {
+		return
+	}
+	_ = r.Compact() // failure already flipped read-only; mutations surface it
+}

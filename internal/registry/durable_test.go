@@ -1,0 +1,542 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/deepeye/deepeye/internal/dataset"
+	"github.com/deepeye/deepeye/internal/obs"
+	"github.com/deepeye/deepeye/internal/wal"
+)
+
+const testWALDir = "data"
+
+func testWALPath() string { return testWALDir + "/wal-0000000001.log" }
+
+// openDurable builds a registry recovered from fs and armed for
+// journaling — the full production open sequence (replay, verify,
+// attach) against an injectable filesystem.
+func openDurable(t *testing.T, fs wal.FS, cfg Config, compact int64) (*Registry, *wal.Log, wal.OpenStats) {
+	t.Helper()
+	r := newTestRegistry(cfg)
+	log, st, err := wal.Open(wal.Config{Dir: testWALDir, FS: fs, Obs: obs.NewRegistry()}, r.Applier())
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	r.VerifyRecovered()
+	r.AttachLog(log, compact)
+	return r, log, st
+}
+
+// dsState is the comparable essence of one dataset: content
+// fingerprint (covers schema + every cell), row count, and epoch.
+type dsState struct {
+	fp    string
+	rows  int
+	epoch uint64
+}
+
+func captureState(r *Registry) map[string]dsState {
+	m := make(map[string]dsState)
+	for _, info := range r.List() {
+		m[info.Name] = dsState{fp: info.Fingerprint, rows: info.Rows, epoch: info.Epoch}
+	}
+	return m
+}
+
+func assertStatesEqual(t *testing.T, got, want map[string]dsState, ctx string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d datasets, want %d (got %v, want %v)", ctx, len(got), len(want), got, want)
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Fatalf("%s: dataset %q missing", ctx, name)
+		}
+		if g != w {
+			t.Fatalf("%s: dataset %q = %+v, want %+v", ctx, name, g, w)
+		}
+	}
+}
+
+// verifyServedContent asserts every live dataset's rolling fingerprint
+// equals a cold recompute over its snapshot — the "never serve a
+// fingerprint-mismatched table" invariant.
+func verifyServedContent(t *testing.T, r *Registry) {
+	t.Helper()
+	for _, info := range r.List() {
+		snap, ok := r.Snapshot(info.Name)
+		if !ok {
+			t.Fatalf("dataset %q listed but not snapshottable", info.Name)
+		}
+		if cold := rebuild(t, snap).Fingerprint(); cold != info.Fingerprint {
+			t.Fatalf("dataset %q serves fingerprint %s, recompute %s", info.Name, info.Fingerprint, cold)
+		}
+	}
+}
+
+// TestDurableRecoveryRoundtrip: a register + appends + drop workload
+// survives a cold restart bit-identically — names, fingerprints, row
+// counts, AND epochs.
+func TestDurableRecoveryRoundtrip(t *testing.T) {
+	fs := wal.NewMemFS()
+	r, _, _ := openDurable(t, fs, Config{}, 0)
+	if _, err := r.Register("trips", mkTable(t, "trips", tripsCSV)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("doomed", mkTable(t, "doomed", tripsCSV)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := r.Append("trips", [][]string{{"Oslo", fmt.Sprint(10 + i), "2024-02-01"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Delete("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	want := captureState(r)
+	if want["trips"].epoch != 3 {
+		t.Fatalf("epoch = %d, want 3", want["trips"].epoch)
+	}
+
+	// Cold restart from the surviving bytes (no Close: a crash).
+	r2, _, st := openDurable(t, fs.Clone(), Config{}, 0)
+	if st.Replayed != 6 { // 2 registers + 3 appends + 1 drop
+		t.Fatalf("replayed %d records, want 6", st.Replayed)
+	}
+	assertStatesEqual(t, captureState(r2), want, "after restart")
+	verifyServedContent(t, r2)
+
+	// The recovered dataset keeps accepting appends with continuous
+	// epochs and a fingerprint matching a recompute.
+	res, err := r2.Append("trips", [][]string{{"Paris", "7", "2024-03-01"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 4 {
+		t.Fatalf("post-recovery epoch = %d, want 4", res.Epoch)
+	}
+	verifyServedContent(t, r2)
+}
+
+// TestCrashConsistencyProperty is the tentpole property test: run a
+// randomized register/append/drop workload, then cut the WAL at EVERY
+// byte length and recover. Each recovery must reproduce exactly the
+// state after some prefix of the committed operations — the committed
+// prefix whose last record fits under the cut — with every served
+// dataset's fingerprint verified against a cold recompute.
+func TestCrashConsistencyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	fs := wal.NewMemFS()
+	r, log, _ := openDurable(t, fs, Config{}, 0)
+
+	names := []string{"a", "b", "c"}
+	// states[i] is the expected state with i committed operations;
+	// bounds[i] the WAL length at that point. Every public mutation
+	// journals exactly one record here (no budget, no TTL), so the two
+	// line up one to one.
+	states := []map[string]dsState{captureState(r)}
+	bounds := []int64{0}
+	commit := func() {
+		states = append(states, captureState(r))
+		bounds = append(bounds, log.Size())
+	}
+	randRow := func() []string {
+		return []string{
+			fmt.Sprintf("city%d", rng.Intn(5)),
+			fmt.Sprintf("%d.%d", rng.Intn(100), rng.Intn(10)),
+			fmt.Sprintf("2024-01-%02d", 1+rng.Intn(28)),
+		}
+	}
+	for op := 0; op < 40; op++ {
+		name := names[rng.Intn(len(names))]
+		switch k := rng.Intn(10); {
+		case k < 3:
+			var sb strings.Builder
+			sb.WriteString("city,fare,day\n")
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				sb.WriteString(strings.Join(randRow(), ",") + "\n")
+			}
+			if _, err := r.Register(name, mkTable(t, name, sb.String())); err != nil {
+				if !errors.Is(err, ErrExists) {
+					t.Fatalf("op %d: register: %v", op, err)
+				}
+				continue // no journal write, no new committed state
+			}
+		case k < 8:
+			rows := make([][]string, 1+rng.Intn(3))
+			for i := range rows {
+				rows[i] = randRow()
+			}
+			if _, err := r.Append(name, rows); err != nil {
+				if !errors.Is(err, ErrNotFound) {
+					t.Fatalf("op %d: append: %v", op, err)
+				}
+				continue
+			}
+		default:
+			ok, err := r.Delete(name)
+			if err != nil {
+				t.Fatalf("op %d: delete: %v", op, err)
+			}
+			if !ok {
+				continue
+			}
+		}
+		commit()
+	}
+	total := fs.FileLen(testWALPath())
+	if total == 0 || len(states) < 10 {
+		t.Fatalf("workload too thin: %d bytes, %d states", total, len(states))
+	}
+
+	for cut := int64(0); cut <= total; cut++ {
+		img := fs.Clone()
+		if err := img.Truncate(testWALPath(), cut); err != nil {
+			t.Fatal(err)
+		}
+		r2, _, _ := openDurable(t, img, Config{}, 0)
+		// The committed prefix whose WAL bytes fit under the cut.
+		idx := 0
+		for idx+1 < len(bounds) && bounds[idx+1] <= cut {
+			idx++
+		}
+		assertStatesEqual(t, captureState(r2), states[idx], fmt.Sprintf("cut %d (prefix %d)", cut, idx))
+		verifyServedContent(t, r2)
+	}
+}
+
+// TestEvictionsAreJournaled: a dataset evicted by the byte budget must
+// never resurrect on restart — the eviction itself is a journaled drop.
+func TestEvictionsAreJournaled(t *testing.T) {
+	fs := wal.NewMemFS()
+	r, _, _ := openDurable(t, fs, Config{MaxBytes: 1}, 0)
+	if _, err := r.Register("old", mkTable(t, "old", tripsCSV)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("new", mkTable(t, "new", tripsCSV)); err != nil {
+		t.Fatal(err)
+	}
+	// Budget of 1 byte: registering "new" evicts "old" (the newly
+	// registered dataset itself is never evicted).
+	if _, ok := r.Get("old"); ok {
+		t.Fatal("old survived the budget")
+	}
+	r2, _, _ := openDurable(t, fs.Clone(), Config{MaxBytes: 1}, 0)
+	if _, ok := r2.Get("old"); ok {
+		t.Fatal("evicted dataset resurrected by recovery")
+	}
+	if _, ok := r2.Get("new"); !ok {
+		t.Fatal("surviving dataset lost in recovery")
+	}
+}
+
+// TestRestartUnderTighterBudget: AttachLog enforces the (new, smaller)
+// budget over the recovered population, journaling those evictions too.
+func TestRestartUnderTighterBudget(t *testing.T) {
+	fs := wal.NewMemFS()
+	r, _, _ := openDurable(t, fs, Config{}, 0)
+	for _, name := range []string{"a", "b", "c"} {
+		if _, err := r.Register(name, mkTable(t, name, tripsCSV)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img := fs.Clone()
+	r2, _, _ := openDurable(t, img, Config{MaxBytes: 1}, 0)
+	if n := r2.Len(); n != 1 {
+		t.Fatalf("restart under 1-byte budget kept %d datasets, want 1", n)
+	}
+	// And the enforcement itself was journaled: a third boot (from the
+	// second boot's disk image) with no budget must not resurrect the
+	// evicted datasets.
+	r3, _, _ := openDurable(t, img.Clone(), Config{}, 0)
+	if n := r3.Len(); n != 1 {
+		t.Fatalf("third boot resurrected evicted datasets: %d live", n)
+	}
+}
+
+// TestCompactionPreservesStateAcrossRestart: after size-triggered
+// snapshot compactions, a restart recovers the identical state from
+// the snapshot + short WAL tail.
+func TestCompactionPreservesStateAcrossRestart(t *testing.T) {
+	fs := wal.NewMemFS()
+	// Tiny threshold: nearly every mutation triggers a compaction.
+	r, log, _ := openDurable(t, fs, Config{}, 64)
+	if _, err := r.Register("trips", mkTable(t, "trips", tripsCSV)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := r.Append("trips", [][]string{{"Lagos", fmt.Sprint(i), "2024-04-01"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Delete("missingless"); err != nil {
+		t.Fatal(err)
+	}
+	want := captureState(r)
+	if log.Size() > 64+1024 {
+		t.Fatalf("wal grew to %d bytes despite compaction threshold", log.Size())
+	}
+	r2, _, st := openDurable(t, fs.Clone(), Config{}, 64)
+	if st.Generation < 2 {
+		t.Fatalf("generation = %d, want compacted (≥2)", st.Generation)
+	}
+	assertStatesEqual(t, captureState(r2), want, "after compacted restart")
+	verifyServedContent(t, r2)
+	if want["trips"].epoch != 10 {
+		t.Fatalf("epoch = %d, want 10", want["trips"].epoch)
+	}
+}
+
+// TestReadOnlyDegradation: a journal write failure rejects the
+// mutation, flips the registry read-only with the cause, and keeps
+// serving reads; reads after the failure still verify.
+func TestReadOnlyDegradation(t *testing.T) {
+	fs := wal.NewMemFS()
+	r, _, _ := openDurable(t, fs, Config{}, 0)
+	if _, err := r.Register("trips", mkTable(t, "trips", tripsCSV)); err != nil {
+		t.Fatal(err)
+	}
+	preFP := captureState(r)["trips"].fp
+
+	fs.FailAt(fs.Written(), false) // every further write fails
+	if _, err := r.Append("trips", [][]string{{"X", "1", "2024-05-01"}}); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("append under failing disk = %v, want ErrReadOnly", err)
+	}
+	reason, ro := r.ReadOnly()
+	if !ro || reason == "" {
+		t.Fatalf("ReadOnly() = %q, %v", reason, ro)
+	}
+	// The rejected append must not have mutated the dataset.
+	if got := captureState(r)["trips"].fp; got != preFP {
+		t.Fatalf("failed append mutated fingerprint: %s -> %s", preFP, got)
+	}
+	// All mutations now fail fast with the sentinel.
+	if _, err := r.Register("other", mkTable(t, "other", tripsCSV)); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("register = %v, want ErrReadOnly", err)
+	}
+	if _, err := r.Delete("trips"); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("delete = %v, want ErrReadOnly", err)
+	}
+	// Reads keep serving the pre-failure content.
+	snap, ok := r.Snapshot("trips")
+	if !ok || snap.NumRows() != 3 {
+		t.Fatalf("read-only snapshot lost: ok=%v", ok)
+	}
+	verifyServedContent(t, r)
+
+	// And the durable image contains exactly the pre-failure state.
+	r2, _, _ := openDurable(t, fs.Clone(), Config{}, 0)
+	if got := captureState(r2)["trips"].fp; got != preFP {
+		t.Fatalf("recovered fingerprint %s, want %s", got, preFP)
+	}
+}
+
+// TestReadOnlyPinsTTL: while degraded, TTL sweeps stop (expiry is a
+// mutation the journal cannot record), so reads keep working past the
+// deadline instead of half-dropping datasets.
+func TestReadOnlyPinsTTL(t *testing.T) {
+	fs := wal.NewMemFS()
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	r, _, _ := openDurable(t, fs, Config{TTL: time.Minute, Now: clock}, 0)
+	if _, err := r.Register("trips", mkTable(t, "trips", tripsCSV)); err != nil {
+		t.Fatal(err)
+	}
+	fs.FailAt(fs.Written(), false)
+	if _, err := r.Append("trips", [][]string{{"X", "1", "2024-05-01"}}); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("append = %v, want ErrReadOnly", err)
+	}
+	now = now.Add(time.Hour) // far past the TTL
+	if _, ok := r.Get("trips"); !ok {
+		t.Fatal("degraded registry expired a dataset it could not journal")
+	}
+}
+
+// TestWithClockExpiryAtBoundary pins the TTL comparison exactly: a
+// dataset last accessed at T expires at T+TTL sharp, not a nanosecond
+// earlier.
+func TestWithClockExpiryAtBoundary(t *testing.T) {
+	base := time.Unix(5000, 0)
+	now := base
+	r := newTestRegistry(Config{TTL: time.Minute}).WithClock(func() time.Time { return now })
+	if _, err := r.Register("trips", mkTable(t, "trips", tripsCSV)); err != nil {
+		t.Fatal(err)
+	}
+	now = base.Add(time.Minute - time.Nanosecond)
+	if r.Len() != 1 {
+		t.Fatal("expired one nanosecond before the boundary")
+	}
+	// Len() does not sweep or refresh; the dataset's lastAccess is
+	// still base. At exactly base+TTL the sweep must take it.
+	now = base.Add(time.Minute)
+	if _, ok := r.Get("trips"); ok {
+		t.Fatal("survived at the exact TTL boundary")
+	}
+	if r.Len() != 0 {
+		t.Fatal("expired dataset still listed")
+	}
+}
+
+// TestWithClockAccessRefreshesTTL: a Get at the eleventh hour restarts
+// the window — deterministically, on the fake clock.
+func TestWithClockAccessRefreshesTTL(t *testing.T) {
+	base := time.Unix(9000, 0)
+	now := base
+	r := newTestRegistry(Config{TTL: time.Minute}).WithClock(func() time.Time { return now })
+	if _, err := r.Register("trips", mkTable(t, "trips", tripsCSV)); err != nil {
+		t.Fatal(err)
+	}
+	now = base.Add(59 * time.Second)
+	if _, ok := r.Get("trips"); !ok {
+		t.Fatal("expired early")
+	}
+	now = base.Add(118 * time.Second) // 59s after the refresh
+	if _, ok := r.Get("trips"); !ok {
+		t.Fatal("refresh did not restart the TTL window")
+	}
+	now = now.Add(61 * time.Second)
+	if _, ok := r.Get("trips"); ok {
+		t.Fatal("survived a full idle window after refresh")
+	}
+}
+
+// TestConcurrentEvictVsAppend races appends against TTL expiry driven
+// by a jumping fake clock. Run under -race this pins the locking; the
+// invariant checked here is accounting: the registry's byte total
+// equals the sum over surviving datasets, and every append either
+// fully landed or cleanly failed.
+func TestConcurrentEvictVsAppend(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(0, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	r := newTestRegistry(Config{TTL: time.Minute}).WithClock(clock)
+	if _, err := r.Register("hot", mkTable(t, "hot", tripsCSV)); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_, err := r.Append("hot", [][]string{{fmt.Sprintf("g%d-%d", g, i), "1", "2024-01-01"}})
+				if err != nil && !errors.Is(err, ErrNotFound) {
+					t.Errorf("append: %v", err)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 25; i++ {
+			advance(90 * time.Second) // every tick crosses the TTL
+			r.List()                  // trigger a sweep
+		}
+	}()
+	wg.Wait()
+
+	var sum int64
+	for _, info := range r.List() {
+		sum += info.Bytes
+	}
+	if got := r.Bytes(); got != sum {
+		t.Fatalf("registry bytes %d, datasets sum %d", got, sum)
+	}
+}
+
+// FuzzWALReplay mutilates a valid WAL image — one byte XORed, a
+// truncation, junk appended — and requires recovery to never panic and
+// never serve a dataset whose rolling fingerprint disagrees with a
+// cold recompute of its recovered cells.
+func FuzzWALReplay(f *testing.F) {
+	base := wal.NewMemFS()
+	{
+		r, _, _ := func() (*Registry, *wal.Log, wal.OpenStats) {
+			r := New(Config{Obs: obs.NewRegistry()})
+			log, st, err := wal.Open(wal.Config{Dir: testWALDir, FS: base, Obs: obs.NewRegistry()}, r.Applier())
+			if err != nil {
+				f.Fatal(err)
+			}
+			r.VerifyRecovered()
+			r.AttachLog(log, 0)
+			return r, log, st
+		}()
+		tab, err := dataset.FromCSVString("trips", tripsCSV)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if _, err := r.Register("trips", tab); err != nil {
+			f.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			if _, err := r.Append("trips", [][]string{{"Rome", fmt.Sprint(i), "2024-06-01"}}); err != nil {
+				f.Fatal(err)
+			}
+		}
+	}
+	total := base.FileLen(testWALPath())
+
+	f.Add(uint32(0), byte(0xff), uint32(0), []byte(nil))
+	f.Add(uint32(9), byte(0x01), uint32(50), []byte("garbage"))
+	f.Add(uint32(100), byte(0x80), uint32(1<<30), []byte{0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, off uint32, mask byte, cut uint32, junk []byte) {
+		img := base.Clone()
+		img.CorruptByte(testWALPath(), int64(off)%max64(total, 1), mask)
+		if cut != 0 {
+			_ = img.Truncate(testWALPath(), int64(cut)%(total+1))
+		}
+		if len(junk) > 0 {
+			fh, err := img.OpenAppend(testWALPath())
+			if err == nil {
+				_, _ = fh.Write(junk)
+				_ = fh.Close()
+			}
+		}
+		r := New(Config{Obs: obs.NewRegistry()})
+		log, _, err := wal.Open(wal.Config{Dir: testWALDir, FS: img, Obs: obs.NewRegistry()}, r.Applier())
+		if err != nil {
+			// A structural failure is acceptable; a panic is not.
+			return
+		}
+		r.VerifyRecovered()
+		r.AttachLog(log, 0)
+		for _, info := range r.List() {
+			snap, ok := r.Snapshot(info.Name)
+			if !ok {
+				t.Fatalf("dataset %q listed but not snapshottable", info.Name)
+			}
+			cols := make([]*dataset.Column, len(snap.Columns))
+			for j, c := range snap.Columns {
+				cols[j] = dataset.RebuildColumn(c.Name, c.Type,
+					append([]string(nil), c.Raw...), append([]bool(nil), c.Null...))
+			}
+			cold, err := dataset.New(snap.Name, cols)
+			if err != nil {
+				t.Fatalf("rebuilding %q: %v", info.Name, err)
+			}
+			if cold.Fingerprint() != info.Fingerprint {
+				t.Fatalf("served fingerprint %s, recompute %s", info.Fingerprint, cold.Fingerprint())
+			}
+		}
+	})
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

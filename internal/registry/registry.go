@@ -31,10 +31,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/deepeye/deepeye/internal/dataset"
 	"github.com/deepeye/deepeye/internal/obs"
+	"github.com/deepeye/deepeye/internal/wal"
 )
 
 // Metric names exported on the obs registry.
@@ -47,12 +49,18 @@ const (
 	metricEpochs    = "deepeye_registry_snapshot_epochs_total"
 	metricSnapshots = "deepeye_registry_snapshots_total"
 	metricLookups   = "deepeye_registry_lookups_total"
+	metricReadOnly  = "deepeye_registry_read_only"
 )
 
 // Sentinel errors callers map to API responses.
 var (
 	ErrNotFound = errors.New("registry: dataset not found")
 	ErrExists   = errors.New("registry: dataset already exists")
+	// ErrReadOnly marks mutations rejected because a durability (WAL)
+	// write failed: the registry keeps serving reads from memory but
+	// refuses to acknowledge changes it cannot make durable. Servers
+	// map it to 503 with a Retry-After.
+	ErrReadOnly = errors.New("registry: read-only mode (durability failure)")
 )
 
 // Config configures a Registry.
@@ -86,7 +94,16 @@ type Registry struct {
 	byName map[string]*list.Element
 	bytes  int64
 
-	datasetsG, bytesG                                    *obs.Gauge
+	// log, when attached, journals every mutation before it is applied
+	// (see AttachLog); compactBytes triggers snapshot compaction when
+	// the WAL outgrows it. readOnly holds the degradation reason after
+	// a durability failure (nil while writable); it is atomic so read
+	// paths can check it lock-free.
+	log          *wal.Log
+	compactBytes int64
+	readOnly     atomic.Pointer[string]
+
+	datasetsG, bytesG, readOnlyG                         *obs.Gauge
 	evictionsLRU, evictionsTTL                           *obs.Counter
 	appends, appendedRows, epochs, snapshotsMat, lookups *obs.Counter
 }
@@ -106,6 +123,7 @@ func New(cfg Config) *Registry {
 		ll: list.New(), byName: make(map[string]*list.Element),
 		datasetsG:    reg.Gauge(metricDatasets, "Live datasets currently registered."),
 		bytesG:       reg.Gauge(metricBytes, "Estimated bytes held by live datasets."),
+		readOnlyG:    reg.Gauge(metricReadOnly, "1 while the registry is in read-only degradation."),
 		evictionsLRU: reg.Counter(metricEvictions, "Datasets evicted.", "reason", "lru"),
 		evictionsTTL: reg.Counter(metricEvictions, "Datasets evicted.", "reason", "ttl"),
 		appends:      reg.Counter(metricAppends, "Append batches ingested."),
@@ -114,6 +132,62 @@ func New(cfg Config) *Registry {
 		snapshotsMat: reg.Counter(metricSnapshots, "Epoch snapshots materialized."),
 		lookups:      reg.Counter(metricLookups, "Dataset lookups."),
 	}
+}
+
+// Clock supplies the registry's notion of now. TTL expiry and LRU
+// bookkeeping read it on every operation, so injecting a fake clock
+// makes eviction behavior fully deterministic in tests.
+type Clock func() time.Time
+
+// WithClock replaces the registry's clock and returns the registry for
+// chaining. Call before the registry is shared across goroutines.
+func (r *Registry) WithClock(c Clock) *Registry {
+	if c != nil {
+		r.now = c
+	}
+	return r
+}
+
+// ReadOnly reports whether the registry is in read-only degradation
+// and, if so, why. Reads keep being served from memory; mutations fail
+// with ErrReadOnly until the process is restarted against healthy
+// storage.
+func (r *Registry) ReadOnly() (reason string, ro bool) {
+	if p := r.readOnly.Load(); p != nil {
+		return *p, true
+	}
+	return "", false
+}
+
+// enterReadOnly flips the registry into read-only degradation. Safe to
+// call with any lock held (the flag is atomic) and idempotent: the
+// first reason wins.
+func (r *Registry) enterReadOnly(cause error) {
+	reason := cause.Error()
+	if r.readOnly.CompareAndSwap(nil, &reason) {
+		r.readOnlyG.Set(1)
+	}
+}
+
+// roError wraps the durability failure into the sentinel mutations
+// return while degraded.
+func (r *Registry) roError() error {
+	reason, _ := r.ReadOnly()
+	return fmt.Errorf("%w: %s", ErrReadOnly, reason)
+}
+
+// journal appends one record to the attached WAL (no-op when detached)
+// and flips to read-only on failure. Callers must not apply the
+// mutation in memory when journal fails.
+func (r *Registry) journal(rec *wal.Record) error {
+	if r.log == nil {
+		return nil
+	}
+	if err := r.log.Append(rec); err != nil {
+		r.enterReadOnly(err)
+		return err
+	}
+	return nil
 }
 
 // Register adopts a built table as a new live dataset under name.
@@ -126,6 +200,9 @@ func (r *Registry) Register(name string, t *dataset.Table) (*Dataset, error) {
 	if t == nil || t.NumCols() == 0 {
 		return nil, fmt.Errorf("registry: dataset %q has no columns", name)
 	}
+	if _, ro := r.ReadOnly(); ro {
+		return nil, r.roError()
+	}
 	now := r.now()
 	d := newDataset(name, t, now) // O(cells); built outside the registry lock
 	r.mu.Lock()
@@ -135,6 +212,14 @@ func (r *Registry) Register(name string, t *dataset.Table) (*Dataset, error) {
 		r.retire(retired)
 		return nil, fmt.Errorf("%w: %q", ErrExists, name)
 	}
+	// Journal before inserting: the registration is acknowledged only
+	// once it is durable. The record carries the full content (schema,
+	// cells, null flags) plus the rolling fingerprint replay verifies.
+	if err := r.journal(d.registerRecordLocked()); err != nil {
+		r.mu.Unlock()
+		r.retire(retired)
+		return nil, fmt.Errorf("%w: %v", ErrReadOnly, err)
+	}
 	r.byName[name] = r.ll.PushFront(d)
 	r.bytes += d.bytes.Load()
 	r.epochs.Inc()
@@ -142,6 +227,7 @@ func (r *Registry) Register(name string, t *dataset.Table) (*Dataset, error) {
 	r.syncGaugesLocked()
 	r.mu.Unlock()
 	r.retire(retired)
+	r.maybeCompact()
 	return d, nil
 }
 
@@ -172,6 +258,9 @@ func (r *Registry) getLocked(name string) (*Dataset, bool, []string) {
 // the row semantics), refreshes its LRU/TTL position, applies the
 // byte budget, and reports the retired fingerprint to OnRetire.
 func (r *Registry) Append(name string, rows [][]string) (AppendResult, error) {
+	if _, ro := r.ReadOnly(); ro {
+		return AppendResult{}, r.roError()
+	}
 	r.mu.Lock()
 	d, ok, retired := r.getLocked(name)
 	r.mu.Unlock()
@@ -179,7 +268,11 @@ func (r *Registry) Append(name string, rows [][]string) (AppendResult, error) {
 		r.retire(retired)
 		return AppendResult{}, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	res, delta, oldFp := d.append(rows)
+	res, delta, oldFp, err := d.append(rows, r)
+	if err != nil {
+		r.retire(retired)
+		return AppendResult{}, fmt.Errorf("%w: %v", ErrReadOnly, err)
+	}
 	r.mu.Lock()
 	if !d.retired.Load() { // evicted while we appended: skip accounting
 		d.bytes.Add(delta)
@@ -197,6 +290,7 @@ func (r *Registry) Append(name string, rows [][]string) (AppendResult, error) {
 	}
 	r.mu.Unlock()
 	r.retire(retired)
+	r.maybeCompact()
 	return res, nil
 }
 
@@ -232,18 +326,27 @@ func (r *Registry) snapshotOf(d *Dataset) *dataset.Table {
 	return t
 }
 
-// Delete removes the named dataset, retiring its fingerprint.
-func (r *Registry) Delete(name string) bool {
+// Delete removes the named dataset, retiring its fingerprint. In
+// read-only degradation it fails with ErrReadOnly (a delete is a
+// mutation the journal could not record).
+func (r *Registry) Delete(name string) (bool, error) {
+	if _, ro := r.ReadOnly(); ro {
+		return false, r.roError()
+	}
 	r.mu.Lock()
 	el, ok := r.byName[name]
 	var retired []string
 	if ok {
+		if err := r.journal(&wal.Record{Op: wal.OpDrop, Name: name, Reason: wal.DropDelete}); err != nil {
+			r.mu.Unlock()
+			return false, fmt.Errorf("%w: %v", ErrReadOnly, err)
+		}
 		retired = append(retired, r.removeLocked(el))
 		r.syncGaugesLocked()
 	}
 	r.mu.Unlock()
 	r.retire(retired)
-	return ok
+	return ok, nil
 }
 
 // List describes every live dataset, most recently used first.
@@ -295,12 +398,20 @@ func (r *Registry) sweepExpiredLocked(now time.Time) []string {
 	if r.cfg.TTL <= 0 {
 		return nil
 	}
+	if _, ro := r.ReadOnly(); ro {
+		// Degraded: expiry is a mutation the journal cannot record, so
+		// datasets are pinned until restart. Reads stay correct.
+		return nil
+	}
 	cutoff := now.Add(-r.cfg.TTL).UnixNano()
 	var retired []string
 	for back := r.ll.Back(); back != nil; back = r.ll.Back() {
 		d := back.Value.(*Dataset)
 		if d.lastAccess.Load() > cutoff {
 			break
+		}
+		if err := r.journal(&wal.Record{Op: wal.OpDrop, Name: d.name, Reason: wal.DropTTL}); err != nil {
+			break // read-only now; keep the dataset, stop sweeping
 		}
 		retired = append(retired, r.removeLocked(back))
 		r.evictionsTTL.Inc()
@@ -325,8 +436,12 @@ func (r *Registry) evictOverBudgetLocked(keep *Dataset) []string {
 		if back == nil {
 			break
 		}
-		if back.Value.(*Dataset) == keep {
+		d := back.Value.(*Dataset)
+		if d == keep {
 			break // never evict the dataset being served/grown
+		}
+		if err := r.journal(&wal.Record{Op: wal.OpDrop, Name: d.name, Reason: wal.DropLRU}); err != nil {
+			break // read-only now; keep the dataset, stop evicting
 		}
 		retired = append(retired, r.removeLocked(back))
 		r.evictionsLRU.Inc()

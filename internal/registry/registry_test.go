@@ -76,11 +76,11 @@ func TestRegisterGetDelete(t *testing.T) {
 	if _, err := r.Append("nope", [][]string{{"x"}}); !errors.Is(err, ErrNotFound) {
 		t.Errorf("Append(nope) err = %v, want ErrNotFound", err)
 	}
-	if !r.Delete("trips") {
-		t.Error("Delete(trips) reported absent")
+	if ok, err := r.Delete("trips"); err != nil || !ok {
+		t.Errorf("Delete(trips) = %v, %v; want true, nil", ok, err)
 	}
-	if r.Delete("trips") {
-		t.Error("second Delete(trips) reported present")
+	if ok, err := r.Delete("trips"); err != nil || ok {
+		t.Errorf("second Delete(trips) = %v, %v; want false, nil", ok, err)
 	}
 	if r.Len() != 0 {
 		t.Errorf("Len = %d after delete, want 0", r.Len())

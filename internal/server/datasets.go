@@ -76,18 +76,22 @@ func datasetJSON(info deepeye.DatasetInfo, withProfile bool) DatasetJSON {
 }
 
 // writeRegistryError maps registry failures to statuses: disabled
-// registry 501, unknown dataset 404, duplicate name 409, bad input 400.
+// registry 501, unknown dataset 404, duplicate name 409, read-only
+// durability degradation 503 (Retry-After + machine-readable reason),
+// bad input 400.
 func writeRegistryError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, deepeye.ErrRegistryDisabled):
 		writeJSON(w, http.StatusNotImplemented,
-			errorJSON{"live dataset registry disabled (start the server with -registry-size > 0)"})
+			errorJSON{Error: "live dataset registry disabled (start the server with -registry-size > 0)"})
 	case errors.Is(err, deepeye.ErrDatasetNotFound):
-		writeJSON(w, http.StatusNotFound, errorJSON{err.Error()})
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: err.Error()})
 	case errors.Is(err, deepeye.ErrDatasetExists):
-		writeJSON(w, http.StatusConflict, errorJSON{err.Error()})
+		writeJSON(w, http.StatusConflict, errorJSON{Error: err.Error()})
+	case errors.Is(err, deepeye.ErrDatasetReadOnly):
+		writeShed(w, reasonReadOnly, err.Error())
 	default:
-		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
 	}
 }
 
@@ -98,16 +102,13 @@ func writeRegistryError(w http.ResponseWriter, err error) {
 func (h *Handler) handleDatasetCreate(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("name")
 	if name == "" {
-		writeJSON(w, http.StatusBadRequest, errorJSON{"missing name parameter"})
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "missing name parameter"})
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes)
-	info, err := h.sys.RegisterCSV(name, body)
+	info, err := h.sys.RegisterCSVLimited(name, body, h.ingestLimits())
 	if err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeJSON(w, http.StatusRequestEntityTooLarge,
-				errorJSON{fmt.Sprintf("body exceeds %d bytes", tooBig.Limit)})
+		if writeIngestError(w, err) {
 			return
 		}
 		writeRegistryError(w, err)
@@ -124,12 +125,9 @@ func (h *Handler) handleDatasetCreate(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) handleDatasetAppend(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("id")
 	body := http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes)
-	res, err := h.sys.AppendCSV(name, body, r.URL.Query().Get("header") == "1")
+	res, err := h.sys.AppendCSVLimited(name, body, r.URL.Query().Get("header") == "1", h.ingestLimits())
 	if err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeJSON(w, http.StatusRequestEntityTooLarge,
-				errorJSON{fmt.Sprintf("body exceeds %d bytes", tooBig.Limit)})
+		if writeIngestError(w, err) {
 			return
 		}
 		writeRegistryError(w, err)
@@ -169,8 +167,13 @@ func (h *Handler) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.PathValue("id")
-	if !h.sys.DropDataset(name) {
-		writeJSON(w, http.StatusNotFound, errorJSON{fmt.Sprintf("dataset %q not found", name)})
+	ok, err := h.sys.DropDataset(name)
+	if err != nil {
+		writeRegistryError(w, err)
+		return
+	}
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: fmt.Sprintf("dataset %q not found", name)})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
@@ -181,7 +184,7 @@ func (h *Handler) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) handleDatasetTopK(w http.ResponseWriter, r *http.Request) {
 	k, err := h.parseK(r)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
 		return
 	}
 	vs, info, err := h.sys.TopKByName(r.Context(), r.PathValue("id"), k)
@@ -200,12 +203,12 @@ func (h *Handler) handleDatasetTopK(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) handleDatasetSearch(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		writeJSON(w, http.StatusBadRequest, errorJSON{"missing q parameter"})
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "missing q parameter"})
 		return
 	}
 	k, err := h.parseK(r)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
 		return
 	}
 	vs, info, err := h.sys.SearchByName(r.Context(), r.PathValue("id"), q, k)
@@ -224,7 +227,7 @@ func (h *Handler) handleDatasetSearch(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) handleDatasetQuery(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		writeJSON(w, http.StatusBadRequest, errorJSON{"missing q parameter"})
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "missing q parameter"})
 		return
 	}
 	v, _, err := h.sys.QueryByName(r.Context(), r.PathValue("id"), q)

@@ -59,9 +59,34 @@ type TopKResponse struct {
 	Epoch uint64 `json:"epoch,omitempty"`
 }
 
-// errorJSON is the wire form of failures.
+// errorJSON is the wire form of failures. Reason is a machine-readable
+// slug on 503s ("capacity" while the concurrency limiter sheds,
+// "read_only" while the registry is in durability degradation) so
+// clients can branch without parsing prose; Limit echoes the ingestion
+// limit a 413 hit.
 type errorJSON struct {
-	Error string `json:"error"`
+	Error  string `json:"error"`
+	Reason string `json:"reason,omitempty"`
+	Limit  int64  `json:"limit,omitempty"`
+}
+
+// Machine-readable 503 reasons.
+const (
+	reasonCapacity = "capacity"
+	reasonReadOnly = "read_only"
+)
+
+// retryAfterSeconds is the Retry-After hint on shed (503) responses:
+// capacity sheds clear in well under this, and read-only degradation
+// needs an operator, so a modest fixed hint keeps clients polite
+// without promising recovery.
+const retryAfterSeconds = "5"
+
+// writeShed answers a 503 with the Retry-After header and the
+// machine-readable reason both in the header-adjacent JSON body.
+func writeShed(w http.ResponseWriter, reason, msg string) {
+	w.Header().Set("Retry-After", retryAfterSeconds)
+	writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: msg, Reason: reason})
 }
 
 // Options configures the handler.
@@ -80,6 +105,12 @@ type Options struct {
 	// MaxInFlight caps concurrently served requests; excess requests
 	// are shed with 503. 0 disables the limiter.
 	MaxInFlight int
+	// MaxRows caps data rows per CSV ingest (uploads and row appends);
+	// violations answer 413 echoing the limit. 0 disables the cap.
+	MaxRows int
+	// MaxCellBytes caps a single CSV cell's size on ingest; violations
+	// answer 413 echoing the limit. 0 disables the cap.
+	MaxCellBytes int
 	// Registry receives request metrics; nil uses obs.Default (which
 	// also carries the pipeline's per-stage timings, so /metrics shows
 	// both).
@@ -159,7 +190,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			defer func() { <-h.slots }()
 		default:
 			h.reg.Counter(metricShed, "Requests shed by the concurrency limiter.", "route", route).Inc()
-			writeJSON(w, http.StatusServiceUnavailable, errorJSON{"server at capacity, retry later"})
+			writeShed(w, reasonCapacity, "server at capacity, retry later")
 			return
 		}
 	}
@@ -186,6 +217,29 @@ func (h *Handler) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	_ = h.reg.WritePrometheus(w)
 }
 
+// ingestLimits renders the configured row/cell caps for the CSV readers.
+func (h *Handler) ingestLimits() deepeye.IngestLimits {
+	return deepeye.IngestLimits{MaxRows: h.opts.MaxRows, MaxCellBytes: h.opts.MaxCellBytes}
+}
+
+// writeIngestError answers 413 for body-size and row/cell-limit
+// violations (echoing the limit hit) and reports whether err was one.
+func writeIngestError(w http.ResponseWriter, err error) bool {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorJSON{Error: fmt.Sprintf("body exceeds %d bytes", tooBig.Limit), Limit: tooBig.Limit})
+		return true
+	}
+	var lim *deepeye.IngestLimitError
+	if errors.As(err, &lim) {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorJSON{Error: lim.Error(), Limit: int64(lim.Limit)})
+		return true
+	}
+	return false
+}
+
 // readTable reads the request body as CSV. Oversized uploads answer
 // 413, unparseable ones 400.
 func (h *Handler) readTable(w http.ResponseWriter, r *http.Request) (*deepeye.Table, bool) {
@@ -194,15 +248,12 @@ func (h *Handler) readTable(w http.ResponseWriter, r *http.Request) (*deepeye.Ta
 	if name == "" {
 		name = "upload"
 	}
-	tab, err := deepeye.LoadCSV(name, body)
+	tab, err := deepeye.LoadCSVLimited(name, body, h.ingestLimits())
 	if err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeJSON(w, http.StatusRequestEntityTooLarge,
-				errorJSON{fmt.Sprintf("body exceeds %d bytes", tooBig.Limit)})
+		if writeIngestError(w, err) {
 			return nil, false
 		}
-		writeJSON(w, http.StatusBadRequest, errorJSON{fmt.Sprintf("parsing csv: %v", err)})
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("parsing csv: %v", err)})
 		return nil, false
 	}
 	return tab, true
@@ -220,11 +271,11 @@ func (h *Handler) parseK(r *http.Request) (int, error) {
 func writePipelineError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		writeJSON(w, http.StatusGatewayTimeout, errorJSON{"request timed out"})
+		writeJSON(w, http.StatusGatewayTimeout, errorJSON{Error: "request timed out"})
 	case errors.Is(err, context.Canceled):
-		writeJSON(w, 499, errorJSON{"request canceled"})
+		writeJSON(w, 499, errorJSON{Error: "request canceled"})
 	default:
-		writeJSON(w, http.StatusUnprocessableEntity, errorJSON{err.Error()})
+		writeJSON(w, http.StatusUnprocessableEntity, errorJSON{Error: err.Error()})
 	}
 }
 
@@ -235,7 +286,7 @@ func (h *Handler) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	k, err := h.parseK(r)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
 		return
 	}
 	vs, err := h.sys.TopKCtx(r.Context(), tab, k)
@@ -254,7 +305,7 @@ func (h *Handler) handleTopK(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		writeJSON(w, http.StatusBadRequest, errorJSON{"missing q parameter"})
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "missing q parameter"})
 		return
 	}
 	tab, ok := h.readTable(w, r)
@@ -276,7 +327,7 @@ func (h *Handler) handleMulti(w http.ResponseWriter, r *http.Request) {
 	}
 	k, err := h.parseK(r)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
 		return
 	}
 	vs, err := h.sys.SuggestMultiCtx(r.Context(), tab, k)
@@ -305,7 +356,7 @@ func (h *Handler) handleMulti(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		writeJSON(w, http.StatusBadRequest, errorJSON{"missing q parameter"})
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "missing q parameter"})
 		return
 	}
 	tab, ok := h.readTable(w, r)
@@ -314,7 +365,7 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	k, err := h.parseK(r)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
 		return
 	}
 	vs, err := h.sys.SearchCtx(r.Context(), tab, q, k)

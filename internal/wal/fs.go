@@ -1,0 +1,277 @@
+// Filesystem abstraction for the WAL. Production uses OSFS (plain
+// os.* calls); tests use MemFS, an in-memory filesystem with a
+// fault-injection layer that errors or tears writes at an exact byte
+// offset — the substrate of the crash-consistency property tests.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// File is the writable handle the log needs: append writes, fsync,
+// close.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the slice of filesystem behavior the log touches. Paths are
+// always relative to the log's data directory.
+type FS interface {
+	// MkdirAll creates the data directory.
+	MkdirAll(dir string) error
+	// ReadDir lists the file names (not paths) in dir.
+	ReadDir(dir string) ([]string, error)
+	// ReadFile returns the full contents of path.
+	ReadFile(path string) ([]byte, error)
+	// Create creates (truncating) path for writing.
+	Create(path string) (File, error)
+	// OpenAppend opens an existing path for appending.
+	OpenAppend(path string) (File, error)
+	// Truncate cuts path to size bytes.
+	Truncate(path string, size int64) error
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+}
+
+// OSFS is the production FS: plain os package calls.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (OSFS) Create(path string) (File, error) { return os.Create(path) }
+
+func (OSFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (OSFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+// MemFS is an in-memory FS for tests: fast, cloneable, and equipped
+// with a failpoint that makes writes fail — or tear mid-record — at an
+// exact cumulative byte offset, simulating a crash or a full/failing
+// disk at any point in the write stream. Safe for concurrent use.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+
+	// written counts every byte successfully written through the FS;
+	// the failpoint triggers when it would cross failAt.
+	written int64
+	// failAt < 0 disables the failpoint.
+	failAt int64
+	// tear: when the failpoint triggers, write the bytes that fit
+	// before failing (a torn write); false fails the write atomically.
+	tear bool
+}
+
+// ErrInjected is the failure MemFS injects at its failpoint.
+var ErrInjected = errors.New("wal: injected write failure")
+
+// NewMemFS builds an empty in-memory filesystem with no failpoint.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string][]byte), failAt: -1}
+}
+
+// FailAt arms the failpoint: the write that would push the cumulative
+// written-byte count past n fails with ErrInjected. With tear set, the
+// failing write first lands the bytes that fit under n, modeling a
+// torn (partial) write followed by a crash.
+func (m *MemFS) FailAt(n int64, tear bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.failAt = n
+	m.tear = tear
+}
+
+// Written returns the cumulative bytes written through the FS.
+func (m *MemFS) Written() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.written
+}
+
+// Clone deep-copies the current file contents into a fresh MemFS with
+// no failpoint — the "disk image" a recovery test boots from.
+func (m *MemFS) Clone() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := NewMemFS()
+	for name, b := range m.files {
+		c.files[name] = append([]byte(nil), b...)
+	}
+	return c
+}
+
+// FileLen returns the size of path (0 when absent).
+func (m *MemFS) FileLen(path string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int64(len(m.files[filepath.Clean(path)]))
+}
+
+// CorruptByte XORs the byte at off in path with mask (no-op when out
+// of range) — the corruption injector for replay tests.
+func (m *MemFS) CorruptByte(path string, off int64, mask byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b := m.files[filepath.Clean(path)]
+	if off >= 0 && off < int64(len(b)) {
+		b[off] ^= mask
+	}
+}
+
+func (m *MemFS) MkdirAll(string) error { return nil }
+
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir = filepath.Clean(dir)
+	var names []string
+	for name := range m.files {
+		if filepath.Dir(name) == dir {
+			names = append(names, filepath.Base(name))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) ReadFile(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.files[filepath.Clean(path)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", os.ErrNotExist, path)
+	}
+	return append([]byte(nil), b...), nil
+}
+
+func (m *MemFS) Create(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	path = filepath.Clean(path)
+	m.files[path] = nil
+	return &memFile{fs: m, path: path}, nil
+}
+
+func (m *MemFS) OpenAppend(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	path = filepath.Clean(path)
+	if _, ok := m.files[path]; !ok {
+		return nil, fmt.Errorf("%w: %s", os.ErrNotExist, path)
+	}
+	return &memFile{fs: m, path: path}, nil
+}
+
+func (m *MemFS) Truncate(path string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	path = filepath.Clean(path)
+	b, ok := m.files[path]
+	if !ok {
+		return fmt.Errorf("%w: %s", os.ErrNotExist, path)
+	}
+	if size < int64(len(b)) {
+		m.files[path] = b[:size]
+	}
+	return nil
+}
+
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldpath, newpath = filepath.Clean(oldpath), filepath.Clean(newpath)
+	b, ok := m.files[oldpath]
+	if !ok {
+		return fmt.Errorf("%w: %s", os.ErrNotExist, oldpath)
+	}
+	m.files[newpath] = b
+	delete(m.files, oldpath)
+	return nil
+}
+
+func (m *MemFS) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	path = filepath.Clean(path)
+	if _, ok := m.files[path]; !ok {
+		return fmt.Errorf("%w: %s", os.ErrNotExist, path)
+	}
+	delete(m.files, path)
+	return nil
+}
+
+// memFile is an append-only handle into a MemFS entry. Every byte
+// passes the failpoint check, so a single logical record write can
+// tear at any offset.
+type memFile struct {
+	fs   *MemFS
+	path string
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	m := f.fs
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[f.path]; !ok {
+		return 0, fmt.Errorf("%w: %s", os.ErrNotExist, f.path)
+	}
+	n := len(p)
+	if m.failAt >= 0 && m.written+int64(n) > m.failAt {
+		fit := int(m.failAt - m.written)
+		if fit < 0 {
+			fit = 0
+		}
+		if m.tear && fit > 0 {
+			m.files[f.path] = append(m.files[f.path], p[:fit]...)
+			m.written += int64(fit)
+		}
+		return 0, ErrInjected
+	}
+	m.files[f.path] = append(m.files[f.path], p...)
+	m.written += int64(n)
+	return n, nil
+}
+
+func (f *memFile) Sync() error {
+	m := f.fs
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.failAt >= 0 && m.written >= m.failAt {
+		return ErrInjected
+	}
+	return nil
+}
+
+func (f *memFile) Close() error { return nil }

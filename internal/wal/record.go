@@ -1,0 +1,322 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Op tags a WAL record with the registry mutation it journals.
+type Op byte
+
+const (
+	// OpRegister journals a dataset registration: the full schema and
+	// every cell (raw string + null flag), the rolling fingerprint at
+	// registration, and bookkeeping (creation time, ragged count).
+	// Snapshot files reuse the same record with Epoch set, so one
+	// decoder serves both replay paths.
+	OpRegister Op = 1
+	// OpAppend journals one append batch: the raw rows exactly as the
+	// client sent them (cell parsing is deterministic, so replay
+	// re-derives null flags and parsed values) plus the rolling
+	// fingerprint after the batch, which replay verifies.
+	OpAppend Op = 2
+	// OpDrop journals a removal — explicit delete, LRU eviction, or TTL
+	// expiry — so replay never resurrects a dataset the budget evicted.
+	OpDrop Op = 3
+)
+
+// DropReason records why a dataset was dropped (diagnostics only;
+// replay treats all drops identically).
+type DropReason byte
+
+const (
+	DropDelete DropReason = 0
+	DropLRU    DropReason = 1
+	DropTTL    DropReason = 2
+)
+
+// Col is one column of a journaled schema. Type is the dataset
+// package's ColType value; wal stores it opaquely so the package
+// depends only on the standard library and obs.
+type Col struct {
+	Name string
+	Type byte
+}
+
+// Cell is one journaled cell: the stored raw string and its stored
+// null flag (register records persist both because registered tables
+// may carry caller-built columns whose null flags are not derivable
+// from the raw strings).
+type Cell struct {
+	Raw  string
+	Null bool
+}
+
+// Record is the decoded form of one WAL or snapshot record — a tagged
+// union over the three ops. Only the fields of the tagged op are
+// meaningful.
+type Record struct {
+	Op   Op
+	Name string
+
+	// OpRegister fields. Cells is row-major with len = Rows*len(Cols).
+	CreatedAtNanos int64
+	Epoch          uint64
+	Ragged         int
+	Cols           []Col
+	Rows           int
+	Cells          []Cell
+
+	// OpAppend fields. RawRows holds the batch verbatim (possibly
+	// ragged); Fingerprint is the rolling digest after the batch
+	// (shared with OpRegister, where it is the digest at registration).
+	RawRows     [][]string
+	Fingerprint string
+
+	// OpDrop field.
+	Reason DropReason
+}
+
+// Framing: every record is [len uint32][crc32c uint32][payload], both
+// little-endian, with the CRC computed over the payload alone. A torn
+// tail (short header or short payload) and a CRC mismatch are both
+// mapped to ErrTorn by the reader, which truncates the log there.
+const frameHeaderSize = 8
+
+// maxRecordBytes caps a single record's payload so a corrupted length
+// field cannot drive a multi-gigabyte allocation during replay.
+const maxRecordBytes = 1 << 30
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Decode/verify failures surfaced by the reader and applier.
+var (
+	// ErrTorn marks a torn or corrupt record: replay stops and
+	// truncates the log at the record's start offset.
+	ErrTorn = errors.New("wal: torn or corrupt record")
+	// ErrVerify marks a record that decoded cleanly but failed
+	// application-level verification (fingerprint mismatch); replay
+	// treats it exactly like a torn record.
+	ErrVerify = errors.New("wal: record failed verification")
+)
+
+// appendUvarint-style primitives: fixed-width little-endian ints keep
+// the format trivially seekable and match the fingerprint stream's
+// conventions (internal/dataset/fingerprint.go).
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+4 > len(d.b) {
+		d.err = ErrTorn
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.b) {
+		d.err = ErrTorn
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.u32()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(n) > uint64(len(d.b)-d.off) {
+		d.err = ErrTorn
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.err = ErrTorn
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+// encodePayload renders a record's payload (no framing).
+func encodePayload(rec *Record) ([]byte, error) {
+	b := []byte{byte(rec.Op)}
+	b = appendString(b, rec.Name)
+	switch rec.Op {
+	case OpRegister:
+		b = appendU64(b, uint64(rec.CreatedAtNanos))
+		b = appendU64(b, rec.Epoch)
+		b = appendU64(b, uint64(rec.Ragged))
+		b = appendU32(b, uint32(len(rec.Cols)))
+		for _, c := range rec.Cols {
+			b = appendString(b, c.Name)
+			b = append(b, c.Type)
+		}
+		b = appendU32(b, uint32(rec.Rows))
+		if len(rec.Cells) != rec.Rows*len(rec.Cols) {
+			return nil, fmt.Errorf("wal: register record has %d cells for %d rows × %d cols",
+				len(rec.Cells), rec.Rows, len(rec.Cols))
+		}
+		for _, cell := range rec.Cells {
+			null := byte(0)
+			if cell.Null {
+				null = 1
+			}
+			b = append(b, null)
+			b = appendString(b, cell.Raw)
+		}
+		b = appendString(b, rec.Fingerprint)
+	case OpAppend:
+		b = appendU32(b, uint32(len(rec.RawRows)))
+		for _, row := range rec.RawRows {
+			b = appendU32(b, uint32(len(row)))
+			for _, cell := range row {
+				b = appendString(b, cell)
+			}
+		}
+		b = appendString(b, rec.Fingerprint)
+	case OpDrop:
+		b = append(b, byte(rec.Reason))
+	default:
+		return nil, fmt.Errorf("wal: unknown op %d", rec.Op)
+	}
+	return b, nil
+}
+
+// decodePayload parses one payload back into a Record. Any structural
+// problem — unknown op, short buffer, trailing junk, an implausible
+// count — returns ErrTorn so the reader truncates at this record.
+func decodePayload(b []byte) (*Record, error) {
+	d := &decoder{b: b}
+	rec := &Record{Op: Op(d.byte())}
+	rec.Name = d.str()
+	switch rec.Op {
+	case OpRegister:
+		rec.CreatedAtNanos = int64(d.u64())
+		rec.Epoch = d.u64()
+		rec.Ragged = int(d.u64())
+		ncols := d.u32()
+		if d.err == nil && uint64(ncols) > uint64(len(b)) {
+			return nil, ErrTorn
+		}
+		rec.Cols = make([]Col, 0, ncols)
+		for i := uint32(0); i < ncols && d.err == nil; i++ {
+			rec.Cols = append(rec.Cols, Col{Name: d.str(), Type: d.byte()})
+		}
+		rec.Rows = int(d.u32())
+		if d.err == nil {
+			cells := uint64(rec.Rows) * uint64(len(rec.Cols))
+			// Every cell costs ≥5 encoded bytes (flag + length prefix).
+			if cells > uint64(len(b)) {
+				return nil, ErrTorn
+			}
+			rec.Cells = make([]Cell, 0, cells)
+			for i := uint64(0); i < cells && d.err == nil; i++ {
+				null := d.byte() != 0
+				rec.Cells = append(rec.Cells, Cell{Raw: d.str(), Null: null})
+			}
+		}
+		rec.Fingerprint = d.str()
+	case OpAppend:
+		nrows := d.u32()
+		if d.err == nil && uint64(nrows) > uint64(len(b)) {
+			return nil, ErrTorn
+		}
+		rec.RawRows = make([][]string, 0, nrows)
+		for i := uint32(0); i < nrows && d.err == nil; i++ {
+			ncells := d.u32()
+			if d.err != nil || uint64(ncells) > uint64(len(b)) {
+				return nil, ErrTorn
+			}
+			row := make([]string, 0, ncells)
+			for j := uint32(0); j < ncells && d.err == nil; j++ {
+				row = append(row, d.str())
+			}
+			rec.RawRows = append(rec.RawRows, row)
+		}
+		rec.Fingerprint = d.str()
+	case OpDrop:
+		rec.Reason = DropReason(d.byte())
+	default:
+		return nil, ErrTorn
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(b) {
+		return nil, ErrTorn // trailing junk inside a framed payload
+	}
+	return rec, nil
+}
+
+// frame wraps a payload with its length + CRC32C header.
+func frame(payload []byte) []byte {
+	out := make([]byte, 0, frameHeaderSize+len(payload))
+	out = appendU32(out, uint32(len(payload)))
+	out = appendU32(out, crc32.Checksum(payload, crcTable))
+	return append(out, payload...)
+}
+
+// readFrame extracts the record starting at off in b. It returns the
+// decoded record and the offset of the next record. A torn tail, an
+// implausible length, a CRC mismatch, or an undecodable payload all
+// return ErrTorn: the caller truncates the log at off.
+func readFrame(b []byte, off int64) (*Record, int64, error) {
+	if off+frameHeaderSize > int64(len(b)) {
+		return nil, off, ErrTorn
+	}
+	n := int64(binary.LittleEndian.Uint32(b[off:]))
+	sum := binary.LittleEndian.Uint32(b[off+4:])
+	if n > maxRecordBytes || off+frameHeaderSize+n > int64(len(b)) {
+		return nil, off, ErrTorn
+	}
+	payload := b[off+frameHeaderSize : off+frameHeaderSize+n]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, off, ErrTorn
+	}
+	rec, err := decodePayload(payload)
+	if err != nil {
+		return nil, off, ErrTorn
+	}
+	return rec, off + frameHeaderSize + n, nil
+}

@@ -1,0 +1,371 @@
+// Package wal gives the live dataset registry crash-safe durability:
+// a stdlib-only, CRC32C-checksummed, length-prefixed write-ahead log
+// plus periodic snapshot compaction.
+//
+// Every registry mutation (register, append, drop — including LRU/TTL
+// evictions) is journaled as one framed record before it is applied in
+// memory, and fsynced by default, so an acknowledged operation survives
+// process death. Open replays snapshot-then-WAL through an Applier,
+// truncates the log at the first torn or corrupt record (partial
+// writes are expected after a crash, not an error), and the registry
+// verifies every recovered dataset's rolling FNV-128a fingerprint
+// against a recompute before serving it.
+//
+// On-disk layout under the data directory (generation G):
+//
+//	wal-<G>.log   framed records, appended and fsynced per mutation
+//	snap-<G>.snap framed register-style records, one per live dataset
+//	snap.tmp      in-flight compaction output (ignored at Open)
+//
+// Compaction freezes the registry, writes the full state to snap.tmp,
+// fsyncs, renames it to snap-<G+1>.snap (atomic), starts an empty
+// wal-<G+1>.log, and deletes generation G. A crash at any point leaves
+// either generation fully intact: the rename is the commit point.
+//
+// Counters are exported on the obs registry under deepeye_wal_*.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/deepeye/deepeye/internal/obs"
+)
+
+// Metric names exported on the obs registry.
+const (
+	metricAppends     = "deepeye_wal_appends_total"
+	metricFsyncs      = "deepeye_wal_fsyncs_total"
+	metricReplayed    = "deepeye_wal_replayed_records_total"
+	metricTruncations = "deepeye_wal_truncations_total"
+	metricCompactions = "deepeye_wal_snapshot_compactions_total"
+)
+
+// ErrLogFailed is the sticky state after a write failure: the log
+// refuses further appends (the tail may be torn), and the registry
+// flips to read-only mode.
+var ErrLogFailed = errors.New("wal: log failed; registry is read-only")
+
+// Applier consumes replayed records. Returning an error wrapping
+// ErrVerify (or ErrTorn) truncates the log at that record and stops
+// the replay; any other error aborts Open.
+type Applier interface {
+	Apply(rec *Record) error
+}
+
+// Config configures a Log.
+type Config struct {
+	// Dir is the data directory (created if absent).
+	Dir string
+	// FS overrides the filesystem (fault injection, in-memory tests);
+	// nil uses the real one.
+	FS FS
+	// NoSync skips the per-append fsync. Throughput over durability:
+	// an acknowledged operation may be lost on power failure, but the
+	// checksummed framing still guarantees a clean prefix on recovery.
+	NoSync bool
+	// Obs receives the deepeye_wal_* metrics; nil uses obs.Default.
+	Obs *obs.Registry
+}
+
+// OpenStats reports what Open recovered.
+type OpenStats struct {
+	// SnapshotRecords is the number of datasets loaded from the
+	// snapshot file; Replayed the number of WAL records applied.
+	SnapshotRecords int
+	Replayed        int
+	// Truncated reports that a torn/corrupt/unverifiable record was
+	// found and the log was cut at TruncatedAt.
+	Truncated   bool
+	TruncatedAt int64
+	// Generation is the live file generation after Open.
+	Generation uint64
+}
+
+// Log is the write-ahead log handle. Safe for concurrent use.
+type Log struct {
+	fs     FS
+	dir    string
+	noSync bool
+
+	mu      sync.Mutex
+	f       File
+	gen     uint64
+	walSize int64
+	failed  bool
+
+	appends, fsyncs, replayed, truncations, compactions *obs.Counter
+}
+
+func walName(gen uint64) string { return fmt.Sprintf("wal-%010d.log", gen) }
+
+func snapName(gen uint64) string { return fmt.Sprintf("snap-%010d.snap", gen) }
+
+const tmpName = "snap.tmp"
+
+// parseGen extracts the generation from a wal-/snap- file name.
+func parseGen(name string) (uint64, bool) {
+	var num string
+	switch {
+	case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+		num = strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log")
+	case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
+		num = strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap")
+	default:
+		return 0, false
+	}
+	g, err := strconv.ParseUint(num, 10, 64)
+	return g, err == nil
+}
+
+// Open recovers the newest generation — snapshot first, then its WAL,
+// each record delivered to apply in order — truncates the WAL at the
+// first torn or unverifiable record, deletes stale generations, and
+// returns a handle ready for appends.
+func Open(cfg Config, apply Applier) (*Log, OpenStats, error) {
+	fs := cfg.FS
+	if fs == nil {
+		fs = OSFS{}
+	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.Default
+	}
+	l := &Log{
+		fs: fs, dir: cfg.Dir, noSync: cfg.NoSync,
+		appends:     reg.Counter(metricAppends, "WAL records appended."),
+		fsyncs:      reg.Counter(metricFsyncs, "WAL fsync calls."),
+		replayed:    reg.Counter(metricReplayed, "WAL records replayed at open."),
+		truncations: reg.Counter(metricTruncations, "WAL truncations at torn or corrupt records."),
+		compactions: reg.Counter(metricCompactions, "Snapshot compactions completed."),
+	}
+	var stats OpenStats
+	if err := fs.MkdirAll(cfg.Dir); err != nil {
+		return nil, stats, fmt.Errorf("wal: creating %s: %w", cfg.Dir, err)
+	}
+	names, err := fs.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, stats, fmt.Errorf("wal: listing %s: %w", cfg.Dir, err)
+	}
+	gen := uint64(0)
+	for _, name := range names {
+		if g, ok := parseGen(name); ok && g > gen {
+			gen = g
+		}
+	}
+	if gen == 0 {
+		gen = 1
+	}
+	l.gen = gen
+	stats.Generation = gen
+
+	// Load the generation's snapshot, if any.
+	if b, err := fs.ReadFile(l.path(snapName(gen))); err == nil {
+		n, _, truncated, err := l.applyAll(b, apply)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.SnapshotRecords = n
+		if truncated {
+			// A torn snapshot record means disk corruption, not a crash
+			// (snapshots become visible only via atomic rename): keep the
+			// clean prefix, count it, and continue with the WAL.
+			stats.Truncated = true
+			l.truncations.Inc()
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, stats, fmt.Errorf("wal: reading snapshot: %w", err)
+	}
+
+	// Replay the WAL, truncating at the first bad record.
+	walPath := l.path(walName(gen))
+	if b, err := fs.ReadFile(walPath); err == nil {
+		n, off, truncated, err := l.applyAll(b, apply)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Replayed = n
+		l.walSize = off
+		if truncated {
+			stats.Truncated = true
+			stats.TruncatedAt = off
+			l.truncations.Inc()
+			if err := fs.Truncate(walPath, off); err != nil {
+				return nil, stats, fmt.Errorf("wal: truncating torn log at %d: %w", off, err)
+			}
+		}
+		l.f, err = fs.OpenAppend(walPath)
+		if err != nil {
+			return nil, stats, fmt.Errorf("wal: reopening log: %w", err)
+		}
+	} else if errors.Is(err, os.ErrNotExist) {
+		l.f, err = fs.Create(walPath)
+		if err != nil {
+			return nil, stats, fmt.Errorf("wal: creating log: %w", err)
+		}
+	} else {
+		return nil, stats, fmt.Errorf("wal: reading log: %w", err)
+	}
+
+	// Clean up stale generations and abandoned compaction output.
+	for _, name := range names {
+		if g, ok := parseGen(name); ok && g < gen {
+			_ = fs.Remove(l.path(name))
+		}
+	}
+	_ = fs.Remove(l.path(tmpName))
+	return l, stats, nil
+}
+
+// applyAll iterates the framed records in b, delivering each to apply.
+// It returns the applied count, the offset after the last good record,
+// and whether iteration stopped early at a torn/unverifiable record.
+func (l *Log) applyAll(b []byte, apply Applier) (n int, off int64, truncated bool, err error) {
+	for off < int64(len(b)) {
+		rec, next, ferr := readFrame(b, off)
+		if ferr != nil {
+			return n, off, true, nil
+		}
+		if aerr := apply.Apply(rec); aerr != nil {
+			if errors.Is(aerr, ErrVerify) || errors.Is(aerr, ErrTorn) {
+				return n, off, true, nil
+			}
+			return n, off, false, aerr
+		}
+		n++
+		l.replayed.Inc()
+		off = next
+	}
+	return n, off, false, nil
+}
+
+func (l *Log) path(name string) string { return filepath.Join(l.dir, name) }
+
+// Append journals one record: encode, frame, write, fsync. The record
+// is durable when Append returns nil. Any failure is sticky — the file
+// tail may be torn, so the log refuses further writes and the caller
+// must stop acknowledging mutations (the registry flips to read-only).
+func (l *Log) Append(rec *Record) error {
+	payload, err := encodePayload(rec)
+	if err != nil {
+		return err
+	}
+	framed := frame(payload)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed {
+		return ErrLogFailed
+	}
+	if _, err := l.f.Write(framed); err != nil {
+		l.failed = true
+		return fmt.Errorf("wal: appending record: %w", err)
+	}
+	if !l.noSync {
+		if err := l.f.Sync(); err != nil {
+			l.failed = true
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+		l.fsyncs.Inc()
+	}
+	l.walSize += int64(len(framed))
+	l.appends.Inc()
+	return nil
+}
+
+// Size returns the current WAL file size in bytes (resets to 0 after
+// a compaction). Callers use it to decide when to compact.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.walSize
+}
+
+// Failed reports whether the log has entered its sticky failure state.
+func (l *Log) Failed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
+}
+
+// Compact atomically replaces the journal with a snapshot of the full
+// registry state (register-style records, one per dataset, Epoch set).
+// The caller must hold the registry quiesced — no mutation may land
+// between the state capture and this call — which the registry
+// guarantees by holding every lock across both.
+//
+// Commit point: the rename of snap.tmp to snap-<G+1>.snap. A crash
+// before it leaves generation G fully intact (the tmp file is ignored
+// at Open); a crash after it recovers from the new snapshot, with the
+// old generation's files deleted as stale. Failures are sticky, like
+// Append's.
+func (l *Log) Compact(records []*Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed {
+		return ErrLogFailed
+	}
+	fail := func(err error) error {
+		l.failed = true
+		return err
+	}
+	tmp, err := l.fs.Create(l.path(tmpName))
+	if err != nil {
+		return fail(fmt.Errorf("wal: creating snapshot tmp: %w", err))
+	}
+	for _, rec := range records {
+		payload, err := encodePayload(rec)
+		if err != nil {
+			tmp.Close()
+			return fail(err)
+		}
+		if _, err := tmp.Write(frame(payload)); err != nil {
+			tmp.Close()
+			return fail(fmt.Errorf("wal: writing snapshot: %w", err))
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fail(fmt.Errorf("wal: syncing snapshot: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(fmt.Errorf("wal: closing snapshot: %w", err))
+	}
+	newGen := l.gen + 1
+	if err := l.fs.Rename(l.path(tmpName), l.path(snapName(newGen))); err != nil {
+		return fail(fmt.Errorf("wal: publishing snapshot: %w", err))
+	}
+	// The snapshot is committed. Start the new generation's empty log;
+	// from here on, failures still poison the handle but the durable
+	// state is already consistent.
+	nf, err := l.fs.Create(l.path(walName(newGen)))
+	if err != nil {
+		return fail(fmt.Errorf("wal: creating new log: %w", err))
+	}
+	if l.f != nil {
+		_ = l.f.Close()
+	}
+	oldGen := l.gen
+	l.f, l.gen, l.walSize = nf, newGen, 0
+	_ = l.fs.Remove(l.path(walName(oldGen)))
+	_ = l.fs.Remove(l.path(snapName(oldGen)))
+	l.compactions.Inc()
+	return nil
+}
+
+// Close closes the log file. Appends after Close fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.failed = true
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

@@ -1,0 +1,448 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/deepeye/deepeye/internal/obs"
+)
+
+// collector is a test Applier that records what replay delivers; it
+// can also reject records to exercise the verify-truncation path.
+type collector struct {
+	recs   []*Record
+	reject func(*Record) error
+}
+
+func (c *collector) Apply(rec *Record) error {
+	if c.reject != nil {
+		if err := c.reject(rec); err != nil {
+			return err
+		}
+	}
+	c.recs = append(c.recs, rec)
+	return nil
+}
+
+func testConfig(fs FS) Config {
+	return Config{Dir: "data", FS: fs, Obs: obs.NewRegistry()}
+}
+
+func sampleRecords() []*Record {
+	return []*Record{
+		{
+			Op: OpRegister, Name: "trips", CreatedAtNanos: 12345, Epoch: 7, Ragged: 1,
+			Cols: []Col{{Name: "city", Type: 0}, {Name: "n", Type: 1}},
+			Rows: 2,
+			Cells: []Cell{
+				{Raw: "oslo", Null: false}, {Raw: "3", Null: false},
+				{Raw: "", Null: true}, {Raw: "weird\x00bytes", Null: false},
+			},
+			Fingerprint: "aabb",
+		},
+		{
+			Op: OpAppend, Name: "trips",
+			RawRows:     [][]string{{"bergen", "9"}, {"x"}, {}},
+			Fingerprint: "ccdd",
+		},
+		{Op: OpDrop, Name: "trips", Reason: DropLRU},
+	}
+}
+
+// TestRecordRoundtrip encodes and decodes every op and checks field
+// equality, including empty cells, explicit nulls, embedded NULs, and
+// ragged append rows.
+func TestRecordRoundtrip(t *testing.T) {
+	for i, rec := range sampleRecords() {
+		payload, err := encodePayload(rec)
+		if err != nil {
+			t.Fatalf("record %d: encode: %v", i, err)
+		}
+		got, err := decodePayload(payload)
+		if err != nil {
+			t.Fatalf("record %d: decode: %v", i, err)
+		}
+		assertRecordsEqual(t, got, rec)
+	}
+}
+
+func assertRecordsEqual(t *testing.T, got, want *Record) {
+	t.Helper()
+	if got.Op != want.Op || got.Name != want.Name {
+		t.Fatalf("op/name = %d/%q, want %d/%q", got.Op, got.Name, want.Op, want.Name)
+	}
+	switch want.Op {
+	case OpRegister:
+		if got.CreatedAtNanos != want.CreatedAtNanos || got.Epoch != want.Epoch ||
+			got.Ragged != want.Ragged || got.Rows != want.Rows ||
+			got.Fingerprint != want.Fingerprint {
+			t.Fatalf("register header mismatch: %+v vs %+v", got, want)
+		}
+		if len(got.Cols) != len(want.Cols) || len(got.Cells) != len(want.Cells) {
+			t.Fatalf("register shape mismatch")
+		}
+		for i := range want.Cols {
+			if got.Cols[i] != want.Cols[i] {
+				t.Fatalf("col %d = %+v, want %+v", i, got.Cols[i], want.Cols[i])
+			}
+		}
+		for i := range want.Cells {
+			if got.Cells[i] != want.Cells[i] {
+				t.Fatalf("cell %d = %+v, want %+v", i, got.Cells[i], want.Cells[i])
+			}
+		}
+	case OpAppend:
+		if got.Fingerprint != want.Fingerprint || len(got.RawRows) != len(want.RawRows) {
+			t.Fatalf("append mismatch: %+v vs %+v", got, want)
+		}
+		for i := range want.RawRows {
+			if len(got.RawRows[i]) != len(want.RawRows[i]) {
+				t.Fatalf("row %d length mismatch", i)
+			}
+			for j := range want.RawRows[i] {
+				if got.RawRows[i][j] != want.RawRows[i][j] {
+					t.Fatalf("cell %d/%d mismatch", i, j)
+				}
+			}
+		}
+	case OpDrop:
+		if got.Reason != want.Reason {
+			t.Fatalf("reason = %d, want %d", got.Reason, want.Reason)
+		}
+	}
+}
+
+// TestDecodeTrailingJunk: extra bytes after a valid payload are ErrTorn
+// (framing already delimits records, so junk inside a frame is
+// corruption, not slack).
+func TestDecodeTrailingJunk(t *testing.T) {
+	payload, err := encodePayload(&Record{Op: OpDrop, Name: "x", Reason: DropTTL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodePayload(append(payload, 0)); !errors.Is(err, ErrTorn) {
+		t.Fatalf("trailing junk decoded: err = %v, want ErrTorn", err)
+	}
+}
+
+// TestOpenAppendReopen: records appended to a fresh log replay in order
+// on reopen with no truncation.
+func TestOpenAppendReopen(t *testing.T) {
+	fs := NewMemFS()
+	l, st, err := Open(testConfig(fs), &collector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SnapshotRecords+st.Replayed != 0 || st.Truncated {
+		t.Fatalf("fresh open stats = %+v", st)
+	}
+	want := sampleRecords()
+	for _, rec := range want {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := &collector{}
+	if _, st, err = Open(testConfig(fs), c); err != nil {
+		t.Fatal(err)
+	}
+	if st.Replayed != len(want) || st.Truncated {
+		t.Fatalf("reopen stats = %+v, want %d replayed", st, len(want))
+	}
+	for i, rec := range c.recs {
+		assertRecordsEqual(t, rec, want[i])
+	}
+}
+
+// TestTornTailTruncates cuts the WAL at every possible byte length and
+// checks that Open always recovers a clean prefix of the committed
+// records and physically truncates the file there.
+func TestTornTailTruncates(t *testing.T) {
+	fs := NewMemFS()
+	l, _, err := Open(testConfig(fs), &collector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record byte boundaries as we append.
+	bounds := []int64{0}
+	for _, rec := range sampleRecords() {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, l.Size())
+	}
+	walPath := "data/" + walName(1)
+	total := fs.FileLen(walPath)
+	for cut := int64(0); cut <= total; cut++ {
+		img := fs.Clone()
+		if err := img.Truncate(walPath, cut); err != nil {
+			t.Fatal(err)
+		}
+		c := &collector{}
+		_, st, err := Open(testConfig(img), c)
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		// The replayed count must be the number of whole records below
+		// the cut, and the file must end exactly at that boundary.
+		wantN := 0
+		for wantN+1 < len(bounds) && bounds[wantN+1] <= cut {
+			wantN++
+		}
+		if st.Replayed != wantN {
+			t.Fatalf("cut %d: replayed %d, want %d", cut, st.Replayed, wantN)
+		}
+		if got := img.FileLen(walPath); got != bounds[wantN] {
+			t.Fatalf("cut %d: file len %d, want %d", cut, got, bounds[wantN])
+		}
+		if (cut != bounds[wantN]) != st.Truncated {
+			t.Fatalf("cut %d: truncated = %v", cut, st.Truncated)
+		}
+	}
+}
+
+// TestCorruptByteTruncates flips one byte at every offset of the log
+// and checks that Open never fails, never replays the corrupted record,
+// and replays everything before it.
+func TestCorruptByteTruncates(t *testing.T) {
+	fs := NewMemFS()
+	l, _, err := Open(testConfig(fs), &collector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := []int64{0}
+	for _, rec := range sampleRecords() {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, l.Size())
+	}
+	walPath := "data/" + walName(1)
+	total := fs.FileLen(walPath)
+	for off := int64(0); off < total; off++ {
+		img := fs.Clone()
+		img.CorruptByte(walPath, off, 0xa5)
+		c := &collector{}
+		_, st, err := Open(testConfig(img), c)
+		if err != nil {
+			t.Fatalf("corrupt @%d: open: %v", off, err)
+		}
+		// The record containing off must not replay; everything before
+		// it must. (A length-field corruption can also swallow later
+		// records, so the replayed count is at most the record index.)
+		idx := 0
+		for idx+1 < len(bounds) && bounds[idx+1] <= off {
+			idx++
+		}
+		if st.Replayed > idx {
+			t.Fatalf("corrupt @%d: replayed %d, recs before corruption %d", off, st.Replayed, idx)
+		}
+		if !st.Truncated {
+			t.Fatalf("corrupt @%d: no truncation reported", off)
+		}
+		for i, rec := range c.recs {
+			assertRecordsEqual(t, rec, sampleRecords()[i])
+		}
+	}
+}
+
+// TestAppendFailureIsSticky: once a write fails, the log refuses all
+// further appends with ErrLogFailed.
+func TestAppendFailureIsSticky(t *testing.T) {
+	fs := NewMemFS()
+	l, _, err := Open(testConfig(fs), &collector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &Record{Op: OpDrop, Name: "x", Reason: DropDelete}
+	fs.FailAt(fs.Written(), false)
+	if err := l.Append(rec); !errors.Is(err, ErrInjected) {
+		t.Fatalf("append past failpoint = %v, want ErrInjected", err)
+	}
+	if !l.Failed() {
+		t.Fatal("log not failed after injected error")
+	}
+	fs.FailAt(-1, false)
+	if err := l.Append(rec); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("append after failure = %v, want ErrLogFailed", err)
+	}
+}
+
+// TestTornWriteRecovers: a write that tears mid-record leaves a prefix
+// the next Open cleanly truncates.
+func TestTornWriteRecovers(t *testing.T) {
+	fs := NewMemFS()
+	l, _, err := Open(testConfig(fs), &collector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(sampleRecords()[0]); err != nil {
+		t.Fatal(err)
+	}
+	good := l.Size()
+	fs.FailAt(fs.Written()+10, true) // tear 10 bytes into the next record
+	if err := l.Append(sampleRecords()[1]); err == nil {
+		t.Fatal("torn append succeeded")
+	}
+	img := fs.Clone()
+	c := &collector{}
+	_, st, err := Open(testConfig(img), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Replayed != 1 || !st.Truncated {
+		t.Fatalf("stats = %+v, want 1 replayed + truncated", st)
+	}
+	if got := img.FileLen("data/" + walName(1)); got != good {
+		t.Fatalf("file len %d, want %d", got, good)
+	}
+}
+
+// TestVerifyRejectionTruncates: an applier rejecting a record with
+// ErrVerify truncates the log at that record, like a torn frame.
+func TestVerifyRejectionTruncates(t *testing.T) {
+	fs := NewMemFS()
+	l, _, err := Open(testConfig(fs), &collector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range sampleRecords() {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := &collector{reject: func(rec *Record) error {
+		if rec.Op == OpAppend {
+			return fmt.Errorf("%w: fingerprint mismatch", ErrVerify)
+		}
+		return nil
+	}}
+	_, st, err := Open(testConfig(fs), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Replayed != 1 || !st.Truncated {
+		t.Fatalf("stats = %+v, want replay stopped at record 2", st)
+	}
+	if len(c.recs) != 1 || c.recs[0].Op != OpRegister {
+		t.Fatalf("applied %d records", len(c.recs))
+	}
+}
+
+// TestCompaction: records fold into a snapshot, the WAL resets, stale
+// generations disappear, and a reopen replays the snapshot.
+func TestCompaction(t *testing.T) {
+	fs := NewMemFS()
+	l, _, err := Open(testConfig(fs), &collector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range sampleRecords() {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := []*Record{sampleRecords()[0]}
+	if err := l.Compact(snap); err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() != 0 {
+		t.Fatalf("wal size after compaction = %d", l.Size())
+	}
+	names, err := fs.ReadDir("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if g, ok := parseGen(name); ok && g < 2 {
+			t.Fatalf("stale generation file %s survived compaction", name)
+		}
+	}
+	// Appends after compaction land in the new generation.
+	if err := l.Append(sampleRecords()[2]); err != nil {
+		t.Fatal(err)
+	}
+	c := &collector{}
+	_, st, err := Open(testConfig(fs), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Generation != 2 || st.SnapshotRecords != 1 || st.Replayed != 1 {
+		t.Fatalf("stats after compaction reopen = %+v", st)
+	}
+	assertRecordsEqual(t, c.recs[0], snap[0])
+	assertRecordsEqual(t, c.recs[1], sampleRecords()[2])
+}
+
+// TestCompactionCrashWindows injects a failure at every byte of the
+// compaction's write stream and checks that a reopen from the crashed
+// image always recovers either the full pre-compaction state or the
+// full post-compaction state — never something in between.
+func TestCompactionCrashWindows(t *testing.T) {
+	recs := sampleRecords()
+	snap := []*Record{recs[0]}
+
+	// Measure the compaction's write volume on a clean run.
+	probe := NewMemFS()
+	l, _, err := Open(testConfig(probe), &collector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	preCompact := probe.Written()
+	if err := l.Compact(snap); err != nil {
+		t.Fatal(err)
+	}
+	compactBytes := probe.Written() - preCompact
+
+	for win := int64(0); win <= compactBytes; win++ {
+		fs := NewMemFS()
+		l, _, err := Open(testConfig(fs), &collector{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range recs {
+			if err := l.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fs.FailAt(fs.Written()+win, true)
+		cerr := l.Compact(snap)
+		img := fs.Clone()
+		c := &collector{}
+		_, st, err := Open(testConfig(img), c)
+		if err != nil {
+			t.Fatalf("window %d: reopen: %v", win, err)
+		}
+		if cerr != nil {
+			// Crash before the commit point: generation 1 intact.
+			if st.Generation != 1 || st.Replayed != len(recs) || st.SnapshotRecords != 0 {
+				t.Fatalf("window %d: failed compaction recovered %+v", win, st)
+			}
+			for i, rec := range c.recs {
+				assertRecordsEqual(t, rec, recs[i])
+			}
+		} else {
+			// Compaction committed: generation 2 with the snapshot.
+			if st.Generation != 2 || st.SnapshotRecords != len(snap) || st.Replayed != 0 {
+				t.Fatalf("window %d: committed compaction recovered %+v", win, st)
+			}
+			assertRecordsEqual(t, c.recs[0], snap[0])
+		}
+	}
+}
+
+// TestHugeLengthFieldRejected: a frame whose length field claims more
+// than maxRecordBytes truncates rather than allocating.
+func TestHugeLengthFieldRejected(t *testing.T) {
+	b := appendU32(nil, 1<<31-1)
+	b = appendU32(b, 0)
+	if _, _, err := readFrame(b, 0); !errors.Is(err, ErrTorn) {
+		t.Fatalf("huge frame = %v, want ErrTorn", err)
+	}
+}

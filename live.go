@@ -8,7 +8,6 @@ package deepeye
 
 import (
 	"context"
-	"encoding/csv"
 	"errors"
 	"fmt"
 	"io"
@@ -29,10 +28,23 @@ type AppendResult = registry.AppendResult
 
 // Dataset-registry sentinel errors (match with errors.Is).
 var (
-	ErrDatasetNotFound  = registry.ErrNotFound
-	ErrDatasetExists    = registry.ErrExists
+	ErrDatasetNotFound = registry.ErrNotFound
+	ErrDatasetExists   = registry.ErrExists
+	// ErrDatasetReadOnly marks mutations rejected because the durability
+	// journal failed: the registry keeps serving reads but refuses
+	// changes it cannot make crash-safe (see Options.DataDir).
+	ErrDatasetReadOnly  = registry.ErrReadOnly
 	ErrRegistryDisabled = errors.New("deepeye: live dataset registry disabled (set Options.RegistrySize)")
 )
+
+// IngestLimits bounds CSV ingestion (registration and appends): MaxRows
+// caps data rows per request, MaxCellBytes caps one cell's size. Zero
+// fields are unlimited. Violations surface as *IngestLimitError.
+type IngestLimits = dataset.ReadLimits
+
+// IngestLimitError reports which ingestion limit a payload hit; the
+// HTTP layer maps it to 413 echoing the limit.
+type IngestLimitError = dataset.LimitError
 
 // RegistryEnabled reports whether the live dataset registry is on
 // (Options.RegistrySize > 0).
@@ -67,7 +79,14 @@ func (s *System) RegisterTable(name string, t *Table) (DatasetInfo, error) {
 // RegisterCSV loads CSV content (header row required) and registers it
 // in one step.
 func (s *System) RegisterCSV(name string, r io.Reader) (DatasetInfo, error) {
-	t, err := dataset.FromCSV(name, r)
+	return s.RegisterCSVLimited(name, r, IngestLimits{})
+}
+
+// RegisterCSVLimited is RegisterCSV with ingestion limits applied while
+// the CSV streams; an oversized payload aborts with *IngestLimitError
+// before it is materialized.
+func (s *System) RegisterCSVLimited(name string, r io.Reader, lim IngestLimits) (DatasetInfo, error) {
+	t, err := dataset.FromCSVLimited(name, r, nil, lim)
 	if err != nil {
 		return DatasetInfo{}, err
 	}
@@ -92,33 +111,17 @@ func (s *System) AppendRows(name string, rows [][]string) (AppendResult, error) 
 // dataset. When header is true the first record is skipped (a header
 // row repeated by the client); records are otherwise positional.
 func (s *System) AppendCSV(name string, rd io.Reader, header bool) (AppendResult, error) {
-	rows, err := readCSVRows(rd, header)
+	return s.AppendCSVLimited(name, rd, header, IngestLimits{})
+}
+
+// AppendCSVLimited is AppendCSV with ingestion limits applied per
+// record as the CSV streams.
+func (s *System) AppendCSVLimited(name string, rd io.Reader, header bool, lim IngestLimits) (AppendResult, error) {
+	rows, err := dataset.ReadRows(rd, header, lim)
 	if err != nil {
 		return AppendResult{}, err
 	}
 	return s.AppendRows(name, rows)
-}
-
-// readCSVRows reads raw CSV records (ragged tolerated) for AppendCSV.
-func readCSVRows(rd io.Reader, header bool) ([][]string, error) {
-	cr := csv.NewReader(rd)
-	cr.TrimLeadingSpace = true
-	cr.FieldsPerRecord = -1
-	var rows [][]string
-	for {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("deepeye: reading append rows: %w", err)
-		}
-		rows = append(rows, rec)
-	}
-	if header && len(rows) > 0 {
-		rows = rows[1:]
-	}
-	return rows, nil
 }
 
 // TopKByName serves the k best visualizations for the named dataset's
@@ -203,10 +206,20 @@ func (s *System) ListDatasets() []DatasetInfo {
 }
 
 // DropDataset removes the named dataset and reclaims its cache
-// entries; it reports whether the dataset existed.
-func (s *System) DropDataset(name string) bool {
+// entries; it reports whether the dataset existed. It fails with
+// ErrDatasetReadOnly when the durability journal is degraded.
+func (s *System) DropDataset(name string) (bool, error) {
 	if s.registry == nil {
-		return false
+		return false, nil
 	}
 	return s.registry.Delete(name)
+}
+
+// RegistryReadOnly reports whether the live registry is serving in
+// read-only degradation after a durability failure, and why.
+func (s *System) RegistryReadOnly() (reason string, ro bool) {
+	if s.registry == nil {
+		return "", false
+	}
+	return s.registry.ReadOnly()
 }

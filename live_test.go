@@ -64,7 +64,7 @@ func TestLiveRegistryDisabledByDefault(t *testing.T) {
 	if got := sys.ListDatasets(); len(got) != 0 {
 		t.Errorf("ListDatasets = %v on disabled registry", got)
 	}
-	if sys.DropDataset("t") {
+	if ok, _ := sys.DropDataset("t"); ok {
 		t.Error("DropDataset reported success on disabled registry")
 	}
 }
@@ -289,7 +289,7 @@ func TestLiveAppendCSVAndInfo(t *testing.T) {
 	if list := sys.ListDatasets(); len(list) != 1 || list[0].Name != "live" {
 		t.Fatalf("list = %+v", list)
 	}
-	if !sys.DropDataset("live") {
+	if ok, err := sys.DropDataset("live"); err != nil || !ok {
 		t.Fatal("DropDataset missed")
 	}
 	if _, err := sys.DatasetInfoByName("live"); !errors.Is(err, ErrDatasetNotFound) {

@@ -1,0 +1,99 @@
+package deepeye
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// benchDurableSystem opens a WAL-backed system in a fresh temp dir with
+// one registered dataset to append against.
+func benchDurableSystem(b *testing.B, noSync bool, compactBytes int64) *System {
+	b.Helper()
+	opts := durableOptions(b.TempDir())
+	opts.WALNoSync = noSync
+	opts.WALCompactBytes = compactBytes
+	sys, err := Open(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { sys.Close() })
+	if _, err := sys.RegisterCSV("bench", strings.NewReader(liveCSV)); err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkWALAppend measures the durability tax on the ingestion hot
+// path: journal encode + write (+ fsync unless nosync) per appended
+// batch. Compaction is disabled so the numbers isolate the append.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		noSync bool
+	}{{"fsync", false}, {"nosync", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			sys := benchDurableSystem(b, mode.noSync, -1)
+			rows := [][]string{{"2016-01-05", "North", "7", "3"}}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.AppendRows("bench", rows); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecovery measures cold-start replay: Open over a journal of
+// 1000 single-row appends, either raw (full replay) or compacted to a
+// snapshot generation first.
+func BenchmarkRecovery(b *testing.B) {
+	build := func(b *testing.B, compacted bool) Options {
+		opts := durableOptions(b.TempDir())
+		opts.WALNoSync = true
+		opts.WALCompactBytes = -1
+		sys, err := Open(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.RegisterCSV("bench", strings.NewReader(liveCSV)); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 1000; i++ {
+			if _, err := sys.AppendRows("bench", [][]string{
+				{"2016-03-01", "East", fmt.Sprint(i % 97), "2"},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if compacted {
+			if err := sys.registry.Compact(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sys.Close()
+		return opts
+	}
+	for _, mode := range []struct {
+		name      string
+		compacted bool
+	}{{"replay1000", false}, {"compacted", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := build(b, mode.compacted)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys, err := Open(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sys.Recovery().Truncated {
+					b.Fatal("benchmark journal truncated")
+				}
+				sys.Close()
+			}
+		})
+	}
+}

@@ -169,7 +169,15 @@ func (d *Dataset) append(rows [][]string, reg *Registry) (AppendResult, int64, s
 	}
 	stop := obs.StageTimer(obs.StageAppend)
 	defer stop()
-	if reg != nil && reg.log != nil {
+	// Skip journaling for a retired dataset: its drop record is already
+	// in the WAL (or about to be), and an OpAppend landing after it
+	// would be dead weight at best. The check narrows — not closes —
+	// the drop-vs-append ordering window; the record's pre-state
+	// fingerprint is what lets replay skip an append that still slips
+	// in after a drop + re-register of the same name. The in-memory
+	// apply below is harmless either way: a retired dataset is
+	// unreachable.
+	if reg != nil && reg.log != nil && !d.retired.Load() {
 		if err := reg.journal(d.appendRecordLocked(rows)); err != nil {
 			return AppendResult{}, 0, "", err
 		}
@@ -209,12 +217,14 @@ func (d *Dataset) append(rows [][]string, reg *Registry) (AppendResult, int64, s
 }
 
 // appendRecordLocked builds the WAL record for an append batch: the
-// raw rows verbatim plus the previewed post-state fingerprint. The
-// preview runs the exact cell loop apply will run — padding, ragged
-// truncation, null detection — against a clone of the rolling hasher,
-// so the journaled fingerprint is the one the dataset will carry
-// after the batch lands, and replay can verify it byte for byte.
-// Caller holds d.mu.
+// raw rows verbatim, the pre-state fingerprint (the rolling digest
+// the batch extends — replay uses it to detect an append journaled
+// against a since-dropped incarnation of the name), and the previewed
+// post-state fingerprint. The preview runs the exact cell loop apply
+// will run — padding, ragged truncation, null detection — against a
+// clone of the rolling hasher, so the journaled fingerprint is the
+// one the dataset will carry after the batch lands, and replay can
+// verify it byte for byte. Caller holds d.mu.
 func (d *Dataset) appendRecordLocked(rows [][]string) *wal.Record {
 	h := d.hasher.Clone()
 	for _, row := range rows {
@@ -228,8 +238,9 @@ func (d *Dataset) appendRecordLocked(rows [][]string) *wal.Record {
 	}
 	return &wal.Record{
 		Op: wal.OpAppend, Name: d.name,
-		RawRows:     rows,
-		Fingerprint: h.Sum(),
+		RawRows:         rows,
+		PrevFingerprint: d.fp,
+		Fingerprint:     h.Sum(),
 	}
 }
 

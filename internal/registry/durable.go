@@ -103,13 +103,17 @@ func (r *Registry) applyRegister(rec *wal.Record) error {
 	return nil
 }
 
-// applyAppend re-applies one journaled append batch. The journaled
-// post-state fingerprint is previewed first — against a clone of the
-// rolling hasher, before any storage mutates — so a mismatch rejects
-// the record cleanly instead of leaving a half-applied batch. An
-// append to a missing dataset is skipped, not an error: under live
-// locking an eviction's drop record can precede an in-flight append's
-// record for the same dataset.
+// applyAppend re-applies one journaled append batch. An append to a
+// missing dataset, or one whose journaled pre-state fingerprint does
+// not match the dataset's current digest, is skipped, not an error:
+// appends journal under the dataset lock alone, so under live locking
+// a drop — or a drop plus a re-registration of the same name — can
+// reach the WAL before an in-flight append's record. Truncating there
+// would discard every later committed record; the pre-state check
+// pins the record to its incarnation instead. Only a record whose
+// pre-state matches but whose journaled post-state disagrees with the
+// preview — run against a clone of the rolling hasher, before any
+// storage mutates — is real corruption (wal.ErrVerify).
 func (r *Registry) applyAppend(rec *wal.Record) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -119,6 +123,10 @@ func (r *Registry) applyAppend(rec *wal.Record) error {
 	}
 	d := el.Value.(*Dataset)
 	d.mu.Lock()
+	if rec.PrevFingerprint != d.fp {
+		d.mu.Unlock()
+		return nil // stale append from a dropped incarnation: skip
+	}
 	preview := d.appendRecordLocked(rec.RawRows)
 	d.mu.Unlock()
 	if preview.Fingerprint != rec.Fingerprint {

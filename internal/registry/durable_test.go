@@ -540,3 +540,123 @@ func max64(a, b int64) int64 {
 	}
 	return b
 }
+
+const trips2CSV = "city,fare,day\nParis,42,2024-02-02\nLima,4,2024-02-03\n"
+
+// TestStaleAppendSkippedOnReplay pins the drop/re-register vs append
+// WAL ordering hazard: appends journal under the dataset lock alone,
+// so a concurrent delete + re-registration of the same name can put
+// OpDrop(x) and OpRegister(x') into the log BEFORE an in-flight
+// OpAppend journaled against the first incarnation. Replay must
+// recognize the stale append by its pre-state fingerprint and skip it
+// — truncating there would permanently discard every later committed,
+// fsync-acknowledged record.
+func TestStaleAppendSkippedOnReplay(t *testing.T) {
+	fs := wal.NewMemFS()
+	log, _, err := wal.Open(wal.Config{Dir: testWALDir, FS: fs, Obs: obs.NewRegistry()},
+		newTestRegistry(Config{}).Applier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1, 0)
+
+	// First incarnation of "x" and an append journaled against it.
+	d1 := newDataset("x", mkTable(t, "x", tripsCSV), now)
+	staleAppend := d1.appendRecordLocked([][]string{{"Oslo", "9", "2024-01-09"}})
+
+	// Second incarnation (different content) plus a later committed
+	// append that must survive recovery.
+	d2 := newDataset("x", mkTable(t, "x", trips2CSV), now)
+	regRec2 := d2.registerRecordLocked()
+	rows2 := [][]string{{"Rome", "5", "2024-03-03"}}
+	goodAppend := d2.appendRecordLocked(rows2)
+	if _, _, _, err := d2.append(rows2, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := dsState{fp: d2.fp, rows: d2.nRows, epoch: d2.epoch}
+
+	recs := []*wal.Record{
+		d1.registerRecordLocked(),
+		{Op: wal.OpDrop, Name: "x", Reason: wal.DropDelete},
+		regRec2,
+		staleAppend, // pre-state fingerprint belongs to the dropped d1
+		goodAppend,  // committed after the stale record
+	}
+	for _, rec := range recs {
+		if err := log.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r, _, st := openDurable(t, fs.Clone(), Config{}, 0)
+	if st.Truncated {
+		t.Fatalf("stale append truncated the log: %+v", st)
+	}
+	if st.Replayed != len(recs) {
+		t.Fatalf("replayed %d records, want %d", st.Replayed, len(recs))
+	}
+	got, ok := captureState(r)["x"]
+	if !ok {
+		t.Fatal("dataset lost in recovery")
+	}
+	if got != want {
+		t.Fatalf("recovered x = %+v, want %+v (stale append must be skipped, good append applied)", got, want)
+	}
+	verifyServedContent(t, r)
+}
+
+// TestConcurrentDropRegisterVsAppendDurable races appends against
+// delete + re-register of the same name on a durable registry, then
+// recovers from the surviving bytes. Whatever interleaving the WAL
+// recorded, recovery must never truncate committed records and must
+// land exactly on the final live state. Each incarnation's content is
+// unique so a stale append can never alias the wrong incarnation.
+func TestConcurrentDropRegisterVsAppendDurable(t *testing.T) {
+	fs := wal.NewMemFS()
+	r, _, _ := openDurable(t, fs, Config{}, 0)
+	if _, err := r.Register("x", mkTable(t, "x", tripsCSV)); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				_, err := r.Append("x", [][]string{{fmt.Sprintf("g%d-%d", g, i), "1", "2024-01-01"}})
+				if err != nil && !errors.Is(err, ErrNotFound) {
+					t.Errorf("append: %v", err)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 15; i++ {
+			if _, err := r.Delete("x"); err != nil {
+				t.Errorf("delete: %v", err)
+				return
+			}
+			tab, err := dataset.FromCSVString("x", fmt.Sprintf("city,fare,day\nSeed%d,%d,2024-01-01\n", i, i))
+			if err != nil {
+				t.Errorf("csv: %v", err)
+				return
+			}
+			if _, err := r.Register("x", tab); err != nil {
+				t.Errorf("register: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	want := captureState(r)
+	r2, _, st := openDurable(t, fs.Clone(), Config{}, 0)
+	if st.Truncated {
+		t.Fatalf("recovery truncated a committed record: %+v", st)
+	}
+	assertStatesEqual(t, captureState(r2), want, "after concurrent drop/register vs append")
+	verifyServedContent(t, r2)
+}

@@ -190,6 +190,20 @@ func (r *Registry) journal(rec *wal.Record) error {
 	return nil
 }
 
+// journalFramed appends pre-encoded records (see wal.Encode) in one
+// durable write — one fsync for the whole batch — flipping to
+// read-only on failure. A nil/empty batch is a no-op.
+func (r *Registry) journalFramed(frames ...wal.Framed) error {
+	if r.log == nil || len(frames) == 0 {
+		return nil
+	}
+	if err := r.log.AppendFramed(frames...); err != nil {
+		r.enterReadOnly(err)
+		return err
+	}
+	return nil
+}
+
 // Register adopts a built table as a new live dataset under name.
 // The table's columns are cloned, so the caller's table stays
 // immutable. Registering over an existing name fails with ErrExists.
@@ -205,6 +219,20 @@ func (r *Registry) Register(name string, t *dataset.Table) (*Dataset, error) {
 	}
 	now := r.now()
 	d := newDataset(name, t, now) // O(cells); built outside the registry lock
+	// Serialize the register record — the dataset's entire content —
+	// before taking the registry lock: the dataset is not shared yet,
+	// and encoding a large table under r.mu would stall every registry
+	// operation, reads included. (r.log is read unlocked here under the
+	// same contract as Dataset.append: AttachLog runs before the
+	// registry is shared.)
+	var framed wal.Framed
+	if r.log != nil {
+		f, err := wal.Encode(d.registerRecordLocked())
+		if err != nil {
+			return nil, err
+		}
+		framed = f
+	}
 	r.mu.Lock()
 	retired := r.sweepExpiredLocked(now)
 	if _, exists := r.byName[name]; exists {
@@ -215,7 +243,7 @@ func (r *Registry) Register(name string, t *dataset.Table) (*Dataset, error) {
 	// Journal before inserting: the registration is acknowledged only
 	// once it is durable. The record carries the full content (schema,
 	// cells, null flags) plus the rolling fingerprint replay verifies.
-	if err := r.journal(d.registerRecordLocked()); err != nil {
+	if err := r.journalFramed(framed); err != nil {
 		r.mu.Unlock()
 		r.retire(retired)
 		return nil, fmt.Errorf("%w: %v", ErrReadOnly, err)
@@ -404,22 +432,14 @@ func (r *Registry) sweepExpiredLocked(now time.Time) []string {
 		return nil
 	}
 	cutoff := now.Add(-r.cfg.TTL).UnixNano()
-	var retired []string
-	for back := r.ll.Back(); back != nil; back = r.ll.Back() {
-		d := back.Value.(*Dataset)
-		if d.lastAccess.Load() > cutoff {
+	var victims []*list.Element
+	for el := r.ll.Back(); el != nil; el = el.Prev() {
+		if el.Value.(*Dataset).lastAccess.Load() > cutoff {
 			break
 		}
-		if err := r.journal(&wal.Record{Op: wal.OpDrop, Name: d.name, Reason: wal.DropTTL}); err != nil {
-			break // read-only now; keep the dataset, stop sweeping
-		}
-		retired = append(retired, r.removeLocked(back))
-		r.evictionsTTL.Inc()
+		victims = append(victims, el)
 	}
-	if len(retired) > 0 {
-		r.syncGaugesLocked()
-	}
-	return retired
+	return r.dropBatchLocked(victims, wal.DropTTL, r.evictionsTTL)
 }
 
 // evictOverBudgetLocked evicts least-recently-used datasets (never
@@ -427,25 +447,53 @@ func (r *Registry) sweepExpiredLocked(now time.Time) []string {
 // A sole dataset larger than the whole budget is allowed to stay: the
 // budget guides eviction of other datasets, it does not reject data.
 func (r *Registry) evictOverBudgetLocked(keep *Dataset) []string {
-	if r.cfg.MaxBytes <= 0 {
+	if r.cfg.MaxBytes <= 0 || r.bytes <= r.cfg.MaxBytes {
 		return nil
 	}
-	var retired []string
-	for r.bytes > r.cfg.MaxBytes {
-		back := r.ll.Back()
-		if back == nil {
-			break
-		}
-		d := back.Value.(*Dataset)
+	var victims []*list.Element
+	projected := r.bytes
+	for el := r.ll.Back(); el != nil && projected > r.cfg.MaxBytes; el = el.Prev() {
+		d := el.Value.(*Dataset)
 		if d == keep {
 			break // never evict the dataset being served/grown
 		}
-		if err := r.journal(&wal.Record{Op: wal.OpDrop, Name: d.name, Reason: wal.DropLRU}); err != nil {
-			break // read-only now; keep the dataset, stop evicting
-		}
-		retired = append(retired, r.removeLocked(back))
-		r.evictionsLRU.Inc()
+		victims = append(victims, el)
+		projected -= d.bytes.Load()
 	}
+	return r.dropBatchLocked(victims, wal.DropLRU, r.evictionsLRU)
+}
+
+// dropBatchLocked journals the victims' drop records as one durable
+// batch — one write, one fsync, however many datasets the sweep took —
+// then removes them, returning the retired fingerprints. On a journal
+// failure (the registry is read-only now) every victim stays live: a
+// drop that is not durable must not be applied, or the dataset would
+// resurrect on restart.
+func (r *Registry) dropBatchLocked(victims []*list.Element, reason wal.DropReason, evictions *obs.Counter) []string {
+	if len(victims) == 0 {
+		return nil
+	}
+	if r.log != nil {
+		frames := make([]wal.Framed, len(victims))
+		for i, el := range victims {
+			f, err := wal.Encode(&wal.Record{
+				Op: wal.OpDrop, Name: el.Value.(*Dataset).name, Reason: reason,
+			})
+			if err != nil {
+				return nil // unreachable: drop records always encode
+			}
+			frames[i] = f
+		}
+		if err := r.journalFramed(frames...); err != nil {
+			return nil
+		}
+	}
+	retired := make([]string, 0, len(victims))
+	for _, el := range victims {
+		retired = append(retired, r.removeLocked(el))
+		evictions.Inc()
+	}
+	r.syncGaugesLocked()
 	return retired
 }
 

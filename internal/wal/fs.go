@@ -41,6 +41,9 @@ type FS interface {
 	Rename(oldpath, newpath string) error
 	// Remove deletes path.
 	Remove(path string) error
+	// SyncDir fsyncs the directory itself, making renames and file
+	// creations within it durable. In-memory filesystems may no-op.
+	SyncDir(dir string) error
 }
 
 // OSFS is the production FS: plain os package calls.
@@ -75,6 +78,19 @@ func (OSFS) Truncate(path string, size int64) error { return os.Truncate(path, s
 func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
 
 func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
 
 // MemFS is an in-memory FS for tests: fast, cloneable, and equipped
 // with a failpoint that makes writes fail — or tear mid-record — at an
@@ -151,6 +167,8 @@ func (m *MemFS) CorruptByte(path string, off int64, mask byte) {
 }
 
 func (m *MemFS) MkdirAll(string) error { return nil }
+
+func (m *MemFS) SyncDir(string) error { return nil }
 
 func (m *MemFS) ReadDir(dir string) ([]string, error) {
 	m.mu.Lock()

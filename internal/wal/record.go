@@ -70,10 +70,17 @@ type Record struct {
 	Cells          []Cell
 
 	// OpAppend fields. RawRows holds the batch verbatim (possibly
-	// ragged); Fingerprint is the rolling digest after the batch
-	// (shared with OpRegister, where it is the digest at registration).
-	RawRows     [][]string
-	Fingerprint string
+	// ragged). PrevFingerprint is the rolling digest before the batch:
+	// replay uses it to recognize an append journaled against a dataset
+	// incarnation that a concurrent drop + re-register of the same name
+	// superseded (appends journal under the dataset lock alone, so the
+	// drop/register pair can reach the log first) — such a record is
+	// skipped, not treated as corruption. Fingerprint is the digest
+	// after the batch, which replay verifies (shared with OpRegister,
+	// where it is the digest at registration).
+	RawRows         [][]string
+	PrevFingerprint string
+	Fingerprint     string
 
 	// OpDrop field.
 	Reason DropReason
@@ -214,6 +221,7 @@ func encodePayload(rec *Record) ([]byte, error) {
 				b = appendString(b, cell)
 			}
 		}
+		b = appendString(b, rec.PrevFingerprint)
 		b = appendString(b, rec.Fingerprint)
 	case OpDrop:
 		b = append(b, byte(rec.Reason))
@@ -236,7 +244,9 @@ func decodePayload(b []byte) (*Record, error) {
 		rec.Epoch = d.u64()
 		rec.Ragged = int(d.u64())
 		ncols := d.u32()
-		if d.err == nil && uint64(ncols) > uint64(len(b)) {
+		// Each column costs ≥5 encoded bytes (name length prefix + type
+		// byte), so a CRC-valid record can never claim more.
+		if d.err == nil && uint64(ncols) > uint64(len(b))/5 {
 			return nil, ErrTorn
 		}
 		rec.Cols = make([]Col, 0, ncols)
@@ -246,8 +256,10 @@ func decodePayload(b []byte) (*Record, error) {
 		rec.Rows = int(d.u32())
 		if d.err == nil {
 			cells := uint64(rec.Rows) * uint64(len(rec.Cols))
-			// Every cell costs ≥5 encoded bytes (flag + length prefix).
-			if cells > uint64(len(b)) {
+			// Every cell costs ≥5 encoded bytes (null flag + length
+			// prefix), so the pre-allocation below can never exceed a
+			// small multiple of the payload size.
+			if cells > uint64(len(b))/5 {
 				return nil, ErrTorn
 			}
 			rec.Cells = make([]Cell, 0, cells)
@@ -259,13 +271,15 @@ func decodePayload(b []byte) (*Record, error) {
 		rec.Fingerprint = d.str()
 	case OpAppend:
 		nrows := d.u32()
-		if d.err == nil && uint64(nrows) > uint64(len(b)) {
+		// Each row costs ≥4 encoded bytes (its cell-count prefix).
+		if d.err == nil && uint64(nrows) > uint64(len(b))/4 {
 			return nil, ErrTorn
 		}
 		rec.RawRows = make([][]string, 0, nrows)
 		for i := uint32(0); i < nrows && d.err == nil; i++ {
 			ncells := d.u32()
-			if d.err != nil || uint64(ncells) > uint64(len(b)) {
+			// Each cell costs ≥4 encoded bytes (its length prefix).
+			if d.err != nil || uint64(ncells) > uint64(len(b))/4 {
 				return nil, ErrTorn
 			}
 			row := make([]string, 0, ncells)
@@ -274,6 +288,7 @@ func decodePayload(b []byte) (*Record, error) {
 			}
 			rec.RawRows = append(rec.RawRows, row)
 		}
+		rec.PrevFingerprint = d.str()
 		rec.Fingerprint = d.str()
 	case OpDrop:
 		rec.Reason = DropReason(d.byte())

@@ -19,8 +19,12 @@
 //
 // Compaction freezes the registry, writes the full state to snap.tmp,
 // fsyncs, renames it to snap-<G+1>.snap (atomic), starts an empty
-// wal-<G+1>.log, and deletes generation G. A crash at any point leaves
-// either generation fully intact: the rename is the commit point.
+// wal-<G+1>.log, fsyncs the directory, and deletes generation G. A
+// crash at any point leaves either generation fully intact: the rename
+// — made durable by the directory fsync — is the commit point. File
+// creations likewise fsync the directory before any record is
+// acknowledged, so a synced record can never outlive its file's
+// directory entry.
 //
 // Counters are exported on the obs registry under deepeye_wal_*.
 package wal
@@ -208,6 +212,12 @@ func Open(cfg Config, apply Applier) (*Log, OpenStats, error) {
 		if err != nil {
 			return nil, stats, fmt.Errorf("wal: creating log: %w", err)
 		}
+		// Make the new file's directory entry durable before any record
+		// is acknowledged into it: per-record fsyncs on a file whose
+		// dirent was never synced can be lost wholesale on power failure.
+		if err := fs.SyncDir(cfg.Dir); err != nil {
+			return nil, stats, fmt.Errorf("wal: syncing dir after log creation: %w", err)
+		}
 	} else {
 		return nil, stats, fmt.Errorf("wal: reading log: %w", err)
 	}
@@ -246,22 +256,62 @@ func (l *Log) applyAll(b []byte, apply Applier) (n int, off int64, truncated boo
 
 func (l *Log) path(name string) string { return filepath.Join(l.dir, name) }
 
+// Framed is one record in its encoded on-disk form (frame header plus
+// payload), ready for AppendFramed. Encode builds it — callers use the
+// pair to serialize a large record outside locks they would rather not
+// hold through the encoding, and to batch a burst of records into one
+// write + fsync.
+type Framed []byte
+
+// Encode renders a record into its framed on-disk form.
+func Encode(rec *Record) (Framed, error) {
+	payload, err := encodePayload(rec)
+	if err != nil {
+		return nil, err
+	}
+	return Framed(frame(payload)), nil
+}
+
 // Append journals one record: encode, frame, write, fsync. The record
 // is durable when Append returns nil. Any failure is sticky — the file
 // tail may be torn, so the log refuses further writes and the caller
 // must stop acknowledging mutations (the registry flips to read-only).
 func (l *Log) Append(rec *Record) error {
-	payload, err := encodePayload(rec)
+	framed, err := Encode(rec)
 	if err != nil {
 		return err
 	}
-	framed := frame(payload)
+	return l.AppendFramed(framed)
+}
+
+// AppendFramed journals pre-encoded records as a single write and a
+// single fsync, so a burst (e.g. an eviction sweep dropping many
+// datasets) costs one disk sync instead of one per record. All records
+// are durable when it returns nil; on error none may be acknowledged,
+// and the failure is sticky like Append's. A torn batch recovers to a
+// prefix of its records, which is a valid prefix of (unacknowledged)
+// operations.
+func (l *Log) AppendFramed(frames ...Framed) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	buf := []byte(frames[0])
+	if len(frames) > 1 {
+		total := 0
+		for _, f := range frames {
+			total += len(f)
+		}
+		buf = make([]byte, 0, total)
+		for _, f := range frames {
+			buf = append(buf, f...)
+		}
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.failed {
 		return ErrLogFailed
 	}
-	if _, err := l.f.Write(framed); err != nil {
+	if _, err := l.f.Write(buf); err != nil {
 		l.failed = true
 		return fmt.Errorf("wal: appending record: %w", err)
 	}
@@ -272,8 +322,8 @@ func (l *Log) Append(rec *Record) error {
 		}
 		l.fsyncs.Inc()
 	}
-	l.walSize += int64(len(framed))
-	l.appends.Inc()
+	l.walSize += int64(len(buf))
+	l.appends.Add(len(frames))
 	return nil
 }
 
@@ -339,13 +389,22 @@ func (l *Log) Compact(records []*Record) error {
 	if err := l.fs.Rename(l.path(tmpName), l.path(snapName(newGen))); err != nil {
 		return fail(fmt.Errorf("wal: publishing snapshot: %w", err))
 	}
-	// The snapshot is committed. Start the new generation's empty log;
-	// from here on, failures still poison the handle but the durable
-	// state is already consistent.
 	nf, err := l.fs.Create(l.path(walName(newGen)))
 	if err != nil {
 		return fail(fmt.Errorf("wal: creating new log: %w", err))
 	}
+	// One directory sync makes both new dirents durable — the renamed
+	// snapshot (the true commit point) and the empty log — before any
+	// record is acknowledged into the new generation and before the old
+	// generation's files go away. On failure the handle is poisoned with
+	// both generations still on disk, so recovery sees whichever the
+	// disk retained in full.
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		_ = nf.Close()
+		return fail(fmt.Errorf("wal: syncing dir after snapshot publish: %w", err))
+	}
+	// The snapshot is committed. From here on, failures still poison
+	// the handle but the durable state is already consistent.
 	if l.f != nil {
 		_ = l.f.Close()
 	}

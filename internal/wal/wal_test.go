@@ -3,6 +3,7 @@ package wal
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"testing"
 
 	"github.com/deepeye/deepeye/internal/obs"
@@ -43,8 +44,9 @@ func sampleRecords() []*Record {
 		},
 		{
 			Op: OpAppend, Name: "trips",
-			RawRows:     [][]string{{"bergen", "9"}, {"x"}, {}},
-			Fingerprint: "ccdd",
+			RawRows:         [][]string{{"bergen", "9"}, {"x"}, {}},
+			PrevFingerprint: "aabb",
+			Fingerprint:     "ccdd",
 		},
 		{Op: OpDrop, Name: "trips", Reason: DropLRU},
 	}
@@ -93,7 +95,8 @@ func assertRecordsEqual(t *testing.T, got, want *Record) {
 			}
 		}
 	case OpAppend:
-		if got.Fingerprint != want.Fingerprint || len(got.RawRows) != len(want.RawRows) {
+		if got.Fingerprint != want.Fingerprint || got.PrevFingerprint != want.PrevFingerprint ||
+			len(got.RawRows) != len(want.RawRows) {
 			t.Fatalf("append mismatch: %+v vs %+v", got, want)
 		}
 		for i := range want.RawRows {
@@ -445,4 +448,114 @@ func TestHugeLengthFieldRejected(t *testing.T) {
 	if _, _, err := readFrame(b, 0); !errors.Is(err, ErrTorn) {
 		t.Fatalf("huge frame = %v, want ErrTorn", err)
 	}
+}
+
+// TestImplausibleCountsRejected: payloads whose cell/row counts exceed
+// what the payload bytes could possibly encode (≥5 bytes per cell,
+// ≥4 per row) are rejected before the count drives a pre-allocation —
+// even when the count is small enough to slip past a bound of
+// len(payload) alone.
+func TestImplausibleCountsRejected(t *testing.T) {
+	// Register: 1 column, claimed rows ≈ half the final payload size —
+	// cells > len/5 but ≤ len.
+	b := []byte{byte(OpRegister)}
+	b = appendString(b, "x")
+	b = appendU64(b, 0) // created-at
+	b = appendU64(b, 0) // epoch
+	b = appendU64(b, 0) // ragged
+	b = appendU32(b, 1) // ncols
+	b = appendString(b, "c")
+	b = append(b, 0)                 // col type
+	b = appendU32(b, uint32(len(b))) // rows: ~half of the padded length
+	b = append(b, make([]byte, len(b))...)
+	if _, err := decodePayload(b); !errors.Is(err, ErrTorn) {
+		t.Fatalf("implausible register cell count = %v, want ErrTorn", err)
+	}
+
+	// Append: claimed rows > len/4 but ≤ len.
+	a := []byte{byte(OpAppend)}
+	a = appendString(a, "x")
+	a = appendU32(a, 30) // rows; final payload is 74 bytes
+	a = append(a, make([]byte, 64)...)
+	if _, err := decodePayload(a); !errors.Is(err, ErrTorn) {
+		t.Fatalf("implausible append row count = %v, want ErrTorn", err)
+	}
+}
+
+// TestAppendFramedBatch: a multi-record batch costs one fsync, is
+// acknowledged atomically, and replays as the individual records.
+func TestAppendFramedBatch(t *testing.T) {
+	fs := NewMemFS()
+	reg := obs.NewRegistry()
+	l, _, err := Open(Config{Dir: "data", FS: fs, Obs: reg}, &collector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecords()
+	frames := make([]Framed, len(want))
+	for i, rec := range want {
+		if frames[i], err = Encode(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.AppendFramed(frames...); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(metricFsyncs, "WAL fsync calls.").Value(); got != 1 {
+		t.Fatalf("batch fsyncs = %d, want 1", got)
+	}
+	if got := reg.Counter(metricAppends, "WAL records appended.").Value(); got != uint64(len(want)) {
+		t.Fatalf("batch appends = %d, want %d", got, len(want))
+	}
+	c := &collector{}
+	_, st, err := Open(testConfig(fs), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Replayed != len(want) || st.Truncated {
+		t.Fatalf("batch reopen stats = %+v, want %d replayed", st, len(want))
+	}
+	for i, rec := range c.recs {
+		assertRecordsEqual(t, rec, want[i])
+	}
+}
+
+// TestOSFSEndToEnd drives the production filesystem — file creation,
+// appends, the compaction rename, and the directory fsyncs behind
+// them — against a real temp dir and checks a reopen recovers the
+// compacted state.
+func TestOSFSEndToEnd(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	l, st, err := Open(Config{Dir: dir, Obs: obs.NewRegistry()}, &collector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Replayed != 0 || st.Generation != 1 {
+		t.Fatalf("fresh open stats = %+v", st)
+	}
+	recs := sampleRecords()
+	for _, rec := range recs {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Compact([]*Record{recs[0]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(recs[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c := &collector{}
+	_, st, err = Open(Config{Dir: dir, Obs: obs.NewRegistry()}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Generation != 2 || st.SnapshotRecords != 1 || st.Replayed != 1 || st.Truncated {
+		t.Fatalf("reopen stats = %+v", st)
+	}
+	assertRecordsEqual(t, c.recs[0], recs[0])
+	assertRecordsEqual(t, c.recs[1], recs[2])
 }

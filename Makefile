@@ -9,7 +9,7 @@ BENCHTIME ?= 0.3s
 COVER_FLOOR ?= 75.0
 
 .PHONY: all build test vet bench race fuzz experiments clean \
-	bench-smoke bench-run bench-diff cover-check crash-test
+	bench-smoke bench-run bench-diff cover-check crash-test load-smoke load-soak
 
 all: build vet test
 
@@ -45,6 +45,7 @@ fuzz:
 	$(GO) test -fuzz FuzzComputeFactors -fuzztime 30s ./internal/rank/
 	$(GO) test -fuzz FuzzAppend$$ -fuzztime 30s ./internal/registry/
 	$(GO) test -fuzz FuzzWALReplay -fuzztime 30s ./internal/registry/
+	$(GO) test -fuzz FuzzParseScenario -fuzztime 30s ./internal/load/
 
 # Fault-injection and crash-consistency suite under the race detector:
 # every-byte WAL truncation/corruption, compaction crash windows,
@@ -79,8 +80,25 @@ cover-check:
 	awk -v t=$$total -v f=$(COVER_FLOOR) 'BEGIN { exit (t + 0 < f + 0) }'
 
 # Regenerate every table and figure of the paper's evaluation.
+# Usage: make experiments [EXP_OUT=testdata/experiment_output.txt]
 experiments:
-	$(GO) run ./cmd/deepeye-bench -exp all -scale 0.1
+	$(GO) run ./cmd/deepeye-bench -exp all -scale 0.1 $(if $(EXP_OUT),-out $(EXP_OUT))
+
+# 15s canned load scenario against an in-process server: fails on any
+# hard error, fingerprint mismatch, reconciliation gap, leak, or a
+# pathological p99. CI uploads the JSON summary as an artifact.
+# Usage: make load-smoke [LOAD_JSON=load-summary.json]
+load-smoke:
+	$(GO) run ./cmd/deepeye-load -scenario testdata/scenarios/smoke.scenario \
+		-inprocess -fail-on-error -p99-ceiling 10s -max-goroutine-growth 50 \
+		$(if $(LOAD_JSON),-json $(LOAD_JSON))
+
+# 60s write-heavy soak with a deliberately small registry: eviction,
+# TTL sweeps, and WAL compaction fire under load while every append
+# fingerprint is verified and the leak gates stay armed.
+load-soak:
+	$(GO) run ./cmd/deepeye-load -scenario testdata/scenarios/soak.scenario \
+		-inprocess -soak $(if $(LOAD_JSON),-json $(LOAD_JSON))
 
 clean:
 	$(GO) clean ./...

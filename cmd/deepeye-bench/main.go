@@ -8,6 +8,7 @@
 //	deepeye-bench -exp fig11 -scale 0.2 # selection NDCG at 20% data scale
 //	deepeye-bench -exp fig12            # efficiency
 //	deepeye-bench -exp table3,table4,table6,table7,table8,fig1
+//	deepeye-bench -exp all -out testdata/experiment_output.txt
 package main
 
 import (
@@ -28,8 +29,20 @@ func main() {
 		seed     = flag.Int64("seed", 42, "crowd-oracle seed")
 		maxPer   = flag.Int("max-per-table", 400, "max labelled candidates per dataset (0 = unlimited)")
 		ltrTrees = flag.Int("ltr-trees", 60, "LambdaMART ensemble size")
+		outPath  = flag.String("out", "", "write the run log to this file instead of stdout")
 	)
 	flag.Parse()
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating -out file: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		// Every experiment prints through fmt.Printf; retargeting
+		// os.Stdout routes the whole run log to the file.
+		os.Stdout = f
+	}
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, MaxPerTable: *maxPer, LTRTrees: *ltrTrees}
 
 	want := map[string]bool{}

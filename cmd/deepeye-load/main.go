@@ -1,0 +1,193 @@
+// Command deepeye-load drives a scenario script against a DeepEye
+// server and reports per-op latency quantiles, throughput, and
+// correctness counters (fingerprint checks, epoch monotonicity,
+// client-vs-server request reconciliation).
+//
+//	deepeye-load -scenario testdata/scenarios/smoke.scenario -inprocess
+//	deepeye-load -scenario soak.scenario -addr http://127.0.0.1:8080 -soak
+//	deepeye-load -scenario smoke.scenario -inprocess -json summary.json -fail-on-error
+//
+// With -inprocess the command builds its own server (shaped by the
+// scenario's [server] section) on a loopback listener, so one binary
+// exercises the full registry + WAL + eviction + selection stack. With
+// -addr it targets an already-running deepeye-server.
+//
+// -soak marks the run as a soak and arms the leak gates: the server's
+// goroutine and memory gauges (sampled from /metrics through the run)
+// must return to their post-warmup baseline within the drain budget.
+// The exit code is non-zero when any armed gate fails.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	deepeye "github.com/deepeye/deepeye"
+	"github.com/deepeye/deepeye/internal/load"
+	"github.com/deepeye/deepeye/internal/server"
+)
+
+func main() {
+	var (
+		scenarioPath = flag.String("scenario", "", "scenario script path (required)")
+		addr         = flag.String("addr", "", "target server base URL, e.g. http://127.0.0.1:8080")
+		inprocess    = flag.Bool("inprocess", false, "start an in-process server shaped by the scenario's [server] section")
+		soak         = flag.Bool("soak", false, "soak mode: arm the goroutine/memory leak gates")
+		jsonPath     = flag.String("json", "", "also write the JSON summary to this file (- = stdout)")
+		failOnError  = flag.Bool("fail-on-error", false, "exit non-zero on any hard error, fingerprint mismatch, or epoch regression")
+		p99Ceiling   = flag.Duration("p99-ceiling", 0, "exit non-zero when any op's p99 exceeds this (0 = off)")
+		maxGoroutine = flag.Int("max-goroutine-growth", 0, "leak budget: max goroutines above baseline after drain (0 = off; -soak default 25)")
+		maxSysGrowth = flag.Int64("max-sys-growth", 0, "leak budget: max server memory bytes above baseline (0 = off; -soak default 1 GiB)")
+		reconcile    = flag.Bool("reconcile", true, "fail when client and server per-route request counts disagree")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "how long to wait for the server's goroutine gauge to return to baseline")
+	)
+	flag.Parse()
+
+	if *scenarioPath == "" {
+		fmt.Fprintln(os.Stderr, "deepeye-load: -scenario is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if (*addr == "") == !*inprocess {
+		fmt.Fprintln(os.Stderr, "deepeye-load: pass exactly one of -addr or -inprocess")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*scenarioPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	sc, err := load.ParseScenario(f)
+	f.Close()
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	base := *addr
+	if *inprocess {
+		url, shutdown, err := startInprocess(sc)
+		if err != nil {
+			fatal("starting in-process server: %v", err)
+		}
+		defer shutdown()
+		base = url
+		fmt.Fprintf(os.Stderr, "deepeye-load: in-process server on %s\n", base)
+	}
+
+	gates := load.Gates{
+		FailOnError:        *failOnError,
+		P99Ceiling:         *p99Ceiling,
+		MaxGoroutineGrowth: *maxGoroutine,
+		MaxSysGrowthBytes:  *maxSysGrowth,
+		RequireReconcile:   *reconcile,
+	}
+	if *soak {
+		// Soak arms the leak gates with defaults unless overridden.
+		gates.FailOnError = true
+		if gates.MaxGoroutineGrowth == 0 {
+			gates.MaxGoroutineGrowth = 25
+		}
+		// Go's sys gauge is a high-water mark — freed pages return to
+		// the OS over minutes, not seconds — so the budget catches
+		// unbounded growth, not transient allocation peaks.
+		if gates.MaxSysGrowthBytes == 0 {
+			gates.MaxSysGrowthBytes = 1 << 30
+		}
+	}
+
+	sum, err := load.Run(ctx, sc, load.Config{
+		BaseURL:      base,
+		Soak:         *soak,
+		DrainTimeout: *drainTimeout,
+		ScenarioPath: *scenarioPath,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	sum.WriteText(os.Stdout)
+	if *jsonPath != "" {
+		out := os.Stdout
+		if *jsonPath != "-" {
+			out, err = os.Create(*jsonPath)
+			if err != nil {
+				fatal("%v", err)
+			}
+			defer out.Close()
+		}
+		if err := sum.WriteJSON(out); err != nil {
+			fatal("writing JSON summary: %v", err)
+		}
+	}
+
+	if err := sum.Check(gates); err != nil {
+		fmt.Fprintf(os.Stderr, "deepeye-load: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// startInprocess builds a full System + HTTP server shaped by the
+// scenario's [server] section on a loopback listener and returns its
+// base URL plus a shutdown func.
+func startInprocess(sc *load.Scenario) (string, func(), error) {
+	cfg := sc.Server
+	dataDir := cfg.DataDir
+	cleanupDir := func() {}
+	if dataDir == "auto" {
+		dir, err := os.MkdirTemp("", "deepeye-load-*")
+		if err != nil {
+			return "", nil, err
+		}
+		dataDir = dir
+		cleanupDir = func() { os.RemoveAll(dir) }
+	}
+	sys, err := deepeye.Open(deepeye.Options{
+		IncludeOneColumn: true,
+		CacheSize:        cfg.CacheSize,
+		Workers:          cfg.Workers,
+		RegistrySize:     cfg.RegistrySize,
+		DatasetTTL:       cfg.DatasetTTL,
+		DataDir:          dataDir,
+		WALCompactBytes:  cfg.WALCompactBytes,
+	})
+	if err != nil {
+		cleanupDir()
+		return "", nil, err
+	}
+	h := server.New(sys, server.Options{
+		MaxBodyBytes: 64 << 20,
+		Timeout:      cfg.Timeout,
+		MaxInFlight:  cfg.MaxInFlight,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		sys.Close()
+		cleanupDir()
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	shutdown := func() {
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		srv.Shutdown(shCtx)
+		cancel()
+		sys.Close()
+		cleanupDir()
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "deepeye-load: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,6 @@
+package deepeye
+
+// DurableOptionsForTest exposes durability_test.go's standard durable
+// configuration to external test packages (package deepeye_test), so
+// e2e tests drive the same registry + WAL setup the crash suite uses.
+func DurableOptionsForTest(dir string) Options { return durableOptions(dir) }

@@ -1,0 +1,130 @@
+package load
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// metricsSnapshot is one parse of a Prometheus text page: every
+// non-histogram-bucket sample keyed by its full series string
+// (`name{labels}`), plus convenience extractions the harness uses.
+type metricsSnapshot struct {
+	samples map[string]float64
+}
+
+// parseMetricsText reads the Prometheus text exposition format
+// (comment lines skipped, `name{labels} value` samples collected).
+// It only needs the counters and gauges the reconciler and soak
+// monitor look at, so unparseable sample values are skipped rather
+// than fatal.
+func parseMetricsText(r io.Reader) (*metricsSnapshot, error) {
+	snap := &metricsSnapshot{samples: map[string]float64{}}
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is everything past the last space; series strings
+		// never contain spaces outside quoted label values, and label
+		// values here (routes, dataset names) never contain spaces.
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(line[i+1:]), 64)
+		if err != nil {
+			continue
+		}
+		snap.samples[strings.TrimSpace(line[:i])] = v
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("load: parsing metrics: %w", err)
+	}
+	return snap, nil
+}
+
+// value returns the sample for an exact series string (0 if absent).
+func (s *metricsSnapshot) value(series string) float64 {
+	if s == nil {
+		return 0
+	}
+	return s.samples[series]
+}
+
+// gauge returns an unlabeled gauge by bare name (0 if absent).
+func (s *metricsSnapshot) gauge(name string) float64 { return s.value(name) }
+
+// requestsByRoute extracts deepeye_http_requests_total{route="..."}
+// into a route → count map.
+func (s *metricsSnapshot) requestsByRoute() map[string]float64 {
+	out := map[string]float64{}
+	if s == nil {
+		return out
+	}
+	const prefix = `deepeye_http_requests_total{route="`
+	for series, v := range s.samples {
+		rest, ok := strings.CutPrefix(series, prefix)
+		if !ok {
+			continue
+		}
+		route, ok := strings.CutSuffix(rest, `"}`)
+		if !ok {
+			continue
+		}
+		out[route] = v
+	}
+	return out
+}
+
+// RouteCount is one row of the client-vs-server reconciliation.
+type RouteCount struct {
+	Route  string `json:"route"`
+	Client uint64 `json:"client"`
+	Server uint64 `json:"server"`
+}
+
+// reconcile diffs the server's per-route request counters between two
+// scrapes against the client's own counts. Every request the harness
+// sent between the scrapes (including its own /metrics scrapes) must
+// appear in the server's delta — a mismatch means lost or phantom
+// requests.
+func reconcile(before, after *metricsSnapshot, client map[string]uint64) (rows []RouteCount, ok bool) {
+	ok = true
+	beforeRoutes := before.requestsByRoute()
+	afterRoutes := after.requestsByRoute()
+	seen := map[string]bool{}
+	for route, clientN := range client {
+		serverN := uint64(afterRoutes[route] - beforeRoutes[route])
+		rows = append(rows, RouteCount{Route: route, Client: clientN, Server: serverN})
+		if serverN != clientN {
+			ok = false
+		}
+		seen[route] = true
+	}
+	// Routes the server saw grow but the client never hit: phantom
+	// traffic (another client?) — flagged, not fatal, since an external
+	// server may legitimately serve others.
+	for route := range afterRoutes {
+		if seen[route] {
+			continue
+		}
+		if d := afterRoutes[route] - beforeRoutes[route]; d > 0 {
+			rows = append(rows, RouteCount{Route: route, Client: 0, Server: uint64(d)})
+		}
+	}
+	sortRouteCounts(rows)
+	return rows, ok
+}
+
+func sortRouteCounts(rows []RouteCount) {
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rows[j].Route < rows[j-1].Route; j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+}

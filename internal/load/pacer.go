@@ -1,0 +1,102 @@
+package load
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Pacer is a deterministic token-bucket: tokens mature at the target
+// rate (ramping linearly over the warmup window), accumulate while
+// workers are busy up to the burst capacity, and Wait blocks the
+// caller until its token matures. All workers share one Pacer, so the
+// aggregate request rate tracks the scenario's rate key regardless of
+// worker count.
+//
+// The clock is injectable (WithClock, mirroring registry.WithClock)
+// so tests can verify the schedule without sleeping.
+type Pacer struct {
+	rate  float64       // target tokens/sec after ramp
+	ramp  time.Duration // linear ramp-up window (0 = full rate at once)
+	burst int           // max tokens accumulated while idle
+
+	now   func() time.Time
+	sleep func(ctx context.Context, d time.Duration) error
+
+	mu    sync.Mutex
+	start time.Time // first Wait; ramp is measured from here
+	next  time.Time // when the next token matures
+}
+
+// NewPacer builds a pacer at rate tokens/sec with the given ramp
+// window and burst capacity (minimum 1).
+func NewPacer(rate float64, ramp time.Duration, burst int) *Pacer {
+	if burst < 1 {
+		burst = 1
+	}
+	return &Pacer{
+		rate:  rate,
+		ramp:  ramp,
+		burst: burst,
+		now:   time.Now,
+		sleep: func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		},
+	}
+}
+
+// WithClock replaces the pacer's clock and sleeper and returns the
+// pacer for chaining — the test hook that makes pacing deterministic.
+func (p *Pacer) WithClock(now func() time.Time, sleep func(ctx context.Context, d time.Duration) error) *Pacer {
+	p.now = now
+	p.sleep = sleep
+	return p
+}
+
+// interval returns the gap between tokens at the given elapsed time.
+// During the ramp the effective rate climbs linearly from rate/10 to
+// rate (the floor avoids an unbounded first interval).
+func (p *Pacer) interval(elapsed time.Duration) time.Duration {
+	r := p.rate
+	if p.ramp > 0 && elapsed < p.ramp {
+		f := float64(elapsed) / float64(p.ramp)
+		if f < 0 {
+			f = 0
+		}
+		r = p.rate * (0.1 + 0.9*f)
+	}
+	return time.Duration(float64(time.Second) / r)
+}
+
+// Wait blocks until the caller's token matures or ctx is done. The
+// schedule is computed under a mutex, so concurrent waiters receive
+// strictly ordered, rate-spaced slots.
+func (p *Pacer) Wait(ctx context.Context) error {
+	p.mu.Lock()
+	now := p.now()
+	if p.start.IsZero() {
+		p.start = now
+		p.next = now
+	}
+	iv := p.interval(now.Sub(p.start))
+	// Tokens accumulated while no one was waiting are capped at burst:
+	// a stall never earns an unbounded catch-up spike.
+	if backlog := time.Duration(p.burst) * iv; now.Sub(p.next) > backlog {
+		p.next = now.Add(-backlog)
+	}
+	schedule := p.next
+	p.next = schedule.Add(p.interval(schedule.Sub(p.start)))
+	p.mu.Unlock()
+
+	if d := schedule.Sub(now); d > 0 {
+		return p.sleep(ctx, d)
+	}
+	return ctx.Err()
+}

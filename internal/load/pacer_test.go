@@ -1,0 +1,148 @@
+package load
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Pacer without real sleeping: Sleep advances the
+// clock instantly and records the requested durations.
+type fakeClock struct {
+	now    time.Time
+	slept  []time.Duration
+	cancel bool
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time { return c.now }
+
+func (c *fakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	if c.cancel {
+		return context.Canceled
+	}
+	c.slept = append(c.slept, d)
+	c.now = c.now.Add(d)
+	return nil
+}
+
+func pacerWith(c *fakeClock, rate float64, ramp time.Duration, burst int) *Pacer {
+	return NewPacer(rate, ramp, burst).WithClock(c.Now, c.Sleep)
+}
+
+func TestPacerSteadyRate(t *testing.T) {
+	c := newFakeClock()
+	p := pacerWith(c, 10, 0, 1) // 10/s → one token per 100ms
+	ctx := context.Background()
+
+	// First token is immediate; every subsequent token is 100ms apart.
+	for i := 0; i < 5; i++ {
+		if err := p.Wait(ctx); err != nil {
+			t.Fatalf("Wait %d: %v", i, err)
+		}
+	}
+	want := []time.Duration{100 * time.Millisecond, 100 * time.Millisecond, 100 * time.Millisecond, 100 * time.Millisecond}
+	if len(c.slept) != len(want) {
+		t.Fatalf("slept %v, want %d sleeps", c.slept, len(want))
+	}
+	for i, d := range want {
+		if c.slept[i] != d {
+			t.Errorf("sleep %d = %v, want %v", i, c.slept[i], d)
+		}
+	}
+}
+
+func TestPacerBurstCapsBacklog(t *testing.T) {
+	c := newFakeClock()
+	p := pacerWith(c, 10, 0, 3)
+	ctx := context.Background()
+
+	if err := p.Wait(ctx); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	// Stall for 10 seconds: 100 tokens matured, but only burst=3 may
+	// have accumulated — those three plus the token maturing exactly
+	// now fire immediately, then the pacer sleeps again.
+	c.now = c.now.Add(10 * time.Second)
+	sleptBefore := len(c.slept)
+	for i := 0; i < 4; i++ {
+		if err := p.Wait(ctx); err != nil {
+			t.Fatalf("Wait burst %d: %v", i, err)
+		}
+		if len(c.slept) != sleptBefore {
+			t.Fatalf("burst wait %d slept %v", i, c.slept[sleptBefore:])
+		}
+	}
+	if err := p.Wait(ctx); err != nil {
+		t.Fatalf("Wait after burst: %v", err)
+	}
+	if len(c.slept) == sleptBefore {
+		t.Fatalf("wait after burst drained did not sleep")
+	}
+}
+
+func TestPacerRampSlowsEarlyTokens(t *testing.T) {
+	c := newFakeClock()
+	// rate 10/s with a 1s ramp: the effective rate starts at 1/s
+	// (rate/10), so the first interval is near 1s and intervals shrink
+	// toward 100ms as the ramp completes.
+	p := pacerWith(c, 10, time.Second, 1)
+	ctx := context.Background()
+
+	for i := 0; i < 12; i++ {
+		if err := p.Wait(ctx); err != nil {
+			t.Fatalf("Wait %d: %v", i, err)
+		}
+	}
+	if len(c.slept) < 3 {
+		t.Fatalf("slept %v", c.slept)
+	}
+	first, second := c.slept[0], c.slept[1]
+	if first <= second {
+		t.Errorf("ramp did not slow the first interval: %v then %v", first, second)
+	}
+	if first < 500*time.Millisecond || first > time.Second {
+		t.Errorf("first ramped interval = %v, want near 1s", first)
+	}
+	last := c.slept[len(c.slept)-1]
+	if last != 100*time.Millisecond {
+		t.Errorf("post-ramp interval = %v, want 100ms", last)
+	}
+}
+
+func TestPacerDeterministicSchedule(t *testing.T) {
+	run := func() []time.Duration {
+		c := newFakeClock()
+		p := pacerWith(c, 33, 500*time.Millisecond, 4)
+		for i := 0; i < 50; i++ {
+			if err := p.Wait(context.Background()); err != nil {
+				t.Fatalf("Wait: %v", err)
+			}
+		}
+		return c.slept
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("schedules diverge in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPacerContextCancel(t *testing.T) {
+	c := newFakeClock()
+	c.cancel = true
+	p := pacerWith(c, 1, 0, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Wait(ctx); err == nil {
+		// First token is immediate but must still report the dead context.
+		t.Fatalf("Wait on cancelled context returned nil")
+	}
+}

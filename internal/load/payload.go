@@ -1,0 +1,155 @@
+package load
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"github.com/deepeye/deepeye/internal/datagen"
+	"github.com/deepeye/deepeye/internal/dataset"
+)
+
+// buildSpec maps a scenario dataset onto a datagen recipe: one skewed
+// categorical ("region"), one temporal ("when"), one uniform metric
+// ("metric1"), one derived metric correlated with it ("metric2"), then
+// alternating normal/heavy-tail metrics — the same planted structure
+// the experiment corpus uses, so every op class (group-by bars, binned
+// lines, scatters) has something to find.
+func buildSpec(ds DatasetSpec) datagen.Spec {
+	cols := []datagen.Col{
+		{Name: "region", Kind: datagen.KindCategory, K: 6},
+		{Name: "when", Kind: datagen.KindTime},
+		{Name: "metric1", Kind: datagen.KindUniform, Lo: 0, Hi: 1000},
+	}
+	for i := 4; i <= ds.Cols; i++ {
+		name := fmt.Sprintf("metric%d", i-2)
+		switch i % 3 {
+		case 0:
+			cols = append(cols, datagen.Col{Name: name, Kind: datagen.KindDerived, Base: "metric1", Scale: 2, Noise: 25})
+		case 1:
+			cols = append(cols, datagen.Col{Name: name, Kind: datagen.KindNormal, Mu: 50, Sigma: 12})
+		default:
+			cols = append(cols, datagen.Col{Name: name, Kind: datagen.KindHeavyTail, Lo: 0, Hi: 500})
+		}
+	}
+	return datagen.Spec{Name: ds.Name, Tuples: ds.Rows, Cols: cols, Seed: ds.Seed}
+}
+
+// initialCSV materializes the dataset's registration payload. The
+// bytes are deterministic in the spec, so re-registering after an
+// eviction reproduces the identical initial content.
+func initialCSV(ds DatasetSpec) ([]byte, *dataset.Table, error) {
+	tab, err := datagen.Generate(buildSpec(ds))
+	if err != nil {
+		return nil, nil, err
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		return nil, nil, err
+	}
+	// Reparse the CSV exactly as the server will: the parsed table's
+	// column types and fingerprint are the reference the harness
+	// verifies server responses against.
+	parsed, err := dataset.FromCSV(ds.Name, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return nil, nil, err
+	}
+	return buf.Bytes(), parsed, nil
+}
+
+// mirror tracks one registered dataset's expected identity: a rolling
+// dataset.Hasher fed the same cells the server ingests, so every
+// append response's fingerprint can be verified in O(1) memory even
+// on hours-long soak runs.
+type mirror struct {
+	cols   []*dataset.Column // schema reference for null semantics
+	hasher *dataset.Hasher
+	rows   int
+}
+
+// newMirror starts a mirror over the parsed initial table.
+func newMirror(tab *dataset.Table) *mirror {
+	m := &mirror{cols: tab.Columns, hasher: dataset.NewHasher(tab.Columns), rows: tab.NumRows()}
+	for i := 0; i < tab.NumRows(); i++ {
+		for _, c := range tab.Columns {
+			m.hasher.WriteCell(c.Raw[i], c.Null[i])
+		}
+	}
+	return m
+}
+
+// extend feeds one appended row (already width-matched to the schema)
+// through the same null semantics Column.AppendCell applies.
+func (m *mirror) extend(row []string) {
+	for j, c := range m.cols {
+		m.hasher.WriteCell(row[j], c.CellIsNull(row[j]))
+	}
+	m.rows++
+}
+
+// fingerprint is the expected digest after every row fed so far.
+func (m *mirror) fingerprint() string { return m.hasher.Sum() }
+
+// rowGen produces append payloads matching a dataset's schema,
+// deterministic in its seed. Cells always parse under the registered
+// column types (labels from the same set datagen used, timestamps in
+// a recognized layout, plain floats), so appended rows never flip a
+// column's inferred type on a cold rebuild.
+type rowGen struct {
+	spec DatasetSpec
+	rng  *rand.Rand
+	base time.Time
+}
+
+func newRowGen(spec DatasetSpec, seed int64) *rowGen {
+	return &rowGen{
+		spec: spec,
+		rng:  rand.New(rand.NewSource(seed)),
+		base: time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+// row generates one CSV record: region label, timestamp, then the
+// numeric metrics.
+func (g *rowGen) row(cols int) []string {
+	out := make([]string, cols)
+	out[0] = fmt.Sprintf("region_%c0", 'A'+rune(g.rng.Intn(6)))
+	out[1] = g.base.Add(time.Duration(g.rng.Int63n(int64(365 * 24 * time.Hour)))).Format("2006-01-02 15:04:05")
+	for j := 2; j < cols; j++ {
+		out[j] = strconv.FormatFloat(g.rng.Float64()*1000, 'f', 3, 64)
+	}
+	return out
+}
+
+// rows generates an n-row CSV batch body for POST /datasets/{id}/rows.
+func (g *rowGen) rows(n, cols int) ([][]string, []byte) {
+	recs := make([][]string, n)
+	var buf bytes.Buffer
+	for i := range recs {
+		recs[i] = g.row(cols)
+		for j, cell := range recs[i] {
+			if j > 0 {
+				buf.WriteByte(',')
+			}
+			buf.WriteString(cell)
+		}
+		buf.WriteByte('\n')
+	}
+	return recs, buf.Bytes()
+}
+
+// queriesFor prebuilds valid vizql sources for a generated dataset —
+// the query op draws from these. The metric1/metric2 scatter needs at
+// least four columns.
+func queriesFor(name string, cols int) []string {
+	qs := []string{
+		fmt.Sprintf("VISUALIZE bar SELECT region, SUM(metric1) FROM %s GROUP BY region", name),
+		fmt.Sprintf("VISUALIZE line SELECT when, AVG(metric1) FROM %s BIN when BY MONTH ORDER BY when", name),
+	}
+	if cols >= 4 {
+		qs = append(qs, fmt.Sprintf("VISUALIZE scatter SELECT metric1, metric2 FROM %s", name))
+	}
+	return qs
+}

@@ -1,0 +1,712 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// opTimeout bounds one in-flight operation; the run's duration only
+// stops issuing new ops, in-flight ones drain to completion.
+const opTimeout = 60 * time.Second
+
+// ephPoolCap bounds the ephemeral-dataset pool register/drop churns.
+const ephPoolCap = 1024
+
+// Config shapes one Run beyond what the scenario script declares.
+type Config struct {
+	// BaseURL targets the server, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client overrides the HTTP client (nil builds a pooled default).
+	Client *http.Client
+	// Soak marks the run as a soak (recorded in the summary; soak gates
+	// are expressed through Gates).
+	Soak bool
+	// DrainTimeout bounds the post-run wait for the server's goroutine
+	// gauge to return to baseline (default 10s).
+	DrainTimeout time.Duration
+	// MonitorInterval is the runtime-gauge scrape cadence (default 500ms).
+	MonitorInterval time.Duration
+	// ScenarioPath labels the summary (optional).
+	ScenarioPath string
+	// GoroutineSlack is how far above baseline the goroutine gauge may
+	// settle and still count as drained (default 10).
+	GoroutineSlack int
+}
+
+// dsState is one scenario dataset's live client-side state. mu
+// serializes mutations (appends, re-registration) so the rolling
+// fingerprint mirror stays faithful to the server's apply order.
+type dsState struct {
+	spec    DatasetSpec
+	initial []byte   // registration CSV, reproduced on re-register
+	queries []string // prebuilt vizql sources
+
+	mu        sync.Mutex
+	mir       *mirror
+	gen       *rowGen
+	lastEpoch uint64
+	epoch     uint64 // client-side incarnation counter for rereg races
+}
+
+// runner executes one scenario against one server.
+type runner struct {
+	sc  *Scenario
+	cfg Config
+	hc  *http.Client
+	rep *Reporter
+
+	ds map[string]*dsState
+
+	ephMu  sync.Mutex
+	eph    []string
+	ephSeq atomic.Uint64
+
+	fpChecks     atomic.Uint64
+	fpMismatches atomic.Uint64
+	epochRegress atomic.Uint64
+	rereg        atomic.Uint64
+}
+
+// Run executes the scenario against cfg.BaseURL and returns the
+// measured summary. The returned error covers harness-level failures
+// (setup, scenario problems); gate violations are evaluated separately
+// via Summary.Check so callers can report before failing.
+func Run(ctx context.Context, sc *Scenario, cfg Config) (*Summary, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("load: Config.BaseURL is required")
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	if cfg.MonitorInterval <= 0 {
+		cfg.MonitorInterval = 500 * time.Millisecond
+	}
+	if cfg.GoroutineSlack <= 0 {
+		cfg.GoroutineSlack = 10
+	}
+	hc := cfg.Client
+	if hc == nil {
+		hc = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        sc.Concurrency * 2,
+			MaxIdleConnsPerHost: sc.Concurrency * 2,
+		}}
+	}
+	kinds := make([]OpKind, 0, len(sc.Ops))
+	for _, op := range sc.Ops {
+		kinds = append(kinds, op.Kind)
+	}
+	r := &runner{sc: sc, cfg: cfg, hc: hc, rep: NewReporter(kinds), ds: map[string]*dsState{}}
+
+	// Baseline scrape before any counted client request: the server's
+	// counters include the scrape's own request by the time the body
+	// renders, so the baseline is self-consistent.
+	before, err := r.scrapeRaw(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("load: baseline /metrics scrape: %w", err)
+	}
+
+	if err := r.setup(ctx); err != nil {
+		return nil, err
+	}
+
+	mon := newMonitor(r, cfg.MonitorInterval)
+	mon.start(ctx)
+
+	r.rep.Start(time.Now(), sc.Warmup)
+	issueCtx, cancelIssue := context.WithTimeout(ctx, sc.Duration)
+	defer cancelIssue()
+	if sc.Warmup > 0 {
+		warm := time.AfterFunc(sc.Warmup, func() {
+			r.rep.EnableStats()
+			mon.markBaseline()
+		})
+		defer warm.Stop()
+	} else {
+		mon.markBaseline()
+	}
+
+	pacer := NewPacer(sc.Rate, sc.Warmup, sc.Burst)
+	var wg sync.WaitGroup
+	for w := 0; w < sc.Concurrency; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(sc.Seed + int64(id)*7919))
+			for {
+				if err := pacer.Wait(issueCtx); err != nil {
+					return
+				}
+				op := r.pickOp(rng)
+				r.execute(ctx, op, rng)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Post-run verification: every scenario dataset's served identity
+	// must equal the client-side rolling mirror.
+	r.verifyFingerprints(ctx)
+	r.cleanup(ctx)
+
+	monSum := mon.finish(ctx, cfg.DrainTimeout, cfg.GoroutineSlack)
+
+	// The closing scrape counts itself on the server before the body
+	// renders, so count it client-side too and the books balance.
+	r.rep.CountRoute("/metrics")
+	after, err := r.scrapeRaw(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("load: closing /metrics scrape: %w", err)
+	}
+
+	sum := r.rep.summarize(sc)
+	sum.Scenario = cfg.ScenarioPath
+	sum.Target = cfg.BaseURL
+	sum.Soak = cfg.Soak
+	sum.FingerprintChecks = r.fpChecks.Load()
+	sum.FingerprintMismatches = r.fpMismatches.Load()
+	sum.EpochRegressions = r.epochRegress.Load()
+	sum.Reregistered = r.rereg.Load()
+	sum.Monitor = monSum
+	sum.Reconciliation, sum.ReconcileOK = reconcile(before, after, r.rep.routeCounts())
+	return sum, nil
+}
+
+// pickOp draws one mix entry by weight.
+func (r *runner) pickOp(rng *rand.Rand) *OpSpec {
+	target := rng.Float64() * r.sc.WeightSum()
+	var cum float64
+	for i := range r.sc.Ops {
+		cum += r.sc.Ops[i].Weight
+		if target < cum {
+			return &r.sc.Ops[i]
+		}
+	}
+	return &r.sc.Ops[len(r.sc.Ops)-1]
+}
+
+// --- HTTP plumbing ---------------------------------------------------
+
+// wire forms of the server responses the harness inspects.
+type identityResp struct {
+	Epoch       uint64 `json:"epoch"`
+	Fingerprint string `json:"fingerprint"`
+	Rows        int    `json:"rows"`
+}
+
+type errResp struct {
+	Error  string `json:"error"`
+	Reason string `json:"reason"`
+}
+
+// do issues one counted request and returns the status and body.
+func (r *runner) do(ctx context.Context, method, path string, query url.Values, body []byte) (int, []byte, error) {
+	r.rep.CountRoute(path)
+	u := r.cfg.BaseURL + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	ctx, cancel := context.WithTimeout(ctx, opTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "text/csv")
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, b, nil
+}
+
+// scrapeRaw fetches /metrics without counting it client-side (used
+// for the opening/closing reconciliation snapshots).
+func (r *runner) scrapeRaw(ctx context.Context) (*metricsSnapshot, error) {
+	ctx, cancel := context.WithTimeout(ctx, opTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.BaseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	return parseMetricsText(resp.Body)
+}
+
+// shedReason extracts the machine-readable reason from a 503 body.
+func shedReason(body []byte) string {
+	var e errResp
+	if json.Unmarshal(body, &e) == nil {
+		return e.Reason
+	}
+	return ""
+}
+
+// classify maps a response to an outcome; 404 is surfaced separately
+// because on dataset routes it means "evicted", which the caller
+// handles by re-registering.
+func classify(status int, body []byte) outcome {
+	switch {
+	case status >= 200 && status < 300:
+		return outOK
+	case status == http.StatusServiceUnavailable && shedReason(body) == "capacity":
+		return outShed
+	default:
+		return outError
+	}
+}
+
+// --- setup, verification, cleanup ------------------------------------
+
+// setup registers every scenario dataset and seeds its mirror.
+func (r *runner) setup(ctx context.Context) error {
+	for i := range r.sc.Datasets {
+		spec := r.sc.Datasets[i]
+		initial, parsed, err := initialCSV(spec)
+		if err != nil {
+			return fmt.Errorf("load: generating dataset %q: %w", spec.Name, err)
+		}
+		st := &dsState{
+			spec:    spec,
+			initial: initial,
+			queries: queriesFor(spec.Name, spec.Cols),
+			mir:     newMirror(parsed),
+			gen:     newRowGen(spec, spec.Seed+1),
+		}
+		status, body, err := r.register(ctx, spec.Name, initial)
+		if status == http.StatusConflict {
+			// Leftover from a previous run against a long-lived server:
+			// replace it.
+			if _, _, err := r.do(ctx, http.MethodDelete, "/datasets/"+spec.Name, nil, nil); err != nil {
+				return fmt.Errorf("load: replacing leftover dataset %q: %w", spec.Name, err)
+			}
+			status, body, err = r.register(ctx, spec.Name, initial)
+			_ = err
+		}
+		if err != nil {
+			return fmt.Errorf("load: registering dataset %q: %w", spec.Name, err)
+		}
+		if status != http.StatusCreated {
+			return fmt.Errorf("load: registering dataset %q: status %d: %s", spec.Name, status, body)
+		}
+		var id identityResp
+		if err := json.Unmarshal(body, &id); err != nil {
+			return fmt.Errorf("load: registering dataset %q: decoding response: %w", spec.Name, err)
+		}
+		r.fpChecks.Add(1)
+		if want := st.mir.fingerprint(); id.Fingerprint != want {
+			r.fpMismatches.Add(1)
+			r.rep.Error("dataset %s: register fingerprint %s, mirror expects %s", spec.Name, id.Fingerprint, want)
+		}
+		st.lastEpoch = id.Epoch
+		r.ds[spec.Name] = st
+	}
+	return nil
+}
+
+func (r *runner) register(ctx context.Context, name string, csv []byte) (int, []byte, error) {
+	return r.do(ctx, http.MethodPost, "/datasets", url.Values{"name": {name}}, csv)
+}
+
+// verifyFingerprints compares every scenario dataset's served
+// identity against the client mirror after the workers drain.
+func (r *runner) verifyFingerprints(ctx context.Context) {
+	for name, st := range r.ds {
+		status, body, err := r.do(ctx, http.MethodGet, "/datasets/"+name, nil, nil)
+		if err != nil || status == http.StatusNotFound {
+			// Evicted right at the end — nothing to compare.
+			continue
+		}
+		if status != http.StatusOK {
+			r.rep.Error("dataset %s: final info status %d: %s", name, status, body)
+			continue
+		}
+		var id identityResp
+		if err := json.Unmarshal(body, &id); err != nil {
+			r.rep.Error("dataset %s: final info decode: %v", name, err)
+			continue
+		}
+		st.mu.Lock()
+		want, rows := st.mir.fingerprint(), st.mir.rows
+		st.mu.Unlock()
+		r.fpChecks.Add(1)
+		if id.Fingerprint != want || id.Rows != rows {
+			r.fpMismatches.Add(1)
+			r.rep.Error("dataset %s: final fingerprint %s (%d rows), mirror expects %s (%d rows)",
+				name, id.Fingerprint, id.Rows, want, rows)
+		}
+	}
+}
+
+// cleanup drops everything the run created.
+func (r *runner) cleanup(ctx context.Context) {
+	for name := range r.ds {
+		_, _, _ = r.do(ctx, http.MethodDelete, "/datasets/"+name, nil, nil)
+	}
+	r.ephMu.Lock()
+	eph := append([]string(nil), r.eph...)
+	r.eph = nil
+	r.ephMu.Unlock()
+	for _, name := range eph {
+		_, _, _ = r.do(ctx, http.MethodDelete, "/datasets/"+name, nil, nil)
+	}
+}
+
+// --- op execution ----------------------------------------------------
+
+func (r *runner) execute(ctx context.Context, op *OpSpec, rng *rand.Rand) {
+	start := time.Now()
+	var out outcome
+	switch op.Kind {
+	case OpTopK:
+		out = r.readOp(ctx, op, "/topk", url.Values{"k": {strconv.Itoa(op.K)}})
+	case OpSearch:
+		q := op.Q
+		if q == "" {
+			q = "region metric1"
+		}
+		out = r.readOp(ctx, op, "/search", url.Values{"q": {q}, "k": {strconv.Itoa(op.K)}})
+	case OpQuery:
+		st := r.ds[op.Dataset]
+		q := op.Q
+		if q == "" {
+			q = st.queries[rng.Intn(len(st.queries))]
+		}
+		out = r.readOp(ctx, op, "/query", url.Values{"q": {q}})
+	case OpAppend:
+		out = r.appendOp(ctx, op)
+	case OpRegister:
+		out = r.registerOp(ctx, op, rng)
+	case OpDrop:
+		out = r.dropOp(ctx)
+	default:
+		return
+	}
+	r.rep.Record(op.Kind, time.Since(start), out)
+}
+
+// readOp runs one dataset read (topk/search/query), re-registering
+// the dataset if the server evicted it.
+func (r *runner) readOp(ctx context.Context, op *OpSpec, suffix string, query url.Values) outcome {
+	st := r.ds[op.Dataset]
+	gen := st.incarnation()
+	status, body, err := r.do(ctx, http.MethodGet, "/datasets/"+op.Dataset+suffix, query, nil)
+	if err != nil {
+		r.rep.Error("%s %s: %v", op.Kind, op.Dataset, err)
+		return outError
+	}
+	if status == http.StatusNotFound {
+		r.reregister(ctx, st, gen)
+		return outSkipped
+	}
+	out := classify(status, body)
+	if out == outError {
+		r.rep.Error("%s %s: status %d: %.200s", op.Kind, op.Dataset, status, body)
+	}
+	return out
+}
+
+// appendOp generates a batch, posts it, and verifies the response's
+// epoch and fingerprint against the rolling mirror. The dataset lock
+// spans the request so the mirror observes the server's apply order.
+func (r *runner) appendOp(ctx context.Context, op *OpSpec) outcome {
+	st := r.ds[op.Dataset]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	recs, body := st.gen.rows(st.spec.AppendRows, len(st.mir.cols))
+	status, respBody, err := r.do(ctx, http.MethodPost, "/datasets/"+op.Dataset+"/rows", nil, body)
+	if err != nil {
+		r.rep.Error("append %s: %v", op.Dataset, err)
+		return outError
+	}
+	if status == http.StatusNotFound {
+		r.reregisterLocked(ctx, st)
+		return outSkipped
+	}
+	out := classify(status, respBody)
+	if out != outOK {
+		if out == outError {
+			r.rep.Error("append %s: status %d: %.200s", op.Dataset, status, respBody)
+		}
+		return out
+	}
+	var id identityResp
+	if err := json.Unmarshal(respBody, &id); err != nil {
+		r.rep.Error("append %s: decoding response: %v", op.Dataset, err)
+		return outError
+	}
+	if id.Epoch <= st.lastEpoch {
+		r.epochRegress.Add(1)
+		r.rep.Error("append %s: epoch %d did not advance past %d", op.Dataset, id.Epoch, st.lastEpoch)
+	}
+	st.lastEpoch = id.Epoch
+	for _, rec := range recs {
+		st.mir.extend(rec)
+	}
+	r.fpChecks.Add(1)
+	if want := st.mir.fingerprint(); id.Fingerprint != want {
+		r.fpMismatches.Add(1)
+		r.rep.Error("append %s: fingerprint %s, mirror expects %s after %d rows", op.Dataset, id.Fingerprint, want, st.mir.rows)
+		return outError
+	}
+	return outOK
+}
+
+// registerOp registers a fresh ephemeral dataset into the churn pool.
+func (r *runner) registerOp(ctx context.Context, op *OpSpec, rng *rand.Rand) outcome {
+	r.ephMu.Lock()
+	full := len(r.eph) >= ephPoolCap
+	r.ephMu.Unlock()
+	if full {
+		return outSkipped
+	}
+	seq := r.ephSeq.Add(1)
+	name := fmt.Sprintf("eph-%d", seq)
+	spec := DatasetSpec{Name: name, Rows: op.Rows, Cols: op.Cols, Seed: r.sc.Seed + int64(seq)}
+	csv, _, err := initialCSV(spec)
+	if err != nil {
+		r.rep.Error("register %s: generating: %v", name, err)
+		return outError
+	}
+	status, body, err := r.register(ctx, name, csv)
+	if err != nil {
+		r.rep.Error("register %s: %v", name, err)
+		return outError
+	}
+	out := classify(status, body)
+	if out == outOK {
+		r.ephMu.Lock()
+		r.eph = append(r.eph, name)
+		r.ephMu.Unlock()
+	} else if out == outError {
+		r.rep.Error("register %s: status %d: %.200s", name, status, body)
+	}
+	return out
+}
+
+// dropOp deletes one pooled ephemeral dataset; 404 is fine (the
+// server may have TTL/LRU-evicted it first).
+func (r *runner) dropOp(ctx context.Context) outcome {
+	r.ephMu.Lock()
+	if len(r.eph) == 0 {
+		r.ephMu.Unlock()
+		return outSkipped
+	}
+	name := r.eph[len(r.eph)-1]
+	r.eph = r.eph[:len(r.eph)-1]
+	r.ephMu.Unlock()
+	status, body, err := r.do(ctx, http.MethodDelete, "/datasets/"+name, nil, nil)
+	if err != nil {
+		r.rep.Error("drop %s: %v", name, err)
+		return outError
+	}
+	if status == http.StatusNotFound {
+		return outOK // evicted before we dropped it — still gone
+	}
+	out := classify(status, body)
+	if out == outError {
+		r.rep.Error("drop %s: status %d: %.200s", name, status, body)
+	}
+	return out
+}
+
+// --- eviction recovery -----------------------------------------------
+
+func (st *dsState) incarnation() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.epoch
+}
+
+// reregister re-creates an evicted scenario dataset unless another
+// worker already did (the incarnation counter detects that).
+func (r *runner) reregister(ctx context.Context, st *dsState, sawGen uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.epoch != sawGen {
+		return // someone else re-registered since we observed the 404
+	}
+	r.reregisterLocked(ctx, st)
+}
+
+// reregisterLocked resets the mirror and re-registers the initial
+// content. Callers hold st.mu.
+func (r *runner) reregisterLocked(ctx context.Context, st *dsState) {
+	status, body, err := r.register(ctx, st.spec.Name, st.initial)
+	if err != nil {
+		r.rep.Error("reregister %s: %v", st.spec.Name, err)
+		return
+	}
+	if status == http.StatusConflict {
+		// A racing worker won; its mirror reset already happened.
+		return
+	}
+	if status != http.StatusCreated {
+		if classify(status, body) == outError {
+			r.rep.Error("reregister %s: status %d: %.200s", st.spec.Name, status, body)
+		}
+		return
+	}
+	_, parsed, err := initialCSV(st.spec)
+	if err != nil {
+		r.rep.Error("reregister %s: rebuilding mirror: %v", st.spec.Name, err)
+		return
+	}
+	var id identityResp
+	if err := json.Unmarshal(body, &id); err != nil {
+		r.rep.Error("reregister %s: decoding response: %v", st.spec.Name, err)
+		return
+	}
+	st.mir = newMirror(parsed)
+	st.gen = newRowGen(st.spec, st.spec.Seed+1)
+	st.lastEpoch = id.Epoch
+	st.epoch++
+	r.rereg.Add(1)
+	r.fpChecks.Add(1)
+	if want := st.mir.fingerprint(); id.Fingerprint != want {
+		r.fpMismatches.Add(1)
+		r.rep.Error("reregister %s: fingerprint %s, mirror expects %s", st.spec.Name, id.Fingerprint, want)
+	}
+}
+
+// --- soak monitor ----------------------------------------------------
+
+// monitor samples the server's runtime gauges (exported on /metrics)
+// through the run; the soak gate reads its baseline/final deltas.
+type monitor struct {
+	r        *runner
+	interval time.Duration
+
+	mu         sync.Mutex
+	baselined  bool
+	wantBase   atomic.Bool
+	samples    int
+	fails      int
+	base, last struct {
+		gor       int
+		heap, sys uint64
+	}
+	maxGor int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newMonitor(r *runner, interval time.Duration) *monitor {
+	return &monitor{r: r, interval: interval, stop: make(chan struct{}), done: make(chan struct{})}
+}
+
+func (m *monitor) start(ctx context.Context) {
+	go func() {
+		defer close(m.done)
+		t := time.NewTicker(m.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				m.sample(ctx)
+			}
+		}
+	}()
+}
+
+// markBaseline makes the next sample the leak-budget baseline.
+func (m *monitor) markBaseline() { m.wantBase.Store(true) }
+
+func (m *monitor) sample(ctx context.Context) {
+	m.r.rep.CountRoute("/metrics")
+	snap, err := m.r.scrapeRaw(ctx)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err != nil {
+		m.fails++
+		return
+	}
+	m.samples++
+	m.last.gor = int(snap.gauge("deepeye_go_goroutines"))
+	m.last.heap = uint64(snap.gauge("deepeye_go_heap_alloc_bytes"))
+	m.last.sys = uint64(snap.gauge("deepeye_go_sys_bytes"))
+	if m.last.gor > m.maxGor {
+		m.maxGor = m.last.gor
+	}
+	if m.wantBase.Load() && !m.baselined {
+		m.base = m.last
+		m.baselined = true
+	}
+}
+
+// finish stops the ticker, then polls until the goroutine gauge
+// settles back within slack of baseline or the drain timeout expires.
+func (m *monitor) finish(ctx context.Context, drainTimeout time.Duration, slack int) *MonitorSummary {
+	close(m.stop)
+	<-m.done
+
+	deadline := time.Now().Add(drainTimeout)
+	drained := false
+	var waited time.Duration
+	for {
+		m.sample(ctx)
+		m.mu.Lock()
+		if m.baselined && m.last.gor <= m.base.gor+slack {
+			drained = true
+		}
+		m.mu.Unlock()
+		if drained || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+		waited += 100 * time.Millisecond
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.baselined {
+		// Run too short for a post-warmup sample: fall back to the
+		// final sample so deltas read as zero, not as a huge leak.
+		m.base = m.last
+	}
+	return &MonitorSummary{
+		Samples:            m.samples,
+		GoroutineBaseline:  m.base.gor,
+		GoroutineFinal:     m.last.gor,
+		GoroutineMax:       m.maxGor,
+		HeapBaselineBytes:  m.base.heap,
+		HeapFinalBytes:     m.last.heap,
+		SysBaselineBytes:   m.base.sys,
+		SysFinalBytes:      m.last.sys,
+		DrainedToBaseline:  drained,
+		DrainWaited:        waited.String(),
+		MonitorScrapeFails: m.fails,
+	}
+}

@@ -1,0 +1,290 @@
+package load
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	deepeye "github.com/deepeye/deepeye"
+	"github.com/deepeye/deepeye/internal/server"
+)
+
+// startTestServer boots a full System + HTTP handler; wrap (optional)
+// lets a test interpose middleware (e.g. to inject a leak).
+func startTestServer(t *testing.T, opts deepeye.Options, wrap func(http.Handler) http.Handler) *httptest.Server {
+	t.Helper()
+	sys, err := deepeye.Open(opts)
+	if err != nil {
+		t.Fatalf("deepeye.Open: %v", err)
+	}
+	var handler http.Handler = server.New(sys, server.Options{
+		MaxBodyBytes: 16 << 20,
+		Timeout:      30 * time.Second,
+		MaxInFlight:  64,
+	})
+	if wrap != nil {
+		handler = wrap(handler)
+	}
+	ts := httptest.NewServer(handler)
+	t.Cleanup(func() {
+		ts.Close()
+		sys.Close()
+	})
+	return ts
+}
+
+func registryOptions(dir string) deepeye.Options {
+	return deepeye.Options{
+		IncludeOneColumn: true,
+		CacheSize:        8 << 20,
+		RegistrySize:     64 << 20,
+		DataDir:          dir,
+	}
+}
+
+const e2eScenario = `
+duration = 3s
+warmup = 500ms
+concurrency = 6
+rate = 40
+seed = 5
+
+[dataset d]
+rows = 120
+cols = 4
+append_rows = 6
+
+[op append]
+weight = 4
+dataset = d
+
+[op topk]
+weight = 2
+dataset = d
+k = 3
+
+[op query]
+weight = 1
+dataset = d
+
+[op search]
+weight = 1
+dataset = d
+q = region metric1
+
+[op register]
+weight = 1
+rows = 30
+cols = 3
+
+[op drop]
+weight = 1
+`
+
+// TestRunEndToEnd drives the full harness against a real durable
+// server: mixed op classes, fingerprint verification on every append,
+// and exact client/server request-count reconciliation.
+func TestRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3s load run")
+	}
+	ts := startTestServer(t, registryOptions(t.TempDir()), nil)
+	sc, err := ParseScenarioString(e2eScenario)
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	sum, err := Run(context.Background(), sc, Config{
+		BaseURL:         ts.URL,
+		DrainTimeout:    3 * time.Second,
+		MonitorInterval: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sum.TotalOK == 0 {
+		t.Fatalf("no successful ops:\n%s", summaryText(sum))
+	}
+	if sum.TotalError != 0 || len(sum.HardErrors) != 0 {
+		t.Errorf("hard errors:\n%s", summaryText(sum))
+	}
+	if sum.FingerprintChecks == 0 {
+		t.Errorf("no fingerprint checks ran")
+	}
+	if sum.FingerprintMismatches != 0 || sum.EpochRegressions != 0 {
+		t.Errorf("verification failures:\n%s", summaryText(sum))
+	}
+	if !sum.ReconcileOK {
+		t.Errorf("client/server request counts do not reconcile:\n%s", summaryText(sum))
+	}
+	if len(sum.Reconciliation) == 0 {
+		t.Errorf("no reconciliation rows")
+	}
+	if sum.Monitor == nil || sum.Monitor.Samples == 0 {
+		t.Errorf("monitor collected no samples")
+	}
+	if !sum.Monitor.DrainedToBaseline {
+		t.Errorf("goroutines did not drain: %+v", sum.Monitor)
+	}
+	// A healthy run passes the full gate set.
+	if err := sum.Check(Gates{FailOnError: true, RequireReconcile: true, MaxGoroutineGrowth: 25}); err != nil {
+		t.Errorf("gates failed on a clean run: %v", err)
+	}
+	// Every declared op class must have been attempted.
+	seen := map[string]bool{}
+	for _, op := range sum.Ops {
+		if op.Attempts > 0 {
+			seen[op.Op] = true
+		}
+	}
+	for _, want := range []string{"append", "topk", "query", "search", "register", "drop"} {
+		if !seen[want] {
+			t.Errorf("op %s never attempted:\n%s", want, summaryText(sum))
+		}
+	}
+}
+
+// TestRunSoakDetectsInjectedLeak is the soak gate's self-test: a
+// middleware leaks one goroutine per append request, and the
+// goroutine-growth gate must catch it.
+func TestRunSoakDetectsInjectedLeak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2s load run")
+	}
+	release := make(chan struct{})
+	defer close(release)
+	leak := func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/rows") {
+				go func() { <-release }() // intentional leak until test cleanup
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+	ts := startTestServer(t, registryOptions(t.TempDir()), leak)
+	sc, err := ParseScenarioString(`
+duration = 2s
+warmup = 200ms
+concurrency = 4
+rate = 60
+seed = 3
+
+[dataset d]
+rows = 50
+cols = 3
+append_rows = 2
+
+[op append]
+weight = 1
+dataset = d
+`)
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	sum, err := Run(context.Background(), sc, Config{
+		BaseURL:         ts.URL,
+		Soak:            true,
+		DrainTimeout:    500 * time.Millisecond,
+		MonitorInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	m := sum.Monitor
+	if m == nil {
+		t.Fatalf("no monitor summary")
+	}
+	if m.GoroutineFinal-m.GoroutineBaseline <= 5 {
+		t.Fatalf("leak not visible in monitor: %+v", m)
+	}
+	if m.DrainedToBaseline {
+		t.Errorf("leaked run reported drained: %+v", m)
+	}
+	err = sum.Check(Gates{MaxGoroutineGrowth: 5})
+	if err == nil {
+		t.Fatalf("goroutine-growth gate did not fire: %+v", m)
+	}
+	if !strings.Contains(err.Error(), "goroutines grew") {
+		t.Fatalf("unexpected gate error: %v", err)
+	}
+	// The leak is the harness's finding, not the server's: the appends
+	// themselves must all have verified.
+	if sum.FingerprintMismatches != 0 || sum.TotalError != 0 {
+		t.Errorf("unexpected failures during leak run:\n%s", summaryText(sum))
+	}
+}
+
+// TestRunShedToleration drives more concurrency than the server
+// admits: shed responses (503 capacity) must be tolerated, counted,
+// and excluded from hard errors, and reconciliation must still hold
+// (the server counts a request before shedding it).
+func TestRunShedToleration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2s load run")
+	}
+	sys, err := deepeye.Open(registryOptions(t.TempDir()))
+	if err != nil {
+		t.Fatalf("deepeye.Open: %v", err)
+	}
+	// MaxInFlight 1 with 8 workers: most requests shed.
+	ts := httptest.NewServer(server.New(sys, server.Options{
+		MaxBodyBytes: 16 << 20,
+		Timeout:      30 * time.Second,
+		MaxInFlight:  1,
+	}))
+	t.Cleanup(func() {
+		ts.Close()
+		sys.Close()
+	})
+	sc, err := ParseScenarioString(`
+duration = 2s
+concurrency = 8
+rate = 100
+seed = 11
+
+[dataset d]
+rows = 60
+cols = 3
+append_rows = 2
+
+[op topk]
+weight = 2
+dataset = d
+k = 3
+
+[op append]
+weight = 1
+dataset = d
+`)
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	sum, err := Run(context.Background(), sc, Config{
+		BaseURL:         ts.URL,
+		DrainTimeout:    2 * time.Second,
+		MonitorInterval: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sum.TotalShed == 0 {
+		t.Errorf("expected shed responses under MaxInFlight=1:\n%s", summaryText(sum))
+	}
+	if sum.TotalError != 0 {
+		t.Errorf("shed responses surfaced as hard errors:\n%s", summaryText(sum))
+	}
+	if !sum.ReconcileOK {
+		t.Errorf("reconciliation broke under shedding:\n%s", summaryText(sum))
+	}
+	if err := sum.Check(Gates{FailOnError: true, RequireReconcile: true}); err != nil {
+		t.Errorf("gates failed: %v", err)
+	}
+}
+
+func summaryText(s *Summary) string {
+	var b strings.Builder
+	s.WriteText(&b)
+	return b.String()
+}

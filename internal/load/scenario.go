@@ -1,0 +1,571 @@
+// Package load is DeepEye's script-driven load harness: a scenario
+// file declares a weighted mix of operations (register, append, topk,
+// search, query, drop) over generated datasets, a deterministic
+// token-bucket pacer drives N worker goroutines against a real
+// deepeye-server over HTTP, and a reporter aggregates per-op latency
+// quantiles, throughput, and error counts — cross-checked against the
+// server's own /metrics counters.
+//
+// The harness is also a correctness gate: every append response's
+// fingerprint is verified against a client-side rolling
+// dataset.Hasher mirror, epochs must advance monotonically, and soak
+// runs watch the server's runtime gauges for goroutine and memory
+// growth. cmd/deepeye-load is the CLI; `make load-smoke` runs the
+// canned CI scenario.
+//
+// Scenario files are line-oriented `key = value` blocks (stdlib-only
+// parsing, no dependencies):
+//
+//	# header keys before any section
+//	duration = 15s
+//	warmup = 2s        # rate ramps up over this window; stats exclude it
+//	concurrency = 8
+//	rate = 150         # target ops/sec across all workers
+//	seed = 42
+//
+//	[server]           # in-process mode only (-inprocess)
+//	registry_size = 67108864
+//	dataset_ttl = 1m
+//
+//	[dataset sales]    # generated via internal/datagen, deterministic
+//	rows = 300
+//	cols = 5
+//	append_rows = 8    # rows per append batch targeting this dataset
+//
+//	[op topk]          # one block per mix entry; weights are relative
+//	weight = 4
+//	dataset = sales
+//	k = 5
+//
+// Parse errors carry the offending line number.
+package load
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// OpKind names one operation class in the mix.
+type OpKind string
+
+// The operation classes a scenario can mix.
+const (
+	OpRegister OpKind = "register" // register a fresh ephemeral dataset
+	OpAppend   OpKind = "append"   // append generated rows to a scenario dataset
+	OpTopK     OpKind = "topk"     // GET /datasets/{id}/topk
+	OpSearch   OpKind = "search"   // GET /datasets/{id}/search
+	OpQuery    OpKind = "query"    // GET /datasets/{id}/query
+	OpDrop     OpKind = "drop"     // drop one previously registered ephemeral dataset
+)
+
+func validOp(k OpKind) bool {
+	switch k {
+	case OpRegister, OpAppend, OpTopK, OpSearch, OpQuery, OpDrop:
+		return true
+	}
+	return false
+}
+
+// needsDataset reports whether the op targets a declared scenario
+// dataset (register creates its own; drop consumes registered ones).
+func (k OpKind) needsDataset() bool {
+	switch k {
+	case OpAppend, OpTopK, OpSearch, OpQuery:
+		return true
+	}
+	return false
+}
+
+// DatasetSpec declares one generated scenario dataset. The content is
+// deterministic in (Name, Rows, Cols, Seed) — see payload.go.
+type DatasetSpec struct {
+	Name       string
+	Rows       int   // initial row count (default 200)
+	Cols       int   // column count ≥ 3: category, time, numerics (default 4)
+	Seed       int64 // datagen seed (default scenario seed)
+	AppendRows int   // rows per append batch (default 5)
+	Line       int   // declaration line, for error reporting
+}
+
+// OpSpec is one weighted entry in the operation mix.
+type OpSpec struct {
+	Kind    OpKind
+	Weight  float64
+	Dataset string // append/topk/search/query: target scenario dataset
+	K       int    // topk/search k parameter (default 5)
+	Q       string // search keywords / full query override (optional)
+	Rows    int    // register: rows per ephemeral dataset (default 40)
+	Cols    int    // register: cols per ephemeral dataset (default 4)
+	Line    int
+}
+
+// ServerConfig shapes the in-process server cmd/deepeye-load builds
+// with -inprocess; ignored when targeting an external -addr.
+type ServerConfig struct {
+	RegistrySize    int64         // registry byte budget (default 256 MiB)
+	CacheSize       int64         // result cache byte budget (default 64 MiB)
+	DatasetTTL      time.Duration // idle eviction TTL (default 0 = never)
+	DataDir         string        // WAL directory; "auto" = fresh temp dir
+	WALCompactBytes int64         // WAL compaction threshold (default 64 MiB)
+	MaxInFlight     int           // concurrency limiter (default 256)
+	Timeout         time.Duration // per-request deadline (default 30s)
+	Workers         int           // per-request pipeline workers (default 1)
+}
+
+// Scenario is a parsed, validated load script.
+type Scenario struct {
+	Duration    time.Duration // total run length, warmup included (default 10s)
+	Warmup      time.Duration // ramp-up window excluded from stats (default 0)
+	Concurrency int           // worker goroutines (default 4)
+	Rate        float64       // target ops/sec across all workers (default 50)
+	Burst       int           // token-bucket capacity (default = concurrency)
+	Seed        int64         // RNG seed for op choice and payloads (default 1)
+	Server      ServerConfig
+	Datasets    []DatasetSpec
+	Ops         []OpSpec
+}
+
+// Dataset returns the declared dataset spec by name (nil if absent).
+func (s *Scenario) Dataset(name string) *DatasetSpec {
+	for i := range s.Datasets {
+		if s.Datasets[i].Name == name {
+			return &s.Datasets[i]
+		}
+	}
+	return nil
+}
+
+// WeightSum is the total of all op weights.
+func (s *Scenario) WeightSum() float64 {
+	var sum float64
+	for _, op := range s.Ops {
+		sum += op.Weight
+	}
+	return sum
+}
+
+// scanErr formats a parse/validation error with its line number.
+func scanErr(line int, format string, args ...any) error {
+	return fmt.Errorf("scenario line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+// section tracks what the current `key = value` lines bind to.
+type section int
+
+const (
+	secHeader section = iota
+	secServer
+	secDataset
+	secOp
+)
+
+// ParseScenario parses and validates a scenario script. Every error
+// names the offending line.
+func ParseScenario(r io.Reader) (*Scenario, error) {
+	sc := &Scenario{
+		Duration:    10 * time.Second,
+		Concurrency: 4,
+		Rate:        50,
+		Seed:        1,
+		Server: ServerConfig{
+			RegistrySize:    256 << 20,
+			CacheSize:       64 << 20,
+			WALCompactBytes: 64 << 20,
+			MaxInFlight:     256,
+			Timeout:         30 * time.Second,
+			Workers:         1,
+		},
+	}
+	cur := secHeader
+	var curDS *DatasetSpec
+	var curOp *OpSpec
+	seenServer := false
+	seenHeader := map[string]int{}
+	seenKey := map[string]int{} // per-section duplicate detection
+
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	n := 0
+	for scanner.Scan() {
+		n++
+		line := strings.TrimSpace(scanner.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "[") {
+			if !strings.HasSuffix(line, "]") {
+				return nil, scanErr(n, "unterminated section header %q", line)
+			}
+			head := strings.Fields(strings.TrimSpace(line[1 : len(line)-1]))
+			seenKey = map[string]int{}
+			switch {
+			case len(head) == 1 && head[0] == "server":
+				if seenServer {
+					return nil, scanErr(n, "duplicate [server] section")
+				}
+				seenServer = true
+				cur = secServer
+			case len(head) == 2 && head[0] == "dataset":
+				name := head[1]
+				if sc.Dataset(name) != nil {
+					return nil, scanErr(n, "duplicate dataset name %q", name)
+				}
+				sc.Datasets = append(sc.Datasets, DatasetSpec{Name: name, Rows: 200, Cols: 4, Seed: -1, AppendRows: 5, Line: n})
+				curDS = &sc.Datasets[len(sc.Datasets)-1]
+				cur = secDataset
+			case len(head) == 2 && head[0] == "op":
+				kind := OpKind(head[1])
+				if !validOp(kind) {
+					return nil, scanErr(n, "unknown op %q (want register|append|topk|search|query|drop)", head[1])
+				}
+				sc.Ops = append(sc.Ops, OpSpec{Kind: kind, Weight: -1, K: 5, Rows: 40, Cols: 4, Line: n})
+				curOp = &sc.Ops[len(sc.Ops)-1]
+				cur = secOp
+			default:
+				return nil, scanErr(n, "malformed section header %q (want [server], [dataset NAME], or [op NAME])", line)
+			}
+			continue
+		}
+		key, val, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, scanErr(n, "malformed line %q (want key = value)", line)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if key == "" || val == "" {
+			return nil, scanErr(n, "malformed line %q (empty key or value)", line)
+		}
+		if prev, dup := seenKey[key]; dup && cur != secHeader {
+			return nil, scanErr(n, "duplicate key %q (first set on line %d)", key, prev)
+		}
+		seenKey[key] = n
+
+		var err error
+		switch cur {
+		case secHeader:
+			if prev, dup := seenHeader[key]; dup {
+				return nil, scanErr(n, "duplicate key %q (first set on line %d)", key, prev)
+			}
+			seenHeader[key] = n
+			err = sc.setHeader(key, val, n)
+		case secServer:
+			err = sc.Server.set(key, val, n)
+		case secDataset:
+			err = curDS.set(key, val, n)
+		case secOp:
+			err = curOp.set(key, val, n)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("scenario: reading script: %w", err)
+	}
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// ParseScenarioString is a convenience wrapper for in-memory scripts.
+func ParseScenarioString(s string) (*Scenario, error) {
+	return ParseScenario(strings.NewReader(s))
+}
+
+func parseDur(key, val string, line int) (time.Duration, error) {
+	d, err := time.ParseDuration(val)
+	if err != nil {
+		return 0, scanErr(line, "%s: %v", key, err)
+	}
+	return d, nil
+}
+
+func parseInt(key, val string, line int) (int, error) {
+	v, err := strconv.Atoi(val)
+	if err != nil {
+		return 0, scanErr(line, "%s: %v", key, err)
+	}
+	return v, nil
+}
+
+func parseInt64(key, val string, line int) (int64, error) {
+	v, err := strconv.ParseInt(val, 10, 64)
+	if err != nil {
+		return 0, scanErr(line, "%s: %v", key, err)
+	}
+	return v, nil
+}
+
+func (s *Scenario) setHeader(key, val string, line int) error {
+	switch key {
+	case "duration":
+		d, err := parseDur(key, val, line)
+		if err != nil {
+			return err
+		}
+		if d <= 0 {
+			return scanErr(line, "duration must be positive, got %v", d)
+		}
+		s.Duration = d
+	case "warmup", "ramp":
+		d, err := parseDur(key, val, line)
+		if err != nil {
+			return err
+		}
+		if d < 0 {
+			return scanErr(line, "%s must not be negative, got %v", key, d)
+		}
+		s.Warmup = d
+	case "concurrency":
+		v, err := parseInt(key, val, line)
+		if err != nil {
+			return err
+		}
+		if v <= 0 {
+			return scanErr(line, "concurrency must be positive, got %d", v)
+		}
+		s.Concurrency = v
+	case "rate":
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return scanErr(line, "rate: %v", err)
+		}
+		if v <= 0 {
+			return scanErr(line, "rate must be positive, got %g", v)
+		}
+		s.Rate = v
+	case "burst":
+		v, err := parseInt(key, val, line)
+		if err != nil {
+			return err
+		}
+		if v <= 0 {
+			return scanErr(line, "burst must be positive, got %d", v)
+		}
+		s.Burst = v
+	case "seed":
+		v, err := parseInt64(key, val, line)
+		if err != nil {
+			return err
+		}
+		s.Seed = v
+	default:
+		return scanErr(line, "unknown header key %q", key)
+	}
+	return nil
+}
+
+func (c *ServerConfig) set(key, val string, line int) error {
+	switch key {
+	case "registry_size":
+		v, err := parseInt64(key, val, line)
+		if err != nil {
+			return err
+		}
+		if v <= 0 {
+			return scanErr(line, "registry_size must be positive, got %d", v)
+		}
+		c.RegistrySize = v
+	case "cache_size":
+		v, err := parseInt64(key, val, line)
+		if err != nil {
+			return err
+		}
+		if v < 0 {
+			return scanErr(line, "cache_size must not be negative, got %d", v)
+		}
+		c.CacheSize = v
+	case "dataset_ttl":
+		d, err := parseDur(key, val, line)
+		if err != nil {
+			return err
+		}
+		if d < 0 {
+			return scanErr(line, "dataset_ttl must not be negative, got %v", d)
+		}
+		c.DatasetTTL = d
+	case "data_dir":
+		c.DataDir = val
+	case "wal_compact_bytes":
+		v, err := parseInt64(key, val, line)
+		if err != nil {
+			return err
+		}
+		c.WALCompactBytes = v
+	case "max_inflight":
+		v, err := parseInt(key, val, line)
+		if err != nil {
+			return err
+		}
+		if v < 0 {
+			return scanErr(line, "max_inflight must not be negative, got %d", v)
+		}
+		c.MaxInFlight = v
+	case "timeout":
+		d, err := parseDur(key, val, line)
+		if err != nil {
+			return err
+		}
+		if d < 0 {
+			return scanErr(line, "timeout must not be negative, got %v", d)
+		}
+		c.Timeout = d
+	case "workers":
+		v, err := parseInt(key, val, line)
+		if err != nil {
+			return err
+		}
+		c.Workers = v
+	default:
+		return scanErr(line, "unknown [server] key %q", key)
+	}
+	return nil
+}
+
+func (d *DatasetSpec) set(key, val string, line int) error {
+	switch key {
+	case "rows":
+		v, err := parseInt(key, val, line)
+		if err != nil {
+			return err
+		}
+		if v <= 0 {
+			return scanErr(line, "rows must be positive, got %d", v)
+		}
+		d.Rows = v
+	case "cols":
+		v, err := parseInt(key, val, line)
+		if err != nil {
+			return err
+		}
+		if v < 3 {
+			return scanErr(line, "cols must be at least 3 (category, time, metric), got %d", v)
+		}
+		d.Cols = v
+	case "seed":
+		v, err := parseInt64(key, val, line)
+		if err != nil {
+			return err
+		}
+		d.Seed = v
+	case "append_rows":
+		v, err := parseInt(key, val, line)
+		if err != nil {
+			return err
+		}
+		if v <= 0 {
+			return scanErr(line, "append_rows must be positive, got %d", v)
+		}
+		d.AppendRows = v
+	default:
+		return scanErr(line, "unknown [dataset] key %q", key)
+	}
+	return nil
+}
+
+func (o *OpSpec) set(key, val string, line int) error {
+	switch key {
+	case "weight":
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return scanErr(line, "weight: %v", err)
+		}
+		if v <= 0 {
+			return scanErr(line, "weight must be positive, got %g", v)
+		}
+		o.Weight = v
+	case "dataset":
+		if !o.Kind.needsDataset() {
+			return scanErr(line, "op %s does not take a dataset (register creates its own, drop consumes registered ones)", o.Kind)
+		}
+		o.Dataset = val
+	case "k":
+		v, err := parseInt(key, val, line)
+		if err != nil {
+			return err
+		}
+		if v <= 0 {
+			return scanErr(line, "k must be positive, got %d", v)
+		}
+		o.K = v
+	case "q":
+		o.Q = val
+	case "rows":
+		if o.Kind != OpRegister {
+			return scanErr(line, "rows only applies to op register")
+		}
+		v, err := parseInt(key, val, line)
+		if err != nil {
+			return err
+		}
+		if v <= 0 {
+			return scanErr(line, "rows must be positive, got %d", v)
+		}
+		o.Rows = v
+	case "cols":
+		if o.Kind != OpRegister {
+			return scanErr(line, "cols only applies to op register")
+		}
+		v, err := parseInt(key, val, line)
+		if err != nil {
+			return err
+		}
+		if v < 3 {
+			return scanErr(line, "cols must be at least 3, got %d", v)
+		}
+		o.Cols = v
+	default:
+		return scanErr(line, "unknown [op] key %q", key)
+	}
+	return nil
+}
+
+// validate applies cross-section rules after the whole script parsed.
+func (s *Scenario) validate() error {
+	if s.Burst == 0 {
+		s.Burst = s.Concurrency
+	}
+	if s.Warmup >= s.Duration {
+		return fmt.Errorf("scenario: warmup %v must be shorter than duration %v", s.Warmup, s.Duration)
+	}
+	if len(s.Ops) == 0 {
+		return fmt.Errorf("scenario: no [op] sections declared")
+	}
+	for i := range s.Datasets {
+		if s.Datasets[i].Seed < 0 {
+			s.Datasets[i].Seed = s.Seed
+		}
+	}
+	needed := map[string]bool{}
+	for i := range s.Ops {
+		op := &s.Ops[i]
+		if op.Weight < 0 {
+			return scanErr(op.Line, "op %s declares no weight", op.Kind)
+		}
+		if op.Kind.needsDataset() {
+			if op.Dataset == "" {
+				return scanErr(op.Line, "op %s needs a dataset key", op.Kind)
+			}
+			if s.Dataset(op.Dataset) == nil {
+				return scanErr(op.Line, "op %s references undeclared dataset %q", op.Kind, op.Dataset)
+			}
+			needed[op.Dataset] = true
+		}
+	}
+	if s.WeightSum() <= 0 {
+		return fmt.Errorf("scenario: op weights sum to zero")
+	}
+	for i := range s.Datasets {
+		if !needed[s.Datasets[i].Name] {
+			return scanErr(s.Datasets[i].Line, "dataset %q is declared but no op targets it", s.Datasets[i].Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package load
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const fullScenario = `
+# exercise every section and key
+duration = 30s
+warmup = 3s
+concurrency = 16
+rate = 250.5
+burst = 32
+seed = 99
+
+[server]
+registry_size = 1048576
+cache_size = 2097152
+dataset_ttl = 45s
+data_dir = auto
+wal_compact_bytes = 4096
+max_inflight = 64
+timeout = 5s
+workers = 2
+
+[dataset sales]
+rows = 500
+cols = 6
+seed = 7
+append_rows = 12
+
+[dataset clicks]    # inherits the scenario seed
+
+[op topk]
+weight = 4
+dataset = sales
+k = 9
+
+[op search]
+weight = 2
+dataset = clicks
+q = region metric1
+k = 3
+
+[op query]
+weight = 1.5
+dataset = sales
+q = VISUALIZE bar SELECT region, SUM(metric1) FROM sales GROUP BY region
+
+[op append]
+weight = 3
+dataset = sales
+
+[op register]
+weight = 1
+rows = 80
+cols = 5
+
+[op drop]
+weight = 0.5
+`
+
+func TestParseScenarioFull(t *testing.T) {
+	sc, err := ParseScenarioString(fullScenario)
+	if err != nil {
+		t.Fatalf("ParseScenario: %v", err)
+	}
+	if sc.Duration != 30*time.Second || sc.Warmup != 3*time.Second {
+		t.Errorf("duration/warmup = %v/%v", sc.Duration, sc.Warmup)
+	}
+	if sc.Concurrency != 16 || sc.Rate != 250.5 || sc.Burst != 32 || sc.Seed != 99 {
+		t.Errorf("header = %+v", sc)
+	}
+	srv := sc.Server
+	if srv.RegistrySize != 1<<20 || srv.CacheSize != 2<<20 || srv.DatasetTTL != 45*time.Second ||
+		srv.DataDir != "auto" || srv.WALCompactBytes != 4096 || srv.MaxInFlight != 64 ||
+		srv.Timeout != 5*time.Second || srv.Workers != 2 {
+		t.Errorf("server = %+v", srv)
+	}
+	if len(sc.Datasets) != 2 {
+		t.Fatalf("datasets = %d", len(sc.Datasets))
+	}
+	sales := sc.Dataset("sales")
+	if sales.Rows != 500 || sales.Cols != 6 || sales.Seed != 7 || sales.AppendRows != 12 {
+		t.Errorf("sales = %+v", sales)
+	}
+	clicks := sc.Dataset("clicks")
+	if clicks.Rows != 200 || clicks.Cols != 4 || clicks.Seed != 99 || clicks.AppendRows != 5 {
+		t.Errorf("clicks defaults = %+v", clicks)
+	}
+	if len(sc.Ops) != 6 {
+		t.Fatalf("ops = %d", len(sc.Ops))
+	}
+	if got := sc.WeightSum(); got != 12.0 {
+		t.Errorf("WeightSum = %g, want 12", got)
+	}
+	if sc.Ops[0].Kind != OpTopK || sc.Ops[0].K != 9 || sc.Ops[0].Dataset != "sales" {
+		t.Errorf("op[0] = %+v", sc.Ops[0])
+	}
+	if sc.Ops[4].Kind != OpRegister || sc.Ops[4].Rows != 80 || sc.Ops[4].Cols != 5 {
+		t.Errorf("register op = %+v", sc.Ops[4])
+	}
+}
+
+func TestParseScenarioDefaults(t *testing.T) {
+	sc, err := ParseScenarioString("[dataset d]\n[op topk]\nweight=1\ndataset=d\n")
+	if err != nil {
+		t.Fatalf("ParseScenario: %v", err)
+	}
+	if sc.Duration != 10*time.Second || sc.Concurrency != 4 || sc.Rate != 50 || sc.Seed != 1 {
+		t.Errorf("header defaults = %+v", sc)
+	}
+	if sc.Burst != sc.Concurrency {
+		t.Errorf("burst default = %d, want concurrency %d", sc.Burst, sc.Concurrency)
+	}
+	if sc.Server.RegistrySize != 256<<20 || sc.Server.MaxInFlight != 256 {
+		t.Errorf("server defaults = %+v", sc.Server)
+	}
+}
+
+func TestParseScenarioRejects(t *testing.T) {
+	// Every case names the substring the error must carry; cases with a
+	// line prefix also pin the reported line number.
+	valid := "[dataset d]\n[op topk]\nweight=1\ndataset=d\n"
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"empty", "", "no [op] sections"},
+		{"no ops", "duration = 5s\n", "no [op] sections"},
+		{"unterminated section", "[server\n", "line 1: unterminated"},
+		{"malformed section", "[frobnicate]\n", "line 1: malformed section"},
+		{"dataset without name", "[dataset]\n", "line 1: malformed section"},
+		{"unknown op", "[op frob]\n", `line 1: unknown op "frob"`},
+		{"no equals", "duration\n", "line 1: malformed line"},
+		{"empty value", "duration =\n", "line 1: malformed line"},
+		{"unknown header key", "frobs = 3\n", `line 1: unknown header key "frobs"`},
+		{"bad duration", "duration = banana\n", "line 1: duration"},
+		{"negative duration", "duration = -5s\n", "line 1: duration must be positive"},
+		{"zero rate", "rate = 0\n", "line 1: rate must be positive"},
+		{"zero concurrency", "concurrency = 0\n", "line 1: concurrency must be positive"},
+		{"negative warmup", "warmup = -1s\n", "line 1: warmup must not be negative"},
+		{"warmup exceeds duration", "duration = 5s\nwarmup = 5s\n" + valid, "warmup 5s must be shorter"},
+		{"duplicate header key", "duration = 5s\nduration = 6s\n", `line 2: duplicate key "duration"`},
+		{"duplicate server section", "[server]\n[server]\n", "line 2: duplicate [server]"},
+		{"duplicate dataset", "[dataset d]\n[dataset d]\n", `line 2: duplicate dataset name "d"`},
+		{"duplicate section key", "[dataset d]\nrows = 5\nrows = 6\n", `line 3: duplicate key "rows"`},
+		{"unknown server key", "[server]\nfrobs = 1\n", `line 2: unknown [server] key`},
+		{"negative registry", "[server]\nregistry_size = -1\n", "line 2: registry_size must be positive"},
+		{"unknown dataset key", "[dataset d]\nfrobs = 1\n", `line 2: unknown [dataset] key`},
+		{"dataset cols too few", "[dataset d]\ncols = 2\n", "line 2: cols must be at least 3"},
+		{"dataset zero rows", "[dataset d]\nrows = 0\n", "line 2: rows must be positive"},
+		{"unknown op key", "[op topk]\nfrobs = 1\n", `line 2: unknown [op] key`},
+		{"op zero weight", "[op topk]\nweight = 0\n", "line 2: weight must be positive"},
+		{"op zero k", "[op topk]\nk = 0\n", "line 2: k must be positive"},
+		{"op missing weight", "[dataset d]\n[op topk]\ndataset=d\n", "declares no weight"},
+		{"op missing dataset", "[op topk]\nweight = 1\n", "needs a dataset key"},
+		{"op unknown dataset", "[op topk]\nweight = 1\ndataset = ghost\n", `undeclared dataset "ghost"`},
+		{"dataset on register", "[op register]\nweight=1\ndataset = d\n", "does not take a dataset"},
+		{"dataset on drop", "[op drop]\nweight=1\ndataset = d\n", "does not take a dataset"},
+		{"rows on topk", "[dataset d]\n[op topk]\nweight=1\ndataset=d\nrows=5\n", "rows only applies to op register"},
+		{"cols on append", "[dataset d]\n[op append]\nweight=1\ndataset=d\ncols=5\n", "cols only applies to op register"},
+		{"unused dataset", "[dataset ghost]\n" + valid, `dataset "ghost" is declared but no op targets it`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseScenarioString(tc.in)
+			if err == nil {
+				t.Fatalf("ParseScenario accepted %q", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseScenarioCommentsAndWhitespace(t *testing.T) {
+	sc, err := ParseScenarioString("  duration =  5s   # trailing comment\n\n# full-line comment\n\t[dataset d]\t\n[op query]\nweight = 1\ndataset = d\n")
+	if err != nil {
+		t.Fatalf("ParseScenario: %v", err)
+	}
+	if sc.Duration != 5*time.Second || len(sc.Datasets) != 1 || len(sc.Ops) != 1 {
+		t.Errorf("parsed = %+v", sc)
+	}
+}
+
+// FuzzParseScenario checks the parser never panics and, when it
+// accepts, yields an internally consistent scenario.
+func FuzzParseScenario(f *testing.F) {
+	f.Add(fullScenario)
+	f.Add("duration = 5s\n[dataset d]\n[op topk]\nweight=1\ndataset=d\n")
+	f.Add("[server]\nregistry_size = 1\n")
+	f.Add("[op append]\nweight = 1\ndataset = \n")
+	f.Add("duration")
+	f.Add("[")
+	f.Add("= value\nkey =\n==\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		sc, err := ParseScenarioString(in)
+		if err != nil {
+			return
+		}
+		if sc.Duration <= 0 || sc.Concurrency <= 0 || sc.Rate <= 0 || sc.Burst <= 0 {
+			t.Fatalf("accepted scenario with non-positive pacing: %+v", sc)
+		}
+		if sc.Warmup >= sc.Duration {
+			t.Fatalf("accepted warmup %v >= duration %v", sc.Warmup, sc.Duration)
+		}
+		if len(sc.Ops) == 0 || sc.WeightSum() <= 0 {
+			t.Fatalf("accepted scenario without a usable op mix: %+v", sc)
+		}
+		for _, op := range sc.Ops {
+			if !validOp(op.Kind) || op.Weight <= 0 {
+				t.Fatalf("accepted bad op %+v", op)
+			}
+			if op.Kind.needsDataset() && sc.Dataset(op.Dataset) == nil {
+				t.Fatalf("accepted op %s with unresolved dataset %q", op.Kind, op.Dataset)
+			}
+		}
+		for _, ds := range sc.Datasets {
+			if ds.Rows <= 0 || ds.Cols < 3 || ds.AppendRows <= 0 {
+				t.Fatalf("accepted bad dataset %+v", ds)
+			}
+		}
+	})
+}

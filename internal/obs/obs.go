@@ -103,6 +103,52 @@ func (h *Histogram) Mean() time.Duration {
 	return time.Duration(uint64(h.sumNs.Load()) / n)
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed
+// distribution by monotone linear interpolation over the cumulative
+// bucket counts, the same estimate Prometheus' histogram_quantile
+// computes server-side. Within the first bucket the lower edge is 0;
+// a quantile landing in the +Inf overflow bucket is clamped to the
+// largest finite bound (the histogram cannot resolve beyond it). An
+// empty histogram returns 0; q outside [0, 1] is clamped.
+//
+// Quantile reads the buckets without a lock: concurrent Observe calls
+// may skew an in-flight estimate by a few observations, which is fine
+// for the reporting paths this serves.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n)
+	var cum uint64
+	for i, ub := range h.bounds {
+		c := h.counts[i].Load()
+		cum += c
+		if float64(cum) >= rank && cum > 0 {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			frac := 1.0
+			if c > 0 {
+				frac = (rank - float64(cum-c)) / float64(c)
+			}
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return time.Duration((lower + (ub-lower)*frac) * float64(time.Second))
+		}
+	}
+	return time.Duration(h.bounds[len(h.bounds)-1] * float64(time.Second))
+}
+
 // metricType tags a family for the exposition format.
 type metricType int
 

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	ms := func(n float64) time.Duration { return time.Duration(n * float64(time.Millisecond)) }
+	cases := []struct {
+		name    string
+		bounds  []float64 // seconds
+		observe []time.Duration
+		q       float64
+		want    time.Duration
+	}{
+		{
+			name:   "empty histogram returns zero",
+			bounds: []float64{0.01, 0.1},
+			q:      0.5,
+			want:   0,
+		},
+		{
+			name:    "single observation first bucket interpolates from zero",
+			bounds:  []float64{0.01, 0.1},
+			observe: []time.Duration{ms(2)},
+			q:       0.5,
+			want:    ms(5), // midpoint of [0, 10ms)
+		},
+		{
+			name:    "single bucket full interpolation",
+			bounds:  []float64{0.1},
+			observe: []time.Duration{ms(50), ms(50), ms(50), ms(50)},
+			q:       1,
+			want:    ms(100), // upper edge of the only bucket
+		},
+		{
+			name:   "median of uniform spread across two buckets",
+			bounds: []float64{0.01, 0.02},
+			// two in (0, 10ms], two in (10ms, 20ms]
+			observe: []time.Duration{ms(3), ms(7), ms(13), ms(17)},
+			q:       0.5,
+			want:    ms(10), // exactly the first bound
+		},
+		{
+			name:    "p75 lands halfway into the second bucket",
+			bounds:  []float64{0.01, 0.02},
+			observe: []time.Duration{ms(3), ms(7), ms(13), ms(17)},
+			q:       0.75,
+			want:    ms(15),
+		},
+		{
+			name:    "overflow bucket clamps to largest finite bound",
+			bounds:  []float64{0.01, 0.1},
+			observe: []time.Duration{ms(500), ms(600)},
+			q:       0.99,
+			want:    ms(100),
+		},
+		{
+			name:    "q above one clamps to one",
+			bounds:  []float64{0.01},
+			observe: []time.Duration{ms(5)},
+			q:       3,
+			want:    ms(10),
+		},
+		{
+			name:    "q below zero clamps to zero",
+			bounds:  []float64{0.01, 0.02},
+			observe: []time.Duration{ms(15)},
+			q:       -1,
+			want:    ms(10), // lower edge of the first non-empty bucket
+		},
+		{
+			name:    "mixed overflow and finite median stays finite",
+			bounds:  []float64{0.01},
+			observe: []time.Duration{ms(5), ms(5), ms(5), ms(500)},
+			q:       0.5,
+			want:    ms(10.0 * 2.0 / 3.0),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newHistogram(tc.bounds)
+			for _, d := range tc.observe {
+				h.Observe(d)
+			}
+			got := h.Quantile(tc.q)
+			if diff := got - tc.want; diff < -time.Microsecond || diff > time.Microsecond {
+				t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestHistogramQuantileMonotone: quantile estimates never decrease as q
+// increases, for an arbitrary spread including overflow observations.
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := newHistogram(DefBuckets)
+	for _, d := range []time.Duration{
+		time.Millisecond, 3 * time.Millisecond, 40 * time.Millisecond,
+		400 * time.Millisecond, 2 * time.Second, 30 * time.Second,
+	} {
+		h.Observe(d)
+	}
+	prev := time.Duration(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile(%v) = %v < previous %v", q, got, prev)
+		}
+		prev = got
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"time"
 
 	deepeye "github.com/deepeye/deepeye"
@@ -145,10 +146,13 @@ type Handler struct {
 
 // Metric names exported on /metrics.
 const (
-	metricRequests = "deepeye_http_requests_total"
-	metricShed     = "deepeye_http_requests_shed_total"
-	metricInFlight = "deepeye_http_in_flight"
-	metricLatency  = "deepeye_http_request_duration_seconds"
+	metricRequests   = "deepeye_http_requests_total"
+	metricShed       = "deepeye_http_requests_shed_total"
+	metricInFlight   = "deepeye_http_in_flight"
+	metricLatency    = "deepeye_http_request_duration_seconds"
+	metricGoroutines = "deepeye_go_goroutines"
+	metricHeapAlloc  = "deepeye_go_heap_alloc_bytes"
+	metricSysBytes   = "deepeye_go_sys_bytes"
 )
 
 // New builds the handler around a configured (optionally trained) System.
@@ -212,7 +216,17 @@ func (h *Handler) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleMetrics serves the registry in the Prometheus text format.
+// Each scrape refreshes the process runtime gauges (goroutine count,
+// heap, OS-claimed bytes) so external monitors — the deepeye-load soak
+// gate in particular — can watch for goroutine and memory leaks
+// without a pprof round trip.
 func (h *Handler) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	h.reg.Gauge(metricGoroutines, "Goroutines currently live in the process.").
+		Set(int64(runtime.NumGoroutine()))
+	h.reg.Gauge(metricHeapAlloc, "Bytes of allocated heap objects.").Set(int64(ms.HeapAlloc))
+	h.reg.Gauge(metricSysBytes, "Total bytes of memory obtained from the OS.").Set(int64(ms.Sys))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = h.reg.WritePrometheus(w)
 }

@@ -5,6 +5,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -124,6 +126,19 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if !strings.Contains(text, `deepeye_http_request_duration_seconds_count{route="/topk"} 1`) {
 		t.Errorf("metrics missing latency count:\n%s", text)
+	}
+	// Runtime gauges refresh per scrape and must report live values —
+	// the deepeye-load soak gate leans on these for leak detection.
+	for _, gauge := range []string{"deepeye_go_goroutines", "deepeye_go_heap_alloc_bytes", "deepeye_go_sys_bytes"} {
+		re := regexp.MustCompile(`(?m)^` + gauge + ` (\d+)$`)
+		m := re.FindStringSubmatch(text)
+		if m == nil {
+			t.Errorf("metrics missing runtime gauge %s:\n%s", gauge, text)
+			continue
+		}
+		if v, err := strconv.Atoi(m[1]); err != nil || v <= 0 {
+			t.Errorf("%s = %q, want a positive value", gauge, m[1])
+		}
 	}
 }
 

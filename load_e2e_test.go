@@ -1,0 +1,134 @@
+package deepeye_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	deepeye "github.com/deepeye/deepeye"
+	"github.com/deepeye/deepeye/internal/load"
+	"github.com/deepeye/deepeye/internal/server"
+)
+
+// TestLoadHarnessLeakFree drives a 10s mixed scenario at a low rate
+// through the full stack — durable registry (same configuration as the
+// crash suite), HTTP server, load harness — and then requires the test
+// process's goroutine count to return to its pre-run baseline. Every
+// append fingerprint must verify and the client/server request counts
+// must reconcile exactly; afterwards the WAL must recover cleanly.
+func TestLoadHarnessLeakFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10s load run")
+	}
+	baseline := runtime.NumGoroutine()
+
+	dir := t.TempDir()
+	sys, err := deepeye.Open(deepeye.DurableOptionsForTest(dir))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	ts := httptest.NewServer(server.New(sys, server.Options{
+		MaxBodyBytes: 16 << 20,
+		Timeout:      30 * time.Second,
+		MaxInFlight:  32,
+	}))
+
+	sc, err := load.ParseScenarioString(`
+duration = 10s
+warmup = 1s
+concurrency = 3
+rate = 12
+seed = 17
+
+[dataset orders]
+rows = 100
+cols = 4
+append_rows = 5
+
+[op append]
+weight = 3
+dataset = orders
+
+[op topk]
+weight = 2
+dataset = orders
+k = 3
+
+[op query]
+weight = 1
+dataset = orders
+
+[op register]
+weight = 1
+rows = 30
+cols = 3
+
+[op drop]
+weight = 1
+`)
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+
+	client := &http.Client{}
+	sum, err := load.Run(context.Background(), sc, load.Config{
+		BaseURL:      ts.URL,
+		Client:       client,
+		DrainTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("load.Run: %v", err)
+	}
+	var report strings.Builder
+	sum.WriteText(&report)
+	if sum.TotalOK == 0 || sum.TotalError != 0 {
+		t.Errorf("run not clean:\n%s", report.String())
+	}
+	if sum.FingerprintChecks == 0 || sum.FingerprintMismatches != 0 || sum.EpochRegressions != 0 {
+		t.Errorf("fingerprint verification failed:\n%s", report.String())
+	}
+	if !sum.ReconcileOK {
+		t.Errorf("client/server request counts do not reconcile:\n%s", report.String())
+	}
+	if err := sum.Check(load.Gates{FailOnError: true, RequireReconcile: true, MaxGoroutineGrowth: 25}); err != nil {
+		t.Errorf("gates: %v", err)
+	}
+
+	// Tear the whole stack down, then the goroutine count must drain
+	// back to baseline (small slack for runtime helpers).
+	client.CloseIdleConnections()
+	ts.Close()
+	if err := sys.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	const slack = 5
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseline+slack && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline+slack {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutines did not drain: baseline %d, now %d\n%s", baseline, g, buf[:n])
+	}
+
+	// The WAL written under concurrent load must recover: the harness
+	// dropped everything it created, so a clean replay ends empty with
+	// no datasets discarded by fingerprint verification.
+	sys2, err := deepeye.Open(deepeye.DurableOptionsForTest(dir))
+	if err != nil {
+		t.Fatalf("reopen after load run: %v", err)
+	}
+	defer sys2.Close()
+	rec := sys2.Recovery()
+	if len(rec.DroppedDatasets) != 0 {
+		t.Errorf("recovery dropped datasets after load run: %v", rec.DroppedDatasets)
+	}
+	if n := len(sys2.ListDatasets()); n != 0 {
+		t.Errorf("datasets survived drop+recovery: %d", n)
+	}
+}

@@ -2,14 +2,18 @@ GO ?= go
 
 # Benchmarks the CI bench-regression job gates on: cmd/benchdiff
 # compares per-benchmark medians over BENCH_COUNT repeats and fails on
-# >20% ns/op regressions. CI and local runs share these definitions.
-BENCH_PATTERN ?= BenchmarkTable_SearchSpace|BenchmarkGraphBuild|BenchmarkTopKCached|BenchmarkBuildGraphParallel|BenchmarkAppend|BenchmarkSnapshotTopK|BenchmarkWALAppend|BenchmarkRecovery
+# >20% regressions in ns/op, B/op, or allocs/op (runs carry -benchmem).
+# Benchmarks matching ZERO_ALLOC must additionally report a median of
+# exactly 0 allocs/op. CI and local runs share these definitions.
+BENCH_PATTERN ?= BenchmarkTable_SearchSpace|BenchmarkGraphBuild|BenchmarkTopKCached|BenchmarkBuildGraphParallel|BenchmarkAppend|BenchmarkSnapshotTopK|BenchmarkWALAppend|BenchmarkRecovery|BenchmarkColumnarStats|BenchmarkFeatureExtract
+ZERO_ALLOC ?= BenchmarkColumnarStats|BenchmarkFeatureExtract
 BENCH_COUNT ?= 6
 BENCHTIME ?= 0.3s
 COVER_FLOOR ?= 75.0
 
 .PHONY: all build test vet bench race fuzz experiments clean \
-	bench-smoke bench-run bench-diff cover-check crash-test load-smoke load-soak
+	bench-smoke bench-run bench-diff bench-alloc-check cover-check \
+	crash-test load-smoke load-soak lint
 
 all: build vet test
 
@@ -63,14 +67,36 @@ bench-smoke:
 # Usage: make bench-run OUT=pr.txt
 bench-run:
 	@test -n "$(OUT)" || { echo "usage: make bench-run OUT=file.txt"; exit 2; }
-	$(GO) test -run XXX -bench '$(BENCH_PATTERN)' -count=$(BENCH_COUNT) -benchtime=$(BENCHTIME) . > $(OUT)
+	$(GO) test -run XXX -bench '$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCHTIME) . > $(OUT)
 	@cat $(OUT)
 
-# Compare two bench-run outputs; exits nonzero on a >20% median ns/op
-# regression. Usage: make bench-diff OLD=main.txt NEW=pr.txt [JSON=BENCH_PR2.json]
+# Compare two bench-run outputs; exits nonzero on a >20% median
+# regression in ns/op, B/op, or allocs/op, or when a ZERO_ALLOC
+# benchmark allocates. Usage:
+#   make bench-diff OLD=main.txt NEW=pr.txt [JSON=BENCH_PR2.json]
 bench-diff:
 	@test -n "$(OLD)" && test -n "$(NEW)" || { echo "usage: make bench-diff OLD=old.txt NEW=new.txt [JSON=out.json]"; exit 2; }
-	$(GO) run ./cmd/benchdiff -old $(OLD) -new $(NEW) $(if $(JSON),-json $(JSON))
+	$(GO) run ./cmd/benchdiff -old $(OLD) -new $(NEW) -zero-alloc '$(ZERO_ALLOC)' $(if $(JSON),-json $(JSON))
+
+# Zero-alloc gate alone (no baseline needed): one -benchmem run of the
+# gated kernels, checked by benchdiff.
+bench-alloc-check:
+	$(GO) test -run XXX -bench '$(ZERO_ALLOC)' -benchmem -count=3 -benchtime=$(BENCHTIME) . > $(or $(OUT),/tmp/bench-alloc.txt)
+	$(GO) run ./cmd/benchdiff -new $(or $(OUT),/tmp/bench-alloc.txt) -zero-alloc '$(ZERO_ALLOC)'
+
+# Static analysis beyond go vet, matching the CI lint job. The versions
+# are pinned here so CI and local runs agree; install with:
+#   go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+#   go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+STATICCHECK_VERSION ?= 2025.1
+GOVULNCHECK_VERSION ?= v1.1.4
+lint:
+	@command -v staticcheck >/dev/null || { \
+		echo "staticcheck not found; install: go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)"; exit 2; }
+	staticcheck ./...
+	@command -v govulncheck >/dev/null || { \
+		echo "govulncheck not found; install: go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)"; exit 2; }
+	govulncheck ./...
 
 # Whole-module coverage with the CI floor.
 cover-check:

@@ -1,17 +1,22 @@
 // Command benchdiff gates benchmark regressions in CI. It parses two
 // `go test -bench` output files (typically main and the PR head, each
-// run with -count=N), reduces every benchmark to its median ns/op, and
+// run with -count=N and -benchmem), reduces every benchmark to its
+// median ns/op — and, when present, median B/op and allocs/op — and
 // exits nonzero when any benchmark present on both sides got slower
-// than the threshold.
+// than the threshold on any gated metric.
 //
 //	benchdiff -old main.txt -new pr.txt            # gate at the default +20%
 //	benchdiff -old main.txt -new pr.txt -threshold 1.5
 //	benchdiff -new pr.txt -json BENCH_PR2.json     # emit medians, no gate
+//	benchdiff -new pr.txt -zero-alloc 'BenchmarkColumnarStats|BenchmarkFeatureExtract'
 //
 // Benchmarks that exist only in the new file (for example, ones this PR
 // introduces) are reported informationally and never fail the gate;
 // medians over repeated counts absorb scheduler noise that a single run
-// would misread as a regression.
+// would misread as a regression. The -zero-alloc regexp names hot-path
+// benchmarks whose new-side median allocs/op must be exactly zero —
+// an absolute gate that needs no baseline, so allocation creep can
+// never ratchet in through a sequence of sub-threshold regressions.
 package main
 
 import (
@@ -33,16 +38,46 @@ import (
 //	BenchmarkTopKCachedWarm-8   5   2178 ns/op   153 B/op   5 allocs/op
 //
 // The -8 GOMAXPROCS suffix is stripped so runs from machines with
-// different core counts still compare by name.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.eE+-]+) ns/op`)
+// different core counts still compare by name. The B/op and allocs/op
+// fields only appear under -benchmem; the rest of the line (custom
+// ReportMetric units and so on) is ignored.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.eE+-]+) ns/op(?:\s+([0-9.eE+-]+) B/op\s+([0-9.eE+-]+) allocs/op)?`)
 
-func parseFile(path string) (map[string][]float64, error) {
+// samples accumulates the per-run measurements of one benchmark; bytes
+// and allocs stay empty for runs without -benchmem.
+type samples struct {
+	ns, bytes, allocs []float64
+}
+
+// median is one benchmark reduced to its per-metric medians. hasMem
+// records whether every run of the benchmark carried -benchmem fields;
+// a mixed file (some runs with, some without) is treated as memless so
+// the medians never mix sample sets of different sizes.
+type median struct {
+	ns, bytes, allocs float64
+	hasMem            bool
+}
+
+// metric names one gated dimension of a benchmark result; sel reports
+// the value and whether the side carries it.
+type metric struct {
+	name string
+	sel  func(median) (float64, bool)
+}
+
+var gatedMetrics = []metric{
+	{"ns/op", func(m median) (float64, bool) { return m.ns, true }},
+	{"B/op", func(m median) (float64, bool) { return m.bytes, m.hasMem }},
+	{"allocs/op", func(m median) (float64, bool) { return m.allocs, m.hasMem }},
+}
+
+func parseFile(path string) (map[string]*samples, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	out := map[string][]float64{}
+	out := map[string]*samples{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -54,20 +89,43 @@ func parseFile(path string) (map[string][]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: bad ns/op in %q: %v", path, sc.Text(), err)
 		}
-		out[m[1]] = append(out[m[1]], ns)
+		s := out[m[1]]
+		if s == nil {
+			s = &samples{}
+			out[m[1]] = s
+		}
+		s.ns = append(s.ns, ns)
+		if m[3] != "" {
+			b, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad B/op in %q: %v", path, sc.Text(), err)
+			}
+			a, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad allocs/op in %q: %v", path, sc.Text(), err)
+			}
+			s.bytes = append(s.bytes, b)
+			s.allocs = append(s.allocs, a)
+		}
 	}
 	return out, sc.Err()
 }
 
-func medians(samples map[string][]float64) map[string]float64 {
-	out := make(map[string]float64, len(samples))
-	for name, xs := range samples {
-		out[name] = stats.Median(xs)
+func medians(in map[string]*samples) map[string]median {
+	out := make(map[string]median, len(in))
+	for name, s := range in {
+		m := median{ns: stats.Median(s.ns)}
+		if len(s.bytes) == len(s.ns) && len(s.ns) > 0 {
+			m.hasMem = true
+			m.bytes = stats.Median(s.bytes)
+			m.allocs = stats.Median(s.allocs)
+		}
+		out[name] = m
 	}
 	return out
 }
 
-func sortedNames(m map[string]float64) []string {
+func sortedNames(m map[string]median) []string {
 	names := make([]string, 0, len(m))
 	for n := range m {
 		names = append(names, n)
@@ -80,14 +138,24 @@ func main() {
 	var (
 		oldPath   = flag.String("old", "", "baseline `go test -bench` output (optional)")
 		newPath   = flag.String("new", "", "candidate `go test -bench` output (required)")
-		threshold = flag.Float64("threshold", 1.20, "fail when new/old median ns/op exceeds this ratio")
+		threshold = flag.Float64("threshold", 1.20, "fail when new/old median exceeds this ratio on any gated metric")
 		jsonPath  = flag.String("json", "", "write the candidate's medians as JSON to this file")
+		zeroAlloc = flag.String("zero-alloc", "", "`regexp` of benchmarks whose median allocs/op must be 0")
 	)
 	flag.Parse()
 	if *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	var zeroRe *regexp.Regexp
+	if *zeroAlloc != "" {
+		re, err := regexp.Compile(*zeroAlloc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff: bad -zero-alloc regexp:", err)
+			os.Exit(2)
+		}
+		zeroRe = re
 	}
 
 	newSamples, err := parseFile(*newPath)
@@ -102,7 +170,21 @@ func main() {
 	newMed := medians(newSamples)
 
 	if *jsonPath != "" {
-		buf, err := json.MarshalIndent(map[string]any{"median_ns_per_op": newMed}, "", "  ")
+		nsOut := make(map[string]float64, len(newMed))
+		bOut := map[string]float64{}
+		aOut := map[string]float64{}
+		for name, m := range newMed {
+			nsOut[name] = m.ns
+			if m.hasMem {
+				bOut[name] = m.bytes
+				aOut[name] = m.allocs
+			}
+		}
+		buf, err := json.MarshalIndent(map[string]any{
+			"median_ns_per_op":     nsOut,
+			"median_b_per_op":      bOut,
+			"median_allocs_per_op": aOut,
+		}, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchdiff:", err)
 			os.Exit(2)
@@ -113,9 +195,24 @@ func main() {
 		}
 	}
 
+	failed := false
+	if zeroRe != nil && checkZeroAlloc(os.Stdout, newMed, zeroRe) {
+		fmt.Fprintln(os.Stderr, "benchdiff: zero-alloc gate failed")
+		failed = true
+	}
+
 	if *oldPath == "" {
 		for _, name := range sortedNames(newMed) {
-			fmt.Printf("%-40s %14.1f ns/op (n=%d)\n", name, newMed[name], len(newSamples[name]))
+			m := newMed[name]
+			if m.hasMem {
+				fmt.Printf("%-40s %14.1f ns/op %12.0f B/op %8.0f allocs/op (n=%d)\n",
+					name, m.ns, m.bytes, m.allocs, len(newSamples[name].ns))
+			} else {
+				fmt.Printf("%-40s %14.1f ns/op (n=%d)\n", name, m.ns, len(newSamples[name].ns))
+			}
+		}
+		if failed {
+			os.Exit(1)
 		}
 		return
 	}
@@ -127,35 +224,84 @@ func main() {
 	}
 
 	if compare(os.Stdout, medians(oldSamples), newMed, *threshold) {
-		fmt.Fprintf(os.Stderr, "benchdiff: median ns/op regressed beyond %.0f%%\n", (*threshold-1)*100)
+		fmt.Fprintf(os.Stderr, "benchdiff: a median regressed beyond %.0f%%\n", (*threshold-1)*100)
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
 }
 
+// checkZeroAlloc enforces the absolute allocation gate: every benchmark
+// matching re must carry -benchmem data and report a median of exactly
+// 0 allocs/op. A matching benchmark without memory data fails — a
+// silently skipped gate is indistinguishable from a passing one — and
+// so does a regexp that matches nothing (a renamed benchmark would
+// otherwise disarm the gate).
+func checkZeroAlloc(w io.Writer, med map[string]median, re *regexp.Regexp) (failed bool) {
+	matched := false
+	for _, name := range sortedNames(med) {
+		if !re.MatchString(name) {
+			continue
+		}
+		matched = true
+		m := med[name]
+		switch {
+		case !m.hasMem:
+			fmt.Fprintf(w, "ALLOC %-40s no -benchmem data (zero-alloc gate)\n", name)
+			failed = true
+		case m.allocs != 0:
+			fmt.Fprintf(w, "ALLOC %-40s %8.0f allocs/op, want 0\n", name, m.allocs)
+			failed = true
+		default:
+			fmt.Fprintf(w, "ok    %-40s 0 allocs/op\n", name)
+		}
+	}
+	if !matched {
+		fmt.Fprintln(w, "ALLOC no benchmark matched the -zero-alloc regexp")
+		failed = true
+	}
+	return failed
+}
+
 // compare prints the per-benchmark verdicts and reports whether any
-// benchmark present on both sides regressed beyond the threshold.
-func compare(w io.Writer, oldMed, newMed map[string]float64, threshold float64) (failed bool) {
+// benchmark present on both sides regressed beyond the threshold on
+// ns/op or, when both sides carry -benchmem data, on B/op or allocs/op.
+func compare(w io.Writer, oldMed, newMed map[string]median, threshold float64) (failed bool) {
 	for _, name := range sortedNames(newMed) {
 		old, ok := oldMed[name]
 		if !ok {
-			fmt.Fprintf(w, "NEW   %-40s %14.1f ns/op (no baseline)\n", name, newMed[name])
+			fmt.Fprintf(w, "NEW   %-40s %14.1f ns/op (no baseline)\n", name, newMed[name].ns)
 			continue
 		}
-		if old == 0 {
-			// A 0 ns/op baseline (sub-ns benchmarks) makes the ratio
-			// meaningless; report it but never gate on it.
-			fmt.Fprintf(w, "SKIP  %-40s %14.1f -> %14.1f ns/op (zero baseline)\n",
-				name, old, newMed[name])
-			continue
+		for _, mt := range gatedMetrics {
+			ov, oOK := mt.sel(old)
+			nv, nOK := mt.sel(newMed[name])
+			if !oOK || !nOK {
+				continue // metric absent on one side: nothing to gate
+			}
+			if ov == 0 {
+				if nv == 0 {
+					continue // 0 -> 0 is trivially fine; skip the noise
+				}
+				// A zero baseline (sub-ns benchmarks, alloc-free kernels)
+				// makes the ratio meaningless; report it but never gate.
+				fmt.Fprintf(w, "SKIP  %-40s %14.1f -> %14.1f %s (zero baseline)\n",
+					name, ov, nv, mt.name)
+				continue
+			}
+			ratio := nv / ov
+			verdict := "ok"
+			if ratio > threshold {
+				verdict = "REGRESSION"
+				failed = true
+			}
+			if verdict == "ok" && mt.name != "ns/op" {
+				continue // memory rows only surface when they gate
+			}
+			fmt.Fprintf(w, "%-5s %-40s %14.1f -> %14.1f %s (%+.1f%%)\n",
+				verdict, name, ov, nv, mt.name, (ratio-1)*100)
 		}
-		ratio := newMed[name] / old
-		verdict := "ok"
-		if ratio > threshold {
-			verdict = "REGRESSION"
-			failed = true
-		}
-		fmt.Fprintf(w, "%-5s %-40s %14.1f -> %14.1f ns/op (%+.1f%%)\n",
-			verdict, name, old, newMed[name], (ratio-1)*100)
 	}
 	for _, name := range sortedNames(oldMed) {
 		if _, ok := newMed[name]; !ok {

@@ -4,6 +4,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -13,11 +14,12 @@ goarch: amd64
 pkg: github.com/deepeye/deepeye
 cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
 BenchmarkTopKCachedWarm-8   	  500000	      2178 ns/op	     153 B/op	       5 allocs/op
-BenchmarkTopKCachedWarm-8   	  500000	      2300 ns/op	     153 B/op	       5 allocs/op
+BenchmarkTopKCachedWarm-8   	  500000	      2300 ns/op	     160 B/op	       6 allocs/op
 BenchmarkTopKCachedWarm-8   	  500000	      9999 ns/op	     153 B/op	       5 allocs/op
 BenchmarkGraphBuildNaive-8  	       5	 611973013 ns/op
 BenchmarkTable_SearchSpace  	       3	   1000000 ns/op	         42.00 charts
 BenchmarkSubNano-8          	1000000000	         2.5e-01 ns/op
+BenchmarkColumnarStats-8    	   10000	      5000 ns/op	       0 B/op	       0 allocs/op
 PASS
 ok  	github.com/deepeye/deepeye	11.217s
 `
@@ -37,21 +39,33 @@ func TestParseFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The -8 suffix is stripped; the unsuffixed line parses too.
-	if n := len(got["BenchmarkTopKCachedWarm"]); n != 3 {
-		t.Errorf("Warm samples = %d, want 3", n)
+	warm := got["BenchmarkTopKCachedWarm"]
+	if warm == nil || len(warm.ns) != 3 {
+		t.Fatalf("Warm samples = %+v, want 3 runs", warm)
 	}
-	if n := len(got["BenchmarkGraphBuildNaive"]); n != 1 {
-		t.Errorf("Naive samples = %d, want 1", n)
+	// -benchmem fields ride along with every run.
+	if len(warm.bytes) != 3 || len(warm.allocs) != 3 {
+		t.Errorf("Warm mem samples = %d B/op, %d allocs/op, want 3 each",
+			len(warm.bytes), len(warm.allocs))
 	}
-	if xs := got["BenchmarkTable_SearchSpace"]; len(xs) != 1 || xs[0] != 1e6 {
-		t.Errorf("SearchSpace samples = %v", xs)
+	if warm.allocs[1] != 6 {
+		t.Errorf("Warm allocs[1] = %v, want 6", warm.allocs[1])
+	}
+	// A run without -benchmem parses with no mem samples.
+	naive := got["BenchmarkGraphBuildNaive"]
+	if naive == nil || len(naive.ns) != 1 || len(naive.bytes) != 0 {
+		t.Errorf("Naive samples = %+v, want 1 ns run and no mem", naive)
+	}
+	// A trailing custom ReportMetric unit does not confuse the parser.
+	if s := got["BenchmarkTable_SearchSpace"]; s == nil || len(s.ns) != 1 || s.ns[0] != 1e6 {
+		t.Errorf("SearchSpace samples = %+v", s)
 	}
 	// Scientific notation with a negative exponent parses too.
-	if xs := got["BenchmarkSubNano"]; len(xs) != 1 || xs[0] != 0.25 {
-		t.Errorf("SubNano samples = %v", xs)
+	if s := got["BenchmarkSubNano"]; s == nil || len(s.ns) != 1 || s.ns[0] != 0.25 {
+		t.Errorf("SubNano samples = %+v", s)
 	}
-	if len(got) != 4 {
-		t.Errorf("parsed %d benchmarks, want 4", len(got))
+	if len(got) != 5 {
+		t.Errorf("parsed %d benchmarks, want 5", len(got))
 	}
 }
 
@@ -62,19 +76,26 @@ func TestMediansRobustToOutlier(t *testing.T) {
 	}
 	med := medians(samples)
 	// Median of {2178, 2300, 9999} ignores the slow outlier run.
-	if got := med["BenchmarkTopKCachedWarm"]; got != 2300 {
-		t.Errorf("median = %v, want 2300", got)
+	warm := med["BenchmarkTopKCachedWarm"]
+	if warm.ns != 2300 {
+		t.Errorf("median ns = %v, want 2300", warm.ns)
+	}
+	if !warm.hasMem || warm.bytes != 153 || warm.allocs != 5 {
+		t.Errorf("median mem = %+v, want 153 B/op, 5 allocs/op", warm)
+	}
+	if med["BenchmarkGraphBuildNaive"].hasMem {
+		t.Error("memless benchmark claims mem medians")
 	}
 }
 
 func TestCompareGate(t *testing.T) {
-	oldMed := map[string]float64{
-		"BenchmarkStable": 100, "BenchmarkSlow": 100,
-		"BenchmarkZero": 0, "BenchmarkGone": 50,
+	oldMed := map[string]median{
+		"BenchmarkStable": {ns: 100}, "BenchmarkSlow": {ns: 100},
+		"BenchmarkZero": {ns: 0}, "BenchmarkGone": {ns: 50},
 	}
-	newMed := map[string]float64{
-		"BenchmarkStable": 110, "BenchmarkSlow": 250,
-		"BenchmarkZero": 5, "BenchmarkNew": 42,
+	newMed := map[string]median{
+		"BenchmarkStable": {ns: 110}, "BenchmarkSlow": {ns: 250},
+		"BenchmarkZero": {ns: 5}, "BenchmarkNew": {ns: 42},
 	}
 	var out strings.Builder
 	if !compare(&out, oldMed, newMed, 1.20) {
@@ -96,6 +117,74 @@ func TestCompareGate(t *testing.T) {
 	delete(newMed, "BenchmarkSlow")
 	if compare(io.Discard, oldMed, newMed, 1.20) {
 		t.Error("gate failed without a regression")
+	}
+}
+
+func TestCompareGatesMemoryMetrics(t *testing.T) {
+	oldMed := map[string]median{
+		"BenchmarkHot": {ns: 100, bytes: 64, allocs: 2, hasMem: true},
+	}
+	// ns/op within threshold, but allocs/op doubled: must gate.
+	newMed := map[string]median{
+		"BenchmarkHot": {ns: 105, bytes: 64, allocs: 4, hasMem: true},
+	}
+	var out strings.Builder
+	if !compare(&out, oldMed, newMed, 1.20) {
+		t.Errorf("alloc regression did not fail the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "allocs/op") {
+		t.Errorf("verdict does not name the regressed metric:\n%s", out.String())
+	}
+
+	// Memory data on only one side: the ns gate still applies, the mem
+	// gate silently does not.
+	newMed["BenchmarkHot"] = median{ns: 105}
+	if compare(io.Discard, oldMed, newMed, 1.20) {
+		t.Error("one-sided mem data failed the gate")
+	}
+
+	// A benchmark going from 2 allocs to 0 is an improvement, never a
+	// regression; and 0 -> 0 on an alloc-free kernel stays quiet.
+	newMed["BenchmarkHot"] = median{ns: 100, bytes: 0, allocs: 0, hasMem: true}
+	if compare(io.Discard, oldMed, newMed, 1.20) {
+		t.Error("alloc improvement failed the gate")
+	}
+}
+
+func TestZeroAllocGate(t *testing.T) {
+	med := map[string]median{
+		"BenchmarkColumnarStats":  {ns: 5000, hasMem: true},
+		"BenchmarkFeatureExtract": {ns: 100, allocs: 1, hasMem: true},
+		"BenchmarkOther":          {ns: 10, allocs: 99, hasMem: true},
+	}
+	re := regexp.MustCompile(`BenchmarkColumnarStats|BenchmarkFeatureExtract`)
+
+	var out strings.Builder
+	if !checkZeroAlloc(&out, med, re) {
+		t.Error("1 alloc/op passed the zero-alloc gate")
+	}
+	if !strings.Contains(out.String(), "ALLOC BenchmarkFeatureExtract") {
+		t.Errorf("gate did not name the offender:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "BenchmarkOther") {
+		t.Errorf("gate touched a non-matching benchmark:\n%s", out.String())
+	}
+
+	// All matching benchmarks at zero: pass.
+	med["BenchmarkFeatureExtract"] = median{ns: 100, hasMem: true}
+	if checkZeroAlloc(io.Discard, med, re) {
+		t.Error("all-zero benchmarks failed the gate")
+	}
+
+	// Missing -benchmem data on a matching benchmark: fail loudly.
+	med["BenchmarkColumnarStats"] = median{ns: 5000}
+	if !checkZeroAlloc(io.Discard, med, re) {
+		t.Error("missing -benchmem data passed the gate")
+	}
+
+	// A regexp matching nothing must fail rather than disarm the gate.
+	if !checkZeroAlloc(io.Discard, med, regexp.MustCompile(`BenchmarkRenamed`)) {
+		t.Error("matchless regexp passed the gate")
 	}
 }
 

@@ -51,7 +51,7 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 	for j := range a.Columns {
 		for i := 0; i < a.NumRows(); i++ {
-			if a.Columns[j].Raw[i] != b.Columns[j].Raw[i] {
+			if a.Columns[j].RawAt(i) != b.Columns[j].RawAt(i) {
 				t.Fatalf("nondeterministic at col %d row %d", j, i)
 			}
 		}

@@ -188,10 +188,10 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	row := make([]string, len(t.Columns))
 	for i := 0; i < t.nRows; i++ {
 		for j, c := range t.Columns {
-			if c.Null[i] {
+			if c.IsNull(i) {
 				row[j] = ""
 			} else {
-				row[j] = c.Raw[i]
+				row[j] = c.RawAt(i)
 			}
 		}
 		if err := cw.Write(row); err != nil {

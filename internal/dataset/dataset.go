@@ -4,6 +4,13 @@
 // (distinct counts, min/max, null handling) that the feature extractor and
 // the ranking factors consume.
 //
+// Columns are stored columnar and typed: every cell's raw string is
+// dictionary-encoded (a per-row uint32 code into an interned string
+// table), numerical and temporal columns additionally carry parsed
+// float64 / Unix-second int64 slices, and nullness lives in a packed
+// bitmap. Hot kernels (stats, grouping, correlation) run as array passes
+// over these slices instead of per-cell string and map traffic.
+//
 // A Table is immutable once built; all transformations (binning, grouping,
 // aggregation) produce new derived series in package transform rather than
 // mutating the table.
@@ -48,19 +55,36 @@ func (t ColType) String() string {
 	}
 }
 
-// Column is a single typed column of a Table. Raw holds the original string
-// form of every cell. Depending on Type, Nums or Times holds the parsed
-// values; Null marks cells that failed to parse or were empty.
+// Column is a single typed column of a Table, stored columnar:
 //
-// Invariants: len(Raw) == len(Null) == table.NumRows(); for Numerical
-// columns len(Nums) == len(Raw); for Temporal columns len(Times) == len(Raw).
+//   - codes[i] indexes dict, the append-only interned table of every raw
+//     cell string (null cells keep their original raw text, so journaling
+//     and CSV round-trips see exactly what was ingested);
+//   - nums[i] holds the parsed value when Type == Numerical;
+//   - secs[i] holds the parsed timestamp as Unix seconds when
+//     Type == Temporal (second granularity is the finest any recognized
+//     layout produces, and it spans year 0 — "15:04" parses to year 0 —
+//     which nanoseconds cannot);
+//   - nulls is a packed bitmap: bit i set means cell i is null.
+//
+// Cells are read through accessors (Len, IsNull, RawAt, NumAt, SecAt);
+// kernels that want zero-overhead passes borrow the typed slices
+// directly (Codes, NumsSlice, SecsSlice) and must treat them read-only.
 type Column struct {
-	Name  string
-	Type  ColType
-	Raw   []string
-	Nums  []float64   // parsed values when Type == Numerical
-	Times []time.Time // parsed values when Type == Temporal
-	Null  []bool
+	Name string
+	Type ColType
+
+	n     int
+	codes []uint32
+	dict  []string
+	nums  []float64
+	secs  []int64
+	nulls []uint64
+
+	// intern maps dict strings back to their code for appends; it is
+	// dropped after construction (and absent on snapshot views) and
+	// lazily rebuilt from dict by the first AppendCell.
+	intern map[string]uint32
 
 	// Lazily computed statistics, generation-checked so a live column
 	// (one a registry dataset appends into) can invalidate the memo:
@@ -72,6 +96,10 @@ type Column struct {
 	statsMu  sync.Mutex
 	statsGen atomic.Uint64
 	stats    atomic.Pointer[genStats]
+	// seenBuf is the reusable distinct-count scratch bitmap (one bit
+	// per dict code), guarded by statsMu; steady-state stats passes
+	// allocate nothing.
+	seenBuf []uint64
 }
 
 // genStats is a stats value stamped with the column generation it was
@@ -89,6 +117,84 @@ type Stats struct {
 	Ratio    float64 // r(X) = d(X)/|X|
 	Min, Max float64 // numeric min/max; for temporal columns, Unix seconds
 	HasNull  bool
+}
+
+// Len returns the number of cells in the column.
+func (c *Column) Len() int { return c.n }
+
+// IsNull reports whether cell i is null.
+func (c *Column) IsNull(i int) bool {
+	return c.nulls[uint(i)>>6]>>(uint(i)&63)&1 == 1
+}
+
+// RawAt returns the original string form of cell i (null cells keep the
+// raw text they were ingested with).
+func (c *Column) RawAt(i int) string { return c.dict[c.codes[i]] }
+
+// NumAt returns the parsed value of cell i of a numerical column. The
+// value for a null cell is unspecified.
+func (c *Column) NumAt(i int) float64 { return c.nums[i] }
+
+// SecAt returns the parsed Unix seconds of cell i of a temporal column.
+// The value for a null cell is unspecified.
+func (c *Column) SecAt(i int) int64 { return c.secs[i] }
+
+// TimeAt reconstructs the timestamp of cell i of a temporal column in
+// UTC (the stored granularity is Unix seconds).
+func (c *Column) TimeAt(i int) time.Time { return time.Unix(c.secs[i], 0).UTC() }
+
+// Codes returns the per-row dictionary codes. Read-only.
+func (c *Column) Codes() []uint32 { return c.codes }
+
+// DictLen returns the size of the interned string table (codes are in
+// [0, DictLen)).
+func (c *Column) DictLen() int { return len(c.dict) }
+
+// DictAt returns the interned string for a dictionary code.
+func (c *Column) DictAt(code uint32) string { return c.dict[code] }
+
+// NumsSlice returns the parsed float64 values of a numerical column
+// (nil otherwise). Read-only; entries at null rows are unspecified.
+func (c *Column) NumsSlice() []float64 { return c.nums }
+
+// SecsSlice returns the parsed Unix-second values of a temporal column
+// (nil otherwise). Read-only; entries at null rows are unspecified.
+func (c *Column) SecsSlice() []int64 { return c.secs }
+
+// NumericAt returns the numeric interpretation of cell i (parsed value
+// or Unix seconds) and whether one exists — mirroring what the stats
+// kernel feeds its min/max.
+func (c *Column) NumericAt(i int) (float64, bool) {
+	if c.IsNull(i) {
+		return 0, false
+	}
+	switch c.Type {
+	case Numerical:
+		return c.nums[i], true
+	case Temporal:
+		return float64(c.secs[i]), true
+	}
+	return 0, false
+}
+
+// Raws materializes the raw string of every cell into a fresh slice.
+func (c *Column) Raws() []string {
+	out := make([]string, c.n)
+	for i := range out {
+		out[i] = c.dict[c.codes[i]]
+	}
+	return out
+}
+
+// Nulls materializes the per-row null flags as a fresh []bool —
+// unpacking the bitmap for callers (rebuilds, tests) that want the
+// boolean form.
+func (c *Column) Nulls() []bool {
+	out := make([]bool, c.n)
+	for i := range out {
+		out[i] = c.IsNull(i)
+	}
+	return out
 }
 
 // Table is an immutable relational table over a fixed schema.
@@ -119,12 +225,9 @@ func New(name string, cols []*Column) (*Table, error) {
 			return nil, fmt.Errorf("dataset: column %d is nil", i)
 		}
 		if i == 0 {
-			t.nRows = len(c.Raw)
-		} else if len(c.Raw) != t.nRows {
-			return nil, fmt.Errorf("dataset: column %q has %d rows, want %d", c.Name, len(c.Raw), t.nRows)
-		}
-		if len(c.Null) != len(c.Raw) {
-			return nil, fmt.Errorf("dataset: column %q null mask has %d entries, want %d", c.Name, len(c.Null), len(c.Raw))
+			t.nRows = c.Len()
+		} else if c.Len() != t.nRows {
+			return nil, fmt.Errorf("dataset: column %q has %d rows, want %d", c.Name, c.Len(), t.nRows)
 		}
 		if _, dup := t.byName[c.Name]; dup {
 			return nil, fmt.Errorf("dataset: duplicate column name %q", c.Name)
@@ -173,9 +276,19 @@ func (c *Column) Stats() Stats {
 	if p := c.stats.Load(); p != nil && p.gen == gen {
 		return p.s
 	}
-	s := computeStats(c)
+	s := c.computeStatsLocked()
 	c.stats.Store(&genStats{s: s, gen: gen})
 	return s
+}
+
+// ComputeStats recomputes the column statistics without touching the
+// memo: a single typed array pass with a reusable bitmap for distinct
+// counting, allocation-free at steady state. Stats() wraps it with
+// generation-checked memoization.
+func (c *Column) ComputeStats() Stats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.computeStatsLocked()
 }
 
 // SetStats injects precomputed statistics (from the fingerprint-keyed
@@ -203,51 +316,115 @@ func (c *Column) InvalidateStats() {
 // AppendCell grows the column by one cell, parsing raw under the
 // column's fixed type with exactly the rules ForceType applies (null
 // tokens and unparseable cells become null, failed numeric parses
-// leave a zero in Nums), and invalidates the stats memo. It reports
+// leave a zero value), and invalidates the stats memo. It reports
 // whether the stored cell is null.
 //
 // AppendCell deliberately breaks the package's immutability contract:
 // it exists for the live-dataset registry, which serializes appends
 // under its own lock and hands readers immutable snapshot columns
-// (fresh Column headers over three-index slices of the live storage)
-// instead of the column it grows. Never call it on a column reachable
-// from a served Table.
+// (see Freeze) instead of the column it grows. Never call it on a
+// column reachable from a served Table.
 func (c *Column) AppendCell(raw string) (null bool) {
-	num, ts, null := c.parseCell(raw)
-	c.Raw = append(c.Raw, raw)
-	c.Null = append(c.Null, null)
-	switch c.Type {
-	case Numerical:
-		c.Nums = append(c.Nums, num)
-	case Temporal:
-		c.Times = append(c.Times, ts)
-	}
+	num, sec, null := c.parseCell(raw)
+	c.appendCell(raw, null, num, sec)
 	c.InvalidateStats()
 	return null
+}
+
+// Freeze returns an immutable view of the column's first n rows: a
+// fresh header over three-index slices of the typed storage plus a
+// copy of the null bitmap words. Later appends to the receiver either
+// write past every view's capped length or reallocate, so a frozen
+// view never changes — this is the copy-on-write epoch snapshot the
+// registry serves (the bitmap is copied because an append may set a
+// bit inside the last shared word). The view carries no stats memo and
+// no intern map; appending to it is legal and copies on first write.
+func (c *Column) Freeze(n int) *Column {
+	words := (n + 63) >> 6
+	return &Column{
+		Name:  c.Name,
+		Type:  c.Type,
+		n:     n,
+		codes: c.codes[:n:n],
+		dict:  c.dict[:len(c.dict):len(c.dict)],
+		nums:  capFloats(c.nums, n),
+		secs:  capInts(c.secs, n),
+		nulls: append([]uint64(nil), c.nulls[:words]...),
+	}
+}
+
+func capFloats(s []float64, n int) []float64 {
+	if s == nil {
+		return nil
+	}
+	return s[:n:n]
+}
+
+func capInts(s []int64, n int) []int64 {
+	if s == nil {
+		return nil
+	}
+	return s[:n:n]
+}
+
+// appendCell stores one already-parsed cell.
+func (c *Column) appendCell(raw string, null bool, num float64, sec int64) {
+	code, ok := c.internMap()[raw]
+	if !ok {
+		code = uint32(len(c.dict))
+		c.dict = append(c.dict, raw)
+		c.intern[raw] = code
+	}
+	c.codes = append(c.codes, code)
+	if c.n&63 == 0 {
+		c.nulls = append(c.nulls, 0)
+	}
+	if null {
+		c.nulls[uint(c.n)>>6] |= 1 << (uint(c.n) & 63)
+	}
+	switch c.Type {
+	case Numerical:
+		c.nums = append(c.nums, num)
+	case Temporal:
+		c.secs = append(c.secs, sec)
+	}
+	c.n++
+}
+
+// internMap returns the raw→code map, rebuilding it from dict after a
+// Freeze or a construction-time drop.
+func (c *Column) internMap() map[string]uint32 {
+	if c.intern == nil {
+		c.intern = make(map[string]uint32, len(c.dict))
+		for i, s := range c.dict {
+			c.intern[s] = uint32(i)
+		}
+	}
+	return c.intern
 }
 
 // parseCell evaluates one raw cell under the column's fixed type: the
 // parsed value (for numerical/temporal columns) and whether the stored
 // cell would be null. Pure — the column is not touched.
-func (c *Column) parseCell(raw string) (num float64, ts time.Time, null bool) {
+func (c *Column) parseCell(raw string) (num float64, sec int64, null bool) {
 	if isNullToken(raw) {
-		return 0, time.Time{}, true
+		return 0, 0, true
 	}
 	switch c.Type {
 	case Numerical:
 		v, ok := parseNumber(raw)
 		if !ok {
-			return 0, time.Time{}, true
+			return 0, 0, true
 		}
-		return v, time.Time{}, false
+		return v, 0, false
 	case Temporal:
 		v, ok := ParseTime(raw)
 		if !ok {
-			return 0, time.Time{}, true
+			return 0, 0, true
 		}
-		return 0, v, false
+		return 0, v.Unix(), false
 	}
-	return 0, time.Time{}, false
+	return 0, 0, false
 }
 
 // CellIsNull reports whether AppendCell(raw) would store a null cell —
@@ -258,36 +435,73 @@ func (c *Column) CellIsNull(raw string) bool {
 	return null
 }
 
-func computeStats(c *Column) Stats {
+func (c *Column) computeStatsLocked() Stats {
 	s := Stats{Min: math.Inf(1), Max: math.Inf(-1)}
-	distinct := make(map[string]struct{})
-	for i, raw := range c.Raw {
-		if c.Null[i] {
-			s.HasNull = true
-			continue
+	words := (len(c.dict) + 63) >> 6
+	if cap(c.seenBuf) < words {
+		c.seenBuf = make([]uint64, words)
+	} else {
+		c.seenBuf = c.seenBuf[:words]
+		clear(c.seenBuf)
+	}
+	seen := c.seenBuf
+	distinct := 0
+	switch c.Type {
+	case Numerical:
+		for i := 0; i < c.n; i++ {
+			if c.IsNull(i) {
+				s.HasNull = true
+				continue
+			}
+			s.N++
+			code := c.codes[i]
+			if seen[code>>6]>>(code&63)&1 == 0 {
+				seen[code>>6] |= 1 << (code & 63)
+				distinct++
+			}
+			v := c.nums[i]
+			if v < s.Min {
+				s.Min = v
+			}
+			if v > s.Max {
+				s.Max = v
+			}
 		}
-		s.N++
-		distinct[raw] = struct{}{}
-		switch c.Type {
-		case Numerical:
-			v := c.Nums[i]
+	case Temporal:
+		for i := 0; i < c.n; i++ {
+			if c.IsNull(i) {
+				s.HasNull = true
+				continue
+			}
+			s.N++
+			code := c.codes[i]
+			if seen[code>>6]>>(code&63)&1 == 0 {
+				seen[code>>6] |= 1 << (code & 63)
+				distinct++
+			}
+			v := float64(c.secs[i])
 			if v < s.Min {
 				s.Min = v
 			}
 			if v > s.Max {
 				s.Max = v
 			}
-		case Temporal:
-			v := float64(c.Times[i].Unix())
-			if v < s.Min {
-				s.Min = v
+		}
+	default:
+		for i := 0; i < c.n; i++ {
+			if c.IsNull(i) {
+				s.HasNull = true
+				continue
 			}
-			if v > s.Max {
-				s.Max = v
+			s.N++
+			code := c.codes[i]
+			if seen[code>>6]>>(code&63)&1 == 0 {
+				seen[code>>6] |= 1 << (code & 63)
+				distinct++
 			}
 		}
 	}
-	s.Distinct = len(distinct)
+	s.Distinct = distinct
 	if s.N > 0 {
 		s.Ratio = float64(s.Distinct) / float64(s.N)
 	}
@@ -302,18 +516,18 @@ func computeStats(c *Column) Stats {
 func (c *Column) NumericValues() []float64 {
 	switch c.Type {
 	case Numerical:
-		out := make([]float64, 0, len(c.Nums))
-		for i, v := range c.Nums {
-			if !c.Null[i] {
+		out := make([]float64, 0, c.n)
+		for i, v := range c.nums {
+			if !c.IsNull(i) {
 				out = append(out, v)
 			}
 		}
 		return out
 	case Temporal:
-		out := make([]float64, 0, len(c.Times))
-		for i, v := range c.Times {
-			if !c.Null[i] {
-				out = append(out, float64(v.Unix()))
+		out := make([]float64, 0, c.n)
+		for i, v := range c.secs {
+			if !c.IsNull(i) {
+				out = append(out, float64(v))
 			}
 		}
 		return out
@@ -324,15 +538,22 @@ func (c *Column) NumericValues() []float64 {
 
 // DistinctValues returns the sorted distinct non-null raw values.
 func (c *Column) DistinctValues() []string {
-	set := make(map[string]struct{})
-	for i, raw := range c.Raw {
-		if !c.Null[i] {
-			set[raw] = struct{}{}
+	seen := make([]bool, len(c.dict))
+	count := 0
+	for i := 0; i < c.n; i++ {
+		if c.IsNull(i) {
+			continue
+		}
+		if !seen[c.codes[i]] {
+			seen[c.codes[i]] = true
+			count++
 		}
 	}
-	out := make([]string, 0, len(set))
-	for v := range set {
-		out = append(out, v)
+	out := make([]string, 0, count)
+	for code, ok := range seen {
+		if ok {
+			out = append(out, c.dict[code])
+		}
 	}
 	sort.Strings(out)
 	return out
@@ -395,6 +616,59 @@ func isNullToken(s string) bool {
 	return false
 }
 
+// newColumn allocates an empty column sized for n cells.
+func newColumn(name string, typ ColType, n int) *Column {
+	c := &Column{
+		Name:   name,
+		Type:   typ,
+		codes:  make([]uint32, 0, n),
+		nulls:  make([]uint64, 0, (n+63)>>6+1),
+		intern: make(map[string]uint32),
+	}
+	switch typ {
+	case Numerical:
+		c.nums = make([]float64, 0, n)
+	case Temporal:
+		c.secs = make([]int64, 0, n)
+	}
+	return c
+}
+
+// buildColumn encodes raw cells under a fixed type. When null is nil,
+// nullness is derived from the raw text (null tokens and cells that
+// fail the typed parse); otherwise the provided flags are adopted
+// verbatim and only non-null cells are parsed (a non-null cell whose
+// raw string does not parse keeps a zero value). The intern map is
+// dropped afterwards — AppendCell rebuilds it on first use.
+func buildColumn(name string, typ ColType, raw []string, null []bool) *Column {
+	c := newColumn(name, typ, len(raw))
+	for i, s := range raw {
+		var num float64
+		var sec int64
+		var isNull bool
+		if null != nil {
+			isNull = null[i]
+			if !isNull {
+				switch typ {
+				case Numerical:
+					if v, ok := parseNumber(s); ok {
+						num = v
+					}
+				case Temporal:
+					if ts, ok := ParseTime(s); ok {
+						sec = ts.Unix()
+					}
+				}
+			}
+		} else {
+			num, sec, isNull = c.parseCell(s)
+		}
+		c.appendCell(s, isNull, num, sec)
+	}
+	c.intern = nil
+	return c
+}
+
 // InferColumn builds a typed Column from raw string cells, detecting the
 // type automatically (paper §II-A: "whose data type can be automatically
 // detected based on the attribute values"). A column is numerical if at
@@ -403,12 +677,9 @@ func isNullToken(s string) bool {
 // (integers 1900-2100 named like years) stay numerical; callers can
 // override with ForceType.
 func InferColumn(name string, raw []string) *Column {
-	n := len(raw)
-	c := &Column{Name: name, Raw: raw, Null: make([]bool, n)}
 	nonNull, numOK, temOK := 0, 0, 0
-	for i, s := range raw {
+	for _, s := range raw {
 		if isNullToken(s) {
-			c.Null[i] = true
 			continue
 		}
 		nonNull++
@@ -419,30 +690,20 @@ func InferColumn(name string, raw []string) *Column {
 		}
 	}
 	const threshold = 0.9
+	typ := Categorical
 	switch {
 	case nonNull > 0 && float64(numOK) >= threshold*float64(nonNull):
-		c.Type = Numerical
+		typ = Numerical
 	case nonNull > 0 && float64(temOK) >= threshold*float64(nonNull):
-		c.Type = Temporal
-	default:
-		c.Type = Categorical
+		typ = Temporal
 	}
-	materialize(c)
-	return c
+	return buildColumn(name, typ, raw, nil)
 }
 
 // ForceType reinterprets raw cells under an explicit type, marking
 // unparseable cells null. It returns a new column; the input is not mutated.
 func ForceType(name string, raw []string, typ ColType) *Column {
-	n := len(raw)
-	c := &Column{Name: name, Type: typ, Raw: raw, Null: make([]bool, n)}
-	for i, s := range raw {
-		if isNullToken(s) {
-			c.Null[i] = true
-		}
-	}
-	materialize(c)
-	return c
+	return buildColumn(name, typ, raw, nil)
 }
 
 // RebuildColumn reconstructs a column from journaled storage: raw
@@ -454,102 +715,43 @@ func ForceType(name string, raw []string, typ ColType) *Column {
 // mirroring what the original column held. Used by WAL/snapshot
 // recovery in the live-dataset registry.
 func RebuildColumn(name string, typ ColType, raw []string, null []bool) *Column {
-	n := len(raw)
-	c := &Column{Name: name, Type: typ, Raw: raw, Null: null}
-	switch typ {
-	case Numerical:
-		c.Nums = make([]float64, n)
-		for i, s := range raw {
-			if null[i] {
-				continue
-			}
-			if v, ok := parseNumber(s); ok {
-				c.Nums[i] = v
-			}
-		}
-	case Temporal:
-		c.Times = make([]time.Time, n)
-		for i, s := range raw {
-			if null[i] {
-				continue
-			}
-			if ts, ok := ParseTime(s); ok {
-				c.Times[i] = ts
-			}
-		}
-	}
-	return c
-}
-
-// materialize fills Nums/Times according to c.Type, nulling cells that
-// fail to parse.
-func materialize(c *Column) {
-	n := len(c.Raw)
-	switch c.Type {
-	case Numerical:
-		c.Nums = make([]float64, n)
-		for i, s := range c.Raw {
-			if c.Null[i] {
-				continue
-			}
-			v, ok := parseNumber(s)
-			if !ok {
-				c.Null[i] = true
-				continue
-			}
-			c.Nums[i] = v
-		}
-	case Temporal:
-		c.Times = make([]time.Time, n)
-		for i, s := range c.Raw {
-			if c.Null[i] {
-				continue
-			}
-			ts, ok := ParseTime(s)
-			if !ok {
-				c.Null[i] = true
-				continue
-			}
-			c.Times[i] = ts
-		}
-	}
+	return buildColumn(name, typ, raw, null)
 }
 
 // NumColumn builds a numerical column directly from float values.
 func NumColumn(name string, vals []float64) *Column {
-	raw := make([]string, len(vals))
-	nulls := make([]bool, len(vals))
-	for i, v := range vals {
+	c := newColumn(name, Numerical, len(vals))
+	for _, v := range vals {
 		if math.IsNaN(v) {
-			nulls[i] = true
+			c.appendCell("", true, v, 0)
 			continue
 		}
-		raw[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		c.appendCell(strconv.FormatFloat(v, 'g', -1, 64), false, v, 0)
 	}
-	return &Column{Name: name, Type: Numerical, Raw: raw, Nums: append([]float64(nil), vals...), Null: nulls}
+	c.intern = nil
+	return c
 }
 
 // CatColumn builds a categorical column directly from string labels.
 func CatColumn(name string, vals []string) *Column {
-	nulls := make([]bool, len(vals))
-	for i, v := range vals {
-		if isNullToken(v) {
-			nulls[i] = true
-		}
+	c := newColumn(name, Categorical, len(vals))
+	for _, v := range vals {
+		c.appendCell(v, isNullToken(v), 0, 0)
 	}
-	return &Column{Name: name, Type: Categorical, Raw: append([]string(nil), vals...), Null: nulls}
+	c.intern = nil
+	return c
 }
 
 // TimeColumn builds a temporal column directly from timestamps.
 func TimeColumn(name string, vals []time.Time) *Column {
-	raw := make([]string, len(vals))
-	nulls := make([]bool, len(vals))
-	for i, v := range vals {
+	c := newColumn(name, Temporal, len(vals))
+	for _, v := range vals {
 		if v.IsZero() {
-			nulls[i] = true
+			c.appendCell("", true, 0, v.Unix())
 			continue
 		}
-		raw[i] = v.Format("2006-01-02 15:04:05")
+		c.appendCell(v.Format("2006-01-02 15:04:05"), false, 0, v.Unix())
 	}
-	return &Column{Name: name, Type: Temporal, Raw: raw, Times: append([]time.Time(nil), vals...), Null: nulls}
+	c.intern = nil
+	return c
 }

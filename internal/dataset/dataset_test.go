@@ -17,11 +17,11 @@ func TestInferColumnNumerical(t *testing.T) {
 	}
 	want := []float64{-4, 0, 11, 3.5, 1200, 7, 85}
 	for i, w := range want {
-		if c.Null[i] {
+		if c.IsNull(i) {
 			t.Fatalf("cell %d unexpectedly null", i)
 		}
-		if c.Nums[i] != w {
-			t.Errorf("Nums[%d] = %v, want %v", i, c.Nums[i], w)
+		if c.NumAt(i) != w {
+			t.Errorf("NumAt(%d) = %v, want %v", i, c.NumAt(i), w)
 		}
 	}
 }
@@ -31,8 +31,8 @@ func TestInferColumnTemporal(t *testing.T) {
 	if c.Type != Temporal {
 		t.Fatalf("type = %v, want Temporal", c.Type)
 	}
-	if c.Times[0].Hour() != 0 || c.Times[0].Minute() != 5 {
-		t.Errorf("Times[0] = %v, want 00:05", c.Times[0])
+	if c.TimeAt(0).Hour() != 0 || c.TimeAt(0).Minute() != 5 {
+		t.Errorf("TimeAt(0) = %v, want 00:05", c.TimeAt(0))
 	}
 }
 
@@ -55,7 +55,7 @@ func TestInferColumnMixedMajorityWins(t *testing.T) {
 	if c.Type != Numerical {
 		t.Fatalf("type = %v, want Numerical", c.Type)
 	}
-	if !c.Null[7] {
+	if !c.IsNull(7) {
 		t.Error("stray cell should be null")
 	}
 }
@@ -188,7 +188,7 @@ func TestFromCSVRaggedRows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !tab.Column("b").Null[1] {
+	if !tab.Column("b").IsNull(1) {
 		t.Error("short row should pad with null")
 	}
 }
@@ -238,7 +238,7 @@ func TestParseTimeLayouts(t *testing.T) {
 
 func TestForceType(t *testing.T) {
 	c := ForceType("x", []string{"1", "two", "3"}, Numerical)
-	if c.Type != Numerical || !c.Null[1] || c.Nums[2] != 3 {
+	if c.Type != Numerical || !c.IsNull(1) || c.NumAt(2) != 3 {
 		t.Errorf("force type: %+v", c)
 	}
 }
@@ -370,7 +370,7 @@ func TestFromJSON(t *testing.T) {
 	if tab.Column("founded").Type != Temporal {
 		t.Error("founded should be temporal")
 	}
-	if !tab.Column("founded").Null[2] {
+	if !tab.Column("founded").IsNull(2) {
 		t.Error("missing key should be null")
 	}
 }

@@ -1,0 +1,117 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestDictEmptyStringVsNull pins the dictionary encoding's distinction
+// between an empty string cell and a null cell: both store "" as the
+// raw text, but only the null bitmap decides cell nullness, statistics,
+// and the fingerprint stream.
+func TestDictEmptyStringVsNull(t *testing.T) {
+	withEmpty := RebuildColumn("c", Categorical, []string{"", "x"}, []bool{false, false})
+	withNull := RebuildColumn("c", Categorical, []string{"", "x"}, []bool{true, false})
+
+	if withEmpty.IsNull(0) {
+		t.Error("explicit empty string marked null")
+	}
+	if !withNull.IsNull(0) {
+		t.Error("null cell not marked null")
+	}
+	if got := withEmpty.RawAt(0); got != "" {
+		t.Errorf("empty-string raw = %q", got)
+	}
+
+	se, sn := withEmpty.Stats(), withNull.Stats()
+	if se.N != 2 || se.Distinct != 2 || se.HasNull {
+		t.Errorf("empty-string stats = %+v, want N=2 Distinct=2 HasNull=false", se)
+	}
+	if sn.N != 1 || sn.Distinct != 1 || !sn.HasNull {
+		t.Errorf("null stats = %+v, want N=1 Distinct=1 HasNull=true", sn)
+	}
+
+	te, err := New("t", []*Column{withEmpty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := New("t", []*Column{withNull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if te.Fingerprint() == tn.Fingerprint() {
+		t.Error("empty-string and null tables share a fingerprint")
+	}
+}
+
+// TestDictLargeCardinality drives a column's dictionary well past the
+// registry's 4096-entry exact-tracking limit: column-local statistics
+// stay exact at any dictionary size (the scratch-bitmap distinct count
+// is sized by the dictionary, not capped), and every code still
+// round-trips to its original raw string.
+func TestDictLargeCardinality(t *testing.T) {
+	const n = 5000
+	raw := make([]string, n)
+	for i := range raw {
+		raw[i] = fmt.Sprintf("v%04d", i)
+	}
+	// Repeat the values once so distinct < rows.
+	c := ForceType("c", append(append([]string{}, raw...), raw...), Categorical)
+	if c.Len() != 2*n {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if c.DictLen() != n {
+		t.Errorf("dict holds %d entries, want %d", c.DictLen(), n)
+	}
+	s := c.Stats()
+	if s.N != 2*n || s.Distinct != n {
+		t.Errorf("stats = %+v, want N=%d Distinct=%d", s, 2*n, n)
+	}
+	for _, i := range []int{0, n - 1, n, 2*n - 1} {
+		if got, want := c.RawAt(i), raw[i%n]; got != want {
+			t.Errorf("RawAt(%d) = %q, want %q", i, got, want)
+		}
+	}
+}
+
+// TestDictFingerprintBuildPathIndependence pins that the rolling
+// fingerprint depends only on cell content, not on how the dictionary
+// was built: a table loaded from CSV, a table rebuilt from raw slices,
+// and a table grown cell by cell through AppendCell must agree.
+func TestDictFingerprintBuildPathIndependence(t *testing.T) {
+	csv := "city,pop\nBeijing,21\nShanghai,24\nBeijing,\n"
+	fromCSV, err := FromCSV("t", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var rebuilt []*Column
+	for _, c := range fromCSV.Columns {
+		rebuilt = append(rebuilt, RebuildColumn(c.Name, c.Type, c.Raws(), c.Nulls()))
+	}
+	fromRaw, err := New("t", rebuilt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var grown []*Column
+	for _, c := range fromCSV.Columns {
+		g := ForceType(c.Name, nil, c.Type)
+		for i := 0; i < c.Len(); i++ {
+			g.AppendCell(c.RawAt(i))
+		}
+		grown = append(grown, g)
+	}
+	fromAppend, err := New("t", grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if a, b := fromCSV.Fingerprint(), fromRaw.Fingerprint(); a != b {
+		t.Errorf("CSV-built %s != raw-built %s", a, b)
+	}
+	if a, b := fromCSV.Fingerprint(), fromAppend.Fingerprint(); a != b {
+		t.Errorf("CSV-built %s != append-built %s", a, b)
+	}
+}

@@ -50,7 +50,7 @@ func fingerprint(t *Table) string {
 	h := NewHasher(t.Columns)
 	for i := 0; i < t.nRows; i++ {
 		for _, c := range t.Columns {
-			h.WriteCell(c.Raw[i], c.Null[i])
+			h.WriteCell(c.RawAt(i), c.IsNull(i))
 		}
 	}
 	return h.Sum()

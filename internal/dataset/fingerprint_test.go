@@ -79,8 +79,7 @@ func TestFingerprintCellBoundaries(t *testing.T) {
 	// Cells are length-prefixed, so values containing NUL bytes cannot
 	// alias across cell boundaries: ["a\x00","b"] vs ["a","\x00b"].
 	build := func(v1, v2 string) *Table {
-		c := &Column{Name: "c", Type: Categorical,
-			Raw: []string{v1, v2}, Null: []bool{false, false}}
+		c := RebuildColumn("c", Categorical, []string{v1, v2}, []bool{false, false})
 		tab, err := New("t", []*Column{c})
 		if err != nil {
 			t.Fatal(err)

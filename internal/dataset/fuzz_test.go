@@ -27,7 +27,7 @@ func FuzzFromCSV(f *testing.F) {
 			return
 		}
 		for _, c := range tab.Columns {
-			if len(c.Raw) != tab.NumRows() || len(c.Null) != tab.NumRows() {
+			if c.Len() != tab.NumRows() {
 				t.Fatalf("column %q dimensions inconsistent", c.Name)
 			}
 			s := c.Stats()
@@ -51,11 +51,11 @@ func FuzzInferColumn(f *testing.F) {
 		col := InferColumn("f", []string{a, b, c})
 		switch col.Type {
 		case Numerical:
-			if len(col.Nums) != 3 {
+			if len(col.NumsSlice()) != 3 {
 				t.Fatal("numerical column missing values")
 			}
 		case Temporal:
-			if len(col.Times) != 3 {
+			if len(col.SecsSlice()) != 3 {
 				t.Fatal("temporal column missing values")
 			}
 		}

@@ -35,18 +35,20 @@ func (t *Table) Profile(topK int) []ColumnProfile {
 		s := c.Stats()
 		p := ColumnProfile{
 			Name: c.Name, Type: c.Type,
-			Rows: len(c.Raw), NonNull: s.N,
+			Rows: c.Len(), NonNull: s.N,
 			Distinct: s.Distinct, Ratio: s.Ratio,
 			Min: s.Min, Max: s.Max,
 		}
-		counts := map[string]int{}
-		for i, raw := range c.Raw {
-			if !c.Null[i] {
-				counts[raw]++
+		counts := make([]int, c.DictLen())
+		for i, code := range c.Codes() {
+			if !c.IsNull(i) {
+				counts[code]++
 			}
 		}
-		for v, n := range counts {
-			p.TopValues = append(p.TopValues, ValueCount{v, n})
+		for code, n := range counts {
+			if n > 0 {
+				p.TopValues = append(p.TopValues, ValueCount{c.DictAt(uint32(code)), n})
+			}
 		}
 		sort.Slice(p.TopValues, func(a, b int) bool {
 			if p.TopValues[a].Count != p.TopValues[b].Count {

@@ -7,11 +7,47 @@ package feature
 
 import (
 	"math"
+	"slices"
+	"sync"
 
 	"github.com/deepeye/deepeye/internal/chart"
 	"github.com/deepeye/deepeye/internal/dataset"
 	"github.com/deepeye/deepeye/internal/stats"
 )
+
+// Numeric distinct counting used a scratch map per call; the batch
+// executor summarizes thousands of transformed series per table, so the
+// hot path counts by sorting a pooled copy instead — no per-call
+// allocation and no map-clear cost (clearing a pooled map pays for its
+// high-water capacity on every use). The count matches map-insertion
+// semantics exactly: every NaN occurrence is its own key (NaN never
+// compares equal) and ±0 collapse (they compare equal), so NaNs are
+// counted individually and the NaN-free remainder is sorted — a
+// well-defined total order — and counted by != runs.
+var distinctScratch = sync.Pool{New: func() any { return new([]float64) }}
+
+func distinctFloats(vals []float64) int {
+	sp := distinctScratch.Get().(*[]float64)
+	buf := (*sp)[:0]
+	nans := 0
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			nans++
+		} else {
+			buf = append(buf, v)
+		}
+	}
+	slices.Sort(buf)
+	runs := 0
+	for i, v := range buf {
+		if i == 0 || v != buf[i-1] {
+			runs++
+		}
+	}
+	*sp = buf
+	distinctScratch.Put(sp)
+	return runs + nans
+}
 
 // Dim is the dimensionality of the paper's feature vector.
 const Dim = 14
@@ -72,10 +108,8 @@ func FromStats(s dataset.Stats, typ dataset.ColType) ColumnInfo {
 // declared type (used for transformed X′/Y′ values).
 func FromSeries(vals []float64, typ dataset.ColType) ColumnInfo {
 	ci := ColumnInfo{N: len(vals), Type: typ}
-	distinct := make(map[float64]struct{}, len(vals))
 	ci.Min, ci.Max = math.Inf(1), math.Inf(-1)
 	for _, v := range vals {
-		distinct[v] = struct{}{}
 		if v < ci.Min {
 			ci.Min = v
 		}
@@ -83,7 +117,7 @@ func FromSeries(vals []float64, typ dataset.ColType) ColumnInfo {
 			ci.Max = v
 		}
 	}
-	ci.Distinct = len(distinct)
+	ci.Distinct = distinctFloats(vals)
 	if ci.N == 0 {
 		ci.Min, ci.Max = 0, 0
 	}
@@ -122,4 +156,17 @@ func Correlation(xs, ys []float64) float64 {
 	}
 	c, _ := stats.Correlation(xs, ys)
 	return c
+}
+
+// CorrelationTrend fuses Correlation with stats.Trend over the same
+// series: the enumeration hot path needs both, and the fused form in
+// stats builds each log-transformed family once instead of twice. The
+// results are identical to calling the two helpers separately.
+func CorrelationTrend(xs, ys []float64) (corr float64, tk stats.TrendKind, r2 float64) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		tk, r2 = stats.Trend(xs, ys)
+		return 0, tk, r2
+	}
+	corr, _, tk, r2 = stats.CorrelationTrend(xs, ys)
+	return corr, tk, r2
 }

@@ -74,7 +74,7 @@ func newMirror(tab *dataset.Table) *mirror {
 	m := &mirror{cols: tab.Columns, hasher: dataset.NewHasher(tab.Columns), rows: tab.NumRows()}
 	for i := 0; i < tab.NumRows(); i++ {
 		for _, c := range tab.Columns {
-			m.hasher.WriteCell(c.Raw[i], c.Null[i])
+			m.hasher.WriteCell(c.RawAt(i), c.IsNull(i))
 		}
 	}
 	return m

@@ -228,7 +228,10 @@ func TestRunShedToleration(t *testing.T) {
 	if err != nil {
 		t.Fatalf("deepeye.Open: %v", err)
 	}
-	// MaxInFlight 1 with 8 workers: most requests shed.
+	// MaxInFlight 1 with 8 workers firing faster than the server can
+	// answer even a small TopK: arrivals must overlap, so a large share
+	// of requests shed. The rate is set well above measured single-query
+	// throughput so the test does not depend on query latency.
 	ts := httptest.NewServer(server.New(sys, server.Options{
 		MaxBodyBytes: 16 << 20,
 		Timeout:      30 * time.Second,
@@ -241,11 +244,11 @@ func TestRunShedToleration(t *testing.T) {
 	sc, err := ParseScenarioString(`
 duration = 2s
 concurrency = 8
-rate = 100
+rate = 2000
 seed = 11
 
 [dataset d]
-rows = 60
+rows = 500
 cols = 3
 append_rows = 2
 

@@ -421,22 +421,26 @@ func (s *selector) sharedApply(x, y *dataset.Column, spec transform.Spec) *trans
 }
 
 // bucketize performs the single shared pass for a column + bucketing: it
-// delegates bucket formation to the transform package (CNT) and then
-// accumulates per-bucket sums for every numerical column in one sweep
-// over the bucket row lists.
+// delegates bucket formation to the transform package and then
+// accumulates per-bucket sums for every numerical column straight off
+// the row→bucket assignment, without materializing per-bucket row lists.
 func (s *selector) bucketize(x *dataset.Column, spec transform.Spec) *bucketing {
-	cntSpec := spec
-	cntSpec.Agg = transform.AggCnt
-	res, err := transform.Apply(x, nil, cntSpec)
+	bkSpec := spec
+	bkSpec.Agg = transform.AggCnt
+	bk, err := transform.Bucketize(x, bkSpec)
 	if err != nil {
 		return nil
 	}
+	count := make([]float64, bk.Len())
+	for i, c := range bk.Counts {
+		count[i] = float64(c)
+	}
 	b := &bucketing{
-		labels: res.XLabels,
-		order:  res.XOrder,
-		count:  res.Y,
+		labels: bk.Labels,
+		order:  bk.Order,
+		count:  count,
 		sums:   make(map[string][]float64),
-		input:  res.InputRows,
+		input:  bk.Input,
 	}
 	var numeric []*dataset.Column
 	for _, y := range s.t.Columns {
@@ -444,22 +448,23 @@ func (s *selector) bucketize(x *dataset.Column, spec transform.Spec) *bucketing 
 			numeric = append(numeric, y)
 		}
 	}
-	// Per-column sums are independent sweeps over the shared bucket row
-	// lists; fan them out, each into its own slot, and install into the
-	// map serially (map writes are not concurrent-safe). Sums accumulate
-	// per column in the same row order as the serial sweep, so values are
-	// bit-identical for any worker count.
+	// Per-column sums are independent sweeps over the shared row→bucket
+	// assignment; fan them out, each into its own slot, and install into
+	// the map serially (map writes are not concurrent-safe). Sums
+	// accumulate per column in ascending row order regardless, so values
+	// are bit-identical for any worker count.
+	rb := bk.RowBucket
 	sumsByCol := make([][]float64, len(numeric))
 	_ = pool.ForEachBlock(s.ctx, "progressive_sums", s.opts.Workers, len(numeric), 1, func(lo, hi int) error {
 		for yi := lo; yi < hi; yi++ {
 			y := numeric[yi]
-			sums := make([]float64, len(res.XLabels))
-			for bi, rows := range res.SourceRows {
-				for _, r := range rows {
-					if !y.Null[r] {
-						sums[bi] += y.Nums[r]
-					}
+			nums := y.NumsSlice()
+			sums := make([]float64, bk.Len())
+			for i, bi := range rb {
+				if bi < 0 || y.IsNull(i) {
+					continue
 				}
+				sums[bi] += nums[i]
 			}
 			sumsByCol[yi] = sums
 		}

@@ -57,9 +57,9 @@ func TestConcurrentAppendSnapshot(t *testing.T) {
 				}
 				n := snap.NumRows()
 				for _, c := range snap.Columns {
-					if len(c.Raw) != n || len(c.Null) != n {
-						errc <- fmt.Errorf("torn snapshot: col %s has %d/%d cells for %d rows",
-							c.Name, len(c.Raw), len(c.Null), n)
+					if c.Len() != n {
+						errc <- fmt.Errorf("torn snapshot: col %s has %d cells for %d rows",
+							c.Name, c.Len(), n)
 						return
 					}
 					c.Stats() // must not race with appends

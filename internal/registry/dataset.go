@@ -85,50 +85,26 @@ func newDataset(name string, t *dataset.Table, now time.Time) *Dataset {
 	d.stats = make([]*colTracker, len(t.Columns))
 	var bytes int64
 	for j, src := range t.Columns {
-		c := &dataset.Column{Name: src.Name, Type: src.Type,
-			Raw:  src.Raw[:len(src.Raw):len(src.Raw)],
-			Null: src.Null[:len(src.Null):len(src.Null)],
-		}
-		if src.Nums != nil {
-			c.Nums = src.Nums[:len(src.Nums):len(src.Nums)]
-		}
-		if src.Times != nil {
-			c.Times = src.Times[:len(src.Times):len(src.Times)]
-		}
+		c := src.Freeze(src.Len())
 		d.cols[j] = c
 		tr := newColTracker()
-		for i := range c.Raw {
-			v, hasNum := numericAt(c, i)
-			tr.observe(c.Raw[i], c.Null[i], v, hasNum)
-			bytes += cellBytes(c.Raw[i], c.Type)
+		for i := 0; i < c.Len(); i++ {
+			raw, null := c.RawAt(i), c.IsNull(i)
+			v, hasNum := c.NumericAt(i)
+			tr.observe(raw, null, v, hasNum)
+			bytes += cellBytes(raw, c.Type)
 		}
 		d.stats[j] = tr
 	}
 	d.hasher = dataset.NewHasher(d.cols)
 	for i := 0; i < d.nRows; i++ {
 		for _, c := range d.cols {
-			d.hasher.WriteCell(c.Raw[i], c.Null[i])
+			d.hasher.WriteCell(c.RawAt(i), c.IsNull(i))
 		}
 	}
 	d.fp = d.hasher.Sum()
 	d.bytes.Store(bytes)
 	return d
-}
-
-// numericAt returns the numeric interpretation of cell i (parsed value
-// or Unix seconds) and whether one exists — mirroring what
-// computeStats feeds its min/max.
-func numericAt(c *dataset.Column, i int) (float64, bool) {
-	if c.Null[i] {
-		return 0, false
-	}
-	switch c.Type {
-	case dataset.Numerical:
-		return c.Nums[i], true
-	case dataset.Temporal:
-		return float64(c.Times[i].Unix()), true
-	}
-	return 0, false
 }
 
 // cellBytes estimates the live-storage cost of one cell: the raw
@@ -196,7 +172,7 @@ func (d *Dataset) append(rows [][]string, reg *Registry) (AppendResult, int64, s
 			}
 			null := c.AppendCell(cell)
 			d.hasher.WriteCell(cell, null)
-			v, hasNum := numericAt(c, len(c.Raw)-1)
+			v, hasNum := c.NumericAt(c.Len() - 1)
 			d.stats[j].observe(cell, null, v, hasNum)
 			delta += cellBytes(cell, c.Type)
 		}
@@ -269,7 +245,7 @@ func (d *Dataset) registerRecordLocked() *wal.Record {
 	rec.Cells = make([]wal.Cell, 0, d.nRows*len(d.cols))
 	for i := 0; i < d.nRows; i++ {
 		for _, c := range d.cols {
-			rec.Cells = append(rec.Cells, wal.Cell{Raw: c.Raw[i], Null: c.Null[i]})
+			rec.Cells = append(rec.Cells, wal.Cell{Raw: c.RawAt(i), Null: c.IsNull(i)})
 		}
 	}
 	return rec
@@ -293,16 +269,7 @@ func (d *Dataset) Snapshot() *dataset.Table {
 	defer stop()
 	cols := make([]*dataset.Column, len(d.cols))
 	for j, c := range d.cols {
-		sc := &dataset.Column{Name: c.Name, Type: c.Type,
-			Raw:  c.Raw[:d.nRows:d.nRows],
-			Null: c.Null[:d.nRows:d.nRows],
-		}
-		if c.Nums != nil {
-			sc.Nums = c.Nums[:d.nRows:d.nRows]
-		}
-		if c.Times != nil {
-			sc.Times = c.Times[:d.nRows:d.nRows]
-		}
+		sc := c.Freeze(d.nRows)
 		if st, exact := d.stats[j].stats(c.Type); exact {
 			sc.SetStats(st)
 		}

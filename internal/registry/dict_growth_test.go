@@ -1,0 +1,120 @@
+package registry
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestDictGrowthAcrossAppends pins the copy-on-write contract of the
+// shared dictionary: a snapshot taken before an append must keep its
+// dictionary length, raw values, and statistics even while later
+// appends grow the dictionary in place, and a fresh snapshot must see
+// the merged dictionary.
+func TestDictGrowthAcrossAppends(t *testing.T) {
+	r := newTestRegistry(Config{})
+	if _, err := r.Register("d", mkTable(t, "d", tripsCSV)); err != nil {
+		t.Fatal(err)
+	}
+	before, ok := r.Snapshot("d")
+	if !ok {
+		t.Fatal("snapshot missing")
+	}
+	beforeCity := before.Column("city")
+	beforeDict := beforeCity.DictLen()
+	beforeStats := beforeCity.Stats()
+	beforeFP := before.Fingerprint()
+
+	for i := 0; i < 50; i++ {
+		if _, err := r.Append("d", [][]string{
+			{fmt.Sprintf("city-%02d", i), fmt.Sprint(i), "2024-02-01"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The old snapshot is frozen: same rows, same dictionary view,
+	// same stats, same fingerprint.
+	if got := beforeCity.Len(); got != 3 {
+		t.Errorf("old snapshot grew to %d rows", got)
+	}
+	if got := beforeCity.DictLen(); got != beforeDict {
+		t.Errorf("old snapshot dict grew %d -> %d", beforeDict, got)
+	}
+	if got := beforeCity.Stats(); got != beforeStats {
+		t.Errorf("old snapshot stats changed: %+v -> %+v", beforeStats, got)
+	}
+	if got := before.Fingerprint(); got != beforeFP {
+		t.Errorf("old snapshot fingerprint changed: %s -> %s", beforeFP, got)
+	}
+	for i, want := range []string{"Berlin", "Tokyo", "Berlin"} {
+		if got := beforeCity.RawAt(i); got != want {
+			t.Errorf("old snapshot row %d = %q, want %q", i, got, want)
+		}
+	}
+
+	after, _ := r.Snapshot("d")
+	afterCity := after.Column("city")
+	if got := afterCity.Len(); got != 53 {
+		t.Fatalf("new snapshot has %d rows", got)
+	}
+	// 2 seed cities + 50 fresh ones, all interned exactly once.
+	if got := afterCity.Stats().Distinct; got != 52 {
+		t.Errorf("new snapshot distinct = %d, want 52", got)
+	}
+	if got := afterCity.RawAt(52); got != "city-49" {
+		t.Errorf("appended row reads %q", got)
+	}
+	// Appends mutate the registry's dataset, never a handed-out snapshot,
+	// so the recovered-table recompute must still match (rebuild rehashes
+	// every cell from the snapshot's own storage).
+	if got, want := after.Fingerprint(), rebuild(t, after).Fingerprint(); got != want {
+		t.Errorf("rolling fingerprint %s != recompute %s", got, want)
+	}
+}
+
+// TestDistinctTrackerHLLHandoff appends past the 4096-value exact
+// tracking limit: the online profile must switch to the HyperLogLog
+// estimate (flagged inexact, within its ~1.6% typical error), while a
+// snapshot's own column statistics stay exact because the dictionary
+// bitmap count has no cardinality cap.
+func TestDistinctTrackerHLLHandoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("appends 5000 rows")
+	}
+	r := newTestRegistry(Config{})
+	if _, err := r.Register("d", mkTable(t, "d", tripsCSV)); err != nil {
+		t.Fatal(err)
+	}
+	const distinct = 5000
+	rows := make([][]string, 0, distinct)
+	for i := 0; i < distinct; i++ {
+		rows = append(rows, []string{fmt.Sprintf("city-%04d", i), "1", "2024-02-01"})
+	}
+	if _, err := r.Append("d", rows); err != nil {
+		t.Fatal(err)
+	}
+
+	d, _ := r.Get("d")
+	var city *ColumnInfo
+	info := d.Info()
+	for i := range info.Columns {
+		if info.Columns[i].Name == "city" {
+			city = &info.Columns[i]
+		}
+	}
+	if city == nil {
+		t.Fatal("city column missing from profile")
+	}
+	want := distinct + 2 // 5000 fresh + Berlin + Tokyo
+	if city.DistinctExact {
+		t.Errorf("tracker still exact at %d distinct values", want)
+	}
+	if lo, hi := int(float64(want)*0.9), int(float64(want)*1.1); city.Distinct < lo || city.Distinct > hi {
+		t.Errorf("HLL estimate %d outside [%d, %d]", city.Distinct, lo, hi)
+	}
+
+	snap, _ := r.Snapshot("d")
+	if got := snap.Column("city").Stats().Distinct; got != want {
+		t.Errorf("snapshot distinct = %d, want exact %d", got, want)
+	}
+}

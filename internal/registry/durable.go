@@ -177,7 +177,7 @@ func (r *Registry) VerifyRecovered() []string {
 		h := dataset.NewHasher(d.cols)
 		for i := 0; i < d.nRows; i++ {
 			for _, c := range d.cols {
-				h.WriteCell(c.Raw[i], c.Null[i])
+				h.WriteCell(c.RawAt(i), c.IsNull(i))
 			}
 		}
 		ok := h.Sum() == d.fp

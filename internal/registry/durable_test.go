@@ -520,8 +520,7 @@ func FuzzWALReplay(f *testing.F) {
 			}
 			cols := make([]*dataset.Column, len(snap.Columns))
 			for j, c := range snap.Columns {
-				cols[j] = dataset.RebuildColumn(c.Name, c.Type,
-					append([]string(nil), c.Raw...), append([]bool(nil), c.Null...))
+				cols[j] = dataset.RebuildColumn(c.Name, c.Type, c.Raws(), c.Nulls())
 			}
 			cold, err := dataset.New(snap.Name, cols)
 			if err != nil {

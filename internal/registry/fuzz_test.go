@@ -50,10 +50,10 @@ func FuzzAppend(f *testing.F) {
 		n := snap.NumRows()
 		cols := make([]*dataset.Column, len(snap.Columns))
 		for j, c := range snap.Columns {
-			if len(c.Raw) != n || len(c.Null) != n {
-				t.Fatalf("col %s: %d/%d cells for %d rows", c.Name, len(c.Raw), len(c.Null), n)
+			if c.Len() != n {
+				t.Fatalf("col %s: %d cells for %d rows", c.Name, c.Len(), n)
 			}
-			cols[j] = dataset.ForceType(c.Name, append([]string(nil), c.Raw...), c.Type)
+			cols[j] = dataset.ForceType(c.Name, c.Raws(), c.Type)
 		}
 		fresh, err := dataset.New("fuzz", cols)
 		if err != nil {

@@ -41,8 +41,7 @@ func rebuild(t *testing.T, snap *dataset.Table) *dataset.Table {
 	t.Helper()
 	cols := make([]*dataset.Column, len(snap.Columns))
 	for j, c := range snap.Columns {
-		raw := append([]string(nil), c.Raw...)
-		cols[j] = dataset.ForceType(c.Name, raw, c.Type)
+		cols[j] = dataset.ForceType(c.Name, c.Raws(), c.Type)
 	}
 	nt, err := dataset.New(snap.Name, cols)
 	if err != nil {
@@ -139,10 +138,10 @@ func TestAppendRowShaping(t *testing.T) {
 		t.Errorf("snapshot RaggedRows = %d, want 1", snap.RaggedRows)
 	}
 	fare := snap.Column("fare")
-	if !fare.Null[3] {
+	if !fare.IsNull(3) {
 		t.Error("padded short-row fare cell not null")
 	}
-	if !fare.Null[5] {
+	if !fare.IsNull(5) {
 		t.Error("unparseable fare cell not null")
 	}
 	// The truncated row must hash as 3 cells, identically to a cold load

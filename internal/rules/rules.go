@@ -217,17 +217,18 @@ func rawCorrelated(x, y *dataset.Column) bool {
 	const maxSample = 2048
 	xs := make([]float64, 0, maxSample)
 	ys := make([]float64, 0, maxSample)
-	n := len(x.Raw)
+	n := x.Len()
 	step := 1
 	if n > maxSample {
 		step = n / maxSample
 	}
+	xn, yn := x.NumsSlice(), y.NumsSlice()
 	for i := 0; i < n; i += step {
-		if x.Null[i] || y.Null[i] {
+		if x.IsNull(i) || y.IsNull(i) {
 			continue
 		}
-		xs = append(xs, x.Nums[i])
-		ys = append(ys, y.Nums[i])
+		xs = append(xs, xn[i])
+		ys = append(ys, yn[i])
 	}
 	if len(xs) < 3 {
 		return false

@@ -9,6 +9,7 @@ package stats
 import (
 	"math"
 	"sort"
+	"sync"
 )
 
 // Mean returns the arithmetic mean of xs, or 0 for empty input.
@@ -222,21 +223,34 @@ func Correlation(xs, ys []float64) (float64, CorrelationKind) {
 		}
 	}
 	// power: y = a·x^b  →  log y = log a + b·log x
-	lx, ly := logPairs(xs, ys, true, true)
+	sc := logScratch.Get().(*logBufs)
+	lx, ly := logPairs(sc.x[:0], sc.y[:0], xs, ys, true, true)
 	if r := math.Abs(Pearson(lx, ly)); r > best {
 		best, kind = r, CorrPower
 	}
 	// log: y = a + b·log x
-	lx2, ly2 := logPairs(xs, ys, true, false)
-	if r := math.Abs(Pearson(lx2, ly2)); r > best {
+	lx, ly = logPairs(lx[:0], ly[:0], xs, ys, true, false)
+	if r := math.Abs(Pearson(lx, ly)); r > best {
 		best, kind = r, CorrLog
 	}
+	sc.x, sc.y = lx, ly
+	logScratch.Put(sc)
 	return best, kind
 }
 
-// logPairs returns the (optionally log-transformed) pairs with
-// non-positive values on any log axis dropped.
-func logPairs(xs, ys []float64, logX, logY bool) (ox, oy []float64) {
+// logBufs is the reusable pair of transformed-series buffers behind
+// logPairs. Correlation and Trend run once per enumerated candidate, so
+// pooling the buffers removes four slice allocations per candidate from
+// the enumeration hot path without threading scratch through the public
+// signatures; the pool keeps the reuse safe under the parallel executor.
+type logBufs struct{ x, y []float64 }
+
+var logScratch = sync.Pool{New: func() any { return &logBufs{} }}
+
+// logPairs appends the (optionally log-transformed) pairs to ox/oy with
+// non-positive values on any log axis dropped, and returns the extended
+// slices. Callers pass recycled buffers truncated to length zero.
+func logPairs(ox, oy, xs, ys []float64, logX, logY bool) ([]float64, []float64) {
 	for i := range xs {
 		x, y := xs[i], ys[i]
 		if logX {
@@ -302,38 +316,111 @@ func Trend(xs, ys []float64) (TrendKind, float64) {
 	if _, _, r2 := LinearFit(xs, ys); r2 > best {
 		best, kind = r2, TrendLinear
 	}
+	sc := logScratch.Get().(*logBufs)
 	// exponential: y = a·e^(bx)  →  log y = log a + bx
-	ex, ey := logPairs(xs, ys, false, true)
-	if len(ey) >= 3 && len(ey) >= len(ys)*3/4 {
-		if _, _, r2 := LinearFit(ex, ey); r2 > best {
+	lx, ly := logPairs(sc.x[:0], sc.y[:0], xs, ys, false, true)
+	if len(ly) >= 3 && len(ly) >= len(ys)*3/4 {
+		if _, _, r2 := LinearFit(lx, ly); r2 > best {
 			best, kind = r2, TrendExponential
 		}
 	}
 	// log: y = a + b·log x
-	gx, gy := logPairs(xs, ys, true, false)
-	if len(gy) >= 3 && len(gy) >= len(ys)*3/4 {
-		if _, _, r2 := LinearFit(gx, gy); r2 > best {
+	lx, ly = logPairs(lx[:0], ly[:0], xs, ys, true, false)
+	if len(ly) >= 3 && len(ly) >= len(ys)*3/4 {
+		if _, _, r2 := LinearFit(lx, ly); r2 > best {
 			best, kind = r2, TrendLog
 		}
 	}
 	// power: log y = log a + b·log x
-	px, py := logPairs(xs, ys, true, true)
-	if len(py) >= 3 && len(py) >= len(ys)*3/4 {
-		if _, _, r2 := LinearFit(px, py); r2 > best {
+	lx, ly = logPairs(lx[:0], ly[:0], xs, ys, true, true)
+	if len(ly) >= 3 && len(ly) >= len(ys)*3/4 {
+		if _, _, r2 := LinearFit(lx, ly); r2 > best {
 			best, kind = r2, TrendPower
 		}
 	}
+	sc.x, sc.y = lx, ly
+	logScratch.Put(sc)
 	return kind, best
 }
 
-// TrendSeries is Trend against the implicit x-axis 1..n, used when the
-// caller has an ordered series rather than explicit x values.
-func TrendSeries(ys []float64) (TrendKind, float64) {
-	xs := make([]float64, len(ys))
-	for i := range xs {
-		xs[i] = float64(i + 1)
+// CorrelationTrend computes Correlation and Trend over the same paired
+// series in one pass. Both functions materialize the log-transformed
+// families independently — the power (log x, log y) and log (log x, y)
+// series are built twice when they are called back to back, and math.Log
+// dominates the enumeration profile — so this fused form builds each
+// family once and feeds it to both consumers.
+//
+// Results are bit-identical to calling the two functions separately:
+// the transformed series are produced by the same logPairs, each
+// accumulator (the correlation maximum and the trend best-R²) sees its
+// comparisons on the same values in its original order, so even exact
+// R² ties between families resolve to the same winner.
+func CorrelationTrend(xs, ys []float64) (corr float64, ck CorrelationKind, tk TrendKind, r2 float64) {
+	corr, ck = math.Abs(Pearson(xs, ys)), CorrLinear
+	if _, _, _, q := QuadraticFit(xs, ys); q > 0 {
+		if r := math.Sqrt(q); r > corr {
+			corr, ck = r, CorrPolynomial
+		}
 	}
-	return Trend(xs, ys)
+	tk, r2 = TrendNone, 0
+	trendOK := len(xs) == len(ys) && len(ys) >= 3
+	if trendOK {
+		if _, _, lr := LinearFit(xs, ys); lr > r2 {
+			r2, tk = lr, TrendLinear
+		}
+	}
+	bufA := logScratch.Get().(*logBufs)
+	bufB := logScratch.Get().(*logBufs)
+	// exponential (trend only): y = a·e^(bx)  →  log y = log a + bx
+	ex, ey := logPairs(bufA.x[:0], bufA.y[:0], xs, ys, false, true)
+	if trendOK && len(ey) >= 3 && len(ey) >= len(ys)*3/4 {
+		if _, _, er := LinearFit(ex, ey); er > r2 {
+			r2, tk = er, TrendExponential
+		}
+	}
+	// power: y = a·x^b  →  log y = log a + b·log x. Held in the second
+	// buffer pair so it stays live across the log family below: the
+	// correlation maximum compares power before log, the trend best-R²
+	// compares log before power.
+	px, py := logPairs(bufB.x[:0], bufB.y[:0], xs, ys, true, true)
+	if r := math.Abs(Pearson(px, py)); r > corr {
+		corr, ck = r, CorrPower
+	}
+	// log: y = a + b·log x
+	lx, ly := logPairs(ex[:0], ey[:0], xs, ys, true, false)
+	if r := math.Abs(Pearson(lx, ly)); r > corr {
+		corr, ck = r, CorrLog
+	}
+	if trendOK && len(ly) >= 3 && len(ly) >= len(ys)*3/4 {
+		if _, _, lr := LinearFit(lx, ly); lr > r2 {
+			r2, tk = lr, TrendLog
+		}
+	}
+	if trendOK && len(py) >= 3 && len(py) >= len(ys)*3/4 {
+		if _, _, pr := LinearFit(px, py); pr > r2 {
+			r2, tk = pr, TrendPower
+		}
+	}
+	bufA.x, bufA.y = lx, ly
+	bufB.x, bufB.y = px, py
+	logScratch.Put(bufA)
+	logScratch.Put(bufB)
+	return corr, ck, tk, r2
+}
+
+// TrendSeries is Trend against the implicit x-axis 1..n, used when the
+// caller has an ordered series rather than explicit x values. The
+// synthetic axis is pooled scratch — Trend never retains its inputs.
+func TrendSeries(ys []float64) (TrendKind, float64) {
+	sc := logScratch.Get().(*logBufs)
+	xs := sc.x[:0]
+	for i := range ys {
+		xs = append(xs, float64(i+1))
+	}
+	tk, r2 := Trend(xs, ys)
+	sc.x = xs
+	logScratch.Put(sc)
+	return tk, r2
 }
 
 // Entropy returns the Shannon entropy (natural log) of the distribution

@@ -66,8 +66,8 @@ func ApplyMultiY(x *dataset.Column, ys []*dataset.Column, spec Spec, aggs []Agg)
 		for bi, rows := range skeleton.SourceRows {
 			sum, cnt := 0.0, 0
 			for _, r := range rows {
-				if !y.Null[r] {
-					sum += y.Nums[r]
+				if !y.IsNull(r) {
+					sum += y.NumAt(r)
 					cnt++
 				}
 			}
@@ -129,17 +129,18 @@ func ApplyXYZ(x, y, z *dataset.Column, spec Spec, maxSeries int) (*MultiResult, 
 		rows  []int
 	}
 	groups := map[string]*group{}
-	for i := range x.Raw {
-		if x.Null[i] {
+	for i := 0; i < x.Len(); i++ {
+		if x.IsNull(i) {
 			continue
 		}
 		if _, inBucket := bucketOf[i]; !inBucket {
 			continue
 		}
-		g := groups[x.Raw[i]]
+		raw := x.RawAt(i)
+		g := groups[raw]
 		if g == nil {
-			g = &group{label: x.Raw[i]}
-			groups[x.Raw[i]] = g
+			g = &group{label: raw}
+			groups[raw] = g
 		}
 		g.rows = append(g.rows, i)
 	}
@@ -168,12 +169,12 @@ func ApplyXYZ(x, y, z *dataset.Column, spec Spec, maxSeries int) (*MultiResult, 
 		cnts := make([]int, skeleton.Len())
 		for _, r := range g.rows {
 			bi := bucketOf[r]
-			if spec.Agg != AggCnt && z.Null[r] {
+			if spec.Agg != AggCnt && z.IsNull(r) {
 				continue
 			}
 			cnts[bi]++
 			if spec.Agg != AggCnt {
-				sums[bi] += z.Nums[r]
+				sums[bi] += z.NumAt(r)
 			}
 		}
 		series := make([]float64, skeleton.Len())

@@ -3,11 +3,15 @@ package vizql
 import (
 	"context"
 	"fmt"
-	"hash/fnv"
+	"hash/maphash"
 	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"github.com/deepeye/deepeye/internal/chart"
 	"github.com/deepeye/deepeye/internal/dataset"
+	"github.com/deepeye/deepeye/internal/feature"
 	"github.com/deepeye/deepeye/internal/stats"
 	"github.com/deepeye/deepeye/internal/transform"
 )
@@ -125,19 +129,31 @@ func ExecuteAll(t *dataset.Table, queries []Query) []*Node {
 // ExecuteAllCtx is ExecuteAll with cancellation: the batch loop checks
 // ctx between queries (each query is at most one pass over the data) and
 // returns ctx.Err() as soon as cancellation is observed.
+//
+// Two cache layers share work across the batch. The bucketing cache
+// keys on (X, kind, unit, N) — the Y-agnostic half of a transform — so
+// the bucket-formation pass over the rows runs once per distinct X
+// binning and is reused by every Y column, aggregate, and sort order
+// over it. The materialization cache keys on (X, Y, spec, sort class)
+// and holds the aggregated series plus its derived statistics and
+// feature inputs, so the chart-type variants of one transform pay only
+// a feature.Extract each. ORDER BY X folds into the unsorted class:
+// transforms emit buckets already in X order, and re-sorting stably
+// under the same comparator is an identity.
 func ExecuteAllCtx(ctx context.Context, t *dataset.Table, queries []Query) ([]*Node, error) {
 	type cacheKey struct {
 		x, y, spec string
 		sort       transform.SortAxis
 	}
-	type cacheVal struct {
-		res       *transform.Result
-		corr      float64
-		trendR2   float64
-		trendKind stats.TrendKind
-		ok        bool
+	caches := &execCaches{
+		bk:          make(map[bucketingKey]*transform.Bucketing),
+		raw:         make(map[[2]string]*transform.Result),
+		rawDistinct: make(map[[2]string]int),
+		bkDistinct:  make(map[distinctKey]int),
+		base:        make(map[baseKey]*transform.Result),
+		yi:          make(map[*transform.Result]feature.ColumnInfo),
 	}
-	cache := make(map[cacheKey]*cacheVal)
+	cache := make(map[cacheKey]*sharedExec)
 	var out []*Node
 	for _, q := range queries {
 		// A cache miss costs a full pass over the data, so check before
@@ -145,46 +161,276 @@ func ExecuteAllCtx(ctx context.Context, t *dataset.Table, queries []Query) ([]*N
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		key := cacheKey{q.X, q.Y, q.Spec.String(), q.Order}
+		sc := q.Order
+		if sc == transform.SortX && q.Spec.Kind != transform.KindNone {
+			sc = transform.SortNone
+		}
+		key := cacheKey{q.X, q.Y, q.Spec.String(), sc}
 		cv := cache[key]
 		if cv == nil {
-			cv = &cacheVal{}
+			cv = executeShared(t, q, sc, caches)
 			cache[key] = cv
-			if n, err := ExecuteCtx(ctx, t, q); err == nil {
-				cv.res = n.Res
-				cv.corr = n.Corr
-				cv.trendR2 = n.TrendR2
-				cv.trendKind = n.TrendKind
-				cv.ok = true
-				// Reuse this first materialization directly.
-				out = append(out, n)
-				continue
-			} else if cerr := ctx.Err(); cerr != nil {
-				// Cancellation, not an inexecutable query: stop the batch.
-				return nil, cerr
-			}
 		}
 		if !cv.ok {
 			continue
 		}
-		x := t.Column(q.X)
-		y := t.Column(q.Y)
 		n := &Node{
 			Query: q, Chart: q.Viz,
 			XName: q.X, YName: q.Y,
-			XType: x.Type, YType: y.Type,
+			XType: cv.xType, YType: cv.yType,
 			InputRows: cv.res.InputRows,
 			Res:       cv.res, // shared read-only with sibling chart types
-			XOutType:  outType(x.Type, q.Spec.Kind),
+			XOutType:  cv.xOutType,
 			Corr:      cv.corr,
 			TrendR2:   cv.trendR2,
 			TrendKind: cv.trendKind,
+			distinctX: cv.xi.Distinct,
 		}
-		fillFeatures(n)
+		n.Features = feature.Extract(cv.xi, cv.yi, cv.corr, n.Chart)
 		out = append(out, n)
 	}
 	return out, nil
 }
+
+// bucketingKey identifies the Y-agnostic half of a transform over one
+// X column: everything that determines bucket membership.
+type bucketingKey struct {
+	x    string
+	kind transform.Kind
+	unit transform.BinUnit
+	n    int
+	udf  string
+}
+
+// sharedExec is one materialized (X, Y, spec, sort class) combination:
+// the transformed series plus every derived quantity the chart-type
+// variants share.
+type sharedExec struct {
+	res          *transform.Result
+	xType, yType dataset.ColType
+	xOutType     dataset.ColType
+	corr         float64
+	trendR2      float64
+	trendKind    stats.TrendKind
+	xi, yi       feature.ColumnInfo
+	ok           bool
+}
+
+// executeShared materializes one cache entry, reusing (or seeding) the
+// shared bucketing for the query's X transform. Inexecutable queries —
+// unknown columns, type-incompatible transforms, empty output — yield
+// an entry with ok == false, mirroring ExecuteCtx's error cases.
+// execCaches bundles the batch-scoped shared state: the Y-agnostic
+// bucketings, the per-pair raw materializations, and the raw label
+// distinct counts (order-invariant, so the three sort classes of one
+// pair share one count).
+type execCaches struct {
+	bk          map[bucketingKey]*transform.Bucketing
+	raw         map[[2]string]*transform.Result
+	rawDistinct map[[2]string]int
+	bkDistinct  map[distinctKey]int
+	base        map[baseKey]*transform.Result
+	yi          map[*transform.Result]feature.ColumnInfo
+}
+
+// baseKey identifies the row-order materialization of one (X, Y, spec)
+// — what the sort classes of a transform share before OrderBy.
+type baseKey struct {
+	x, y, spec string
+}
+
+// distinctKey identifies everything the label set of a bucketed result
+// depends on. Under CNT the labels are exactly the bucketing's (the
+// counts path shares bk.Labels), so y stays empty and every Y column
+// reuses one count; under SUM/AVG buckets whose rows all have null Y
+// are dropped, so the drop set — determined by the bucketing and the
+// Y column, not the aggregate — joins the key.
+type distinctKey struct {
+	bk bucketingKey
+	y  string
+}
+
+func executeShared(t *dataset.Table, q Query, sc transform.SortAxis, caches *execCaches) *sharedExec {
+	sr := &sharedExec{}
+	x := t.Column(q.X)
+	y := t.Column(q.Y)
+	if x == nil || y == nil {
+		return sr
+	}
+	needY := q.Spec.Agg == transform.AggSum || q.Spec.Agg == transform.AggAvg
+	if needY && y.Type != dataset.Numerical {
+		return sr
+	}
+	var res *transform.Result
+	var dk distinctKey
+	// A UDF under SUM/AVG derives bucket order from the first non-null-Y
+	// row — Y-dependent, so it cannot share a bucketing; neither can raw
+	// pass-through, which has no buckets at all.
+	if q.Spec.Kind == transform.KindNone {
+		// Raw pass-through has one materialization per (X, Y) — the three
+		// sort classes differ only in the OrderBy below, so the row-order
+		// result is cached and the sorted classes rebind fresh slices off
+		// it (nil marks an inexecutable pair, mirroring bkCache).
+		rk := [2]string{q.X, q.Y}
+		r, seen := caches.raw[rk]
+		if !seen {
+			if a, err := transform.Apply(x, y, q.Spec); err == nil {
+				r = a
+			}
+			caches.raw[rk] = r
+		}
+		if r == nil {
+			return sr
+		}
+		res = r
+	} else if q.Spec.Kind == transform.KindBinUDF && needY {
+		bkey := baseKey{x: q.X, y: q.Y, spec: q.Spec.String()}
+		r, seen := caches.base[bkey]
+		if !seen {
+			if a, err := transform.Apply(x, y, q.Spec); err == nil {
+				r = a
+			}
+			caches.base[bkey] = r // nil marks an inexecutable combination
+		}
+		if r == nil {
+			return sr
+		}
+		res = r
+		// The bucket set admits rows with non-null X and Y regardless of
+		// which of SUM/AVG aggregates them.
+		dk = distinctKey{bk: bucketingKey{x: q.X, kind: q.Spec.Kind}, y: q.Y}
+		if q.Spec.UDF != nil {
+			dk.bk.udf = q.Spec.UDF.Name
+		}
+	} else {
+		k := bucketingKey{x: q.X, kind: q.Spec.Kind, unit: q.Spec.Unit, n: q.Spec.N}
+		if q.Spec.Kind == transform.KindBinUDF && q.Spec.UDF != nil {
+			k.udf = q.Spec.UDF.Name
+		}
+		dk = distinctKey{bk: k}
+		if needY {
+			dk.y = q.Y
+		}
+		bk, seen := caches.bk[k]
+		if !seen {
+			if b, err := transform.Bucketize(x, q.Spec); err == nil {
+				bk = b
+			}
+			caches.bk[k] = bk // nil marks an invalid (x, spec) combination
+		}
+		if bk == nil {
+			return sr
+		}
+		bkey := baseKey{x: q.X, y: q.Y, spec: q.Spec.String()}
+		r, seen := caches.base[bkey]
+		if !seen {
+			// Ranking, dedupe, and the rendered chart never touch
+			// SourceRows (consumers that need provenance guard on its
+			// presence), so the per-bucket row lists — the batch's
+			// largest allocation — are not materialized here.
+			r = transform.ApplyBucketed(bk, y, q.Spec, false)
+			caches.base[bkey] = r
+		}
+		res = r
+	}
+	if res.Len() == 0 {
+		return sr
+	}
+	base := res
+	if sc != transform.SortNone {
+		// SortX survives the fold only for raw pass-through, where rows
+		// really are unordered; SortY reorders any result. The result
+		// struct is fresh per cache entry and OrderBy rebinds sorted
+		// copies without touching the original arrays, so slices shared
+		// with the bucketing or sibling entries keep their own X order.
+		res = &transform.Result{
+			XLabels: res.XLabels, XOrder: res.XOrder, Y: res.Y,
+			SourceRows: res.SourceRows, InputRows: res.InputRows,
+		}
+		transform.OrderBy(res, sc)
+	}
+	sr.res = res
+	sr.xType, sr.yType = x.Type, y.Type
+	sr.xOutType = outType(x.Type, q.Spec.Kind)
+	if sr.xOutType != dataset.Categorical {
+		// The NaN-filtered (X′, Y′) series feeds three scalar summaries
+		// and is never retained, so the buffers come from a pool.
+		buf := xyScratch.Get().(*xyBufs)
+		cx, cy := buf.x[:0], buf.y[:0]
+		for i := range res.XOrder {
+			if !math.IsNaN(res.XOrder[i]) {
+				cx = append(cx, res.XOrder[i])
+				cy = append(cy, res.Y[i])
+			}
+		}
+		sr.corr, sr.trendKind, sr.trendR2 = feature.CorrelationTrend(cx, cy)
+		// Only min(X′)/max(X′) of the summary survive: N is reset to the
+		// transformed length and Distinct to the label count below, so
+		// FromSeries' distinct-counting pass would be thrown away.
+		sr.xi = feature.ColumnInfo{Type: sr.xOutType, Min: math.Inf(1), Max: math.Inf(-1)}
+		for _, v := range cx {
+			if v < sr.xi.Min {
+				sr.xi.Min = v
+			}
+			if v > sr.xi.Max {
+				sr.xi.Max = v
+			}
+		}
+		if len(cx) == 0 {
+			sr.xi.Min, sr.xi.Max = 0, 0
+		}
+		buf.x, buf.y = cx, cy
+		xyScratch.Put(buf)
+	} else {
+		sr.corr = 0
+		sr.trendKind, sr.trendR2 = stats.TrendSeries(res.Y)
+		sr.xi = feature.ColumnInfo{Type: dataset.Categorical}
+	}
+	sr.xi.N = res.Len()
+	// d(X′) counts distinct labels on every branch (FromSeries counted
+	// distinct order keys, not labels). The count is order-invariant, so
+	// raw pass-through — whose three sort classes share one label
+	// multiset, and whose |X|-sized label sets dominate the cost —
+	// computes it once per column pair.
+	if q.Spec.Kind == transform.KindNone {
+		rk := [2]string{q.X, q.Y}
+		d, ok := caches.rawDistinct[rk]
+		if !ok {
+			d = distinctLabels(res.XLabels)
+			caches.rawDistinct[rk] = d
+		}
+		sr.xi.Distinct = d
+	} else {
+		d, ok := caches.bkDistinct[dk]
+		if !ok {
+			d = distinctLabels(res.XLabels)
+			caches.bkDistinct[dk] = d
+		}
+		sr.xi.Distinct = d
+	}
+	// The Y′ summary — min, max, N, distinct — is invariant under the
+	// sort-class permutation (distinct counting sorts its own copy), so
+	// the classes of one (X, Y, spec) share the base result's summary.
+	// Per-order statistics (corr, trend) stay per-entry above: their
+	// accumulation order is the result order.
+	yi, ok := caches.yi[base]
+	if !ok {
+		yi = feature.FromSeries(res.Y, dataset.Numerical)
+		caches.yi[base] = yi
+	}
+	sr.yi = yi
+	sr.ok = true
+	return sr
+}
+
+func distinctLabels(labels []string) int {
+	return feature.FromLabels(labels).Distinct
+}
+
+// xyBufs holds the NaN-filtered numeric series scratch for executeShared.
+type xyBufs struct{ x, y []float64 }
+
+var xyScratch = sync.Pool{New: func() any { return new(xyBufs) }}
 
 // SearchSpaceTwoColumns is the Fig. 3 closed form for two columns:
 // m(m−1) ordered pairs × 44 transform cases × 4 chart types × 3 sort
@@ -287,36 +533,143 @@ func ValidateQuery(t *dataset.Table, q Query) error {
 // series, chart type); different queries can collapse to the same chart
 // (e.g. GROUP and BIN BY DAY on a date-granular column).
 func Dedupe(nodes []*Node) []*Node {
-	seen := make(map[string]bool, len(nodes))
+	// Two nodes are duplicates iff their header bytes and body bytes
+	// both agree, so the seen set keys on the (header hash, body hash)
+	// pair — the same byte-equality-modulo-hash-collision test as
+	// hashing the concatenation. The chart-type variants of one
+	// transform share a *Result, and the per-bucket round-and-format
+	// pass dominates fingerprinting — so the body is formatted and
+	// hashed once per distinct Result and the scratch bytes discarded
+	// (the arena never holds more than one body).
+	type dedupeKey struct{ header, body uint64 }
+	seen := make(map[dedupeKey]bool, len(nodes))
+	bodies := make(map[*transform.Result]uint64, len(nodes))
+	var arena []byte
+	if ap := bodyArena.Swap(nil); ap != nil {
+		arena = (*ap)[:0]
+	}
 	var out []*Node
 	for _, n := range nodes {
-		key := dataFingerprint(n)
+		bh, ok := bodies[n.Res]
+		if !ok {
+			arena = appendFingerprintBody(arena[:0], n.Res)
+			bh = maphash.Bytes(dedupeSeed, arena)
+			bodies[n.Res] = bh
+		}
+		var hdr [64]byte
+		key := dedupeKey{header: maphash.Bytes(dedupeSeed, appendFingerprintHeader(hdr[:0], n)), body: bh}
 		if seen[key] {
 			continue
 		}
 		seen[key] = true
 		out = append(out, n)
 	}
+	bodyArena.Store(&arena)
 	return out
 }
 
-func dataFingerprint(n *Node) string {
-	// Hash the complete transformed series so distinct charts can never
-	// collide on a sampled subset; values are rounded to 9 significant
-	// digits so float drift between execution paths does not split
-	// identical charts.
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%s|%s|%d|", n.Chart, n.XName, n.YName, n.Res.Len())
-	for i := 0; i < n.Res.Len(); i++ {
-		fmt.Fprintf(h, "%s=%.9g;", n.Res.XLabels[i], roundSig(n.Res.Y[i]))
+// bodyArena caches Dedupe's body arena between calls. A sync.Pool is
+// the wrong shape here: the arena is checked out once per query, which
+// spans GC cycles, so the pool's per-GC flushing would discard it and
+// the multi-megabyte buffer would be regrown from scratch every call.
+// An atomic holder survives GC; concurrent Dedupes fall back to a
+// fresh arena and the last one back wins the slot.
+var bodyArena atomic.Pointer[[]byte]
+
+// dedupeSeed keys Dedupe's internal hashes. maphash is AES-accelerated
+// — an order of magnitude faster than FNV's byte-at-a-time loop over
+// the multi-kilobyte bodies — and dedupe only needs equality within one
+// process, not the stable FNV digests dataFingerprint exposes.
+var dedupeSeed = maphash.MakeSeed()
+
+// FNV-64a, inlined: hashing byte-by-byte through hash.Hash64's Write
+// costs an interface call per bucket on the dedupe hot path. Constants
+// and update order match hash/fnv exactly.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvAdd(h uint64, buf []byte) uint64 {
+	for _, c := range buf {
+		h ^= uint64(c)
+		h *= fnvPrime64
 	}
-	return fmt.Sprintf("%x", h.Sum64())
+	return h
 }
+
+// dataFingerprint hashes the complete transformed series so distinct
+// charts can never collide on a sampled subset; values are rounded to 9
+// significant digits so float drift between execution paths does not
+// split identical charts. The stream is byte-identical to the
+// historical fmt.Fprintf encoding ("%s|%s|%s|%d|" header, "%s=%.9g;"
+// per bucket); TestDataFingerprintMatchesFmt pins the equivalence.
+// Dedupe assembles the same stream from a cached body arena.
+func dataFingerprint(n *Node) string {
+	body := appendFingerprintBody(make([]byte, 0, n.Res.Len()*24), n.Res)
+	return strconv.FormatUint(fnvAdd(headerHash(n), body), 16)
+}
+
+// headerHash seeds FNV-64a with the "%s|%s|%s|%d|" node header.
+func headerHash(n *Node) uint64 {
+	var hdr [64]byte
+	return fnvAdd(fnvOffset64, appendFingerprintHeader(hdr[:0], n))
+}
+
+// appendFingerprintHeader appends the "%s|%s|%s|%d|" node header.
+func appendFingerprintHeader(dst []byte, n *Node) []byte {
+	dst = append(dst, n.Chart.String()...)
+	dst = append(dst, '|')
+	dst = append(dst, n.XName...)
+	dst = append(dst, '|')
+	dst = append(dst, n.YName...)
+	dst = append(dst, '|')
+	dst = strconv.AppendInt(dst, int64(n.Res.Len()), 10)
+	dst = append(dst, '|')
+	return dst
+}
+
+// appendFingerprintBody appends the "%s=%.9g;" per-bucket stream.
+func appendFingerprintBody(dst []byte, r *transform.Result) []byte {
+	for i := 0; i < r.Len(); i++ {
+		dst = append(dst, r.XLabels[i]...)
+		dst = append(dst, '=')
+		dst = strconv.AppendFloat(dst, roundSig(r.Y[i]), 'g', 9, 64)
+		dst = append(dst, ';')
+	}
+	return dst
+}
+
+// pow10tab caches math.Pow(10, k) for every scale exponent roundSig can
+// produce (|v| spans denormals to MaxFloat64, so 9−ceil(log10|v|) stays
+// well inside ±350). The entries are computed by math.Pow itself, so
+// the table lookup is bit-identical to the call it replaces.
+var pow10tab = func() (t [701]float64) {
+	for i := range t {
+		t[i] = math.Pow(10, float64(i-350))
+	}
+	return
+}()
 
 func roundSig(v float64) float64 {
 	if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 		return v
 	}
-	scale := math.Pow(10, 9-math.Ceil(math.Log10(math.Abs(v))))
+	// An integer with at most 9 digits is its own 9-significant-digit
+	// rounding: |v·scale| ≤ 1e10 stays exactly representable for any
+	// scale = 10^(9−d) the slow path could pick (even with log10 off by
+	// one at a decade boundary), so Round is the identity and the final
+	// division restores v exactly. CNT aggregates make this the common
+	// case, and it skips the Log10 that dominates the dedupe profile.
+	if v == math.Trunc(v) && v > -1e9 && v < 1e9 {
+		return v
+	}
+	e := 9 - math.Ceil(math.Log10(math.Abs(v)))
+	var scale float64
+	if i := int(e); float64(i) == e && i >= -350 && i <= 350 {
+		scale = pow10tab[i+350]
+	} else {
+		scale = math.Pow(10, e)
+	}
 	return math.Round(v*scale) / scale
 }

@@ -36,15 +36,19 @@ type Node struct {
 	TrendR2   float64 // best R² of the four trend fits of Y′ against X′
 	TrendKind stats.TrendKind
 	Features  feature.Vector
+
+	// distinctX caches d(X′); 0 means "not yet computed" (a non-empty
+	// result always has at least one distinct label). The batch executor
+	// fills it at construction so the ranking workers never write it.
+	distinctX int
 }
 
 // DistinctX returns d(X′).
 func (n *Node) DistinctX() int {
-	set := make(map[string]struct{}, len(n.Res.XLabels))
-	for _, l := range n.Res.XLabels {
-		set[l] = struct{}{}
+	if n.distinctX == 0 {
+		n.distinctX = distinctLabels(n.Res.XLabels)
 	}
-	return len(set)
+	return n.distinctX
 }
 
 // MinY returns min(Y′), or 0 for empty results.
@@ -181,8 +185,7 @@ func fillDerived(n *Node) {
 				cy = append(cy, ys[i])
 			}
 		}
-		n.Corr = feature.Correlation(cx, cy)
-		n.TrendKind, n.TrendR2 = stats.Trend(cx, cy)
+		n.Corr, n.TrendKind, n.TrendR2 = feature.CorrelationTrend(cx, cy)
 	} else {
 		n.Corr = 0
 		n.TrendKind, n.TrendR2 = stats.TrendSeries(ys)

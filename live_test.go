@@ -34,7 +34,7 @@ func rebuildCold(t *testing.T, snap *Table) *Table {
 	t.Helper()
 	cols := make([]*dataset.Column, len(snap.Columns))
 	for j, c := range snap.Columns {
-		cols[j] = dataset.ForceType(c.Name, append([]string(nil), c.Raw...), c.Type)
+		cols[j] = dataset.ForceType(c.Name, c.Raws(), c.Type)
 	}
 	nt, err := dataset.New(snap.Name, cols)
 	if err != nil {

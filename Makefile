@@ -13,7 +13,7 @@ COVER_FLOOR ?= 75.0
 
 .PHONY: all build test vet bench race fuzz experiments clean \
 	bench-smoke bench-run bench-diff bench-alloc-check cover-check \
-	crash-test load-smoke load-soak lint
+	crash-test load-smoke load-soak cluster-smoke lint
 
 all: build vet test
 
@@ -49,14 +49,17 @@ fuzz:
 	$(GO) test -fuzz FuzzComputeFactors -fuzztime 30s ./internal/rank/
 	$(GO) test -fuzz FuzzAppend$$ -fuzztime 30s ./internal/registry/
 	$(GO) test -fuzz FuzzWALReplay -fuzztime 30s ./internal/registry/
+	$(GO) test -fuzz FuzzReplicationFrame -fuzztime 30s ./internal/cluster/
 	$(GO) test -fuzz FuzzParseScenario -fuzztime 30s ./internal/load/
 
 # Fault-injection and crash-consistency suite under the race detector:
 # every-byte WAL truncation/corruption, compaction crash windows,
-# kill-and-restart recovery, and read-only degradation.
+# kill-and-restart recovery, read-only degradation, and the cluster
+# replication-stream fault suite (every-byte cuts/corruption, degraded
+# followers, follower kill-restart mid-catch-up).
 crash-test:
-	$(GO) test -race -run 'Crash|Recovery|Recovered|ReadOnly|Torn|Corrupt|Compaction|Durable|KillAndRestart|Evict|Sticky' \
-		./internal/wal/ ./internal/registry/ .
+	$(GO) test -race -run 'Crash|Recovery|Recovered|ReadOnly|Torn|Corrupt|Compaction|Durable|KillAndRestart|Evict|Sticky|Replication|KillRestart' \
+		./internal/wal/ ./internal/registry/ ./internal/cluster/ .
 
 # One-iteration pass over the gated benchmarks: catches benchmarks that
 # fail outright without paying for timing runs.
@@ -117,6 +120,17 @@ experiments:
 load-smoke:
 	$(GO) run ./cmd/deepeye-load -scenario testdata/scenarios/smoke.scenario \
 		-inprocess -fail-on-error -p99-ceiling 10s -max-goroutine-growth 50 \
+		$(if $(LOAD_JSON),-json $(LOAD_JSON))
+
+# 12s mixed load round-robined across a 3-node in-process replicated
+# cluster: leader forwarding, WAL shipping, and min_epoch
+# read-your-writes reads all under fire, with append fingerprints
+# verified and the cluster-wide request ledger reconciled exactly
+# (Σ requests − Σ forwarded over every member == client counts).
+# Usage: make cluster-smoke [LOAD_JSON=cluster-summary.json]
+cluster-smoke:
+	$(GO) run ./cmd/deepeye-load -scenario testdata/scenarios/cluster.scenario \
+		-inprocess -fail-on-error -p99-ceiling 10s -max-goroutine-growth 75 \
 		$(if $(LOAD_JSON),-json $(LOAD_JSON))
 
 # 60s write-heavy soak with a deliberately small registry: eviction,

@@ -6,11 +6,16 @@
 //	deepeye-load -scenario testdata/scenarios/smoke.scenario -inprocess
 //	deepeye-load -scenario soak.scenario -addr http://127.0.0.1:8080 -soak
 //	deepeye-load -scenario smoke.scenario -inprocess -json summary.json -fail-on-error
+//	deepeye-load -scenario cluster.scenario -inprocess          # [cluster] nodes = 3
+//	deepeye-load -scenario cluster.scenario -addr http://a:8080,http://b:8080
 //
 // With -inprocess the command builds its own server (shaped by the
 // scenario's [server] section) on a loopback listener, so one binary
-// exercises the full registry + WAL + eviction + selection stack. With
-// -addr it targets an already-running deepeye-server.
+// exercises the full registry + WAL + eviction + selection stack; a
+// [cluster] section instead boots that many replicated members wired
+// through internal/cluster, with requests round-robined across them.
+// With -addr it targets an already-running deepeye-server — a
+// comma-separated list targets a running cluster's members.
 //
 // -soak marks the run as a soak and arms the leak gates: the server's
 // goroutine and memory gauges (sampled from /metrics through the run)
@@ -26,11 +31,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	deepeye "github.com/deepeye/deepeye"
+	"github.com/deepeye/deepeye/internal/cluster"
 	"github.com/deepeye/deepeye/internal/load"
+	"github.com/deepeye/deepeye/internal/obs"
 	"github.com/deepeye/deepeye/internal/server"
 )
 
@@ -73,15 +82,27 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	base := *addr
+	var bases []string
+	if *addr != "" {
+		bases = strings.Split(*addr, ",")
+	}
 	if *inprocess {
-		url, shutdown, err := startInprocess(sc)
+		var (
+			shutdown func()
+			err      error
+		)
+		if sc.Cluster.Nodes >= 2 {
+			bases, shutdown, err = startInprocessCluster(sc)
+		} else {
+			var url string
+			url, shutdown, err = startInprocess(sc)
+			bases = []string{url}
+		}
 		if err != nil {
 			fatal("starting in-process server: %v", err)
 		}
 		defer shutdown()
-		base = url
-		fmt.Fprintf(os.Stderr, "deepeye-load: in-process server on %s\n", base)
+		fmt.Fprintf(os.Stderr, "deepeye-load: in-process server on %s\n", strings.Join(bases, ", "))
 	}
 
 	gates := load.Gates{
@@ -106,7 +127,7 @@ func main() {
 	}
 
 	sum, err := load.Run(ctx, sc, load.Config{
-		BaseURL:      base,
+		BaseURLs:     bases,
 		Soak:         *soak,
 		DrainTimeout: *drainTimeout,
 		ScenarioPath: *scenarioPath,
@@ -185,6 +206,99 @@ func startInprocess(sc *load.Scenario) (string, func(), error) {
 		cleanupDir()
 	}
 	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// startInprocessCluster boots sc.Cluster.Nodes full members — each
+// with its own System (registry + WAL), metrics registry, and
+// cluster.Node — on loopback listeners, and returns their base URLs
+// plus a shutdown func. Listeners are bound before any member is
+// built so every node knows the complete ring up front.
+func startInprocessCluster(sc *load.Scenario) ([]string, func(), error) {
+	cfg := sc.Server
+	n := sc.Cluster.Nodes
+	root := cfg.DataDir
+	cleanupDir := func() {}
+	if root == "auto" {
+		dir, err := os.MkdirTemp("", "deepeye-load-cluster-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		root = dir
+		cleanupDir = func() { os.RemoveAll(dir) }
+	}
+
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	var shutdowns []func()
+	shutdown := func() {
+		for i := len(shutdowns) - 1; i >= 0; i-- {
+			shutdowns[i]()
+		}
+		cleanupDir()
+	}
+	fail := func(err error) ([]string, func(), error) {
+		shutdown()
+		return nil, nil, err
+	}
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fail(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+		shutdowns = append(shutdowns, func() { ln.Close() })
+	}
+
+	for i := range lns {
+		dataDir := ""
+		if root != "" {
+			dataDir = filepath.Join(root, fmt.Sprintf("node-%d", i))
+			if err := os.MkdirAll(dataDir, 0o755); err != nil {
+				return fail(err)
+			}
+		}
+		sys, err := deepeye.Open(deepeye.Options{
+			IncludeOneColumn: true,
+			CacheSize:        cfg.CacheSize,
+			Workers:          cfg.Workers,
+			RegistrySize:     cfg.RegistrySize,
+			DatasetTTL:       cfg.DatasetTTL,
+			DataDir:          dataDir,
+			WALCompactBytes:  cfg.WALCompactBytes,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		obsReg := obs.NewRegistry()
+		node, err := cluster.New(cluster.Config{
+			Self:     urls[i],
+			Peers:    urls,
+			Registry: sys.RegistryHandle(),
+			Obs:      obsReg,
+		})
+		if err != nil {
+			sys.Close()
+			return fail(err)
+		}
+		h := server.New(sys, server.Options{
+			MaxBodyBytes: 64 << 20,
+			Timeout:      cfg.Timeout,
+			MaxInFlight:  cfg.MaxInFlight,
+			Registry:     obsReg,
+			Cluster:      node,
+		})
+		srv := &http.Server{Handler: h}
+		go srv.Serve(lns[i])
+		shutdowns = append(shutdowns, func() {
+			shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			srv.Shutdown(shCtx)
+			cancel()
+			node.Close()
+			sys.Close()
+		})
+	}
+	return urls, shutdown, nil
 }
 
 func fatal(format string, args ...any) {

@@ -25,6 +25,12 @@
 //	GET    /datasets/{id}/query?q=…  → one query on the current snapshot
 //	DELETE /datasets/{id}            → drop the dataset and its cache entries
 //
+// Cluster mode (-peers with -self, registry required): the node joins a
+// member ring, each dataset's leader is the consistent-hash owner of its
+// name, misdirected writes forward to the leader, WAL commits replicate
+// to followers over /cluster/replicate, and dataset reads accept a
+// ?min_epoch= token for read-your-writes on any replica.
+//
 // Every request runs under -timeout (expired requests answer 504 and the
 // selection pipeline stops immediately via context cancellation), at most
 // -max-inflight requests are served concurrently (excess answers 503),
@@ -44,10 +50,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	deepeye "github.com/deepeye/deepeye"
+	"github.com/deepeye/deepeye/internal/cluster"
 	"github.com/deepeye/deepeye/internal/server"
 )
 
@@ -71,6 +79,8 @@ func main() {
 		maxCell     = flag.Int("max-cell-bytes", 0, "max bytes in one CSV cell on ingest; violations answer 413 (0 = unlimited)")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		grace       = flag.Duration("grace", 15*time.Second, "shutdown grace period for in-flight requests")
+		peers       = flag.String("peers", "", "comma-separated peer base URLs (e.g. http://10.0.0.2:8080); enables cluster mode (needs -self and -registry-size > 0)")
+		self        = flag.String("self", "", "this node's advertised base URL in cluster mode (must be reachable by every peer)")
 		// Per-request parallelism defaults to serial: the server already
 		// runs many requests concurrently (-max-inflight), so fanning each
 		// one out to every core helps tail latency only when the box has
@@ -109,6 +119,39 @@ func main() {
 		log.Fatal("-recognizer/-hybrid need -models")
 	}
 
+	// Cluster mode: this process joins a member ring, leads the
+	// datasets consistent-hashing to it, ships its WAL commits to the
+	// peers, and follows theirs.
+	var node *cluster.Node
+	if *peers != "" {
+		if *self == "" {
+			log.Fatal("-peers needs -self (this node's advertised base URL)")
+		}
+		reg := sys.RegistryHandle()
+		if reg == nil {
+			log.Fatal("-peers needs a live registry (-registry-size > 0)")
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, strings.TrimSuffix(p, "/"))
+			}
+		}
+		node, err = cluster.New(cluster.Config{
+			Self:     strings.TrimSuffix(*self, "/"),
+			Peers:    peerList,
+			Registry: reg,
+		})
+		if err != nil {
+			log.Fatalf("joining cluster: %v", err)
+		}
+		defer node.Close()
+		if err := node.SyncAll(); err != nil {
+			log.Printf("initial catch-up incomplete (continuing; replication heals): %v", err)
+		}
+		log.Printf("cluster mode: self=%s members=%v", node.Self(), node.Members())
+	}
+
 	h := server.New(sys, server.Options{
 		MaxBodyBytes: *maxBody,
 		ASCII:        *ascii,
@@ -116,6 +159,7 @@ func main() {
 		MaxInFlight:  *maxInFlight,
 		MaxRows:      *maxRows,
 		MaxCellBytes: *maxCell,
+		Cluster:      node,
 	})
 	var handler http.Handler = h
 	if *pprofOn {

@@ -1,0 +1,212 @@
+// Differential test: a 3-node cluster must be observationally
+// identical to a single node. The same mutation sequence is applied to
+// both; every read route (topk, search, query, info) must then return
+// bit-identical bodies from every cluster member — leader and
+// followers alike — including while unrelated appends are in flight.
+package cluster_test
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+)
+
+// readRoutes are the snapshot read endpoints compared byte-for-byte.
+// min_epoch pins every replica to the exact epoch the oracle answered
+// at, so responses can only differ if replicated state diverged.
+func readRoutes(name string, epoch uint64) []string {
+	q := url.QueryEscape(fmt.Sprintf("VISUALIZE bar SELECT region, SUM(amount) FROM %s GROUP BY region", name))
+	return []string{
+		fmt.Sprintf("/datasets/%s/topk?k=5&min_epoch=%d", name, epoch),
+		fmt.Sprintf("/datasets/%s/search?q=amount+by+region&k=3&min_epoch=%d", name, epoch),
+		fmt.Sprintf("/datasets/%s/query?q=%s&min_epoch=%d", name, q, epoch),
+		fmt.Sprintf("/datasets/%s?min_epoch=%d", name, epoch),
+	}
+}
+
+// stripVolatile zeroes response fields that legitimately differ across
+// replicas (wall-clock access times and the follower's replica role
+// marker); everything else must match.
+func stripVolatile(t *testing.T, body []byte) []byte {
+	t.Helper()
+	// last_access / created_at are RFC3339 timestamps local to each
+	// replica's apply time. Replace their values wholesale.
+	out := bytes.ReplaceAll(body, []byte(`"replica":true,`), nil)
+	for _, key := range []string{`"created_at":"`, `"last_access":"`} {
+		pos := 0
+		for {
+			i := bytes.Index(out[pos:], []byte(key))
+			if i < 0 {
+				break
+			}
+			start := pos + i + len(key)
+			j := bytes.IndexByte(out[start:], '"')
+			if j < 0 {
+				t.Fatalf("unterminated %s value in %s", key, out)
+			}
+			out = append(out[:start:start], append([]byte("T"), out[start+j:]...)...)
+			pos = start + 1
+		}
+	}
+	return out
+}
+
+func TestDifferentialThreeNodeVsSingleNode(t *testing.T) {
+	nodes := startCluster(t, 3, nil)
+	oracle := startOracle(t)
+
+	datasets := []string{"alpha", "bravo", "charlie", "delta"}
+
+	// Apply the identical op sequence to the oracle and to the cluster.
+	// Cluster ops round-robin across members: most land on a non-leader
+	// and exercise the forwarding path.
+	epochs := make(map[string]uint64)
+	for di, name := range datasets {
+		oe := register(t, oracle.url, name, salesCSV)
+		ce := register(t, nodes[di%len(nodes)].url, name, salesCSV)
+		if oe != ce {
+			t.Fatalf("register %s: oracle epoch %d, cluster epoch %d", name, oe, ce)
+		}
+		for i := 0; i < 4; i++ {
+			batch := appendBatch(di*10 + i)
+			oe = appendRows(t, oracle.url, name, batch)
+			ce = appendRows(t, nodes[(di+i)%len(nodes)].url, name, batch)
+			if oe != ce {
+				t.Fatalf("append %s #%d: oracle epoch %d, cluster epoch %d", name, i, oe, ce)
+			}
+		}
+		epochs[name] = oe
+	}
+
+	// Background noise: keep appending to a separate dataset while the
+	// comparison reads run, proving snapshot reads never tear.
+	register(t, oracle.url, "hot", salesCSV)
+	register(t, nodes[0].url, "hot", salesCSV)
+	stopNoise := make(chan struct{})
+	var noise sync.WaitGroup
+	noise.Add(1)
+	var hotBatches int
+	go func() {
+		defer noise.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopNoise:
+				hotBatches = i
+				return
+			default:
+			}
+			appendRows(t, nodes[i%len(nodes)].url, "hot", appendBatch(100+i))
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	waitConverged(t, nodes, 10*time.Second)
+
+	// Every read route, from every member, against the oracle.
+	for _, name := range datasets {
+		for _, route := range readRoutes(name, epochs[name]) {
+			status, want := httpDo(t, http.MethodGet, oracle.url+route, "")
+			if status != http.StatusOK {
+				t.Fatalf("oracle GET %s: status %d: %s", route, status, want)
+			}
+			want = stripVolatile(t, want)
+			for i, nd := range nodes {
+				status, got := httpDo(t, http.MethodGet, nd.url+route, "")
+				if status != http.StatusOK {
+					t.Fatalf("node %d GET %s: status %d: %s", i, route, status, got)
+				}
+				if got = stripVolatile(t, got); !bytes.Equal(want, got) {
+					t.Errorf("node %d GET %s diverges from oracle:\noracle: %s\nnode:   %s", i, route, want, got)
+				}
+			}
+		}
+	}
+
+	close(stopNoise)
+	noise.Wait()
+
+	// The noisy dataset converges too: replay the same batches on the
+	// oracle, then compare it like the rest.
+	var hotEpoch uint64
+	for i := 0; i < hotBatches; i++ {
+		hotEpoch = appendRows(t, oracle.url, "hot", appendBatch(100+i))
+	}
+	if hotBatches == 0 {
+		hotEpoch = 1
+	}
+	waitConverged(t, nodes, 10*time.Second)
+	for _, route := range readRoutes("hot", hotEpoch) {
+		status, want := httpDo(t, http.MethodGet, oracle.url+route, "")
+		if status != http.StatusOK {
+			t.Fatalf("oracle GET %s: status %d: %s", route, status, want)
+		}
+		want = stripVolatile(t, want)
+		for i, nd := range nodes {
+			status, got := httpDo(t, http.MethodGet, nd.url+route, "")
+			if status != http.StatusOK {
+				t.Fatalf("node %d GET %s: status %d: %s", i, route, status, got)
+			}
+			if got = stripVolatile(t, got); !bytes.Equal(want, got) {
+				t.Errorf("node %d GET %s diverges from oracle after noise:\noracle: %s\nnode:   %s", i, route, want, got)
+			}
+		}
+	}
+}
+
+// TestWriteForwardingAndDeletes drives every mutation through a
+// deliberately wrong member and verifies the router lands it on the
+// leader, then checks deletes replicate (dataset vanishes everywhere).
+func TestWriteForwardingAndDeletes(t *testing.T) {
+	nodes := startCluster(t, 3, nil)
+
+	// Find a member that does NOT lead "routed" and write through it.
+	name := "routed"
+	var follower *tnode
+	for _, nd := range nodes {
+		if !nd.node.IsLeader(name) {
+			follower = nd
+			break
+		}
+	}
+	if follower == nil {
+		t.Fatal("no follower found for dataset")
+	}
+	register(t, follower.url, name, salesCSV)
+	appendRows(t, follower.url, name, appendBatch(1))
+	waitConverged(t, nodes, 5*time.Second)
+
+	// Forwarded requests surface in the receiver's forwarded counter.
+	var forwarded float64
+	for _, nd := range nodes {
+		forwarded += counterValue(t, nd.url, "deepeye_http_forwarded_requests_total")
+	}
+	if forwarded < 2 {
+		t.Errorf("expected >= 2 forwarded requests recorded at leaders, got %v", forwarded)
+	}
+
+	// Delete through a (possibly) wrong member; the drop must replicate.
+	status, body := httpDo(t, http.MethodDelete, nodes[0].url+"/datasets/"+name, "")
+	if status != http.StatusOK {
+		t.Fatalf("delete via node 0: status %d: %s", status, body)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		gone := true
+		for _, nd := range nodes {
+			if len(epochsOf(t, nd.url)) != 0 {
+				gone = false
+			}
+		}
+		if gone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("delete did not replicate to all members")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,130 @@
+// Measurement companion for EXPERIMENTS.md's clustering table. Gated
+// behind DEEPEYE_EXPERIMENTS=1 so CI never pays for it:
+//
+//	DEEPEYE_EXPERIMENTS=1 go test -run TestClusterExperiment -v ./internal/cluster/
+//
+// It boots a real 3-node in-process cluster and measures (a) the
+// commit→follower-ack replication lag histogram on the leader, (b)
+// token-carrying follower read throughput against a single-node
+// baseline, and (c) failover recovery: kill a follower, keep writing,
+// restart it, and time WAL replay + catch-up to convergence.
+package cluster_test
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestClusterExperiment(t *testing.T) {
+	if os.Getenv("DEEPEYE_EXPERIMENTS") == "" {
+		t.Skip("set DEEPEYE_EXPERIMENTS=1 to run the measurement")
+	}
+	dirs := []string{t.TempDir(), t.TempDir(), t.TempDir()}
+	nodes := startCluster(t, 3, dirs)
+
+	// Datasets led by node 0, so every replication lag sample lands on
+	// node 0's per-peer shipper histograms.
+	var names []string
+	for i := 0; len(names) < 4 && i < 256; i++ {
+		name := fmt.Sprintf("exp-%d", i)
+		if nodes[0].node.IsLeader(name) {
+			names = append(names, name)
+		}
+	}
+	var lastEpoch uint64
+	for _, name := range names {
+		register(t, nodes[0].url, name, salesCSV)
+	}
+	const rounds = 25
+	for i := 0; i < rounds; i++ {
+		for _, name := range names {
+			lastEpoch = appendRows(t, nodes[0].url, name, appendBatch(i))
+		}
+	}
+	waitConverged(t, nodes, 10*time.Second)
+
+	// (a) Replication lag, leader commit → follower ack, per peer.
+	for _, peer := range []string{nodes[1].url, nodes[2].url} {
+		h := nodes[0].obs.Histogram("deepeye_cluster_replication_lag_seconds",
+			"Seconds from local commit to peer acknowledgement.", nil, "peer", peer)
+		t.Logf("replication lag → %s: n=%d p50=%v p99=%v mean=%v",
+			peer, h.Count(), h.Quantile(0.5), h.Quantile(0.99), h.Mean())
+	}
+
+	// (b) Follower read throughput (min_epoch token on every read)
+	// vs a single cluster-free node serving the same dataset.
+	oracle := startOracle(t)
+	register(t, oracle.url, names[0], salesCSV)
+	for i := 0; i < rounds; i++ {
+		appendRows(t, oracle.url, names[0], appendBatch(i))
+	}
+	readLoop := func(base, label, query string) {
+		const workers = 4
+		const window = 2 * time.Second
+		var n atomic.Uint64
+		deadline := time.Now().Add(window)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					status, body := httpDo(t, http.MethodGet,
+						base+"/datasets/"+names[0]+"/topk?k=5"+query, "")
+					if status != http.StatusOK {
+						t.Errorf("%s read: status %d: %s", label, status, body)
+						return
+					}
+					n.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+		t.Logf("%s: %d reads in %v (%.0f req/s, %d workers)",
+			label, n.Load(), window, float64(n.Load())/window.Seconds(), workers)
+	}
+	readLoop(nodes[1].url, "follower topk (min_epoch token)",
+		fmt.Sprintf("&min_epoch=%d", lastEpoch))
+	readLoop(oracle.url, "single-node topk (no cluster)", "")
+
+	// (c) Failover recovery: kill follower node 2, write on, restart,
+	// and time WAL replay + SyncAll catch-up until convergence.
+	victim := nodes[2]
+	victim.stop()
+	for i := 0; i < 10; i++ {
+		for _, name := range names {
+			appendRows(t, nodes[0].url, name, appendBatch(100+i))
+		}
+	}
+	addr := strings.TrimPrefix(victim.url, "http://")
+	start := time.Now()
+	var ln net.Listener
+	var err error
+	bindDeadline := time.Now().Add(5 * time.Second)
+	for {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(bindDeadline) {
+			t.Fatalf("rebinding %s: %v", addr, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	restarted := buildNode(t, ln, []string{nodes[0].url, nodes[1].url, victim.url}, 2, dirs[2])
+	t.Cleanup(restarted.stop)
+	booted := time.Since(start)
+	if err := restarted.node.SyncAll(); err != nil {
+		t.Fatalf("SyncAll after restart: %v", err)
+	}
+	waitConverged(t, []*tnode{nodes[0], nodes[1], restarted}, 10*time.Second)
+	t.Logf("failover recovery: boot (WAL replay) %v, converged %v after restart start",
+		booted, time.Since(start))
+}

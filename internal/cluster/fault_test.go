@@ -1,0 +1,303 @@
+// Fault injection across the replication stream. The replicate
+// endpoint receives raw WAL frames, so the contract under any byte-
+// level damage is absolute: a delivery either applies a verified
+// prefix of complete records or applies nothing — a replica never
+// holds state the leader's fingerprints don't vouch for. These tests
+// cut and corrupt the stream at every byte offset, degrade the
+// follower's own WAL mid-apply, and kill/restart a follower
+// mid-catch-up, asserting that invariant each time.
+package cluster_test
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/deepeye/deepeye/internal/cluster"
+	"github.com/deepeye/deepeye/internal/dataset"
+	"github.com/deepeye/deepeye/internal/obs"
+	"github.com/deepeye/deepeye/internal/registry"
+	"github.com/deepeye/deepeye/internal/wal"
+)
+
+// buildStream produces a leader's replication stream: the WAL records
+// (register + appends + a drop of a second dataset) exactly as the
+// commit hook emits them, plus their framed wire encoding.
+func buildStream(t testing.TB) (recs []*wal.Record, frames [][]byte) {
+	t.Helper()
+	leader := registry.New(registry.Config{Obs: obs.NewRegistry()})
+	leader.SetOnCommit(func(rec *wal.Record) { recs = append(recs, rec) })
+
+	tbl, err := dataset.FromCSVString("sales", salesCSV)
+	if err != nil {
+		t.Fatalf("building table: %v", err)
+	}
+	if _, err := leader.Register("sales", tbl); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		rows := [][]string{
+			{"north", fmt.Sprintf("%d.5", 40+i), "2024-03-01"},
+			{"east", fmt.Sprintf("%d", 50+i), "2024-03-02"},
+		}
+		if _, err := leader.Append("sales", rows); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	tbl2, err := dataset.FromCSVString("doomed", salesCSV)
+	if err != nil {
+		t.Fatalf("building table: %v", err)
+	}
+	if _, err := leader.Register("doomed", tbl2); err != nil {
+		t.Fatalf("register doomed: %v", err)
+	}
+	if _, err := leader.Delete("doomed"); err != nil {
+		t.Fatalf("delete doomed: %v", err)
+	}
+
+	for _, rec := range recs {
+		frame, err := wal.Encode(rec)
+		if err != nil {
+			t.Fatalf("encoding record: %v", err)
+		}
+		frames = append(frames, frame)
+	}
+	return recs, frames
+}
+
+// newFollower builds a bare single-member node whose handler can be
+// driven directly — no HTTP server, no shippers.
+func newFollower(t testing.TB) (*cluster.Node, *registry.Registry) {
+	t.Helper()
+	reg := registry.New(registry.Config{Obs: obs.NewRegistry()})
+	node, err := cluster.New(cluster.Config{
+		Self: "http://follower.test", Registry: reg, Obs: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	return node, reg
+}
+
+func replicate(h http.Handler, body []byte) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, "/cluster/replicate", bytes.NewReader(body))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr
+}
+
+// stateOf captures a registry's replicated state as name → epoch/fp.
+func stateOf(reg *registry.Registry) map[string]string {
+	m := make(map[string]string)
+	for _, ep := range reg.EpochList() {
+		m[ep.Name] = fmt.Sprintf("%d/%s", ep.Epoch, ep.Fingerprint)
+	}
+	return m
+}
+
+// referenceStates applies records one at a time to a clean follower,
+// capturing the expected state after each prefix length.
+func referenceStates(t *testing.T, recs []*wal.Record) []map[string]string {
+	t.Helper()
+	_, reg := newFollower(t)
+	states := []map[string]string{stateOf(reg)}
+	for i, rec := range recs {
+		if err := reg.ApplyReplicated(rec); err != nil {
+			t.Fatalf("reference apply %d: %v", i, err)
+		}
+		states = append(states, stateOf(reg))
+	}
+	return states
+}
+
+// TestReplicationStreamCutAtEveryByte truncates the stream at every
+// byte offset. Cuts on frame boundaries must apply exactly the
+// complete records; any mid-frame cut must apply nothing.
+func TestReplicationStreamCutAtEveryByte(t *testing.T) {
+	recs, frames := buildStream(t)
+	states := referenceStates(t, recs)
+
+	stream := bytes.Join(frames, nil)
+	boundaries := map[int]int{0: 0} // byte offset → records before it
+	off := 0
+	for k, f := range frames {
+		off += len(f)
+		boundaries[off] = k + 1
+	}
+
+	for i := 0; i <= len(stream); i++ {
+		node, reg := newFollower(t)
+		rr := replicate(node.Handler(), stream[:i])
+		if k, boundary := boundaries[i]; boundary {
+			if rr.Code != http.StatusOK {
+				t.Fatalf("cut at boundary %d (%d records): status %d: %s", i, k, rr.Code, rr.Body)
+			}
+			if got := stateOf(reg); !reflect.DeepEqual(got, states[k]) {
+				t.Fatalf("cut at boundary %d: state %v, want %v", i, got, states[k])
+			}
+		} else {
+			if rr.Code != http.StatusBadRequest {
+				t.Fatalf("cut mid-frame at %d: status %d, want 400: %s", i, rr.Code, rr.Body)
+			}
+			if got := stateOf(reg); len(got) != 0 {
+				t.Fatalf("cut mid-frame at %d applied state %v, want nothing", i, got)
+			}
+		}
+	}
+}
+
+// TestReplicationStreamCorruptAtEveryByte flips one bit at every byte
+// offset of the full stream. Every flip lands in a length header, a
+// CRC, or CRC-covered payload, so the delivery must be rejected whole:
+// 400, nothing applied, never a panic.
+func TestReplicationStreamCorruptAtEveryByte(t *testing.T) {
+	_, frames := buildStream(t)
+	stream := bytes.Join(frames, nil)
+
+	for i := 0; i < len(stream); i++ {
+		node, reg := newFollower(t)
+		corrupt := append([]byte(nil), stream...)
+		corrupt[i] ^= 0x80
+		rr := replicate(node.Handler(), corrupt)
+		if rr.Code != http.StatusBadRequest {
+			t.Fatalf("corrupt byte %d: status %d, want 400: %s", i, rr.Code, rr.Body)
+		}
+		if got := stateOf(reg); len(got) != 0 {
+			t.Fatalf("corrupt byte %d applied state %v, want nothing", i, got)
+		}
+	}
+}
+
+// TestReplicationRefusedWhenDegraded arms the follower's own WAL to
+// fail, then replicates into it: the follower must refuse (503,
+// read-only) rather than hold replicated state it cannot journal.
+func TestReplicationRefusedWhenDegraded(t *testing.T) {
+	_, frames := buildStream(t)
+	stream := bytes.Join(frames, nil)
+
+	fs := wal.NewMemFS()
+	reg := registry.New(registry.Config{Obs: obs.NewRegistry()})
+	log, _, err := wal.Open(wal.Config{Dir: "data", FS: fs, Obs: obs.NewRegistry()}, reg.Applier())
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	reg.VerifyRecovered()
+	reg.AttachLog(log, -1)
+	node, err := cluster.New(cluster.Config{
+		Self: "http://follower.test", Registry: reg, Obs: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+
+	fs.FailAt(1, false) // first journal write fails
+	rr := replicate(node.Handler(), stream)
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded replicate: status %d, want 503: %s", rr.Code, rr.Body)
+	}
+	if !strings.Contains(rr.Body.String(), "read_only") {
+		t.Fatalf("degraded replicate reason missing read_only: %s", rr.Body)
+	}
+	if got := stateOf(reg); len(got) != 0 {
+		t.Fatalf("degraded follower applied state %v, want nothing", got)
+	}
+	if _, ro := reg.ReadOnly(); !ro {
+		t.Fatal("registry should be read-only after the journal failure")
+	}
+	// Still refusing on the next delivery — no flapping.
+	if rr := replicate(node.Handler(), stream); rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("second degraded replicate: status %d, want 503", rr.Code)
+	}
+}
+
+// TestFollowerKillRestartMidCatchup kills a durable follower, writes
+// more while it is down, restarts it (twice — the first restart is
+// killed again before catch-up completes), and requires it to converge
+// to the leader's fingerprint-verified state and serve reads.
+func TestFollowerKillRestartMidCatchup(t *testing.T) {
+	dirs := []string{t.TempDir(), t.TempDir(), t.TempDir()}
+	nodes := startCluster(t, 3, dirs)
+
+	// Work with datasets NOT led by the node we will kill, so writes
+	// keep succeeding while it is down. Kill node 2's process.
+	victim := nodes[2]
+	var names []string
+	for i := 0; len(names) < 2 && i < 64; i++ {
+		name := fmt.Sprintf("survivor-%d", i)
+		if !victim.node.IsLeader(name) {
+			names = append(names, name)
+		}
+	}
+	if len(names) < 2 {
+		t.Fatal("could not find datasets led by surviving members")
+	}
+	for _, name := range names {
+		register(t, nodes[0].url, name, salesCSV)
+		appendRows(t, nodes[0].url, name, appendBatch(1))
+	}
+	waitConverged(t, nodes, 10*time.Second)
+
+	victim.stop()
+
+	// Writes continue against the survivors.
+	var lastEpochs = map[string]uint64{}
+	for i := 0; i < 3; i++ {
+		for _, name := range names {
+			lastEpochs[name] = appendRows(t, nodes[0].url, name, appendBatch(10+i))
+		}
+	}
+
+	restart := func() *tnode {
+		addr := strings.TrimPrefix(victim.url, "http://")
+		var ln net.Listener
+		var err error
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			ln, err = net.Listen("tcp", addr)
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("rebinding %s: %v", addr, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		urls := []string{nodes[0].url, nodes[1].url, victim.url}
+		nd := buildNode(t, ln, urls, 2, dirs[2])
+		t.Cleanup(nd.stop)
+		return nd
+	}
+
+	// First restart: recovery replays the follower's own WAL, then we
+	// kill it again before catch-up finishes — mid-catch-up crash.
+	half := restart()
+	half.stop()
+
+	// Second restart: recover again, then pull what we missed.
+	full := restart()
+	if err := full.node.SyncAll(); err != nil {
+		t.Fatalf("SyncAll after restart: %v", err)
+	}
+	all := []*tnode{nodes[0], nodes[1], full}
+	conv := waitConverged(t, all, 10*time.Second)
+	for _, name := range names {
+		if _, ok := conv[name]; !ok {
+			t.Fatalf("dataset %q missing after convergence: %v", name, conv)
+		}
+	}
+
+	// The restarted follower serves reads at the client's epoch token.
+	for _, name := range names {
+		route := fmt.Sprintf("/datasets/%s/topk?k=3&min_epoch=%d", name, lastEpochs[name])
+		status, body := httpDo(t, http.MethodGet, full.url+route, "")
+		if status != http.StatusOK {
+			t.Fatalf("restarted follower GET %s: status %d: %s", route, status, body)
+		}
+	}
+}

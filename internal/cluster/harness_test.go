@@ -1,0 +1,298 @@
+// In-process cluster harness: N full deepeye nodes (System + server
+// handler + cluster.Node) on loopback listeners, plus a single-node
+// oracle, so the suite can drive the real HTTP stack end to end —
+// router forwarding, WAL shipping, follower applies — without leaving
+// the process. Tests live in package cluster_test because they wire
+// internal/server (which imports cluster) back onto cluster nodes.
+package cluster_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	deepeye "github.com/deepeye/deepeye"
+	"github.com/deepeye/deepeye/internal/cluster"
+	"github.com/deepeye/deepeye/internal/obs"
+	"github.com/deepeye/deepeye/internal/server"
+)
+
+const salesCSV = `region,amount,when
+north,12.5,2024-01-01
+south,30,2024-01-02
+north,8,2024-01-03
+east,22,2024-01-04
+west,17.5,2024-01-05
+south,11,2024-01-06
+`
+
+// appendBatch returns a small deterministic headerless batch keyed by i.
+func appendBatch(i int) string {
+	regions := []string{"north", "south", "east", "west"}
+	var b strings.Builder
+	for j := 0; j < 3; j++ {
+		fmt.Fprintf(&b, "%s,%d.%d,2024-02-%02d\n", regions[(i+j)%len(regions)], 5+i, j, 1+(i+j)%27)
+	}
+	return b.String()
+}
+
+// tnode is one in-process cluster member.
+type tnode struct {
+	url  string
+	ln   net.Listener
+	srv  *http.Server
+	sys  *deepeye.System
+	node *cluster.Node
+	obs  *obs.Registry
+	dir  string // durability dir ("" = in-memory registry)
+
+	stopped bool
+}
+
+// stop kills the member: HTTP server, cluster node, system. Idempotent
+// so kill-and-restart tests can stop a node the cleanup will revisit.
+func (n *tnode) stop() {
+	if n.stopped {
+		return
+	}
+	n.stopped = true
+	if n.srv != nil {
+		n.srv.Close()
+	}
+	if n.node != nil {
+		n.node.Close()
+	}
+	if n.sys != nil {
+		n.sys.Close()
+	}
+}
+
+func sysOptions(dir string) deepeye.Options {
+	return deepeye.Options{
+		IncludeOneColumn: true,
+		Workers:          1,
+		RegistrySize:     64 << 20,
+		DataDir:          dir,
+	}
+}
+
+func peerClient() *http.Client { return &http.Client{Timeout: 10 * time.Second} }
+
+// buildNode assembles one member on a pre-bound listener so every
+// node knows the full member URL list before any node exists.
+func buildNode(t *testing.T, ln net.Listener, urls []string, self int, dir string) *tnode {
+	t.Helper()
+	sys, err := deepeye.Open(sysOptions(dir))
+	if err != nil {
+		t.Fatalf("opening system: %v", err)
+	}
+	obsReg := obs.NewRegistry()
+	node, err := cluster.New(cluster.Config{
+		Self: urls[self], Peers: urls,
+		Registry: sys.RegistryHandle(),
+		Obs:      obsReg,
+		Client:   peerClient(),
+	})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	h := server.New(sys, server.Options{Registry: obsReg, Cluster: node})
+	srv := &http.Server{Handler: h}
+	go func() { _ = srv.Serve(ln) }()
+	return &tnode{url: urls[self], ln: ln, srv: srv, sys: sys, node: node, obs: obsReg, dir: dir}
+}
+
+// startCluster boots n members on loopback. dirs, when non-nil, gives
+// each member a durability directory (len must be n).
+func startCluster(t *testing.T, n int, dirs []string) []*tnode {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	nodes := make([]*tnode, n)
+	for i := range nodes {
+		dir := ""
+		if dirs != nil {
+			dir = dirs[i]
+		}
+		nodes[i] = buildNode(t, lns[i], urls, i, dir)
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.stop()
+		}
+	})
+	return nodes
+}
+
+// startOracle boots a single-node, cluster-free server over the same
+// system options — the differential reference.
+func startOracle(t *testing.T) *tnode {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	sys, err := deepeye.Open(sysOptions(""))
+	if err != nil {
+		t.Fatalf("opening oracle system: %v", err)
+	}
+	obsReg := obs.NewRegistry()
+	h := server.New(sys, server.Options{Registry: obsReg})
+	srv := &http.Server{Handler: h}
+	go func() { _ = srv.Serve(ln) }()
+	nd := &tnode{url: "http://" + ln.Addr().String(), ln: ln, srv: srv, sys: sys, obs: obsReg}
+	t.Cleanup(nd.stop)
+	return nd
+}
+
+func httpDo(t *testing.T, method, url, body string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("building %s %s: %v", method, url, err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s %s: %v", method, url, err)
+	}
+	return resp.StatusCode, b
+}
+
+// register creates a dataset via base and returns the response epoch.
+func register(t *testing.T, base, name, csv string) uint64 {
+	t.Helper()
+	status, body := httpDo(t, http.MethodPost, base+"/datasets?name="+name, csv)
+	if status != http.StatusCreated {
+		t.Fatalf("register %q via %s: status %d: %s", name, base, status, body)
+	}
+	var ds server.DatasetJSON
+	if err := json.Unmarshal(body, &ds); err != nil {
+		t.Fatalf("register response: %v", err)
+	}
+	return ds.Epoch
+}
+
+// appendRows appends headerless CSV rows and returns the new epoch.
+func appendRows(t *testing.T, base, name, rows string) uint64 {
+	t.Helper()
+	status, body := httpDo(t, http.MethodPost, base+"/datasets/"+name+"/rows", rows)
+	if status != http.StatusOK {
+		t.Fatalf("append %q via %s: status %d: %s", name, base, status, body)
+	}
+	var ap server.AppendJSON
+	if err := json.Unmarshal(body, &ap); err != nil {
+		t.Fatalf("append response: %v", err)
+	}
+	return ap.Epoch
+}
+
+// epochsOf scrapes one node's replication positions as name → epoch/fp.
+func epochsOf(t *testing.T, base string) map[string]string {
+	t.Helper()
+	status, body := httpDo(t, http.MethodGet, base+"/cluster/epochs", "")
+	if status != http.StatusOK {
+		t.Fatalf("epochs via %s: status %d: %s", base, status, body)
+	}
+	var eps struct {
+		Datasets []struct {
+			Name        string `json:"name"`
+			Epoch       uint64 `json:"epoch"`
+			Fingerprint string `json:"fingerprint"`
+		} `json:"datasets"`
+	}
+	if err := json.Unmarshal(body, &eps); err != nil {
+		t.Fatalf("epochs response: %v", err)
+	}
+	m := make(map[string]string, len(eps.Datasets))
+	for _, d := range eps.Datasets {
+		m[d.Name] = fmt.Sprintf("%d/%s", d.Epoch, d.Fingerprint)
+	}
+	return m
+}
+
+// waitConverged polls until every node reports the identical dataset
+// epoch/fingerprint map, returning it.
+func waitConverged(t *testing.T, nodes []*tnode, timeout time.Duration) map[string]string {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var last []map[string]string
+	for time.Now().Before(deadline) {
+		maps := make([]map[string]string, len(nodes))
+		for i, nd := range nodes {
+			maps[i] = epochsOf(t, nd.url)
+		}
+		same := true
+		for i := 1; i < len(maps); i++ {
+			if !mapsEqual(maps[0], maps[i]) {
+				same = false
+				break
+			}
+		}
+		if same {
+			return maps[0]
+		}
+		last = maps
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("cluster did not converge within %v: %v", timeout, last)
+	return nil
+}
+
+func mapsEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// counterValue parses one metric value (summed over matching labeled
+// series) from a node's /metrics text.
+func counterValue(t *testing.T, base, metric string) float64 {
+	t.Helper()
+	status, body := httpDo(t, http.MethodGet, base+"/metrics", "")
+	if status != http.StatusOK {
+		t.Fatalf("metrics via %s: status %d", base, status)
+	}
+	var sum float64
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, metric) {
+			continue
+		}
+		rest := line[len(metric):]
+		if rest != "" && rest[0] != ' ' && rest[0] != '{' {
+			continue // a longer metric name sharing the prefix
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(fields[len(fields)-1], "%g", &v); err == nil {
+			sum += v
+		}
+	}
+	return sum
+}

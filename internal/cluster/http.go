@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"github.com/deepeye/deepeye/internal/registry"
+	"github.com/deepeye/deepeye/internal/wal"
+)
+
+// The peer-facing wire surface. All endpoints live under /cluster/ so
+// the serving handler can mount them next to the public API:
+//
+//	POST /cluster/replicate  — concatenated WAL frames; applied in order
+//	GET  /cluster/epochs     — every dataset's replication position
+//	GET  /cluster/snapshot   — ?dataset=N: one framed register record
+//	GET  /cluster/status     — membership and role summary
+//
+// The replicate body is the exact framed encoding the WAL writes, so
+// a cut or corrupted stream is rejected by the same CRC + structural
+// checks as local replay — nothing about the transport is trusted.
+
+// replicateResponse reports how far a replicate body got. On failure,
+// Index is the offset of the record that did not apply (records before
+// it are applied and must not be re-counted by the sender), Dataset
+// names the dataset needing attention, and Reason is machine-readable.
+type replicateResponse struct {
+	Applied int    `json:"applied"`
+	Error   string `json:"error,omitempty"`
+	Reason  string `json:"reason,omitempty"`
+	Dataset string `json:"dataset,omitempty"`
+	Index   int    `json:"index,omitempty"`
+}
+
+// epochsResponse is the catch-up probe: enough to decide what to pull
+// without moving any content.
+type epochsResponse struct {
+	Self     string               `json:"self"`
+	Members  []string             `json:"members"`
+	Datasets []registry.EpochInfo `json:"datasets"`
+}
+
+// statusResponse summarizes the node for operators.
+type statusResponse struct {
+	Self     string   `json:"self"`
+	Members  []string `json:"members"`
+	Datasets int      `json:"datasets"`
+	Led      int      `json:"led"`
+}
+
+// Handler returns the peer-facing endpoints, paths included (mount at
+// the mux root or under "/cluster/").
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /cluster/replicate", n.handleReplicate)
+	mux.HandleFunc("GET /cluster/epochs", n.handleEpochs)
+	mux.HandleFunc("GET /cluster/snapshot", n.handleSnapshot)
+	mux.HandleFunc("GET /cluster/status", n.handleStatus)
+	return mux
+}
+
+func clusterJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// handleReplicate applies a peer's framed record stream in order. The
+// stream decodes completely before anything applies, so a torn tail
+// cannot leave a prefix applied under a 400; apply failures report the
+// exact failing index so the sender can resync and resume.
+func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxReplicateBytes))
+	if err != nil {
+		clusterJSON(w, http.StatusBadRequest,
+			replicateResponse{Error: "reading body: " + err.Error(), Reason: reasonDecode})
+		return
+	}
+	recs, err := wal.DecodeAll(body)
+	if err != nil {
+		n.applyErrors.Inc()
+		clusterJSON(w, http.StatusBadRequest,
+			replicateResponse{Error: "torn or corrupt replication frame", Reason: reasonDecode})
+		return
+	}
+	applied := 0
+	for i, rec := range recs {
+		if err := n.reg.ApplyReplicated(rec); err != nil {
+			n.applyErrors.Inc()
+			status, reason := http.StatusInternalServerError, ""
+			switch {
+			case errors.Is(err, registry.ErrOutOfSync):
+				status, reason = http.StatusConflict, reasonOutOfSync
+			case errors.Is(err, registry.ErrBadRecord):
+				status, reason = http.StatusUnprocessableEntity, reasonBadRecord
+			case errors.Is(err, registry.ErrReadOnly):
+				status, reason = http.StatusServiceUnavailable, reasonReadOnly
+			}
+			clusterJSON(w, status, replicateResponse{
+				Applied: applied, Error: err.Error(), Reason: reason,
+				Dataset: rec.Name, Index: i,
+			})
+			return
+		}
+		applied++
+		n.applied.Inc()
+	}
+	clusterJSON(w, http.StatusOK, replicateResponse{Applied: applied})
+}
+
+func (n *Node) handleEpochs(w http.ResponseWriter, _ *http.Request) {
+	clusterJSON(w, http.StatusOK, epochsResponse{
+		Self: n.self, Members: n.Members(), Datasets: n.reg.EpochList(),
+	})
+}
+
+func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("dataset")
+	if name == "" {
+		clusterJSON(w, http.StatusBadRequest, replicateResponse{Error: "missing dataset parameter"})
+		return
+	}
+	rec, ok := n.reg.SnapshotRecord(name)
+	if !ok {
+		clusterJSON(w, http.StatusNotFound, replicateResponse{Error: "dataset not found", Dataset: name})
+		return
+	}
+	frame, err := wal.Encode(rec)
+	if err != nil {
+		clusterJSON(w, http.StatusInternalServerError, replicateResponse{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(frame)
+}
+
+func (n *Node) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	eps := n.reg.EpochList()
+	led := 0
+	for _, ep := range eps {
+		if !ep.Replica {
+			led++
+		}
+	}
+	clusterJSON(w, http.StatusOK, statusResponse{
+		Self: n.self, Members: n.Members(), Datasets: len(eps), Led: led,
+	})
+}

@@ -1,0 +1,366 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/deepeye/deepeye/internal/obs"
+	"github.com/deepeye/deepeye/internal/registry"
+	"github.com/deepeye/deepeye/internal/wal"
+)
+
+// Metric names exported on the node's obs registry.
+const (
+	metricMembers     = "deepeye_cluster_members"
+	metricLedDatasets = "deepeye_cluster_led_datasets"
+	metricShipped     = "deepeye_cluster_shipped_records_total"
+	metricShipErrors  = "deepeye_cluster_ship_errors_total"
+	metricResyncs     = "deepeye_cluster_resyncs_total"
+	metricQueueDepth  = "deepeye_cluster_queue_depth"
+	metricLag         = "deepeye_cluster_replication_lag_seconds"
+	metricApplied     = "deepeye_cluster_applied_records_total"
+	metricApplyErrors = "deepeye_cluster_apply_errors_total"
+	metricPulled      = "deepeye_cluster_pulled_snapshots_total"
+	metricWaits       = "deepeye_cluster_catchup_waits_total"
+	metricWaitTimeout = "deepeye_cluster_catchup_timeouts_total"
+)
+
+// Machine-readable replicate-failure reasons.
+const (
+	reasonOutOfSync = "out_of_sync"
+	reasonBadRecord = "bad_record"
+	reasonDecode    = "decode"
+	reasonReadOnly  = "read_only"
+)
+
+// catchupPoll is the WaitForEpoch polling interval (through the
+// injectable sleep, so stalled-catch-up tests control it).
+const catchupPoll = 2 * time.Millisecond
+
+// maxReplicateBytes caps one replication POST (a register record
+// carries a full dataset, so the cap is generous).
+const maxReplicateBytes = 1 << 30
+
+// Config configures a cluster node.
+type Config struct {
+	// Self is this node's advertised base URL (e.g. http://10.0.0.1:8080).
+	// It must appear in Peers; if absent it is added.
+	Self string
+	// Peers is the full member list, self included.
+	Peers []string
+	// Registry is the node's dataset registry. New installs the commit
+	// hook on it, so build the node before the registry serves traffic.
+	Registry *registry.Registry
+	// Obs receives the cluster metrics; nil uses obs.Default.
+	Obs *obs.Registry
+	// Client performs peer HTTP calls; nil uses a short-timeout default.
+	Client *http.Client
+	// Now overrides the clock; nil uses time.Now.
+	Now func() time.Time
+	// Sleep overrides catch-up wait pacing (read-your-writes tests
+	// stall it); nil uses time.Sleep.
+	Sleep func(time.Duration)
+	// CatchupWait bounds how long a follower read waits for replication
+	// to reach the client's epoch token before proxying to the leader.
+	// Default 2s.
+	CatchupWait time.Duration
+}
+
+// Node is one cluster member: the consistent-hash router, the
+// replication shippers toward every peer, and the apply surface peers
+// POST into. Safe for concurrent use.
+type Node struct {
+	self        string
+	reg         *registry.Registry
+	obs         *obs.Registry
+	client      *http.Client
+	now         func() time.Time
+	sleep       func(time.Duration)
+	catchupWait time.Duration
+
+	mu       sync.Mutex
+	ring     *ring
+	shippers map[string]*shipper
+
+	closeOnce sync.Once
+	closeCh   chan struct{}
+	wg        sync.WaitGroup
+
+	membersG    *obs.Gauge
+	ledG        *obs.Gauge
+	applied     *obs.Counter
+	applyErrors *obs.Counter
+	pulled      *obs.Counter
+	waits       *obs.Counter
+	waitTimeout *obs.Counter
+}
+
+// New builds a node over cfg.Peers and installs the registry commit
+// hook that feeds the replication shippers. Call before the registry
+// serves traffic (SetOnCommit's contract).
+func New(cfg Config) (*Node, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: Self is required")
+	}
+	if cfg.Registry == nil {
+		return nil, errors.New("cluster: Registry is required")
+	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.Default
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	sleep := cfg.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	wait := cfg.CatchupWait
+	if wait <= 0 {
+		wait = 2 * time.Second
+	}
+	n := &Node{
+		self: cfg.Self, reg: cfg.Registry, obs: reg,
+		client: client, now: now, sleep: sleep, catchupWait: wait,
+		shippers: make(map[string]*shipper),
+		closeCh:  make(chan struct{}),
+		membersG: reg.Gauge(metricMembers, "Cluster members in the current ring."),
+		ledG:     reg.Gauge(metricLedDatasets, "Datasets this node currently leads."),
+		applied: reg.Counter(metricApplied,
+			"Replicated records applied from peers."),
+		applyErrors: reg.Counter(metricApplyErrors,
+			"Replicated records refused (out-of-sync, verification failure, or degradation)."),
+		pulled: reg.Counter(metricPulled,
+			"Snapshot records pulled from leaders during catch-up."),
+		waits: reg.Counter(metricWaits,
+			"Follower reads that waited for replication to reach the client's epoch token."),
+		waitTimeout: reg.Counter(metricWaitTimeout,
+			"Catch-up waits that timed out (the read proxied to the leader)."),
+	}
+	n.setMembersLocked(append([]string{cfg.Self}, cfg.Peers...))
+	cfg.Registry.SetOnCommit(n.onCommit)
+	return n, nil
+}
+
+// Close stops every shipper and waits for them. Queued records that
+// were not yet acknowledged by a peer are dropped — peers converge via
+// SyncAll on their next membership event or restart.
+func (n *Node) Close() {
+	n.closeOnce.Do(func() {
+		close(n.closeCh)
+		n.mu.Lock()
+		for _, s := range n.shippers {
+			s.wake()
+		}
+		n.mu.Unlock()
+	})
+	n.wg.Wait()
+}
+
+// Self returns this node's advertised base URL.
+func (n *Node) Self() string { return n.self }
+
+// Members returns the current member list (sorted, deduplicated).
+func (n *Node) Members() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]string(nil), n.ring.members...)
+}
+
+// Leader returns the base URL of the member leading name.
+func (n *Node) Leader(name string) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ring.leader(name)
+}
+
+// IsLeader reports whether this node leads name.
+func (n *Node) IsLeader(name string) bool { return n.Leader(name) == n.self }
+
+// Client returns the HTTP client used for peer calls (the server's
+// write forwarder shares it).
+func (n *Node) Client() *http.Client { return n.client }
+
+// SetMembers replaces the member ring: shippers are started for new
+// peers and stopped for removed ones, and every dataset's replica flag
+// is re-derived from the new ring — a dataset this node now leads
+// flips to led (its mutations start shipping), one it no longer leads
+// flips to replica (local TTL/LRU stops touching it).
+func (n *Node) SetMembers(peers []string) {
+	n.mu.Lock()
+	n.setMembersLocked(append([]string{n.self}, peers...))
+	n.mu.Unlock()
+}
+
+func (n *Node) setMembersLocked(peers []string) {
+	n.ring = newRing(peers)
+	n.membersG.Set(int64(len(n.ring.members)))
+	live := make(map[string]bool, len(n.ring.members))
+	for _, m := range n.ring.members {
+		if m != n.self {
+			live[m] = true
+		}
+	}
+	for peer, s := range n.shippers {
+		if !live[peer] {
+			s.stop()
+			delete(n.shippers, peer)
+		}
+	}
+	for peer := range live {
+		if _, ok := n.shippers[peer]; !ok {
+			s := newShipper(n, peer)
+			n.shippers[peer] = s
+			n.wg.Add(1)
+			go func() { defer n.wg.Done(); s.run() }()
+		}
+	}
+	led := 0
+	for _, ep := range n.reg.EpochList() {
+		replica := n.ring.leader(ep.Name) != n.self
+		n.reg.SetReplica(ep.Name, replica)
+		if !replica {
+			led++
+		}
+	}
+	n.ledG.Set(int64(led))
+}
+
+// onCommit is the registry commit hook: fan the record out to every
+// peer shipper. Runs under registry locks, so it only enqueues.
+func (n *Node) onCommit(rec *wal.Record) {
+	at := n.now()
+	n.mu.Lock()
+	if n.ring.leader(rec.Name) != n.self {
+		// A rebalance moved the dataset between commit and hook — the
+		// new leader owns shipping it; our copy becomes a replica.
+		n.mu.Unlock()
+		return
+	}
+	for _, s := range n.shippers {
+		s.enqueue(queued{rec: rec, at: at})
+	}
+	n.mu.Unlock()
+}
+
+// WaitForEpoch blocks (through the injectable sleep) until the named
+// dataset's epoch reaches min or the catch-up budget expires,
+// reporting whether it got there. A missing dataset keeps waiting —
+// its register record may still be in flight.
+func (n *Node) WaitForEpoch(name string, min uint64) bool {
+	n.waits.Inc()
+	deadline := n.now().Add(n.catchupWait)
+	for {
+		if d, ok := n.reg.Get(name); ok && d.Epoch() >= min {
+			return true
+		}
+		if !n.now().Before(deadline) {
+			n.waitTimeout.Inc()
+			return false
+		}
+		n.sleep(catchupPoll)
+	}
+}
+
+// SyncAll pulls catch-up snapshots from every peer (see SyncFrom),
+// returning the first error. Call after recovery/restart: the node's
+// own WAL restored what it had, SyncAll fetches what it missed.
+func (n *Node) SyncAll() error {
+	var firstErr error
+	for _, peer := range n.Members() {
+		if peer == n.self {
+			continue
+		}
+		if err := n.SyncFrom(peer); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// SyncFrom compares epochs with one peer and pulls a fingerprint-
+// verified snapshot for every dataset that peer leads where this node
+// is missing or behind. Datasets the peer holds but does not lead are
+// ignored — each dataset is pulled from its leader exactly once.
+func (n *Node) SyncFrom(peer string) error {
+	resp, err := n.client.Get(peer + "/cluster/epochs")
+	if err != nil {
+		return fmt.Errorf("cluster: epochs from %s: %w", peer, err)
+	}
+	var eps epochsResponse
+	err = json.NewDecoder(io.LimitReader(resp.Body, maxReplicateBytes)).Decode(&eps)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("cluster: decoding epochs from %s: %w", peer, err)
+	}
+	local := make(map[string]registry.EpochInfo)
+	for _, ep := range n.reg.EpochList() {
+		local[ep.Name] = ep
+	}
+	for _, remote := range eps.Datasets {
+		if n.Leader(remote.Name) != peer {
+			continue
+		}
+		have, ok := local[remote.Name]
+		if ok && have.Epoch >= remote.Epoch && have.Fingerprint == remote.Fingerprint {
+			continue
+		}
+		if ok && have.Epoch > remote.Epoch {
+			continue // we are ahead (the peer is still catching up)
+		}
+		if err := n.pullSnapshot(peer, remote.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pullSnapshot fetches one dataset's register record from its leader
+// and applies it through the verified replication path.
+func (n *Node) pullSnapshot(peer, name string) error {
+	resp, err := n.client.Get(peer + "/cluster/snapshot?dataset=" + name)
+	if err != nil {
+		return fmt.Errorf("cluster: snapshot %q from %s: %w", name, peer, err)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxReplicateBytes))
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("cluster: reading snapshot %q from %s: %w", name, peer, err)
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		return nil // dropped between the epoch probe and the pull
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: snapshot %q from %s: status %d", name, peer, resp.StatusCode)
+	}
+	recs, err := wal.DecodeAll(body)
+	if err != nil || len(recs) != 1 {
+		return fmt.Errorf("cluster: snapshot %q from %s: torn or corrupt frame", name, peer)
+	}
+	if err := n.reg.ApplyReplicated(recs[0]); err != nil {
+		return fmt.Errorf("cluster: applying snapshot %q: %w", name, err)
+	}
+	n.pulled.Inc()
+	return nil
+}
+
+// closed reports whether Close has begun.
+func (n *Node) closed() bool {
+	select {
+	case <-n.closeCh:
+		return true
+	default:
+		return false
+	}
+}

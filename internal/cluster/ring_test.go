@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func members(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return out
+}
+
+// Leader assignment is a pure function of (membership, name): every
+// node computes routing independently, so any instability would split
+// the cluster's view of who owns what.
+func TestRingDeterministic(t *testing.T) {
+	a := newRing(members(5))
+	b := newRing([]string{ // same set, shuffled + duplicated
+		"http://10.0.0.3:8080", "http://10.0.0.1:8080", "http://10.0.0.5:8080",
+		"http://10.0.0.2:8080", "http://10.0.0.4:8080", "http://10.0.0.1:8080",
+	})
+	for i := 0; i < 1000; i++ {
+		name := fmt.Sprintf("dataset-%d", i)
+		if a.leader(name) != b.leader(name) {
+			t.Fatalf("order/duplicate sensitivity: %q → %q vs %q", name, a.leader(name), b.leader(name))
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if got := newRing(nil).leader("x"); got != "" {
+		t.Fatalf("empty ring leader = %q, want empty", got)
+	}
+	r := newRing([]string{"http://solo:1"})
+	for i := 0; i < 100; i++ {
+		if got := r.leader(fmt.Sprintf("d%d", i)); got != "http://solo:1" {
+			t.Fatalf("single-member ring routed %q elsewhere: %q", fmt.Sprintf("d%d", i), got)
+		}
+	}
+}
+
+// With vnodes, load should spread: no member of a 5-node ring owns
+// more than ~2x its fair share of 10k dataset names.
+func TestRingBalance(t *testing.T) {
+	ms := members(5)
+	r := newRing(ms)
+	counts := map[string]int{}
+	const total = 10000
+	for i := 0; i < total; i++ {
+		counts[r.leader(fmt.Sprintf("dataset-%d", i))]++
+	}
+	fair := total / len(ms)
+	for _, m := range ms {
+		if c := counts[m]; c == 0 || c > 2*fair {
+			t.Errorf("member %s owns %d of %d names (fair share %d)", m, c, total, fair)
+		}
+	}
+}
+
+// Consistent hashing's point: adding one member must only move keys
+// onto the new member, never shuffle keys between surviving members.
+func TestRingMinimalMovement(t *testing.T) {
+	before := newRing(members(5))
+	after := newRing(members(6)) // adds 10.0.0.6
+	moved, movedElsewhere := 0, 0
+	const total = 10000
+	for i := 0; i < total; i++ {
+		name := fmt.Sprintf("dataset-%d", i)
+		b, a := before.leader(name), after.leader(name)
+		if b == a {
+			continue
+		}
+		moved++
+		if a != "http://10.0.0.6:8080" {
+			movedElsewhere++
+		}
+	}
+	if movedElsewhere != 0 {
+		t.Errorf("%d names moved between surviving members (must be 0)", movedElsewhere)
+	}
+	// Expect roughly 1/6 of names to move to the newcomer; allow slack.
+	if moved == 0 || moved > total/3 {
+		t.Errorf("%d of %d names moved to the new member, want ~%d", moved, total, total/6)
+	}
+}

@@ -1,0 +1,242 @@
+// Read-your-writes regression: a client that just wrote at epoch E and
+// reads ?min_epoch=E from a follower must see epoch ≥ E, whether
+// replication catches up during the wait (serve locally) or stalls
+// past the budget (proxy to the leader). The follower's clock and wait
+// pacing are injected, so both paths are exercised deterministically —
+// no real sleeping, no timing luck.
+package cluster_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	deepeye "github.com/deepeye/deepeye"
+	"github.com/deepeye/deepeye/internal/cluster"
+	"github.com/deepeye/deepeye/internal/obs"
+	"github.com/deepeye/deepeye/internal/server"
+)
+
+// fakeClock advances only when the code under test sleeps.
+type fakeClock struct {
+	mu  sync.Mutex
+	t   time.Time
+	tic func() // runs on every sleep, before the clock advances
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) sleep(d time.Duration) {
+	if c.tic != nil {
+		c.tic()
+	}
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// rywSetup builds a leader with a real HTTP server and a follower
+// whose cluster handler is deliberately NOT served: the leader's
+// shipper cannot reach it, so the follower is permanently stalled at
+// whatever it pulled explicitly — replication lag under test control.
+func rywSetup(t *testing.T, clock *fakeClock) (leader *tnode, follower *tnode, name string) {
+	t.Helper()
+	leaderLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	// Reserve an address for the follower, then free it: it must be in
+	// the ring but unreachable.
+	resLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	followerURL := "http://" + resLn.Addr().String()
+	resLn.Close()
+	urls := []string{"http://" + leaderLn.Addr().String(), followerURL}
+
+	leader = buildNode(t, leaderLn, urls, 0, "")
+	t.Cleanup(leader.stop)
+
+	sys, err := deepeye.Open(sysOptions(""))
+	if err != nil {
+		t.Fatalf("opening follower system: %v", err)
+	}
+	obsReg := obs.NewRegistry()
+	node, err := cluster.New(cluster.Config{
+		Self: urls[1], Peers: urls,
+		Registry: sys.RegistryHandle(),
+		Obs:      obsReg,
+		Client:   peerClient(),
+		Now:      clock.now,
+		Sleep:    clock.sleep,
+	})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	follower = &tnode{url: urls[1], sys: sys, node: node, obs: obsReg}
+	t.Cleanup(follower.stop)
+
+	// A dataset the leader leads, so the follower is a true follower.
+	name = ""
+	for i := 0; i < 64 && name == ""; i++ {
+		cand := "ryw-" + string(rune('a'+i))
+		if leader.node.IsLeader(cand) {
+			name = cand
+		}
+	}
+	if name == "" {
+		t.Fatal("no leader-led dataset name found")
+	}
+	return leader, follower, name
+}
+
+// followerGet drives the follower's server handler directly.
+func followerGet(t *testing.T, follower *tnode, path string) (int, []byte) {
+	t.Helper()
+	h := server.New(follower.sys, server.Options{Registry: follower.obs, Cluster: follower.node})
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr.Code, rr.Body.Bytes()
+}
+
+func TestReadYourWritesStalledCatchupProxies(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1700000000, 0)}
+	leader, follower, name := rywSetup(t, clock)
+
+	register(t, leader.url, name, salesCSV)
+	if err := follower.node.SyncFrom(leader.url); err != nil {
+		t.Fatalf("SyncFrom: %v", err)
+	}
+	epoch := appendRows(t, leader.url, name, appendBatch(1)) // follower never sees this
+
+	status, body := followerGet(t, follower,
+		fmt.Sprintf("/datasets/%s?min_epoch=%d", name, epoch))
+	if status != http.StatusOK {
+		t.Fatalf("stalled follower read: status %d: %s", status, body)
+	}
+	var ds server.DatasetJSON
+	if err := json.Unmarshal(body, &ds); err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	if ds.Epoch < epoch {
+		t.Fatalf("read-your-writes violated: got epoch %d, wrote at %d", ds.Epoch, epoch)
+	}
+	// Served by the leader (proxy): the leader's copy is not a replica.
+	if ds.Replica {
+		t.Fatal("stalled read was served by the lagging follower, not proxied")
+	}
+	// The wait path was actually exercised and timed out.
+	if v := metricLine(t, follower.obs, "deepeye_cluster_catchup_timeouts_total"); v < 1 {
+		t.Fatalf("catch-up timeout not recorded (counter = %g)", v)
+	}
+	// A read with no token serves locally from the stale-but-consistent
+	// snapshot — that is the documented contract.
+	status, body = followerGet(t, follower, "/datasets/"+name)
+	if status != http.StatusOK {
+		t.Fatalf("tokenless follower read: status %d: %s", status, body)
+	}
+	if err := json.Unmarshal(body, &ds); err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	if !ds.Replica || ds.Epoch >= epoch {
+		t.Fatalf("tokenless read should serve the stale local replica, got replica=%v epoch=%d",
+			ds.Replica, ds.Epoch)
+	}
+}
+
+func TestReadYourWritesCatchupArrivesMidWait(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1700000000, 0)}
+	leader, follower, name := rywSetup(t, clock)
+
+	register(t, leader.url, name, salesCSV)
+	if err := follower.node.SyncFrom(leader.url); err != nil {
+		t.Fatalf("SyncFrom: %v", err)
+	}
+	epoch := appendRows(t, leader.url, name, appendBatch(2))
+
+	// Replication "arrives" on the second wait poll: the sleep hook
+	// pulls the leader's state into the follower, as the shipper would.
+	polls := 0
+	clock.tic = func() {
+		polls++
+		if polls == 2 {
+			if err := follower.node.SyncFrom(leader.url); err != nil {
+				t.Errorf("mid-wait SyncFrom: %v", err)
+			}
+		}
+	}
+
+	status, body := followerGet(t, follower,
+		fmt.Sprintf("/datasets/%s?min_epoch=%d", name, epoch))
+	if status != http.StatusOK {
+		t.Fatalf("follower read after catch-up: status %d: %s", status, body)
+	}
+	var ds server.DatasetJSON
+	if err := json.Unmarshal(body, &ds); err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	if ds.Epoch < epoch {
+		t.Fatalf("read-your-writes violated: got epoch %d, wrote at %d", ds.Epoch, epoch)
+	}
+	// Served locally: catch-up reached the token, no proxy involved.
+	if !ds.Replica {
+		t.Fatal("read should have been served by the caught-up follower")
+	}
+	if polls < 2 {
+		t.Fatalf("wait loop polled %d times, expected at least 2", polls)
+	}
+}
+
+func TestMinEpochValidation(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1700000000, 0)}
+	leader, follower, name := rywSetup(t, clock)
+	register(t, leader.url, name, salesCSV)
+	if err := follower.node.SyncFrom(leader.url); err != nil {
+		t.Fatalf("SyncFrom: %v", err)
+	}
+	status, body := followerGet(t, follower, "/datasets/"+name+"?min_epoch=banana")
+	if status != http.StatusBadRequest {
+		t.Fatalf("invalid min_epoch: status %d, want 400: %s", status, body)
+	}
+}
+
+// metricLine scrapes one metric's value (summed over series) from an
+// obs registry's Prometheus text output.
+func metricLine(t *testing.T, reg *obs.Registry, name string) float64 {
+	t.Helper()
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	var sum float64
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, name) || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rest := line[len(name):]
+		if rest != "" && rest[0] != ' ' && rest[0] != '{' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(fields[len(fields)-1], "%g", &v); err == nil {
+			sum += v
+		}
+	}
+	return sum
+}

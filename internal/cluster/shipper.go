@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/deepeye/deepeye/internal/obs"
+	"github.com/deepeye/deepeye/internal/wal"
+)
+
+// queued is one commit record awaiting shipment, stamped at commit
+// time so the ack measures end-to-end replication lag.
+type queued struct {
+	rec *wal.Record
+	at  time.Time
+}
+
+// shipper drains one peer's ordered replication queue. Records for a
+// peer always leave in commit order; a slow or dead peer delays only
+// its own queue. On an out-of-sync response the shipper sends the
+// dataset's current snapshot — captured at-or-after the failed
+// record's commit, so it subsumes it — and skips the failed record;
+// followers recognize the re-deliveries that follow by epoch.
+type shipper struct {
+	n    *Node
+	peer string
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []queued
+	stopped bool
+
+	shipped *obs.Counter
+	errs    *obs.Counter
+	resyncs *obs.Counter
+	depth   *obs.Gauge
+	lag     *obs.Histogram
+}
+
+func newShipper(n *Node, peer string) *shipper {
+	s := &shipper{
+		n: n, peer: peer,
+		shipped: n.obs.Counter(metricShipped, "Records acknowledged by the peer.", "peer", peer),
+		errs:    n.obs.Counter(metricShipErrors, "Replication attempts that failed.", "peer", peer),
+		resyncs: n.obs.Counter(metricResyncs, "Snapshot resyncs sent to the peer.", "peer", peer),
+		depth:   n.obs.Gauge(metricQueueDepth, "Records queued for the peer.", "peer", peer),
+		lag: n.obs.Histogram(metricLag,
+			"Seconds from local commit to peer acknowledgement.", nil, "peer", peer),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *shipper) enqueue(q queued) {
+	s.mu.Lock()
+	if !s.stopped {
+		s.queue = append(s.queue, q)
+		s.depth.Set(int64(len(s.queue)))
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
+}
+
+func (s *shipper) stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *shipper) wake() {
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *shipper) done() bool {
+	s.mu.Lock()
+	stopped := s.stopped
+	s.mu.Unlock()
+	return stopped || s.n.closed()
+}
+
+// take blocks for the next batch (the whole queue), returning nil on
+// shutdown.
+func (s *shipper) take() []queued {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 {
+		if s.stopped || s.n.closed() {
+			return nil
+		}
+		s.cond.Wait()
+	}
+	batch := s.queue
+	s.queue = nil
+	s.depth.Set(0)
+	return batch
+}
+
+func (s *shipper) run() {
+	for {
+		batch := s.take()
+		if batch == nil {
+			return
+		}
+		s.ship(batch)
+	}
+}
+
+// backoff sleeps with doubling delay, aborting early on shutdown.
+func (s *shipper) backoff(attempt int) {
+	d := 5 * time.Millisecond << uint(min(attempt, 6))
+	select {
+	case <-s.n.closeCh:
+	case <-time.After(d):
+	}
+}
+
+// ship delivers a batch, retrying transient failures in order and
+// resync-then-skipping records the peer cannot accept.
+func (s *shipper) ship(batch []queued) {
+	attempt := 0
+	for len(batch) > 0 && !s.done() {
+		frames := make([]byte, 0, 1024)
+		ok := true
+		for _, q := range batch {
+			f, err := wal.Encode(q.rec)
+			if err != nil {
+				s.errs.Inc()
+				ok = false
+				break
+			}
+			frames = append(frames, f...)
+		}
+		if !ok {
+			return // unreachable: committed records always encode
+		}
+		status, reply, err := s.post(frames)
+		if err != nil {
+			s.errs.Inc()
+			s.backoff(attempt)
+			attempt++
+			continue
+		}
+		switch status {
+		case http.StatusOK:
+			s.acked(batch)
+			return
+		case http.StatusConflict, http.StatusUnprocessableEntity:
+			idx := reply.Index
+			if idx < 0 || idx >= len(batch) {
+				idx = 0
+			}
+			s.acked(batch[:idx])
+			if status == http.StatusUnprocessableEntity {
+				// The peer proved the record cannot apply verbatim; the
+				// snapshot below re-establishes its state instead.
+				s.errs.Inc()
+			}
+			s.resync(batch[idx].rec.Name)
+			batch = batch[idx+1:]
+			attempt = 0
+		case http.StatusServiceUnavailable:
+			// Peer degraded (read-only); keep trying — it refuses to
+			// serve rather than diverge, and heals by restart + sync.
+			s.errs.Inc()
+			s.backoff(attempt)
+			attempt++
+		default:
+			// 400/500: not record-addressable; drop the batch rather
+			// than hot-loop. SyncFrom heals the gap on the next
+			// membership event or restart.
+			s.errs.Inc()
+			return
+		}
+	}
+}
+
+// acked counts delivered records and observes their commit-to-ack lag.
+func (s *shipper) acked(batch []queued) {
+	if len(batch) == 0 {
+		return
+	}
+	s.shipped.Add(len(batch))
+	now := s.n.now()
+	for _, q := range batch {
+		s.lag.Observe(now.Sub(q.at))
+	}
+}
+
+// resync ships the dataset's current snapshot record so the peer can
+// replace its diverged copy wholesale. A dataset dropped since has its
+// drop record already queued behind us — nothing to send.
+func (s *shipper) resync(name string) {
+	rec, ok := s.n.reg.SnapshotRecord(name)
+	if !ok {
+		return
+	}
+	frame, err := wal.Encode(rec)
+	if err != nil {
+		s.errs.Inc()
+		return
+	}
+	for attempt := 0; !s.done(); attempt++ {
+		status, _, err := s.post(frame)
+		if err != nil || status == http.StatusServiceUnavailable {
+			s.errs.Inc()
+			s.backoff(attempt)
+			continue
+		}
+		if status == http.StatusOK {
+			s.resyncs.Inc()
+		} else {
+			s.errs.Inc() // a snapshot the peer rejects outright: give up
+		}
+		return
+	}
+}
+
+// post sends one framed stream to the peer's replicate endpoint.
+func (s *shipper) post(body []byte) (int, *replicateResponse, error) {
+	resp, err := s.n.client.Post(s.peer+"/cluster/replicate",
+		"application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	var reply replicateResponse
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&reply)
+	return resp.StatusCode, &reply, nil
+}

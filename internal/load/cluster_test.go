@@ -1,0 +1,114 @@
+package load
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	deepeye "github.com/deepeye/deepeye"
+	"github.com/deepeye/deepeye/internal/cluster"
+	"github.com/deepeye/deepeye/internal/obs"
+	"github.com/deepeye/deepeye/internal/server"
+)
+
+// startTestCluster boots n full replicated members (each with its own
+// System, WAL directory, metrics registry, and cluster.Node) on
+// loopback listeners and returns their base URLs. Listeners are bound
+// before any member is built so every node sees the complete ring.
+func startTestCluster(t *testing.T, n int) []string {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	for i := range lns {
+		sys, err := deepeye.Open(registryOptions(t.TempDir()))
+		if err != nil {
+			t.Fatalf("deepeye.Open node %d: %v", i, err)
+		}
+		obsReg := obs.NewRegistry()
+		node, err := cluster.New(cluster.Config{
+			Self:     urls[i],
+			Peers:    urls,
+			Registry: sys.RegistryHandle(),
+			Obs:      obsReg,
+		})
+		if err != nil {
+			t.Fatalf("cluster.New node %d: %v", i, err)
+		}
+		h := server.New(sys, server.Options{
+			MaxBodyBytes: 16 << 20,
+			Timeout:      30 * time.Second,
+			MaxInFlight:  64,
+			Registry:     obsReg,
+			Cluster:      node,
+		})
+		srv := &http.Server{Handler: h}
+		go srv.Serve(lns[i])
+		t.Cleanup(func() {
+			srv.Close()
+			node.Close()
+			sys.Close()
+		})
+	}
+	return urls
+}
+
+// TestRunEndToEndCluster drives the full harness round-robin across a
+// real three-node replicated cluster: misdirected writes forward to
+// per-dataset leaders, reads land on followers carrying min_epoch
+// read-your-writes tokens, every append fingerprint is verified
+// against the client mirror, and the cluster-wide request ledger
+// (Σ requests − Σ forwarded over all three /metrics pages) must equal
+// the client's own per-route counts exactly.
+func TestRunEndToEndCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3s load run")
+	}
+	urls := startTestCluster(t, 3)
+	sc, err := ParseScenarioString(e2eScenario)
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	sum, err := Run(context.Background(), sc, Config{
+		BaseURLs:        urls,
+		DrainTimeout:    5 * time.Second,
+		MonitorInterval: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sum.TotalOK == 0 {
+		t.Fatalf("no successful ops:\n%s", summaryText(sum))
+	}
+	if sum.TotalError != 0 || len(sum.HardErrors) != 0 {
+		t.Errorf("hard errors:\n%s", summaryText(sum))
+	}
+	if sum.FingerprintChecks == 0 {
+		t.Errorf("no fingerprint checks ran")
+	}
+	if sum.FingerprintMismatches != 0 || sum.EpochRegressions != 0 {
+		t.Errorf("verification failures:\n%s", summaryText(sum))
+	}
+	if !sum.ReconcileOK {
+		t.Errorf("cluster-wide request counts do not reconcile:\n%s", summaryText(sum))
+	}
+	if want := strings.Join(urls, ","); sum.Target != want {
+		t.Errorf("summary target = %q, want %q", sum.Target, want)
+	}
+	// The peer protocol must stay out of the client's ledger.
+	for _, row := range sum.Reconciliation {
+		if strings.HasPrefix(row.Route, "/cluster/") {
+			t.Errorf("peer route %s leaked into the reconciliation table", row.Route)
+		}
+	}
+}

@@ -59,14 +59,22 @@ func (s *metricsSnapshot) value(series string) float64 {
 // gauge returns an unlabeled gauge by bare name (0 if absent).
 func (s *metricsSnapshot) gauge(name string) float64 { return s.value(name) }
 
-// requestsByRoute extracts deepeye_http_requests_total{route="..."}
+// merge adds another page's samples into this snapshot (summing
+// series), so a cluster's N /metrics pages reconcile as one ledger.
+func (s *metricsSnapshot) merge(o *metricsSnapshot) {
+	for series, v := range o.samples {
+		s.samples[series] += v
+	}
+}
+
+// routeCounter extracts a route-labeled counter (`name{route="..."}`)
 // into a route → count map.
-func (s *metricsSnapshot) requestsByRoute() map[string]float64 {
+func (s *metricsSnapshot) routeCounter(name string) map[string]float64 {
 	out := map[string]float64{}
 	if s == nil {
 		return out
 	}
-	const prefix = `deepeye_http_requests_total{route="`
+	prefix := name + `{route="`
 	for series, v := range s.samples {
 		rest, ok := strings.CutPrefix(series, prefix)
 		if !ok {
@@ -77,6 +85,20 @@ func (s *metricsSnapshot) requestsByRoute() map[string]float64 {
 			continue
 		}
 		out[route] = v
+	}
+	return out
+}
+
+// clientRequestsByRoute is the per-route count of requests that
+// originated OUTSIDE the cluster: total requests minus the ones a peer
+// relayed here (a forwarded write or a proxied read is counted once on
+// the node the client hit and once — flagged — on the node that served
+// it, so the difference is exactly the client-sent count, whichever
+// replica answered).
+func (s *metricsSnapshot) clientRequestsByRoute() map[string]float64 {
+	out := s.routeCounter("deepeye_http_requests_total")
+	for route, fwd := range s.routeCounter("deepeye_http_forwarded_requests_total") {
+		out[route] -= fwd
 	}
 	return out
 }
@@ -92,11 +114,15 @@ type RouteCount struct {
 // scrapes against the client's own counts. Every request the harness
 // sent between the scrapes (including its own /metrics scrapes) must
 // appear in the server's delta — a mismatch means lost or phantom
-// requests.
+// requests. The snapshots may be merged cluster-wide pages: requests a
+// peer relayed (counted on two nodes, flagged as forwarded on the
+// second) net out to exactly one client request, and the /cluster/*
+// peer protocol is server-to-server traffic by definition, so it is
+// excluded from the phantom check.
 func reconcile(before, after *metricsSnapshot, client map[string]uint64) (rows []RouteCount, ok bool) {
 	ok = true
-	beforeRoutes := before.requestsByRoute()
-	afterRoutes := after.requestsByRoute()
+	beforeRoutes := before.clientRequestsByRoute()
+	afterRoutes := after.clientRequestsByRoute()
 	seen := map[string]bool{}
 	for route, clientN := range client {
 		serverN := uint64(afterRoutes[route] - beforeRoutes[route])
@@ -110,7 +136,7 @@ func reconcile(before, after *metricsSnapshot, client map[string]uint64) (rows [
 	// traffic (another client?) — flagged, not fatal, since an external
 	// server may legitimately serve others.
 	for route := range afterRoutes {
-		if seen[route] {
+		if seen[route] || strings.HasPrefix(route, "/cluster/") {
 			continue
 		}
 		if d := afterRoutes[route] - beforeRoutes[route]; d > 0 {

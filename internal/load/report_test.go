@@ -32,7 +32,7 @@ func TestParseMetricsText(t *testing.T) {
 	if got := snap.gauge("deepeye_go_heap_alloc_bytes"); got != 1<<20 {
 		t.Errorf("heap = %g", got)
 	}
-	routes := snap.requestsByRoute()
+	routes := snap.routeCounter("deepeye_http_requests_total")
 	want := map[string]float64{"/topk": 10, "/datasets": 3, "/metrics": 2}
 	if len(routes) != len(want) {
 		t.Fatalf("routes = %v", routes)

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,6 +27,12 @@ const ephPoolCap = 1024
 type Config struct {
 	// BaseURL targets the server, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// BaseURLs, when set, targets a replicated cluster: requests
+	// round-robin across the members, dataset reads carry min_epoch
+	// read-your-writes tokens, and reconciliation merges every member's
+	// /metrics page (netting out peer-forwarded requests). Overrides
+	// BaseURL.
+	BaseURLs []string
 	// Client overrides the HTTP client (nil builds a pooled default).
 	Client *http.Client
 	// Soak marks the run as a soak (recorded in the summary; soak gates
@@ -58,12 +65,14 @@ type dsState struct {
 	epoch     uint64 // client-side incarnation counter for rereg races
 }
 
-// runner executes one scenario against one server.
+// runner executes one scenario against one server (or cluster).
 type runner struct {
-	sc  *Scenario
-	cfg Config
-	hc  *http.Client
-	rep *Reporter
+	sc   *Scenario
+	cfg  Config
+	hc   *http.Client
+	rep  *Reporter
+	urls []string // request targets; len > 1 = cluster round-robin
+	next atomic.Uint64
 
 	ds map[string]*dsState
 
@@ -77,13 +86,18 @@ type runner struct {
 	rereg        atomic.Uint64
 }
 
-// Run executes the scenario against cfg.BaseURL and returns the
-// measured summary. The returned error covers harness-level failures
-// (setup, scenario problems); gate violations are evaluated separately
-// via Summary.Check so callers can report before failing.
+// Run executes the scenario against cfg.BaseURL (or, for a cluster,
+// round-robin across cfg.BaseURLs) and returns the measured summary.
+// The returned error covers harness-level failures (setup, scenario
+// problems); gate violations are evaluated separately via
+// Summary.Check so callers can report before failing.
 func Run(ctx context.Context, sc *Scenario, cfg Config) (*Summary, error) {
-	if cfg.BaseURL == "" {
-		return nil, fmt.Errorf("load: Config.BaseURL is required")
+	urls := cfg.BaseURLs
+	if len(urls) == 0 {
+		if cfg.BaseURL == "" {
+			return nil, fmt.Errorf("load: Config.BaseURL or Config.BaseURLs is required")
+		}
+		urls = []string{cfg.BaseURL}
 	}
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 10 * time.Second
@@ -105,7 +119,7 @@ func Run(ctx context.Context, sc *Scenario, cfg Config) (*Summary, error) {
 	for _, op := range sc.Ops {
 		kinds = append(kinds, op.Kind)
 	}
-	r := &runner{sc: sc, cfg: cfg, hc: hc, rep: NewReporter(kinds), ds: map[string]*dsState{}}
+	r := &runner{sc: sc, cfg: cfg, hc: hc, rep: NewReporter(kinds), urls: urls, ds: map[string]*dsState{}}
 
 	// Baseline scrape before any counted client request: the server's
 	// counters include the scrape's own request by the time the body
@@ -160,9 +174,12 @@ func Run(ctx context.Context, sc *Scenario, cfg Config) (*Summary, error) {
 
 	monSum := mon.finish(ctx, cfg.DrainTimeout, cfg.GoroutineSlack)
 
-	// The closing scrape counts itself on the server before the body
-	// renders, so count it client-side too and the books balance.
-	r.rep.CountRoute("/metrics")
+	// The closing scrape counts itself on each server before the body
+	// renders, so count every member's page client-side too and the
+	// books balance.
+	for range r.urls {
+		r.rep.CountRoute("/metrics")
+	}
 	after, err := r.scrapeRaw(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("load: closing /metrics scrape: %w", err)
@@ -170,7 +187,7 @@ func Run(ctx context.Context, sc *Scenario, cfg Config) (*Summary, error) {
 
 	sum := r.rep.summarize(sc)
 	sum.Scenario = cfg.ScenarioPath
-	sum.Target = cfg.BaseURL
+	sum.Target = strings.Join(r.urls, ",")
 	sum.Soak = cfg.Soak
 	sum.FingerprintChecks = r.fpChecks.Load()
 	sum.FingerprintMismatches = r.fpMismatches.Load()
@@ -208,10 +225,22 @@ type errResp struct {
 	Reason string `json:"reason"`
 }
 
+// clustered reports whether the run targets multiple replicas.
+func (r *runner) clustered() bool { return len(r.urls) > 1 }
+
+// target picks the next request's base URL (round-robin when the run
+// targets a cluster, so every member serves every op class).
+func (r *runner) target() string {
+	if len(r.urls) == 1 {
+		return r.urls[0]
+	}
+	return r.urls[r.next.Add(1)%uint64(len(r.urls))]
+}
+
 // do issues one counted request and returns the status and body.
 func (r *runner) do(ctx context.Context, method, path string, query url.Values, body []byte) (int, []byte, error) {
 	r.rep.CountRoute(path)
-	u := r.cfg.BaseURL + path
+	u := r.target() + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
 	}
@@ -240,12 +269,29 @@ func (r *runner) do(ctx context.Context, method, path string, query url.Values, 
 	return resp.StatusCode, b, nil
 }
 
-// scrapeRaw fetches /metrics without counting it client-side (used
-// for the opening/closing reconciliation snapshots).
+// scrapeRaw fetches every member's /metrics page, merged into one
+// snapshot, without counting the requests client-side (callers that
+// need the books to balance count one /metrics per member themselves).
 func (r *runner) scrapeRaw(ctx context.Context) (*metricsSnapshot, error) {
 	ctx, cancel := context.WithTimeout(ctx, opTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.BaseURL+"/metrics", nil)
+	var merged *metricsSnapshot
+	for _, base := range r.urls {
+		snap, err := r.scrapeOne(ctx, base)
+		if err != nil {
+			return nil, err
+		}
+		if merged == nil {
+			merged = snap
+		} else {
+			merged.merge(snap)
+		}
+	}
+	return merged, nil
+}
+
+func (r *runner) scrapeOne(ctx context.Context, base string) (*metricsSnapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -255,7 +301,7 @@ func (r *runner) scrapeRaw(ctx context.Context) (*metricsSnapshot, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+		return nil, fmt.Errorf("GET %s/metrics: status %d", base, resp.StatusCode)
 	}
 	return parseMetricsText(resp.Body)
 }
@@ -336,10 +382,18 @@ func (r *runner) register(ctx context.Context, name string, csv []byte) (int, []
 }
 
 // verifyFingerprints compares every scenario dataset's served
-// identity against the client mirror after the workers drain.
+// identity against the client mirror after the workers drain. Against
+// a cluster the read goes through whichever member round-robin lands
+// on, carrying the last written epoch, so the check also pins the
+// replication path: the serving replica's fingerprint at that epoch
+// must be bit-identical to the client's rolling mirror.
 func (r *runner) verifyFingerprints(ctx context.Context) {
 	for name, st := range r.ds {
-		status, body, err := r.do(ctx, http.MethodGet, "/datasets/"+name, nil, nil)
+		var query url.Values
+		if _, last := st.tokens(); r.clustered() && last > 0 {
+			query = url.Values{"min_epoch": {strconv.FormatUint(last, 10)}}
+		}
+		status, body, err := r.do(ctx, http.MethodGet, "/datasets/"+name, query, nil)
 		if err != nil || status == http.StatusNotFound {
 			// Evicted right at the end — nothing to compare.
 			continue
@@ -413,10 +467,16 @@ func (r *runner) execute(ctx context.Context, op *OpSpec, rng *rand.Rand) {
 }
 
 // readOp runs one dataset read (topk/search/query), re-registering
-// the dataset if the server evicted it.
+// the dataset if the server evicted it. Against a cluster the read
+// carries the dataset's last written epoch as a min_epoch token, so
+// whichever replica answers must be caught up to the client's own
+// writes (or transparently hand off to the leader, which is).
 func (r *runner) readOp(ctx context.Context, op *OpSpec, suffix string, query url.Values) outcome {
 	st := r.ds[op.Dataset]
-	gen := st.incarnation()
+	gen, last := st.tokens()
+	if r.clustered() && last > 0 {
+		query.Set("min_epoch", strconv.FormatUint(last, 10))
+	}
 	status, body, err := r.do(ctx, http.MethodGet, "/datasets/"+op.Dataset+suffix, query, nil)
 	if err != nil {
 		r.rep.Error("%s %s: %v", op.Kind, op.Dataset, err)
@@ -539,10 +599,13 @@ func (r *runner) dropOp(ctx context.Context) outcome {
 
 // --- eviction recovery -----------------------------------------------
 
-func (st *dsState) incarnation() uint64 {
+// tokens snapshots the client-side incarnation counter and the last
+// server epoch this client observed for the dataset (the
+// read-your-writes token).
+func (st *dsState) tokens() (gen, lastEpoch uint64) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.epoch
+	return st.epoch, st.lastEpoch
 }
 
 // reregister re-creates an evicted scenario dataset unless another
@@ -645,7 +708,9 @@ func (m *monitor) start(ctx context.Context) {
 func (m *monitor) markBaseline() { m.wantBase.Store(true) }
 
 func (m *monitor) sample(ctx context.Context) {
-	m.r.rep.CountRoute("/metrics")
+	for range m.r.urls {
+		m.r.rep.CountRoute("/metrics")
+	}
 	snap, err := m.r.scrapeRaw(ctx)
 	m.mu.Lock()
 	defer m.mu.Unlock()

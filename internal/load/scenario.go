@@ -27,6 +27,9 @@
 //	registry_size = 67108864
 //	dataset_ttl = 1m
 //
+//	[cluster]          # in-process mode boots a replicated cluster
+//	nodes = 3          # members; writes route to per-dataset leaders
+//
 //	[dataset sales]    # generated via internal/datagen, deterministic
 //	rows = 300
 //	cols = 5
@@ -116,6 +119,18 @@ type ServerConfig struct {
 	Workers         int           // per-request pipeline workers (default 1)
 }
 
+// ClusterConfig asks cmd/deepeye-load's in-process mode to boot a
+// replicated cluster instead of a single server: Nodes full members
+// (each with its own registry, WAL, and metrics page) wired through
+// internal/cluster, with the harness round-robining requests across
+// them and carrying read-your-writes epoch tokens on dataset reads.
+// Ignored when targeting an external server unless -addr lists
+// multiple peers.
+type ClusterConfig struct {
+	Nodes int // cluster members; 0 = single node (default)
+	Line  int // declaration line, for error reporting
+}
+
 // Scenario is a parsed, validated load script.
 type Scenario struct {
 	Duration    time.Duration // total run length, warmup included (default 10s)
@@ -125,6 +140,7 @@ type Scenario struct {
 	Burst       int           // token-bucket capacity (default = concurrency)
 	Seed        int64         // RNG seed for op choice and payloads (default 1)
 	Server      ServerConfig
+	Cluster     ClusterConfig
 	Datasets    []DatasetSpec
 	Ops         []OpSpec
 }
@@ -159,6 +175,7 @@ type section int
 const (
 	secHeader section = iota
 	secServer
+	secCluster
 	secDataset
 	secOp
 )
@@ -184,6 +201,7 @@ func ParseScenario(r io.Reader) (*Scenario, error) {
 	var curDS *DatasetSpec
 	var curOp *OpSpec
 	seenServer := false
+	seenCluster := false
 	seenHeader := map[string]int{}
 	seenKey := map[string]int{} // per-section duplicate detection
 
@@ -212,6 +230,13 @@ func ParseScenario(r io.Reader) (*Scenario, error) {
 				}
 				seenServer = true
 				cur = secServer
+			case len(head) == 1 && head[0] == "cluster":
+				if seenCluster {
+					return nil, scanErr(n, "duplicate [cluster] section")
+				}
+				seenCluster = true
+				sc.Cluster.Line = n
+				cur = secCluster
 			case len(head) == 2 && head[0] == "dataset":
 				name := head[1]
 				if sc.Dataset(name) != nil {
@@ -229,7 +254,7 @@ func ParseScenario(r io.Reader) (*Scenario, error) {
 				curOp = &sc.Ops[len(sc.Ops)-1]
 				cur = secOp
 			default:
-				return nil, scanErr(n, "malformed section header %q (want [server], [dataset NAME], or [op NAME])", line)
+				return nil, scanErr(n, "malformed section header %q (want [server], [cluster], [dataset NAME], or [op NAME])", line)
 			}
 			continue
 		}
@@ -256,6 +281,8 @@ func ParseScenario(r io.Reader) (*Scenario, error) {
 			err = sc.setHeader(key, val, n)
 		case secServer:
 			err = sc.Server.set(key, val, n)
+		case secCluster:
+			err = sc.Cluster.set(key, val, n)
 		case secDataset:
 			err = curDS.set(key, val, n)
 		case secOp:
@@ -429,6 +456,23 @@ func (c *ServerConfig) set(key, val string, line int) error {
 	return nil
 }
 
+func (c *ClusterConfig) set(key, val string, line int) error {
+	switch key {
+	case "nodes":
+		v, err := parseInt(key, val, line)
+		if err != nil {
+			return err
+		}
+		if v < 2 || v > 16 {
+			return scanErr(line, "nodes must be between 2 and 16, got %d", v)
+		}
+		c.Nodes = v
+	default:
+		return scanErr(line, "unknown [cluster] key %q", key)
+	}
+	return nil
+}
+
 func (d *DatasetSpec) set(key, val string, line int) error {
 	switch key {
 	case "rows":
@@ -537,6 +581,9 @@ func (s *Scenario) validate() error {
 	}
 	if len(s.Ops) == 0 {
 		return fmt.Errorf("scenario: no [op] sections declared")
+	}
+	if s.Cluster.Line != 0 && s.Cluster.Nodes == 0 {
+		return scanErr(s.Cluster.Line, "[cluster] declares no nodes key")
 	}
 	for i := range s.Datasets {
 		if s.Datasets[i].Seed < 0 {

@@ -120,6 +120,24 @@ func TestParseScenarioDefaults(t *testing.T) {
 	}
 }
 
+func TestParseScenarioCluster(t *testing.T) {
+	sc, err := ParseScenarioString("[cluster]\nnodes = 3\n[dataset d]\n[op topk]\nweight=1\ndataset=d\n")
+	if err != nil {
+		t.Fatalf("ParseScenario: %v", err)
+	}
+	if sc.Cluster.Nodes != 3 {
+		t.Errorf("cluster nodes = %d, want 3", sc.Cluster.Nodes)
+	}
+	// No [cluster] section means single-node.
+	sc, err = ParseScenarioString("[dataset d]\n[op topk]\nweight=1\ndataset=d\n")
+	if err != nil {
+		t.Fatalf("ParseScenario: %v", err)
+	}
+	if sc.Cluster.Nodes != 0 {
+		t.Errorf("cluster nodes default = %d, want 0", sc.Cluster.Nodes)
+	}
+}
+
 func TestParseScenarioRejects(t *testing.T) {
 	// Every case names the substring the error must carry; cases with a
 	// line prefix also pin the reported line number.
@@ -164,6 +182,11 @@ func TestParseScenarioRejects(t *testing.T) {
 		{"rows on topk", "[dataset d]\n[op topk]\nweight=1\ndataset=d\nrows=5\n", "rows only applies to op register"},
 		{"cols on append", "[dataset d]\n[op append]\nweight=1\ndataset=d\ncols=5\n", "cols only applies to op register"},
 		{"unused dataset", "[dataset ghost]\n" + valid, `dataset "ghost" is declared but no op targets it`},
+		{"duplicate cluster section", "[cluster]\nnodes = 3\n[cluster]\n" + valid, "line 3: duplicate [cluster]"},
+		{"unknown cluster key", "[cluster]\nfrobs = 1\n" + valid, `line 2: unknown [cluster] key`},
+		{"cluster one node", "[cluster]\nnodes = 1\n" + valid, "line 2: nodes must be between 2 and 16"},
+		{"cluster too many nodes", "[cluster]\nnodes = 17\n" + valid, "line 2: nodes must be between 2 and 16"},
+		{"cluster without nodes", "[cluster]\n" + valid, "line 1: [cluster] declares no nodes key"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

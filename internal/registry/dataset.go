@@ -35,6 +35,12 @@ type Dataset struct {
 	retired    atomic.Bool
 	createdAt  time.Time
 	lastAccess atomic.Int64 // unix nanos
+
+	// replica marks a dataset this node follows rather than leads: its
+	// content changes only through ApplyReplicated, and local TTL/LRU
+	// sweeps skip it — the leader's own drops replicate instead, so
+	// eviction decisions are made exactly once per dataset cluster-wide.
+	replica atomic.Bool
 }
 
 // ColumnInfo is the live profile of one column, maintained online.
@@ -58,6 +64,7 @@ type Info struct {
 	Fingerprint string
 	Bytes       int64
 	RaggedRows  int
+	Replica     bool // true on nodes that follow this dataset's leader
 	CreatedAt   time.Time
 	LastAccess  time.Time
 	Columns     []ColumnInfo
@@ -143,8 +150,6 @@ func (d *Dataset) append(rows [][]string, reg *Registry) (AppendResult, int64, s
 		return AppendResult{Dataset: d.name, Rows: d.nRows, Epoch: d.epoch,
 			Fingerprint: d.fp, RaggedTotal: d.ragged}, 0, "", nil
 	}
-	stop := obs.StageTimer(obs.StageAppend)
-	defer stop()
 	// Skip journaling for a retired dataset: its drop record is already
 	// in the WAL (or about to be), and an OpAppend landing after it
 	// would be dead weight at best. The check narrows — not closes —
@@ -153,11 +158,32 @@ func (d *Dataset) append(rows [][]string, reg *Registry) (AppendResult, int64, s
 	// in after a drop + re-register of the same name. The in-memory
 	// apply below is harmless either way: a retired dataset is
 	// unreachable.
-	if reg != nil && reg.log != nil && !d.retired.Load() {
-		if err := reg.journal(d.appendRecordLocked(rows)); err != nil {
-			return AppendResult{}, 0, "", err
+	var rec *wal.Record
+	if reg != nil && !d.retired.Load() && (reg.log != nil || reg.onCommit != nil) {
+		rec = d.appendRecordLocked(rows)
+		if reg.log != nil {
+			if err := reg.journal(rec); err != nil {
+				return AppendResult{}, 0, "", err
+			}
 		}
 	}
+	res, delta, oldFp := d.appendLocked(rows)
+	// Commit hook fires under d.mu, after the batch applied, so the
+	// replication shipper observes every mutation of this dataset in
+	// apply order.
+	if rec != nil && reg.onCommit != nil {
+		reg.onCommit(rec)
+	}
+	return res, delta, oldFp, nil
+}
+
+// appendLocked is append's apply half: ingest the batch into live
+// storage, advance trackers/fingerprint/epoch, and return the result,
+// the byte delta, and the retired pre-batch fingerprint. Caller holds
+// d.mu and has already journaled (or decided not to).
+func (d *Dataset) appendLocked(rows [][]string) (AppendResult, int64, string) {
+	stop := obs.StageTimer(obs.StageAppend)
+	defer stop()
 	oldFp := d.fp
 	var delta int64
 	raggedBatch := 0
@@ -189,7 +215,7 @@ func (d *Dataset) append(rows [][]string, reg *Registry) (AppendResult, int64, s
 		Dataset: d.name, Appended: len(rows), Rows: d.nRows,
 		Epoch: d.epoch, Fingerprint: d.fp,
 		Ragged: raggedBatch, RaggedTotal: d.ragged,
-	}, delta, oldFp, nil
+	}, delta, oldFp
 }
 
 // appendRecordLocked builds the WAL record for an append batch: the
@@ -214,6 +240,7 @@ func (d *Dataset) appendRecordLocked(rows [][]string) *wal.Record {
 	}
 	return &wal.Record{
 		Op: wal.OpAppend, Name: d.name,
+		Epoch:           d.epoch + 1, // the epoch the batch will commit at
 		RawRows:         rows,
 		PrevFingerprint: d.fp,
 		Fingerprint:     h.Sum(),
@@ -295,6 +322,7 @@ func (d *Dataset) Info() Info {
 		Name: d.name, Rows: d.nRows, Cols: len(d.cols),
 		Epoch: d.epoch, Fingerprint: d.fp,
 		Bytes: d.bytes.Load(), RaggedRows: d.ragged,
+		Replica:    d.replica.Load(),
 		CreatedAt:  d.createdAt,
 		LastAccess: time.Unix(0, d.lastAccess.Load()),
 	}
@@ -331,3 +359,7 @@ func (d *Dataset) Epoch() uint64 {
 	defer d.mu.Unlock()
 	return d.epoch
 }
+
+// IsReplica reports whether this node follows (rather than leads) the
+// dataset.
+func (d *Dataset) IsReplica() bool { return d.replica.Load() }

@@ -67,13 +67,34 @@ func (a applier) Apply(rec *wal.Record) error {
 // the earlier record wins only until its drop replays.
 func (r *Registry) applyRegister(rec *wal.Record) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, exists := r.byName[rec.Name]; exists {
+		r.mu.Unlock()
 		return nil
 	}
+	r.mu.Unlock()
+	d, err := r.datasetFromRecord(rec)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.byName[rec.Name]; exists {
+		return nil // recovery is single-threaded; defensive only
+	}
+	r.byName[rec.Name] = r.ll.PushFront(d)
+	r.bytes += d.bytes.Load()
+	r.syncGaugesLocked()
+	return nil
+}
+
+// datasetFromRecord rebuilds a dataset from a register/snapshot record
+// and verifies the rebuilt rolling fingerprint against the journaled
+// one. Shared by recovery replay and the replicated-register apply
+// path; runs outside registry locks (the dataset is not shared yet).
+func (r *Registry) datasetFromRecord(rec *wal.Record) (*Dataset, error) {
 	ncols := len(rec.Cols)
 	if ncols == 0 || len(rec.Cells) != rec.Rows*ncols {
-		return fmt.Errorf("%w: register %q cell count", wal.ErrTorn, rec.Name)
+		return nil, fmt.Errorf("%w: register %q cell count", wal.ErrTorn, rec.Name)
 	}
 	cols := make([]*dataset.Column, ncols)
 	for j, c := range rec.Cols {
@@ -87,20 +108,17 @@ func (r *Registry) applyRegister(rec *wal.Record) error {
 	}
 	t, err := dataset.New(rec.Name, cols)
 	if err != nil {
-		return fmt.Errorf("%w: register %q: %v", wal.ErrTorn, rec.Name, err)
+		return nil, fmt.Errorf("%w: register %q: %v", wal.ErrTorn, rec.Name, err)
 	}
 	t.RaggedRows = rec.Ragged
 	d := newDataset(rec.Name, t, r.now())
 	if d.fp != rec.Fingerprint {
-		return fmt.Errorf("%w: dataset %q fingerprint %s, journaled %s",
+		return nil, fmt.Errorf("%w: dataset %q fingerprint %s, journaled %s",
 			wal.ErrVerify, rec.Name, d.fp, rec.Fingerprint)
 	}
 	d.createdAt = time.Unix(0, rec.CreatedAtNanos)
 	d.epoch = rec.Epoch
-	r.byName[rec.Name] = r.ll.PushFront(d)
-	r.bytes += d.bytes.Load()
-	r.syncGaugesLocked()
-	return nil
+	return d, nil
 }
 
 // applyAppend re-applies one journaled append batch. An append to a

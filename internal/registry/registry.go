@@ -103,6 +103,13 @@ type Registry struct {
 	compactBytes int64
 	readOnly     atomic.Pointer[string]
 
+	// onCommit, when set (SetOnCommit, before the registry is shared),
+	// observes every locally committed mutation as its WAL record, in
+	// apply order, under the lock that serialized it. The cluster layer
+	// enqueues records for replication here. Recovery replay and
+	// ApplyReplicated never fire it.
+	onCommit func(*wal.Record)
+
 	datasetsG, bytesG, readOnlyG                         *obs.Gauge
 	evictionsLRU, evictionsTTL                           *obs.Counter
 	appends, appendedRows, epochs, snapshotsMat, lookups *obs.Counter
@@ -226,8 +233,12 @@ func (r *Registry) Register(name string, t *dataset.Table) (*Dataset, error) {
 	// same contract as Dataset.append: AttachLog runs before the
 	// registry is shared.)
 	var framed wal.Framed
+	var rec *wal.Record
+	if r.log != nil || r.onCommit != nil {
+		rec = d.registerRecordLocked()
+	}
 	if r.log != nil {
-		f, err := wal.Encode(d.registerRecordLocked())
+		f, err := wal.Encode(rec)
 		if err != nil {
 			return nil, err
 		}
@@ -251,6 +262,9 @@ func (r *Registry) Register(name string, t *dataset.Table) (*Dataset, error) {
 	r.byName[name] = r.ll.PushFront(d)
 	r.bytes += d.bytes.Load()
 	r.epochs.Inc()
+	if r.onCommit != nil {
+		r.onCommit(rec)
+	}
 	retired = append(retired, r.evictOverBudgetLocked(d)...)
 	r.syncGaugesLocked()
 	r.mu.Unlock()
@@ -365,11 +379,15 @@ func (r *Registry) Delete(name string) (bool, error) {
 	el, ok := r.byName[name]
 	var retired []string
 	if ok {
-		if err := r.journal(&wal.Record{Op: wal.OpDrop, Name: name, Reason: wal.DropDelete}); err != nil {
+		rec := &wal.Record{Op: wal.OpDrop, Name: name, Reason: wal.DropDelete}
+		if err := r.journal(rec); err != nil {
 			r.mu.Unlock()
 			return false, fmt.Errorf("%w: %v", ErrReadOnly, err)
 		}
 		retired = append(retired, r.removeLocked(el))
+		if r.onCommit != nil {
+			r.onCommit(rec)
+		}
 		r.syncGaugesLocked()
 	}
 	r.mu.Unlock()
@@ -421,7 +439,9 @@ func (r *Registry) removeLocked(el *list.Element) string {
 // sweepExpiredLocked expires datasets whose last access predates the
 // TTL window, returning their retired fingerprints. The LRU list is
 // access-ordered, so expired datasets cluster at the back and the
-// sweep stops at the first live one.
+// sweep stops at the first live one — replicas are skipped outright
+// (their leader decides expiry and replicates the drop), which is why
+// the loop continues past them instead of breaking.
 func (r *Registry) sweepExpiredLocked(now time.Time) []string {
 	if r.cfg.TTL <= 0 {
 		return nil
@@ -434,7 +454,11 @@ func (r *Registry) sweepExpiredLocked(now time.Time) []string {
 	cutoff := now.Add(-r.cfg.TTL).UnixNano()
 	var victims []*list.Element
 	for el := r.ll.Back(); el != nil; el = el.Prev() {
-		if el.Value.(*Dataset).lastAccess.Load() > cutoff {
+		d := el.Value.(*Dataset)
+		if d.replica.Load() {
+			continue
+		}
+		if d.lastAccess.Load() > cutoff {
 			break
 		}
 		victims = append(victims, el)
@@ -457,6 +481,9 @@ func (r *Registry) evictOverBudgetLocked(keep *Dataset) []string {
 		if d == keep {
 			break // never evict the dataset being served/grown
 		}
+		if d.replica.Load() {
+			continue // the leader owns this dataset's eviction decision
+		}
 		victims = append(victims, el)
 		projected -= d.bytes.Load()
 	}
@@ -473,12 +500,14 @@ func (r *Registry) dropBatchLocked(victims []*list.Element, reason wal.DropReaso
 	if len(victims) == 0 {
 		return nil
 	}
+	recs := make([]*wal.Record, len(victims))
+	for i, el := range victims {
+		recs[i] = &wal.Record{Op: wal.OpDrop, Name: el.Value.(*Dataset).name, Reason: reason}
+	}
 	if r.log != nil {
 		frames := make([]wal.Framed, len(victims))
-		for i, el := range victims {
-			f, err := wal.Encode(&wal.Record{
-				Op: wal.OpDrop, Name: el.Value.(*Dataset).name, Reason: reason,
-			})
+		for i, rec := range recs {
+			f, err := wal.Encode(rec)
 			if err != nil {
 				return nil // unreachable: drop records always encode
 			}
@@ -492,6 +521,11 @@ func (r *Registry) dropBatchLocked(victims []*list.Element, reason wal.DropReaso
 	for _, el := range victims {
 		retired = append(retired, r.removeLocked(el))
 		evictions.Inc()
+	}
+	if r.onCommit != nil {
+		for _, rec := range recs {
+			r.onCommit(rec)
+		}
 	}
 	r.syncGaugesLocked()
 	return retired

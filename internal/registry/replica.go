@@ -1,0 +1,258 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/deepeye/deepeye/internal/wal"
+)
+
+// This file is the registry's replication surface: the follower apply
+// path (ApplyReplicated), the leader's resync source (SnapshotRecord),
+// the convergence probe (EpochList), and role management (SetReplica,
+// SetOnCommit). The cluster layer owns membership, routing, and
+// transport; the registry owns correctness — every replicated record
+// is journaled to the local WAL before it is applied, so a follower
+// restart recovers its replica state through the ordinary Recovery
+// path, and a record is never applied unless its fingerprint chain
+// verifies.
+
+// Replication sentinels the cluster layer maps to transport responses.
+var (
+	// ErrOutOfSync marks a replicated record whose pre-state does not
+	// match this replica (missing dataset, fingerprint chain broken):
+	// the replica needs a snapshot resync from the leader. Nothing was
+	// applied.
+	ErrOutOfSync = errors.New("registry: replica out of sync")
+	// ErrBadRecord marks a replicated record that decoded cleanly but
+	// failed fingerprint verification: applying it would serve state
+	// diverging from the leader, so it is rejected outright. Nothing
+	// was applied.
+	ErrBadRecord = errors.New("registry: replicated record failed verification")
+)
+
+// EpochInfo is one dataset's replication position: enough to decide
+// whether two replicas have converged without shipping any content.
+type EpochInfo struct {
+	Name        string `json:"name"`
+	Epoch       uint64 `json:"epoch"`
+	Fingerprint string `json:"fingerprint"`
+	Rows        int    `json:"rows"`
+	Replica     bool   `json:"replica"`
+}
+
+// SetOnCommit installs the commit hook: fn observes every locally
+// committed mutation as its WAL record, in apply order, called under
+// the lock that serialized the mutation — it must be cheap (enqueue,
+// not I/O) and must not reenter the registry. Call before the registry
+// is shared across goroutines, like WithClock.
+func (r *Registry) SetOnCommit(fn func(*wal.Record)) {
+	r.onCommit = fn
+}
+
+// SetReplica marks the named dataset as followed (true) or led (false)
+// on this node, reporting whether the dataset exists. The cluster
+// layer flips roles on membership change; content is untouched.
+func (r *Registry) SetReplica(name string, replica bool) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.byName[name]
+	if !ok {
+		return false
+	}
+	el.Value.(*Dataset).replica.Store(replica)
+	return true
+}
+
+// EpochList reports every dataset's replication position, without
+// refreshing LRU/TTL state (a convergence probe is not an access).
+func (r *Registry) EpochList() []EpochInfo {
+	r.mu.Lock()
+	ds := make([]*Dataset, 0, r.ll.Len())
+	for el := r.ll.Front(); el != nil; el = el.Next() {
+		ds = append(ds, el.Value.(*Dataset))
+	}
+	r.mu.Unlock()
+	out := make([]EpochInfo, len(ds))
+	for i, d := range ds {
+		d.mu.Lock()
+		out[i] = EpochInfo{
+			Name: d.name, Epoch: d.epoch, Fingerprint: d.fp,
+			Rows: d.nRows, Replica: d.replica.Load(),
+		}
+		d.mu.Unlock()
+	}
+	return out
+}
+
+// SnapshotRecord serializes the named dataset's full current state as
+// a register record — the leader's resync payload for a follower whose
+// fingerprint chain has diverged. The record is captured under the
+// dataset lock, so it is a consistent epoch view.
+func (r *Registry) SnapshotRecord(name string) (*wal.Record, bool) {
+	r.mu.Lock()
+	el, ok := r.byName[name]
+	if !ok {
+		r.mu.Unlock()
+		return nil, false
+	}
+	d := el.Value.(*Dataset)
+	r.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.registerRecordLocked(), true
+}
+
+// ApplyReplicated applies one record received from a dataset's leader.
+// The record is journaled to the local WAL before any state mutates
+// (same journal-before-apply contract as live mutations), the commit
+// hook is never fired (replicated state must not re-ship), and the
+// dataset is marked replica so local TTL/LRU sweeps leave it to its
+// leader.
+//
+// Deliveries are idempotent where the protocol needs them to be:
+//   - a register matching the current fingerprint+epoch is skipped
+//     (duplicate snapshot delivery);
+//   - an append at or below the current epoch is skipped (duplicate
+//     delivery after a resync);
+//   - a drop of a missing dataset is skipped.
+//
+// A register over different content replaces it authoritatively
+// (journaled as a drop+register batch, so recovery — which skips
+// registers over existing names — reconstructs the same state). An
+// append whose pre-state fingerprint does not match returns
+// ErrOutOfSync: the leader responds by shipping a snapshot. An append
+// whose previewed post-state disagrees with the journaled fingerprint
+// returns ErrBadRecord and is never applied.
+func (r *Registry) ApplyReplicated(rec *wal.Record) error {
+	if _, ro := r.ReadOnly(); ro {
+		return r.roError()
+	}
+	switch rec.Op {
+	case wal.OpRegister:
+		return r.applyReplicatedRegister(rec)
+	case wal.OpAppend:
+		return r.applyReplicatedAppend(rec)
+	case wal.OpDrop:
+		return r.applyReplicatedDrop(rec)
+	}
+	return fmt.Errorf("%w: unknown op %d", ErrBadRecord, rec.Op)
+}
+
+func (r *Registry) applyReplicatedRegister(rec *wal.Record) error {
+	d, err := r.datasetFromRecord(rec) // verifies the fingerprint
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	d.replica.Store(true)
+	var regFrame, dropFrame wal.Framed
+	if r.Log() != nil {
+		if regFrame, err = wal.Encode(rec); err != nil {
+			return err
+		}
+		dropFrame, err = wal.Encode(&wal.Record{
+			Op: wal.OpDrop, Name: rec.Name, Reason: wal.DropDelete,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	r.mu.Lock()
+	var retired []string
+	if el, ok := r.byName[rec.Name]; ok {
+		old := el.Value.(*Dataset)
+		old.mu.Lock()
+		dup := old.fp == rec.Fingerprint && old.epoch == rec.Epoch
+		old.mu.Unlock()
+		if dup {
+			old.replica.Store(true)
+			r.mu.Unlock()
+			return nil
+		}
+		// Authoritative replace. Journaled as drop+register in one
+		// durable batch because recovery skips a register over a name
+		// that is still live at that point of the replay.
+		if err := r.journalFramed(dropFrame, regFrame); err != nil {
+			r.mu.Unlock()
+			return r.roError()
+		}
+		retired = append(retired, r.removeLocked(el))
+	} else if err := r.journalFramed(regFrame); err != nil {
+		r.mu.Unlock()
+		return r.roError()
+	}
+	r.byName[rec.Name] = r.ll.PushFront(d)
+	r.bytes += d.bytes.Load()
+	r.epochs.Inc()
+	r.syncGaugesLocked()
+	r.mu.Unlock()
+	r.retire(retired)
+	r.maybeCompact()
+	return nil
+}
+
+func (r *Registry) applyReplicatedAppend(rec *wal.Record) error {
+	r.mu.Lock()
+	el, ok := r.byName[rec.Name]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: append to missing dataset %q", ErrOutOfSync, rec.Name)
+	}
+	d := el.Value.(*Dataset)
+	r.mu.Unlock()
+	d.mu.Lock()
+	d.replica.Store(true)
+	if rec.Epoch != 0 && rec.Epoch <= d.epoch {
+		d.mu.Unlock()
+		return nil // duplicate delivery (e.g. re-ship after a resync)
+	}
+	if rec.PrevFingerprint != d.fp {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: dataset %q pre-state fingerprint mismatch", ErrOutOfSync, rec.Name)
+	}
+	preview := d.appendRecordLocked(rec.RawRows)
+	if preview.Fingerprint != rec.Fingerprint {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: dataset %q append post-state fingerprint mismatch",
+			ErrBadRecord, rec.Name)
+	}
+	if err := r.journal(rec); err != nil {
+		d.mu.Unlock()
+		return r.roError()
+	}
+	res, delta, oldFp := d.appendLocked(rec.RawRows)
+	d.mu.Unlock()
+	r.mu.Lock()
+	if !d.retired.Load() {
+		d.bytes.Add(delta)
+		r.bytes += delta
+		r.appends.Inc()
+		r.appendedRows.Add(res.Appended)
+		r.epochs.Inc()
+		r.syncGaugesLocked()
+	}
+	r.mu.Unlock()
+	if oldFp != "" {
+		r.retire([]string{oldFp})
+	}
+	r.maybeCompact()
+	return nil
+}
+
+func (r *Registry) applyReplicatedDrop(rec *wal.Record) error {
+	r.mu.Lock()
+	el, ok := r.byName[rec.Name]
+	if !ok {
+		r.mu.Unlock()
+		return nil // idempotent: already dropped (or never replicated)
+	}
+	if err := r.journal(&wal.Record{Op: wal.OpDrop, Name: rec.Name, Reason: rec.Reason}); err != nil {
+		r.mu.Unlock()
+		return r.roError()
+	}
+	retired := []string{r.removeLocked(el)}
+	r.syncGaugesLocked()
+	r.mu.Unlock()
+	r.retire(retired)
+	return nil
+}

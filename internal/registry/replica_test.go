@@ -1,0 +1,301 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/deepeye/deepeye/internal/wal"
+)
+
+// replicate drains recorded commit records into a follower registry,
+// failing the test on any apply error.
+func replicate(t *testing.T, follower *Registry, recs []*wal.Record) {
+	t.Helper()
+	for _, rec := range recs {
+		if err := follower.ApplyReplicated(rec); err != nil {
+			t.Fatalf("ApplyReplicated(%v %q): %v", rec.Op, rec.Name, err)
+		}
+	}
+}
+
+// TestOnCommitObservesEveryMutation: the hook sees register, append,
+// and delete records in apply order, with append records carrying the
+// post-apply epoch and the fingerprint chain intact.
+func TestOnCommitObservesEveryMutation(t *testing.T) {
+	var recs []*wal.Record
+	r := newTestRegistry(Config{})
+	r.SetOnCommit(func(rec *wal.Record) { recs = append(recs, rec) })
+
+	if _, err := r.Register("trips", mkTable(t, "trips", tripsCSV)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Append("trips", [][]string{{"Oslo", "7", "2024-02-01"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Delete("trips"); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(recs) != 3 {
+		t.Fatalf("hook saw %d records, want 3", len(recs))
+	}
+	if recs[0].Op != wal.OpRegister || recs[1].Op != wal.OpAppend || recs[2].Op != wal.OpDrop {
+		t.Fatalf("ops = %v %v %v, want register/append/drop", recs[0].Op, recs[1].Op, recs[2].Op)
+	}
+	if recs[1].Epoch != res.Epoch {
+		t.Errorf("append record epoch = %d, want committed epoch %d", recs[1].Epoch, res.Epoch)
+	}
+	if recs[1].PrevFingerprint != recs[0].Fingerprint {
+		t.Error("append record's pre-state does not chain from the register record")
+	}
+	if recs[1].Fingerprint != res.Fingerprint {
+		t.Errorf("append record fingerprint = %s, want committed %s", recs[1].Fingerprint, res.Fingerprint)
+	}
+}
+
+// TestReplicatedConvergence: shipping every commit record to a
+// follower reproduces the leader's exact state — fingerprints, rows,
+// and epochs — including after deletes.
+func TestReplicatedConvergence(t *testing.T) {
+	follower := newTestRegistry(Config{})
+	leader := newTestRegistry(Config{})
+	leader.SetOnCommit(func(rec *wal.Record) {
+		if err := follower.ApplyReplicated(rec); err != nil {
+			t.Errorf("ApplyReplicated(%v %q): %v", rec.Op, rec.Name, err)
+		}
+	})
+
+	if _, err := leader.Register("trips", mkTable(t, "trips", tripsCSV)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leader.Register("other", mkTable(t, "other", "a,b\n1,x\n2,y\n")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := leader.Append("trips", [][]string{{fmt.Sprintf("city%d", i), "3", "2024-03-01"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := leader.Delete("other"); err != nil {
+		t.Fatal(err)
+	}
+
+	assertStatesEqual(t, captureState(follower), captureState(leader), "after replication")
+	d, ok := follower.Get("trips")
+	if !ok || !d.IsReplica() {
+		t.Error("follower's trips is not marked replica")
+	}
+}
+
+// TestReplicatedIdempotence: duplicate deliveries — the retry shapes
+// the shipper can produce — are skipped, not diverged on.
+func TestReplicatedIdempotence(t *testing.T) {
+	var recs []*wal.Record
+	leader := newTestRegistry(Config{})
+	leader.SetOnCommit(func(rec *wal.Record) { recs = append(recs, rec) })
+	if _, err := leader.Register("trips", mkTable(t, "trips", tripsCSV)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leader.Append("trips", [][]string{{"Oslo", "7", "2024-02-01"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	follower := newTestRegistry(Config{})
+	replicate(t, follower, recs)
+	want := captureState(follower)
+	// Redeliver everything: register dup (same fp+epoch), append dup
+	// (epoch <= current), then a stale drop of a never-seen name.
+	replicate(t, follower, recs[:1])
+	replicate(t, follower, recs)
+	if err := follower.ApplyReplicated(&wal.Record{Op: wal.OpDrop, Name: "ghost"}); err != nil {
+		t.Fatalf("drop of missing dataset: %v", err)
+	}
+	assertStatesEqual(t, captureState(follower), want, "after duplicate deliveries")
+}
+
+// TestReplicatedOutOfSyncAndResync: an append the follower has no
+// pre-state for returns ErrOutOfSync without applying; the leader's
+// SnapshotRecord then replaces the follower's copy authoritatively,
+// and a redelivery of the failed append is recognized as already
+// contained in the snapshot (epoch skip).
+func TestReplicatedOutOfSyncAndResync(t *testing.T) {
+	var recs []*wal.Record
+	leader := newTestRegistry(Config{})
+	leader.SetOnCommit(func(rec *wal.Record) { recs = append(recs, rec) })
+	if _, err := leader.Register("trips", mkTable(t, "trips", tripsCSV)); err != nil {
+		t.Fatal(err)
+	}
+
+	follower := newTestRegistry(Config{})
+	replicate(t, follower, recs) // register only
+
+	// The follower misses one append (recs[1]) and then receives the
+	// next (recs[2]): its fingerprint chain cannot accept it.
+	for i := 0; i < 2; i++ {
+		if _, err := leader.Append("trips", [][]string{{fmt.Sprintf("city%d", i), "3", "2024-03-01"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := follower.ApplyReplicated(recs[2]); !errors.Is(err, ErrOutOfSync) {
+		t.Fatalf("gapped append err = %v, want ErrOutOfSync", err)
+	}
+	// Appends to a dataset the follower never saw are also out-of-sync.
+	if err := follower.ApplyReplicated(&wal.Record{Op: wal.OpAppend, Name: "ghost", Epoch: 1}); !errors.Is(err, ErrOutOfSync) {
+		t.Fatalf("append to missing dataset err = %v, want ErrOutOfSync", err)
+	}
+
+	snap, ok := leader.SnapshotRecord("trips")
+	if !ok {
+		t.Fatal("leader SnapshotRecord(trips) missed")
+	}
+	if err := follower.ApplyReplicated(snap); err != nil {
+		t.Fatalf("resync snapshot apply: %v", err)
+	}
+	assertStatesEqual(t, captureState(follower), captureState(leader), "after resync")
+
+	// The shipper re-delivers the records the snapshot already covers.
+	replicate(t, follower, recs[1:])
+	assertStatesEqual(t, captureState(follower), captureState(leader), "after redelivery")
+}
+
+// TestReplicatedBadRecordRejected: a record whose journaled post-state
+// fingerprint cannot be reproduced is rejected with ErrBadRecord and
+// leaves the follower byte-for-byte untouched — the invariant the
+// fault-injection suite leans on.
+func TestReplicatedBadRecordRejected(t *testing.T) {
+	var recs []*wal.Record
+	leader := newTestRegistry(Config{})
+	leader.SetOnCommit(func(rec *wal.Record) { recs = append(recs, rec) })
+	if _, err := leader.Register("trips", mkTable(t, "trips", tripsCSV)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leader.Append("trips", [][]string{{"Oslo", "7", "2024-02-01"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	follower := newTestRegistry(Config{})
+	replicate(t, follower, recs[:1])
+	want := captureState(follower)
+
+	bad := *recs[1]
+	bad.Fingerprint = "fnv128a:deadbeef"
+	if err := follower.ApplyReplicated(&bad); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("corrupt append err = %v, want ErrBadRecord", err)
+	}
+	badReg := *recs[0]
+	badReg.Fingerprint = "fnv128a:deadbeef"
+	badReg.Name = "trips2"
+	if err := follower.ApplyReplicated(&badReg); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("corrupt register err = %v, want ErrBadRecord", err)
+	}
+	assertStatesEqual(t, captureState(follower), want, "after rejected records")
+}
+
+// TestReplicaExemptFromLocalEviction: TTL sweeps and LRU eviction
+// never touch replica datasets — their leader owns those decisions —
+// while locally led datasets keep expiring around them.
+func TestReplicaExemptFromLocalEviction(t *testing.T) {
+	now := time.Unix(1700000000, 0)
+	clock := func() time.Time { return now }
+	var recs []*wal.Record
+	leader := newTestRegistry(Config{})
+	leader.SetOnCommit(func(rec *wal.Record) { recs = append(recs, rec) })
+	if _, err := leader.Register("followed", mkTable(t, "followed", tripsCSV)); err != nil {
+		t.Fatal(err)
+	}
+
+	r := newTestRegistry(Config{TTL: time.Minute}).WithClock(clock)
+	replicate(t, r, recs)
+	if _, err := r.Register("local", mkTable(t, "local", "a,b\n1,x\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	now = now.Add(time.Hour) // both datasets are far past the TTL
+	if _, ok := r.Get("followed"); !ok {
+		t.Error("replica expired by local TTL sweep")
+	}
+	if _, ok := r.Get("local"); ok {
+		t.Error("locally led dataset survived the TTL sweep")
+	}
+
+	// LRU: a byte budget far below the replica's size must not evict it.
+	r2 := newTestRegistry(Config{MaxBytes: 1})
+	replicate(t, r2, recs)
+	if _, err := r2.Register("local", mkTable(t, "local", "a,b\n1,x\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r2.Get("followed"); !ok {
+		t.Error("replica evicted by local LRU")
+	}
+}
+
+// TestReplicatedDurability: every replicated apply is journaled first,
+// so a follower restart recovers the replica state through the
+// ordinary WAL recovery path — including an authoritative replace,
+// which must round-trip as drop+register.
+func TestReplicatedDurability(t *testing.T) {
+	var recs []*wal.Record
+	leader := newTestRegistry(Config{})
+	leader.SetOnCommit(func(rec *wal.Record) { recs = append(recs, rec) })
+	if _, err := leader.Register("trips", mkTable(t, "trips", tripsCSV)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leader.Append("trips", [][]string{{"Oslo", "7", "2024-02-01"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	fs := wal.NewMemFS()
+	follower, _, _ := openDurable(t, fs, Config{}, 0)
+	replicate(t, follower, recs)
+
+	// Diverge the leader past the follower, then resync via snapshot:
+	// the follower journals the replace as drop+register.
+	if _, err := leader.Append("trips", [][]string{{"Lima", "9", "2024-04-01"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leader.Append("trips", [][]string{{"Kyiv", "4", "2024-04-02"}}); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := leader.SnapshotRecord("trips")
+	if err := follower.ApplyReplicated(snap); err != nil {
+		t.Fatalf("resync apply: %v", err)
+	}
+	want := captureState(follower)
+	assertStatesEqual(t, want, captureState(leader), "follower vs leader before restart")
+
+	recovered, _, _ := openDurable(t, fs, Config{}, 0)
+	assertStatesEqual(t, captureState(recovered), want, "after follower restart")
+}
+
+// TestSetReplicaFlipsRoles: rebalance flips a dataset between led and
+// followed without touching content.
+func TestSetReplicaFlipsRoles(t *testing.T) {
+	r := newTestRegistry(Config{})
+	if _, err := r.Register("trips", mkTable(t, "trips", tripsCSV)); err != nil {
+		t.Fatal(err)
+	}
+	if r.SetReplica("ghost", true) {
+		t.Error("SetReplica(ghost) reported success")
+	}
+	fpBefore := captureState(r)
+	if !r.SetReplica("trips", true) {
+		t.Fatal("SetReplica(trips, true) missed")
+	}
+	var found bool
+	for _, ep := range r.EpochList() {
+		if ep.Name == "trips" {
+			found = true
+			if !ep.Replica {
+				t.Error("EpochList does not report the replica role")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("EpochList missing trips")
+	}
+	r.SetReplica("trips", false)
+	assertStatesEqual(t, captureState(r), fpBefore, "content after role flips")
+}

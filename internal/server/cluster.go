@@ -1,0 +1,114 @@
+// Cluster routing for the dataset endpoints: writes go to the
+// dataset's leader (misdirected ones are forwarded transparently), and
+// follower reads honor the client's epoch token — wait briefly for
+// replication to catch up, then fall back to proxying the leader — so
+// a client that just appended always reads its own write, whichever
+// replica answers.
+package server
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// forwardedHeader marks a request relayed by a peer. It caps forwarding
+// at one hop: a node receiving a forwarded request serves it locally
+// (or answers 421 if routing disagrees) instead of forwarding again,
+// so a stale ring can never produce a proxy loop.
+const forwardedHeader = "X-Deepeye-Forwarded"
+
+// minEpochParam is the read-your-writes token: clients echo the epoch
+// from a mutation response, and any replica serving the read first
+// ensures its copy has reached that epoch.
+const minEpochParam = "min_epoch"
+
+// clusterRouteWrite routes a dataset mutation to its leader. It
+// reports true when the request was fully handled here (forwarded or
+// refused); false means this node leads the dataset and the caller
+// should apply the mutation locally. Call before touching the body.
+func (h *Handler) clusterRouteWrite(w http.ResponseWriter, r *http.Request, name string) bool {
+	c := h.opts.Cluster
+	if c == nil || c.IsLeader(name) {
+		return false
+	}
+	if r.Header.Get(forwardedHeader) != "" {
+		// The forwarding peer's ring disagrees with ours — membership
+		// is mid-change. Refuse rather than apply on a non-leader; the
+		// client retries once routing settles.
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		writeJSON(w, http.StatusMisdirectedRequest,
+			errorJSON{Error: "not the leader for dataset " + strconv.Quote(name)})
+		return true
+	}
+	h.proxyTo(w, r, c.Leader(name))
+	return true
+}
+
+// clusterEnsureRead makes a follower read safe under the client's
+// epoch token. Returns true when the request was handled here (proxied
+// to the leader); false means the local replica is current enough to
+// serve. Leaders and non-cluster handlers always serve locally.
+func (h *Handler) clusterEnsureRead(w http.ResponseWriter, r *http.Request, name string) bool {
+	c := h.opts.Cluster
+	if c == nil || c.IsLeader(name) || r.Header.Get(forwardedHeader) != "" {
+		return false
+	}
+	var minEpoch uint64
+	if tok := r.URL.Query().Get(minEpochParam); tok != "" {
+		v, err := strconv.ParseUint(tok, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: "invalid min_epoch parameter"})
+			return true
+		}
+		minEpoch = v
+	}
+	if minEpoch == 0 {
+		// No token: any snapshot-consistent epoch is a correct answer,
+		// but a dataset we have no replica of yet must still resolve —
+		// its register record may not have reached us.
+		if _, err := h.sys.DatasetInfoByName(name); err == nil {
+			return false
+		}
+		h.proxyTo(w, r, c.Leader(name))
+		return true
+	}
+	if c.WaitForEpoch(name, minEpoch) {
+		return false
+	}
+	// Catch-up did not reach the client's token in time: the leader
+	// has the write by definition.
+	h.proxyTo(w, r, c.Leader(name))
+	return true
+}
+
+// proxyTo relays the request to a peer verbatim (path, query, body)
+// with the forwarded marker set, then copies the peer's response back.
+func (h *Handler) proxyTo(w http.ResponseWriter, r *http.Request, peer string) {
+	if peer == "" {
+		writeShed(w, reasonCapacity, "no leader for dataset (empty cluster ring)")
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, peer+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorJSON{Error: err.Error()})
+		return
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Set(forwardedHeader, "1")
+	resp, err := h.opts.Cluster.Client().Do(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway,
+			errorJSON{Error: "leader unreachable: " + err.Error()})
+		return
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}

@@ -38,6 +38,7 @@ type DatasetJSON struct {
 	Fingerprint string              `json:"fingerprint"`
 	Bytes       int64               `json:"bytes"`
 	RaggedRows  int                 `json:"ragged_rows,omitempty"`
+	Replica     bool                `json:"replica,omitempty"`
 	CreatedAt   time.Time           `json:"created_at"`
 	LastAccess  time.Time           `json:"last_access"`
 	Profile     []DatasetColumnJSON `json:"profile,omitempty"`
@@ -59,6 +60,7 @@ func datasetJSON(info deepeye.DatasetInfo, withProfile bool) DatasetJSON {
 		Name: info.Name, Rows: info.Rows, Columns: info.Cols,
 		Epoch: info.Epoch, Fingerprint: info.Fingerprint,
 		Bytes: info.Bytes, RaggedRows: info.RaggedRows,
+		Replica:   info.Replica,
 		CreatedAt: info.CreatedAt, LastAccess: info.LastAccess,
 	}
 	if !withProfile {
@@ -105,6 +107,9 @@ func (h *Handler) handleDatasetCreate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "missing name parameter"})
 		return
 	}
+	if h.clusterRouteWrite(w, r, name) {
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes)
 	info, err := h.sys.RegisterCSVLimited(name, body, h.ingestLimits())
 	if err != nil {
@@ -124,6 +129,9 @@ func (h *Handler) handleDatasetCreate(w http.ResponseWriter, r *http.Request) {
 // nulls, over-wide rows are truncated and counted in the response.
 func (h *Handler) handleDatasetAppend(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("id")
+	if h.clusterRouteWrite(w, r, name) {
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes)
 	res, err := h.sys.AppendCSVLimited(name, body, r.URL.Query().Get("header") == "1", h.ingestLimits())
 	if err != nil {
@@ -153,6 +161,9 @@ func (h *Handler) handleDatasetList(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (h *Handler) handleDatasetInfo(w http.ResponseWriter, r *http.Request) {
+	if h.clusterEnsureRead(w, r, r.PathValue("id")) {
+		return
+	}
 	info, err := h.sys.DatasetInfoByName(r.PathValue("id"))
 	if err != nil {
 		writeRegistryError(w, err)
@@ -167,6 +178,9 @@ func (h *Handler) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.PathValue("id")
+	if h.clusterRouteWrite(w, r, name) {
+		return
+	}
 	ok, err := h.sys.DropDataset(name)
 	if err != nil {
 		writeRegistryError(w, err)
@@ -185,6 +199,9 @@ func (h *Handler) handleDatasetTopK(w http.ResponseWriter, r *http.Request) {
 	k, err := h.parseK(r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	if h.clusterEnsureRead(w, r, r.PathValue("id")) {
 		return
 	}
 	vs, info, err := h.sys.TopKByName(r.Context(), r.PathValue("id"), k)
@@ -211,6 +228,9 @@ func (h *Handler) handleDatasetSearch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
 		return
 	}
+	if h.clusterEnsureRead(w, r, r.PathValue("id")) {
+		return
+	}
 	vs, info, err := h.sys.SearchByName(r.Context(), r.PathValue("id"), q, k)
 	if err != nil {
 		h.writeDatasetPipelineError(w, err)
@@ -228,6 +248,9 @@ func (h *Handler) handleDatasetQuery(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "missing q parameter"})
+		return
+	}
+	if h.clusterEnsureRead(w, r, r.PathValue("id")) {
 		return
 	}
 	v, _, err := h.sys.QueryByName(r.Context(), r.PathValue("id"), q)

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	deepeye "github.com/deepeye/deepeye"
+	"github.com/deepeye/deepeye/internal/cluster"
 	"github.com/deepeye/deepeye/internal/obs"
 )
 
@@ -116,6 +117,11 @@ type Options struct {
 	// also carries the pipeline's per-stage timings, so /metrics shows
 	// both).
 	Registry *obs.Registry
+	// Cluster, when set, makes this handler a cluster member: peer
+	// endpoints are mounted under /cluster/, dataset writes for
+	// datasets led elsewhere forward to their leader, and follower
+	// reads honor min_epoch tokens (wait for catch-up or proxy).
+	Cluster *cluster.Node
 }
 
 func (o Options) withDefaults() Options {
@@ -147,6 +153,7 @@ type Handler struct {
 // Metric names exported on /metrics.
 const (
 	metricRequests   = "deepeye_http_requests_total"
+	metricForwarded  = "deepeye_http_forwarded_requests_total"
 	metricShed       = "deepeye_http_requests_shed_total"
 	metricInFlight   = "deepeye_http_in_flight"
 	metricLatency    = "deepeye_http_request_duration_seconds"
@@ -179,6 +186,11 @@ func New(sys *deepeye.System, opts Options) *Handler {
 	h.mux.HandleFunc("GET /datasets/{id}/topk", h.handleDatasetTopK)
 	h.mux.HandleFunc("GET /datasets/{id}/search", h.handleDatasetSearch)
 	h.mux.HandleFunc("GET /datasets/{id}/query", h.handleDatasetQuery)
+	// Peer endpoints (replication, epoch probes, snapshot pulls) when
+	// this handler serves as a cluster member.
+	if opts.Cluster != nil {
+		h.mux.Handle("/cluster/", opts.Cluster.Handler())
+	}
 	return h
 }
 
@@ -188,6 +200,12 @@ func New(sys *deepeye.System, opts Options) *Handler {
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	route := r.URL.Path
 	h.reg.Counter(metricRequests, "HTTP requests by route.", "route", route).Inc()
+	if r.Header.Get(forwardedHeader) != "" {
+		// A peer relayed this request on a client's behalf: counted in
+		// requests_total too, so cluster-wide reconciliation is
+		// Σ requests − Σ forwarded == client-sent requests.
+		h.reg.Counter(metricForwarded, "Requests forwarded here by a cluster peer.", "route", route).Inc()
+	}
 	if h.slots != nil {
 		select {
 		case h.slots <- struct{}{}:

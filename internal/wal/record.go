@@ -70,7 +70,12 @@ type Record struct {
 	Cells          []Cell
 
 	// OpAppend fields. RawRows holds the batch verbatim (possibly
-	// ragged). PrevFingerprint is the rolling digest before the batch:
+	// ragged). Epoch is the dataset epoch AFTER the batch applies (the
+	// register field reused): replication followers use it to recognize
+	// an already-applied duplicate delivery and skip it instead of
+	// declaring divergence; recovery replay ignores it (the fingerprint
+	// chain is authoritative there). PrevFingerprint is the rolling
+	// digest before the batch:
 	// replay uses it to recognize an append journaled against a dataset
 	// incarnation that a concurrent drop + re-register of the same name
 	// superseded (appends journal under the dataset lock alone, so the
@@ -214,6 +219,7 @@ func encodePayload(rec *Record) ([]byte, error) {
 		}
 		b = appendString(b, rec.Fingerprint)
 	case OpAppend:
+		b = appendU64(b, rec.Epoch)
 		b = appendU32(b, uint32(len(rec.RawRows)))
 		for _, row := range rec.RawRows {
 			b = appendU32(b, uint32(len(row)))
@@ -270,6 +276,7 @@ func decodePayload(b []byte) (*Record, error) {
 		}
 		rec.Fingerprint = d.str()
 	case OpAppend:
+		rec.Epoch = d.u64()
 		nrows := d.u32()
 		// Each row costs ≥4 encoded bytes (its cell-count prefix).
 		if d.err == nil && uint64(nrows) > uint64(len(b))/4 {

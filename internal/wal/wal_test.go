@@ -475,7 +475,8 @@ func TestImplausibleCountsRejected(t *testing.T) {
 	// Append: claimed rows > len/4 but ≤ len.
 	a := []byte{byte(OpAppend)}
 	a = appendString(a, "x")
-	a = appendU32(a, 30) // rows; final payload is 74 bytes
+	a = appendU64(a, 0)  // post-apply epoch
+	a = appendU32(a, 30) // rows: > len/4 of the 82-byte final payload
 	a = append(a, make([]byte, 64)...)
 	if _, err := decodePayload(a); !errors.Is(err, ErrTorn) {
 		t.Fatalf("implausible append row count = %v, want ErrTorn", err)

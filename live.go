@@ -58,6 +58,11 @@ func (s *System) liveRegistry() (*registry.Registry, error) {
 	return s.registry, nil
 }
 
+// RegistryHandle exposes the underlying dataset registry (nil when the
+// registry is disabled). The cluster layer attaches replication to it;
+// ordinary callers should use the System-level dataset methods.
+func (s *System) RegistryHandle() *registry.Registry { return s.registry }
+
 // RegisterTable adopts a loaded table as a live dataset under name.
 // The table's column types become the dataset's fixed schema: appended
 // cells are parsed under them (never re-inferred), so a year column

@@ -5,7 +5,8 @@ GO ?= go
 # >20% regressions in ns/op, B/op, or allocs/op (runs carry -benchmem).
 # Benchmarks matching ZERO_ALLOC must additionally report a median of
 # exactly 0 allocs/op. CI and local runs share these definitions.
-BENCH_PATTERN ?= BenchmarkTable_SearchSpace|BenchmarkGraphBuild|BenchmarkTopKCached|BenchmarkBuildGraphParallel|BenchmarkAppend|BenchmarkSnapshotTopK|BenchmarkWALAppend|BenchmarkRecovery|BenchmarkColumnarStats|BenchmarkFeatureExtract
+BENCH_PATTERN ?= BenchmarkTable_SearchSpace|BenchmarkGraphBuild|BenchmarkTopKCached|BenchmarkBuildGraphParallel|BenchmarkAppend|BenchmarkSnapshotTopK|BenchmarkWALAppend|BenchmarkRecovery|BenchmarkColumnarStats|BenchmarkFeatureExtract|BenchmarkNLQParse|BenchmarkAskWarm|BenchmarkAskCold
+BENCH_PKGS ?= . ./internal/nlq/
 ZERO_ALLOC ?= BenchmarkColumnarStats|BenchmarkFeatureExtract
 BENCH_COUNT ?= 6
 BENCHTIME ?= 0.3s
@@ -51,6 +52,7 @@ fuzz:
 	$(GO) test -fuzz FuzzWALReplay -fuzztime 30s ./internal/registry/
 	$(GO) test -fuzz FuzzReplicationFrame -fuzztime 30s ./internal/cluster/
 	$(GO) test -fuzz FuzzParseScenario -fuzztime 30s ./internal/load/
+	$(GO) test -fuzz FuzzParseNLQ -fuzztime 30s ./internal/nlq/
 
 # Fault-injection and crash-consistency suite under the race detector:
 # every-byte WAL truncation/corruption, compaction crash windows,
@@ -64,13 +66,13 @@ crash-test:
 # One-iteration pass over the gated benchmarks: catches benchmarks that
 # fail outright without paying for timing runs.
 bench-smoke:
-	$(GO) test -run XXX -bench '$(BENCH_PATTERN)' -benchtime=1x .
+	$(GO) test -run XXX -bench '$(BENCH_PATTERN)' -benchtime=1x $(BENCH_PKGS)
 
 # Repeated timed run whose output feeds bench-diff.
 # Usage: make bench-run OUT=pr.txt
 bench-run:
 	@test -n "$(OUT)" || { echo "usage: make bench-run OUT=file.txt"; exit 2; }
-	$(GO) test -run XXX -bench '$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCHTIME) . > $(OUT)
+	$(GO) test -run XXX -bench '$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCHTIME) $(BENCH_PKGS) > $(OUT)
 	@cat $(OUT)
 
 # Compare two bench-run outputs; exits nonzero on a >20% median

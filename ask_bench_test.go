@@ -1,0 +1,48 @@
+// Benchmarks for the natural-language front-end: cold pays parse +
+// candidate execution + ranking every iteration, warm serves the same
+// (normalized) question from the answer cache, so the delta is the
+// execution pipeline and the warm number is parse + one cache probe.
+// The CI bench-regression gate compares the medians of these against
+// main.
+package deepeye_test
+
+import (
+	"context"
+	"testing"
+
+	deepeye "github.com/deepeye/deepeye"
+)
+
+const benchAskQuery = "top 5 carriers by total passengers excluding UA"
+
+// BenchmarkAskCold measures the miss path: every iteration purges the
+// cache, so Ask pays parsing, candidate execution, and ranking.
+func BenchmarkAskCold(b *testing.B) {
+	tab := benchCacheTable(b)
+	sys := deepeye.New(deepeye.Options{CacheSize: benchCacheSize})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.PurgeCache()
+		if _, err := sys.AskCtx(context.Background(), tab, benchAskQuery, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAskWarm measures the hit path: repeated questions that
+// normalize identically are served from the answer cache.
+func BenchmarkAskWarm(b *testing.B) {
+	tab := benchCacheTable(b)
+	sys := deepeye.New(deepeye.Options{CacheSize: benchCacheSize})
+	if _, err := sys.AskCtx(context.Background(), tab, benchAskQuery, 3); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.AskCtx(context.Background(), tab, benchAskQuery, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

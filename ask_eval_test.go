@@ -1,0 +1,103 @@
+package deepeye
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/deepeye/deepeye/internal/datagen"
+	"github.com/deepeye/deepeye/internal/nlq"
+)
+
+// TestAskCorpusAccuracy runs the full Ask pipeline over the generated
+// NL evaluation corpus and measures top-1/top-3 accuracy against the
+// ground-truth specs (the numbers reported in EXPERIMENTS.md §NLQ).
+// Unambiguous phrasings must place the truth in the top 3 at least 80%
+// of the time; ambiguous phrasings must include the truth in their
+// enumeration (checked per entry at parse level).
+func TestAskCorpusAccuracy(t *testing.T) {
+	tab, err := datagen.NLQEval(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := nlq.SchemaFromTable(tab)
+	const n = 240
+	corpus := nlq.GenerateCorpus(sc, n, 1)
+	if len(corpus) != n {
+		t.Fatalf("corpus size = %d", len(corpus))
+	}
+	sys := New(Options{CacheSize: 64 << 20})
+
+	type tally struct{ total, ambiguous, top1, top3, unambTotal, unambTop3 int }
+	byFamily := map[string]*tally{}
+	overall := &tally{}
+	record := func(ts ...*tally) func(amb, t1, t3 bool) {
+		return func(amb, t1, t3 bool) {
+			for _, y := range ts {
+				y.total++
+				if amb {
+					y.ambiguous++
+				} else {
+					y.unambTotal++
+					if t3 {
+						y.unambTop3++
+					}
+				}
+				if t1 {
+					y.top1++
+				}
+				if t3 {
+					y.top3++
+				}
+			}
+		}
+	}
+
+	for _, e := range corpus {
+		fam := byFamily[e.Family]
+		if fam == nil {
+			fam = &tally{}
+			byFamily[e.Family] = fam
+		}
+		ans, err := sys.Ask(tab, e.Text, 3)
+		if err != nil {
+			t.Errorf("Ask(%q): %v", e.Text, err)
+			record(overall, fam)(e.Ambiguous, false, false)
+			continue
+		}
+		want := e.Truth.Key()
+		t1, t3 := false, false
+		for i, r := range ans.Results {
+			if r.Node().Query.Key() == want {
+				t3 = true
+				t1 = i == 0
+				break
+			}
+		}
+		record(overall, fam)(e.Ambiguous, t1, t3)
+	}
+
+	var fams []string
+	for f := range byFamily {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	for _, f := range fams {
+		y := byFamily[f]
+		t.Logf("family %-9s n=%-3d ambiguous=%-3d top1=%.1f%% top3=%.1f%%",
+			f, y.total, y.ambiguous, 100*float64(y.top1)/float64(y.total), 100*float64(y.top3)/float64(y.total))
+	}
+	t.Logf("overall    n=%d ambiguous=%d top1=%.1f%% top3=%.1f%% unambiguous-top3=%.1f%%",
+		overall.total, overall.ambiguous,
+		100*float64(overall.top1)/float64(overall.total),
+		100*float64(overall.top3)/float64(overall.total),
+		100*float64(overall.unambTop3)/float64(max(1, overall.unambTotal)))
+
+	if overall.unambTotal > 0 {
+		if rate := float64(overall.unambTop3) / float64(overall.unambTotal); rate < 0.8 {
+			t.Errorf("unambiguous top-3 accuracy %.1f%% below the 80%% gate", 100*rate)
+		}
+	}
+	if len(byFamily) < 5 {
+		t.Errorf("families exercised = %d, want at least 5", len(byFamily))
+	}
+}

@@ -1,0 +1,155 @@
+package deepeye
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestAskTrend(t *testing.T) {
+	tab := smallFlights(t)
+	sys := New(Options{})
+	ans, err := sys.Ask(tab, "monthly average departure delay", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Results) == 0 {
+		t.Fatal("no results")
+	}
+	top := ans.Results[0]
+	if top.Chart != "line" || top.YName() != "departure_delay" {
+		t.Errorf("top = %s %s/%s, want a departure_delay line", top.Chart, top.XName(), top.YName())
+	}
+	if !strings.Contains(top.Query, "BY MONTH") || !strings.Contains(top.Query, "AVG") {
+		t.Errorf("top query missed the stated unit/agg: %s", top.Query)
+	}
+	// The temporal axis was never named: the completion must say so.
+	guessed := false
+	for _, c := range top.Completions {
+		if strings.Contains(c, "guessed") {
+			guessed = true
+		}
+	}
+	if !guessed {
+		t.Errorf("completions = %v, want a guessed-dimension note", top.Completions)
+	}
+	if top.Confidence <= 0 || top.Confidence > 1 {
+		t.Errorf("confidence = %v", top.Confidence)
+	}
+}
+
+func TestAskTopNWithFilter(t *testing.T) {
+	tab := smallFlights(t)
+	sys := New(Options{})
+	ans, err := sys.Ask(tab, "top 3 carriers by total passengers excluding UA", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := ans.Results[0]
+	if top.Chart != "bar" || top.XName() != "carrier" || top.YName() != "passengers" {
+		t.Errorf("top = %s %s/%s", top.Chart, top.XName(), top.YName())
+	}
+	if !strings.Contains(top.Query, "LIMIT 3") || !strings.Contains(top.Query, "DESC") {
+		t.Errorf("top-N decoration missing: %s", top.Query)
+	}
+	if !strings.Contains(top.Query, `carrier != "UA"`) {
+		t.Errorf("exclusion filter missing: %s", top.Query)
+	}
+	if top.Points() > 3 {
+		t.Errorf("points = %d, want at most 3", top.Points())
+	}
+	labels, _ := top.Data()
+	for _, l := range labels {
+		if l == "UA" {
+			t.Errorf("excluded label present: %v", labels)
+		}
+	}
+}
+
+func TestAskAmbiguityReported(t *testing.T) {
+	tab := smallFlights(t)
+	sys := New(Options{})
+	ans, err := sys.Ask(tab, "passengers by carrier", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Results) < 2 {
+		t.Fatalf("results = %d, want the SUM/AVG fan-out", len(ans.Results))
+	}
+	slot := false
+	for _, a := range ans.Ambiguities {
+		if a.Slot == "aggregate" {
+			slot = true
+		}
+	}
+	if !slot {
+		t.Errorf("ambiguities = %+v, want an aggregate slot", ans.Ambiguities)
+	}
+	if len(ans.Bindings) == 0 {
+		t.Error("no bindings reported")
+	}
+	for i := 1; i < len(ans.Results); i++ {
+		if ans.Results[i].Blended > ans.Results[i-1].Blended {
+			t.Errorf("results out of blended order at %d", i)
+		}
+	}
+}
+
+func TestAskNoIntent(t *testing.T) {
+	tab := smallFlights(t)
+	sys := New(Options{})
+	if _, err := sys.Ask(tab, "zorp blimfle qux", 3); !errors.Is(err, ErrNoIntent) {
+		t.Errorf("Ask nonsense err = %v, want ErrNoIntent", err)
+	}
+	if _, err := sys.Ask(tab, "", 3); !errors.Is(err, ErrNoIntent) {
+		t.Errorf("Ask empty err = %v, want ErrNoIntent", err)
+	}
+	// Search shares the sentinel.
+	if _, err := sys.Search(tab, "zorp blimfle", 3); !errors.Is(err, ErrNoIntent) {
+		t.Errorf("Search nonsense err = %v, want ErrNoIntent", err)
+	}
+	if _, err := sys.Ask(tab, "delay", 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+// TestAskCached pins that answers are memoized by normalized query:
+// a reworded-but-equivalent question is a cache hit.
+func TestAskCached(t *testing.T) {
+	tab := smallFlights(t)
+	sys := New(Options{CacheSize: 64 << 20})
+	if _, err := sys.Ask(tab, "total passengers by carrier", 3); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := sys.CacheStats()
+	ans, err := sys.Ask(tab, "  Total PASSENGERS, by carrier!  ", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _ := sys.CacheStats()
+	if after.Hits <= before.Hits {
+		t.Errorf("reworded ask missed the cache: hits %d -> %d", before.Hits, after.Hits)
+	}
+	if len(ans.Results) == 0 {
+		t.Fatal("cached answer empty")
+	}
+}
+
+func TestAskByName(t *testing.T) {
+	tab := smallFlights(t)
+	sys := New(Options{RegistrySize: 64 << 20})
+	if _, err := sys.RegisterTable("flights", tab); err != nil {
+		t.Fatal(err)
+	}
+	ans, info, err := sys.AskByName(context.Background(), "flights", "passengers share by carrier", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "flights" {
+		t.Errorf("info.Name = %q", info.Name)
+	}
+	if ans.Results[0].Chart != "pie" {
+		t.Errorf("share intent should yield a pie first, got %s", ans.Results[0].Chart)
+	}
+}

@@ -10,6 +10,8 @@
 //	POST /query?q=QUERY   → run one visualization-language query
 //	POST /multi?k=5       → multi-series suggestions
 //	POST /search?q=WORDS  → keyword-driven top-k
+//	POST /nlq?q=QUESTION  → natural-language question, ranked interpretations
+//	                        with parse confidence and ambiguity explanations
 //	GET  /healthz         → liveness
 //	GET  /metrics         → Prometheus text metrics (requests, in-flight,
 //	                        request + pipeline-stage latency histograms)
@@ -23,6 +25,7 @@
 //	GET    /datasets/{id}/topk?k=5   → top-k on the current snapshot
 //	GET    /datasets/{id}/search?q=… → keyword top-k on the current snapshot
 //	GET    /datasets/{id}/query?q=…  → one query on the current snapshot
+//	POST   /datasets/{id}/nlq?q=…    → natural-language question on the snapshot
 //	DELETE /datasets/{id}            → drop the dataset and its cache entries
 //
 // Cluster mode (-peers with -self, registry required): the node joins a

@@ -6,6 +6,11 @@
 //	deepeye -csv data.csv -k 5
 //	deepeye -csv data.csv -k 3 -vega out/        # export Vega-Lite specs
 //	deepeye -csv data.csv -query "VISUALIZE line SELECT date, AVG(price) FROM t BIN date BY MONTH"
+//	deepeye -csv data.csv -ask "top 5 regions by total sales"
+//	                                             # natural-language question:
+//	                                             # ranked interpretations with
+//	                                             # parse confidence and the
+//	                                             # ambiguities that were resolved
 //	deepeye -csv data.csv -k 5 -progressive      # tournament selector
 //	deepeye -csv data.csv -k 5 -exhaustive       # full Fig. 3 search space
 //	deepeye -csv day1.csv -append day2.csv,day3.csv -k 5
@@ -37,6 +42,7 @@ func main() {
 		k           = flag.Int("k", 5, "number of visualizations to return")
 		query       = flag.String("query", "", "run one visualization-language query instead of top-k")
 		search      = flag.String("search", "", "keyword search, e.g. \"delay trend by hour\"")
+		ask         = flag.String("ask", "", "natural-language question, e.g. \"top 5 regions by total sales\"")
 		multi       = flag.Bool("multi", false, "suggest multi-series charts instead of single-series top-k")
 		profile     = flag.Bool("profile", false, "print the column profile and exit")
 		appendCSVs  = flag.String("append", "", "comma-separated CSV files (header row skipped) appended to the dataset via the live registry before ranking")
@@ -59,7 +65,7 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := runConfig{
-		csvPath: *csvPath, k: *k, query: *query, search: *search,
+		csvPath: *csvPath, k: *k, query: *query, search: *search, ask: *ask,
 		appendCSVs: *appendCSVs, dataDir: *dataDir,
 		multi: *multi, profile: *profile, vegaDir: *vegaDir, htmlPath: *htmlPath,
 		jsonOut:     *jsonOut,
@@ -93,7 +99,8 @@ func printStageStats() {
 }
 
 type runConfig struct {
-	csvPath, query, search, vegaDir    string
+	csvPath, query, search, ask        string
+	vegaDir                            string
 	htmlPath, appendCSVs, dataDir      string
 	k, width, workers                  int
 	multi, profile, jsonOut            bool
@@ -155,6 +162,68 @@ func ingestAppends(sys *deepeye.System, tab *deepeye.Table, files string, quiet 
 		fmt.Println()
 	}
 	return snap, nil
+}
+
+// runAsk answers a natural-language question: ranked interpretations
+// with parse confidence, plus the bindings, ambiguity slots, and
+// guessed completions that explain each reading.
+func runAsk(ctx context.Context, sys *deepeye.System, tab *deepeye.Table, cfg runConfig) error {
+	a, err := sys.AskCtx(ctx, tab, cfg.ask, cfg.k)
+	if err != nil {
+		return err
+	}
+	if cfg.jsonOut {
+		type askChartJSON struct {
+			chartJSON
+			Confidence  float64  `json:"confidence"`
+			Blended     float64  `json:"blended"`
+			Completions []string `json:"completions,omitempty"`
+		}
+		out := struct {
+			Query       string                 `json:"query"`
+			Normalized  string                 `json:"normalized"`
+			Charts      []askChartJSON         `json:"charts"`
+			Bindings    []deepeye.AskBinding   `json:"bindings,omitempty"`
+			Ambiguities []deepeye.AskAmbiguity `json:"ambiguities,omitempty"`
+			Unparsed    []string               `json:"unparsed,omitempty"`
+		}{Query: a.Query, Normalized: a.Normalized, Bindings: a.Bindings, Ambiguities: a.Ambiguities, Unparsed: a.Unparsed}
+		for i, r := range a.Results {
+			labels, values := r.Data()
+			row := askChartJSON{
+				chartJSON:   chartJSON{Rank: i + 1, Query: r.Query, Chart: r.Chart, Score: r.Score, Labels: labels, Values: values},
+				Confidence:  r.Confidence,
+				Blended:     r.Blended,
+				Completions: r.Completions,
+			}
+			if spec, err := r.VegaLite(); err == nil {
+				row.Vega = spec
+			}
+			out.Charts = append(out.Charts, row)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	for _, b := range a.Bindings {
+		fmt.Printf("bound %q ← %s\n", b.Column, strings.Join(b.Words, " "))
+	}
+	for _, am := range a.Ambiguities {
+		fmt.Printf("ambiguous %s: %s\n", am.Slot, strings.Join(am.Options, " | "))
+	}
+	if len(a.Unparsed) > 0 {
+		fmt.Printf("unparsed: %s\n", strings.Join(a.Unparsed, " "))
+	}
+	if len(a.Bindings)+len(a.Ambiguities)+len(a.Unparsed) > 0 {
+		fmt.Println()
+	}
+	for i, r := range a.Results {
+		fmt.Printf("#%d  confidence=%.2f score=%.4f\n%s\n", i+1, r.Confidence, r.Score, r.Query)
+		if len(r.Completions) > 0 {
+			fmt.Printf("(guessed: %s)\n", strings.Join(r.Completions, "; "))
+		}
+		fmt.Println(r.RenderASCIISize(cfg.width, 14))
+	}
+	return nil
 }
 
 // chartJSON is the -json output row.
@@ -227,6 +296,10 @@ func run(cfg runConfig) error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
+	}
+
+	if cfg.ask != "" {
+		return runAsk(ctx, sys, tab, cfg)
 	}
 
 	if cfg.multi {

@@ -253,6 +253,28 @@ func FlightCols() []Col {
 	}
 }
 
+// NLQEval generates the "orders" table the natural-language front-end
+// is evaluated against: two small categorical dimensions (one with
+// explicit region labels the parser can bind "excluding East"-style
+// filters to), a three-year temporal axis (2015–2017, so year filters
+// have something to cut), and three numeric measures with distinct
+// names ("sales", "profit", "units") that NL templates can reference
+// unambiguously.
+func NLQEval(scale float64) (*dataset.Table, error) {
+	spec := Spec{
+		Name: "orders", Tuples: scaled(2400, scale), Seed: 907,
+		Cols: []Col{
+			{Name: "region", Kind: KindCategory, Labels: []string{"East", "West", "North", "South", "Central", "Overseas"}},
+			{Name: "product", Kind: KindCategory, K: 8},
+			{Name: "date", Kind: KindTime, SpanDur: 3 * 365 * 24 * time.Hour},
+			{Name: "sales", Kind: KindHeavyTail, Lo: 10, Hi: 5000},
+			{Name: "profit", Kind: KindDerived, Base: "sales", Fn: FnLinear, Scale: 0.2, Noise: 40},
+			{Name: "units", Kind: KindNormal, Mu: 24, Sigma: 8, Round: true},
+		},
+	}
+	return Generate(spec)
+}
+
 func menuCols() []Col {
 	cols := []Col{
 		{Name: "item", Kind: KindCounter},

@@ -153,3 +153,21 @@ func queriesFor(name string, cols int) []string {
 	}
 	return qs
 }
+
+// nlqQueriesFor prebuilds natural-language questions valid for a
+// generated dataset's schema — the nlq op draws from these. Every
+// phrasing must parse (a no-intent 400 counts as a hard error), so the
+// questions name real columns from buildSpec.
+func nlqQueriesFor(cols int) []string {
+	qs := []string{
+		"total metric1 by region",
+		"monthly average metric1",
+		"top 3 regions by total metric1",
+		"count by region",
+		"metric1 share by region",
+	}
+	if cols >= 4 {
+		qs = append(qs, "metric1 versus metric2")
+	}
+	return qs
+}

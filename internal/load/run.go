@@ -54,9 +54,10 @@ type Config struct {
 // serializes mutations (appends, re-registration) so the rolling
 // fingerprint mirror stays faithful to the server's apply order.
 type dsState struct {
-	spec    DatasetSpec
-	initial []byte   // registration CSV, reproduced on re-register
-	queries []string // prebuilt vizql sources
+	spec      DatasetSpec
+	initial   []byte   // registration CSV, reproduced on re-register
+	queries   []string // prebuilt vizql sources
+	nlQueries []string // prebuilt natural-language questions
 
 	mu        sync.Mutex
 	mir       *mirror
@@ -340,11 +341,12 @@ func (r *runner) setup(ctx context.Context) error {
 			return fmt.Errorf("load: generating dataset %q: %w", spec.Name, err)
 		}
 		st := &dsState{
-			spec:    spec,
-			initial: initial,
-			queries: queriesFor(spec.Name, spec.Cols),
-			mir:     newMirror(parsed),
-			gen:     newRowGen(spec, spec.Seed+1),
+			spec:      spec,
+			initial:   initial,
+			queries:   queriesFor(spec.Name, spec.Cols),
+			nlQueries: nlqQueriesFor(spec.Cols),
+			mir:       newMirror(parsed),
+			gen:       newRowGen(spec, spec.Seed+1),
 		}
 		status, body, err := r.register(ctx, spec.Name, initial)
 		if status == http.StatusConflict {
@@ -440,20 +442,27 @@ func (r *runner) execute(ctx context.Context, op *OpSpec, rng *rand.Rand) {
 	var out outcome
 	switch op.Kind {
 	case OpTopK:
-		out = r.readOp(ctx, op, "/topk", url.Values{"k": {strconv.Itoa(op.K)}})
+		out = r.readOp(ctx, op, http.MethodGet, "/topk", url.Values{"k": {strconv.Itoa(op.K)}})
 	case OpSearch:
 		q := op.Q
 		if q == "" {
 			q = "region metric1"
 		}
-		out = r.readOp(ctx, op, "/search", url.Values{"q": {q}, "k": {strconv.Itoa(op.K)}})
+		out = r.readOp(ctx, op, http.MethodGet, "/search", url.Values{"q": {q}, "k": {strconv.Itoa(op.K)}})
 	case OpQuery:
 		st := r.ds[op.Dataset]
 		q := op.Q
 		if q == "" {
 			q = st.queries[rng.Intn(len(st.queries))]
 		}
-		out = r.readOp(ctx, op, "/query", url.Values{"q": {q}})
+		out = r.readOp(ctx, op, http.MethodGet, "/query", url.Values{"q": {q}})
+	case OpNLQ:
+		st := r.ds[op.Dataset]
+		q := op.Q
+		if q == "" {
+			q = st.nlQueries[rng.Intn(len(st.nlQueries))]
+		}
+		out = r.readOp(ctx, op, http.MethodPost, "/nlq", url.Values{"q": {q}, "k": {strconv.Itoa(op.K)}})
 	case OpAppend:
 		out = r.appendOp(ctx, op)
 	case OpRegister:
@@ -466,18 +475,19 @@ func (r *runner) execute(ctx context.Context, op *OpSpec, rng *rand.Rand) {
 	r.rep.Record(op.Kind, time.Since(start), out)
 }
 
-// readOp runs one dataset read (topk/search/query), re-registering
-// the dataset if the server evicted it. Against a cluster the read
-// carries the dataset's last written epoch as a min_epoch token, so
-// whichever replica answers must be caught up to the client's own
-// writes (or transparently hand off to the leader, which is).
-func (r *runner) readOp(ctx context.Context, op *OpSpec, suffix string, query url.Values) outcome {
+// readOp runs one dataset read (topk/search/query, or the POSTed
+// nlq), re-registering the dataset if the server evicted it. Against
+// a cluster the read carries the dataset's last written epoch as a
+// min_epoch token, so whichever replica answers must be caught up to
+// the client's own writes (or transparently hand off to the leader,
+// which is).
+func (r *runner) readOp(ctx context.Context, op *OpSpec, method, suffix string, query url.Values) outcome {
 	st := r.ds[op.Dataset]
 	gen, last := st.tokens()
 	if r.clustered() && last > 0 {
 		query.Set("min_epoch", strconv.FormatUint(last, 10))
 	}
-	status, body, err := r.do(ctx, http.MethodGet, "/datasets/"+op.Dataset+suffix, query, nil)
+	status, body, err := r.do(ctx, method, "/datasets/"+op.Dataset+suffix, query, nil)
 	if err != nil {
 		r.rep.Error("%s %s: %v", op.Kind, op.Dataset, err)
 		return outError

@@ -75,6 +75,11 @@ weight = 1
 dataset = d
 q = region metric1
 
+[op nlq]
+weight = 1
+dataset = d
+k = 3
+
 [op register]
 weight = 1
 rows = 30
@@ -139,7 +144,7 @@ func TestRunEndToEnd(t *testing.T) {
 			seen[op.Op] = true
 		}
 	}
-	for _, want := range []string{"append", "topk", "query", "search", "register", "drop"} {
+	for _, want := range []string{"append", "topk", "query", "search", "nlq", "register", "drop"} {
 		if !seen[want] {
 			t.Errorf("op %s never attempted:\n%s", want, summaryText(sum))
 		}

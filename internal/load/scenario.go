@@ -1,6 +1,6 @@
 // Package load is DeepEye's script-driven load harness: a scenario
 // file declares a weighted mix of operations (register, append, topk,
-// search, query, drop) over generated datasets, a deterministic
+// search, query, nlq, drop) over generated datasets, a deterministic
 // token-bucket pacer drives N worker goroutines against a real
 // deepeye-server over HTTP, and a reporter aggregates per-op latency
 // quantiles, throughput, and error counts — cross-checked against the
@@ -62,12 +62,13 @@ const (
 	OpTopK     OpKind = "topk"     // GET /datasets/{id}/topk
 	OpSearch   OpKind = "search"   // GET /datasets/{id}/search
 	OpQuery    OpKind = "query"    // GET /datasets/{id}/query
+	OpNLQ      OpKind = "nlq"      // POST /datasets/{id}/nlq (natural-language ask)
 	OpDrop     OpKind = "drop"     // drop one previously registered ephemeral dataset
 )
 
 func validOp(k OpKind) bool {
 	switch k {
-	case OpRegister, OpAppend, OpTopK, OpSearch, OpQuery, OpDrop:
+	case OpRegister, OpAppend, OpTopK, OpSearch, OpQuery, OpNLQ, OpDrop:
 		return true
 	}
 	return false
@@ -77,7 +78,7 @@ func validOp(k OpKind) bool {
 // dataset (register creates its own; drop consumes registered ones).
 func (k OpKind) needsDataset() bool {
 	switch k {
-	case OpAppend, OpTopK, OpSearch, OpQuery:
+	case OpAppend, OpTopK, OpSearch, OpQuery, OpNLQ:
 		return true
 	}
 	return false
@@ -98,9 +99,9 @@ type DatasetSpec struct {
 type OpSpec struct {
 	Kind    OpKind
 	Weight  float64
-	Dataset string // append/topk/search/query: target scenario dataset
-	K       int    // topk/search k parameter (default 5)
-	Q       string // search keywords / full query override (optional)
+	Dataset string // append/topk/search/query/nlq: target scenario dataset
+	K       int    // topk/search/nlq k parameter (default 5)
+	Q       string // search keywords / vizql source / NL question override (optional)
 	Rows    int    // register: rows per ephemeral dataset (default 40)
 	Cols    int    // register: cols per ephemeral dataset (default 4)
 	Line    int
@@ -248,7 +249,7 @@ func ParseScenario(r io.Reader) (*Scenario, error) {
 			case len(head) == 2 && head[0] == "op":
 				kind := OpKind(head[1])
 				if !validOp(kind) {
-					return nil, scanErr(n, "unknown op %q (want register|append|topk|search|query|drop)", head[1])
+					return nil, scanErr(n, "unknown op %q (want register|append|topk|search|query|nlq|drop)", head[1])
 				}
 				sc.Ops = append(sc.Ops, OpSpec{Kind: kind, Weight: -1, K: 5, Rows: 40, Cols: 4, Line: n})
 				curOp = &sc.Ops[len(sc.Ops)-1]

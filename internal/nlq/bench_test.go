@@ -1,0 +1,19 @@
+package nlq
+
+import "testing"
+
+// BenchmarkNLQParse measures the full parse+enumerate pipeline on a
+// representative query with bindings, a filter phrase, and an ambiguity
+// fan-out. The benchdiff gate holds this under 100µs/op: parsing must
+// stay negligible next to executing even one candidate.
+func BenchmarkNLQParse(b *testing.B) {
+	sc := evalSchema(b)
+	const query = "top 5 regions by total sales excluding east since 2016"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(query, sc, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package nlq
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"github.com/deepeye/deepeye/internal/chart"
+	"github.com/deepeye/deepeye/internal/dataset"
+	"github.com/deepeye/deepeye/internal/transform"
+	"github.com/deepeye/deepeye/internal/vizql"
+)
+
+// CorpusEntry is one generated natural-language query with the concrete
+// spec a fluent reader would mean by it. Ambiguous marks entries whose
+// parse legitimately admits several completions (the ground truth is
+// then required to appear in the enumeration, not necessarily first).
+type CorpusEntry struct {
+	Text      string
+	Truth     vizql.Query
+	Family    string
+	Ambiguous bool
+}
+
+// GenerateCorpus emits n NL queries with ground-truth specs against a
+// schema, cycling through the template families (group+aggregate,
+// trend, scatter, top-N, share, filters, count-by, bare "x by y") and
+// varying wording with a deterministic rng. Families whose roles the
+// schema cannot fill (no temporal column, no labelled dimension, …) are
+// skipped. The Ambiguous flag is computed by parsing each generated
+// query: more than one candidate means the phrasing underdetermines
+// the spec.
+func GenerateCorpus(sc Schema, n int, seed int64) []CorpusEntry {
+	g := &corpusGen{sc: sc, rng: rand.New(rand.NewSource(seed))}
+	for _, c := range sc.Cols {
+		switch c.Type {
+		case dataset.Numerical:
+			g.measures = append(g.measures, c.Name)
+		case dataset.Temporal:
+			g.times = append(g.times, c.Name)
+		case dataset.Categorical:
+			g.dims = append(g.dims, c.Name)
+			if len(c.Labels) > 0 {
+				g.labelled = append(g.labelled, c.Name)
+			}
+		}
+	}
+	builders := []func() (CorpusEntry, bool){
+		g.groupAgg, g.trend, g.scatter, g.topN,
+		g.share, g.filtered, g.countBy, g.bare,
+	}
+	var out []CorpusEntry
+	for i := 0; len(out) < n && i < 8*n; i++ {
+		e, ok := builders[i%len(builders)]()
+		if !ok {
+			continue
+		}
+		e.Text = g.decorate(e.Text)
+		if r, err := Parse(e.Text, sc, Options{}); err == nil {
+			e.Ambiguous = len(r.Candidates) > 1
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+type corpusGen struct {
+	sc       Schema
+	rng      *rand.Rand
+	measures []string
+	dims     []string
+	times    []string
+	labelled []string // dims with bindable label sets
+}
+
+func (g *corpusGen) pick(xs []string) string { return xs[g.rng.Intn(len(xs))] }
+
+// aggPhrase picks a wording for a stated aggregate.
+func (g *corpusGen) aggPhrase() (string, transform.Agg) {
+	if g.rng.Intn(2) == 0 {
+		return g.pick([]string{"total", "sum", "cumulative", "overall"}), transform.AggSum
+	}
+	return g.pick([]string{"average", "mean", "avg"}), transform.AggAvg
+}
+
+func (g *corpusGen) sumPhrase() string {
+	return g.pick([]string{"total", "overall", "cumulative"})
+}
+
+// decorate adds conversational filler and punctuation noise that the
+// tokenizer and filler sets must absorb without changing the parse.
+func (g *corpusGen) decorate(text string) string {
+	prefix := g.pick([]string{"", "", "show ", "show me ", "please plot ", "display the ", "i want to see "})
+	suffix := g.pick([]string{"", "", "", "?", "!", " thanks"})
+	s := prefix + text + suffix
+	if g.rng.Intn(3) == 0 {
+		s = strings.ToUpper(s[:1]) + s[1:]
+	}
+	return s
+}
+
+// grouped builds the shared truth shape for group-by readings.
+func (g *corpusGen) grouped(viz chart.Type, x, y string, agg transform.Agg) vizql.Query {
+	return vizql.Query{
+		Viz: viz, X: x, Y: y, From: g.sc.Table,
+		Spec: transform.Spec{Kind: transform.KindGroup, Agg: agg},
+	}
+}
+
+// binned builds the truth shape for temporal-bin readings.
+func (g *corpusGen) binned(x, y string, unit transform.BinUnit, agg transform.Agg) vizql.Query {
+	return vizql.Query{
+		Viz: chart.Line, X: x, Y: y, From: g.sc.Table,
+		Spec:  transform.Spec{Kind: transform.KindBinUnit, Unit: unit, Agg: agg},
+		Order: transform.SortX,
+	}
+}
+
+// groupAgg: "total sales by region" — stated aggregate, bar reading.
+func (g *corpusGen) groupAgg() (CorpusEntry, bool) {
+	if len(g.measures) == 0 || len(g.dims) == 0 {
+		return CorpusEntry{}, false
+	}
+	aggw, agg := g.aggPhrase()
+	m, d := g.pick(g.measures), g.pick(g.dims)
+	text := fmt.Sprintf("%s %s by %s", aggw, m, d)
+	if g.rng.Intn(3) == 0 {
+		text += " as a bar chart"
+	}
+	return CorpusEntry{Text: text, Truth: g.grouped(chart.Bar, d, m, agg), Family: "groupagg"}, true
+}
+
+// trend: "monthly average sales by date" — stated granularity and
+// aggregate over the temporal axis.
+func (g *corpusGen) trend() (CorpusEntry, bool) {
+	if len(g.measures) == 0 || len(g.times) == 0 {
+		return CorpusEntry{}, false
+	}
+	units := []struct {
+		word string
+		unit transform.BinUnit
+	}{
+		{"daily", transform.ByDay}, {"weekly", transform.ByWeek},
+		{"monthly", transform.ByMonth}, {"quarterly", transform.ByQuarter},
+		{"yearly", transform.ByYear},
+	}
+	u := units[g.rng.Intn(len(units))]
+	aggw, agg := g.aggPhrase()
+	m, tc := g.pick(g.measures), g.pick(g.times)
+	text := fmt.Sprintf("%s %s %s by %s", u.word, aggw, m, tc)
+	return CorpusEntry{Text: text, Truth: g.binned(tc, m, u.unit, agg), Family: "trend"}, true
+}
+
+// scatter: "sales versus profit" — two measures, raw plot.
+func (g *corpusGen) scatter() (CorpusEntry, bool) {
+	if len(g.measures) < 2 {
+		return CorpusEntry{}, false
+	}
+	i := g.rng.Intn(len(g.measures))
+	j := g.rng.Intn(len(g.measures) - 1)
+	if j >= i {
+		j++
+	}
+	m1, m2 := g.measures[i], g.measures[j]
+	text := g.pick([]string{
+		fmt.Sprintf("%s versus %s", m1, m2),
+		fmt.Sprintf("%s vs %s", m1, m2),
+		fmt.Sprintf("correlation between %s and %s", m1, m2),
+		fmt.Sprintf("relationship between %s and %s", m1, m2),
+		fmt.Sprintf("scatter of %s and %s", m1, m2),
+	})
+	truth := vizql.Query{Viz: chart.Scatter, X: m1, Y: m2, From: g.sc.Table}
+	return CorpusEntry{Text: text, Truth: truth, Family: "scatter"}, true
+}
+
+// topN: "top 5 regions by total sales" — ranked, truncated bars.
+func (g *corpusGen) topN() (CorpusEntry, bool) {
+	if len(g.measures) == 0 || len(g.dims) == 0 {
+		return CorpusEntry{}, false
+	}
+	n := 2 + g.rng.Intn(8)
+	aggw, agg := g.aggPhrase()
+	m, d := g.pick(g.measures), g.pick(g.dims)
+	lead := g.pick([]string{"top", "best", "largest"})
+	text := fmt.Sprintf("%s %d %ss by %s %s", lead, n, d, aggw, m)
+	truth := g.grouped(chart.Bar, d, m, agg)
+	truth.Order = transform.SortY
+	truth.Desc = true
+	truth.Limit = n
+	return CorpusEntry{Text: text, Truth: truth, Family: "topn"}, true
+}
+
+// share: "share of total sales by region" — pie reading.
+func (g *corpusGen) share() (CorpusEntry, bool) {
+	if len(g.measures) == 0 || len(g.dims) == 0 {
+		return CorpusEntry{}, false
+	}
+	m, d := g.pick(g.measures), g.pick(g.dims)
+	lead := g.pick([]string{"share", "proportion", "percentage"})
+	text := fmt.Sprintf("%s of %s %s by %s", lead, g.sumPhrase(), m, d)
+	return CorpusEntry{Text: text, Truth: g.grouped(chart.Pie, d, m, transform.AggSum), Family: "share"}, true
+}
+
+// filtered: filter phrases over a group/trend core — label exclusion,
+// year windows, measure thresholds.
+func (g *corpusGen) filtered() (CorpusEntry, bool) {
+	if len(g.measures) == 0 {
+		return CorpusEntry{}, false
+	}
+	m := g.pick(g.measures)
+	switch g.rng.Intn(4) {
+	case 0: // "total sales by region excluding east"
+		if len(g.labelled) == 0 {
+			return CorpusEntry{}, false
+		}
+		d := g.pick(g.labelled)
+		labels := g.sc.col(d).Labels
+		label := labels[g.rng.Intn(len(labels))]
+		word := g.pick([]string{"excluding", "except", "without"})
+		text := fmt.Sprintf("%s %s by %s %s %s", g.sumPhrase(), m, d, word, strings.ToLower(label))
+		truth := g.grouped(chart.Bar, d, m, transform.AggSum)
+		truth.Filters = []vizql.Filter{{Col: d, Op: vizql.FilterNe, Str: label}}
+		return CorpusEntry{Text: text, Truth: truth, Family: "filter"}, true
+	case 1: // "monthly total sales by date since 2016"
+		if len(g.times) == 0 {
+			return CorpusEntry{}, false
+		}
+		tc := g.pick(g.times)
+		year := 2015 + g.rng.Intn(3)
+		word, op := "since", vizql.FilterGe
+		if g.rng.Intn(2) == 0 {
+			// "before" keeps at least the first generated year in range so
+			// the query stays executable against the eval table.
+			word, op, year = "before", vizql.FilterLt, 2016+g.rng.Intn(2)
+		}
+		text := fmt.Sprintf("monthly %s %s by %s %s %d", g.sumPhrase(), m, tc, word, year)
+		truth := g.binned(tc, m, transform.ByMonth, transform.AggSum)
+		truth.Filters = []vizql.Filter{{Col: tc, Op: op, Str: strconv.Itoa(year), Num: float64(year), Year: true}}
+		return CorpusEntry{Text: text, Truth: truth, Family: "filter"}, true
+	case 2: // "total sales by region excluding 2016" — year filter lands
+		// on the schema's first temporal column.
+		if len(g.dims) == 0 || len(g.times) == 0 {
+			return CorpusEntry{}, false
+		}
+		d := g.pick(g.dims)
+		year := 2015 + g.rng.Intn(3)
+		text := fmt.Sprintf("%s %s by %s excluding %d", g.sumPhrase(), m, d, year)
+		truth := g.grouped(chart.Bar, d, m, transform.AggSum)
+		truth.Filters = []vizql.Filter{{Col: g.times[0], Op: vizql.FilterNe, Str: strconv.Itoa(year), Num: float64(year), Year: true}}
+		return CorpusEntry{Text: text, Truth: truth, Family: "filter"}, true
+	default: // "total sales by region above 500" — threshold on the measure
+		if len(g.dims) == 0 {
+			return CorpusEntry{}, false
+		}
+		d := g.pick(g.dims)
+		v := float64(50 * (1 + g.rng.Intn(40)))
+		word, op := "above", vizql.FilterGt
+		if g.rng.Intn(2) == 0 {
+			word, op = "below", vizql.FilterLt
+		}
+		text := fmt.Sprintf("%s %s by %s %s %d", g.sumPhrase(), m, d, word, int(v))
+		truth := g.grouped(chart.Bar, d, m, transform.AggSum)
+		truth.Filters = []vizql.Filter{{Col: m, Op: op, Str: strconv.FormatFloat(v, 'g', -1, 64), Num: v}}
+		return CorpusEntry{Text: text, Truth: truth, Family: "filter"}, true
+	}
+}
+
+// countBy: "count by region" — tuple-count histogram.
+func (g *corpusGen) countBy() (CorpusEntry, bool) {
+	if len(g.dims) == 0 {
+		return CorpusEntry{}, false
+	}
+	d := g.pick(g.dims)
+	text := g.pick([]string{
+		fmt.Sprintf("count by %s", d),
+		fmt.Sprintf("count of %s", d),
+		fmt.Sprintf("number of rows per %s", d),
+	})
+	truth := vizql.Query{
+		Viz: chart.Bar, X: d, Y: d, From: g.sc.Table,
+		Spec: transform.Spec{Kind: transform.KindGroup, Agg: transform.AggCnt},
+	}
+	return CorpusEntry{Text: text, Truth: truth, Family: "countby"}, true
+}
+
+// bare: "sales by region" / "sales by date" — no aggregate stated, the
+// classic SUM-vs-AVG (and chart) ambiguity. Truth takes the fluent
+// reading: summed bars over a dimension, monthly line over time.
+func (g *corpusGen) bare() (CorpusEntry, bool) {
+	if len(g.measures) == 0 {
+		return CorpusEntry{}, false
+	}
+	m := g.pick(g.measures)
+	if len(g.times) > 0 && g.rng.Intn(3) == 0 {
+		tc := g.pick(g.times)
+		text := fmt.Sprintf("%s by %s", m, tc)
+		return CorpusEntry{Text: text, Truth: g.binned(tc, m, transform.ByMonth, transform.AggSum), Family: "bare"}, true
+	}
+	if len(g.dims) == 0 {
+		return CorpusEntry{}, false
+	}
+	d := g.pick(g.dims)
+	text := fmt.Sprintf("%s by %s", m, d)
+	return CorpusEntry{Text: text, Truth: g.grouped(chart.Bar, d, m, transform.AggSum), Family: "bare"}, true
+}

@@ -1,0 +1,67 @@
+package nlq
+
+import (
+	"testing"
+)
+
+// TestCorpusCoverage generates the evaluation corpus and requires that
+// every entry's ground-truth spec appears in the parser's enumeration —
+// for ambiguous phrasings the truth must be among the completions, for
+// unambiguous ones it must be the sole (hence top) candidate.
+func TestCorpusCoverage(t *testing.T) {
+	sc := evalSchema(t)
+	const n = 240
+	corpus := GenerateCorpus(sc, n, 1)
+	if len(corpus) != n {
+		t.Fatalf("corpus size = %d, want %d", len(corpus), n)
+	}
+
+	families := map[string]int{}
+	top1 := 0
+	for _, e := range corpus {
+		families[e.Family]++
+		r, err := Parse(e.Text, sc, Options{})
+		if err != nil {
+			t.Errorf("Parse(%q): %v", e.Text, err)
+			continue
+		}
+		want := e.Truth.Key()
+		found := false
+		for _, c := range r.Candidates {
+			if c.Query.Key() == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("truth missing from enumeration\n  query: %q\n  truth: %s\n  candidates: %d", e.Text, want, len(r.Candidates))
+			continue
+		}
+		if len(r.Candidates) > 0 && r.Candidates[0].Query.Key() == want {
+			top1++
+		}
+		if !e.Ambiguous && r.Candidates[0].Query.Key() != want {
+			t.Errorf("unambiguous query %q: top candidate %s != truth %s", e.Text, r.Candidates[0].Query.Key(), want)
+		}
+	}
+	if len(families) < 5 {
+		t.Errorf("families = %v, want at least 5", families)
+	}
+	t.Logf("corpus: %d entries, %d families, parse-level top-1 %d/%d", len(corpus), len(families), top1, n)
+}
+
+// TestCorpusDeterministic pins that generation is a pure function of
+// (schema, n, seed).
+func TestCorpusDeterministic(t *testing.T) {
+	sc := evalSchema(t)
+	a := GenerateCorpus(sc, 60, 7)
+	b := GenerateCorpus(sc, 60, 7)
+	if len(a) != len(b) {
+		t.Fatalf("sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Text != b[i].Text || a[i].Truth.Key() != b[i].Truth.Key() {
+			t.Fatalf("entry %d differs: %q vs %q", i, a[i].Text, b[i].Text)
+		}
+	}
+}

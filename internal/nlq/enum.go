@@ -1,0 +1,428 @@
+package nlq
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/deepeye/deepeye/internal/chart"
+	"github.com/deepeye/deepeye/internal/dataset"
+	"github.com/deepeye/deepeye/internal/transform"
+	"github.com/deepeye/deepeye/internal/vizql"
+)
+
+// Candidate is one concrete completion of the partial spec: an
+// executable query, the parse confidence of this particular completion,
+// and a note per slot the enumerator had to guess.
+type Candidate struct {
+	Query       vizql.Query
+	Confidence  float64
+	Completions []string
+}
+
+// Options tunes parsing and enumeration.
+type Options struct {
+	// MaxFanout caps how many candidates the ambiguity expansion emits
+	// (strongest kept). 0 means DefaultMaxFanout.
+	MaxFanout int
+}
+
+// DefaultMaxFanout bounds the ambiguity expansion: generous enough for
+// every two-way slot to multiply out, small enough that execution stays
+// a handful of single passes.
+const DefaultMaxFanout = 48
+
+// Result is a full parse: the matcher's partial spec, the enumerated
+// candidate completions (confidence-ordered), and the ambiguity set the
+// expansion covered.
+type Result struct {
+	Parsed      *Parsed
+	Candidates  []Candidate
+	Ambiguities []Ambiguity
+}
+
+// Parse runs the matcher and the ambiguity enumerator over one query.
+// ErrNoIntent (possibly wrapped) reports a query nothing could be
+// extracted from; a non-nil Result can still carry zero candidates when
+// intent existed but nothing executable could be completed (e.g. a
+// schema with no usable columns).
+func Parse(query string, sc Schema, opts Options) (*Result, error) {
+	p, err := parseQuery(query, sc)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{Parsed: p}
+	r.Candidates, r.Ambiguities = enumerate(p, sc, opts)
+	return r, nil
+}
+
+// slotOption is one choice for an open slot with its confidence factor.
+type slotOption struct {
+	name    string
+	factor  float64
+	guessed bool
+}
+
+// clamp1 caps a binding score for use as a confidence factor.
+func clamp1(s float64) float64 {
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+const guessFactor = 0.7 // confidence factor for a slot filled with no evidence
+
+// enumerate expands the partial spec's ambiguity combinations into
+// concrete candidates.
+func enumerate(p *Parsed, sc Schema, opts Options) ([]Candidate, []Ambiguity) {
+	maxFan := opts.MaxFanout
+	if maxFan <= 0 {
+		maxFan = DefaultMaxFanout
+	}
+	var ambs []Ambiguity
+	var cands []Candidate
+
+	var measures, dims []Binding // dims: categorical + temporal bindings
+	for _, b := range p.Bindings {
+		c := sc.col(b.Column)
+		if c == nil {
+			continue
+		}
+		switch c.Type {
+		case dataset.Numerical:
+			measures = append(measures, b)
+		case dataset.Categorical, dataset.Temporal:
+			dims = append(dims, b)
+		}
+	}
+	statedChart := func(t chart.Type) bool {
+		for _, c := range p.Charts {
+			if c == t {
+				return true
+			}
+		}
+		return false
+	}
+	numericCols := func() []string {
+		var out []string
+		for _, c := range sc.Cols {
+			if c.Type == dataset.Numerical {
+				out = append(out, c.Name)
+			}
+		}
+		return out
+	}
+
+	scatterIntent := statedChart(chart.Scatter)
+	groupSignals := len(dims) > 0 || p.HasUnit || p.TopN > 0 || p.HasAgg
+
+	if scatterIntent || (len(measures) >= 2 && !groupSignals && len(p.Charts) == 0) {
+		cands = append(cands, enumScatter(p, sc, measures, numericCols(), &ambs)...)
+	}
+	if !scatterIntent || groupSignals {
+		cands = append(cands, enumGrouped(p, sc, measures, dims, numericCols(), statedChart, &ambs)...)
+	}
+
+	// Dedupe identical completions keeping the strongest confidence,
+	// then order by confidence (key breaks ties deterministically).
+	best := map[string]int{}
+	var out []Candidate
+	for _, c := range cands {
+		k := c.Query.Key()
+		if i, ok := best[k]; ok {
+			if c.Confidence > out[i].Confidence {
+				out[i] = c
+			}
+			continue
+		}
+		best[k] = len(out)
+		out = append(out, c)
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Confidence != out[b].Confidence {
+			return out[a].Confidence > out[b].Confidence
+		}
+		return out[a].Query.Key() < out[b].Query.Key()
+	})
+	if len(out) > maxFan {
+		out = out[:maxFan]
+	}
+	// The per-combination expansion can note the same slot repeatedly;
+	// keep the first record per slot.
+	seenSlot := map[string]bool{}
+	dedupAmbs := ambs[:0]
+	for _, a := range ambs {
+		if seenSlot[a.Slot] {
+			continue
+		}
+		seenSlot[a.Slot] = true
+		dedupAmbs = append(dedupAmbs, a)
+	}
+	return out, dedupAmbs
+}
+
+// enumScatter expands the two-measure raw-plot reading.
+func enumScatter(p *Parsed, sc Schema, measures []Binding, numeric []string, ambs *[]Ambiguity) []Candidate {
+	var xOpts, yOpts []slotOption
+	switch {
+	case len(measures) >= 2:
+		xOpts = []slotOption{{name: measures[0].Column, factor: clamp1(measures[0].Score)}}
+		for _, m := range measures[1:] {
+			yOpts = append(yOpts, slotOption{name: m.Column, factor: clamp1(m.Score)})
+		}
+	case len(measures) == 1:
+		xOpts = []slotOption{{name: measures[0].Column, factor: clamp1(measures[0].Score)}}
+		for _, n := range numeric {
+			if n != measures[0].Column {
+				yOpts = append(yOpts, slotOption{name: n, factor: guessFactor, guessed: true})
+			}
+		}
+	default:
+		// Chart-only query ("scatter"): guess the first two numeric
+		// columns in schema order.
+		if len(numeric) >= 2 {
+			xOpts = []slotOption{{name: numeric[0], factor: guessFactor, guessed: true}}
+			yOpts = []slotOption{{name: numeric[1], factor: guessFactor, guessed: true}}
+		}
+	}
+	if len(xOpts) == 0 || len(yOpts) == 0 {
+		return nil
+	}
+	recordAmbiguity(ambs, "scatter-y", yOpts)
+	var out []Candidate
+	for _, y := range yOpts {
+		x := xOpts[0]
+		q := vizql.Query{Viz: chart.Scatter, X: x.name, Y: y.name, From: sc.Table}
+		conf := x.factor * y.factor
+		var notes []string
+		if x.guessed {
+			notes = append(notes, fmt.Sprintf("x=%s (guessed measure)", x.name))
+		}
+		if y.guessed {
+			notes = append(notes, fmt.Sprintf("y=%s (guessed measure)", y.name))
+		}
+		conf, notes = attachFilters(&q, p, sc, x.name, conf, notes)
+		out = append(out, Candidate{Query: q, Confidence: conf, Completions: notes})
+	}
+	return out
+}
+
+// enumGrouped expands the group/bin reading: a dimension on X, a
+// measure (or tuple count) on Y.
+func enumGrouped(p *Parsed, sc Schema, measures, dims []Binding, numeric []string, statedChart func(chart.Type) bool, ambs *[]Ambiguity) []Candidate {
+	// X options: bound dimensions; under a stated granularity only
+	// temporal ones qualify. With nothing bound, guess from the schema.
+	var xOpts []slotOption
+	for _, d := range dims {
+		c := sc.col(d.Column)
+		if p.HasUnit && c.Type != dataset.Temporal {
+			continue
+		}
+		xOpts = append(xOpts, slotOption{name: d.Column, factor: clamp1(d.Score)})
+	}
+	if len(xOpts) == 0 {
+		wantTemporal := p.HasUnit || statedChart(chart.Line)
+		for _, c := range sc.Cols {
+			if wantTemporal && c.Type == dataset.Temporal {
+				xOpts = append(xOpts, slotOption{name: c.Name, factor: guessFactor, guessed: true})
+			}
+			if !wantTemporal && c.Type == dataset.Categorical && c.Labels != nil {
+				xOpts = append(xOpts, slotOption{name: c.Name, factor: guessFactor, guessed: true})
+			}
+		}
+		if len(xOpts) == 0 && !wantTemporal {
+			for _, c := range sc.Cols {
+				if c.Type == dataset.Temporal {
+					xOpts = append(xOpts, slotOption{name: c.Name, factor: guessFactor, guessed: true})
+				}
+			}
+		}
+	}
+	if len(xOpts) == 0 {
+		return nil
+	}
+	recordAmbiguity(ambs, "dimension", xOpts)
+
+	// Y options: bound measures; a stated SUM/AVG with no bound measure
+	// guesses each numeric column; otherwise fall back to tuple counts.
+	countMode := false
+	var yOpts []slotOption
+	for _, m := range measures {
+		yOpts = append(yOpts, slotOption{name: m.Column, factor: clamp1(m.Score)})
+	}
+	if len(yOpts) == 0 && p.HasAgg && p.Agg != transform.AggCnt {
+		for _, n := range numeric {
+			yOpts = append(yOpts, slotOption{name: n, factor: guessFactor, guessed: true})
+		}
+	}
+	if len(yOpts) == 0 {
+		countMode = true
+	} else {
+		recordAmbiguity(ambs, "measure", yOpts)
+	}
+
+	// Aggregate options: stated wins; an unstated aggregate over a
+	// measure is the classic SUM-vs-AVG ambiguity.
+	type aggOption struct {
+		agg     transform.Agg
+		factor  float64
+		guessed bool
+	}
+	var aggOpts []aggOption
+	switch {
+	case countMode || p.Agg == transform.AggCnt && p.HasAgg:
+		aggOpts = []aggOption{{agg: transform.AggCnt, factor: 1}}
+	case p.HasAgg:
+		aggOpts = []aggOption{{agg: p.Agg, factor: 1}}
+	default:
+		aggOpts = []aggOption{
+			{agg: transform.AggSum, factor: 0.9, guessed: true},
+			{agg: transform.AggAvg, factor: 0.85, guessed: true},
+		}
+		*ambs = append(*ambs, Ambiguity{Slot: "aggregate", Options: []string{"SUM", "AVG"}})
+	}
+
+	var out []Candidate
+	for _, x := range xOpts {
+		xc := sc.col(x.name)
+		for _, aggOpt := range aggOpts {
+			yos := yOpts
+			if countMode {
+				// One-column histogram form: CNT selects the dimension
+				// itself.
+				yos = []slotOption{{name: x.name, factor: 1}}
+			}
+			for _, y := range yos {
+				base := vizql.Query{X: x.name, Y: y.name, From: sc.Table}
+				base.Spec.Agg = aggOpt.agg
+				var notes []string
+				unitFactor := 1.0
+				if xc.Type == dataset.Temporal {
+					base.Spec.Kind = transform.KindBinUnit
+					base.Order = transform.SortX
+					if p.HasUnit {
+						base.Spec.Unit = p.Unit
+					} else {
+						base.Spec.Unit = transform.ByMonth
+						unitFactor = 0.8
+						notes = append(notes, "unit=MONTH (guessed)")
+						*ambs = append(*ambs, Ambiguity{Slot: "unit", Options: []string{"MONTH"}})
+					}
+				} else {
+					base.Spec.Kind = transform.KindGroup
+					if p.TopN > 0 {
+						base.Order = transform.SortY
+						base.Desc = true
+						base.Limit = p.TopN
+					}
+				}
+				if x.guessed {
+					notes = append(notes, fmt.Sprintf("x=%s (guessed dimension)", x.name))
+				}
+				if y.guessed {
+					notes = append(notes, fmt.Sprintf("y=%s (guessed measure)", y.name))
+				}
+				if aggOpt.guessed {
+					notes = append(notes, fmt.Sprintf("agg=%s (unstated)", aggOpt.agg))
+				}
+				conf := x.factor * y.factor * aggOpt.factor * unitFactor
+
+				for _, co := range chartOptions(p, xc, aggOpt.agg, statedChart) {
+					q := base
+					q.Viz = co.typ
+					c := conf * co.factor
+					ns := notes
+					if co.guessed {
+						ns = append(ns[:len(ns):len(ns)], fmt.Sprintf("chart=%s (guessed)", co.typ))
+					}
+					measureCol := ""
+					if !countMode {
+						measureCol = y.name
+					}
+					c, ns = attachFilters(&q, p, sc, measureCol, c, ns)
+					out = append(out, Candidate{Query: q, Confidence: c, Completions: ns})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// chartOption is one chart-type choice with its confidence factor.
+type chartOption struct {
+	typ     chart.Type
+	factor  float64
+	guessed bool
+}
+
+// chartOptions picks the chart types for a grouped/binned candidate:
+// stated intents win (scatter excluded — it has its own reading);
+// otherwise temporal bins default to line and categorical groups to bar
+// (with pie as the second guess for summable quantities).
+func chartOptions(p *Parsed, xc *Column, agg transform.Agg, statedChart func(chart.Type) bool) []chartOption {
+	var stated []chartOption
+	for _, t := range p.Charts {
+		if t != chart.Scatter {
+			stated = append(stated, chartOption{typ: t, factor: 1})
+		}
+	}
+	if len(stated) > 0 {
+		return stated
+	}
+	if xc.Type == dataset.Temporal {
+		return []chartOption{{typ: chart.Line, factor: 0.9, guessed: true}}
+	}
+	opts := []chartOption{{typ: chart.Bar, factor: 0.9, guessed: true}}
+	if p.TopN == 0 && agg != transform.AggAvg {
+		opts = append(opts, chartOption{typ: chart.Pie, factor: 0.8, guessed: true})
+	}
+	return opts
+}
+
+// attachFilters resolves the parse's pending predicates onto a concrete
+// candidate: label filters verbatim, year filters onto the temporal
+// axis (the candidate's X when temporal, else the schema's first
+// temporal column), measure filters onto the chosen measure. A
+// predicate that cannot land (no temporal column, no measure) is
+// dropped with a note and a confidence penalty rather than silently.
+func attachFilters(q *vizql.Query, p *Parsed, sc Schema, measureCol string, conf float64, notes []string) (float64, []string) {
+	q.Filters = append(q.Filters, p.Filters...)
+	for _, f := range p.YearFilters {
+		col := ""
+		if xc := sc.col(q.X); xc != nil && xc.Type == dataset.Temporal {
+			col = q.X
+		} else if ts := sc.temporalCols(); len(ts) > 0 {
+			col = ts[0]
+			notes = append(notes, fmt.Sprintf("year filter bound to %s (guessed)", col))
+		}
+		if col == "" {
+			notes = append(notes, fmt.Sprintf("dropped year filter %s %s (no temporal column)", f.Op, f.Str))
+			conf *= 0.6
+			continue
+		}
+		f.Col = col
+		q.Filters = append(q.Filters, f)
+	}
+	for _, f := range p.MeasureFilters {
+		if measureCol == "" {
+			notes = append(notes, fmt.Sprintf("dropped threshold %s %s (no measure column)", f.Op, f.Str))
+			conf *= 0.6
+			continue
+		}
+		f.Col = measureCol
+		q.Filters = append(q.Filters, f)
+	}
+	return conf, notes
+}
+
+// recordAmbiguity notes a slot that had more than one option.
+func recordAmbiguity(ambs *[]Ambiguity, slot string, opts []slotOption) {
+	if len(opts) < 2 {
+		return
+	}
+	names := make([]string, len(opts))
+	for i, o := range opts {
+		names[i] = o.name
+	}
+	*ambs = append(*ambs, Ambiguity{Slot: slot, Options: names})
+}

@@ -1,0 +1,94 @@
+package nlq
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/deepeye/deepeye/internal/datagen"
+	"github.com/deepeye/deepeye/internal/vizql"
+)
+
+var (
+	fuzzSchemaOnce sync.Once
+	fuzzSchema     Schema
+	fuzzSchemaErr  error
+)
+
+func loadFuzzSchema() (Schema, error) {
+	fuzzSchemaOnce.Do(func() {
+		tab, err := datagen.NLQEval(0.02)
+		if err != nil {
+			fuzzSchemaErr = err
+			return
+		}
+		fuzzSchema = SchemaFromTable(tab)
+	})
+	return fuzzSchema, fuzzSchemaErr
+}
+
+// FuzzParseNLQ feeds arbitrary text through the full parse+enumerate
+// pipeline and checks the structural invariants: no panic, every
+// emitted candidate references only real schema columns, confidences
+// stay in (0, 1], and the rendered vizql text of every candidate parses
+// back to the same key.
+func FuzzParseNLQ(f *testing.F) {
+	seeds := []string{
+		"total sales by region",
+		"monthly average profit by date",
+		"sales versus profit",
+		"top 5 regions by total sales excluding east",
+		"share of units by product since 2016",
+		"count by region above 500",
+		"ŚHOW mé thé tötal \x00 sales",
+		"excluding excluding excluding",
+		"top 999999999999999999999 regions",
+		"more than than than 12",
+		"in 2016 in 2016 in 2016",
+		"YEAR(date) >= 2016",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, query string) {
+		sc, err := loadFuzzSchema()
+		if err != nil {
+			t.Skipf("schema: %v", err)
+		}
+		cols := map[string]bool{}
+		for _, c := range sc.Cols {
+			cols[c.Name] = true
+		}
+		r, err := Parse(query, sc, Options{})
+		if err != nil {
+			if !errors.Is(err, ErrNoIntent) {
+				t.Fatalf("Parse(%q): unexpected error class %v", query, err)
+			}
+			return
+		}
+		for _, c := range r.Candidates {
+			q := c.Query
+			if !cols[q.X] || !cols[q.Y] {
+				t.Fatalf("candidate references unknown column: %+v (query %q)", q, query)
+			}
+			for _, fl := range q.Filters {
+				if !cols[fl.Col] {
+					t.Fatalf("filter references unknown column %q: %+v (query %q)", fl.Col, q, query)
+				}
+			}
+			if c.Confidence <= 0 || c.Confidence > 1 {
+				t.Fatalf("confidence %v out of range (query %q)", c.Confidence, query)
+			}
+			if q.From != sc.Table {
+				t.Fatalf("candidate table %q != %q (query %q)", q.From, sc.Table, query)
+			}
+			rq, err := vizql.Parse(q.String(), nil)
+			if err != nil {
+				t.Fatalf("candidate does not render to parseable vizql: %v\n%s", err, q.String())
+			}
+			if rq.Key() != q.Key() {
+				t.Fatalf("render round trip changed key: %q -> %q", q.Key(), rq.Key())
+			}
+		}
+	})
+}

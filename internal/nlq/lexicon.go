@@ -1,0 +1,151 @@
+// Package nlq turns a natural-language query ("monthly sales by region
+// as a line chart, excluding 2019") into ranked concrete vizql specs.
+// The pipeline is deterministic and stdlib-only: a tokenizer + lexicon
+// matcher binds tokens to columns, chart intents, aggregate verbs, time
+// granularities, and filter phrases (parse.go); the matcher emits a
+// partial spec plus an explicit ambiguity set; an enumerator expands
+// every ambiguity combination into concrete candidate queries with a
+// parse-confidence score and a record of which completions were guessed
+// (enum.go). Execution and ranking of the candidates stay in the root
+// package, which blends confidence with the selection pipeline exactly
+// as Search blends keyword affinity with partial-order position.
+//
+// This file is the shared lexicon. The chart-intent, granularity, and
+// stopword vocabularies here are the single source of truth for both
+// keyword Search (search.go rebinds on them) and the NL parser, so the
+// two interfaces cannot drift.
+package nlq
+
+import (
+	"github.com/deepeye/deepeye/internal/chart"
+	"github.com/deepeye/deepeye/internal/transform"
+)
+
+// chartVocabulary maps intent words to chart types (shared with Search;
+// the historical parseIntent table, verbatim).
+var chartVocabulary = map[string]chart.Type{
+	"trend": chart.Line, "over": chart.Line, "timeline": chart.Line, "line": chart.Line,
+	"proportion": chart.Pie, "share": chart.Pie, "percentage": chart.Pie, "pie": chart.Pie,
+	"breakdown":   chart.Pie,
+	"correlation": chart.Scatter, "correlate": chart.Scatter, "versus": chart.Scatter,
+	"vs": chart.Scatter, "scatter": chart.Scatter, "relationship": chart.Scatter,
+	"compare": chart.Bar, "comparison": chart.Bar, "distribution": chart.Bar,
+	"histogram": chart.Bar, "bar": chart.Bar, "count": chart.Bar, "top": chart.Bar,
+}
+
+// ChartWord resolves a chart-intent word ("trend" → line).
+func ChartWord(w string) (chart.Type, bool) {
+	t, ok := chartVocabulary[w]
+	return t, ok
+}
+
+// unitVocabulary maps granularity words to bin-unit keywords (shared
+// with Search; the historical parseIntent table, verbatim).
+var unitVocabulary = map[string]string{
+	"minute": "MINUTE", "hourly": "HOUR", "hour": "HOUR", "daily": "DAY", "day": "DAY",
+	"weekly": "WEEK", "week": "WEEK", "monthly": "MONTH", "month": "MONTH",
+	"quarterly": "QUARTER", "quarter": "QUARTER", "yearly": "YEAR", "year": "YEAR",
+	"annual": "YEAR",
+}
+
+// UnitKeyword resolves a granularity word to its bin-unit keyword
+// ("monthly" → "MONTH"), the form Search matches against spec text.
+func UnitKeyword(w string) (string, bool) {
+	u, ok := unitVocabulary[w]
+	return u, ok
+}
+
+// unitOfKeyword maps the keyword form to the transform unit.
+var unitOfKeyword = map[string]transform.BinUnit{
+	"MINUTE": transform.ByMinute, "HOUR": transform.ByHour, "DAY": transform.ByDay,
+	"WEEK": transform.ByWeek, "MONTH": transform.ByMonth,
+	"QUARTER": transform.ByQuarter, "YEAR": transform.ByYear,
+}
+
+// UnitWord resolves a granularity word directly to a transform unit.
+func UnitWord(w string) (transform.BinUnit, bool) {
+	kw, ok := unitVocabulary[w]
+	if !ok {
+		return 0, false
+	}
+	u, ok := unitOfKeyword[kw]
+	return u, ok
+}
+
+// searchStopwords are the words keyword Search ignores entirely (the
+// historical parseIntent table, verbatim).
+var searchStopwords = map[string]bool{
+	"by": true, "of": true, "the": true, "a": true, "an": true, "per": true,
+	"for": true, "in": true, "show": true, "me": true, "and": true, "with": true,
+}
+
+// SearchStopword reports whether keyword Search ignores the word.
+func SearchStopword(w string) bool { return searchStopwords[w] }
+
+// ChartVocabulary returns a copy of the chart-intent table, so callers
+// (and the differential tests pinning Search's historical behavior) can
+// compare it entry-for-entry without aliasing the live map.
+func ChartVocabulary() map[string]chart.Type {
+	out := make(map[string]chart.Type, len(chartVocabulary))
+	for k, v := range chartVocabulary {
+		out[k] = v
+	}
+	return out
+}
+
+// UnitVocabulary returns a copy of the granularity table.
+func UnitVocabulary() map[string]string {
+	out := make(map[string]string, len(unitVocabulary))
+	for k, v := range unitVocabulary {
+		out[k] = v
+	}
+	return out
+}
+
+// SearchStopwords returns a copy of the Search stopword set.
+func SearchStopwords() map[string]bool {
+	out := make(map[string]bool, len(searchStopwords))
+	for k := range searchStopwords {
+		out[k] = true
+	}
+	return out
+}
+
+// aggVocabulary maps aggregate verbs to operators. "count" doubles as a
+// chart-intent word (bar) in chartVocabulary; the NL parser records
+// both readings.
+var aggVocabulary = map[string]transform.Agg{
+	"total": transform.AggSum, "sum": transform.AggSum, "summed": transform.AggSum,
+	"cumulative": transform.AggSum, "overall": transform.AggSum,
+	"average": transform.AggAvg, "avg": transform.AggAvg, "mean": transform.AggAvg,
+	"typical": transform.AggAvg,
+	"count":   transform.AggCnt, "number": transform.AggCnt, "frequency": transform.AggCnt,
+	"many": transform.AggCnt, // "how many … per …"
+}
+
+// AggWord resolves an aggregate verb ("total" → SUM).
+func AggWord(w string) (transform.Agg, bool) {
+	a, ok := aggVocabulary[w]
+	return a, ok
+}
+
+// nlFillers are additional words the NL parser drops without counting
+// them as unparsed — conversational filler that carries no intent. The
+// search stopwords are a subset (checked separately so Search's set
+// stays exactly its historical self).
+var nlFillers = map[string]bool{
+	"please": true, "plot": true, "chart": true, "graph": true, "draw": true,
+	"display": true, "visualize": true, "visualise": true, "give": true,
+	"i": true, "want": true, "see": true, "as": true, "to": true, "each": true,
+	"every": true, "all": true, "what": true, "is": true, "are": true,
+	"how": true, "my": true, "on": true, "at": true, "across": true,
+	"between": true, "against": true,
+}
+
+// fillerWord reports whether the NL parser should drop the word
+// silently (search stopword or conversational filler).
+func fillerWord(w string) bool { return searchStopwords[w] || nlFillers[w] }
+
+// typeSynonyms bind generic words to every column of a type with a weak
+// score: "time"/"date" suggest the temporal axis without naming it.
+var temporalSynonyms = map[string]bool{"time": true, "date": true, "timestamp": true}

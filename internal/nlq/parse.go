@@ -1,0 +1,338 @@
+package nlq
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+
+	"github.com/deepeye/deepeye/internal/chart"
+	"github.com/deepeye/deepeye/internal/dataset"
+	"github.com/deepeye/deepeye/internal/transform"
+	"github.com/deepeye/deepeye/internal/vizql"
+)
+
+// ErrNoIntent marks a query the parser can extract nothing from — empty,
+// whitespace-only, or matching no columns, chart intents, aggregates,
+// granularities, or filter phrases. Shared by Search and Ask so callers
+// (the HTTP layer) can map it to a client error, not a server fault.
+var ErrNoIntent = errors.New("no recognizable intent in query")
+
+// Binding records one column the query's words bound to, with the
+// accumulated match strength (exact 1.0, prefix 0.8, substring 0.6 per
+// word, capped) and the words that contributed.
+type Binding struct {
+	Column string   `json:"column"`
+	Score  float64  `json:"score"`
+	Words  []string `json:"words"`
+}
+
+// Ambiguity is one unresolved slot the enumerator expanded: the slot
+// name and the options it considered, strongest first.
+type Ambiguity struct {
+	Slot    string   `json:"slot"`
+	Options []string `json:"options"`
+}
+
+// Parsed is the matcher's output: the partial spec plus everything the
+// enumerator needs to expand the ambiguity set.
+type Parsed struct {
+	Query      string
+	Normalized string
+
+	Charts  []chart.Type // stated chart intents, first-mention order
+	Unit    transform.BinUnit
+	HasUnit bool
+	Agg     transform.Agg
+	HasAgg  bool
+	TopN    int
+
+	// Filters is fully resolved predicates (label exclusions). Year
+	// predicates keep Col empty until the enumerator picks the temporal
+	// axis; measure predicates ("above 500") keep Col empty until it
+	// picks the measure.
+	Filters        []vizql.Filter
+	YearFilters    []vizql.Filter
+	MeasureFilters []vizql.Filter
+
+	Bindings []Binding // strongest first
+	Unparsed []string  // content tokens that matched nothing
+	Tokens   int       // content tokens considered (fillers excluded)
+}
+
+// binding returns the parse's binding for a column (nil when unbound).
+func (p *Parsed) binding(col string) *Binding {
+	for i := range p.Bindings {
+		if p.Bindings[i].Column == col {
+			return &p.Bindings[i]
+		}
+	}
+	return nil
+}
+
+// hasIntent reports whether the matcher extracted anything at all.
+func (p *Parsed) hasIntent() bool {
+	return len(p.Bindings) > 0 || len(p.Charts) > 0 || p.HasUnit || p.HasAgg ||
+		p.TopN > 0 || len(p.Filters) > 0 || len(p.YearFilters) > 0 || len(p.MeasureFilters) > 0
+}
+
+// Normalize canonicalizes a query for cache keying: lowercased,
+// punctuation-trimmed tokens joined by single spaces, so "Sales by
+// Region!" and "sales   by region" share a cache entry.
+func Normalize(query string) string {
+	return strings.Join(tokensOf(query), " ")
+}
+
+const tokenTrimSet = ".,;:!?\"'()[]{}"
+
+// tokensOf lowercases and splits a query, trimming punctuation.
+func tokensOf(query string) []string {
+	fields := strings.Fields(strings.ToLower(query))
+	toks := fields[:0]
+	for _, f := range fields {
+		f = strings.Trim(f, tokenTrimSet)
+		if f != "" {
+			toks = append(toks, f)
+		}
+	}
+	return toks
+}
+
+// yearLiteral recognizes a plausible calendar-year token.
+func yearLiteral(tok string) (int, bool) {
+	n, err := strconv.Atoi(tok)
+	if err != nil || n < 1900 || n > 2100 {
+		return 0, false
+	}
+	return n, true
+}
+
+func numberLiteral(tok string) (float64, bool) {
+	v, err := strconv.ParseFloat(tok, 64)
+	return v, err == nil
+}
+
+// yearFilterOps maps the temporal prepositions to operators.
+var yearFilterOps = map[string]vizql.FilterOp{
+	"since": vizql.FilterGe, "after": vizql.FilterGt,
+	"before": vizql.FilterLt, "until": vizql.FilterLe,
+	"in": vizql.FilterEq, "during": vizql.FilterEq,
+}
+
+// exclusionWords introduce a label or year exclusion.
+var exclusionWords = map[string]bool{"excluding": true, "except": true, "without": true}
+
+// topNWords introduce "top N"-style requests.
+var topNWords = map[string]bool{"top": true, "best": true, "largest": true, "highest": true}
+
+// parseQuery runs the tokenizer + lexicon matcher over a query against
+// a schema, producing the partial spec and ambiguity inputs. It returns
+// ErrNoIntent when nothing at all binds.
+func parseQuery(query string, sc Schema) (*Parsed, error) {
+	p := &Parsed{Query: query}
+	toks := tokensOf(query)
+	p.Normalized = strings.Join(toks, " ")
+	if len(toks) == 0 {
+		return nil, ErrNoIntent
+	}
+
+	colScore := map[string]float64{}
+	colWords := map[string][]string{}
+	var colOrder []string // first-evidence order, for deterministic ties
+	addEvidence := func(col string, w float64, word string) {
+		if _, ok := colScore[col]; !ok {
+			colOrder = append(colOrder, col)
+		}
+		colScore[col] += w
+		colWords[col] = append(colWords[col], word)
+	}
+	chartSeen := map[chart.Type]bool{}
+	consumed := make([]bool, len(toks))
+	peek := func(i int) string {
+		if i < len(toks) {
+			return toks[i]
+		}
+		return ""
+	}
+
+	for i := 0; i < len(toks); i++ {
+		if consumed[i] {
+			continue
+		}
+		tok := toks[i]
+
+		// Multi-token constructs first: they own their operand tokens.
+		if topNWords[tok] {
+			if n, err := strconv.Atoi(peek(i + 1)); err == nil && n > 0 {
+				p.TopN = n
+				consumed[i+1] = true
+				if typ, ok := ChartWord(tok); ok && !chartSeen[typ] {
+					chartSeen[typ] = true
+					p.Charts = append(p.Charts, typ)
+				}
+				p.Tokens += 2
+				continue
+			}
+		}
+		if exclusionWords[tok] {
+			operand := peek(i + 1)
+			p.Tokens++
+			if y, ok := yearLiteral(operand); ok {
+				p.YearFilters = append(p.YearFilters, vizql.Filter{
+					Op: vizql.FilterNe, Str: strconv.Itoa(y), Num: float64(y), Year: true,
+				})
+				consumed[i+1] = true
+				p.Tokens++
+				continue
+			}
+			if col, label, ok := sc.labelOwner(operand); ok {
+				p.Filters = append(p.Filters, vizql.Filter{Col: col, Op: vizql.FilterNe, Str: label})
+				consumed[i+1] = true
+				p.Tokens++
+				continue
+			}
+			p.Unparsed = append(p.Unparsed, tok)
+			continue
+		}
+		if op, ok := yearFilterOps[tok]; ok {
+			if y, yok := yearLiteral(peek(i + 1)); yok {
+				p.YearFilters = append(p.YearFilters, vizql.Filter{
+					Op: op, Str: strconv.Itoa(y), Num: float64(y), Year: true,
+				})
+				consumed[i+1] = true
+				p.Tokens += 2
+				continue
+			}
+			// "in"/"during" without a year fall through to the filler set;
+			// the rest ("since", …) count as unparsed below if alone.
+		}
+		// Comparatives bind to the (eventual) measure column.
+		if op, skip, ok := comparative(tok, peek(i+1)); ok {
+			if v, vok := numberLiteral(peek(i + skip)); vok {
+				p.MeasureFilters = append(p.MeasureFilters, vizql.Filter{
+					Op: op, Str: strconv.FormatFloat(v, 'g', -1, 64), Num: v,
+				})
+				for j := i; j <= i+skip; j++ {
+					consumed[j] = true
+				}
+				p.Tokens += skip + 1
+				continue
+			}
+		}
+
+		// Single-token vocabulary. A word can carry several readings
+		// ("count" is both an aggregate verb and a bar-chart hint; "month"
+		// is a granularity and possibly a column name), so every reading
+		// is recorded and the token still feeds column matching.
+		matched := false
+		if typ, ok := ChartWord(tok); ok {
+			if !chartSeen[typ] {
+				chartSeen[typ] = true
+				p.Charts = append(p.Charts, typ)
+			}
+			matched = true
+		}
+		if agg, ok := AggWord(tok); ok {
+			if !p.HasAgg {
+				p.Agg, p.HasAgg = agg, true
+			}
+			matched = true
+		}
+		if u, ok := UnitWord(tok); ok {
+			if !p.HasUnit {
+				p.Unit, p.HasUnit = u, true
+			}
+			matched = true
+		}
+		if temporalSynonyms[tok] {
+			for _, c := range sc.Cols {
+				if c.Type == dataset.Temporal {
+					addEvidence(c.Name, 0.5, tok)
+					matched = true
+				}
+			}
+		}
+		if !matched && fillerWord(tok) {
+			continue
+		}
+		p.Tokens++
+
+		// Column matching accumulates evidence per word exactly like
+		// keyword Search, so "departure delay" binds more strongly to
+		// departure_delay than "delay" alone does to arrival_delay.
+		for _, c := range sc.Cols {
+			name := strings.ToLower(c.Name)
+			switch {
+			case name == tok:
+				addEvidence(c.Name, 1.0, tok)
+			case strings.HasPrefix(name, tok) || strings.HasPrefix(tok, name):
+				addEvidence(c.Name, 0.8, tok)
+			case strings.Contains(name, tok) || strings.Contains(tok, name):
+				addEvidence(c.Name, 0.6, tok)
+			default:
+				continue
+			}
+			matched = true
+		}
+		if !matched {
+			p.Unparsed = append(p.Unparsed, tok)
+		}
+	}
+
+	for _, name := range colOrder {
+		w := colScore[name]
+		if w > 1.6 {
+			w = 1.6
+		}
+		p.Bindings = append(p.Bindings, Binding{Column: name, Score: w, Words: colWords[name]})
+	}
+	sortBindings(p.Bindings)
+	if !p.hasIntent() {
+		return nil, ErrNoIntent
+	}
+	return p, nil
+}
+
+// comparative recognizes measure-threshold phrases. skip is the offset
+// of the numeric operand from the leading token.
+func comparative(tok, next string) (op vizql.FilterOp, skip int, ok bool) {
+	switch tok {
+	case "above", "exceeding":
+		return vizql.FilterGt, 1, true
+	case "over":
+		// "over" is also a line-chart intent ("delay over time"): only
+		// the numeric reading makes it a comparative.
+		if _, ok := numberLiteral(next); ok {
+			return vizql.FilterGt, 1, true
+		}
+		return 0, 0, false
+	case "below", "under":
+		return vizql.FilterLt, 1, true
+	case "more", "greater", "higher":
+		if next == "than" {
+			return vizql.FilterGt, 2, true
+		}
+	case "less", "fewer", "lower":
+		if next == "than" {
+			return vizql.FilterLt, 2, true
+		}
+	case "at":
+		switch next {
+		case "least":
+			return vizql.FilterGe, 2, true
+		case "most":
+			return vizql.FilterLe, 2, true
+		}
+	}
+	return 0, 0, false
+}
+
+// sortBindings orders by score descending; the insertion sort is
+// stable, so ties keep first-mention order ("sales versus profit" puts
+// sales on X).
+func sortBindings(bs []Binding) {
+	for i := 1; i < len(bs); i++ {
+		for j := i; j > 0 && bs[j].Score > bs[j-1].Score; j-- {
+			bs[j], bs[j-1] = bs[j-1], bs[j]
+		}
+	}
+}

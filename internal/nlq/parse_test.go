@@ -1,0 +1,249 @@
+package nlq
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/deepeye/deepeye/internal/chart"
+	"github.com/deepeye/deepeye/internal/datagen"
+	"github.com/deepeye/deepeye/internal/transform"
+	"github.com/deepeye/deepeye/internal/vizql"
+)
+
+// evalSchema profiles the datagen NLQ eval table (orders: region,
+// product, date, sales, profit, units).
+func evalSchema(t testing.TB) Schema {
+	t.Helper()
+	tab, err := datagen.NLQEval(0.05)
+	if err != nil {
+		t.Fatalf("NLQEval: %v", err)
+	}
+	return SchemaFromTable(tab)
+}
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize("  Show total SALES, by Region!  "); got != "show total sales by region" {
+		t.Errorf("Normalize = %q", got)
+	}
+	if got := Normalize("sales   by region"); got != Normalize("Sales by Region?") {
+		t.Errorf("normalization not canonical: %q", got)
+	}
+}
+
+func TestParseAccepts(t *testing.T) {
+	sc := evalSchema(t)
+	cases := []struct {
+		query string
+		check func(t *testing.T, r *Result)
+	}{
+		{"total sales by region", func(t *testing.T, r *Result) {
+			p := r.Parsed
+			if !p.HasAgg || p.Agg != transform.AggSum {
+				t.Errorf("agg = %v/%v, want stated SUM", p.Agg, p.HasAgg)
+			}
+			if p.binding("sales") == nil || p.binding("region") == nil {
+				t.Errorf("bindings = %+v, want sales and region", p.Bindings)
+			}
+			top := r.Candidates[0].Query
+			if top.Viz != chart.Bar || top.X != "region" || top.Y != "sales" {
+				t.Errorf("top candidate = %+v", top)
+			}
+		}},
+		{"monthly average sales by date", func(t *testing.T, r *Result) {
+			if len(r.Candidates) != 1 {
+				t.Fatalf("candidates = %d, want 1", len(r.Candidates))
+			}
+			q := r.Candidates[0].Query
+			if q.Viz != chart.Line || q.Spec.Kind != transform.KindBinUnit ||
+				q.Spec.Unit != transform.ByMonth || q.Spec.Agg != transform.AggAvg ||
+				q.Order != transform.SortX {
+				t.Errorf("trend candidate = %+v", q)
+			}
+		}},
+		{"sales versus profit", func(t *testing.T, r *Result) {
+			if len(r.Candidates) != 1 {
+				t.Fatalf("candidates = %d, want 1", len(r.Candidates))
+			}
+			q := r.Candidates[0].Query
+			// Equal-strength bindings keep first-mention order: sales on X.
+			if q.Viz != chart.Scatter || q.X != "sales" || q.Y != "profit" {
+				t.Errorf("scatter candidate = %+v", q)
+			}
+		}},
+		{"top 5 regions by total sales", func(t *testing.T, r *Result) {
+			q := r.Candidates[0].Query
+			if q.Viz != chart.Bar || q.X != "region" || q.Limit != 5 || !q.Desc || q.Order != transform.SortY {
+				t.Errorf("top-N candidate = %+v", q)
+			}
+		}},
+		{"share of total sales by region", func(t *testing.T, r *Result) {
+			if q := r.Candidates[0].Query; q.Viz != chart.Pie {
+				t.Errorf("share candidate = %+v, want pie", q)
+			}
+		}},
+		{"total sales by region excluding east", func(t *testing.T, r *Result) {
+			q := r.Candidates[0].Query
+			if len(q.Filters) != 1 {
+				t.Fatalf("filters = %+v", q.Filters)
+			}
+			f := q.Filters[0]
+			// The canonical label spelling comes back despite the lowercase
+			// query token.
+			if f.Col != "region" || f.Op != vizql.FilterNe || f.Str != "East" {
+				t.Errorf("label filter = %+v", f)
+			}
+		}},
+		{"monthly sales by date since 2016", func(t *testing.T, r *Result) {
+			q := r.Candidates[0].Query
+			if len(q.Filters) != 1 {
+				t.Fatalf("filters = %+v", q.Filters)
+			}
+			f := q.Filters[0]
+			if !f.Year || f.Col != "date" || f.Op != vizql.FilterGe || f.Str != "2016" {
+				t.Errorf("year filter = %+v", f)
+			}
+		}},
+		{"total sales by region excluding 2016", func(t *testing.T, r *Result) {
+			f := r.Candidates[0].Query.Filters[0]
+			// The year predicate lands on the schema's temporal column even
+			// though X is categorical.
+			if !f.Year || f.Col != "date" || f.Op != vizql.FilterNe {
+				t.Errorf("year filter = %+v", f)
+			}
+		}},
+		{"total sales by region above 500", func(t *testing.T, r *Result) {
+			f := r.Candidates[0].Query.Filters[0]
+			if f.Col != "sales" || f.Op != vizql.FilterGt || f.Num != 500 {
+				t.Errorf("threshold filter = %+v", f)
+			}
+		}},
+		{"regions with more than 1000 units", func(t *testing.T, r *Result) {
+			p := r.Parsed
+			if len(p.MeasureFilters) != 1 || p.MeasureFilters[0].Op != vizql.FilterGt || p.MeasureFilters[0].Num != 1000 {
+				t.Errorf("measure filters = %+v", p.MeasureFilters)
+			}
+		}},
+		{"count by region", func(t *testing.T, r *Result) {
+			if len(r.Candidates) != 1 {
+				t.Fatalf("candidates = %d, want 1", len(r.Candidates))
+			}
+			q := r.Candidates[0].Query
+			// "count" reads as both the aggregate and a bar hint.
+			if q.Viz != chart.Bar || q.Spec.Agg != transform.AggCnt || q.X != "region" || q.Y != "region" {
+				t.Errorf("count candidate = %+v", q)
+			}
+		}},
+		{"sales by region", func(t *testing.T, r *Result) {
+			// Unstated aggregate: the SUM and AVG readings both enumerate,
+			// with SUM bars first, and the ambiguity is reported.
+			if len(r.Candidates) < 2 {
+				t.Fatalf("candidates = %d, want the SUM/AVG fan-out", len(r.Candidates))
+			}
+			if q := r.Candidates[0].Query; q.Spec.Agg != transform.AggSum || q.Viz != chart.Bar {
+				t.Errorf("top candidate = %+v, want SUM bars", q)
+			}
+			found := false
+			for _, a := range r.Ambiguities {
+				if a.Slot == "aggregate" {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("ambiguities = %+v, want an aggregate slot", r.Ambiguities)
+			}
+		}},
+		{"delay over time", func(t *testing.T, r *Result) {
+			// "over" with no number is a line hint, not a comparative; the
+			// temporal synonym binds the date column.
+			p := r.Parsed
+			if len(p.MeasureFilters) != 0 {
+				t.Errorf("measure filters = %+v, want none", p.MeasureFilters)
+			}
+			if len(p.Charts) != 1 || p.Charts[0] != chart.Line {
+				t.Errorf("charts = %v, want line", p.Charts)
+			}
+			if p.binding("date") == nil {
+				t.Errorf("bindings = %+v, want date via synonym", p.Bindings)
+			}
+		}},
+		{"Please plot the total PROFIT by product!", func(t *testing.T, r *Result) {
+			q := r.Candidates[0].Query
+			if q.X != "product" || q.Y != "profit" {
+				t.Errorf("decorated query candidate = %+v", q)
+			}
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.query, func(t *testing.T) {
+			r, err := Parse(c.query, sc, Options{})
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", c.query, err)
+			}
+			if len(r.Candidates) == 0 {
+				t.Fatalf("Parse(%q): no candidates", c.query)
+			}
+			for _, cand := range r.Candidates {
+				if cand.Confidence <= 0 || cand.Confidence > 1 {
+					t.Errorf("confidence %v out of (0,1] for %s", cand.Confidence, cand.Query.Key())
+				}
+			}
+			c.check(t, r)
+		})
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	sc := evalSchema(t)
+	for _, query := range []string{
+		"",
+		"    ",
+		"???",
+		"the of and a per",
+		"zzz qqq blorp",
+		"please show me",
+	} {
+		_, err := Parse(query, sc, Options{})
+		if !errors.Is(err, ErrNoIntent) {
+			t.Errorf("Parse(%q) err = %v, want ErrNoIntent", query, err)
+		}
+	}
+}
+
+// TestParseDeterministic pins that repeated parses yield byte-identical
+// candidate orderings (map iteration must not leak into results).
+func TestParseDeterministic(t *testing.T) {
+	sc := evalSchema(t)
+	queries := []string{"sales by region", "sales versus profit", "monthly sales by date", "units by product excluding 2016"}
+	for _, q := range queries {
+		base, err := Parse(q, sc, Options{})
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		for i := 0; i < 20; i++ {
+			r, err := Parse(q, sc, Options{})
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", q, err)
+			}
+			if len(r.Candidates) != len(base.Candidates) {
+				t.Fatalf("Parse(%q) candidate count varies", q)
+			}
+			for j := range r.Candidates {
+				if r.Candidates[j].Query.Key() != base.Candidates[j].Query.Key() {
+					t.Fatalf("Parse(%q) ordering varies at %d: %q vs %q",
+						q, j, r.Candidates[j].Query.Key(), base.Candidates[j].Query.Key())
+				}
+			}
+		}
+	}
+}
+
+func TestMaxFanout(t *testing.T) {
+	sc := evalSchema(t)
+	r, err := Parse("sales by region", sc, Options{MaxFanout: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Candidates) != 1 {
+		t.Errorf("candidates = %d, want fan-out capped at 1", len(r.Candidates))
+	}
+}

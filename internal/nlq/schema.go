@@ -1,0 +1,80 @@
+package nlq
+
+import (
+	"strings"
+
+	"github.com/deepeye/deepeye/internal/dataset"
+)
+
+// maxBindableLabels caps how many distinct labels of a categorical
+// column the parser will consider as filter values ("excluding East").
+// High-cardinality columns (IDs, free text) are skipped: scanning their
+// label sets per token would be wasted work and any match coincidental.
+const maxBindableLabels = 64
+
+// Column is one column's NL-relevant profile: its name, type, and — for
+// small categorical columns — the distinct labels tokens can bind to as
+// filter values.
+type Column struct {
+	Name   string
+	Type   dataset.ColType
+	Labels []string // sorted distinct labels; nil for unbindable columns
+}
+
+// Schema is the table profile the parser matches a query against.
+type Schema struct {
+	Table string
+	Cols  []Column
+}
+
+// SchemaFromTable profiles a table for NL matching. Label sets come
+// from the column's distinct values when the live stats say the column
+// is small enough to be a plausible filter dimension.
+func SchemaFromTable(t *dataset.Table) Schema {
+	sc := Schema{Table: t.Name, Cols: make([]Column, 0, len(t.Columns))}
+	for _, c := range t.Columns {
+		col := Column{Name: c.Name, Type: c.Type}
+		if c.Type == dataset.Categorical && c.Stats().Distinct <= maxBindableLabels {
+			col.Labels = c.DistinctValues()
+		}
+		sc.Cols = append(sc.Cols, col)
+	}
+	return sc
+}
+
+// col returns the named column's profile (nil when absent).
+func (sc *Schema) col(name string) *Column {
+	for i := range sc.Cols {
+		if sc.Cols[i].Name == name {
+			return &sc.Cols[i]
+		}
+	}
+	return nil
+}
+
+// temporalCols lists the schema's temporal column names in order.
+func (sc *Schema) temporalCols() []string {
+	var out []string
+	for _, c := range sc.Cols {
+		if c.Type == dataset.Temporal {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// labelOwner finds the categorical column owning a label, matching
+// case-insensitively; the canonical label spelling is returned so the
+// emitted filter compares against the stored form. Ambiguous labels
+// (owned by several columns) resolve to the first column in schema
+// order.
+func (sc *Schema) labelOwner(tok string) (col, label string, ok bool) {
+	for _, c := range sc.Cols {
+		for _, l := range c.Labels {
+			if strings.EqualFold(l, tok) {
+				return c.Name, l, true
+			}
+		}
+	}
+	return "", "", false
+}

@@ -1,0 +1,139 @@
+// Natural-language query endpoints: POST /nlq answers a question about
+// an uploaded CSV, POST /datasets/{id}/nlq answers against a registered
+// dataset's current snapshot (cluster-routed like every dataset read,
+// honoring min_epoch). Responses carry the ranked interpretations plus
+// the parse explanation — bindings, ambiguity slots, guessed
+// completions — so clients can show *why* each chart was offered.
+package server
+
+import (
+	"net/http"
+
+	deepeye "github.com/deepeye/deepeye"
+)
+
+// NLQChartJSON is one ranked interpretation: the executed chart plus
+// its parse-level explanation.
+type NLQChartJSON struct {
+	ChartJSON
+	// Confidence is the parse confidence of this completion in (0, 1].
+	Confidence float64 `json:"confidence"`
+	// Blended is the ordering score (confidence blended with the
+	// selection pipeline's rank position).
+	Blended float64 `json:"blended"`
+	// Completions lists slots the parser had to guess to make the
+	// query concrete.
+	Completions []string `json:"completions,omitempty"`
+}
+
+// NLQBindingJSON is one column the question's words bound to.
+type NLQBindingJSON struct {
+	Column string   `json:"column"`
+	Score  float64  `json:"score"`
+	Words  []string `json:"words"`
+}
+
+// NLQAmbiguityJSON is one underdetermined slot and its candidate
+// completions.
+type NLQAmbiguityJSON struct {
+	Slot    string   `json:"slot"`
+	Options []string `json:"options"`
+}
+
+// NLQResponse is the wire form of a natural-language answer.
+type NLQResponse struct {
+	Table       string             `json:"table"`
+	Rows        int                `json:"rows"`
+	Columns     int                `json:"columns"`
+	Query       string             `json:"query"`
+	Normalized  string             `json:"normalized"`
+	Charts      []NLQChartJSON     `json:"charts"`
+	Bindings    []NLQBindingJSON   `json:"bindings,omitempty"`
+	Ambiguities []NLQAmbiguityJSON `json:"ambiguities,omitempty"`
+	Unparsed    []string           `json:"unparsed,omitempty"`
+	Fingerprint string             `json:"fingerprint,omitempty"`
+	RaggedRows  int                `json:"ragged_rows,omitempty"`
+	Epoch       uint64             `json:"epoch,omitempty"`
+}
+
+// reasonNoIntent is the machine-readable 400 reason for queries the
+// parser extracted nothing from.
+const reasonNoIntent = "no_intent"
+
+func (h *Handler) nlqResponse(a *deepeye.AskAnswer) NLQResponse {
+	resp := NLQResponse{Query: a.Query, Normalized: a.Normalized, Unparsed: a.Unparsed}
+	for _, r := range a.Results {
+		resp.Charts = append(resp.Charts, NLQChartJSON{
+			ChartJSON:   h.chartJSON(r.Visualization),
+			Confidence:  r.Confidence,
+			Blended:     r.Blended,
+			Completions: r.Completions,
+		})
+	}
+	for _, b := range a.Bindings {
+		resp.Bindings = append(resp.Bindings, NLQBindingJSON(b))
+	}
+	for _, am := range a.Ambiguities {
+		resp.Ambiguities = append(resp.Ambiguities, NLQAmbiguityJSON(am))
+	}
+	return resp
+}
+
+// handleNLQ serves POST /nlq?q=question&k=3 with a CSV body.
+func (h *Handler) handleNLQ(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "missing q parameter"})
+		return
+	}
+	tab, ok := h.readTable(w, r)
+	if !ok {
+		return
+	}
+	k, err := h.parseK(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	a, err := h.sys.AskCtx(r.Context(), tab, q, k)
+	if err != nil {
+		writePipelineError(w, err)
+		return
+	}
+	resp := h.nlqResponse(a)
+	resp.Table = tab.Name
+	resp.Rows = tab.NumRows()
+	resp.Columns = tab.NumCols()
+	resp.Fingerprint = tab.Fingerprint()
+	resp.RaggedRows = tab.RaggedRows
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDatasetNLQ serves POST /datasets/{id}/nlq?q=question&k=3.
+func (h *Handler) handleDatasetNLQ(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "missing q parameter"})
+		return
+	}
+	k, err := h.parseK(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	if h.clusterEnsureRead(w, r, r.PathValue("id")) {
+		return
+	}
+	a, info, err := h.sys.AskByName(r.Context(), r.PathValue("id"), q, k)
+	if err != nil {
+		h.writeDatasetPipelineError(w, err)
+		return
+	}
+	resp := h.nlqResponse(a)
+	resp.Table = info.Name
+	resp.Rows = info.Rows
+	resp.Columns = info.Cols
+	resp.Fingerprint = info.Fingerprint
+	resp.Epoch = info.Epoch
+	writeJSON(w, http.StatusOK, resp)
+}

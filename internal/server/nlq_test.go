@@ -1,0 +1,125 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+func TestNLQEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	q := url.QueryEscape("total amount by region excluding north")
+	resp := postCSV(t, srv.URL+"/nlq?q="+q+"&k=3")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out NLQResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Charts) == 0 {
+		t.Fatal("no charts")
+	}
+	top := out.Charts[0]
+	if top.Chart != "bar" || top.X != "region" || top.Y != "amount" {
+		t.Errorf("top chart = %s %s/%s", top.Chart, top.X, top.Y)
+	}
+	if !strings.Contains(top.Query, `region != "North"`) {
+		t.Errorf("exclusion filter missing from query: %s", top.Query)
+	}
+	if top.Confidence <= 0 || top.Confidence > 1 {
+		t.Errorf("confidence = %v", top.Confidence)
+	}
+	if out.Normalized != "total amount by region excluding north" {
+		t.Errorf("normalized = %q", out.Normalized)
+	}
+	if len(out.Bindings) == 0 {
+		t.Error("no bindings in response")
+	}
+}
+
+func TestNLQEndpointAmbiguity(t *testing.T) {
+	srv := newTestServer(t)
+	q := url.QueryEscape("amount by region")
+	resp := postCSV(t, srv.URL+"/nlq?q="+q+"&k=5")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out NLQResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Charts) < 2 {
+		t.Fatalf("charts = %d, want the SUM/AVG fan-out", len(out.Charts))
+	}
+	slot := false
+	for _, a := range out.Ambiguities {
+		if a.Slot == "aggregate" {
+			slot = true
+		}
+	}
+	if !slot {
+		t.Errorf("ambiguities = %+v, want an aggregate slot", out.Ambiguities)
+	}
+	for i := 1; i < len(out.Charts); i++ {
+		if out.Charts[i].Blended > out.Charts[i-1].Blended {
+			t.Errorf("charts out of blended order at %d", i)
+		}
+	}
+}
+
+func TestNLQEndpointErrors(t *testing.T) {
+	srv := newTestServer(t)
+	resp := postCSV(t, srv.URL+"/nlq")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing q status = %d", resp.StatusCode)
+	}
+	q := url.QueryEscape("zorp blimfle qux")
+	resp2 := postCSV(t, srv.URL+"/nlq?q="+q)
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("no-intent status = %d", resp2.StatusCode)
+	}
+	var e errorJSON
+	if err := json.NewDecoder(resp2.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Reason != reasonNoIntent {
+		t.Errorf("reason = %q, want %q", e.Reason, reasonNoIntent)
+	}
+}
+
+func TestDatasetNLQ(t *testing.T) {
+	srv := newLiveServer(t)
+	resp, body := doReq(t, http.MethodPost, srv.URL+"/datasets?name=sales", testCSV)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status = %d: %s", resp.StatusCode, body)
+	}
+	q := url.QueryEscape("monthly total amount")
+	resp, body = doReq(t, http.MethodPost, srv.URL+"/datasets/sales/nlq?q="+q+"&k=2", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("nlq status = %d: %s", resp.StatusCode, body)
+	}
+	var out NLQResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Table != "sales" || len(out.Charts) == 0 {
+		t.Fatalf("response = %+v", out)
+	}
+	if top := out.Charts[0]; top.Chart != "line" || !strings.Contains(top.Query, "BY MONTH") {
+		t.Errorf("top chart = %s %q", top.Chart, top.Query)
+	}
+
+	// Unknown dataset resolves through the registry error mapping.
+	resp, _ = doReq(t, http.MethodPost, srv.URL+"/datasets/nope/nlq?q="+q, "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown dataset status = %d", resp.StatusCode)
+	}
+	// No-intent phrasing maps to 400 + reason here too.
+	resp, body = doReq(t, http.MethodPost, srv.URL+"/datasets/sales/nlq?q=zzz+qqq", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("no-intent status = %d: %s", resp.StatusCode, body)
+	}
+}

@@ -174,6 +174,7 @@ func New(sys *deepeye.System, opts Options) *Handler {
 	h.mux.HandleFunc("POST /query", h.handleQuery)
 	h.mux.HandleFunc("POST /multi", h.handleMulti)
 	h.mux.HandleFunc("POST /search", h.handleSearch)
+	h.mux.HandleFunc("POST /nlq", h.handleNLQ)
 	h.mux.HandleFunc("POST /profile", h.handleProfile)
 	h.mux.HandleFunc("GET /healthz", h.handleHealth)
 	h.mux.HandleFunc("GET /metrics", h.handleMetrics)
@@ -185,6 +186,7 @@ func New(sys *deepeye.System, opts Options) *Handler {
 	h.mux.HandleFunc("POST /datasets/{id}/rows", h.handleDatasetAppend)
 	h.mux.HandleFunc("GET /datasets/{id}/topk", h.handleDatasetTopK)
 	h.mux.HandleFunc("GET /datasets/{id}/search", h.handleDatasetSearch)
+	h.mux.HandleFunc("POST /datasets/{id}/nlq", h.handleDatasetNLQ)
 	h.mux.HandleFunc("GET /datasets/{id}/query", h.handleDatasetQuery)
 	// Peer endpoints (replication, epoch probes, snapshot pulls) when
 	// this handler serves as a cluster member.
@@ -299,13 +301,17 @@ func (h *Handler) parseK(r *http.Request) (int, error) {
 // writePipelineError maps a selection-pipeline failure to a status:
 // deadline expiry is the server's fault (504), client disconnects get
 // the nginx-style 499 (the client is gone, the code is for the logs),
-// everything else is an unprocessable table (422).
+// a query with no recognizable intent is the client's phrasing (400,
+// machine-readable reason), everything else is an unprocessable table
+// (422).
 func writePipelineError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		writeJSON(w, http.StatusGatewayTimeout, errorJSON{Error: "request timed out"})
 	case errors.Is(err, context.Canceled):
 		writeJSON(w, 499, errorJSON{Error: "request canceled"})
+	case errors.Is(err, deepeye.ErrNoIntent):
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error(), Reason: reasonNoIntent})
 	default:
 		writeJSON(w, http.StatusUnprocessableEntity, errorJSON{Error: err.Error()})
 	}

@@ -240,10 +240,19 @@ func TestSearchEndpointErrors(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("missing q status = %d", resp.StatusCode)
 	}
+	// A query with no recognizable intent is the client's phrasing: 400
+	// with the machine-readable no_intent reason (shared with /nlq).
 	q := url.QueryEscape("zorp blimfle")
 	resp2 := postCSV(t, srv.URL+"/search?q="+q)
-	if resp2.StatusCode != http.StatusUnprocessableEntity {
+	if resp2.StatusCode != http.StatusBadRequest {
 		t.Errorf("no-match status = %d", resp2.StatusCode)
+	}
+	var e errorJSON
+	if err := json.NewDecoder(resp2.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Reason != reasonNoIntent {
+		t.Errorf("reason = %q, want %q", e.Reason, reasonNoIntent)
 	}
 }
 

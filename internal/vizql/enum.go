@@ -161,6 +161,22 @@ func ExecuteAllCtx(ctx context.Context, t *dataset.Table, queries []Query) ([]*N
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		// Decorated queries (WHERE/DESC/LIMIT) change the row set or the
+		// bucket order, so nothing about their materialization can share
+		// the batch caches; they run standalone and drop on error exactly
+		// like an inexecutable plain query. The rule/exhaustive
+		// enumerators never emit them, so the hot path is untouched.
+		if q.Decorated() {
+			n, err := ExecuteCtx(ctx, t, q)
+			if err != nil {
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				continue
+			}
+			out = append(out, n)
+			continue
+		}
 		sc := q.Order
 		if sc == transform.SortX && q.Spec.Kind != transform.KindNone {
 			sc = transform.SortNone

@@ -1,0 +1,259 @@
+// WHERE predicates for the visualization language. Filters are an
+// additive extension used by the NL front-end ("excluding 2019",
+// "above 500"): a query with no filters renders, keys, and executes
+// exactly as before, and the batch executor routes filtered queries
+// around its shared transform caches (a filter changes the row set, so
+// nothing about the materialization can be shared).
+package vizql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/deepeye/deepeye/internal/dataset"
+)
+
+// FilterOp is a comparison operator in a WHERE predicate.
+type FilterOp int
+
+const (
+	FilterEq FilterOp = iota
+	FilterNe
+	FilterLt
+	FilterLe
+	FilterGt
+	FilterGe
+)
+
+// String returns the operator's canonical spelling.
+func (o FilterOp) String() string {
+	switch o {
+	case FilterEq:
+		return "="
+	case FilterNe:
+		return "!="
+	case FilterLt:
+		return "<"
+	case FilterLe:
+		return "<="
+	case FilterGt:
+		return ">"
+	case FilterGe:
+		return ">="
+	default:
+		return fmt.Sprintf("FilterOp(%d)", int(o))
+	}
+}
+
+// parseFilterOp accepts the canonical spellings plus the common SQL
+// aliases == and <>.
+func parseFilterOp(tok string) (FilterOp, bool) {
+	switch tok {
+	case "=", "==":
+		return FilterEq, true
+	case "!=", "<>":
+		return FilterNe, true
+	case "<":
+		return FilterLt, true
+	case "<=":
+		return FilterLe, true
+	case ">":
+		return FilterGt, true
+	case ">=":
+		return FilterGe, true
+	default:
+		return 0, false
+	}
+}
+
+// Filter is one WHERE predicate; a query's predicates combine with AND.
+// Str always holds the comparand as written; Num is its parsed value
+// when it is numeric (including the Year form, where Str is the year
+// literal). Null cells never match any predicate (SQL three-valued
+// logic collapsed to false).
+type Filter struct {
+	Col  string
+	Op   FilterOp
+	Str  string
+	Num  float64
+	Year bool // compare the UTC calendar year of a temporal column
+}
+
+// numeric reports whether the comparand is a number (bare rendering).
+func (f Filter) numeric() bool {
+	_, err := strconv.ParseFloat(f.Str, 64)
+	return err == nil
+}
+
+// String renders the predicate in the WHERE-clause form Parse accepts.
+func (f Filter) String() string {
+	col := quoteIdent(f.Col)
+	if f.Year {
+		return fmt.Sprintf("YEAR(%s) %s %s", col, f.Op, f.Str)
+	}
+	val := f.Str
+	if !f.numeric() {
+		val = `"` + strings.ReplaceAll(val, `"`, "") + `"`
+	}
+	return fmt.Sprintf("%s %s %s", col, f.Op, val)
+}
+
+// cmpMatch applies the operator to a three-way comparison result
+// (c < 0, == 0, > 0); valid distinguishes incomparable pairs (NaN).
+func (o FilterOp) cmpMatch(c int, valid bool) bool {
+	if !valid {
+		return false
+	}
+	switch o {
+	case FilterEq:
+		return c == 0
+	case FilterNe:
+		return c != 0
+	case FilterLt:
+		return c < 0
+	case FilterLe:
+		return c <= 0
+	case FilterGt:
+		return c > 0
+	case FilterGe:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// filterEval is a compiled predicate: row index → keep.
+type filterEval func(i int) bool
+
+// compileFilter validates one predicate against the table and returns
+// its row evaluator. Numeric columns need a numeric comparand; the Year
+// form needs a temporal column; categorical and temporal columns
+// otherwise compare the raw cell text (numerically when both sides
+// parse, so "top_10" < "top_9" pitfalls don't apply to numeric labels).
+func compileFilter(t *dataset.Table, f Filter) (filterEval, error) {
+	c := t.Column(f.Col)
+	if c == nil {
+		return nil, fmt.Errorf("vizql: unknown filter column %q", f.Col)
+	}
+	num, numErr := strconv.ParseFloat(f.Str, 64)
+	numOK := numErr == nil
+	if f.Year {
+		if c.Type != dataset.Temporal {
+			return nil, fmt.Errorf("vizql: YEAR(%s) needs a temporal column", f.Col)
+		}
+		if !numOK || num != float64(int(num)) {
+			return nil, fmt.Errorf("vizql: bad year literal %q", f.Str)
+		}
+		want := int(num)
+		op := f.Op
+		return func(i int) bool {
+			if c.IsNull(i) {
+				return false
+			}
+			year := time.Unix(c.SecAt(i), 0).UTC().Year()
+			return op.cmpMatch(cmpInt(year, want), true)
+		}, nil
+	}
+	switch c.Type {
+	case dataset.Numerical:
+		if !numOK {
+			return nil, fmt.Errorf("vizql: filter on numerical column %q needs a numeric value, got %q", f.Col, f.Str)
+		}
+		op := f.Op
+		return func(i int) bool {
+			if c.IsNull(i) {
+				return false
+			}
+			v := c.NumAt(i)
+			return op.cmpMatch(cmpFloat(v, num), v == v && num == num)
+		}, nil
+	default:
+		// Categorical (and non-year temporal) predicates compare cell
+		// text; when both sides are numbers the comparison is numeric.
+		op, str := f.Op, f.Str
+		return func(i int) bool {
+			if c.IsNull(i) {
+				return false
+			}
+			raw := c.RawAt(i)
+			if numOK {
+				if v, err := strconv.ParseFloat(raw, 64); err == nil {
+					return op.cmpMatch(cmpFloat(v, num), true)
+				}
+			}
+			return op.cmpMatch(strings.Compare(raw, str), true)
+		}, nil
+	}
+}
+
+func cmpInt(a, b int) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// applyQueryFilters evaluates the query's predicates over the table and
+// rebuilds the X and Y columns from the surviving rows. It returns the
+// original columns untouched when the query carries no filters.
+func applyQueryFilters(t *dataset.Table, q Query, x, y *dataset.Column) (*dataset.Column, *dataset.Column, error) {
+	if len(q.Filters) == 0 {
+		return x, y, nil
+	}
+	evals := make([]filterEval, len(q.Filters))
+	for i, f := range q.Filters {
+		ev, err := compileFilter(t, f)
+		if err != nil {
+			return nil, nil, err
+		}
+		evals[i] = ev
+	}
+	n := x.Len()
+	keep := make([]int, 0, n)
+rows:
+	for i := 0; i < n; i++ {
+		for _, ev := range evals {
+			if !ev(i) {
+				continue rows
+			}
+		}
+		keep = append(keep, i)
+	}
+	fx := rebuildKept(x, keep)
+	fy := fx
+	if y != x {
+		fy = rebuildKept(y, keep)
+	}
+	return fx, fy, nil
+}
+
+// rebuildKept materializes a column restricted to the kept row indices,
+// preserving the column's declared type and null flags.
+func rebuildKept(c *dataset.Column, keep []int) *dataset.Column {
+	raw := make([]string, len(keep))
+	null := make([]bool, len(keep))
+	for j, i := range keep {
+		null[j] = c.IsNull(i)
+		if !null[j] {
+			raw[j] = c.RawAt(i)
+		}
+	}
+	return dataset.RebuildColumn(c.Name, c.Type, raw, null)
+}

@@ -122,6 +122,13 @@ func ExecuteCtx(ctx context.Context, t *dataset.Table, q Query) (*Node, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// WHERE predicates restrict the row set before the transform; the
+	// original table columns are never mutated. SourceRows of a filtered
+	// result index into the filtered row order.
+	x, y, err := applyQueryFilters(t, q, x, y)
+	if err != nil {
+		return nil, err
+	}
 	res, err := transform.Apply(x, y, q.Spec)
 	if err != nil {
 		return nil, err
@@ -133,6 +140,7 @@ func ExecuteCtx(ctx context.Context, t *dataset.Table, q Query) (*Node, error) {
 		return nil, err
 	}
 	transform.OrderBy(res, q.Order)
+	applyDescLimit(res, q)
 
 	n := &Node{
 		Query:     q,
@@ -150,6 +158,32 @@ func ExecuteCtx(ctx context.Context, t *dataset.Table, q Query) (*Node, error) {
 	}
 	fillDerived(n)
 	return n, nil
+}
+
+// applyDescLimit reverses the sorted bucket order (ORDER BY … DESC) and
+// truncates to the LIMIT. Both operate on the result's own slices —
+// ExecuteCtx materializes a fresh Result per call, so no sharing is at
+// risk — and DESC without an ORDER BY axis is a no-op by construction
+// (the grammar only admits DESC after ORDER BY).
+func applyDescLimit(res *transform.Result, q Query) {
+	if q.Desc && q.Order != transform.SortNone {
+		for i, j := 0, res.Len()-1; i < j; i, j = i+1, j-1 {
+			res.XLabels[i], res.XLabels[j] = res.XLabels[j], res.XLabels[i]
+			res.XOrder[i], res.XOrder[j] = res.XOrder[j], res.XOrder[i]
+			res.Y[i], res.Y[j] = res.Y[j], res.Y[i]
+			if res.SourceRows != nil {
+				res.SourceRows[i], res.SourceRows[j] = res.SourceRows[j], res.SourceRows[i]
+			}
+		}
+	}
+	if q.Limit > 0 && res.Len() > q.Limit {
+		res.XLabels = res.XLabels[:q.Limit]
+		res.XOrder = res.XOrder[:q.Limit]
+		res.Y = res.Y[:q.Limit]
+		if res.SourceRows != nil {
+			res.SourceRows = res.SourceRows[:q.Limit]
+		}
+	}
 }
 
 // outType gives the effective type of X′ given the input type and the

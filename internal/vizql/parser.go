@@ -16,14 +16,18 @@ import (
 //	VISUALIZE (bar|line|pie|scatter)
 //	SELECT X ',' ( Y | SUM(Y) | AVG(Y) | CNT(Y) )
 //	FROM name
+//	[ WHERE pred ( AND pred )* ]
 //	[ GROUP BY X
 //	| BIN X BY (MINUTE|HOUR|DAY|WEEK|MONTH|QUARTER|YEAR)
 //	| BIN X INTO n
 //	| BIN X BY UDF(name) ]
-//	[ ORDER BY (X|Y|SUM(Y)|AVG(Y)|CNT(Y)) ]
+//	[ ORDER BY (X|Y|SUM(Y)|AVG(Y)|CNT(Y)) [DESC|ASC] ]
+//	[ LIMIT n ]
 //
-// UDFs referenced by name are resolved from the udfs map; a nil map means
-// no UDFs are available.
+// where pred is `col (=|!=|<|<=|>|>=) value` or `YEAR(col) op n`
+// (operators must be whitespace-separated; non-numeric values may be
+// double-quoted). UDFs referenced by name are resolved from the udfs
+// map; a nil map means no UDFs are available.
 func Parse(src string, udfs map[string]*transform.UDF) (Query, error) {
 	var q Query
 	p := &parser{toks: tokenize(src)}
@@ -64,6 +68,22 @@ func Parse(src string, udfs map[string]*transform.UDF) (Query, error) {
 	q.From, err = p.next("table name")
 	if err != nil {
 		return q, err
+	}
+
+	// Optional WHERE clause: AND-chained predicates.
+	if p.peekKeyword("WHERE") {
+		p.pos++
+		for {
+			f, err := p.filterPred()
+			if err != nil {
+				return q, err
+			}
+			q.Filters = append(q.Filters, f)
+			if !p.peekKeyword("AND") {
+				break
+			}
+			p.pos++
+		}
 	}
 
 	// Optional TRANSFORM clause.
@@ -158,6 +178,26 @@ func Parse(src string, udfs map[string]*transform.UDF) (Query, error) {
 		default:
 			return q, fmt.Errorf("vizql: ORDER BY %s is neither the x nor y column", col)
 		}
+		switch {
+		case p.peekKeyword("DESC"):
+			p.pos++
+			q.Desc = true
+		case p.peekKeyword("ASC"):
+			p.pos++
+		}
+	}
+	// Optional LIMIT clause.
+	if p.peekKeyword("LIMIT") {
+		p.pos++
+		nWord, err := p.next("limit count")
+		if err != nil {
+			return q, err
+		}
+		n, err := strconv.Atoi(nWord)
+		if err != nil || n <= 0 {
+			return q, fmt.Errorf("vizql: bad limit %q", nWord)
+		}
+		q.Limit = n
 	}
 	if p.pos != len(p.toks) {
 		return q, fmt.Errorf("vizql: trailing input starting at %q", p.toks[p.pos])
@@ -209,6 +249,47 @@ func (p *parser) selectItem() (transform.Agg, string, error) {
 		}
 	}
 	return transform.AggNone, t, nil
+}
+
+// filterPred parses one WHERE predicate: `col op value` or
+// `YEAR(col) op n`.
+func (p *parser) filterPred() (Filter, error) {
+	var f Filter
+	colTok, err := p.next("filter column")
+	if err != nil {
+		return f, err
+	}
+	if name, ok := parseCall("YEAR", colTok); ok {
+		f.Year = true
+		f.Col = name
+	} else {
+		f.Col = colTok
+	}
+	opTok, err := p.next("comparison operator")
+	if err != nil {
+		return f, err
+	}
+	op, ok := parseFilterOp(opTok)
+	if !ok {
+		return f, fmt.Errorf("vizql: bad comparison operator %q", opTok)
+	}
+	f.Op = op
+	val, err := p.next("filter value")
+	if err != nil {
+		return f, err
+	}
+	f.Str = val
+	if f.Year {
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return f, fmt.Errorf("vizql: bad year literal %q", val)
+		}
+		f.Str = strconv.Itoa(n)
+		f.Num = float64(n)
+	} else if v, err := strconv.ParseFloat(val, 64); err == nil {
+		f.Num = v
+	}
+	return f, nil
 }
 
 // parseCall matches KW(arg) case-insensitively on KW and returns arg.

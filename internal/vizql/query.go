@@ -23,6 +23,9 @@ import (
 )
 
 // Query is the AST of one visualization query Q; Q(D) produces a chart.
+// Filters, Desc, and Limit extend the paper's language for the NL
+// front-end; their zero values leave the query's text, key, and
+// execution exactly as the original grammar defines.
 type Query struct {
 	Viz   chart.Type
 	X     string // column on the x-axis (SELECT first item)
@@ -30,6 +33,16 @@ type Query struct {
 	From  string // source table name (informational)
 	Spec  transform.Spec
 	Order transform.SortAxis
+
+	Filters []Filter // AND-combined WHERE predicates over source rows
+	Desc    bool     // reverse the ORDER BY axis (rendered only with one)
+	Limit   int      // keep at most this many buckets after sorting; 0 = all
+}
+
+// Decorated reports whether the query uses any of the extended clauses,
+// which excludes it from the batch executor's shared transform caches.
+func (q Query) Decorated() bool {
+	return len(q.Filters) > 0 || q.Desc || q.Limit > 0
 }
 
 // quoteIdent quotes a column or table name when it would not survive
@@ -62,6 +75,14 @@ func (q Query) String() string {
 		from = "?"
 	}
 	fmt.Fprintf(&sb, "FROM %s", quoteIdent(from))
+	for i, f := range q.Filters {
+		if i == 0 {
+			sb.WriteString("\nWHERE ")
+		} else {
+			sb.WriteString(" AND ")
+		}
+		sb.WriteString(f.String())
+	}
 	switch q.Spec.Kind {
 	case transform.KindGroup:
 		fmt.Fprintf(&sb, "\nGROUP BY %s", x)
@@ -82,11 +103,34 @@ func (q Query) String() string {
 	case transform.SortY:
 		fmt.Fprintf(&sb, "\nORDER BY %s", ySel)
 	}
+	if q.Desc && q.Order != transform.SortNone {
+		sb.WriteString(" DESC")
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&sb, "\nLIMIT %d", q.Limit)
+	}
 	return sb.String()
 }
 
 // Key returns a compact canonical identity for deduplication: two queries
-// with the same key produce the same visualization.
+// with the same key produce the same visualization. Undecorated queries
+// keep their historical key shape.
 func (q Query) Key() string {
-	return fmt.Sprintf("%s|%s|%s|%s|%s", q.Viz, q.X, q.Y, q.Spec, q.Order)
+	base := fmt.Sprintf("%s|%s|%s|%s|%s", q.Viz, q.X, q.Y, q.Spec, q.Order)
+	if !q.Decorated() {
+		return base
+	}
+	var sb strings.Builder
+	sb.WriteString(base)
+	for _, f := range q.Filters {
+		sb.WriteString("|W:")
+		sb.WriteString(f.String())
+	}
+	if q.Desc {
+		sb.WriteString("|DESC")
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&sb, "|L:%d", q.Limit)
+	}
+	return sb.String()
 }

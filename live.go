@@ -177,6 +177,21 @@ func (s *System) SearchByName(ctx context.Context, name, query string, k int) ([
 	return vs, info, err
 }
 
+// AskByName answers a natural-language question against the named
+// dataset's current snapshot.
+func (s *System) AskByName(ctx context.Context, name, query string, k int) (*AskAnswer, DatasetInfo, error) {
+	r, err := s.liveRegistry()
+	if err != nil {
+		return nil, DatasetInfo{}, err
+	}
+	snap, info, err := r.Use(name)
+	if err != nil {
+		return nil, DatasetInfo{}, err
+	}
+	a, err := s.AskCtx(ctx, snap, query, k)
+	return a, info, err
+}
+
 // DatasetInfoByName describes the named dataset without serving a
 // recommendation (live column profiles included).
 func (s *System) DatasetInfoByName(name string) (DatasetInfo, error) {

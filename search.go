@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"github.com/deepeye/deepeye/internal/chart"
+	"github.com/deepeye/deepeye/internal/nlq"
 	"github.com/deepeye/deepeye/internal/vizql"
 )
 
@@ -33,7 +34,7 @@ func (s *System) SearchCtx(ctx context.Context, t *Table, query string, k int) (
 	}
 	intent := parseIntent(query, t)
 	if len(intent.columns) == 0 && len(intent.charts) == 0 && intent.unit == "" {
-		return nil, fmt.Errorf("deepeye: query %q matches no columns or chart intents", query)
+		return nil, fmt.Errorf("deepeye: query %q matches no columns or chart intents: %w", query, ErrNoIntent)
 	}
 	nodes, err := s.CandidatesCtx(ctx, t)
 	if err != nil {
@@ -92,43 +93,21 @@ type intent struct {
 	unit    string // granularity keyword ("month", "hour", …)
 }
 
-// chartVocabulary maps intent words to chart types.
-var chartVocabulary = map[string]chart.Type{
-	"trend": chart.Line, "over": chart.Line, "timeline": chart.Line, "line": chart.Line,
-	"proportion": chart.Pie, "share": chart.Pie, "percentage": chart.Pie, "pie": chart.Pie,
-	"breakdown":   chart.Pie,
-	"correlation": chart.Scatter, "correlate": chart.Scatter, "versus": chart.Scatter,
-	"vs": chart.Scatter, "scatter": chart.Scatter, "relationship": chart.Scatter,
-	"compare": chart.Bar, "comparison": chart.Bar, "distribution": chart.Bar,
-	"histogram": chart.Bar, "bar": chart.Bar, "count": chart.Bar, "top": chart.Bar,
-}
-
-// unitVocabulary maps granularity words to bin-unit keywords.
-var unitVocabulary = map[string]string{
-	"minute": "MINUTE", "hourly": "HOUR", "hour": "HOUR", "daily": "DAY", "day": "DAY",
-	"weekly": "WEEK", "week": "WEEK", "monthly": "MONTH", "month": "MONTH",
-	"quarterly": "QUARTER", "quarter": "QUARTER", "yearly": "YEAR", "year": "YEAR",
-	"annual": "YEAR",
-}
-
-// stopwords are ignored entirely.
-var stopwords = map[string]bool{
-	"by": true, "of": true, "the": true, "a": true, "an": true, "per": true,
-	"for": true, "in": true, "show": true, "me": true, "and": true, "with": true,
-}
-
+// parseIntent reads a keyword query against the shared NL lexicon
+// (internal/nlq holds the chart-intent, granularity, and stopword
+// vocabularies, single-sourced with the sentence-level Ask parser).
 func parseIntent(query string, t *Table) intent {
 	in := intent{columns: map[string]float64{}, charts: map[chart.Type]bool{}}
 	for _, word := range strings.Fields(strings.ToLower(query)) {
 		word = strings.Trim(word, ".,;:!?\"'")
-		if word == "" || stopwords[word] {
+		if word == "" || nlq.SearchStopword(word) {
 			continue
 		}
-		if typ, ok := chartVocabulary[word]; ok {
+		if typ, ok := nlq.ChartWord(word); ok {
 			in.charts[typ] = true
 			continue
 		}
-		if u, ok := unitVocabulary[word]; ok {
+		if u, ok := nlq.UnitKeyword(word); ok {
 			in.unit = u
 			// "month"/"year" can also be column names; fall through.
 		}

@@ -14,7 +14,7 @@ COVER_FLOOR ?= 75.0
 
 .PHONY: all build test vet bench race fuzz experiments clean \
 	bench-smoke bench-run bench-diff bench-alloc-check cover-check \
-	crash-test load-smoke load-soak cluster-smoke lint
+	crash-test load-smoke load-soak cluster-smoke chaos-smoke lint
 
 all: build vet test
 
@@ -133,6 +133,24 @@ load-smoke:
 cluster-smoke:
 	$(GO) run ./cmd/deepeye-load -scenario testdata/scenarios/cluster.scenario \
 		-inprocess -fail-on-error -p99-ceiling 10s -max-goroutine-growth 75 \
+		$(if $(LOAD_JSON),-json $(LOAD_JSON))
+
+# 12s chaos run: the cluster scenario plus a scripted 5s network
+# partition of one follower. Heartbeats must walk the cut node to
+# down (tripping circuit breakers so forwarded traffic sheds fast
+# 503 peer_down instead of stacking timeouts), shipper queues must
+# stay under the scenario's 256 KiB cap by collapsing overflow into
+# snapshot-resync markers, and after the heal every member must
+# reconverge to bit-identical per-dataset epochs and fingerprints
+# within the budget — with the request ledger still reconciling
+# exactly. The goroutine budget is wider than cluster-smoke's: the
+# partition tears down every peer connection and the heal re-opens
+# them, so the post-run idle keep-alive pool (two goroutines per
+# connection) legitimately sits higher than the post-warmup baseline.
+# Usage: make chaos-smoke [LOAD_JSON=chaos-summary.json]
+chaos-smoke:
+	$(GO) run ./cmd/deepeye-load -scenario testdata/scenarios/chaos.scenario \
+		-inprocess -fail-on-error -p99-ceiling 10s -max-goroutine-growth 150 \
 		$(if $(LOAD_JSON),-json $(LOAD_JSON))
 
 # 60s write-heavy soak with a deliberately small registry: eviction,

@@ -86,13 +86,17 @@ func main() {
 	if *addr != "" {
 		bases = strings.Split(*addr, ",")
 	}
+	if sc.Chaos != nil && !*inprocess {
+		fatal("a [chaos] scenario needs -inprocess (faults are injected on the in-process cluster's peer transports)")
+	}
+	var chaos *load.ChaosController
 	if *inprocess {
 		var (
 			shutdown func()
 			err      error
 		)
 		if sc.Cluster.Nodes >= 2 {
-			bases, shutdown, err = startInprocessCluster(sc)
+			bases, shutdown, chaos, err = startInprocessCluster(sc)
 		} else {
 			var url string
 			url, shutdown, err = startInprocess(sc)
@@ -131,6 +135,7 @@ func main() {
 		Soak:         *soak,
 		DrainTimeout: *drainTimeout,
 		ScenarioPath: *scenarioPath,
+		Chaos:        chaos,
 	})
 	if err != nil {
 		fatal("%v", err)
@@ -212,8 +217,10 @@ func startInprocess(sc *load.Scenario) (string, func(), error) {
 // with its own System (registry + WAL), metrics registry, and
 // cluster.Node — on loopback listeners, and returns their base URLs
 // plus a shutdown func. Listeners are bound before any member is
-// built so every node knows the complete ring up front.
-func startInprocessCluster(sc *load.Scenario) ([]string, func(), error) {
+// built so every node knows the complete ring up front. A [chaos]
+// section additionally wraps every member's peer HTTP client with the
+// returned controller's fault-injecting transport.
+func startInprocessCluster(sc *load.Scenario) ([]string, func(), *load.ChaosController, error) {
 	cfg := sc.Server
 	n := sc.Cluster.Nodes
 	root := cfg.DataDir
@@ -221,7 +228,7 @@ func startInprocessCluster(sc *load.Scenario) ([]string, func(), error) {
 	if root == "auto" {
 		dir, err := os.MkdirTemp("", "deepeye-load-cluster-*")
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		root = dir
 		cleanupDir = func() { os.RemoveAll(dir) }
@@ -236,9 +243,9 @@ func startInprocessCluster(sc *load.Scenario) ([]string, func(), error) {
 		}
 		cleanupDir()
 	}
-	fail := func(err error) ([]string, func(), error) {
+	fail := func(err error) ([]string, func(), *load.ChaosController, error) {
 		shutdown()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	for i := range lns {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -248,6 +255,15 @@ func startInprocessCluster(sc *load.Scenario) ([]string, func(), error) {
 		lns[i] = ln
 		urls[i] = "http://" + ln.Addr().String()
 		shutdowns = append(shutdowns, func() { ln.Close() })
+	}
+
+	var chaos *load.ChaosController
+	if sc.Chaos != nil {
+		var err error
+		chaos, err = load.NewChaosController(*sc.Chaos, urls[sc.Chaos.Target])
+		if err != nil {
+			return fail(err)
+		}
 	}
 
 	for i := range lns {
@@ -271,11 +287,20 @@ func startInprocessCluster(sc *load.Scenario) ([]string, func(), error) {
 			return fail(err)
 		}
 		obsReg := obs.NewRegistry()
+		var peerClient *http.Client
+		if chaos != nil {
+			peerClient = &http.Client{Transport: chaos.Transport(i, nil)}
+		}
 		node, err := cluster.New(cluster.Config{
-			Self:     urls[i],
-			Peers:    urls,
-			Registry: sys.RegistryHandle(),
-			Obs:      obsReg,
+			Self:                urls[i],
+			Peers:               urls,
+			Registry:            sys.RegistryHandle(),
+			Obs:                 obsReg,
+			Client:              peerClient,
+			HeartbeatInterval:   sc.Cluster.Heartbeat,
+			AntiEntropyInterval: sc.Cluster.AntiEntropy,
+			ShipQueueBytes:      sc.Cluster.ShipQueueBytes,
+			CatchupWait:         sc.Cluster.CatchupWait,
 		})
 		if err != nil {
 			sys.Close()
@@ -298,7 +323,7 @@ func startInprocessCluster(sc *load.Scenario) ([]string, func(), error) {
 			sys.Close()
 		})
 	}
-	return urls, shutdown, nil
+	return urls, shutdown, chaos, nil
 }
 
 func fatal(format string, args ...any) {

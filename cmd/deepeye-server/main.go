@@ -84,6 +84,9 @@ func main() {
 		grace       = flag.Duration("grace", 15*time.Second, "shutdown grace period for in-flight requests")
 		peers       = flag.String("peers", "", "comma-separated peer base URLs (e.g. http://10.0.0.2:8080); enables cluster mode (needs -self and -registry-size > 0)")
 		self        = flag.String("self", "", "this node's advertised base URL in cluster mode (must be reachable by every peer)")
+		heartbeat   = flag.Duration("heartbeat-interval", time.Second, "cluster peer heartbeat interval driving the failure detector (0 = disabled)")
+		antiEntropy = flag.Duration("anti-entropy-interval", 10*time.Second, "jittered interval between anti-entropy repair passes (0 = disabled)")
+		shipQueue   = flag.Int64("ship-queue-bytes", 32<<20, "per-peer replication queue byte cap; overflow collapses into snapshot resyncs (negative = unbounded)")
 		// Per-request parallelism defaults to serial: the server already
 		// runs many requests concurrently (-max-inflight), so fanning each
 		// one out to every core helps tail latency only when the box has
@@ -141,9 +144,12 @@ func main() {
 			}
 		}
 		node, err = cluster.New(cluster.Config{
-			Self:     strings.TrimSuffix(*self, "/"),
-			Peers:    peerList,
-			Registry: reg,
+			Self:                strings.TrimSuffix(*self, "/"),
+			Peers:               peerList,
+			Registry:            reg,
+			HeartbeatInterval:   *heartbeat,
+			AntiEntropyInterval: *antiEntropy,
+			ShipQueueBytes:      *shipQueue,
 		})
 		if err != nil {
 			log.Fatalf("joining cluster: %v", err)

@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"math/rand"
+	"time"
+)
+
+// antiEntropyLoop periodically repairs divergence the push path cannot
+// see: a follower whose shipper dropped a batch (non-retryable peer
+// response) or missed records during a partition stays wrong until a
+// restart or membership event — this loop closes that gap. Each pass
+// fingerprint-compares the node's view of every peer's led datasets
+// (via SyncFrom's epoch exchange) and pulls snapshots where they
+// differ. The interval is jittered ±half so a cluster-wide restart
+// does not synchronize every node's repair traffic onto the same tick.
+func (n *Node) antiEntropyLoop(interval time.Duration) {
+	rng := rand.New(rand.NewSource(int64(len(n.self))*7919 + seedFrom(n.self)))
+	for {
+		d := interval/2 + time.Duration(rng.Int63n(int64(interval)))
+		t := time.NewTimer(d)
+		select {
+		case <-n.closeCh:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		n.AntiEntropy()
+	}
+}
+
+// seedFrom derives a stable per-node seed so jitter differs across
+// members without depending on wall-clock randomness.
+func seedFrom(s string) int64 {
+	var h int64
+	for _, b := range []byte(s) {
+		h = h*131 + int64(b)
+	}
+	return h
+}
+
+// AntiEntropy runs one repair pass: compare-and-pull against every
+// peer the failure detector does not currently report down (probing a
+// down peer would only stack timeouts; the detector's recovery edge
+// kicks the shipper, and the next pass covers the pull side). Exported
+// so tests and operators can force a pass without waiting the
+// interval out.
+func (n *Node) AntiEntropy() {
+	failed := false
+	for _, peer := range n.Members() {
+		if peer == n.self || n.closed() {
+			continue
+		}
+		if n.detector != nil && n.detector.state(peer) == PeerDown {
+			continue
+		}
+		if err := n.SyncFrom(peer); err != nil {
+			failed = true
+		}
+	}
+	n.aeRuns.Inc()
+	if failed {
+		n.aeErrors.Inc()
+	}
+}

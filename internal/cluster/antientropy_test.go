@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/deepeye/deepeye/internal/obs"
+	"github.com/deepeye/deepeye/internal/registry"
+)
+
+// aePair builds a leader (its handler on a real listener) and a
+// follower node that lists the leader as a peer, plus a dataset name
+// the follower's ring assigns to the leader — the shape anti-entropy
+// repairs: the leader has state the push path failed to deliver.
+func aePair(t *testing.T) (lReg *registry.Registry, b *Node, bReg *registry.Registry, name string) {
+	t.Helper()
+	lReg = registry.New(registry.Config{Obs: obs.NewRegistry()})
+	lNode, err := New(Config{Self: "http://ae-leader.test", Registry: lReg, Obs: obs.NewRegistry()})
+	if err != nil {
+		t.Fatalf("New leader: %v", err)
+	}
+	t.Cleanup(lNode.Close)
+	srv := httptest.NewServer(lNode.Handler())
+	t.Cleanup(srv.Close)
+
+	bReg = registry.New(registry.Config{Obs: obs.NewRegistry()})
+	b, err = New(Config{
+		Self:        "http://ae-follower.test",
+		Peers:       []string{"http://ae-follower.test", srv.URL},
+		Registry:    bReg,
+		Obs:         obs.NewRegistry(),
+		PeerTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("New follower: %v", err)
+	}
+	t.Cleanup(b.Close)
+
+	for i := 0; i < 1000; i++ {
+		cand := fmt.Sprintf("ae-%d", i)
+		if b.Leader(cand) == srv.URL {
+			name = cand
+			break
+		}
+	}
+	if name == "" {
+		t.Fatal("no dataset name led by the peer in 1000 tries")
+	}
+	return lReg, b, bReg, name
+}
+
+// TestAntiEntropyRepairsDivergence: the follower is missing a dataset
+// its peer leads (as after a dropped batch or a partition); one
+// AntiEntropy pass pulls a fingerprint-verified snapshot and the
+// registries match exactly.
+func TestAntiEntropyRepairsDivergence(t *testing.T) {
+	lReg, b, bReg, name := aePair(t)
+	if _, err := lReg.Register(name, shipTable(t, name)); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if _, err := lReg.Append(name, [][]string{{"north", "7", "2024-03-01"}}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if _, ok := bReg.Get(name); ok {
+		t.Fatal("follower has the dataset before the repair pass — test setup is wrong")
+	}
+
+	b.AntiEntropy()
+
+	lState, bState := regState(lReg), regState(bReg)
+	if lState[name] == "" || lState[name] != bState[name] {
+		t.Fatalf("after repair: leader %v, follower %v — want identical epoch/fingerprint", lState, bState)
+	}
+	if got := b.aeRuns.Value(); got != 1 {
+		t.Errorf("aeRuns = %d, want 1", got)
+	}
+	if got := b.aeErrors.Value(); got != 0 {
+		t.Errorf("aeErrors = %d, want 0", got)
+	}
+}
+
+// TestAntiEntropySkipsDownPeers: a pass must not probe a peer the
+// failure detector reports down (it would only stack timeouts); once
+// the detector walks the peer back to healthy, the next pass repairs.
+func TestAntiEntropySkipsDownPeers(t *testing.T) {
+	lReg, b, bReg, name := aePair(t)
+	if _, err := lReg.Register(name, shipTable(t, name)); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	peer := ""
+	for _, m := range b.Members() {
+		if m != b.Self() {
+			peer = m
+		}
+	}
+
+	b.detector = newDetector(b, time.Second, func(string) bool { return false })
+	for i := 0; i < downAfterMisses; i++ {
+		b.detector.observe(peer, false)
+	}
+	b.AntiEntropy()
+	if _, ok := bReg.Get(name); ok {
+		t.Fatal("anti-entropy pulled from a peer the detector reports down")
+	}
+
+	for i := 0; i < healthyAfterOKs; i++ {
+		b.detector.observe(peer, true)
+	}
+	b.AntiEntropy()
+	if regState(bReg)[name] != regState(lReg)[name] {
+		t.Fatal("anti-entropy did not repair after the peer recovered")
+	}
+}
+
+// TestAntiEntropyCountsErrors: an unreachable peer marks the pass
+// failed without aborting it.
+func TestAntiEntropyCountsErrors(t *testing.T) {
+	reg := registry.New(registry.Config{Obs: obs.NewRegistry()})
+	n, err := New(Config{
+		Self:        "http://ae-solo.test",
+		Peers:       []string{"http://ae-solo.test", "http://127.0.0.1:1"},
+		Registry:    reg,
+		Obs:         obs.NewRegistry(),
+		PeerTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(n.Close)
+	n.AntiEntropy()
+	if got := n.aeRuns.Value(); got != 1 {
+		t.Errorf("aeRuns = %d, want 1", got)
+	}
+	if got := n.aeErrors.Value(); got != 1 {
+		t.Errorf("aeErrors = %d, want 1", got)
+	}
+}

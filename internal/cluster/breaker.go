@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"github.com/deepeye/deepeye/internal/obs"
+)
+
+// ErrPeerDown is returned by PeerDo when the peer's circuit breaker is
+// open: the peer failed enough consecutive calls (or the failure
+// detector declared it down) that issuing more requests would only
+// stack timeouts. Callers answer clients with a fast 503 + Retry-After
+// instead of waiting the transport out.
+var ErrPeerDown = errors.New("cluster: peer down (circuit breaker open)")
+
+// Breaker states, exported on deepeye_cluster_breaker_state gauges.
+const (
+	breakerClosed   = 0 // calls flow; consecutive failures counted
+	breakerOpen     = 1 // calls refused until the cooldown elapses
+	breakerHalfOpen = 2 // one probe in flight decides open vs closed
+)
+
+// breaker is one peer's circuit breaker. Consecutive transport
+// failures trip it open; after a cooldown a single half-open probe is
+// admitted — its success closes the circuit, its failure re-opens it
+// for another cooldown. The failure detector can force transitions
+// (forceOpen on peer-down, reset on peer-recovered) so breaker state
+// never lags a slower organic trip. Safe for concurrent use.
+type breaker struct {
+	threshold int           // consecutive failures that trip the circuit
+	cooldown  time.Duration // open window before a half-open probe
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    int
+	failures int
+	until    time.Time // open state: earliest half-open probe time
+
+	stateG *obs.Gauge
+	trips  *obs.Counter
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time, stateG *obs.Gauge, trips *obs.Counter) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now, stateG: stateG, trips: trips}
+}
+
+// allow reports whether a call may proceed. In the open state it
+// admits exactly one caller once the cooldown has elapsed (flipping to
+// half-open); everyone else is refused until that probe resolves.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Before(b.until) {
+			return false
+		}
+		b.setLocked(breakerHalfOpen)
+		return true
+	default: // half-open: the probe is already in flight
+		return false
+	}
+}
+
+// success records a completed call (any HTTP response counts — the
+// transport works; application-level refusals are the caller's
+// problem, not the circuit's).
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	if b.state != breakerClosed {
+		b.setLocked(breakerClosed)
+	}
+}
+
+// failure records a transport failure; enough consecutive ones (or any
+// failure of the half-open probe) open the circuit.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.state == breakerHalfOpen || (b.state == breakerClosed && b.failures >= b.threshold) {
+		b.openLocked()
+	}
+}
+
+// forceOpen trips the circuit immediately (the failure detector
+// declared the peer down).
+func (b *breaker) forceOpen() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != breakerOpen {
+		b.openLocked()
+	}
+}
+
+// reset closes the circuit and clears the failure count (the failure
+// detector saw the peer answer heartbeats again).
+func (b *breaker) reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	if b.state != breakerClosed {
+		b.setLocked(breakerClosed)
+	}
+}
+
+// snapshot reports the current state for the status endpoint.
+func (b *breaker) snapshot() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+func (b *breaker) openLocked() {
+	b.until = b.now().Add(b.cooldown)
+	if b.trips != nil {
+		b.trips.Inc()
+	}
+	b.setLocked(breakerOpen)
+}
+
+func (b *breaker) setLocked(state int) {
+	b.state = state
+	if b.stateG != nil {
+		b.stateG.Set(int64(state))
+	}
+}
+
+// breakerName renders a state for the status endpoint.
+func breakerName(state int) string {
+	switch state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half_open"
+	default:
+		return "closed"
+	}
+}

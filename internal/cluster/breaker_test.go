@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/deepeye/deepeye/internal/obs"
+)
+
+// fakeClock is an adjustable time source so breaker cooldowns are
+// walked deterministically instead of slept through.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testBreaker(threshold int, cooldown time.Duration) (*breaker, *fakeClock, *obs.Gauge, *obs.Counter) {
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	reg := obs.NewRegistry()
+	g := reg.Gauge(metricBreaker, "Circuit breaker state.", "peer", "p")
+	trips := reg.Counter(metricTrips, "Circuit breaker open transitions.", "peer", "p")
+	return newBreaker(threshold, cooldown, clk.now, g, trips), clk, g, trips
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b, _, g, trips := testBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		b.failure()
+		if !b.allow() {
+			t.Fatalf("breaker opened after %d failures, threshold is 3", i+1)
+		}
+	}
+	b.failure()
+	if b.allow() {
+		t.Fatal("breaker still admits calls after the threshold failure")
+	}
+	if got := b.snapshot(); got != breakerOpen {
+		t.Fatalf("state = %s, want open", breakerName(got))
+	}
+	if g.Value() != breakerOpen {
+		t.Errorf("state gauge = %d, want %d", g.Value(), breakerOpen)
+	}
+	if trips.Value() != 1 {
+		t.Errorf("trips = %d, want 1", trips.Value())
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b, _, _, _ := testBreaker(3, time.Second)
+	b.failure()
+	b.failure()
+	b.success()
+	b.failure()
+	b.failure()
+	if b.snapshot() != breakerClosed {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+	b.failure()
+	if b.snapshot() != breakerOpen {
+		t.Fatal("three consecutive failures after a reset did not trip")
+	}
+}
+
+func TestBreakerHalfOpenProbeSuccessCloses(t *testing.T) {
+	b, clk, _, _ := testBreaker(1, time.Second)
+	b.failure()
+	if b.allow() {
+		t.Fatal("open breaker admitted a call before the cooldown")
+	}
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed but no half-open probe was admitted")
+	}
+	if got := b.snapshot(); got != breakerHalfOpen {
+		t.Fatalf("state = %s, want half_open", breakerName(got))
+	}
+	if b.allow() {
+		t.Fatal("second caller admitted while the half-open probe is in flight")
+	}
+	b.success()
+	if got := b.snapshot(); got != breakerClosed {
+		t.Fatalf("probe success left state %s, want closed", breakerName(got))
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker refused a call")
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	b, clk, _, trips := testBreaker(1, time.Second)
+	b.failure()
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("no half-open probe admitted")
+	}
+	b.failure()
+	if got := b.snapshot(); got != breakerOpen {
+		t.Fatalf("probe failure left state %s, want open", breakerName(got))
+	}
+	if b.allow() {
+		t.Fatal("re-opened breaker admitted a call before a fresh cooldown")
+	}
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("fresh cooldown elapsed but no probe admitted")
+	}
+	if trips.Value() != 2 {
+		t.Errorf("trips = %d, want 2 (initial trip + probe failure)", trips.Value())
+	}
+}
+
+func TestBreakerForceOpenAndReset(t *testing.T) {
+	b, _, _, trips := testBreaker(5, time.Second)
+	b.forceOpen()
+	if b.allow() {
+		t.Fatal("forced-open breaker admitted a call")
+	}
+	b.forceOpen() // idempotent: already open, no second trip
+	if trips.Value() != 1 {
+		t.Errorf("trips = %d, want 1 (forceOpen on an open breaker must not re-trip)", trips.Value())
+	}
+	b.reset()
+	if got := b.snapshot(); got != breakerClosed {
+		t.Fatalf("reset left state %s, want closed", breakerName(got))
+	}
+	if !b.allow() {
+		t.Fatal("reset breaker refused a call")
+	}
+	// reset also clears the failure streak.
+	for i := 0; i < 4; i++ {
+		b.failure()
+	}
+	if b.snapshot() != breakerClosed {
+		t.Fatal("failures before the reset still count toward the threshold")
+	}
+}
+
+func TestBreakerName(t *testing.T) {
+	cases := map[int]string{
+		breakerClosed:   "closed",
+		breakerOpen:     "open",
+		breakerHalfOpen: "half_open",
+		99:              "closed",
+	}
+	for state, want := range cases {
+		if got := breakerName(state); got != want {
+			t.Errorf("breakerName(%d) = %q, want %q", state, got, want)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// PeerState is one peer's position in the failure-detection state
+// machine, exported as a deepeye_cluster_peer_state gauge (the gauge
+// value is the numeric state).
+type PeerState int
+
+// The peer states. A peer starts healthy; missed heartbeats walk it
+// through suspect to down; the first successful probe after down moves
+// it to recovering, and a run of successes restores healthy.
+const (
+	PeerHealthy    PeerState = 0
+	PeerSuspect    PeerState = 1
+	PeerDown       PeerState = 2
+	PeerRecovering PeerState = 3
+)
+
+func (s PeerState) String() string {
+	switch s {
+	case PeerSuspect:
+		return "suspect"
+	case PeerDown:
+		return "down"
+	case PeerRecovering:
+		return "recovering"
+	default:
+		return "healthy"
+	}
+}
+
+// Failure-detector thresholds: consecutive missed probes to reach
+// suspect and down, and consecutive successes in recovering to be
+// healthy again. One success from suspect clears suspicion outright —
+// suspicion is cheap to acquire and cheap to shed; down is sticky
+// until a probe streak proves the peer back.
+const (
+	suspectAfterMisses = 2
+	downAfterMisses    = 4
+	healthyAfterOKs    = 2
+)
+
+// peerHealth is one peer's detector state.
+type peerHealth struct {
+	state  PeerState
+	misses int // consecutive failed probes
+	oks    int // consecutive successful probes while recovering
+}
+
+// detector drives per-peer heartbeats: probe every peer each tick,
+// apply the state machine, and fire the node's transition hooks
+// (breaker trips on down, breaker reset + shipper kick on recovery).
+// Probes run through an injectable func so tests script outcomes and
+// call tick() directly instead of waiting on the production ticker.
+type detector struct {
+	n        *Node
+	interval time.Duration
+	probe    func(peer string) bool
+
+	mu    sync.Mutex
+	peers map[string]*peerHealth
+}
+
+func newDetector(n *Node, interval time.Duration, probe func(string) bool) *detector {
+	d := &detector{n: n, interval: interval, probe: probe, peers: map[string]*peerHealth{}}
+	if d.probe == nil {
+		d.probe = d.httpProbe
+	}
+	return d
+}
+
+// httpProbe is the production heartbeat: GET /cluster/health with a
+// deadline of one heartbeat interval, bypassing the circuit breaker —
+// heartbeats are the recovery signal, so they must keep flowing while
+// the breaker refuses regular traffic.
+func (d *detector) httpProbe(peer string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), d.interval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/cluster/health", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := d.n.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// run is the production loop: tick every interval until the node
+// closes.
+func (d *detector) run() {
+	t := time.NewTicker(d.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.n.closeCh:
+			return
+		case <-t.C:
+			d.tick()
+		}
+	}
+}
+
+// tick probes every current peer once and applies transitions. The
+// probe set is re-derived from the ring each tick so membership
+// changes are picked up without coordination; state for removed peers
+// is pruned.
+func (d *detector) tick() {
+	peers := d.n.Members()
+	live := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		if p != d.n.self {
+			live[p] = true
+		}
+	}
+	d.mu.Lock()
+	for p := range d.peers {
+		if !live[p] {
+			delete(d.peers, p)
+		}
+	}
+	d.mu.Unlock()
+	for p := range live {
+		d.observe(p, d.probe(p))
+	}
+}
+
+// observe applies one probe outcome to the peer's state machine and
+// fires the node hooks on the down and healthy edges.
+func (d *detector) observe(peer string, ok bool) {
+	d.mu.Lock()
+	ph := d.peers[peer]
+	first := ph == nil
+	if first {
+		ph = &peerHealth{state: PeerHealthy}
+		d.peers[peer] = ph
+	}
+	prev := ph.state
+	if ok {
+		ph.misses = 0
+		switch ph.state {
+		case PeerSuspect:
+			ph.state = PeerHealthy
+		case PeerDown:
+			ph.oks = 1
+			ph.state = PeerRecovering
+			if ph.oks >= healthyAfterOKs {
+				ph.state = PeerHealthy
+			}
+		case PeerRecovering:
+			ph.oks++
+			if ph.oks >= healthyAfterOKs {
+				ph.state = PeerHealthy
+			}
+		}
+	} else {
+		ph.oks = 0
+		ph.misses++
+		switch ph.state {
+		case PeerHealthy:
+			if ph.misses >= suspectAfterMisses {
+				ph.state = PeerSuspect
+			}
+		case PeerSuspect:
+			if ph.misses >= downAfterMisses {
+				ph.state = PeerDown
+			}
+		case PeerRecovering:
+			ph.state = PeerDown
+		}
+	}
+	state := ph.state
+	d.mu.Unlock()
+	if first {
+		// Export the gauge from the first observation so a peer that
+		// never leaves healthy still has a scrapeable series.
+		d.n.peerStateGauge(peer).Set(int64(state))
+	}
+	if state != prev {
+		d.n.peerStateGauge(peer).Set(int64(state))
+		switch {
+		case state == PeerDown:
+			d.n.peerWentDown(peer)
+		case state == PeerHealthy && prev != PeerSuspect:
+			// Recovered from down/recovering: resume traffic eagerly.
+			d.n.peerCameBack(peer)
+		}
+	}
+}
+
+// state reports one peer's current detector state (healthy when the
+// peer was never observed — optimism keeps a fresh ring usable).
+func (d *detector) state(peer string) PeerState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if ph := d.peers[peer]; ph != nil {
+		return ph.state
+	}
+	return PeerHealthy
+}
+
+// states snapshots every observed peer's state.
+func (d *detector) states() map[string]PeerState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]PeerState, len(d.peers))
+	for p, ph := range d.peers {
+		out[p] = ph.state
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/deepeye/deepeye/internal/obs"
+	"github.com/deepeye/deepeye/internal/registry"
+)
+
+// detectorNode builds a node whose detector material can be driven
+// directly: no heartbeat goroutine, no real servers behind the peer
+// URLs.
+func detectorNode(t testing.TB, peers ...string) *Node {
+	t.Helper()
+	reg := registry.New(registry.Config{Obs: obs.NewRegistry()})
+	n, err := New(Config{
+		Self:     "http://self.test",
+		Peers:    append([]string{"http://self.test"}, peers...),
+		Registry: reg,
+		Obs:      obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(n.Close)
+	return n
+}
+
+// TestDetectorTransitions walks the full state machine with scripted
+// probe outcomes: healthy → suspect after 2 misses, one success clears
+// suspicion, down after 4 misses (forcing the breaker open), a success
+// from down starts recovering, a miss while recovering is down again,
+// and 2 consecutive successes restore healthy (resetting the breaker).
+func TestDetectorTransitions(t *testing.T) {
+	const peer = "http://peer.test"
+	n := detectorNode(t, peer)
+	d := newDetector(n, time.Second, func(string) bool { return false })
+
+	step := func(ok bool, want PeerState) {
+		t.Helper()
+		d.observe(peer, ok)
+		if got := d.state(peer); got != want {
+			t.Fatalf("after observe(%v): state = %s, want %s", ok, got, want)
+		}
+	}
+
+	step(false, PeerHealthy) // miss 1
+	step(false, PeerSuspect) // miss 2
+	step(true, PeerHealthy)  // one success clears suspicion outright
+
+	step(false, PeerHealthy)
+	step(false, PeerSuspect)
+	step(false, PeerSuspect) // miss 3
+	step(false, PeerDown)    // miss 4
+	if got := n.BreakerStates()[peer]; got != "open" {
+		t.Fatalf("down edge left the breaker %q, want open", got)
+	}
+	if got := n.peerStateGauge(peer).Value(); got != int64(PeerDown) {
+		t.Errorf("peer state gauge = %d, want %d", got, PeerDown)
+	}
+
+	step(true, PeerRecovering)
+	step(false, PeerDown) // a relapse while recovering is down again
+	step(true, PeerRecovering)
+	step(true, PeerHealthy) // healthyAfterOKs consecutive successes
+	if got := n.BreakerStates()[peer]; got != "closed" {
+		t.Fatalf("recovery edge left the breaker %q, want closed", got)
+	}
+	if got := n.peerStateGauge(peer).Value(); got != int64(PeerHealthy) {
+		t.Errorf("peer state gauge = %d, want %d", got, PeerHealthy)
+	}
+}
+
+// TestDetectorSuspectClearLeavesBreakerAlone: a suspect→healthy edge
+// is not a recovery from down, so it must not reset a breaker that
+// tripped organically on call failures.
+func TestDetectorSuspectClearLeavesBreakerAlone(t *testing.T) {
+	const peer = "http://peer.test"
+	n := detectorNode(t, peer)
+	d := newDetector(n, time.Second, func(string) bool { return false })
+
+	n.breakerFor(peer).forceOpen()
+	d.observe(peer, false)
+	d.observe(peer, false) // suspect
+	d.observe(peer, true)  // healthy again, but never went down
+	if got := n.BreakerStates()[peer]; got != "open" {
+		t.Fatalf("suspect→healthy reset the breaker to %q; only a down→healthy recovery may", got)
+	}
+}
+
+func TestDetectorUnknownPeerIsHealthy(t *testing.T) {
+	n := detectorNode(t)
+	d := newDetector(n, time.Second, func(string) bool { return false })
+	if got := d.state("http://never-seen.test"); got != PeerHealthy {
+		t.Fatalf("state of unobserved peer = %s, want healthy", got)
+	}
+}
+
+// TestDetectorTickPrunesRemovedPeers: each tick re-derives the probe
+// set from the ring, skips self, and drops state for removed members.
+func TestDetectorTickPrunesRemovedPeers(t *testing.T) {
+	peers := []string{"http://a.test", "http://b.test"}
+	n := detectorNode(t, peers...)
+	probed := map[string]int{}
+	d := newDetector(n, time.Second, func(p string) bool {
+		probed[p]++
+		return false
+	})
+
+	d.tick()
+	if probed["http://a.test"] != 1 || probed["http://b.test"] != 1 {
+		t.Fatalf("first tick probed %v, want each peer once", probed)
+	}
+	if probed["http://self.test"] != 0 {
+		t.Fatal("tick probed self")
+	}
+	if len(d.states()) != 2 {
+		t.Fatalf("states = %v, want both peers observed", d.states())
+	}
+
+	n.SetMembers([]string{"http://a.test"})
+	d.tick()
+	if _, ok := d.states()["http://b.test"]; ok {
+		t.Fatal("removed peer's detector state was not pruned")
+	}
+	if probed["http://b.test"] != 1 {
+		t.Fatalf("removed peer probed %d times, want 1 (pre-removal only)", probed["http://b.test"])
+	}
+	if probed["http://a.test"] != 2 {
+		t.Fatalf("remaining peer probed %d times, want 2", probed["http://a.test"])
+	}
+}
+
+// TestHTTPProbe exercises the production heartbeat against a real
+// listener: 200 from /cluster/health passes, any other status or a
+// refused connection fails.
+func TestHTTPProbe(t *testing.T) {
+	n := detectorNode(t)
+	status := http.StatusOK
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/cluster/health" {
+			t.Errorf("probe hit %s, want /cluster/health", r.URL.Path)
+		}
+		w.WriteHeader(status)
+	}))
+	defer srv.Close()
+
+	d := newDetector(n, 500*time.Millisecond, nil)
+	if !d.probe(srv.URL) {
+		t.Error("probe against a healthy peer failed")
+	}
+	status = http.StatusInternalServerError
+	if d.probe(srv.URL) {
+		t.Error("probe succeeded on a 500")
+	}
+	srv.Close()
+	if d.probe(srv.URL) {
+		t.Error("probe succeeded against a closed listener")
+	}
+}
+
+// TestHealthEndpoint: the heartbeat target answers 200 with the node's
+// identity and takes no data-path locks worth failing over.
+func TestHealthEndpoint(t *testing.T) {
+	n := detectorNode(t)
+	req := httptest.NewRequest(http.MethodGet, "/cluster/health", nil)
+	rw := httptest.NewRecorder()
+	n.Handler().ServeHTTP(rw, req)
+	if rw.Code != http.StatusOK {
+		t.Fatalf("GET /cluster/health = %d, want 200", rw.Code)
+	}
+	if body := rw.Body.String(); !strings.Contains(body, `"ok"`) || !strings.Contains(body, "http://self.test") {
+		t.Errorf("health body = %s, want self URL and ok status", body)
+	}
+}

@@ -16,7 +16,8 @@ import (
 //	POST /cluster/replicate  — concatenated WAL frames; applied in order
 //	GET  /cluster/epochs     — every dataset's replication position
 //	GET  /cluster/snapshot   — ?dataset=N: one framed register record
-//	GET  /cluster/status     — membership and role summary
+//	GET  /cluster/status     — membership, role, peer-health summary
+//	GET  /cluster/health     — heartbeat probe target (200 while serving)
 //
 // The replicate body is the exact framed encoding the WAL writes, so
 // a cut or corrupted stream is rejected by the same CRC + structural
@@ -42,12 +43,21 @@ type epochsResponse struct {
 	Datasets []registry.EpochInfo `json:"datasets"`
 }
 
-// statusResponse summarizes the node for operators.
+// statusResponse summarizes the node for operators, including the
+// failure detector's view of each peer and circuit-breaker states.
 type statusResponse struct {
-	Self     string   `json:"self"`
-	Members  []string `json:"members"`
-	Datasets int      `json:"datasets"`
-	Led      int      `json:"led"`
+	Self     string            `json:"self"`
+	Members  []string          `json:"members"`
+	Datasets int               `json:"datasets"`
+	Led      int               `json:"led"`
+	Peers    map[string]string `json:"peers,omitempty"`
+	Breakers map[string]string `json:"breakers,omitempty"`
+}
+
+// healthResponse is the heartbeat probe body.
+type healthResponse struct {
+	Self   string `json:"self"`
+	Status string `json:"status"`
 }
 
 // Handler returns the peer-facing endpoints, paths included (mount at
@@ -58,6 +68,7 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("GET /cluster/epochs", n.handleEpochs)
 	mux.HandleFunc("GET /cluster/snapshot", n.handleSnapshot)
 	mux.HandleFunc("GET /cluster/status", n.handleStatus)
+	mux.HandleFunc("GET /cluster/health", n.handleHealth)
 	return mux
 }
 
@@ -144,7 +155,20 @@ func (n *Node) handleStatus(w http.ResponseWriter, _ *http.Request) {
 			led++
 		}
 	}
+	peers := make(map[string]string)
+	for p, st := range n.PeerStates() {
+		peers[p] = st.String()
+	}
 	clusterJSON(w, http.StatusOK, statusResponse{
 		Self: n.self, Members: n.Members(), Datasets: len(eps), Led: led,
+		Peers: peers, Breakers: n.BreakerStates(),
 	})
+}
+
+// handleHealth answers heartbeat probes. It is deliberately minimal —
+// no locks shared with the data path — so a node drowning in
+// replication traffic still answers heartbeats and is not declared
+// down while making progress.
+func (n *Node) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	clusterJSON(w, http.StatusOK, healthResponse{Self: n.self, Status: "ok"})
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -22,12 +23,21 @@ const (
 	metricShipErrors  = "deepeye_cluster_ship_errors_total"
 	metricResyncs     = "deepeye_cluster_resyncs_total"
 	metricQueueDepth  = "deepeye_cluster_queue_depth"
+	metricQueueBytes  = "deepeye_cluster_queue_bytes"
+	metricPending     = "deepeye_cluster_pending_resyncs"
+	metricDropped     = "deepeye_cluster_dropped_records_total"
+	metricCollapsed   = "deepeye_cluster_collapsed_records_total"
 	metricLag         = "deepeye_cluster_replication_lag_seconds"
 	metricApplied     = "deepeye_cluster_applied_records_total"
 	metricApplyErrors = "deepeye_cluster_apply_errors_total"
 	metricPulled      = "deepeye_cluster_pulled_snapshots_total"
 	metricWaits       = "deepeye_cluster_catchup_waits_total"
 	metricWaitTimeout = "deepeye_cluster_catchup_timeouts_total"
+	metricPeerState   = "deepeye_cluster_peer_state"
+	metricBreaker     = "deepeye_cluster_breaker_state"
+	metricTrips       = "deepeye_cluster_breaker_trips_total"
+	metricAERuns      = "deepeye_cluster_antientropy_runs_total"
+	metricAEErrors    = "deepeye_cluster_antientropy_errors_total"
 )
 
 // Machine-readable replicate-failure reasons.
@@ -58,7 +68,10 @@ type Config struct {
 	Registry *registry.Registry
 	// Obs receives the cluster metrics; nil uses obs.Default.
 	Obs *obs.Registry
-	// Client performs peer HTTP calls; nil uses a short-timeout default.
+	// Client performs peer HTTP calls; nil uses http.DefaultClient
+	// semantics with no transport timeout — every peer call carries its
+	// own context deadline (PeerTimeout), so a hung peer is bounded
+	// per call rather than by a blanket client timeout.
 	Client *http.Client
 	// Now overrides the clock; nil uses time.Now.
 	Now func() time.Time
@@ -69,6 +82,31 @@ type Config struct {
 	// to reach the client's epoch token before proxying to the leader.
 	// Default 2s.
 	CatchupWait time.Duration
+	// PeerTimeout is the per-call deadline on peer HTTP requests
+	// (replication posts, snapshot pulls, forwarded traffic through
+	// PeerDo). Default 10s.
+	PeerTimeout time.Duration
+	// HeartbeatInterval enables the failure detector: every interval
+	// each peer is probed via GET /cluster/health and walked through the
+	// healthy → suspect → down → recovering state machine. 0 disables
+	// the detector (breakers still trip organically on call failures).
+	HeartbeatInterval time.Duration
+	// AntiEntropyInterval enables the periodic repair loop: on a
+	// jittered interval the node fingerprint-compares its view of each
+	// peer's led datasets and pulls snapshots for divergence. 0 disables
+	// the loop (SyncAll on membership events remains the only pull).
+	AntiEntropyInterval time.Duration
+	// ShipQueueBytes caps each peer shipper's queue; overflow collapses
+	// queued records into per-dataset pending-resync markers so a dead
+	// peer costs O(datasets) memory, not O(writes). Default 32 MiB;
+	// negative means unbounded.
+	ShipQueueBytes int64
+	// BreakerThreshold is the consecutive peer-call failures that trip a
+	// circuit breaker open. Default 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses calls before
+	// admitting a half-open probe. Default 1s.
+	BreakerCooldown time.Duration
 }
 
 // Node is one cluster member: the consistent-hash router, the
@@ -83,9 +121,17 @@ type Node struct {
 	sleep       func(time.Duration)
 	catchupWait time.Duration
 
+	peerTimeout      time.Duration
+	shipQueueBytes   int64
+	breakerThreshold int
+	breakerCooldown  time.Duration
+
+	detector *detector // nil when heartbeats are disabled
+
 	mu       sync.Mutex
 	ring     *ring
 	shippers map[string]*shipper
+	breakers map[string]*breaker
 
 	closeOnce sync.Once
 	closeCh   chan struct{}
@@ -98,6 +144,8 @@ type Node struct {
 	pulled      *obs.Counter
 	waits       *obs.Counter
 	waitTimeout *obs.Counter
+	aeRuns      *obs.Counter
+	aeErrors    *obs.Counter
 }
 
 // New builds a node over cfg.Peers and installs the registry commit
@@ -116,7 +164,10 @@ func New(cfg Config) (*Node, error) {
 	}
 	client := cfg.Client
 	if client == nil {
-		client = &http.Client{Timeout: 30 * time.Second}
+		// No blanket client timeout: every peer call carries a per-call
+		// context deadline (peerTimeout), which bounds hung peers without
+		// capping legitimately slow bulk transfers the same way.
+		client = &http.Client{}
 	}
 	now := cfg.Now
 	if now == nil {
@@ -130,13 +181,36 @@ func New(cfg Config) (*Node, error) {
 	if wait <= 0 {
 		wait = 2 * time.Second
 	}
+	peerTimeout := cfg.PeerTimeout
+	if peerTimeout <= 0 {
+		peerTimeout = 10 * time.Second
+	}
+	queueBytes := cfg.ShipQueueBytes
+	if queueBytes == 0 {
+		queueBytes = 32 << 20
+	} else if queueBytes < 0 {
+		queueBytes = 0 // explicit opt-out: unbounded
+	}
+	threshold := cfg.BreakerThreshold
+	if threshold <= 0 {
+		threshold = 5
+	}
+	cooldown := cfg.BreakerCooldown
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
 	n := &Node{
 		self: cfg.Self, reg: cfg.Registry, obs: reg,
 		client: client, now: now, sleep: sleep, catchupWait: wait,
-		shippers: make(map[string]*shipper),
-		closeCh:  make(chan struct{}),
-		membersG: reg.Gauge(metricMembers, "Cluster members in the current ring."),
-		ledG:     reg.Gauge(metricLedDatasets, "Datasets this node currently leads."),
+		peerTimeout:      peerTimeout,
+		shipQueueBytes:   queueBytes,
+		breakerThreshold: threshold,
+		breakerCooldown:  cooldown,
+		shippers:         make(map[string]*shipper),
+		breakers:         make(map[string]*breaker),
+		closeCh:          make(chan struct{}),
+		membersG:         reg.Gauge(metricMembers, "Cluster members in the current ring."),
+		ledG:             reg.Gauge(metricLedDatasets, "Datasets this node currently leads."),
 		applied: reg.Counter(metricApplied,
 			"Replicated records applied from peers."),
 		applyErrors: reg.Counter(metricApplyErrors,
@@ -147,9 +221,22 @@ func New(cfg Config) (*Node, error) {
 			"Follower reads that waited for replication to reach the client's epoch token."),
 		waitTimeout: reg.Counter(metricWaitTimeout,
 			"Catch-up waits that timed out (the read proxied to the leader)."),
+		aeRuns: reg.Counter(metricAERuns,
+			"Anti-entropy repair passes completed."),
+		aeErrors: reg.Counter(metricAEErrors,
+			"Anti-entropy passes that hit at least one peer error."),
 	}
 	n.setMembersLocked(append([]string{cfg.Self}, cfg.Peers...))
 	cfg.Registry.SetOnCommit(n.onCommit)
+	if cfg.HeartbeatInterval > 0 {
+		n.detector = newDetector(n, cfg.HeartbeatInterval, nil)
+		n.wg.Add(1)
+		go func() { defer n.wg.Done(); n.detector.run() }()
+	}
+	if cfg.AntiEntropyInterval > 0 {
+		n.wg.Add(1)
+		go func() { defer n.wg.Done(); n.antiEntropyLoop(cfg.AntiEntropyInterval) }()
+	}
 	return n, nil
 }
 
@@ -192,6 +279,106 @@ func (n *Node) IsLeader(name string) bool { return n.Leader(name) == n.self }
 // write forwarder shares it).
 func (n *Node) Client() *http.Client { return n.client }
 
+// PeerTimeout returns the per-call deadline peer requests run under.
+func (n *Node) PeerTimeout() time.Duration { return n.peerTimeout }
+
+// breakerFor returns (lazily creating) the peer's circuit breaker.
+func (n *Node) breakerFor(peer string) *breaker {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	b, ok := n.breakers[peer]
+	if !ok {
+		b = newBreaker(n.breakerThreshold, n.breakerCooldown, n.now,
+			n.obs.Gauge(metricBreaker,
+				"Circuit breaker state toward the peer (0 closed, 1 open, 2 half-open).", "peer", peer),
+			n.obs.Counter(metricTrips, "Circuit breaker open transitions.", "peer", peer))
+		n.breakers[peer] = b
+	}
+	return b
+}
+
+// PeerDo performs one peer HTTP request through the peer's circuit
+// breaker under the node's per-call deadline. When the breaker is open
+// it fails fast with ErrPeerDown — the caller answers its client with
+// 503 + Retry-After instead of stacking transport timeouts. Any HTTP
+// response (even a 5xx) counts as breaker success: the transport
+// works, and application-level failures are the caller's to interpret.
+func (n *Node) PeerDo(peer string, req *http.Request) (*http.Response, error) {
+	b := n.breakerFor(peer)
+	if !b.allow() {
+		return nil, ErrPeerDown
+	}
+	ctx, cancel := context.WithTimeout(req.Context(), n.peerTimeout)
+	resp, err := n.client.Do(req.WithContext(ctx))
+	if err != nil {
+		cancel()
+		b.failure()
+		return nil, err
+	}
+	b.success()
+	// Tie the cancel to body close so the caller streams under the
+	// same deadline.
+	resp.Body = &cancelOnClose{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+// cancelOnClose releases a request context when the response body is
+// closed.
+type cancelOnClose struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnClose) Close() error {
+	err := c.ReadCloser.Close()
+	c.cancel()
+	return err
+}
+
+// peerStateGauge is the detector's export hook for one peer's state.
+func (n *Node) peerStateGauge(peer string) *obs.Gauge {
+	return n.obs.Gauge(metricPeerState,
+		"Failure-detector peer state (0 healthy, 1 suspect, 2 down, 3 recovering).", "peer", peer)
+}
+
+// peerWentDown is the detector's down-edge hook: trip the breaker now
+// so forwarded traffic fails fast before its own calls would have.
+func (n *Node) peerWentDown(peer string) {
+	n.breakerFor(peer).forceOpen()
+}
+
+// peerCameBack is the detector's recovery hook: close the breaker and
+// wake the peer's shipper out of any backoff sleep.
+func (n *Node) peerCameBack(peer string) {
+	n.breakerFor(peer).reset()
+	n.mu.Lock()
+	s := n.shippers[peer]
+	n.mu.Unlock()
+	if s != nil {
+		s.kick()
+	}
+}
+
+// PeerStates reports the failure detector's view of every observed
+// peer (empty when heartbeats are disabled).
+func (n *Node) PeerStates() map[string]PeerState {
+	if n.detector == nil {
+		return map[string]PeerState{}
+	}
+	return n.detector.states()
+}
+
+// BreakerStates reports each peer breaker's state by name.
+func (n *Node) BreakerStates() map[string]string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]string, len(n.breakers))
+	for peer, b := range n.breakers {
+		out[peer] = breakerName(b.snapshot())
+	}
+	return out
+}
+
 // SetMembers replaces the member ring: shippers are started for new
 // peers and stopped for removed ones, and every dataset's replica flag
 // is re-derived from the new ring — a dataset this node now leads
@@ -216,6 +403,7 @@ func (n *Node) setMembersLocked(peers []string) {
 		if !live[peer] {
 			s.stop()
 			delete(n.shippers, peer)
+			delete(n.breakers, peer)
 		}
 	}
 	for peer := range live {
@@ -294,7 +482,7 @@ func (n *Node) SyncAll() error {
 // is missing or behind. Datasets the peer holds but does not lead are
 // ignored — each dataset is pulled from its leader exactly once.
 func (n *Node) SyncFrom(peer string) error {
-	resp, err := n.client.Get(peer + "/cluster/epochs")
+	resp, err := n.getPeer(peer + "/cluster/epochs")
 	if err != nil {
 		return fmt.Errorf("cluster: epochs from %s: %w", peer, err)
 	}
@@ -329,7 +517,7 @@ func (n *Node) SyncFrom(peer string) error {
 // pullSnapshot fetches one dataset's register record from its leader
 // and applies it through the verified replication path.
 func (n *Node) pullSnapshot(peer, name string) error {
-	resp, err := n.client.Get(peer + "/cluster/snapshot?dataset=" + name)
+	resp, err := n.getPeer(peer + "/cluster/snapshot?dataset=" + name)
 	if err != nil {
 		return fmt.Errorf("cluster: snapshot %q from %s: %w", name, peer, err)
 	}
@@ -353,6 +541,24 @@ func (n *Node) pullSnapshot(peer, name string) error {
 	}
 	n.pulled.Inc()
 	return nil
+}
+
+// getPeer GETs a peer URL under the node's per-call deadline. The
+// returned body must be closed; closing releases the deadline.
+func (n *Node) getPeer(url string) (*http.Response, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), n.peerTimeout)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp.Body = &cancelOnClose{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
 }
 
 // closed reports whether Close has begun.

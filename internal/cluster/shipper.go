@@ -2,9 +2,13 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
+	"math/rand"
 	"net/http"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -12,42 +16,107 @@ import (
 	"github.com/deepeye/deepeye/internal/wal"
 )
 
+// Backoff schedule shared by every retry sleep in the shipper: a
+// doubling base capped at maxBackoff, a peer-supplied Retry-After hint
+// honored up to maxRetryAfter, and ±half jitter so shippers across the
+// cluster never retry in lockstep after a shared outage.
+const (
+	baseBackoff   = 5 * time.Millisecond
+	maxBackoff    = 2 * time.Second
+	maxRetryAfter = 10 * time.Second
+)
+
 // queued is one commit record awaiting shipment, stamped at commit
 // time so the ack measures end-to-end replication lag.
 type queued struct {
-	rec *wal.Record
-	at  time.Time
+	rec   *wal.Record
+	at    time.Time
+	bytes int64
+}
+
+// recordBytes approximates one record's queue memory cost: the string
+// payload plus a fixed per-row/per-cell overhead. It only needs to be
+// proportional to the real footprint for the queue cap to bound
+// memory.
+func recordBytes(rec *wal.Record) int64 {
+	n := int64(len(rec.Name)) + 64
+	for _, c := range rec.Cols {
+		n += int64(len(c.Name)) + 2
+	}
+	n += int64(len(rec.Cells)) * 24
+	for _, cell := range rec.Cells {
+		n += int64(len(cell.Raw))
+	}
+	for _, row := range rec.RawRows {
+		n += 24
+		for _, cell := range row {
+			n += int64(len(cell)) + 16
+		}
+	}
+	n += int64(len(rec.PrevFingerprint) + len(rec.Fingerprint))
+	return n
 }
 
 // shipper drains one peer's ordered replication queue. Records for a
 // peer always leave in commit order; a slow or dead peer delays only
-// its own queue. On an out-of-sync response the shipper sends the
-// dataset's current snapshot — captured at-or-after the failed
-// record's commit, so it subsumes it — and skips the failed record;
-// followers recognize the re-deliveries that follow by epoch.
+// its own queue. The queue is byte-bounded: overflow collapses the
+// queued records into per-dataset pending-resync markers (correct
+// because a snapshot captured at ship time subsumes every record
+// committed before it — the existing resync contract), so a dead peer
+// costs O(datasets) memory instead of O(writes). On an out-of-sync
+// response the shipper sends the dataset's current snapshot and skips
+// the failed record; followers recognize the re-deliveries that
+// follow by epoch.
 type shipper struct {
-	n    *Node
-	peer string
+	n        *Node
+	peer     string
+	maxBytes int64
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []queued
-	stopped bool
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queue      []queued
+	queueBytes int64
+	pending    map[string]bool // datasets collapsed to a resync marker
+	inflight   int             // records taken but not yet acked or dropped
+	stopped    bool
 
-	shipped *obs.Counter
-	errs    *obs.Counter
-	resyncs *obs.Counter
-	depth   *obs.Gauge
-	lag     *obs.Histogram
+	kickCh chan struct{} // interrupts backoff when the peer recovers
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	shipped   *obs.Counter
+	errs      *obs.Counter
+	resyncs   *obs.Counter
+	dropped   *obs.Counter
+	collapsed *obs.Counter
+	depth     *obs.Gauge
+	qbytes    *obs.Gauge
+	pendingG  *obs.Gauge
+	lag       *obs.Histogram
 }
 
 func newShipper(n *Node, peer string) *shipper {
+	var seed int64
+	for _, b := range []byte(n.self + "→" + peer) {
+		seed = seed*131 + int64(b)
+	}
 	s := &shipper{
 		n: n, peer: peer,
-		shipped: n.obs.Counter(metricShipped, "Records acknowledged by the peer.", "peer", peer),
-		errs:    n.obs.Counter(metricShipErrors, "Replication attempts that failed.", "peer", peer),
-		resyncs: n.obs.Counter(metricResyncs, "Snapshot resyncs sent to the peer.", "peer", peer),
-		depth:   n.obs.Gauge(metricQueueDepth, "Records queued for the peer.", "peer", peer),
+		maxBytes: n.shipQueueBytes,
+		pending:  make(map[string]bool),
+		kickCh:   make(chan struct{}, 1),
+		rng:      rand.New(rand.NewSource(seed)),
+		shipped:  n.obs.Counter(metricShipped, "Records acknowledged by the peer.", "peer", peer),
+		errs:     n.obs.Counter(metricShipErrors, "Replication attempts that failed.", "peer", peer),
+		resyncs:  n.obs.Counter(metricResyncs, "Snapshot resyncs sent to the peer.", "peer", peer),
+		dropped: n.obs.Counter(metricDropped,
+			"Records abandoned on a non-retryable peer response (the dataset is marked for snapshot resync).", "peer", peer),
+		collapsed: n.obs.Counter(metricCollapsed,
+			"Records subsumed into a pending snapshot resync instead of shipped individually.", "peer", peer),
+		depth:    n.obs.Gauge(metricQueueDepth, "Records queued or in flight (unacknowledged) toward the peer.", "peer", peer),
+		qbytes:   n.obs.Gauge(metricQueueBytes, "Bytes held in the peer's replication queue (bounded by the queue cap).", "peer", peer),
+		pendingG: n.obs.Gauge(metricPending, "Datasets awaiting a snapshot resync to the peer.", "peer", peer),
 		lag: n.obs.Histogram(metricLag,
 			"Seconds from local commit to peer acknowledgement.", nil, "peer", peer),
 	}
@@ -55,13 +124,57 @@ func newShipper(n *Node, peer string) *shipper {
 	return s
 }
 
+// enqueue adds one committed record, collapsing to pending-resync
+// markers on overflow. Runs under registry locks (via the commit
+// hook), so it never blocks or performs I/O.
 func (s *shipper) enqueue(q queued) {
 	s.mu.Lock()
-	if !s.stopped {
-		s.queue = append(s.queue, q)
-		s.depth.Set(int64(len(s.queue)))
-		s.cond.Signal()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return
 	}
+	if s.pending[q.rec.Name] {
+		// A pending snapshot already subsumes this record: the snapshot
+		// is captured when the resync ships, at-or-after this commit.
+		s.collapsed.Inc()
+		s.cond.Signal()
+		return
+	}
+	q.bytes = recordBytes(q.rec)
+	if s.maxBytes > 0 && s.queueBytes+q.bytes > s.maxBytes {
+		// Overflow: fold the whole queue (and, if oversized on its own,
+		// the new record too) into per-dataset resync markers.
+		for _, old := range s.queue {
+			s.pending[old.rec.Name] = true
+		}
+		s.collapsed.Add(len(s.queue))
+		s.queue = nil
+		s.queueBytes = 0
+		if q.bytes > s.maxBytes || s.pending[q.rec.Name] {
+			s.pending[q.rec.Name] = true
+			s.collapsed.Inc()
+		} else {
+			s.queue = append(s.queue, q)
+			s.queueBytes += q.bytes
+		}
+	} else {
+		s.queue = append(s.queue, q)
+		s.queueBytes += q.bytes
+	}
+	s.gaugesLocked()
+	s.cond.Signal()
+}
+
+// markResync flags a dataset for snapshot resync on the next cycle
+// (used by the drop path so a rejected batch heals by snapshot instead
+// of waiting for a restart or membership event).
+func (s *shipper) markResync(names ...string) {
+	s.mu.Lock()
+	for _, name := range names {
+		s.pending[name] = true
+	}
+	s.gaugesLocked()
+	s.cond.Signal()
 	s.mu.Unlock()
 }
 
@@ -78,6 +191,16 @@ func (s *shipper) wake() {
 	s.mu.Unlock()
 }
 
+// kick interrupts an in-progress backoff sleep (the failure detector
+// saw the peer answer heartbeats again).
+func (s *shipper) kick() {
+	select {
+	case s.kickCh <- struct{}{}:
+	default:
+	}
+	s.wake()
+}
+
 func (s *shipper) done() bool {
 	s.mu.Lock()
 	stopped := s.stopped
@@ -85,47 +208,117 @@ func (s *shipper) done() bool {
 	return stopped || s.n.closed()
 }
 
-// take blocks for the next batch (the whole queue), returning nil on
-// shutdown.
-func (s *shipper) take() []queued {
+// take blocks for the next work cycle: the datasets needing a snapshot
+// resync (shipped first — later queued records for them are duplicates
+// the follower skips by epoch) and the queued record batch. Returns
+// (nil, nil) on shutdown. Taken records count as in-flight until acked
+// or dropped, so the depth gauge reads true backlog while a batch
+// retries against a dead peer.
+func (s *shipper) take() (batch []queued, resyncs []string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for len(s.queue) == 0 {
+	for len(s.queue) == 0 && len(s.pending) == 0 {
 		if s.stopped || s.n.closed() {
-			return nil
+			return nil, nil
 		}
 		s.cond.Wait()
 	}
-	batch := s.queue
+	if len(s.pending) > 0 {
+		resyncs = make([]string, 0, len(s.pending))
+		for name := range s.pending {
+			resyncs = append(resyncs, name)
+		}
+		sort.Strings(resyncs)
+		s.pending = make(map[string]bool)
+	}
+	batch = s.queue
 	s.queue = nil
-	s.depth.Set(0)
-	return batch
+	s.queueBytes = 0
+	s.inflight += len(batch)
+	s.gaugesLocked()
+	return batch, resyncs
+}
+
+// release returns n in-flight records to the books (acked, dropped, or
+// subsumed by a resync).
+func (s *shipper) release(n int) {
+	if n == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.inflight -= n
+	s.gaugesLocked()
+	s.mu.Unlock()
+}
+
+func (s *shipper) gaugesLocked() {
+	s.depth.Set(int64(len(s.queue) + s.inflight))
+	s.qbytes.Set(s.queueBytes)
+	s.pendingG.Set(int64(len(s.pending)))
 }
 
 func (s *shipper) run() {
 	for {
-		batch := s.take()
-		if batch == nil {
+		batch, resyncs := s.take()
+		if batch == nil && resyncs == nil {
 			return
 		}
-		s.ship(batch)
+		for _, name := range resyncs {
+			s.resync(name)
+		}
+		if len(batch) > 0 {
+			s.ship(batch)
+		}
 	}
 }
 
-// backoff sleeps with doubling delay, aborting early on shutdown.
-func (s *shipper) backoff(attempt int) {
-	d := 5 * time.Millisecond << uint(min(attempt, 6))
+// retryDelay computes one capped, jittered backoff sleep. A peer's
+// Retry-After hint (bounded by maxRetryAfter) raises the floor — the
+// peer knows its own recovery schedule better than our doubling does.
+func (s *shipper) retryDelay(attempt int, retryAfter time.Duration) time.Duration {
+	d := baseBackoff << uint(min(attempt, 12))
+	if d > maxBackoff || d <= 0 {
+		d = maxBackoff
+	}
+	if retryAfter > 0 {
+		if retryAfter > maxRetryAfter {
+			retryAfter = maxRetryAfter
+		}
+		if retryAfter > d {
+			d = retryAfter
+		}
+	}
+	half := d / 2
+	s.rngMu.Lock()
+	jit := time.Duration(s.rng.Int63n(int64(half) + 1))
+	s.rngMu.Unlock()
+	return half + jit
+}
+
+// backoff sleeps the retry delay, aborting early on shutdown or a
+// recovery kick from the failure detector.
+func (s *shipper) backoff(attempt int, retryAfter time.Duration) {
+	t := time.NewTimer(s.retryDelay(attempt, retryAfter))
+	defer t.Stop()
 	select {
 	case <-s.n.closeCh:
-	case <-time.After(d):
+	case <-s.kickCh:
+	case <-t.C:
 	}
 }
 
 // ship delivers a batch, retrying transient failures in order and
-// resync-then-skipping records the peer cannot accept.
+// resync-then-skipping records the peer cannot accept. Every record
+// leaves the in-flight ledger exactly once: acked, subsumed by a
+// resync, dropped on a non-retryable response, or released on
+// shutdown.
 func (s *shipper) ship(batch []queued) {
 	attempt := 0
-	for len(batch) > 0 && !s.done() {
+	for len(batch) > 0 {
+		if s.done() {
+			s.release(len(batch))
+			return
+		}
 		frames := make([]byte, 0, 1024)
 		ok := true
 		for _, q := range batch {
@@ -138,18 +331,20 @@ func (s *shipper) ship(batch []queued) {
 			frames = append(frames, f...)
 		}
 		if !ok {
+			s.release(len(batch))
 			return // unreachable: committed records always encode
 		}
-		status, reply, err := s.post(frames)
+		status, reply, retryAfter, err := s.post(frames)
 		if err != nil {
 			s.errs.Inc()
-			s.backoff(attempt)
+			s.backoff(attempt, 0)
 			attempt++
 			continue
 		}
 		switch status {
 		case http.StatusOK:
 			s.acked(batch)
+			s.release(len(batch))
 			return
 		case http.StatusConflict, http.StatusUnprocessableEntity:
 			idx := reply.Index
@@ -157,28 +352,51 @@ func (s *shipper) ship(batch []queued) {
 				idx = 0
 			}
 			s.acked(batch[:idx])
+			s.release(idx)
 			if status == http.StatusUnprocessableEntity {
 				// The peer proved the record cannot apply verbatim; the
 				// snapshot below re-establishes its state instead.
 				s.errs.Inc()
 			}
 			s.resync(batch[idx].rec.Name)
+			s.release(1) // the skipped record, subsumed by the snapshot
 			batch = batch[idx+1:]
 			attempt = 0
 		case http.StatusServiceUnavailable:
-			// Peer degraded (read-only); keep trying — it refuses to
-			// serve rather than diverge, and heals by restart + sync.
+			// Peer degraded (read-only) or shedding; keep trying at the
+			// pace it asked for — it refuses to serve rather than
+			// diverge, and heals by restart + sync.
 			s.errs.Inc()
-			s.backoff(attempt)
+			s.backoff(attempt, retryAfter)
 			attempt++
 		default:
-			// 400/500: not record-addressable; drop the batch rather
-			// than hot-loop. SyncFrom heals the gap on the next
-			// membership event or restart.
+			// 400/500: not record-addressable. Drop the batch rather than
+			// hot-loop, but mark every affected dataset for snapshot
+			// resync so the gap heals on the next cycle instead of
+			// waiting for a restart or membership event (anti-entropy
+			// covers the remainder).
 			s.errs.Inc()
+			s.dropBatch(batch)
 			return
 		}
 	}
+}
+
+// dropBatch abandons undeliverable records: counted as dropped,
+// released from the in-flight ledger, and their datasets queued for
+// snapshot resync.
+func (s *shipper) dropBatch(batch []queued) {
+	names := make([]string, 0, len(batch))
+	seen := make(map[string]bool, len(batch))
+	for _, q := range batch {
+		if !seen[q.rec.Name] {
+			seen[q.rec.Name] = true
+			names = append(names, q.rec.Name)
+		}
+	}
+	s.dropped.Add(len(batch))
+	s.release(len(batch))
+	s.markResync(names...)
 }
 
 // acked counts delivered records and observes their commit-to-ack lag.
@@ -194,12 +412,15 @@ func (s *shipper) acked(batch []queued) {
 }
 
 // resync ships the dataset's current snapshot record so the peer can
-// replace its diverged copy wholesale. A dataset dropped since has its
-// drop record already queued behind us — nothing to send.
+// replace its diverged copy wholesale. A dataset dropped since (its
+// drop record may itself have been collapsed into this marker) ships
+// a synthesized drop instead, so the peer deletes its copy rather
+// than keeping it forever; drops of missing datasets are idempotent
+// on the apply side.
 func (s *shipper) resync(name string) {
 	rec, ok := s.n.reg.SnapshotRecord(name)
 	if !ok {
-		return
+		rec = &wal.Record{Op: wal.OpDrop, Name: name, Reason: wal.DropDelete}
 	}
 	frame, err := wal.Encode(rec)
 	if err != nil {
@@ -207,10 +428,10 @@ func (s *shipper) resync(name string) {
 		return
 	}
 	for attempt := 0; !s.done(); attempt++ {
-		status, _, err := s.post(frame)
+		status, _, retryAfter, err := s.post(frame)
 		if err != nil || status == http.StatusServiceUnavailable {
 			s.errs.Inc()
-			s.backoff(attempt)
+			s.backoff(attempt, retryAfter)
 			continue
 		}
 		if status == http.StatusOK {
@@ -222,15 +443,32 @@ func (s *shipper) resync(name string) {
 	}
 }
 
-// post sends one framed stream to the peer's replicate endpoint.
-func (s *shipper) post(body []byte) (int, *replicateResponse, error) {
-	resp, err := s.n.client.Post(s.peer+"/cluster/replicate",
-		"application/octet-stream", bytes.NewReader(body))
+// post sends one framed stream to the peer's replicate endpoint under
+// a per-call deadline. The body is drained fully before close so the
+// keep-alive connection is reused under replication load, and the
+// peer's Retry-After hint (whole seconds) is surfaced to the backoff.
+func (s *shipper) post(body []byte) (int, *replicateResponse, time.Duration, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.n.peerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		s.peer+"/cluster/replicate", bytes.NewReader(body))
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := s.n.client.Do(req)
+	if err != nil {
+		return 0, nil, 0, err
 	}
 	defer resp.Body.Close()
 	var reply replicateResponse
 	_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&reply)
-	return resp.StatusCode, &reply, nil
+	_, _ = io.Copy(io.Discard, resp.Body)
+	var retryAfter time.Duration
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return resp.StatusCode, &reply, retryAfter, nil
 }

@@ -1,0 +1,425 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/deepeye/deepeye/internal/dataset"
+	"github.com/deepeye/deepeye/internal/obs"
+	"github.com/deepeye/deepeye/internal/registry"
+	"github.com/deepeye/deepeye/internal/wal"
+)
+
+const shipCSV = `region,amount,when
+north,12.5,2024-01-01
+south,30,2024-01-02
+east,22,2024-01-03
+`
+
+func shipTable(t testing.TB, name string) *dataset.Table {
+	t.Helper()
+	tbl, err := dataset.FromCSVString(name, shipCSV)
+	if err != nil {
+		t.Fatalf("building table: %v", err)
+	}
+	return tbl
+}
+
+// fakePeer is a real follower node behind a switchable HTTP front:
+// "ok" passes requests to the node's handler, "unavailable" answers
+// 503 (with an optional Retry-After), "broken" answers 500.
+type fakePeer struct {
+	reg        *registry.Registry
+	node       *Node
+	srv        *httptest.Server
+	mode       atomic.Value // "ok" | "unavailable" | "broken"
+	retryAfter atomic.Value // Retry-After header value in unavailable mode
+}
+
+func newFakePeer(t testing.TB) *fakePeer {
+	t.Helper()
+	reg := registry.New(registry.Config{Obs: obs.NewRegistry()})
+	node, err := New(Config{Self: "http://fake-follower.test", Registry: reg, Obs: obs.NewRegistry()})
+	if err != nil {
+		t.Fatalf("New follower: %v", err)
+	}
+	t.Cleanup(node.Close)
+	p := &fakePeer{reg: reg, node: node}
+	p.mode.Store("ok")
+	p.retryAfter.Store("")
+	h := node.Handler()
+	p.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch p.mode.Load().(string) {
+		case "unavailable":
+			if ra := p.retryAfter.Load().(string); ra != "" {
+				w.Header().Set("Retry-After", ra)
+			}
+			w.WriteHeader(http.StatusServiceUnavailable)
+		case "broken":
+			w.WriteHeader(http.StatusInternalServerError)
+		default:
+			h.ServeHTTP(w, r)
+		}
+	}))
+	t.Cleanup(p.srv.Close)
+	return p
+}
+
+// regState reads a registry's per-dataset epoch/fingerprint map — the
+// convergence criterion.
+func regState(reg *registry.Registry) map[string]string {
+	out := map[string]string{}
+	for _, ep := range reg.EpochList() {
+		out[ep.Name] = fmt.Sprintf("%d/%s", ep.Epoch, ep.Fingerprint)
+	}
+	return out
+}
+
+// ledName finds a dataset name the node's ring assigns to the node
+// itself, so its commits feed the shippers.
+func ledName(t testing.TB, n *Node, prefix string) string {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		name := fmt.Sprintf("%s-%d", prefix, i)
+		if n.IsLeader(name) {
+			return name
+		}
+	}
+	t.Fatal("no led dataset name found in 1000 tries")
+	return ""
+}
+
+func waitUntil(t testing.TB, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out after %v: %s", d, msg)
+}
+
+// appendRec builds a small append record for queue-accounting tests.
+func appendRec(name string) *wal.Record {
+	return &wal.Record{Op: wal.OpAppend, Name: name, RawRows: [][]string{{"aaaa", "bbbb"}}}
+}
+
+// TestShipperOverflowCollapsesToResyncMarkers drives enqueue/take
+// directly (no goroutine, no HTTP): overflow folds the queue into
+// per-dataset markers, records for marked datasets collapse instead of
+// queueing, queued bytes never exceed the cap, and the depth gauge
+// keeps counting taken records until they are released.
+func TestShipperOverflowCollapsesToResyncMarkers(t *testing.T) {
+	reg := registry.New(registry.Config{Obs: obs.NewRegistry()})
+	perRec := recordBytes(appendRec("a"))
+	n, err := New(Config{
+		Self: "http://solo.test", Registry: reg, Obs: obs.NewRegistry(),
+		ShipQueueBytes: 2*perRec + perRec/2, // two records fit, a third overflows
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(n.Close)
+
+	s := newShipper(n, "http://peer.test")
+	s.enqueue(queued{rec: appendRec("a"), at: time.Now()})
+	s.enqueue(queued{rec: appendRec("b"), at: time.Now()})
+	if got := len(s.queue); got != 2 {
+		t.Fatalf("queue length = %d, want 2 before overflow", got)
+	}
+	s.enqueue(queued{rec: appendRec("c"), at: time.Now()}) // overflow: a, b → markers; c queued
+	if got := len(s.queue); got != 1 || s.queue[0].rec.Name != "c" {
+		t.Fatalf("post-overflow queue = %d records, want just the new one", got)
+	}
+	if !s.pending["a"] || !s.pending["b"] {
+		t.Fatalf("pending = %v, want markers for a and b", s.pending)
+	}
+	if got := s.collapsed.Value(); got != 2 {
+		t.Fatalf("collapsed = %d, want 2", got)
+	}
+	if s.queueBytes > s.maxBytes {
+		t.Fatalf("queueBytes %d exceeds the %d cap", s.queueBytes, s.maxBytes)
+	}
+
+	// A record for an already-marked dataset is subsumed, not queued.
+	s.enqueue(queued{rec: appendRec("a"), at: time.Now()})
+	if got := len(s.queue); got != 1 {
+		t.Fatalf("record for a pending dataset was queued (len %d)", got)
+	}
+	if got := s.collapsed.Value(); got != 3 {
+		t.Fatalf("collapsed = %d, want 3", got)
+	}
+
+	batch, resyncs := s.take()
+	if want := []string{"a", "b"}; !reflect.DeepEqual(resyncs, want) {
+		t.Fatalf("take resyncs = %v, want %v", resyncs, want)
+	}
+	if len(batch) != 1 {
+		t.Fatalf("take batch = %d records, want 1", len(batch))
+	}
+	if got := s.depth.Value(); got != 1 {
+		t.Fatalf("depth gauge = %d after take, want 1 (in-flight records stay on the books)", got)
+	}
+	if got := s.qbytes.Value(); got != 0 {
+		t.Fatalf("queue bytes gauge = %d after take, want 0", got)
+	}
+	s.release(len(batch))
+	if got := s.depth.Value(); got != 0 {
+		t.Fatalf("depth gauge = %d after release, want 0", got)
+	}
+}
+
+// TestShipperOversizedRecordBecomesMarker: a record that alone exceeds
+// the cap never sits in the queue — it goes straight to a marker.
+func TestShipperOversizedRecordBecomesMarker(t *testing.T) {
+	reg := registry.New(registry.Config{Obs: obs.NewRegistry()})
+	n, err := New(Config{
+		Self: "http://solo.test", Registry: reg, Obs: obs.NewRegistry(),
+		ShipQueueBytes: 128,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(n.Close)
+
+	s := newShipper(n, "http://peer.test")
+	big := &wal.Record{Op: wal.OpAppend, Name: "huge", RawRows: make([][]string, 0, 64)}
+	for i := 0; i < 64; i++ {
+		big.RawRows = append(big.RawRows, []string{"row-value-a", "row-value-b"})
+	}
+	if recordBytes(big) <= s.maxBytes {
+		t.Fatalf("test record (%d bytes) does not exceed the %d cap", recordBytes(big), s.maxBytes)
+	}
+	s.enqueue(queued{rec: big, at: time.Now()})
+	if len(s.queue) != 0 {
+		t.Fatal("oversized record was queued instead of collapsed")
+	}
+	if !s.pending["huge"] {
+		t.Fatal("oversized record left no resync marker")
+	}
+}
+
+func TestShipperEnqueueAfterStopIgnored(t *testing.T) {
+	reg := registry.New(registry.Config{Obs: obs.NewRegistry()})
+	n, err := New(Config{Self: "http://solo.test", Registry: reg, Obs: obs.NewRegistry()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(n.Close)
+	s := newShipper(n, "http://peer.test")
+	s.stop()
+	s.enqueue(queued{rec: appendRec("a"), at: time.Now()})
+	if len(s.queue) != 0 || len(s.pending) != 0 {
+		t.Fatal("stopped shipper accepted a record")
+	}
+}
+
+// TestShipperRetryDelay pins the backoff contract: doubling base with
+// ±half jitter, hard cap at maxBackoff, and a peer Retry-After hint
+// raising the floor up to maxRetryAfter.
+func TestShipperRetryDelay(t *testing.T) {
+	s := &shipper{rng: rand.New(rand.NewSource(1))}
+	cases := []struct {
+		name       string
+		attempt    int
+		retryAfter time.Duration
+		lo, hi     time.Duration
+	}{
+		{"first attempt", 0, 0, baseBackoff / 2, baseBackoff},
+		{"fourth attempt", 4, 0, 40 * time.Millisecond, 80 * time.Millisecond},
+		{"attempt far past the cap", 50, 0, maxBackoff / 2, maxBackoff},
+		{"retry-after raises the floor", 0, 5 * time.Second, 2500 * time.Millisecond, 5 * time.Second},
+		{"retry-after clamped", 0, 30 * time.Second, maxRetryAfter / 2, maxRetryAfter},
+		{"retry-after below the backoff is ignored", 8, time.Millisecond, 640 * time.Millisecond, 1280 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		for i := 0; i < 200; i++ {
+			d := s.retryDelay(tc.attempt, tc.retryAfter)
+			if d < tc.lo || d > tc.hi {
+				t.Fatalf("%s: delay %v outside [%v, %v]", tc.name, d, tc.lo, tc.hi)
+			}
+		}
+	}
+}
+
+// TestShipperPostParsesRetryAfter: the 503 path surfaces the peer's
+// whole-second Retry-After hint and ignores malformed ones.
+func TestShipperPostParsesRetryAfter(t *testing.T) {
+	p := newFakePeer(t)
+	p.mode.Store("unavailable")
+	reg := registry.New(registry.Config{Obs: obs.NewRegistry()})
+	n, err := New(Config{Self: "http://solo.test", Registry: reg, Obs: obs.NewRegistry(), PeerTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(n.Close)
+	s := newShipper(n, p.srv.URL)
+
+	for header, want := range map[string]time.Duration{
+		"7":    7 * time.Second,
+		"":     0,
+		"soon": 0,
+		"-3":   0,
+	} {
+		p.retryAfter.Store(header)
+		status, _, ra, err := s.post(nil)
+		if err != nil {
+			t.Fatalf("post with Retry-After %q: %v", header, err)
+		}
+		if status != http.StatusServiceUnavailable {
+			t.Fatalf("status = %d, want 503", status)
+		}
+		if ra != want {
+			t.Errorf("Retry-After %q parsed as %v, want %v", header, ra, want)
+		}
+	}
+}
+
+// TestShipperUnavailablePeerOverflowThenConverge is the bounded-
+// backpressure contract end to end: against a peer answering 503, the
+// queue stays under its byte cap by collapsing to markers and no
+// record is ever dropped; once the peer heals (and the detector's
+// recovery hook kicks the shipper), snapshot resyncs converge the
+// follower to the leader's exact epochs and fingerprints.
+func TestShipperUnavailablePeerOverflowThenConverge(t *testing.T) {
+	p := newFakePeer(t)
+	p.mode.Store("unavailable")
+	p.retryAfter.Store("1")
+
+	lReg := registry.New(registry.Config{Obs: obs.NewRegistry()})
+	ln, err := New(Config{
+		Self:           "http://leader.test",
+		Peers:          []string{"http://leader.test", p.srv.URL},
+		Registry:       lReg,
+		Obs:            obs.NewRegistry(),
+		ShipQueueBytes: 4096,
+		PeerTimeout:    2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("New leader: %v", err)
+	}
+	t.Cleanup(ln.Close)
+	ln.mu.Lock()
+	s := ln.shippers[p.srv.URL]
+	ln.mu.Unlock()
+
+	name := ledName(t, ln, "sales")
+	if _, err := lReg.Register(name, shipTable(t, name)); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := lReg.Append(name, [][]string{{"north", fmt.Sprintf("%d", i), "2024-02-01"}}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		s.mu.Lock()
+		qb := s.queueBytes
+		s.mu.Unlock()
+		if qb > 4096 {
+			t.Fatalf("queueBytes %d exceeded the 4096 cap mid-run", qb)
+		}
+	}
+	if got := s.collapsed.Value(); got == 0 {
+		t.Fatal("200 appends against a 4 KiB cap collapsed nothing")
+	}
+	waitUntil(t, 5*time.Second, func() bool { return s.errs.Value() > 0 },
+		"shipper never observed the peer's 503")
+
+	p.mode.Store("ok")
+	ln.peerCameBack(p.srv.URL) // the detector's recovery edge: breaker reset + backoff kick
+	waitUntil(t, 15*time.Second, func() bool {
+		return reflect.DeepEqual(regState(lReg), regState(p.reg))
+	}, "follower did not converge to the leader's epochs/fingerprints after the peer healed")
+	waitUntil(t, 5*time.Second, func() bool { return s.depth.Value() == 0 },
+		"depth gauge did not drain to zero after convergence")
+	if got := s.resyncs.Value(); got == 0 {
+		t.Error("overflow healed without a snapshot resync")
+	}
+	if got := s.dropped.Value(); got != 0 {
+		t.Errorf("dropped = %d, want 0 — 503s retry, they never drop records", got)
+	}
+}
+
+// TestShipperBrokenPeerDropsThenResyncHeals: a non-retryable peer
+// response abandons the batch (counted on the dropped counter) and
+// marks the datasets for resync; after the peer heals, the next
+// shipped record's out-of-sync refusal triggers the snapshot that
+// converges the follower.
+func TestShipperBrokenPeerDropsThenResyncHeals(t *testing.T) {
+	p := newFakePeer(t)
+	p.mode.Store("broken")
+
+	lReg := registry.New(registry.Config{Obs: obs.NewRegistry()})
+	ln, err := New(Config{
+		Self:        "http://leader.test",
+		Peers:       []string{"http://leader.test", p.srv.URL},
+		Registry:    lReg,
+		Obs:         obs.NewRegistry(),
+		PeerTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("New leader: %v", err)
+	}
+	t.Cleanup(ln.Close)
+	ln.mu.Lock()
+	s := ln.shippers[p.srv.URL]
+	ln.mu.Unlock()
+
+	name := ledName(t, ln, "clicks")
+	if _, err := lReg.Register(name, shipTable(t, name)); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := lReg.Append(name, [][]string{{"east", "5", "2024-02-02"}}); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	waitUntil(t, 5*time.Second, func() bool { return s.dropped.Value() > 0 },
+		"500s from the peer never dropped a batch")
+	waitUntil(t, 5*time.Second, func() bool { return s.depth.Value() == 0 },
+		"dropped records were not released from the in-flight ledger")
+
+	p.mode.Store("ok")
+	// A fresh commit flows normally; the follower's out-of-sync refusal
+	// (it missed the dropped records) makes the shipper send a snapshot.
+	if _, err := lReg.Append(name, [][]string{{"west", "9", "2024-02-03"}}); err != nil {
+		t.Fatalf("append after heal: %v", err)
+	}
+	waitUntil(t, 15*time.Second, func() bool {
+		return reflect.DeepEqual(regState(lReg), regState(p.reg))
+	}, "follower did not converge after the drop + heal")
+}
+
+// TestShipperResyncMissingDatasetShipsDrop: a resync marker for a
+// dataset the leader no longer holds (its drop record may itself have
+// been collapsed into the marker) ships a synthesized drop, so the
+// follower deletes its copy instead of keeping it forever.
+func TestShipperResyncMissingDatasetShipsDrop(t *testing.T) {
+	p := newFakePeer(t)
+	if _, err := p.reg.Register("ghost", shipTable(t, "ghost")); err != nil {
+		t.Fatalf("register on follower: %v", err)
+	}
+
+	lReg := registry.New(registry.Config{Obs: obs.NewRegistry()})
+	n, err := New(Config{Self: "http://solo.test", Registry: lReg, Obs: obs.NewRegistry(), PeerTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(n.Close)
+
+	s := newShipper(n, p.srv.URL)
+	s.resync("ghost")
+	if _, ok := p.reg.Get("ghost"); ok {
+		t.Fatal("follower still holds a dataset the leader dropped")
+	}
+	if got := s.resyncs.Value(); got != 1 {
+		t.Errorf("resyncs = %d, want 1", got)
+	}
+}

@@ -1,0 +1,74 @@
+package load
+
+import (
+	"net/http"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/deepeye/deepeye/internal/cluster"
+	"github.com/deepeye/deepeye/internal/obs"
+	"github.com/deepeye/deepeye/internal/registry"
+)
+
+// TestBreakerLatencyExperiment measures, against a blackholed peer
+// (SYN-dropped, not connection-refused), the per-request latency of a
+// forwarded call with the breaker closed (stacks the full PeerTimeout)
+// versus tripped (fast ErrPeerDown shed). Run with:
+//
+//	DEEPEYE_EXPERIMENTS=1 go test -run TestBreakerLatencyExperiment -v ./internal/load/
+func TestBreakerLatencyExperiment(t *testing.T) {
+	if os.Getenv("DEEPEYE_EXPERIMENTS") == "" {
+		t.Skip("set DEEPEYE_EXPERIMENTS=1 to run")
+	}
+	peer := "http://127.0.0.1:9999"
+	chaos, err := NewChaosController(ChaosSpec{
+		Mode:     ChaosBlackhole,
+		Start:    0,
+		Duration: time.Hour,
+	}, peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos.Open()
+	defer chaos.Close()
+
+	reg := registry.New(registry.Config{Obs: obs.NewRegistry()})
+	n, err := cluster.New(cluster.Config{
+		Self:             "http://self.test",
+		Peers:            []string{"http://self.test", peer},
+		Registry:         reg,
+		Obs:              obs.NewRegistry(),
+		Client:           &http.Client{Transport: chaos.Transport(99, nil)},
+		PeerTimeout:      2 * time.Second,
+		BreakerThreshold: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	do := func() (time.Duration, error) {
+		req, _ := http.NewRequest("GET", peer+"/cluster/epochs", nil)
+		start := time.Now()
+		resp, err := n.PeerDo(peer, req)
+		if resp != nil {
+			resp.Body.Close()
+		}
+		return time.Since(start), err
+	}
+
+	d, err := do()
+	t.Logf("breaker closed, blackholed peer: %v (err=%v)", d, err)
+
+	var total time.Duration
+	const reps = 1000
+	for i := 0; i < reps; i++ {
+		d, err = do()
+		if err == nil {
+			t.Fatalf("rep %d: expected fast-fail, got success", i)
+		}
+		total += d
+	}
+	t.Logf("breaker open, fast-fail mean over %d calls: %v (last err=%v)", reps, total/reps, err)
+}

@@ -1,0 +1,160 @@
+package load
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// errInjected is the transport error chaos injects for partitioned or
+// error-mode requests; it surfaces to callers exactly like a refused
+// connection.
+var errInjected = errors.New("chaos: injected network fault")
+
+// ChaosController scripts faults on the inter-node links of an
+// in-process cluster. Each node's peer HTTP client is wrapped with
+// Transport(i, base); while the controller is open, requests on links
+// touching the target node are failed, delayed, or blackholed
+// according to the spec. Client→server load traffic is never touched —
+// chaos models network partitions between members, not client outages.
+type ChaosController struct {
+	spec    ChaosSpec
+	targets map[string]bool // host:port forms of the target node's URL
+
+	mu       sync.Mutex
+	open     bool
+	openedAt time.Time
+	healCh   chan struct{} // closed on heal: releases blackholed requests
+	injected int
+	rng      *rand.Rand
+}
+
+// NewChaosController builds a controller for the spec against the
+// target node's base URL (faults apply to links touching it).
+func NewChaosController(spec ChaosSpec, targetURL string) (*ChaosController, error) {
+	u, err := url.Parse(targetURL)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: target url: %w", err)
+	}
+	return &ChaosController{
+		spec:    spec,
+		targets: map[string]bool{u.Host: true},
+		healCh:  make(chan struct{}),
+		rng:     rand.New(rand.NewSource(0x5eed)),
+	}, nil
+}
+
+// Spec returns the scripted fault.
+func (c *ChaosController) Spec() ChaosSpec { return c.spec }
+
+// Open starts the fault window.
+func (c *ChaosController) Open() {
+	c.mu.Lock()
+	if !c.open {
+		c.open = true
+		c.openedAt = time.Now()
+		c.healCh = make(chan struct{})
+	}
+	c.mu.Unlock()
+}
+
+// Close heals the fault and releases any blackholed requests.
+func (c *ChaosController) Close() {
+	c.mu.Lock()
+	if c.open {
+		c.open = false
+		close(c.healCh)
+	}
+	c.mu.Unlock()
+}
+
+// Injected reports how many requests were failed, delayed, or
+// blackholed during the run.
+func (c *ChaosController) Injected() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.injected
+}
+
+// affected reports whether a request from node `from` to req's host
+// crosses a faulted link right now. Symmetric faults cut every link
+// touching the target (either endpoint); asymmetric faults cut only
+// traffic toward the target, so the target can still reach out — the
+// classic one-way partition that keeps its heartbeats looking alive.
+func (c *ChaosController) affected(from int, req *http.Request) bool {
+	toTarget := c.targets[req.URL.Host]
+	fromTarget := from == c.spec.Target
+	if c.spec.Asymmetric {
+		return toTarget && !fromTarget
+	}
+	return toTarget != fromTarget // XOR: a link, not a loopback
+}
+
+// chaosTransport wraps one node's peer transport with the controller's
+// scripted faults.
+type chaosTransport struct {
+	c    *ChaosController
+	from int // member index of the node this transport belongs to
+	base http.RoundTripper
+}
+
+// Transport wraps base with fault injection for the node at member
+// index from. Pass nil base for http.DefaultTransport.
+func (c *ChaosController) Transport(from int, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &chaosTransport{c: c, from: from, base: base}
+}
+
+func (t *chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	c := t.c
+	c.mu.Lock()
+	if !c.open || !c.affected(t.from, req) {
+		c.mu.Unlock()
+		return t.base.RoundTrip(req)
+	}
+	mode := c.spec.Mode
+	if mode == ChaosFlap {
+		// Alternate partitioned/healthy half-cycles from the window start.
+		cycle := time.Since(c.openedAt) / c.spec.FlapPeriod
+		if cycle%2 == 1 {
+			c.mu.Unlock()
+			return t.base.RoundTrip(req)
+		}
+		mode = ChaosPartition
+	}
+	if mode == ChaosError && c.rng.Float64() >= c.spec.ErrorRate {
+		c.mu.Unlock()
+		return t.base.RoundTrip(req)
+	}
+	c.injected++
+	healCh := c.healCh
+	c.mu.Unlock()
+
+	switch mode {
+	case ChaosLatency:
+		select {
+		case <-time.After(c.spec.Latency):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return t.base.RoundTrip(req)
+	case ChaosBlackhole:
+		// Hang until the fault heals or the caller's deadline fires —
+		// the failure mode that distinguishes per-call deadlines from
+		// fast errors.
+		select {
+		case <-healCh:
+			return t.base.RoundTrip(req)
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	default: // partition, error, flap's cut half-cycle
+		return nil, errInjected
+	}
+}

@@ -1,0 +1,167 @@
+package load
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	deepeye "github.com/deepeye/deepeye"
+	"github.com/deepeye/deepeye/internal/cluster"
+	"github.com/deepeye/deepeye/internal/obs"
+	"github.com/deepeye/deepeye/internal/server"
+)
+
+const chaosE2EScenario = `
+duration = 6s
+warmup = 500ms
+concurrency = 4
+rate = 30
+seed = 7
+
+[cluster]
+nodes = 3
+heartbeat = 100ms
+anti_entropy = 500ms
+ship_queue_bytes = 131072
+catchup_wait = 500ms
+
+[chaos]
+mode = partition
+target = 1
+start = 1s
+duration = 2s
+converge_within = 8s
+
+[dataset sales]
+rows = 120
+cols = 4
+append_rows = 6
+
+[op topk]
+weight = 2
+dataset = sales
+
+[op query]
+weight = 1
+dataset = sales
+
+[op append]
+weight = 3
+dataset = sales
+`
+
+// startChaosCluster boots the scenario's replicated members with
+// every peer client wrapped in the chaos controller's fault-injecting
+// transport — the same wiring cmd/deepeye-load's -inprocess mode uses.
+func startChaosCluster(t *testing.T, sc *Scenario) ([]string, *ChaosController) {
+	t.Helper()
+	n := sc.Cluster.Nodes
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	chaos, err := NewChaosController(*sc.Chaos, urls[sc.Chaos.Target])
+	if err != nil {
+		t.Fatalf("NewChaosController: %v", err)
+	}
+	for i := range lns {
+		sys, err := deepeye.Open(registryOptions(t.TempDir()))
+		if err != nil {
+			t.Fatalf("deepeye.Open node %d: %v", i, err)
+		}
+		obsReg := obs.NewRegistry()
+		node, err := cluster.New(cluster.Config{
+			Self:                urls[i],
+			Peers:               urls,
+			Registry:            sys.RegistryHandle(),
+			Obs:                 obsReg,
+			Client:              &http.Client{Transport: chaos.Transport(i, nil)},
+			HeartbeatInterval:   sc.Cluster.Heartbeat,
+			AntiEntropyInterval: sc.Cluster.AntiEntropy,
+			ShipQueueBytes:      sc.Cluster.ShipQueueBytes,
+			CatchupWait:         sc.Cluster.CatchupWait,
+		})
+		if err != nil {
+			t.Fatalf("cluster.New node %d: %v", i, err)
+		}
+		h := server.New(sys, server.Options{
+			MaxBodyBytes: 16 << 20,
+			Timeout:      30 * time.Second,
+			MaxInFlight:  64,
+			Registry:     obsReg,
+			Cluster:      node,
+		})
+		srv := &http.Server{Handler: h}
+		go srv.Serve(lns[i])
+		t.Cleanup(func() {
+			srv.Close()
+			node.Close()
+			sys.Close()
+		})
+	}
+	return urls, chaos
+}
+
+// TestRunEndToEndChaosPartition is the chaos differential: a three-
+// node cluster under mixed load loses one follower to a scripted 2s
+// partition mid-run. During the window, traffic crossing the cut
+// sheds fast (peer_down) rather than erroring, shipper queues stay
+// under the scenario's 128 KiB cap, and after the heal every member
+// must reconverge to bit-identical per-dataset epochs and
+// fingerprints — while the client-side fingerprint oracle and the
+// cluster-wide request reconciliation stay exact.
+func TestRunEndToEndChaosPartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("6s chaos run")
+	}
+	sc, err := ParseScenarioString(chaosE2EScenario)
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	urls, chaos := startChaosCluster(t, sc)
+	sum, err := Run(context.Background(), sc, Config{
+		BaseURLs:        urls,
+		DrainTimeout:    5 * time.Second,
+		MonitorInterval: 200 * time.Millisecond,
+		Chaos:           chaos,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sum.Chaos == nil {
+		t.Fatalf("no chaos summary:\n%s", summaryText(sum))
+	}
+	if !sum.Chaos.Reconverged {
+		t.Fatalf("cluster did not reconverge after the partition:\n%s", summaryText(sum))
+	}
+	if sum.Chaos.Injected == 0 {
+		t.Error("partition window injected no faults — chaos never bit")
+	}
+	if sum.Chaos.QueueCapBytes != 131072 {
+		t.Errorf("queue cap = %d, want the scenario's 131072", sum.Chaos.QueueCapBytes)
+	}
+	if sum.Chaos.MaxQueueBytes > sum.Chaos.QueueCapBytes {
+		t.Errorf("shipper queue reached %d bytes, above the %d cap",
+			sum.Chaos.MaxQueueBytes, sum.Chaos.QueueCapBytes)
+	}
+	if sum.TotalOK == 0 {
+		t.Fatalf("no successful ops:\n%s", summaryText(sum))
+	}
+	if sum.TotalError != 0 || len(sum.HardErrors) != 0 {
+		t.Errorf("hard errors during chaos (cut traffic must shed, not error):\n%s", summaryText(sum))
+	}
+	if sum.FingerprintMismatches != 0 || sum.EpochRegressions != 0 {
+		t.Errorf("verification failures:\n%s", summaryText(sum))
+	}
+	if !sum.ReconcileOK {
+		t.Errorf("request counts do not reconcile:\n%s", summaryText(sum))
+	}
+}

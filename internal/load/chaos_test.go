@@ -1,0 +1,319 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+const (
+	chaosTargetHost = "127.0.0.1:9001"
+	chaosOtherHost  = "127.0.0.1:9002"
+)
+
+type rtFunc func(*http.Request) (*http.Response, error)
+
+func (f rtFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+// countingRT is a base transport that records how many requests got
+// through the chaos layer.
+func countingRT(calls *atomic.Int32) http.RoundTripper {
+	return rtFunc(func(*http.Request) (*http.Response, error) {
+		calls.Add(1)
+		return &http.Response{
+			StatusCode: http.StatusOK,
+			Header:     http.Header{},
+			Body:       io.NopCloser(strings.NewReader("")),
+		}, nil
+	})
+}
+
+func chaosReq(t *testing.T, host string) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, "http://"+host+"/cluster/health", nil)
+	if err != nil {
+		t.Fatalf("building request: %v", err)
+	}
+	return req
+}
+
+func newTestChaos(t *testing.T, spec ChaosSpec) *ChaosController {
+	t.Helper()
+	c, err := NewChaosController(spec, "http://"+chaosTargetHost)
+	if err != nil {
+		t.Fatalf("NewChaosController: %v", err)
+	}
+	return c
+}
+
+// TestChaosPartitionSymmetric: while open, a symmetric partition cuts
+// every link with exactly one endpoint at the target — other→target
+// and target→other fail, other→other and target→target pass — and a
+// closed (or healed) controller passes everything.
+func TestChaosPartitionSymmetric(t *testing.T) {
+	c := newTestChaos(t, ChaosSpec{Mode: ChaosPartition, Target: 1})
+	var calls atomic.Int32
+	other := c.Transport(0, countingRT(&calls))  // a non-target member
+	target := c.Transport(1, countingRT(&calls)) // the target member
+
+	if _, err := other.RoundTrip(chaosReq(t, chaosTargetHost)); err != nil {
+		t.Fatalf("closed controller injected a fault: %v", err)
+	}
+
+	c.Open()
+	if _, err := other.RoundTrip(chaosReq(t, chaosTargetHost)); !errors.Is(err, errInjected) {
+		t.Errorf("other→target: err = %v, want injected fault", err)
+	}
+	if _, err := target.RoundTrip(chaosReq(t, chaosOtherHost)); !errors.Is(err, errInjected) {
+		t.Errorf("target→other: err = %v, want injected fault (symmetric cut)", err)
+	}
+	if _, err := other.RoundTrip(chaosReq(t, chaosOtherHost)); err != nil {
+		t.Errorf("other→other: err = %v, want pass (link does not touch the target)", err)
+	}
+	if _, err := target.RoundTrip(chaosReq(t, chaosTargetHost)); err != nil {
+		t.Errorf("target→target: err = %v, want pass (not a cut link)", err)
+	}
+	if got := c.Injected(); got != 2 {
+		t.Errorf("Injected = %d, want 2", got)
+	}
+
+	c.Close()
+	if _, err := other.RoundTrip(chaosReq(t, chaosTargetHost)); err != nil {
+		t.Errorf("healed controller still injecting: %v", err)
+	}
+}
+
+// TestChaosPartitionAsymmetric: only traffic toward the target is cut;
+// the target can still reach out — the one-way partition whose
+// outbound heartbeats keep looking alive.
+func TestChaosPartitionAsymmetric(t *testing.T) {
+	c := newTestChaos(t, ChaosSpec{Mode: ChaosPartition, Target: 1, Asymmetric: true})
+	var calls atomic.Int32
+	other := c.Transport(0, countingRT(&calls))
+	target := c.Transport(1, countingRT(&calls))
+	c.Open()
+
+	if _, err := other.RoundTrip(chaosReq(t, chaosTargetHost)); !errors.Is(err, errInjected) {
+		t.Errorf("other→target: err = %v, want injected fault", err)
+	}
+	if _, err := target.RoundTrip(chaosReq(t, chaosOtherHost)); err != nil {
+		t.Errorf("target→other: err = %v, want pass (asymmetric cut is inbound only)", err)
+	}
+}
+
+// TestChaosErrorRateOne: error mode at rate 1 fails every affected
+// request.
+func TestChaosErrorRateOne(t *testing.T) {
+	c := newTestChaos(t, ChaosSpec{Mode: ChaosError, Target: 1, ErrorRate: 1})
+	var calls atomic.Int32
+	tr := c.Transport(0, countingRT(&calls))
+	c.Open()
+	for i := 0; i < 20; i++ {
+		if _, err := tr.RoundTrip(chaosReq(t, chaosTargetHost)); !errors.Is(err, errInjected) {
+			t.Fatalf("request %d: err = %v, want injected fault at rate 1", i, err)
+		}
+	}
+	if calls.Load() != 0 {
+		t.Errorf("%d requests reached the base transport, want 0", calls.Load())
+	}
+}
+
+// TestChaosLatency: latency mode delays affected requests but still
+// delivers them; a canceled context aborts the injected wait.
+func TestChaosLatency(t *testing.T) {
+	c := newTestChaos(t, ChaosSpec{Mode: ChaosLatency, Target: 1, Latency: 20 * time.Millisecond})
+	var calls atomic.Int32
+	tr := c.Transport(0, countingRT(&calls))
+	c.Open()
+
+	start := time.Now()
+	if _, err := tr.RoundTrip(chaosReq(t, chaosTargetHost)); err != nil {
+		t.Fatalf("latency mode failed the request: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("request took %v, want >= the 20ms injected latency", elapsed)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("base transport saw %d calls, want 1", calls.Load())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tr.RoundTrip(chaosReq(t, chaosTargetHost).WithContext(ctx)); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled context: err = %v, want context.Canceled", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("canceled request reached the base transport")
+	}
+}
+
+// TestChaosBlackhole: affected requests hang until the window heals
+// (then complete) or their own deadline fires — never a fast error.
+func TestChaosBlackhole(t *testing.T) {
+	c := newTestChaos(t, ChaosSpec{Mode: ChaosBlackhole, Target: 1})
+	var calls atomic.Int32
+	tr := c.Transport(0, countingRT(&calls))
+	c.Open()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := tr.RoundTrip(chaosReq(t, chaosTargetHost))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("blackholed request returned before the heal: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	c.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("healed blackhole failed the request: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("request still hung after the heal")
+	}
+
+	c.Open()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := tr.RoundTrip(chaosReq(t, chaosTargetHost).WithContext(ctx)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("deadline inside a blackhole: err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestChaosFlap: the cut half-cycle starts at open (cycle 0 is
+// partitioned); with a short period, healthy half-cycles appear.
+func TestChaosFlap(t *testing.T) {
+	cut := newTestChaos(t, ChaosSpec{Mode: ChaosFlap, Target: 1, FlapPeriod: time.Hour})
+	var calls atomic.Int32
+	tr := cut.Transport(0, countingRT(&calls))
+	cut.Open()
+	if _, err := tr.RoundTrip(chaosReq(t, chaosTargetHost)); !errors.Is(err, errInjected) {
+		t.Errorf("flap cycle 0: err = %v, want injected fault", err)
+	}
+
+	fast := newTestChaos(t, ChaosSpec{Mode: ChaosFlap, Target: 1, FlapPeriod: time.Millisecond})
+	tr = fast.Transport(0, countingRT(&calls))
+	fast.Open()
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := tr.RoundTrip(chaosReq(t, chaosTargetHost)); err == nil {
+			return // hit a healthy half-cycle
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	t.Fatal("no healthy half-cycle observed within 1s of 1ms flapping")
+}
+
+const chaosScenarioText = `
+duration = 12s
+
+[cluster]
+nodes = 3
+heartbeat = 150ms
+anti_entropy = 2s
+ship_queue_bytes = 65536
+catchup_wait = 750ms
+
+[chaos]
+mode = flap
+target = 2
+start = 2s
+duration = 4s
+flap_period = 250ms
+asymmetric = yes
+converge_within = 6s
+
+[dataset d]
+
+[op append]
+weight = 1
+dataset = d
+`
+
+func TestParseScenarioChaos(t *testing.T) {
+	sc, err := ParseScenarioString(chaosScenarioText)
+	if err != nil {
+		t.Fatalf("ParseScenario: %v", err)
+	}
+	cl := sc.Cluster
+	if cl.Nodes != 3 || cl.Heartbeat != 150*time.Millisecond || cl.AntiEntropy != 2*time.Second ||
+		cl.ShipQueueBytes != 65536 || cl.CatchupWait != 750*time.Millisecond {
+		t.Errorf("cluster = %+v", cl)
+	}
+	ch := sc.Chaos
+	if ch == nil {
+		t.Fatal("Chaos = nil")
+	}
+	if ch.Mode != ChaosFlap || ch.Target != 2 || ch.Start != 2*time.Second ||
+		ch.Duration != 4*time.Second || ch.FlapPeriod != 250*time.Millisecond ||
+		!ch.Asymmetric || ch.ConvergeWithin != 6*time.Second {
+		t.Errorf("chaos = %+v", ch)
+	}
+}
+
+func TestParseScenarioChaosDefaults(t *testing.T) {
+	sc, err := ParseScenarioString(`
+[cluster]
+nodes = 2
+[chaos]
+duration = 3s
+[dataset d]
+[op topk]
+weight = 1
+dataset = d
+`)
+	if err != nil {
+		t.Fatalf("ParseScenario: %v", err)
+	}
+	ch := sc.Chaos
+	if ch.Mode != ChaosPartition || ch.Target != 1 || ch.Start != 0 ||
+		ch.Latency != 200*time.Millisecond || ch.ErrorRate != 1 ||
+		ch.FlapPeriod != 500*time.Millisecond || ch.Asymmetric ||
+		ch.ConvergeWithin != 10*time.Second {
+		t.Errorf("chaos defaults = %+v", ch)
+	}
+}
+
+func TestParseScenarioChaosRejects(t *testing.T) {
+	base := "[dataset d]\n[op topk]\nweight = 1\ndataset = d\n"
+	cases := []struct {
+		name, script, want string
+	}{
+		{"chaos without cluster", "[chaos]\nduration = 2s\n" + base,
+			"needs a [cluster] section"},
+		{"missing duration", "[cluster]\nnodes = 2\n[chaos]\ntarget = 0\n" + base,
+			"declares no duration"},
+		{"target out of range", "[cluster]\nnodes = 3\n[chaos]\nduration = 2s\ntarget = 3\n" + base,
+			"out of range"},
+		{"window past run end", "duration = 5s\n[cluster]\nnodes = 2\n[chaos]\nstart = 4s\nduration = 2s\n" + base,
+			"must close before the run ends"},
+		{"unknown mode", "[cluster]\nnodes = 2\n[chaos]\nduration = 2s\nmode = meltdown\n" + base,
+			"unknown chaos mode"},
+		{"error rate out of range", "[cluster]\nnodes = 2\n[chaos]\nduration = 2s\nerror_rate = 1.5\n" + base,
+			"error_rate must be in (0, 1]"},
+		{"bad asymmetric", "[cluster]\nnodes = 2\n[chaos]\nduration = 2s\nasymmetric = maybe\n" + base,
+			"asymmetric must be a boolean"},
+		{"negative queue cap", "[cluster]\nnodes = 2\nship_queue_bytes = -1\n" + base,
+			"ship_queue_bytes must be positive"},
+		{"duplicate chaos section", "[cluster]\nnodes = 2\n[chaos]\nduration = 2s\n[chaos]\nduration = 2s\n" + base,
+			"duplicate [chaos] section"},
+	}
+	for _, tc := range cases {
+		_, err := ParseScenarioString(tc.script)
+		if err == nil {
+			t.Errorf("%s: parse succeeded, want error containing %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+}

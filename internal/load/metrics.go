@@ -59,6 +59,20 @@ func (s *metricsSnapshot) value(series string) float64 {
 // gauge returns an unlabeled gauge by bare name (0 if absent).
 func (s *metricsSnapshot) gauge(name string) float64 { return s.value(name) }
 
+// maxSeries returns the largest sample among series of the metric
+// (any label set), 0 when none are present. Used on single-member
+// pages — a merged snapshot sums same-labeled series across members,
+// which would overstate a per-peer maximum.
+func (s *metricsSnapshot) maxSeries(name string) float64 {
+	var max float64
+	for series, v := range s.samples {
+		if (series == name || strings.HasPrefix(series, name+"{")) && v > max {
+			max = v
+		}
+	}
+	return max
+}
+
 // merge adds another page's samples into this snapshot (summing
 // series), so a cluster's N /metrics pages reconcile as one ledger.
 func (s *metricsSnapshot) merge(o *metricsSnapshot) {

@@ -186,6 +186,26 @@ type MonitorSummary struct {
 	MonitorScrapeFails int    `json:"monitor_scrape_fails,omitempty"`
 }
 
+// ChaosSummary reports one scripted fault window and the cluster's
+// recovery from it. Reconverged is the chaos differential: after the
+// fault healed, every member reported identical per-dataset epochs and
+// fingerprints within the budget. MaxQueueBytes is the largest
+// single-peer shipper queue observed on any member during the run —
+// it must stay at or under QueueCapBytes for the backpressure bound to
+// hold.
+type ChaosSummary struct {
+	Mode          string  `json:"mode"`
+	Target        int     `json:"target"`
+	WindowSeconds float64 `json:"window_seconds"`
+	Injected      int     `json:"injected_faults"`
+	Reconverged   bool    `json:"reconverged"`
+	ReconvergeMs  float64 `json:"reconverge_ms,omitempty"`
+	BudgetSeconds float64 `json:"budget_seconds"`
+	Detail        string  `json:"detail,omitempty"` // last divergence seen while waiting
+	MaxQueueBytes int64   `json:"max_queue_bytes,omitempty"`
+	QueueCapBytes int64   `json:"queue_cap_bytes,omitempty"`
+}
+
 // Summary is the run's full result: what deepeye-load prints, writes
 // as JSON, and gates on.
 type Summary struct {
@@ -213,6 +233,7 @@ type Summary struct {
 	ReconcileOK    bool         `json:"reconcile_ok"`
 
 	Monitor *MonitorSummary `json:"monitor,omitempty"`
+	Chaos   *ChaosSummary   `json:"chaos,omitempty"`
 
 	HardErrors          []string `json:"hard_errors,omitempty"`
 	HardErrorsTruncated int      `json:"hard_errors_truncated,omitempty"`
@@ -304,6 +325,20 @@ func (s *Summary) WriteText(w io.Writer) {
 			float64(m.HeapBaselineBytes)/(1<<20), float64(m.HeapFinalBytes)/(1<<20),
 			float64(m.SysBaselineBytes)/(1<<20), float64(m.SysFinalBytes)/(1<<20))
 	}
+	if c := s.Chaos; c != nil {
+		fmt.Fprintf(w, "chaos: %s on node %d for %.1fs (%d faults injected), reconverged=%v",
+			c.Mode, c.Target, c.WindowSeconds, c.Injected, c.Reconverged)
+		if c.Reconverged {
+			fmt.Fprintf(w, " in %.0fms", c.ReconvergeMs)
+		} else if c.Detail != "" {
+			fmt.Fprintf(w, " (%s)", c.Detail)
+		}
+		if c.QueueCapBytes > 0 {
+			fmt.Fprintf(w, ", max shipper queue %.1fKiB (cap %.1fKiB)",
+				float64(c.MaxQueueBytes)/(1<<10), float64(c.QueueCapBytes)/(1<<10))
+		}
+		fmt.Fprintln(w)
+	}
 	for _, e := range s.HardErrors {
 		fmt.Fprintf(w, "error: %s\n", e)
 	}
@@ -367,6 +402,23 @@ func (s *Summary) Check(g Gates) error {
 	}
 	if g.RequireReconcile && !s.ReconcileOK {
 		fails = append(fails, "client/server request counts do not reconcile")
+	}
+	// Chaos gates are unconditional: a run that scripted a fault is
+	// meaningless unless the cluster healed from it and replication
+	// memory stayed bounded.
+	if c := s.Chaos; c != nil {
+		if !c.Reconverged {
+			detail := c.Detail
+			if detail == "" {
+				detail = "no convergence detail recorded"
+			}
+			fails = append(fails, fmt.Sprintf("cluster did not reconverge within %.1fs after %s chaos (%s)",
+				c.BudgetSeconds, c.Mode, detail))
+		}
+		if c.QueueCapBytes > 0 && c.MaxQueueBytes > c.QueueCapBytes {
+			fails = append(fails, fmt.Sprintf("shipper queue reached %d bytes, exceeding the %d-byte cap",
+				c.MaxQueueBytes, c.QueueCapBytes))
+		}
 	}
 	if len(fails) > 0 {
 		return fmt.Errorf("load gate failed: %s", strings.Join(fails, "; "))

@@ -48,6 +48,13 @@ type Config struct {
 	// GoroutineSlack is how far above baseline the goroutine gauge may
 	// settle and still count as drained (default 10).
 	GoroutineSlack int
+	// Chaos, when set, scripts network faults between cluster members
+	// during the run (cmd/deepeye-load builds it from the scenario's
+	// [chaos] section and wires its transports into the in-process
+	// nodes). The runner opens/closes the fault window on schedule and,
+	// after healing, requires every member to reconverge to identical
+	// per-dataset epochs and fingerprints within the spec's budget.
+	Chaos *ChaosController
 }
 
 // dsState is one scenario dataset's live client-side state. mu
@@ -85,6 +92,11 @@ type runner struct {
 	fpMismatches atomic.Uint64
 	epochRegress atomic.Uint64
 	rereg        atomic.Uint64
+
+	// maxQueueBytes tracks the largest single-peer shipper queue
+	// observed on any member page over the run — the chaos gate's
+	// bounded-backpressure assertion.
+	maxQueueBytes atomic.Int64
 }
 
 // Run executes the scenario against cfg.BaseURL (or, for a cluster,
@@ -150,6 +162,14 @@ func Run(ctx context.Context, sc *Scenario, cfg Config) (*Summary, error) {
 		mon.markBaseline()
 	}
 
+	if cfg.Chaos != nil {
+		spec := cfg.Chaos.Spec()
+		openT := time.AfterFunc(spec.Start, cfg.Chaos.Open)
+		closeT := time.AfterFunc(spec.Start+spec.Duration, cfg.Chaos.Close)
+		defer openT.Stop()
+		defer closeT.Stop()
+	}
+
 	pacer := NewPacer(sc.Rate, sc.Warmup, sc.Burst)
 	var wg sync.WaitGroup
 	for w := 0; w < sc.Concurrency; w++ {
@@ -167,6 +187,17 @@ func Run(ctx context.Context, sc *Scenario, cfg Config) (*Summary, error) {
 		}(w)
 	}
 	wg.Wait()
+
+	// Heal any open fault, then require the cluster to reconverge to
+	// identical per-dataset epochs and fingerprints before the final
+	// fingerprint verification — the chaos differential: after the
+	// fault window, every member must be bit-identical to the
+	// single-node oracle the client mirror represents.
+	var chaosSum *ChaosSummary
+	if cfg.Chaos != nil {
+		cfg.Chaos.Close()
+		chaosSum = r.awaitReconvergence(ctx, cfg.Chaos)
+	}
 
 	// Post-run verification: every scenario dataset's served identity
 	// must equal the client-side rolling mirror.
@@ -195,8 +226,112 @@ func Run(ctx context.Context, sc *Scenario, cfg Config) (*Summary, error) {
 	sum.EpochRegressions = r.epochRegress.Load()
 	sum.Reregistered = r.rereg.Load()
 	sum.Monitor = monSum
+	if chaosSum != nil {
+		chaosSum.MaxQueueBytes = r.maxQueueBytes.Load()
+		chaosSum.QueueCapBytes = sc.Cluster.ShipQueueBytes
+	}
+	sum.Chaos = chaosSum
 	sum.Reconciliation, sum.ReconcileOK = reconcile(before, after, r.rep.routeCounts())
 	return sum, nil
+}
+
+// awaitReconvergence polls every member's /cluster/epochs after the
+// fault heals until they report identical per-dataset epoch +
+// fingerprint views, or the spec's budget expires. The polls are peer
+// protocol traffic (/cluster/* is excluded from reconciliation), so
+// they do not disturb the request ledger.
+func (r *runner) awaitReconvergence(ctx context.Context, ctl *ChaosController) *ChaosSummary {
+	spec := ctl.Spec()
+	sum := &ChaosSummary{
+		Mode:          spec.Mode,
+		Target:        spec.Target,
+		WindowSeconds: spec.Duration.Seconds(),
+		Injected:      ctl.Injected(),
+		BudgetSeconds: spec.ConvergeWithin.Seconds(),
+	}
+	if !r.clustered() {
+		sum.Reconverged = true
+		return sum
+	}
+	start := time.Now()
+	deadline := start.Add(spec.ConvergeWithin)
+	for {
+		converged, detail := r.membersConverged(ctx)
+		if converged {
+			sum.Reconverged = true
+			sum.ReconvergeMs = float64(time.Since(start)) / 1e6
+			return sum
+		}
+		sum.Detail = detail
+		if time.Now().After(deadline) || ctx.Err() != nil {
+			r.rep.Error("chaos: cluster did not reconverge within %v: %s", spec.ConvergeWithin, detail)
+			return sum
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// membersConverged compares every member's epoch view against the
+// first member's; any difference in dataset set, epoch, or fingerprint
+// is divergence.
+func (r *runner) membersConverged(ctx context.Context) (bool, string) {
+	var ref map[string]string
+	var refBase string
+	for _, base := range r.urls {
+		view, err := r.epochsOf(ctx, base)
+		if err != nil {
+			return false, err.Error()
+		}
+		if ref == nil {
+			ref, refBase = view, base
+			continue
+		}
+		if len(view) != len(ref) {
+			return false, fmt.Sprintf("%s holds %d datasets, %s holds %d", base, len(view), refBase, len(ref))
+		}
+		for name, id := range ref {
+			if view[name] != id {
+				return false, fmt.Sprintf("%s and %s diverge on dataset %q (%s vs %s)", base, refBase, name, view[name], id)
+			}
+		}
+	}
+	return true, ""
+}
+
+// epochsOf fetches one member's dataset → "epoch/fingerprint" view.
+func (r *runner) epochsOf(ctx context.Context, base string) (map[string]string, error) {
+	ctx, cancel := context.WithTimeout(ctx, opTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/cluster/epochs", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s/cluster/epochs: status %d", base, resp.StatusCode)
+	}
+	var view struct {
+		Datasets []struct {
+			Name        string `json:"name"`
+			Epoch       uint64 `json:"epoch"`
+			Fingerprint string `json:"fingerprint"`
+		} `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return nil, fmt.Errorf("GET %s/cluster/epochs: %w", base, err)
+	}
+	out := make(map[string]string, len(view.Datasets))
+	for _, d := range view.Datasets {
+		out[d.Name] = fmt.Sprintf("%d/%s", d.Epoch, d.Fingerprint)
+	}
+	return out, nil
 }
 
 // pickOp draws one mix entry by weight.
@@ -304,7 +439,22 @@ func (r *runner) scrapeOne(ctx context.Context, base string) (*metricsSnapshot, 
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("GET %s/metrics: status %d", base, resp.StatusCode)
 	}
-	return parseMetricsText(resp.Body)
+	snap, err := parseMetricsText(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	// Track the largest single-peer shipper queue seen on any page:
+	// the chaos gate asserts replication memory stays bounded by the
+	// configured cap while a peer is unreachable.
+	if q := int64(snap.maxSeries("deepeye_cluster_queue_bytes")); q > 0 {
+		for {
+			prev := r.maxQueueBytes.Load()
+			if q <= prev || r.maxQueueBytes.CompareAndSwap(prev, q) {
+				break
+			}
+		}
+	}
+	return snap, nil
 }
 
 // shedReason extracts the machine-readable reason from a 503 body.
@@ -318,13 +468,20 @@ func shedReason(body []byte) string {
 
 // classify maps a response to an outcome; 404 is surfaced separately
 // because on dataset routes it means "evicted", which the caller
-// handles by re-registering.
+// handles by re-registering. Machine-readable 503s are sheds, not
+// errors: "capacity" under overload, "peer_down" while a breaker
+// isolates an unreachable member, "read_only" under durability
+// degradation — all deliberate refusals the client is told to retry.
 func classify(status int, body []byte) outcome {
 	switch {
 	case status >= 200 && status < 300:
 		return outOK
-	case status == http.StatusServiceUnavailable && shedReason(body) == "capacity":
-		return outShed
+	case status == http.StatusServiceUnavailable:
+		switch shedReason(body) {
+		case "capacity", "peer_down", "read_only":
+			return outShed
+		}
+		return outError
 	default:
 		return outError
 	}

@@ -128,8 +128,42 @@ type ServerConfig struct {
 // Ignored when targeting an external server unless -addr lists
 // multiple peers.
 type ClusterConfig struct {
-	Nodes int // cluster members; 0 = single node (default)
-	Line  int // declaration line, for error reporting
+	Nodes          int           // cluster members; 0 = single node (default)
+	Heartbeat      time.Duration // failure-detector probe interval (0 = disabled)
+	AntiEntropy    time.Duration // anti-entropy repair interval (0 = disabled)
+	ShipQueueBytes int64         // per-peer shipper queue cap (0 = node default)
+	CatchupWait    time.Duration // follower read catch-up budget (0 = node default)
+	Line           int           // declaration line, for error reporting
+}
+
+// The chaos fault modes a scenario can inject on the inter-node links
+// of an in-process cluster.
+const (
+	ChaosPartition = "partition" // drop requests touching the target with a transport error
+	ChaosBlackhole = "blackhole" // hang requests touching the target until the window closes
+	ChaosLatency   = "latency"   // delay requests touching the target by a fixed amount
+	ChaosError     = "error"     // fail a fraction of requests touching the target
+	ChaosFlap      = "flap"      // alternate partitioned/healthy on a period
+)
+
+// ChaosSpec scripts one fault window against an in-process cluster:
+// at Start into the run the controller begins injecting Mode faults on
+// every inter-node link touching node index Target; at Start+Duration
+// the fault heals. After the workers drain, the harness requires every
+// member to reconverge to identical per-dataset epochs and
+// fingerprints within ConvergeWithin — the chaos differential that
+// keeps the cluster bit-identical to the single-node oracle.
+type ChaosSpec struct {
+	Start          time.Duration // offset into the run when the fault opens (default 0)
+	Duration       time.Duration // fault window length (required)
+	Target         int           // member index the fault isolates (default 1: a follower)
+	Mode           string        // partition|blackhole|latency|error|flap (default partition)
+	Latency        time.Duration // latency mode: injected delay per request (default 200ms)
+	ErrorRate      float64       // error mode: failure fraction 0..1 (default 1)
+	FlapPeriod     time.Duration // flap mode: half-cycle period (default 500ms)
+	Asymmetric     bool          // drop only traffic toward the target, not from it
+	ConvergeWithin time.Duration // post-heal reconvergence budget (default 10s)
+	Line           int           // declaration line, for error reporting
 }
 
 // Scenario is a parsed, validated load script.
@@ -142,6 +176,7 @@ type Scenario struct {
 	Seed        int64         // RNG seed for op choice and payloads (default 1)
 	Server      ServerConfig
 	Cluster     ClusterConfig
+	Chaos       *ChaosSpec // nil when no [chaos] section is declared
 	Datasets    []DatasetSpec
 	Ops         []OpSpec
 }
@@ -177,6 +212,7 @@ const (
 	secHeader section = iota
 	secServer
 	secCluster
+	secChaos
 	secDataset
 	secOp
 )
@@ -238,6 +274,16 @@ func ParseScenario(r io.Reader) (*Scenario, error) {
 				seenCluster = true
 				sc.Cluster.Line = n
 				cur = secCluster
+			case len(head) == 1 && head[0] == "chaos":
+				if sc.Chaos != nil {
+					return nil, scanErr(n, "duplicate [chaos] section")
+				}
+				sc.Chaos = &ChaosSpec{
+					Target: 1, Mode: ChaosPartition, Latency: 200 * time.Millisecond,
+					ErrorRate: 1, FlapPeriod: 500 * time.Millisecond,
+					ConvergeWithin: 10 * time.Second, Line: n,
+				}
+				cur = secChaos
 			case len(head) == 2 && head[0] == "dataset":
 				name := head[1]
 				if sc.Dataset(name) != nil {
@@ -255,7 +301,7 @@ func ParseScenario(r io.Reader) (*Scenario, error) {
 				curOp = &sc.Ops[len(sc.Ops)-1]
 				cur = secOp
 			default:
-				return nil, scanErr(n, "malformed section header %q (want [server], [cluster], [dataset NAME], or [op NAME])", line)
+				return nil, scanErr(n, "malformed section header %q (want [server], [cluster], [chaos], [dataset NAME], or [op NAME])", line)
 			}
 			continue
 		}
@@ -284,6 +330,8 @@ func ParseScenario(r io.Reader) (*Scenario, error) {
 			err = sc.Server.set(key, val, n)
 		case secCluster:
 			err = sc.Cluster.set(key, val, n)
+		case secChaos:
+			err = sc.Chaos.set(key, val, n)
 		case secDataset:
 			err = curDS.set(key, val, n)
 		case secOp:
@@ -468,8 +516,131 @@ func (c *ClusterConfig) set(key, val string, line int) error {
 			return scanErr(line, "nodes must be between 2 and 16, got %d", v)
 		}
 		c.Nodes = v
+	case "heartbeat":
+		d, err := parseDur(key, val, line)
+		if err != nil {
+			return err
+		}
+		if d < 0 {
+			return scanErr(line, "heartbeat must not be negative, got %v", d)
+		}
+		c.Heartbeat = d
+	case "anti_entropy":
+		d, err := parseDur(key, val, line)
+		if err != nil {
+			return err
+		}
+		if d < 0 {
+			return scanErr(line, "anti_entropy must not be negative, got %v", d)
+		}
+		c.AntiEntropy = d
+	case "ship_queue_bytes":
+		v, err := parseInt64(key, val, line)
+		if err != nil {
+			return err
+		}
+		if v <= 0 {
+			return scanErr(line, "ship_queue_bytes must be positive, got %d", v)
+		}
+		c.ShipQueueBytes = v
+	case "catchup_wait":
+		d, err := parseDur(key, val, line)
+		if err != nil {
+			return err
+		}
+		if d < 0 {
+			return scanErr(line, "catchup_wait must not be negative, got %v", d)
+		}
+		c.CatchupWait = d
 	default:
 		return scanErr(line, "unknown [cluster] key %q", key)
+	}
+	return nil
+}
+
+func (c *ChaosSpec) set(key, val string, line int) error {
+	switch key {
+	case "start":
+		d, err := parseDur(key, val, line)
+		if err != nil {
+			return err
+		}
+		if d < 0 {
+			return scanErr(line, "start must not be negative, got %v", d)
+		}
+		c.Start = d
+	case "duration":
+		d, err := parseDur(key, val, line)
+		if err != nil {
+			return err
+		}
+		if d <= 0 {
+			return scanErr(line, "duration must be positive, got %v", d)
+		}
+		c.Duration = d
+	case "target":
+		v, err := parseInt(key, val, line)
+		if err != nil {
+			return err
+		}
+		if v < 0 {
+			return scanErr(line, "target must not be negative, got %d", v)
+		}
+		c.Target = v
+	case "mode":
+		switch val {
+		case ChaosPartition, ChaosBlackhole, ChaosLatency, ChaosError, ChaosFlap:
+			c.Mode = val
+		default:
+			return scanErr(line, "unknown chaos mode %q (want partition|blackhole|latency|error|flap)", val)
+		}
+	case "latency":
+		d, err := parseDur(key, val, line)
+		if err != nil {
+			return err
+		}
+		if d <= 0 {
+			return scanErr(line, "latency must be positive, got %v", d)
+		}
+		c.Latency = d
+	case "error_rate":
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return scanErr(line, "error_rate: %v", err)
+		}
+		if v <= 0 || v > 1 {
+			return scanErr(line, "error_rate must be in (0, 1], got %g", v)
+		}
+		c.ErrorRate = v
+	case "flap_period":
+		d, err := parseDur(key, val, line)
+		if err != nil {
+			return err
+		}
+		if d <= 0 {
+			return scanErr(line, "flap_period must be positive, got %v", d)
+		}
+		c.FlapPeriod = d
+	case "asymmetric":
+		switch val {
+		case "true", "1", "yes":
+			c.Asymmetric = true
+		case "false", "0", "no":
+			c.Asymmetric = false
+		default:
+			return scanErr(line, "asymmetric must be a boolean, got %q", val)
+		}
+	case "converge_within":
+		d, err := parseDur(key, val, line)
+		if err != nil {
+			return err
+		}
+		if d <= 0 {
+			return scanErr(line, "converge_within must be positive, got %v", d)
+		}
+		c.ConvergeWithin = d
+	default:
+		return scanErr(line, "unknown [chaos] key %q", key)
 	}
 	return nil
 }
@@ -585,6 +756,21 @@ func (s *Scenario) validate() error {
 	}
 	if s.Cluster.Line != 0 && s.Cluster.Nodes == 0 {
 		return scanErr(s.Cluster.Line, "[cluster] declares no nodes key")
+	}
+	if s.Chaos != nil {
+		if s.Cluster.Nodes < 2 {
+			return scanErr(s.Chaos.Line, "[chaos] needs a [cluster] section with nodes >= 2")
+		}
+		if s.Chaos.Duration <= 0 {
+			return scanErr(s.Chaos.Line, "[chaos] declares no duration key")
+		}
+		if s.Chaos.Target >= s.Cluster.Nodes {
+			return scanErr(s.Chaos.Line, "[chaos] target %d out of range for %d nodes", s.Chaos.Target, s.Cluster.Nodes)
+		}
+		if s.Chaos.Start+s.Chaos.Duration > s.Duration {
+			return scanErr(s.Chaos.Line, "[chaos] window (start %v + duration %v) must close before the run ends (%v) so convergence is measured post-heal",
+				s.Chaos.Start, s.Chaos.Duration, s.Duration)
+		}
 	}
 	for i := range s.Datasets {
 		if s.Datasets[i].Seed < 0 {

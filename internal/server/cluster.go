@@ -96,10 +96,12 @@ func (h *Handler) proxyTo(w http.ResponseWriter, r *http.Request, peer string) {
 	}
 	req.Header = r.Header.Clone()
 	req.Header.Set(forwardedHeader, "1")
-	resp, err := h.opts.Cluster.Client().Do(req)
+	resp, err := h.opts.Cluster.PeerDo(peer, req)
 	if err != nil {
-		writeJSON(w, http.StatusBadGateway,
-			errorJSON{Error: "leader unreachable: " + err.Error()})
+		// Breaker open or transport failure: shed fast with Retry-After
+		// instead of stacking timeouts — the client retries once the
+		// peer's circuit closes (heartbeats or a half-open probe).
+		writeShed(w, reasonPeerDown, "leader unreachable: "+err.Error())
 		return
 	}
 	defer resp.Body.Close()

@@ -76,6 +76,7 @@ type errorJSON struct {
 const (
 	reasonCapacity = "capacity"
 	reasonReadOnly = "read_only"
+	reasonPeerDown = "peer_down"
 )
 
 // retryAfterSeconds is the Retry-After hint on shed (503) responses:
